@@ -1,0 +1,361 @@
+// Benchmarks regenerating the FACTOR paper's evaluation (Tables 1-6)
+// plus ablation benches for the design decisions called out in
+// DESIGN.md. Each table bench runs the same code path as
+// cmd/benchtables with a reduced ATPG budget so the whole suite stays
+// tractable; run cmd/benchtables with a larger -budget for the numbers
+// recorded in EXPERIMENTS.md.
+//
+// The heavy benches take seconds per iteration; run with
+// -benchtime=1x for a single pass.
+package factor_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/atpg"
+	"factor/internal/bench"
+	"factor/internal/core"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+	"factor/internal/synth"
+)
+
+// benchBudget keeps a full -bench=. run tractable.
+const benchBudget = 3 * time.Second
+
+var (
+	ctxOnce sync.Once
+	ctxVal  *bench.Context
+	ctxErr  error
+)
+
+func benchContext(b *testing.B) *bench.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		ctxVal, ctxErr = bench.NewContext(bench.Config{ATPGBudget: benchBudget})
+	})
+	if ctxErr != nil {
+		b.Fatal(ctxErr)
+	}
+	return ctxVal
+}
+
+// ---------------------------------------------------------------------------
+// Paper tables
+
+func BenchmarkTable1Characteristics(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable1(rows))
+			for _, r := range rows {
+				if r.Module == "regfile_struct" {
+					b.ReportMetric(float64(r.GatesInModule), "regfile-gates")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2FlatExtraction(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable23("Table 2 (flat)", rows))
+			b.ReportMetric(avgReduction(rows), "avg-reduction-%")
+		}
+	}
+}
+
+func BenchmarkTable3ComposedExtraction(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable23("Table 3 (composed)", rows))
+			b.ReportMetric(avgReduction(rows), "avg-reduction-%")
+		}
+	}
+}
+
+func avgReduction(rows []bench.Row23) float64 {
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.GateReductionPct
+	}
+	return sum / float64(len(rows))
+}
+
+func BenchmarkTable4RawATPG(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable4(rows))
+			for _, r := range rows {
+				if r.Module == "regfile_struct" {
+					b.ReportMetric(r.ProcLevelCov, "regfile-proc-cov-%")
+					b.ReportMetric(r.StandAloneCov, "regfile-standalone-cov-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable5TransformedFlat(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable56("Table 5 (flat)", rows))
+			b.ReportMetric(covOf(rows, "regfile_struct"), "regfile-cov-%")
+		}
+	}
+}
+
+func BenchmarkTable6TransformedComposed(b *testing.B) {
+	ctx := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable56("Table 6 (composed)", rows))
+			b.ReportMetric(covOf(rows, "regfile_struct"), "regfile-cov-%")
+		}
+	}
+}
+
+func covOf(rows []bench.Row56, module string) float64 {
+	for _, r := range rows {
+		if r.Module == module {
+			return r.FaultCov
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+// BenchmarkAblationFaultSimParallel measures the 63-fault-per-pass
+// packed simulator against the serial reference on the stand-alone ALU.
+func BenchmarkAblationFaultSimParallel(b *testing.B) {
+	nl, faults, seqs := faultSimWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fault.NewResult(faults)
+		ps := fault.NewParallel(nl)
+		for _, seq := range seqs {
+			ps.RunSequence(res, seq)
+		}
+	}
+}
+
+func BenchmarkAblationFaultSimSerial(b *testing.B) {
+	nl, faults, seqs := faultSimWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detected := 0
+		for _, f := range faults {
+			for _, seq := range seqs {
+				if fault.SerialDetect(nl, f, seq) {
+					detected++
+					break
+				}
+			}
+		}
+	}
+}
+
+func faultSimWorkload(b *testing.B) (*netlist.Netlist, []fault.Fault, []fault.Sequence) {
+	b.Helper()
+	res, err := arm.SynthesizeModule("arm_alu", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(res.Netlist)
+	if len(faults) > 256 {
+		faults = faults[:256]
+	}
+	var seqs []fault.Sequence
+	rng := uint64(0x9E3779B97F4A7C15)
+	for s := 0; s < 8; s++ {
+		vec := fault.Vector{}
+		for _, name := range res.Netlist.PINames {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			vec[name] = sim.Logic((rng >> 33) & 1)
+		}
+		seqs = append(seqs, fault.Sequence{vec})
+	}
+	return res.Netlist, faults, seqs
+}
+
+// BenchmarkAblationSynthOpt measures what the optimization passes buy:
+// the paper leans on synthesis to remove redundant extracted
+// constraints.
+func BenchmarkAblationSynthOpt(b *testing.B) {
+	src, err := arm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]int64{"W": 16}
+	for i := 0; i < b.N; i++ {
+		opt, err := synth.Synthesize(src, arm.Top, synth.Options{TopParams: params})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			raw, err := synth.Synthesize(src, arm.Top, synth.Options{TopParams: params, NoOptimize: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(raw.Netlist.NumGates()), "gates-unoptimized")
+			b.ReportMetric(float64(opt.Netlist.NumGates()), "gates-optimized")
+		}
+	}
+}
+
+// BenchmarkAblationPIER compares transformed-module ATPG coverage with
+// and without PIER exposure (composed extraction in both arms).
+func BenchmarkAblationPIER(b *testing.B) {
+	for _, piered := range []bool{false, true} {
+		name := "without"
+		if piered {
+			name = "with"
+		}
+		b.Run(name, func(b *testing.B) {
+			ctx := benchContext(b)
+			for i := 0; i < b.N; i++ {
+				ext := core.NewExtractor(ctx.Design, core.ModeComposed)
+				tr, err := core.Transform(ext, "u_core.u_alu", ctx.Full, core.TransformOptions{
+					TopParams:   map[string]int64{"W": 16},
+					EnablePIERs: piered,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				faults := fault.UniverseRestrictedTo(tr.Netlist, tr.MUTFaultFilter())
+				res := atpg.New(tr.Netlist, atpg.Options{
+					Seed: 1, TimeBudget: benchBudget, MaxFrames: 8, BacktrackLimit: 200,
+				}).Run(faults)
+				if i == 0 {
+					b.ReportMetric(res.Coverage(), "coverage-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompositionReuse isolates the constraint cache: the
+// same four extractions with and without reuse.
+func BenchmarkAblationCompositionReuse(b *testing.B) {
+	ctx := benchContext(b)
+	b.Run("shared-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ext := core.NewExtractor(ctx.Design, core.ModeComposed)
+			for _, mut := range arm.MUTs() {
+				if _, err := ext.Extract(mut.Path); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if i == 0 {
+				b.ReportMetric(float64(ext.CacheHits), "cache-hits")
+			}
+		}
+	})
+	b.Run("no-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, mut := range arm.MUTs() {
+				ext := core.NewExtractor(ctx.Design, core.ModeFlat)
+				if _, err := ext.Extract(mut.Path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCompaction measures reverse-order static compaction
+// of a full ATPG test set for the stand-alone ALU.
+func BenchmarkAblationCompaction(b *testing.B) {
+	res, err := arm.SynthesizeModule("arm_alu", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(res.Netlist)
+	run := atpg.New(res.Netlist, atpg.Options{Seed: 1, TimeBudget: benchBudget}).Run(faults)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compacted, cr := atpg.Compact(res.Netlist, faults, run.Tests)
+		if i == 0 {
+			b.ReportMetric(float64(cr.Before), "seqs-before")
+			b.ReportMetric(float64(cr.After), "seqs-after")
+			if got := atpg.Validate(res.Netlist, faults, compacted); got != run.Result.NumDetected() {
+				b.Fatalf("compaction lost coverage: %d != %d", got, run.Result.NumDetected())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFrameDepth sweeps the time-frame budget: the
+// sequential-depth knob that the PIERs relieve.
+func BenchmarkAblationFrameDepth(b *testing.B) {
+	res, err := arm.SynthesizeModule("regfile_struct", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(res.Netlist)
+	for _, frames := range []int{1, 2, 4, 8} {
+		b.Run(frameName(frames), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := atpg.New(res.Netlist, atpg.Options{
+					Seed: 1, TimeBudget: benchBudget, MaxFrames: frames, BacktrackLimit: 100,
+				}).Run(faults)
+				if i == 0 {
+					b.ReportMetric(r.Coverage(), "coverage-%")
+				}
+			}
+		})
+	}
+}
+
+func frameName(n int) string {
+	return "frames-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for n > 0 {
+		p--
+		buf[p] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,174 @@
+// Command atpg runs the sequential test generator on a Verilog module:
+// random-phase fault simulation followed by PODEM with time-frame
+// expansion, reporting fault coverage, ATPG efficiency and run time —
+// the role the commercial ATPG tool plays in the FACTOR flow.
+//
+// Usage:
+//
+//	atpg [-design file.v] [-top module] [-budget 10s] [-frames N]
+//	     [-scope prefix] [-v]
+//
+// Without -design the built-in ARM benchmark SoC is used (-top selects
+// any of its modules; default is the full chip). -scope restricts the
+// fault list to gates of one instance subtree (e.g. -scope u_core.u_alu).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/atpg"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+func main() {
+	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
+	top := flag.String("top", "", "module to test (default: arm, the full chip)")
+	width := flag.Int("width", 16, "datapath width parameter W (built-in design)")
+	budget := flag.Duration("budget", 10*time.Second, "time budget")
+	frames := flag.Int("frames", 0, "time-frame budget (0 = derive from sequential depth)")
+	backtracks := flag.Int("backtracks", 0, "PODEM backtrack limit (0 = default)")
+	seed := flag.Int64("seed", 1, "random-phase seed")
+	scope := flag.String("scope", "", "restrict faults to this instance subtree")
+	verbose := flag.Bool("v", false, "list undetected faults")
+	dump := flag.String("dump", "", "write the generated test sequences to this file")
+	compact := flag.Bool("compact", false, "statically compact the test set (reverse-order fault simulation)")
+	flag.Parse()
+
+	nl, err := loadNetlist(*designFile, *top, *width)
+	if err != nil {
+		fatal(err)
+	}
+	stats := nl.ComputeStats()
+	fmt.Printf("circuit %s: %d gates, %d DFFs, %d PIs, %d POs, seq depth %d\n",
+		stats.Name, stats.Gates, stats.DFFs, stats.PIs, stats.POs, stats.SeqDeep)
+
+	var faults []fault.Fault
+	if *scope != "" {
+		prefix := *scope + "."
+		faults = fault.UniverseRestrictedTo(nl, func(g *netlist.Gate) bool {
+			return strings.HasPrefix(g.Scope, prefix)
+		})
+	} else {
+		faults = fault.Universe(nl)
+	}
+	fmt.Printf("targeting %d collapsed stuck-at faults\n", len(faults))
+
+	eng := atpg.New(nl, atpg.Options{
+		Seed:           *seed,
+		TimeBudget:     *budget,
+		MaxFrames:      *frames,
+		BacktrackLimit: *backtracks,
+	})
+	start := time.Now()
+	res := eng.Run(faults)
+	elapsed := time.Since(start)
+
+	fmt.Printf("fault coverage:   %6.2f%% (%d/%d)\n", res.Coverage(), res.Result.NumDetected(), len(faults))
+	fmt.Printf("ATPG efficiency:  %6.2f%%\n", res.Efficiency())
+	fmt.Printf("random detected:  %d, deterministic: %d, untestable: %d, aborted: %d, not attempted: %d\n",
+		res.DetectedRandom, res.DetectedDet, res.UntestableNum, res.AbortedNum, res.NotAttempted)
+	fmt.Printf("tests: %d sequences; time: random %v + deterministic %v = %v\n",
+		len(res.Tests), res.RandomTime.Round(time.Millisecond),
+		res.DetTime.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+
+	tests := res.Tests
+	if *compact {
+		var cr atpg.CompactResult
+		tests, cr = atpg.Compact(nl, faults, tests)
+		fmt.Printf("compaction: %d -> %d sequences (%d -> %d cycles), coverage retained at %d faults\n",
+			cr.Before, cr.After, cr.CyclesIn, cr.CyclesOut, cr.Coverage)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		header := fmt.Sprintf("circuit %s: %d sequences, %.2f%% fault coverage", stats.Name, len(tests), res.Coverage())
+		if err := fault.WriteSequences(f, tests, header); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d sequences to %s\n", len(tests), *dump)
+	}
+
+	if *verbose {
+		for i, det := range res.Result.Detected {
+			if !det {
+				f := faults[i]
+				g := nl.Gates[f.Gate]
+				fmt.Printf("undetected: %v (%s %s%s)\n", f, g.Kind, g.Scope, g.Name)
+			}
+		}
+	}
+}
+
+func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
+	var src *verilog.SourceFile
+	var err error
+	params := map[string]int64{}
+	if file == "" {
+		src, err = arm.Parse()
+		if err != nil {
+			return nil, err
+		}
+		if top == "" {
+			top = arm.Top
+		}
+		if hasWidthParam(src, top) {
+			params["W"] = int64(width)
+		}
+	} else {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		src, err = verilog.Parse(file, string(data))
+		if err != nil {
+			return nil, err
+		}
+		if top == "" {
+			if len(src.Modules) == 0 {
+				return nil, fmt.Errorf("%s: no modules", file)
+			}
+			top = src.Modules[0].Name
+		}
+	}
+	res, err := synth.Synthesize(src, top, synth.Options{TopParams: params})
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "atpg:", w)
+	}
+	return res.Netlist, nil
+}
+
+func hasWidthParam(src *verilog.SourceFile, top string) bool {
+	m := src.Module(top)
+	if m == nil {
+		return false
+	}
+	for _, pd := range m.Params() {
+		for _, n := range pd.Names {
+			if n == "W" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command benchtables regenerates the evaluation tables of the FACTOR
+// paper (DATE 2002) on the built-in ARM2-class benchmark SoC.
+//
+// Usage:
+//
+//	benchtables [-table N] [-width W] [-budget D] [-seed S]
+//
+// With no -table flag all six tables are produced in order. Table 4
+// (raw chip-level ATPG) is the slowest by design: it demonstrates the
+// problem the methodology solves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"factor/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1-6, 0 = all)")
+	width := flag.Int("width", 16, "datapath width of the benchmark SoC")
+	budget := flag.Duration("budget", 10*time.Second, "ATPG time budget per module")
+	seed := flag.Int64("seed", 1, "ATPG random seed")
+	frames := flag.Int("frames", 8, "time-frame budget for sequential ATPG")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Width:      *width,
+		ATPGBudget: *budget,
+		Seed:       *seed,
+		MaxFrames:  *frames,
+	}
+	ctx, err := bench.NewContext(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark design: %d gates, %d DFFs (W=%d); full synthesis %v\n\n",
+		ctx.Full.NumGates(), len(ctx.Full.DFFs), *width, ctx.FullSynthTime.Round(time.Millisecond))
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			rows, err := ctx.Table1()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable1(rows))
+		case 2:
+			rows, err := ctx.Table2()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable23("Table 2. Transformed Module Without Composition", rows))
+		case 3:
+			rows, err := ctx.Table3()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable23("Table 3. Transformed Module With Composition", rows))
+		case 4:
+			rows, err := ctx.Table4()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable4(rows))
+		case 5:
+			rows, err := ctx.Table5()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable56("Table 5. Test Gen. Without Composition", rows))
+		case 6:
+			rows, err := ctx.Table6()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(bench.FormatTable56("Table 6. Test Gen. With Composition", rows))
+		default:
+			fatal(fmt.Errorf("unknown table %d", n))
+		}
+	}
+
+	if *table != 0 {
+		run(*table)
+		return
+	}
+	for n := 1; n <= 6; n++ {
+		run(n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

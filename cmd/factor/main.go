@@ -1,0 +1,138 @@
+// Command factor is the FACTOR constraint extractor: it reads a
+// Verilog design, extracts the functional constraints surrounding a
+// module under test, and writes the transformed module (MUT + virtual
+// environment) as synthesizable Verilog.
+//
+// Usage:
+//
+//	factor -mut <instance.path> [-design file.v] [-top name]
+//	       [-mode flat|composed] [-piers] [-o out.v] [-stats]
+//
+// Without -design the built-in ARM2-class benchmark SoC is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/core"
+	"factor/internal/design"
+	"factor/internal/verilog"
+)
+
+func main() {
+	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
+	top := flag.String("top", "", "top module (default: first module, or 'arm' for the built-in design)")
+	mut := flag.String("mut", "", "hierarchical instance path of the module under test (required)")
+	mode := flag.String("mode", "composed", "extraction mode: flat | composed")
+	piers := flag.Bool("piers", false, "identify PIERs and add load/observe points to the netlist view")
+	out := flag.String("o", "", "write the transformed Verilog here (default stdout)")
+	outDir := flag.String("dir", "", "write one file per module into this directory (the paper's \"retains the original directory structure\")")
+	stats := flag.Bool("stats", true, "print extraction statistics to stderr")
+	width := flag.Int("width", 16, "datapath width parameter W (built-in design)")
+	flag.Parse()
+
+	if *mut == "" {
+		fmt.Fprintln(os.Stderr, "factor: -mut is required (e.g. -mut u_core.u_alu)")
+		os.Exit(2)
+	}
+
+	src, topName, params, err := loadDesign(*designFile, *top, *width)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := design.Analyze(src, topName)
+	if err != nil {
+		fatal(err)
+	}
+	m := core.ModeComposed
+	if *mode == "flat" {
+		m = core.ModeFlat
+	} else if *mode != "composed" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	ext := core.NewExtractor(d, m)
+	start := time.Now()
+	tr, err := core.Transform(ext, *mut, nil, core.TransformOptions{
+		TopParams:   params,
+		EnablePIERs: *piers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, m := range tr.Source.Modules {
+			path := *outDir + "/" + m.Name + ".v"
+			if err := os.WriteFile(path, []byte(verilog.Print(m)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "factor: wrote %d module files to %s\n", len(tr.Source.Modules), *outDir)
+	} else {
+		text := verilog.PrintFile(tr.Source)
+		if *out == "" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "factor: MUT %s (%s), mode %s\n", tr.MUTModule, tr.MUTPath, tr.Mode)
+		fmt.Fprintf(os.Stderr, "  transformed top: %s\n", tr.TopName)
+		fmt.Fprintf(os.Stderr, "  MUT gates: %d, environment gates: %d\n", tr.MUTGates, tr.EnvGates)
+		fmt.Fprintf(os.Stderr, "  interface: %d PIs, %d POs\n", tr.PIs, tr.POs)
+		fmt.Fprintf(os.Stderr, "  PIERs: %d\n", len(tr.PIERs))
+		fmt.Fprintf(os.Stderr, "  extraction %v (%d work items), synthesis %v, total %v\n",
+			tr.ExtractTime.Round(time.Microsecond), tr.WorkItems,
+			tr.SynthTime.Round(time.Microsecond), elapsed.Round(time.Microsecond))
+		for _, dg := range tr.Diags {
+			fmt.Fprintf(os.Stderr, "  testability: %s\n", dg)
+		}
+		for _, w := range tr.Warnings {
+			fmt.Fprintf(os.Stderr, "  synth: %s\n", w)
+		}
+	}
+}
+
+func loadDesign(file, top string, width int) (*verilog.SourceFile, string, map[string]int64, error) {
+	if file == "" {
+		src, err := arm.Parse()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if top == "" {
+			top = arm.Top
+		}
+		return src, top, map[string]int64{"W": int64(width)}, nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	src, err := verilog.Parse(file, string(data))
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if top == "" {
+		if len(src.Modules) == 0 {
+			return nil, "", nil, fmt.Errorf("%s: no modules", file)
+		}
+		top = src.Modules[0].Name
+	}
+	return src, top, nil, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "factor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package factor is a from-scratch Go reproduction of "FACTOR: A
+// Hierarchical Methodology for Functional Test Generation and
+// Testability Analysis" (Vedula & Abraham, DATE 2002).
+//
+// The implementation lives under internal/: a Verilog front end
+// (internal/verilog), the def-use analysis data structure
+// (internal/design), RTL-to-gate synthesis (internal/synth), logic and
+// fault simulation (internal/sim, internal/fault), a sequential PODEM
+// ATPG engine (internal/atpg), the FACTOR constraint extractor,
+// composer, PIER identifier and testability analyzer (internal/core),
+// chip-level pattern translation (internal/translate), the ARM2-class
+// benchmark SoC (internal/arm) and the experiment harness
+// (internal/bench). Command-line tools are under cmd/ and runnable
+// examples under examples/.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmarks in bench_test.go
+// regenerate every table of the paper's evaluation.
+package factor

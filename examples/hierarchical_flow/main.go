@@ -1,0 +1,86 @@
+// Hierarchical flow: constraint composition and reuse across several
+// modules under test — the paper's improvement over flat extraction.
+//
+// One composed extractor processes all four MUTs of the benchmark SoC;
+// module-local constraint slices computed for earlier MUTs are reused
+// for later ones (watch the cache hit rate climb), exactly the reuse
+// the paper credits for the lower extraction times of Table 3. The
+// same four extractions are repeated with a flat extractor for
+// contrast.
+//
+// Run with: go run ./examples/hierarchical_flow
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/core"
+	"factor/internal/design"
+	"factor/internal/synth"
+)
+
+func main() {
+	src, err := arm.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := design.Analyze(src, arm.Top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := map[string]int64{"W": 16}
+	full, err := synth.Synthesize(src, arm.Top, synth.Options{TopParams: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== composed extraction (one extractor, constraints reused) ===")
+	composed := core.NewExtractor(d, core.ModeComposed)
+	var composedTotal time.Duration
+	for _, mut := range arm.MUTs() {
+		tr, err := core.Transform(composed, mut.Path, full.Netlist, core.TransformOptions{TopParams: params})
+		if err != nil {
+			log.Fatal(err)
+		}
+		composedTotal += tr.ExtractTime
+		fmt.Printf("%-16s extract %-10v env %4d gates (%.1f%% reduction)  cache: %d hits / %d misses\n",
+			mut.Module, tr.ExtractTime.Round(time.Microsecond), tr.EnvGates, tr.GateReductionPct,
+			composed.CacheHits, composed.CacheMisses)
+	}
+
+	fmt.Println("\n=== flat extraction (no composition, no reuse) ===")
+	var flatTotal time.Duration
+	for _, mut := range arm.MUTs() {
+		flat := core.NewExtractor(d, core.ModeFlat)
+		tr, err := core.Transform(flat, mut.Path, full.Netlist, core.TransformOptions{TopParams: params})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flatTotal += tr.ExtractTime
+		fmt.Printf("%-16s extract %-10v env %4d gates (%.1f%% reduction)  work items: %d\n",
+			mut.Module, tr.ExtractTime.Round(time.Microsecond), tr.EnvGates, tr.GateReductionPct, tr.WorkItems)
+	}
+
+	fmt.Printf("\ntotal extraction time: composed %v vs flat %v\n",
+		composedTotal.Round(time.Microsecond), flatTotal.Round(time.Microsecond))
+	fmt.Println("(the composed extractor also produces tighter environments:",
+		"statement-level slices instead of whole processes)")
+
+	// The emitted constraints are plain synthesizable Verilog; show a
+	// sample of the specialized module roster for the deepest MUT.
+	ex, err := composed.Extract("u_core.u_regbank.u_rf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, topName, err := ex.Emit(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntransformed source for regfile_struct (top %s) contains %d modules:\n", topName, len(out.Modules))
+	for _, m := range out.Modules {
+		fmt.Printf("  module %s (%d ports)\n", m.Name, len(m.Ports))
+	}
+}

@@ -1,0 +1,89 @@
+// Testability audit: FACTOR's pre-ATPG design analysis (paper §4.2).
+//
+// The tool examines every module under test of the benchmark SoC and
+// reports (a) control inputs constrained to hard-coded values — the
+// arm_alu case the paper describes, where 10 of 13 control inputs are
+// decodes of a single alu_op field — and (b) signals with empty def-use
+// or use-def chains, including a deliberately broken design that shows
+// the dead-end traces.
+//
+// Run with: go run ./examples/testability_audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"factor/internal/arm"
+	"factor/internal/core"
+	"factor/internal/design"
+	"factor/internal/verilog"
+)
+
+func main() {
+	src, err := arm.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := design.Analyze(src, arm.Top)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== benchmark SoC: per-module testability ===")
+	for _, mut := range arm.MUTs() {
+		ext := core.NewExtractor(d, core.ModeComposed)
+		ex, err := ext.Extract(mut.Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := core.AnalyzeTestability(d, mut.Path, ex.Diags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.Summary())
+		if len(rep.Constraints) == 0 && len(rep.EmptyChains) == 0 {
+			fmt.Println("  clean: all inputs controllable, all chains complete")
+		}
+		fmt.Println()
+	}
+
+	// A broken design: an undriven select and an unread status output.
+	// FACTOR flags both before any test generation is attempted.
+	fmt.Println("=== deliberately broken design ===")
+	broken := `
+module chip(input clk, input [3:0] in, output [3:0] out);
+  wire sel_floating;
+  wire [3:0] status_unread;
+  filter u_filt (.clk(clk), .din(in), .sel(sel_floating),
+                 .dout(out), .status(status_unread));
+endmodule
+module filter(input clk, input [3:0] din, input sel,
+              output reg [3:0] dout, output [3:0] status);
+  always @(posedge clk) begin
+    if (sel) dout <= din;
+    else dout <= ~din;
+  end
+  assign status = dout ^ din;
+endmodule`
+	bsrc, err := verilog.Parse("broken.v", broken)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd, err := design.Analyze(bsrc, "chip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ext := core.NewExtractor(bd, core.ModeComposed)
+	ex, err := ext.Extract("u_filt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.AnalyzeTestability(bd, "u_filt", ex.Diags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	fmt.Println("\nthe traces above point the designer at the exact nets to fix",
+		"\n(the paper: 'minor alterations to the design to remove the testability bottlenecks')")
+}

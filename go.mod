@@ -1,0 +1,3 @@
+module factor
+
+go 1.22

@@ -1,0 +1,334 @@
+package arm
+
+import (
+	"testing"
+
+	"factor/internal/design"
+)
+
+func TestRTLParses(t *testing.T) {
+	sf, err := Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModules := []string{
+		"arm", "fetch", "decode", "core", "arm_alu", "shifter",
+		"regbank", "regfile_struct", "regdec", "regcell", "exc",
+		"forward", "buscontrol",
+	}
+	for _, m := range wantModules {
+		if sf.Module(m) == nil {
+			t.Errorf("module %s missing", m)
+		}
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	sf, err := Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range MUTs() {
+		node := d.Root.Find(mut.Path)
+		if node == nil {
+			t.Errorf("MUT path %s not found in hierarchy", mut.Path)
+			continue
+		}
+		if node.Module != mut.Module {
+			t.Errorf("path %s is module %s, want %s", mut.Path, node.Module, mut.Module)
+		}
+		if node.Level != mut.Level {
+			t.Errorf("MUT %s level = %d, want %d", mut.Module, node.Level, mut.Level)
+		}
+	}
+	// regfile_struct must be the deepest MUT.
+	deepest := 0
+	for _, mut := range MUTs() {
+		if mut.Level > deepest {
+			deepest = mut.Level
+		}
+	}
+	for _, mut := range MUTs() {
+		if mut.Module == "regfile_struct" && mut.Level != deepest {
+			t.Error("regfile_struct is not the deepest MUT")
+		}
+	}
+}
+
+func TestSynthesizesCleanly(t *testing.T) {
+	res, err := SynthesizeTop(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Warnings {
+		t.Errorf("unexpected synthesis warning: %s", w)
+	}
+	stats := res.Netlist.ComputeStats()
+	if stats.Gates < 1500 {
+		t.Errorf("full processor has only %d gates; expected a substantial design", stats.Gates)
+	}
+	if stats.DFFs < 128 {
+		t.Errorf("DFFs = %d, want >= 128 (the register file alone)", stats.DFFs)
+	}
+	t.Logf("arm W=16: %d gates, %d DFFs, %d PIs, %d POs, depth %d, seq depth %d",
+		stats.Gates, stats.DFFs, stats.PIs, stats.POs, stats.Levels, stats.SeqDeep)
+}
+
+func TestModulesSynthesizeStandalone(t *testing.T) {
+	for _, mut := range MUTs() {
+		res, err := SynthesizeModule(mut.Module, 16)
+		if err != nil {
+			t.Errorf("%s: %v", mut.Module, err)
+			continue
+		}
+		g := res.Netlist.NumGates()
+		if g == 0 {
+			t.Errorf("%s: empty netlist", mut.Module)
+		}
+		t.Logf("%s standalone: %d gates", mut.Module, g)
+	}
+	// regfile_struct must be the biggest MUT (paper Table 1).
+	sizes := map[string]int{}
+	for _, mut := range MUTs() {
+		res, err := SynthesizeModule(mut.Module, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[mut.Module] = res.Netlist.NumGates()
+	}
+	for name, g := range sizes {
+		if name != "regfile_struct" && g >= sizes["regfile_struct"] {
+			t.Errorf("%s (%d gates) >= regfile_struct (%d gates)", name, g, sizes["regfile_struct"])
+		}
+	}
+}
+
+func TestALUControlCount(t *testing.T) {
+	sf, err := Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alu := sf.Module("arm_alu")
+	controls := 0
+	for _, p := range alu.Ports {
+		if p.Dir == 0 /* input */ && p.Width == nil && p.Name != "carry_in" {
+			controls++
+		}
+		if p.Name == "carry_in" {
+			controls++
+		}
+	}
+	// 13 scalar control inputs (a and b are vectors).
+	if controls != 13 {
+		t.Errorf("arm_alu has %d scalar control inputs, want 13", controls)
+	}
+}
+
+// runProgram builds a system, resets it and runs it for n cycles.
+func runProgram(t *testing.T, prog []uint16, cycles int) *System {
+	t.Helper()
+	s, err := NewSystem(16, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Run(cycles)
+	return s
+}
+
+func TestProgramArithmetic(t *testing.T) {
+	// r1 = 5; r2 = r1 + 3; mem[r0+1] = r2  (r0 never written: use store
+	// base r1 to avoid X; mem[5+1] = 8)
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 5), // r1 = 5
+		EncALUImm(OpAdd, 2, 1, 3), // r2 = r1 + 3 = 8
+		EncStore(2, 1, 1),         // mem[r1+1] = r2 -> mem[6] = 8
+	}
+	s := runProgram(t, prog, 16)
+	if len(s.Writes) == 0 {
+		t.Fatal("no memory writes observed")
+	}
+	w := s.Writes[0]
+	if w[0] != 6 || w[1] != 8 {
+		t.Errorf("store: mem[%d] = %d, want mem[6] = 8", w[0], w[1])
+	}
+}
+
+func TestProgramLogicOps(t *testing.T) {
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 6), // r1 = 6
+		EncALUImm(OpMov, 2, 0, 3), // r2 = 3
+		EncALUReg(OpAnd, 3, 1, 2), // r3 = 6 & 3 = 2
+		EncALUReg(OpXor, 4, 1, 2), // r4 = 6 ^ 3 = 5
+		EncALUReg(OpOr, 5, 1, 2),  // r5 = 6 | 3 = 7
+		EncALUReg(OpBic, 6, 1, 2), // r6 = 6 & ~3 = 4
+		EncStore(3, 1, 0),         // mem[6] = 2
+		EncStore(4, 1, 1),         // mem[7] = 5
+		EncStore(5, 1, 2),         // mem[8] = 7
+		EncStore(6, 1, 3),         // mem[9] = 4
+	}
+	s := runProgram(t, prog, 50)
+	want := map[uint64]uint64{6: 2, 7: 5, 8: 7, 9: 4}
+	for addr, val := range want {
+		if got := s.Mem[addr]; got != val {
+			t.Errorf("mem[%d] = %d, want %d", addr, got, val)
+		}
+	}
+}
+
+func TestProgramLoad(t *testing.T) {
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 7), // r1 = 7
+		EncLoad(2, 1, 3),          // r2 = mem[10] = 42
+		EncStore(2, 1, 4),         // mem[11] = r2
+	}
+	s, err := NewSystem(16, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Mem[10] = 42
+	s.Reset()
+	s.Run(20)
+	if got := s.Mem[11]; got != 42 {
+		t.Errorf("mem[11] = %d, want 42 (load-store roundtrip)", got)
+	}
+}
+
+func TestProgramBranchAndFlags(t *testing.T) {
+	// r1 = 3; cmp r1, 3 (Z set); beq +2 skips the poison store.
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 3), // 0: r1 = 3
+		EncALUImm(OpCmp, 0, 1, 3), // 1: cmp r1, 3 -> Z
+		EncBranch(CondEQ, 2),      // 2: beq to 4
+		EncStore(1, 1, 0),         // 3: (skipped) mem[3] = 3
+		EncALUImm(OpMov, 2, 0, 1), // 4: r2 = 1
+		EncStore(2, 1, 1),         // 5: mem[4] = 1
+	}
+	s := runProgram(t, prog, 40)
+	for _, w := range s.Writes {
+		if w[0] == 3 {
+			t.Error("branch not taken: poison store executed")
+		}
+	}
+	if got := s.Mem[4]; got != 1 {
+		t.Errorf("mem[4] = %d, want 1", got)
+	}
+	// Z flag was set by the cmp.
+	prog2 := []uint16{
+		EncALUImm(OpMov, 1, 0, 3),
+		EncALUImm(OpCmp, 0, 1, 3),
+	}
+	s2 := runProgram(t, prog2, 8)
+	flags, known := s2.Flags()
+	if !known {
+		t.Fatal("flags unknown after cmp")
+	}
+	// dbg_flags = {N,Z,C,V}: Z set (bit 2), C set (no borrow, bit 1).
+	if flags&0b0100 == 0 {
+		t.Errorf("Z not set after cmp equal: flags=%04b", flags)
+	}
+}
+
+func TestProgramShift(t *testing.T) {
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 5), // r1 = 5
+		EncALUImm(OpLsl, 2, 1, 2), // r2 = r1 << 2 = 20
+		EncALUImm(OpLsr, 3, 1, 1), // r3 = r1 >> 1 = 2
+		EncStore(2, 1, 0),         // mem[5] = 20
+		EncStore(3, 1, 1),         // mem[6] = 2
+	}
+	s := runProgram(t, prog, 40)
+	if s.Mem[5] != 20 || s.Mem[6] != 2 {
+		t.Errorf("shifts: mem[5]=%d mem[6]=%d, want 20 and 2", s.Mem[5], s.Mem[6])
+	}
+}
+
+func TestSWIVectorsToHandler(t *testing.T) {
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 1), // 0: r1 = 1
+		EncSWI(),                  // 1: swi -> vector 3
+		EncStore(1, 1, 0),         // 2: (skipped) mem[1] = 1
+		EncALUImm(OpMov, 2, 0, 7), // 3: handler: r2 = 7
+		EncStore(2, 1, 2),         // 4: mem[3] = 7
+	}
+	s := runProgram(t, prog, 40)
+	if got := s.Mem[3]; got != 7 {
+		t.Errorf("mem[3] = %d, want 7 (SWI handler ran)", got)
+	}
+	mode, known := s.Mode()
+	if !known || mode != 1 {
+		t.Errorf("mode = %d (known=%v), want 1 (svc)", mode, known)
+	}
+}
+
+func TestIRQVectorsWhenEnabled(t *testing.T) {
+	prog := []uint16{
+		EncALUImm(OpMov, 1, 0, 1), // 0
+		EncALUImm(OpMov, 1, 0, 2), // 1 (loop filler)
+		EncALUImm(OpMov, 1, 0, 3), // 2: irq vector target for vector=2
+		EncALUImm(OpMov, 2, 0, 5), // 3
+		EncStore(2, 1, 0),         // 4: mem[r1+0]
+	}
+	s, err := NewSystem(16, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.Run(3)
+	s.SetIRQ(true)
+	s.Run(8)
+	s.SetIRQ(false)
+	s.Run(20)
+	mode, known := s.Mode()
+	if !known || mode != 2 {
+		t.Errorf("mode = %d (known=%v), want 2 (irq) after interrupt", mode, known)
+	}
+}
+
+func TestUndefinedInstructionRaisesException(t *testing.T) {
+	prog := []uint16{
+		EncUndef(),                // 0: undefined -> vector 4
+		EncALUImm(OpMov, 1, 0, 1), // 1
+		EncALUImm(OpMov, 1, 0, 1), // 2
+		EncALUImm(OpMov, 1, 0, 1), // 3
+		EncALUImm(OpMov, 2, 0, 6), // 4: handler
+		EncStore(2, 2, 0),         // 5: mem[6] = 6
+	}
+	s := runProgram(t, prog, 40)
+	if got := s.Mem[6]; got != 6 {
+		t.Errorf("mem[6] = %d, want 6 (undef handler ran)", got)
+	}
+}
+
+func TestEncodingHelpers(t *testing.T) {
+	if EncALUReg(OpAdd, 1, 2, 3) != 0b000_0000_001_010_011 {
+		t.Errorf("EncALUReg = %016b", EncALUReg(OpAdd, 1, 2, 3))
+	}
+	if EncBranch(CondEQ, -1)&0x1FF != 0x1FF {
+		t.Error("negative branch offset not masked")
+	}
+	if EncSWI()>>13 != 5 || EncUndef()>>13 != 6 {
+		t.Error("class encodings wrong")
+	}
+}
+
+func TestWidthParameterization(t *testing.T) {
+	for _, w := range []int{16, 24, 32} {
+		res, err := SynthesizeTop(w)
+		if err != nil {
+			t.Errorf("W=%d: %v", w, err)
+			continue
+		}
+		// Wider datapath, more gates.
+		if w > 16 {
+			res16, _ := SynthesizeTop(16)
+			if res.Netlist.NumGates() <= res16.Netlist.NumGates() {
+				t.Errorf("W=%d gates (%d) <= W=16 gates (%d)", w, res.Netlist.NumGates(), res16.Netlist.NumGates())
+			}
+		}
+	}
+}

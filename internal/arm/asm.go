@@ -1,0 +1,270 @@
+package arm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small assembly dialect for the benchmark ISA
+// into machine words. One instruction per line; ';' or '//' start a
+// comment; labels end with ':' and may be referenced by branches.
+//
+//	start:
+//	    mov  r1, #5        ; ALU-imm
+//	    add  r2, r1, r3    ; ALU-reg
+//	    lsl  r4, r1, #2    ; shift
+//	    ldr  r5, [r1, #3]
+//	    str  r5, [r1, #4]
+//	    beq  start
+//	    b    start
+//	    swi
+//	    sei  r0            ; interrupt control (rd selects the form)
+//	    undef
+func Assemble(src string) ([]uint16, error) {
+	type pending struct {
+		pc    int
+		cond  int
+		label string
+		line  int
+	}
+	var words []uint16
+	labels := map[string]int{}
+	var fixups []pending
+
+	aluOps := map[string]int{
+		"add": OpAdd, "sub": OpSub, "rsb": OpRsb, "and": OpAnd,
+		"or": OpOr, "orr": OpOr, "xor": OpXor, "eor": OpXor,
+		"bic": OpBic, "cmp": OpCmp,
+		"lsl": OpLsl, "lsr": OpLsr, "asr": OpAsr, "ror": OpRor,
+	}
+	conds := map[string]int{
+		"b": CondAlways, "beq": CondEQ, "bne": CondNE, "bcs": CondCS,
+		"bcc": CondCC, "bmi": CondMI, "bpl": CondPL, "bvs": CondVS,
+		"bvc": CondVC,
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				label := strings.TrimSpace(line[:i])
+				if label == "" || strings.ContainsAny(label, " \t") {
+					return nil, fmt.Errorf("line %d: malformed label %q", lineNo+1, label)
+				}
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+				}
+				labels[label] = len(words)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		op := strings.ToLower(fields[0])
+		args := fields[1:]
+		bad := func(format string, a ...interface{}) error {
+			return fmt.Errorf("line %d: %s: %s", lineNo+1, op, fmt.Sprintf(format, a...))
+		}
+
+		switch {
+		case op == "mov" || op == "mvn":
+			code := OpMov
+			if op == "mvn" {
+				code = OpMvn
+			}
+			if len(args) != 2 {
+				return nil, bad("want rd, (rm|#imm)")
+			}
+			rd, err := reg(args[0])
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			if imm, ok, err := immediate(args[1]); err != nil {
+				return nil, bad("%v", err)
+			} else if ok {
+				words = append(words, EncALUImm(code, rd, 0, imm))
+			} else {
+				rm, err := reg(args[1])
+				if err != nil {
+					return nil, bad("%v", err)
+				}
+				words = append(words, EncALUReg(code, rd, 0, rm))
+			}
+		case op == "cmp":
+			if len(args) != 2 {
+				return nil, bad("want rn, (rm|#imm)")
+			}
+			rn, err := reg(args[0])
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			if imm, ok, err := immediate(args[1]); err != nil {
+				return nil, bad("%v", err)
+			} else if ok {
+				words = append(words, EncALUImm(OpCmp, 0, rn, imm))
+			} else {
+				rm, err := reg(args[1])
+				if err != nil {
+					return nil, bad("%v", err)
+				}
+				words = append(words, EncALUReg(OpCmp, 0, rn, rm))
+			}
+		case aluOps[op] != 0 || op == "add":
+			code := aluOps[op]
+			if len(args) != 3 {
+				return nil, bad("want rd, rn, (rm|#imm)")
+			}
+			rd, err := reg(args[0])
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			rn, err := reg(args[1])
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			if imm, ok, err := immediate(args[2]); err != nil {
+				return nil, bad("%v", err)
+			} else if ok {
+				words = append(words, EncALUImm(code, rd, rn, imm))
+			} else {
+				rm, err := reg(args[2])
+				if err != nil {
+					return nil, bad("%v", err)
+				}
+				words = append(words, EncALUReg(code, rd, rn, rm))
+			}
+		case op == "ldr" || op == "str":
+			if len(args) != 3 || !strings.HasPrefix(args[1], "[") || !strings.HasSuffix(args[2], "]") {
+				return nil, bad("want rd, [rn, #imm]")
+			}
+			rd, err := reg(args[0])
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			rn, err := reg(strings.TrimPrefix(args[1], "["))
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			imm, ok, err := immediate(strings.TrimSuffix(args[2], "]"))
+			if err != nil || !ok {
+				return nil, bad("offset must be #imm")
+			}
+			if op == "ldr" {
+				words = append(words, EncLoad(rd, rn, imm))
+			} else {
+				words = append(words, EncStore(rd, rn, imm))
+			}
+		case conds[op] != 0 || op == "b":
+			if len(args) != 1 {
+				return nil, bad("want label or #offset")
+			}
+			cond := conds[op]
+			if imm, ok, err := immediate(args[0]); err == nil && ok {
+				words = append(words, EncBranch(cond, imm))
+			} else {
+				fixups = append(fixups, pending{pc: len(words), cond: cond, label: args[0], line: lineNo + 1})
+				words = append(words, 0)
+			}
+		case op == "swi":
+			words = append(words, EncSWI())
+		case op == "undef":
+			words = append(words, EncUndef())
+		case op == "sei" || op == "cli":
+			code := OpSei
+			if op == "cli" {
+				code = OpCli
+			}
+			rd := 0
+			imm := 0
+			if len(args) >= 1 {
+				r, err := reg(args[0])
+				if err != nil {
+					return nil, bad("%v", err)
+				}
+				rd = r
+			}
+			if len(args) >= 2 {
+				v, ok, err := immediate(args[1])
+				if err != nil || !ok {
+					return nil, bad("second operand must be #imm")
+				}
+				imm = v
+			}
+			words = append(words, EncALUImm(code, rd, 0, imm))
+		case op == "rfe":
+			// Return from exception: the sei form with rd=2.
+			words = append(words, EncALUImm(OpSei, 2, 0, 0))
+		case op == "nop":
+			words = append(words, EncALUReg(OpAnd, 0, 0, 0))
+		case op == ".word":
+			if len(args) != 1 {
+				return nil, bad("want a value")
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(args[0], "#"), 0, 16)
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			words = append(words, uint16(v))
+		default:
+			return nil, fmt.Errorf("line %d: unknown mnemonic %q", lineNo+1, op)
+		}
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		words[f.pc] = EncBranch(f.cond, target-f.pc)
+	}
+	return words, nil
+}
+
+func reg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 7 {
+		return 0, fmt.Errorf("bad register %q (r0..r7)", s)
+	}
+	return n, nil
+}
+
+func immediate(s string) (int, bool, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseInt(s[1:], 0, 32)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad immediate %q", s)
+	}
+	return int(v), true, nil
+}
+
+// MustAssemble panics on error (tests and examples).
+func MustAssemble(src string) []uint16 {
+	w, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

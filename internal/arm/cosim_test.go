@@ -1,0 +1,295 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cosim runs a program on both the gate-level processor and the golden
+// instruction-level model and compares the memory write streams and
+// final flags. The gate-level model is stepped 3 cycles per
+// ALU/branch/swi instruction and 4 per load/store, matching the
+// multicycle state machine.
+func cosim(t *testing.T, prog []uint16, instrs int) {
+	t.Helper()
+	sys, err := NewSystem(16, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Reset()
+	g := NewGolden(16, prog)
+
+	for i := 0; i < instrs; i++ {
+		instr := uint16(g.Mem[g.PC])
+		cls := int(instr >> 13)
+		cycles := 3
+		if cls == ClsLoad || cls == ClsStore {
+			cycles = 4
+		}
+		g.StepInstr(false, false)
+		sys.Run(cycles)
+	}
+
+	if len(sys.Writes) != len(g.Writes) {
+		t.Fatalf("write streams diverge: gate-level %d writes %v, golden %d writes %v",
+			len(sys.Writes), sys.Writes, len(g.Writes), g.Writes)
+	}
+	for i := range g.Writes {
+		if sys.Writes[i] != g.Writes[i] {
+			t.Fatalf("write %d: gate-level %v, golden %v", i, sys.Writes[i], g.Writes[i])
+		}
+	}
+	if g.FlagsKnown {
+		flags, known := sys.Flags()
+		if !known {
+			t.Fatalf("gate-level flags unknown, golden knows %v%v%v%v", g.N, g.Z, g.C, g.V)
+		}
+		want := b2u(g.N)<<3 | b2u(g.Z)<<2 | b2u(g.C)<<1 | b2u(g.V)
+		if flags != want {
+			t.Fatalf("flags: gate-level %04b, golden %04b", flags, want)
+		}
+	}
+	mode, known := sys.Mode()
+	if known && mode != g.Mode {
+		t.Fatalf("mode: gate-level %d, golden %d", mode, g.Mode)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestCosimHandwrittenPrograms(t *testing.T) {
+	programs := [][]uint16{
+		MustAssemble(`
+			mov r1, #5
+			mov r2, #3
+			add r3, r1, r2
+			str r3, [r1, #2]
+			sub r4, r1, r2
+			str r4, [r1, #3]`),
+		MustAssemble(`
+			mov r1, #7
+			lsl r2, r1, #3
+			str r2, [r1, #0]
+			lsr r3, r2, #2
+			str r3, [r1, #1]
+			ror r4, r1, #1
+			str r4, [r1, #2]`),
+		MustAssemble(`
+			mov r1, #4
+			cmp r1, #4
+			beq skip
+			str r1, [r1, #0]
+		skip:
+			mov r2, #1
+			str r2, [r1, #1]`),
+		MustAssemble(`
+			mov r1, #6
+			mvn r2, r1
+			bic r3, r2, r1
+			xor r4, r3, r2
+			str r4, [r1, #1]
+			cmp r4, r3
+			bne out
+			str r1, [r1, #2]
+		out:
+			nop`),
+		MustAssemble(`
+			mov r1, #2
+			swi            ; vectors to 3
+			str r1, [r1, #5]
+			mov r2, #1     ; swi handler lands here (vector 3)
+			str r2, [r1, #4]
+			rfe
+			nop`),
+	}
+	for i, prog := range programs {
+		prog := prog
+		t.Run(string(rune('a'+i)), func(t *testing.T) {
+			cosim(t, prog, 24)
+		})
+	}
+}
+
+// TestCosimRandomPrograms generates random straight-line programs over
+// the safe subset (registers written before read, flags set before
+// conditional branches, forward branches only) and co-simulates them.
+func TestCosimRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 25; trial++ {
+		prog, n := randomProgram(rng)
+		t.Logf("trial %d: %d instructions", trial, len(prog))
+		cosim(t, prog, n)
+	}
+}
+
+// randomProgram builds a random program and returns it with the number
+// of instruction steps to co-simulate.
+func randomProgram(rng *rand.Rand) ([]uint16, int) {
+	var prog []uint16
+	known := []int{} // registers with known values
+	flagsSet := false
+
+	pick := func() int { return known[rng.Intn(len(known))] }
+
+	// r7 is the data base register (7 << 5 = 224), far above the
+	// program so stores never modify instruction memory (self-modifying
+	// code would make instruction fetch, and then the flags, unknown).
+	prog = append(prog,
+		EncALUImm(OpMov, 7, 0, 7),
+		EncALUImm(OpLsl, 7, 7, 5),
+	)
+
+	// Seed a few registers (r1..r6; r7 stays the data base).
+	seeds := 2 + rng.Intn(3)
+	for i := 0; i < seeds; i++ {
+		rd := rng.Intn(6) + 1
+		prog = append(prog, EncALUImm(OpMov, rd, 0, rng.Intn(8)))
+		known = appendUnique(known, rd)
+	}
+
+	steps := 12 + rng.Intn(16)
+	for len(prog) < steps {
+		switch rng.Intn(10) {
+		case 0, 1: // ALU reg-reg
+			rd := rng.Intn(6) + 1
+			prog = append(prog, EncALUReg(rng.Intn(9), rd, pick(), pick()))
+			known = appendUnique(known, rd)
+			flagsSet = true
+		case 2, 3: // ALU imm
+			rd := rng.Intn(6) + 1
+			prog = append(prog, EncALUImm(rng.Intn(9), rd, pick(), rng.Intn(8)))
+			known = appendUnique(known, rd)
+			flagsSet = true
+		case 4: // shift
+			rd := rng.Intn(6) + 1
+			op := OpLsl + rng.Intn(4)
+			prog = append(prog, EncALUImm(op, rd, pick(), rng.Intn(8)))
+			known = appendUnique(known, rd)
+		case 5: // store (also the observation mechanism)
+			prog = append(prog, EncStore(pick(), 7, rng.Intn(8)))
+		case 6: // load
+			rd := rng.Intn(6) + 1
+			prog = append(prog, EncLoad(rd, 7, rng.Intn(8)))
+			known = appendUnique(known, rd)
+		case 7: // cmp
+			prog = append(prog, EncALUImm(OpCmp, 0, pick(), rng.Intn(8)))
+			flagsSet = true
+		case 8: // forward conditional branch
+			if !flagsSet {
+				continue
+			}
+			off := 1 + rng.Intn(2)
+			cond := 1 + rng.Intn(8)
+			prog = append(prog, EncBranch(cond, off))
+			// Fill the potentially skipped slots with stores so a
+			// wrong branch decision is visible.
+			for i := 0; i < off-1; i++ {
+				prog = append(prog, EncStore(pick(), 7, rng.Intn(8)))
+			}
+		case 9: // interrupt mask play (no interrupts are raised)
+			if rng.Intn(2) == 0 {
+				prog = append(prog, EncALUImm(OpSei, 1, 0, rng.Intn(4)))
+			} else {
+				prog = append(prog, EncALUImm(OpCli, 1, 0, rng.Intn(4)))
+			}
+		}
+	}
+	// Terminate with stores of every known register (full observation).
+	for _, r := range known {
+		prog = append(prog, EncStore(r, 7, rng.Intn(8)))
+	}
+	return prog, len(prog)
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func TestAssembler(t *testing.T) {
+	prog, err := Assemble(`
+	start:
+		mov  r1, #5
+		add  r2, r1, r3
+		ldr  r4, [r1, #3]
+		str  r4, [r2, #0]
+		cmp  r1, #5
+		beq  start
+		b    end
+		swi
+	end:
+		nop`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{
+		EncALUImm(OpMov, 1, 0, 5),
+		EncALUReg(OpAdd, 2, 1, 3),
+		EncLoad(4, 1, 3),
+		EncStore(4, 2, 0),
+		EncALUImm(OpCmp, 0, 1, 5),
+		EncBranch(CondEQ, -5),
+		EncBranch(CondAlways, 2),
+		EncSWI(),
+		EncALUReg(OpAnd, 0, 0, 0),
+	}
+	if len(prog) != len(want) {
+		t.Fatalf("assembled %d words, want %d", len(prog), len(want))
+	}
+	for i := range want {
+		if prog[i] != want[i] {
+			t.Errorf("word %d: %#x, want %#x", i, prog[i], want[i])
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frob r1, r2",
+		"mov r9, #1",
+		"mov r1",
+		"ldr r1, r2, #3",
+		"b nowhere",
+		"dup: nop\ndup: nop",
+		"mov r1, #xyz",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestGoldenBankedRegisters(t *testing.T) {
+	// Enter FIQ-like mode via swi (svc banks r6-r7): write r6 in svc
+	// mode, return, and verify user r6 is untouched.
+	prog := MustAssemble(`
+		mov r6, #5
+		swi            ; -> vector 3 (svc mode)
+		str r6, [r6, #0]   ; after return: mem[5] = 5
+		mov r1, #1
+		mov r6, #7     ; svc r6 (banked)
+		rfe
+		nop`)
+	// Layout check: vector 3 must land on "mov r1, #1"? Assemble
+	// sequentially: 0 mov, 1 swi, 2 str, 3 mov r1, 4 mov r6, 5 rfe.
+	g := NewGolden(16, prog)
+	for i := 0; i < 8; i++ {
+		g.StepInstr(false, false)
+	}
+	if v, known := g.readReg(6); !known || v != 5 {
+		t.Errorf("user r6 = %d (known=%v), want 5 (banked write leaked)", v, known)
+	}
+	if g.Mode != 0 {
+		t.Errorf("mode = %d, want 0 after rfe", g.Mode)
+	}
+}

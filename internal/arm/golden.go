@@ -1,0 +1,311 @@
+package arm
+
+// Golden is an instruction-level reference model of the benchmark ISA,
+// used to cross-check the gate-level processor by co-simulation: both
+// models execute the same program and must agree on every memory write
+// and on the architectural state the chip exposes.
+//
+// The model mirrors the RTL's architectural behavior, including the
+// quirks: registers power up unknown (modeled as "known" bitmask),
+// flags update on every ALU-class instruction except shifts and
+// sei/cli, exceptions vector at the end of EXEC, and the register bank
+// switches by mode (FIQ banks r4-r7, SVC/IRQ bank r6-r7).
+type Golden struct {
+	W    int // datapath width
+	mask uint64
+
+	Regs       [16]uint64 // physical registers
+	RegKnown   [16]bool
+	PC         uint64
+	N, Z, C, V bool
+	IE         bool
+	FlagsKnown bool
+
+	Mode      uint64 // 0 user, 1 svc, 2 irq, 3 fiq
+	SavedMode uint64
+	Cause     uint64
+	Busy      bool // in-service flag
+	MaskIRQ   bool
+	MaskFIQ   bool
+	irqPend   bool
+	fiqPend   bool
+
+	Mem map[uint64]uint64
+	// Writes records stores in order, as (addr, data).
+	Writes [][2]uint64
+}
+
+// NewGolden builds a reset-state reference model with the program
+// loaded at address zero.
+func NewGolden(width int, program []uint16) *Golden {
+	g := &Golden{
+		W:          width,
+		mask:       (uint64(1) << uint(width)) - 1,
+		IE:         true,
+		FlagsKnown: true,
+		MaskIRQ:    true,
+		MaskFIQ:    true,
+		Mem:        map[uint64]uint64{},
+	}
+	for i, ins := range program {
+		g.Mem[uint64(i)] = uint64(ins)
+	}
+	return g
+}
+
+// phys maps an architectural register to the banked physical register
+// under the current mode (mirrors regbank).
+func (g *Golden) phys(arch int) int {
+	fiq := g.Mode == 3
+	priv := g.Mode == 1 || g.Mode == 2
+	if fiq && arch >= 4 {
+		return 8 + arch
+	}
+	if priv && arch >= 6 {
+		return 8 + arch
+	}
+	return arch
+}
+
+func (g *Golden) readReg(arch int) (uint64, bool) {
+	p := g.phys(arch)
+	return g.Regs[p], g.RegKnown[p]
+}
+
+func (g *Golden) writeReg(arch int, v uint64, known bool) {
+	p := g.phys(arch)
+	g.Regs[p] = v & g.mask
+	g.RegKnown[p] = known
+}
+
+// StepInstr executes one instruction. irq/fiq model the interrupt pins
+// sampled during the instruction (the RTL latches them every cycle;
+// holding a level across an instruction matches holding the pin).
+func (g *Golden) StepInstr(irq, fiq bool) {
+	// Pending flops sample the (masked) pins.
+	takeFIQ := g.fiqPend
+	takeIRQ := g.irqPend
+	g.fiqPend = fiq && g.IE && g.MaskFIQ
+	g.irqPend = irq && g.IE && g.MaskIRQ
+
+	instr := uint16(g.Mem[g.PC&g.mask])
+	cls := int(instr >> 13)
+	aluop := int(instr>>9) & 0xF
+	rd := int(instr>>6) & 7
+	rn := int(instr>>3) & 7
+	rm := int(instr) & 7
+	imm := uint64(instr) & 7
+	broff := int64(instr & 0x1FF)
+	if instr&0x100 != 0 {
+		broff -= 0x200
+	}
+	cond := aluop
+
+	isLoad := cls == ClsLoad
+	isStore := cls == ClsStore
+	isBranch := cls == ClsBranch
+	isSWI := cls == ClsSWI
+	isUndef := cls >= ClsUndef
+	aluClass := cls == ClsALUReg || cls == ClsALUImm
+	usesImm := cls == ClsALUImm || isLoad || isStore
+	isShift := aluClass && aluop >= 10 && aluop <= 13
+
+	// Exception arbitration (exc unit).
+	swi := isSWI
+	undef := isUndef
+	take := takeFIQ || ((takeIRQ || swi || undef) && !g.Busy)
+	var vector uint64
+	var nextMode uint64
+	switch {
+	case takeFIQ:
+		vector, nextMode = 1, 3
+	case takeIRQ:
+		vector, nextMode = 2, 2
+	case swi:
+		vector, nextMode = 3, 1
+	case undef:
+		vector, nextMode = 4, 1
+	}
+
+	// Operand fetch.
+	a, aKnown := g.readReg(rn)
+	storeSrc := rm
+	if isStore {
+		storeSrc = rd
+	}
+	bReg, bRegKnown := g.readReg(storeSrc)
+	b, bKnown := bReg, bRegKnown
+	if usesImm {
+		b, bKnown = imm, true
+	}
+
+	// ALU / shifter.
+	var result uint64
+	resKnown := aKnown && bKnown
+	var fc, fv bool
+	switch {
+	case isShift:
+		amt := imm & 0xF
+		switch aluop {
+		case 10:
+			result = a << amt
+		case 11:
+			result = a >> amt
+		case 12: // asr
+			sign := a >> uint(g.W-1) & 1
+			result = a >> amt
+			if sign == 1 {
+				for i := 0; i < int(amt); i++ {
+					result |= 1 << uint(g.W-1-i)
+				}
+			}
+		case 13: // ror
+			amt %= uint64(g.W)
+			result = (a >> amt) | (a << (uint64(g.W) - amt))
+		}
+		resKnown = aKnown
+	case aluClass:
+		switch aluop {
+		case OpAdd:
+			carry := uint64(0)
+			if g.C {
+				carry = 1
+			}
+			full := a + b + carry
+			result = full
+			fc = full>>uint(g.W) != 0
+			fv = signBit(a, g.W) == signBit(b, g.W) && signBit(full, g.W) != signBit(a, g.W)
+			resKnown = resKnown && g.FlagsKnown
+		case OpSub, OpCmp:
+			full := a + (^b & g.mask) + 1
+			result = full
+			fc = full>>uint(g.W) != 0
+			fv = signBit(a, g.W) != signBit(b, g.W) && signBit(full, g.W) != signBit(a, g.W)
+		case OpRsb:
+			full := b + (^a & g.mask) + 1
+			result = full
+			fc = full>>uint(g.W) != 0
+			fv = signBit(b, g.W) != signBit(a, g.W) && signBit(full, g.W) != signBit(b, g.W)
+		case OpAnd:
+			result = a & b
+		case OpOr:
+			result = a | b
+		case OpXor:
+			result = a ^ b
+		case OpBic:
+			result = a & ^b
+		case OpMov:
+			result = b
+			resKnown = bKnown
+		case OpMvn:
+			result = ^b
+			resKnown = bKnown
+		}
+	}
+	result &= g.mask
+
+	// Memory access.
+	addr := (a + imm) & g.mask
+	memKnown := aKnown
+	var loadVal uint64
+	loadKnown := false
+	if isLoad && memKnown {
+		loadVal = g.Mem[addr] & g.mask
+		loadKnown = true
+	}
+	// The RTL's state machine always completes a store's MEM cycle —
+	// an exception taken in EXEC redirects the PC but does not squash
+	// the bus write.
+	if isStore && memKnown && bRegKnown {
+		g.Mem[addr] = bReg
+		g.Writes = append(g.Writes, [2]uint64{addr, bReg})
+	}
+
+	// Condition evaluation for branches.
+	condOK := false
+	switch cond {
+	case CondAlways:
+		condOK = true
+	case CondEQ:
+		condOK = g.Z
+	case CondNE:
+		condOK = !g.Z
+	case CondCS:
+		condOK = g.C
+	case CondCC:
+		condOK = !g.C
+	case CondMI:
+		condOK = g.N
+	case CondPL:
+		condOK = !g.N
+	case CondVS:
+		condOK = g.V
+	case CondVC:
+		condOK = !g.V
+	}
+
+	// Next PC.
+	switch {
+	case take:
+		g.PC = vector
+	case isBranch && condOK:
+		g.PC = (g.PC + uint64(broff)) & g.mask
+	default:
+		g.PC = (g.PC + 1) & g.mask
+	}
+
+	// Exception unit state.
+	if take {
+		g.SavedMode = g.Mode
+		g.Mode = nextMode
+		g.Cause = vector
+		g.Busy = true
+	} else if aluClass && aluop == OpSei && rd == 2 {
+		g.Mode = g.SavedMode
+		g.Busy = false
+	}
+	// The exc unit applies mask writes independently of take.
+	if aluClass && (aluop == OpSei || aluop == OpCli) && rd == 1 {
+		set := aluop == OpSei
+		if imm&1 != 0 {
+			g.MaskIRQ = set
+		}
+		if imm&2 != 0 {
+			g.MaskFIQ = set
+		}
+	}
+
+	// PSR update (EXEC stage).
+	if take {
+		g.IE = false
+	} else if aluClass {
+		setFlags := !isShift && aluop != OpSei && aluop != OpCli
+		if setFlags && aluop <= OpCmp {
+			g.N = signBit(result, g.W) == 1
+			g.Z = result == 0
+			g.C = fc
+			g.V = fv
+			g.FlagsKnown = resKnown
+		}
+		if aluop == OpSei && rd == 0 {
+			g.IE = true
+		}
+		if aluop == OpCli && rd == 0 {
+			g.IE = false
+		}
+	}
+
+	// Write-back (squashed on exceptions).
+	wbEn := aluClass && aluop != OpCmp && aluop != OpSei && aluop != OpCli
+	if !take {
+		if isLoad && loadKnown {
+			g.writeReg(rd, loadVal, true)
+		} else if isLoad {
+			g.writeReg(rd, 0, false)
+		} else if wbEn {
+			g.writeReg(rd, result, resKnown)
+		}
+	}
+}
+
+func signBit(v uint64, w int) uint64 { return (v >> uint(w-1)) & 1 }

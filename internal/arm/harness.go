@@ -1,0 +1,198 @@
+package arm
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+	"factor/internal/sim"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// Parse returns the parsed AST of the benchmark RTL.
+func Parse() (*verilog.SourceFile, error) {
+	return verilog.Parse("arm.v", Source())
+}
+
+// MinWidth is the smallest legal datapath width: instructions are 16
+// bits and arrive on the memory bus.
+const MinWidth = 16
+
+// SynthesizeTop elaborates the full processor at the given width.
+func SynthesizeTop(width int) (*synth.Result, error) {
+	if width < MinWidth || width > 64 {
+		return nil, fmt.Errorf("arm: width %d out of range (%d..64): instructions are 16 bits wide and ride the data bus", width, MinWidth)
+	}
+	sf, err := Parse()
+	if err != nil {
+		return nil, err
+	}
+	return synth.Synthesize(sf, Top, synth.Options{TopParams: map[string]int64{"W": int64(width)}})
+}
+
+// SynthesizeModule elaborates one module stand-alone.
+func SynthesizeModule(name string, width int) (*synth.Result, error) {
+	sf, err := Parse()
+	if err != nil {
+		return nil, err
+	}
+	params := map[string]int64{}
+	if moduleHasWidthParam(name) {
+		params["W"] = int64(width)
+	}
+	return synth.Synthesize(sf, name, synth.Options{TopParams: params})
+}
+
+func moduleHasWidthParam(name string) bool {
+	switch name {
+	case "exc", "forward", "regdec":
+		return false
+	}
+	return true
+}
+
+// System wraps the synthesized processor with a word-addressed memory
+// so programs can run on the gate-level model.
+type System struct {
+	Netlist *netlist.Netlist
+	Sim     *sim.Simulator
+	Mem     map[uint64]uint64
+	Width   int
+
+	// Writes records every memory store as (addr, data), in order.
+	Writes [][2]uint64
+
+	irq, fiq bool
+}
+
+// NewSystem synthesizes the processor and loads the program at address
+// 0 (one instruction per word).
+func NewSystem(width int, program []uint16) (*System, error) {
+	res, err := SynthesizeTop(width)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Netlist: res.Netlist,
+		Sim:     sim.New(res.Netlist),
+		Mem:     map[uint64]uint64{},
+		Width:   width,
+	}
+	for i, ins := range program {
+		s.Mem[uint64(i)] = uint64(ins)
+	}
+	return s, nil
+}
+
+// SetIRQ and SetFIQ control the interrupt pins.
+func (s *System) SetIRQ(v bool) { s.irq = v }
+
+// SetFIQ controls the fast-interrupt pin.
+func (s *System) SetFIQ(v bool) { s.fiq = v }
+
+// setPort drives a multi-bit input port.
+func (s *System) setPort(name string, value uint64, width int) {
+	for i := 0; i < width; i++ {
+		pi := s.Netlist.PI(fmt.Sprintf("%s[%d]", name, i))
+		if pi < 0 {
+			if width == 1 {
+				pi = s.Netlist.PI(name)
+			}
+			if pi < 0 {
+				panic(fmt.Sprintf("arm: no input %s[%d]", name, i))
+			}
+		}
+		s.Sim.SetInputScalar(pi, sim.Logic((value>>uint(i))&1))
+	}
+}
+
+func (s *System) setBit(name string, v bool) {
+	pi := s.Netlist.PI(name)
+	if pi < 0 {
+		panic("arm: no input " + name)
+	}
+	val := sim.L0
+	if v {
+		val = sim.L1
+	}
+	s.Sim.SetInputScalar(pi, val)
+}
+
+// readPort reads a multi-bit output port; ok is false if any bit is X.
+func (s *System) readPort(name string, width int) (uint64, bool) {
+	var out uint64
+	for i := 0; i < width; i++ {
+		po := s.Netlist.PO(fmt.Sprintf("%s[%d]", name, i))
+		if po < 0 && width == 1 {
+			po = s.Netlist.PO(name)
+		}
+		if po < 0 {
+			panic(fmt.Sprintf("arm: no output %s[%d]", name, i))
+		}
+		v := s.Sim.Value(po).Lane(0)
+		if v == sim.LX {
+			return 0, false
+		}
+		out |= uint64(v) << uint(i)
+	}
+	return out, true
+}
+
+func (s *System) readBit(name string) (bool, bool) {
+	po := s.Netlist.PO(name)
+	if po < 0 {
+		panic("arm: no output " + name)
+	}
+	v := s.Sim.Value(po).Lane(0)
+	return v == sim.L1, v != sim.LX
+}
+
+// Reset holds rst high for two cycles.
+func (s *System) Reset() {
+	for i := 0; i < 2; i++ {
+		s.cycle(true)
+	}
+}
+
+// Step runs one clock cycle (memory handshake included).
+func (s *System) Step() { s.cycle(false) }
+
+func (s *System) cycle(rst bool) {
+	s.setBit("rst", rst)
+	s.setBit("irq", s.irq)
+	s.setBit("fiq", s.fiq)
+	s.setPort("mem_rdata", 0, s.Width)
+	s.Sim.Eval()
+
+	// Memory handshake: if the core reads, supply the word; re-evaluate
+	// so combinational consumers (instruction register D, write-back
+	// mux) see it before the clock edge.
+	rd, rdKnown := s.readBit("mem_rd")
+	addr, addrKnown := s.readPort("mem_addr", s.Width)
+	if rdKnown && rd && addrKnown {
+		s.setPort("mem_rdata", s.Mem[addr], s.Width)
+		s.Sim.Eval()
+	}
+	wr, wrKnown := s.readBit("mem_wr")
+	if wrKnown && wr && addrKnown {
+		data, dataKnown := s.readPort("mem_wdata", s.Width)
+		if dataKnown {
+			s.Mem[addr] = data
+			s.Writes = append(s.Writes, [2]uint64{addr, data})
+		}
+	}
+	s.Sim.Step()
+}
+
+// Run executes n cycles.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Flags returns the NZCV debug output (X bits reported via ok=false).
+func (s *System) Flags() (uint64, bool) { return s.readPort("dbg_flags", 4) }
+
+// Mode returns the processor mode debug output.
+func (s *System) Mode() (uint64, bool) { return s.readPort("dbg_mode", 2) }

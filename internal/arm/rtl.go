@@ -1,0 +1,1185 @@
+// Package arm provides the benchmark design of the reproduction: a
+// from-scratch Verilog RTL model of an ARM2-class multicycle processor
+// with the same module roster, hierarchy depths and testability quirks
+// as the ARM model used in the FACTOR paper (Campenhout's class-project
+// CPU): an `arm_alu` whose 10-of-13 control inputs are hard-coded
+// decodes of a single alu_op field, a deeply embedded structural
+// register file `regfile_struct` (the biggest module), an exception
+// unit `exc` and a forwarding/bypass unit `forward`.
+//
+// The data width W is parameterizable (16 by default) so experiments
+// can trade fidelity against runtime; instructions are fixed at 16
+// bits.
+//
+// Instruction set (16-bit):
+//
+//	[15:13] class: 0 ALU-reg, 1 ALU-imm, 2 LOAD, 3 STORE, 4 BRANCH,
+//	               5 SWI, 6/7 undefined (raise exception)
+//	ALU:    [12:9] alu_op, [8:6] rd, [5:3] rn, [2:0] rm/imm3
+//	        alu_op 0..9: add sub rsb and or xor bic mov mvn cmp
+//	        alu_op 10..13: lsl lsr asr ror (barrel shifter path)
+//	        alu_op 14: sei (enable interrupts), 15: cli (disable)
+//	LOAD:   rd <- mem[Rn + imm3]
+//	STORE:  mem[Rn + imm3] <- Rd
+//	BRANCH: [12:9] condition, [8:0] signed word offset
+//	SWI:    software interrupt
+package arm
+
+import "fmt"
+
+// DefaultWidth is the default datapath width.
+const DefaultWidth = 16
+
+// Source returns the complete Verilog source of the processor.
+func Source() string { return rtl }
+
+// Top is the name of the top-level module.
+const Top = "arm"
+
+// MUT describes one module-under-test of the paper's evaluation.
+type MUT struct {
+	Module string // module name
+	Path   string // hierarchical instance path from the top
+	Level  int    // hierarchy depth (top = 0)
+}
+
+// MUTs lists the four modules the paper evaluates, with their instance
+// paths and hierarchy levels (Table 1's "Hierarchy Level" column).
+func MUTs() []MUT {
+	return []MUT{
+		{Module: "arm_alu", Path: "u_core.u_alu", Level: 2},
+		{Module: "regfile_struct", Path: "u_core.u_regbank.u_rf", Level: 3},
+		{Module: "exc", Path: "u_core.u_exc", Level: 2},
+		{Module: "forward", Path: "u_core.u_fwd", Level: 2},
+	}
+}
+
+// Opcode helpers for building test programs.
+const (
+	ClsALUReg = 0
+	ClsALUImm = 1
+	ClsLoad   = 2
+	ClsStore  = 3
+	ClsBranch = 4
+	ClsSWI    = 5
+	ClsUndef  = 6
+)
+
+// ALU operations.
+const (
+	OpAdd = iota
+	OpSub
+	OpRsb
+	OpAnd
+	OpOr
+	OpXor
+	OpBic
+	OpMov
+	OpMvn
+	OpCmp
+	OpLsl
+	OpLsr
+	OpAsr
+	OpRor
+	OpSei
+	OpCli
+)
+
+// Branch conditions.
+const (
+	CondAlways = 0
+	CondEQ     = 1
+	CondNE     = 2
+	CondCS     = 3
+	CondCC     = 4
+	CondMI     = 5
+	CondPL     = 6
+	CondVS     = 7
+	CondVC     = 8
+)
+
+// EncALUReg encodes an ALU register-register instruction.
+func EncALUReg(op, rd, rn, rm int) uint16 {
+	return uint16(ClsALUReg<<13 | op<<9 | rd<<6 | rn<<3 | rm)
+}
+
+// EncALUImm encodes an ALU register-immediate instruction (imm 0..7).
+func EncALUImm(op, rd, rn, imm int) uint16 {
+	return uint16(ClsALUImm<<13 | op<<9 | rd<<6 | rn<<3 | imm&7)
+}
+
+// EncLoad encodes rd <- mem[rn + imm].
+func EncLoad(rd, rn, imm int) uint16 {
+	return uint16(ClsLoad<<13 | rd<<6 | rn<<3 | imm&7)
+}
+
+// EncStore encodes mem[rn + imm] <- rd.
+func EncStore(rd, rn, imm int) uint16 {
+	return uint16(ClsStore<<13 | rd<<6 | rn<<3 | imm&7)
+}
+
+// EncBranch encodes a conditional branch with a signed 9-bit offset
+// relative to the branch's own address.
+func EncBranch(cond, offset int) uint16 {
+	return uint16(ClsBranch<<13 | cond<<9 | offset&0x1FF)
+}
+
+// EncSWI encodes a software interrupt.
+func EncSWI() uint16 { return uint16(ClsSWI << 13) }
+
+// EncUndef encodes an undefined instruction.
+func EncUndef() uint16 { return uint16(ClsUndef << 13) }
+
+// String renders a MUT for reports.
+func (m MUT) String() string { return fmt.Sprintf("%s (%s, level %d)", m.Module, m.Path, m.Level) }
+
+const rtl = `
+// ARM2-class multicycle processor, FACTOR reproduction benchmark.
+
+module arm #(parameter W = 16) (
+  input clk,
+  input rst,
+  input irq,
+  input fiq,
+  input [W-1:0] mem_rdata,
+  output [W-1:0] mem_addr,
+  output [W-1:0] mem_wdata,
+  output mem_rd,
+  output mem_wr,
+  output [3:0] dbg_flags,
+  output [1:0] dbg_mode,
+  output [3:0] dbg_cause,
+  output dbg_stall,
+  // Peripheral subsystems with their own pins (the rest of the chip
+  // around the processor core).
+  input [W-1:0] mac_a,
+  input [W-1:0] mac_b,
+  input mac_en,
+  input mac_clr,
+  output [W-1:0] mac_out,
+  output mac_ovf,
+  input [W-1:0] tmr_reload,
+  input tmr_en,
+  output tmr_irq,
+  output [W-1:0] tmr_count,
+  input crc_bit,
+  input crc_en,
+  input crc_clr,
+  output [15:0] crc_out,
+  input [7:0] gpio_in,
+  input [7:0] gpio_dirsel,
+  input gpio_we,
+  output [7:0] gpio_out
+);
+  wire [W-1:0] pc;
+  wire [15:0] instr;
+  wire branch_en;
+  wire [W-1:0] branch_target;
+  wire fetch_en;
+
+  wire [2:0] dec_cls;
+  wire [3:0] dec_aluop;
+  wire [2:0] dec_rd, dec_rn, dec_rm;
+  wire [W-1:0] dec_imm;
+  wire [W-1:0] dec_broff;
+  wire [3:0] dec_cond;
+  wire dec_is_load, dec_is_store, dec_is_branch, dec_is_swi, dec_is_undef;
+  wire dec_uses_imm, dec_wb_en, dec_set_flags;
+
+  wire [W-1:0] core_addr, core_wdata;
+  wire core_mem_rd, core_mem_wr;
+  wire [1:0] core_state;
+
+  fetch #(.W(W)) u_fetch (
+    .clk(clk), .rst(rst),
+    .fetch_en(fetch_en),
+    .mem_rdata(mem_rdata),
+    .branch_en(branch_en), .branch_target(branch_target),
+    .pc(pc), .instr(instr)
+  );
+
+  decode #(.W(W)) u_decode (
+    .instr(instr),
+    .cls(dec_cls), .aluop(dec_aluop),
+    .rd(dec_rd), .rn(dec_rn), .rm(dec_rm),
+    .imm(dec_imm), .broff(dec_broff), .cond(dec_cond),
+    .is_load(dec_is_load), .is_store(dec_is_store),
+    .is_branch(dec_is_branch), .is_swi(dec_is_swi), .is_undef(dec_is_undef),
+    .uses_imm(dec_uses_imm), .wb_en(dec_wb_en), .set_flags(dec_set_flags)
+  );
+
+  core #(.W(W)) u_core (
+    .clk(clk), .rst(rst),
+    .irq(irq), .fiq(fiq),
+    .pc(pc),
+    .aluop(dec_aluop), .rd(dec_rd), .rn(dec_rn), .rm(dec_rm),
+    .imm(dec_imm), .broff(dec_broff), .cond(dec_cond),
+    .is_load(dec_is_load), .is_store(dec_is_store),
+    .is_branch(dec_is_branch), .is_swi(dec_is_swi), .is_undef(dec_is_undef),
+    .uses_imm(dec_uses_imm), .wb_en_in(dec_wb_en), .set_flags(dec_set_flags),
+    .mem_rdata(mem_rdata),
+    .addr_out(core_addr), .wdata_out(core_wdata),
+    .mem_rd(core_mem_rd), .mem_wr(core_mem_wr),
+    .state_out(core_state),
+    .branch_en(branch_en), .branch_target(branch_target),
+    .fetch_en(fetch_en),
+    .dbg_flags(dbg_flags), .dbg_mode(dbg_mode), .dbg_cause(dbg_cause),
+    .dbg_stall(dbg_stall)
+  );
+
+  buscontrol #(.W(W)) u_bus (
+    .state(core_state),
+    .pc(pc),
+    .core_addr(core_addr), .core_wdata(core_wdata),
+    .core_rd(core_mem_rd), .core_wr(core_mem_wr),
+    .mem_addr(mem_addr), .mem_wdata(mem_wdata),
+    .mem_rd(mem_rd), .mem_wr(mem_wr)
+  );
+
+  mac #(.W(W)) u_mac (
+    .clk(clk), .rst(rst),
+    .a(mac_a), .b(mac_b), .en(mac_en), .clr(mac_clr),
+    .acc(mac_out), .ovf(mac_ovf)
+  );
+
+  timer #(.W(W)) u_timer (
+    .clk(clk), .rst(rst),
+    .reload(tmr_reload), .en(tmr_en),
+    .irq(tmr_irq), .count(tmr_count)
+  );
+
+  crc16 u_crc (
+    .clk(clk), .rst(rst),
+    .bitin(crc_bit), .en(crc_en), .clr(crc_clr),
+    .crc(crc_out)
+  );
+
+  gpio u_gpio (
+    .clk(clk), .rst(rst),
+    .din(gpio_in), .dirsel(gpio_dirsel), .we(gpio_we),
+    .dout(gpio_out)
+  );
+endmodule
+
+// mac: multiply-accumulate engine (a peripheral subsystem sharing only
+// clock and reset with the processor).
+module mac #(parameter W = 16) (
+  input clk,
+  input rst,
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input en,
+  input clr,
+  output [W-1:0] acc,
+  output ovf
+);
+  reg [W-1:0] acc_r;
+  reg ovf_r;
+  wire [2*W-1:0] prod;
+  assign prod = a * b;
+  wire [W:0] sum;
+  assign sum = {1'b0, acc_r} + {1'b0, prod[W-1:0]};
+  always @(posedge clk) begin
+    if (rst | clr) begin
+      acc_r <= {W{1'b0}};
+      ovf_r <= 1'b0;
+    end
+    else if (en) begin
+      acc_r <= sum[W-1:0];
+      ovf_r <= ovf_r | sum[W] | (|prod[2*W-1:W]);
+    end
+  end
+  assign acc = acc_r;
+  assign ovf = ovf_r;
+endmodule
+
+// timer: free-running down-counter with reload and interrupt.
+module timer #(parameter W = 16) (
+  input clk,
+  input rst,
+  input [W-1:0] reload,
+  input en,
+  output reg irq,
+  output [W-1:0] count
+);
+  reg [W-1:0] cnt;
+  wire zero;
+  assign zero = cnt == {W{1'b0}};
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= {W{1'b1}};
+      irq <= 1'b0;
+    end
+    else if (en) begin
+      if (zero) begin
+        cnt <= reload;
+        irq <= 1'b1;
+      end
+      else begin
+        cnt <= cnt - {{W-1{1'b0}}, 1'b1};
+        irq <= 1'b0;
+      end
+    end
+  end
+  assign count = cnt;
+endmodule
+
+// crc16: serial CRC-16/CCITT engine.
+module crc16 (
+  input clk,
+  input rst,
+  input bitin,
+  input en,
+  input clr,
+  output [15:0] crc
+);
+  reg [15:0] r;
+  wire fb;
+  assign fb = r[15] ^ bitin;
+  always @(posedge clk) begin
+    if (rst | clr)
+      r <= 16'hFFFF;
+    else if (en) begin
+      r <= {r[14:0], 1'b0} ^ {3'b000, fb, 6'b000000, fb, 4'b0000, fb};
+    end
+  end
+  assign crc = r;
+endmodule
+
+// gpio: 8-bit general-purpose I/O with direction select.
+module gpio (
+  input clk,
+  input rst,
+  input [7:0] din,
+  input [7:0] dirsel,
+  input we,
+  output [7:0] dout
+);
+  reg [7:0] out_r, dir_r;
+  always @(posedge clk) begin
+    if (rst) begin
+      out_r <= 8'd0;
+      dir_r <= 8'd0;
+    end
+    else if (we) begin
+      out_r <= din;
+      dir_r <= dirsel;
+    end
+  end
+  assign dout = (out_r & dir_r) | (din & ~dir_r);
+endmodule
+
+// fetch: program counter and instruction register.
+module fetch #(parameter W = 16) (
+  input clk,
+  input rst,
+  input fetch_en,
+  input [W-1:0] mem_rdata,
+  input branch_en,
+  input [W-1:0] branch_target,
+  output [W-1:0] pc,
+  output [15:0] instr
+);
+  reg [W-1:0] pc_r;
+  reg [15:0] instr_r;
+  always @(posedge clk) begin
+    if (rst) begin
+      pc_r <= {W{1'b0}};
+      instr_r <= 16'd0;
+    end
+    else begin
+      if (fetch_en)
+        instr_r <= mem_rdata[15:0];
+      if (branch_en)
+        pc_r <= branch_target;
+    end
+  end
+  assign pc = pc_r;
+  assign instr = instr_r;
+endmodule
+
+// decode: combinational instruction decoder.
+module decode #(parameter W = 16) (
+  input [15:0] instr,
+  output [2:0] cls,
+  output [3:0] aluop,
+  output [2:0] rd,
+  output [2:0] rn,
+  output [2:0] rm,
+  output [W-1:0] imm,
+  output [W-1:0] broff,
+  output [3:0] cond,
+  output is_load,
+  output is_store,
+  output is_branch,
+  output is_swi,
+  output is_undef,
+  output uses_imm,
+  output wb_en,
+  output set_flags
+);
+  assign cls = instr[15:13];
+  assign aluop = instr[12:9];
+  assign rd = instr[8:6];
+  assign rn = instr[5:3];
+  assign rm = instr[2:0];
+  assign imm = {{W-3{1'b0}}, instr[2:0]};
+  assign broff = {{W-9{instr[8]}}, instr[8:0]};
+  assign cond = instr[12:9];
+  assign is_load = cls == 3'd2;
+  assign is_store = cls == 3'd3;
+  assign is_branch = cls == 3'd4;
+  assign is_swi = cls == 3'd5;
+  assign is_undef = (cls == 3'd6) | (cls == 3'd7);
+  assign uses_imm = (cls == 3'd1) | is_load | is_store;
+  // cmp (9), sei (14) and cli (15) do not write a register.
+  assign wb_en = ((cls == 3'd0) | (cls == 3'd1))
+                 & (aluop != 4'd9) & (aluop != 4'd14) & (aluop != 4'd15);
+  assign set_flags = (cls == 3'd0) | (cls == 3'd1);
+endmodule
+
+// core: execute engine. Contains the ALU, barrel shifter, register
+// bank, exception unit, forwarding unit, the PSR and the multicycle
+// state machine.
+module core #(parameter W = 16) (
+  input clk,
+  input rst,
+  input irq,
+  input fiq,
+  input [W-1:0] pc,
+  input [3:0] aluop,
+  input [2:0] rd,
+  input [2:0] rn,
+  input [2:0] rm,
+  input [W-1:0] imm,
+  input [W-1:0] broff,
+  input [3:0] cond,
+  input is_load,
+  input is_store,
+  input is_branch,
+  input is_swi,
+  input is_undef,
+  input uses_imm,
+  input wb_en_in,
+  input set_flags,
+  input [W-1:0] mem_rdata,
+  output [W-1:0] addr_out,
+  output [W-1:0] wdata_out,
+  output mem_rd,
+  output mem_wr,
+  output [1:0] state_out,
+  output branch_en,
+  output [W-1:0] branch_target,
+  output fetch_en,
+  output [3:0] dbg_flags,
+  output [1:0] dbg_mode,
+  output [3:0] dbg_cause,
+  output dbg_stall
+);
+  // State machine: FETCH=0, EXEC=1, MEM=2, WB=3.
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst)
+      state <= 2'd0;
+    else begin
+      case (state)
+        2'd0: state <= 2'd1;
+        2'd1: begin
+          if (is_load | is_store)
+            state <= 2'd2;
+          else
+            state <= 2'd3;
+        end
+        2'd2: state <= 2'd3;
+        default: state <= 2'd0;
+      endcase
+    end
+  end
+  assign state_out = state;
+  assign fetch_en = state == 2'd0;
+
+  // Program status register: N Z C V and the interrupt-enable bit.
+  reg flag_n_r, flag_z_r, flag_c_r, flag_v_r, ie_r;
+
+  // Register bank read/write.
+  wire [W-1:0] rf_rdata_a, rf_rdata_b;
+  wire [W-1:0] wb_data;
+  wire rf_we;
+
+  // Forwarding (write-through bypass) unit.
+  wire fwd_a_en, fwd_b_en, fwd_stall;
+  forward u_fwd (
+    .clk(clk), .rst(rst),
+    .raddr_a(rn), .raddr_b(store_src),
+    .waddr(rd), .we(rf_we), .we_is_load(is_load),
+    .issue(in_exec & is_load), .issue_rd(rd),
+    .fwd_a_en(fwd_a_en), .fwd_b_en(fwd_b_en),
+    .stall(fwd_stall)
+  );
+  assign dbg_stall = fwd_stall;
+
+  // Register sources: operand A is Rn; operand B is Rm or the
+  // immediate. Stores read the store data through port B using rd.
+  wire [2:0] store_src;
+  assign store_src = is_store ? rd : rm;
+
+  regbank #(.W(W)) u_regbank (
+    .clk(clk),
+    .mode(exc_mode),
+    .we(rf_we), .waddr(rd), .wdata(wb_data),
+    .raddr_a(rn), .raddr_b(store_src),
+    .rdata_a(rf_rdata_a), .rdata_b(rf_rdata_b)
+  );
+
+  wire [W-1:0] op_a, op_b_reg, op_b;
+  assign op_a = fwd_a_en ? wb_data : rf_rdata_a;
+  assign op_b_reg = fwd_b_en ? wb_data : rf_rdata_b;
+  assign op_b = uses_imm ? imm : op_b_reg;
+
+  // ALU control decode: ten one-hot operation selects hard-coded from
+  // the single alu_op field (the testability case the paper reports),
+  // plus three controls derived elsewhere (carry_in from the PSR,
+  // invert_b for BIC, pass_zero tied by reset mode).
+  reg alu_add, alu_sub, alu_rsb, alu_and, alu_or;
+  reg alu_xor, alu_bic, alu_mov, alu_mvn, alu_cmp;
+  always @(*) begin
+    alu_add = 1'b0; alu_sub = 1'b0; alu_rsb = 1'b0; alu_and = 1'b0;
+    alu_or = 1'b0; alu_xor = 1'b0; alu_bic = 1'b0; alu_mov = 1'b0;
+    alu_mvn = 1'b0; alu_cmp = 1'b0;
+    case (aluop)
+      4'd0: alu_add = 1'b1;
+      4'd1: alu_sub = 1'b1;
+      4'd2: alu_rsb = 1'b1;
+      4'd3: alu_and = 1'b1;
+      4'd4: alu_or = 1'b1;
+      4'd5: alu_xor = 1'b1;
+      4'd6: alu_bic = 1'b1;
+      4'd7: alu_mov = 1'b1;
+      4'd8: alu_mvn = 1'b1;
+      4'd9: alu_cmp = 1'b1;
+      default: alu_add = 1'b0;
+    endcase
+  end
+
+  wire alu_invert_b;
+  assign alu_invert_b = alu_bic;
+  wire alu_pass_zero;
+  assign alu_pass_zero = 1'b0;
+
+  wire [W-1:0] alu_result;
+  wire alu_fn, alu_fz, alu_fc, alu_fv;
+  arm_alu #(.W(W)) u_alu (
+    .a(op_a), .b(op_b),
+    .op_add(alu_add), .op_sub(alu_sub), .op_rsb(alu_rsb),
+    .op_and(alu_and), .op_or(alu_or), .op_xor(alu_xor),
+    .op_bic(alu_bic), .op_mov(alu_mov), .op_mvn(alu_mvn),
+    .op_cmp(alu_cmp),
+    .carry_in(flag_c_r), .invert_b(alu_invert_b), .pass_zero(alu_pass_zero),
+    .result(alu_result),
+    .flag_n(alu_fn), .flag_z(alu_fz), .flag_c(alu_fc), .flag_v(alu_fv)
+  );
+
+  // Barrel shifter path for alu_op 10..13.
+  wire is_shift;
+  assign is_shift = (aluop == 4'd10) | (aluop == 4'd11)
+                  | (aluop == 4'd12) | (aluop == 4'd13);
+  wire [1:0] shift_mode;
+  assign shift_mode = (aluop == 4'd10) ? 2'd0
+                    : ((aluop == 4'd11) ? 2'd1
+                    : ((aluop == 4'd12) ? 2'd2 : 2'd3));
+  wire [W-1:0] shift_result;
+  shifter #(.W(W)) u_shift (
+    .v(op_a), .amt(imm[3:0]), .mode(shift_mode),
+    .result(shift_result)
+  );
+
+  // Memory address for load/store.
+  wire [W-1:0] ls_addr;
+  assign ls_addr = op_a + imm;
+  assign addr_out = ls_addr;
+  assign wdata_out = op_b_reg;
+  // Loads keep the bus driven through WB so the write-back mux reads
+  // the memory data combinationally (this direct path from the data
+  // pins to the register file is what makes its registers PIERs).
+  assign mem_rd = ((state == 2'd2) | (state == 2'd3)) & is_load;
+  assign mem_wr = (state == 2'd2) & is_store;
+
+  // Exception unit.
+  wire exc_take;
+  wire [2:0] exc_vector;
+  wire [1:0] exc_mode;
+  wire in_exec;
+  assign in_exec = state == 2'd1;
+  wire [2:0] exc_cause;
+  wire exc_busy;
+  wire exc_mask_we, exc_mask_op, exc_ret;
+  assign exc_mask_we = in_exec & set_flags
+                     & ((aluop == 4'd14) | (aluop == 4'd15)) & (rd == 3'd1);
+  assign exc_mask_op = aluop == 4'd14;
+  assign exc_ret = in_exec & set_flags & (aluop == 4'd14) & (rd == 3'd2);
+  exc u_exc (
+    .clk(clk), .rst(rst),
+    .irq(irq), .fiq(fiq),
+    .swi(is_swi & in_exec), .undef(is_undef & in_exec),
+    .ie(ie_r),
+    .mask_we(exc_mask_we), .mask_op(exc_mask_op), .mask_data(imm[1:0]),
+    .ret(exc_ret),
+    .take(exc_take), .vector(exc_vector), .mode(exc_mode),
+    .cause(exc_cause), .in_service(exc_busy)
+  );
+  assign dbg_mode = exc_mode;
+  assign dbg_cause = {exc_busy, exc_cause};
+
+  // Condition evaluation for branches.
+  reg cond_ok;
+  always @(*) begin
+    case (cond)
+      4'd0: cond_ok = 1'b1;
+      4'd1: cond_ok = flag_z_r;
+      4'd2: cond_ok = !flag_z_r;
+      4'd3: cond_ok = flag_c_r;
+      4'd4: cond_ok = !flag_c_r;
+      4'd5: cond_ok = flag_n_r;
+      4'd6: cond_ok = !flag_n_r;
+      4'd7: cond_ok = flag_v_r;
+      4'd8: cond_ok = !flag_v_r;
+      default: cond_ok = 1'b0;
+    endcase
+  end
+
+  // Next PC: exceptions vector; taken branches add the offset; all
+  // other instructions fall through. PC updates at the end of EXEC.
+  wire take_branch;
+  assign take_branch = is_branch & cond_ok;
+  assign branch_en = in_exec;
+  assign branch_target = exc_take ? {{W-3{1'b0}}, exc_vector}
+                       : (take_branch ? pc + broff : pc + {{W-1{1'b0}}, 1'b1});
+
+  // Write-back: loads write memory data, everything else writes the
+  // execute result registered at the end of EXEC (registering breaks
+  // the combinational loop the bypass mux would otherwise create).
+  // Exceptions squash the write.
+  reg wb_pending;
+  reg [2:0] wb_rd_r;
+  reg [W-1:0] res_r;
+  always @(posedge clk) begin
+    if (rst)
+      wb_pending <= 1'b0;
+    else if (in_exec) begin
+      wb_pending <= (wb_en_in | is_load) & !exc_take;
+      if (is_shift)
+        res_r <= shift_result;
+      else
+        res_r <= alu_result;
+    end
+    else if (state == 2'd3)
+      wb_pending <= 1'b0;
+  end
+  assign rf_we = (state == 2'd3) & wb_pending;
+  assign wb_data = is_load ? mem_rdata : res_r;
+
+  // PSR update in EXEC.
+  always @(posedge clk) begin
+    if (rst) begin
+      flag_n_r <= 1'b0;
+      flag_z_r <= 1'b0;
+      flag_c_r <= 1'b0;
+      flag_v_r <= 1'b0;
+      ie_r <= 1'b1;
+    end
+    else if (in_exec) begin
+      if (exc_take)
+        ie_r <= 1'b0;
+      else begin
+        if (set_flags & !is_shift & (aluop != 4'd14) & (aluop != 4'd15)) begin
+          flag_n_r <= alu_fn;
+          flag_z_r <= alu_fz;
+          flag_c_r <= alu_fc;
+          flag_v_r <= alu_fv;
+        end
+        if (set_flags & (aluop == 4'd14) & (rd == 3'd0))
+          ie_r <= 1'b1;
+        if (set_flags & (aluop == 4'd15) & (rd == 3'd0))
+          ie_r <= 1'b0;
+      end
+    end
+  end
+  assign dbg_flags = {flag_n_r, flag_z_r, flag_c_r, flag_v_r};
+
+  // wb_rd_r keeps the destination stable through MEM/WB (decode holds
+  // it anyway in this multicycle design; registered for the forwarding
+  // history).
+  always @(posedge clk) begin
+    if (rst)
+      wb_rd_r <= 3'd0;
+    else if (in_exec)
+      wb_rd_r <= rd;
+  end
+endmodule
+
+// arm_alu: the arithmetic/logic unit. Thirteen control inputs: ten
+// one-hot operation selects plus carry_in, invert_b and pass_zero.
+module arm_alu #(parameter W = 16) (
+  input [W-1:0] a,
+  input [W-1:0] b,
+  input op_add,
+  input op_sub,
+  input op_rsb,
+  input op_and,
+  input op_or,
+  input op_xor,
+  input op_bic,
+  input op_mov,
+  input op_mvn,
+  input op_cmp,
+  input carry_in,
+  input invert_b,
+  input pass_zero,
+  output reg [W-1:0] result,
+  output flag_n,
+  output flag_z,
+  output reg flag_c,
+  output reg flag_v
+);
+  wire [W-1:0] beff;
+  assign beff = invert_b ? ~b : b;
+
+  wire [W:0] sum_add;
+  wire [W:0] sum_sub;
+  wire [W:0] sum_rsb;
+  assign sum_add = {1'b0, a} + {1'b0, beff} + {{W{1'b0}}, carry_in};
+  assign sum_sub = {1'b0, a} + {1'b0, ~b} + {{W{1'b0}}, 1'b1};
+  assign sum_rsb = {1'b0, b} + {1'b0, ~a} + {{W{1'b0}}, 1'b1};
+
+  wire ovf_add, ovf_sub, ovf_rsb;
+  assign ovf_add = (a[W-1] == beff[W-1]) & (sum_add[W-1] != a[W-1]);
+  assign ovf_sub = (a[W-1] != b[W-1]) & (sum_sub[W-1] != a[W-1]);
+  assign ovf_rsb = (b[W-1] != a[W-1]) & (sum_rsb[W-1] != b[W-1]);
+
+  always @(*) begin
+    result = {W{1'b0}};
+    flag_c = 1'b0;
+    flag_v = 1'b0;
+    if (op_add) begin
+      result = sum_add[W-1:0];
+      flag_c = sum_add[W];
+      flag_v = ovf_add;
+    end
+    else if (op_sub | op_cmp) begin
+      result = sum_sub[W-1:0];
+      flag_c = sum_sub[W];
+      flag_v = ovf_sub;
+    end
+    else if (op_rsb) begin
+      result = sum_rsb[W-1:0];
+      flag_c = sum_rsb[W];
+      flag_v = ovf_rsb;
+    end
+    else if (op_and | op_bic)
+      result = a & beff;
+    else if (op_or)
+      result = a | beff;
+    else if (op_xor)
+      result = a ^ beff;
+    else if (op_mov) begin
+      if (pass_zero)
+        result = {W{1'b0}};
+      else
+        result = beff;
+    end
+    else if (op_mvn)
+      result = ~beff;
+  end
+
+  assign flag_n = result[W-1];
+  assign flag_z = result == {W{1'b0}};
+endmodule
+
+// shifter: barrel shifter (lsl, lsr, asr, ror).
+module shifter #(parameter W = 16) (
+  input [W-1:0] v,
+  input [3:0] amt,
+  input [1:0] mode,
+  output reg [W-1:0] result
+);
+  // Rotate via double-width shift.
+  wire [2*W-1:0] dbl;
+  assign dbl = {v, v} >> amt;
+  wire [W-1:0] rorv;
+  assign rorv = dbl[W-1:0];
+  always @(*) begin
+    case (mode)
+      2'd0: result = v << amt;
+      2'd1: result = v >> amt;
+      2'd2: result = v >>> amt;
+      default: result = rorv;
+    endcase
+  end
+endmodule
+
+// regbank: maps architectural register numbers to the banked physical
+// register file (ARM-style banking: FIQ banks r4-r7, SVC/IRQ bank
+// r6-r7) and wraps the structural register file.
+module regbank #(parameter W = 16) (
+  input clk,
+  input [1:0] mode,
+  input we,
+  input [2:0] waddr,
+  input [W-1:0] wdata,
+  input [2:0] raddr_a,
+  input [2:0] raddr_b,
+  output [W-1:0] rdata_a,
+  output [W-1:0] rdata_b
+);
+  wire fiq_mode, priv_mode;
+  assign fiq_mode = mode == 2'd3;
+  assign priv_mode = (mode == 2'd1) | (mode == 2'd2);
+
+  function [3:0] phys;
+    input [2:0] arch;
+    input fiq;
+    input priv;
+    begin
+      if (fiq & arch[2])
+        phys = {1'b1, arch};
+      else if (priv & arch[2] & arch[1])
+        phys = {1'b1, arch};
+      else
+        phys = {1'b0, arch};
+    end
+  endfunction
+
+  wire [3:0] pw, pa, pb;
+  assign pw = phys(waddr, fiq_mode, priv_mode);
+  assign pa = phys(raddr_a, fiq_mode, priv_mode);
+  assign pb = phys(raddr_b, fiq_mode, priv_mode);
+
+  regfile_struct #(.W(W)) u_rf (
+    .clk(clk),
+    .we(we), .waddr(pw), .wdata(wdata),
+    .raddr_a(pa), .raddr_b(pb),
+    .rdata_a(rdata_a), .rdata_b(rdata_b)
+  );
+endmodule
+
+// regfile_struct: structural 16 x W banked register file — the biggest
+// and most deeply embedded module under test.
+module regfile_struct #(parameter W = 16) (
+  input clk,
+  input we,
+  input [3:0] waddr,
+  input [W-1:0] wdata,
+  input [3:0] raddr_a,
+  input [3:0] raddr_b,
+  output reg [W-1:0] rdata_a,
+  output reg [W-1:0] rdata_b
+);
+  wire [15:0] wen;
+  regdec u_dec (.we(we), .waddr(waddr), .wen(wen));
+
+  wire [W-1:0] q0, q1, q2, q3, q4, q5, q6, q7;
+  wire [W-1:0] q8, q9, q10, q11, q12, q13, q14, q15;
+  regcell #(.W(W)) u_r0 (.clk(clk), .en(wen[0]), .d(wdata), .q(q0));
+  regcell #(.W(W)) u_r1 (.clk(clk), .en(wen[1]), .d(wdata), .q(q1));
+  regcell #(.W(W)) u_r2 (.clk(clk), .en(wen[2]), .d(wdata), .q(q2));
+  regcell #(.W(W)) u_r3 (.clk(clk), .en(wen[3]), .d(wdata), .q(q3));
+  regcell #(.W(W)) u_r4 (.clk(clk), .en(wen[4]), .d(wdata), .q(q4));
+  regcell #(.W(W)) u_r5 (.clk(clk), .en(wen[5]), .d(wdata), .q(q5));
+  regcell #(.W(W)) u_r6 (.clk(clk), .en(wen[6]), .d(wdata), .q(q6));
+  regcell #(.W(W)) u_r7 (.clk(clk), .en(wen[7]), .d(wdata), .q(q7));
+  regcell #(.W(W)) u_r8 (.clk(clk), .en(wen[8]), .d(wdata), .q(q8));
+  regcell #(.W(W)) u_r9 (.clk(clk), .en(wen[9]), .d(wdata), .q(q9));
+  regcell #(.W(W)) u_r10 (.clk(clk), .en(wen[10]), .d(wdata), .q(q10));
+  regcell #(.W(W)) u_r11 (.clk(clk), .en(wen[11]), .d(wdata), .q(q11));
+  regcell #(.W(W)) u_r12 (.clk(clk), .en(wen[12]), .d(wdata), .q(q12));
+  regcell #(.W(W)) u_r13 (.clk(clk), .en(wen[13]), .d(wdata), .q(q13));
+  regcell #(.W(W)) u_r14 (.clk(clk), .en(wen[14]), .d(wdata), .q(q14));
+  regcell #(.W(W)) u_r15 (.clk(clk), .en(wen[15]), .d(wdata), .q(q15));
+
+  always @(*) begin
+    case (raddr_a)
+      4'd0: rdata_a = q0;
+      4'd1: rdata_a = q1;
+      4'd2: rdata_a = q2;
+      4'd3: rdata_a = q3;
+      4'd4: rdata_a = q4;
+      4'd5: rdata_a = q5;
+      4'd6: rdata_a = q6;
+      4'd7: rdata_a = q7;
+      4'd8: rdata_a = q8;
+      4'd9: rdata_a = q9;
+      4'd10: rdata_a = q10;
+      4'd11: rdata_a = q11;
+      4'd12: rdata_a = q12;
+      4'd13: rdata_a = q13;
+      4'd14: rdata_a = q14;
+      default: rdata_a = q15;
+    endcase
+  end
+  always @(*) begin
+    case (raddr_b)
+      4'd0: rdata_b = q0;
+      4'd1: rdata_b = q1;
+      4'd2: rdata_b = q2;
+      4'd3: rdata_b = q3;
+      4'd4: rdata_b = q4;
+      4'd5: rdata_b = q5;
+      4'd6: rdata_b = q6;
+      4'd7: rdata_b = q7;
+      4'd8: rdata_b = q8;
+      4'd9: rdata_b = q9;
+      4'd10: rdata_b = q10;
+      4'd11: rdata_b = q11;
+      4'd12: rdata_b = q12;
+      4'd13: rdata_b = q13;
+      4'd14: rdata_b = q14;
+      default: rdata_b = q15;
+    endcase
+  end
+endmodule
+
+// regdec: write-enable decoder.
+module regdec (
+  input we,
+  input [3:0] waddr,
+  output reg [15:0] wen
+);
+  always @(*) begin
+    wen = 16'd0;
+    if (we) begin
+      case (waddr)
+        4'd0: wen[0] = 1'b1;
+        4'd1: wen[1] = 1'b1;
+        4'd2: wen[2] = 1'b1;
+        4'd3: wen[3] = 1'b1;
+        4'd4: wen[4] = 1'b1;
+        4'd5: wen[5] = 1'b1;
+        4'd6: wen[6] = 1'b1;
+        4'd7: wen[7] = 1'b1;
+        4'd8: wen[8] = 1'b1;
+        4'd9: wen[9] = 1'b1;
+        4'd10: wen[10] = 1'b1;
+        4'd11: wen[11] = 1'b1;
+        4'd12: wen[12] = 1'b1;
+        4'd13: wen[13] = 1'b1;
+        4'd14: wen[14] = 1'b1;
+        default: wen[15] = 1'b1;
+      endcase
+    end
+  end
+endmodule
+
+// regcell: one W-bit register with load enable.
+module regcell #(parameter W = 16) (
+  input clk,
+  input en,
+  input [W-1:0] d,
+  output [W-1:0] q
+);
+  reg [W-1:0] r;
+  always @(posedge clk) begin
+    if (en)
+      r <= d;
+  end
+  assign q = r;
+endmodule
+
+// exc: exception and interrupt unit. Latches pending interrupts,
+// applies per-source mask bits, prioritizes fiq > irq > swi > undef,
+// produces the vector, the processor mode, the latched cause, and
+// supports return-from-exception (mode restore from a one-deep saved
+// stack). The mask and return interface is driven from the sei/cli
+// instruction forms, so most of this state is reachable only through
+// instruction sequences.
+module exc (
+  input clk,
+  input rst,
+  input irq,
+  input fiq,
+  input swi,
+  input undef,
+  input ie,
+  input mask_we,
+  input mask_op,
+  input [1:0] mask_data,
+  input ret,
+  output take,
+  output reg [2:0] vector,
+  output [1:0] mode,
+  output [2:0] cause,
+  output in_service
+);
+  // mask[0] enables irq, mask[1] enables fiq; both set at reset.
+  reg [1:0] mask;
+  reg irq_pend, fiq_pend;
+  reg [1:0] mode_r, saved_mode;
+  reg [2:0] cause_r;
+  reg busy;
+
+  wire irq_live, fiq_live;
+  assign irq_live = irq & ie & mask[0];
+  assign fiq_live = fiq & ie & mask[1];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      mask <= 2'b11;
+      irq_pend <= 1'b0;
+      fiq_pend <= 1'b0;
+      mode_r <= 2'd0;
+      saved_mode <= 2'd0;
+      cause_r <= 3'd0;
+      busy <= 1'b0;
+    end
+    else begin
+      fiq_pend <= fiq_live;
+      irq_pend <= irq_live;
+      if (mask_we) begin
+        if (mask_op)
+          mask <= mask | mask_data;
+        else
+          mask <= mask & ~mask_data;
+      end
+      if (take) begin
+        saved_mode <= mode_r;
+        mode_r <= next_mode;
+        cause_r <= vector;
+        busy <= 1'b1;
+      end
+      else if (ret) begin
+        mode_r <= saved_mode;
+        busy <= 1'b0;
+      end
+    end
+  end
+
+  reg [1:0] next_mode;
+  always @(*) begin
+    vector = 3'd0;
+    next_mode = 2'd0;
+    if (fiq_pend) begin
+      vector = 3'd1;
+      next_mode = 2'd3;
+    end
+    else if (irq_pend) begin
+      vector = 3'd2;
+      next_mode = 2'd2;
+    end
+    else if (swi) begin
+      vector = 3'd3;
+      next_mode = 2'd1;
+    end
+    else if (undef) begin
+      vector = 3'd4;
+      next_mode = 2'd1;
+    end
+  end
+  // Nested entries are blocked while servicing, except the fast
+  // interrupt which preempts everything.
+  assign take = (fiq_pend | ((irq_pend | swi | undef) & !busy));
+  assign mode = mode_r;
+  assign cause = cause_r;
+  assign in_service = busy;
+endmodule
+
+// forward: write-through bypass, load scoreboard and load-use
+// tracking. The bypass selects the write data when the register file
+// is written in the same cycle a source is read; the scoreboard tracks
+// which registers have a load in flight (set at issue, cleared at
+// write-back) and raises the stall hint on a read-after-load hazard.
+module forward (
+  input clk,
+  input rst,
+  input [2:0] raddr_a,
+  input [2:0] raddr_b,
+  input [2:0] waddr,
+  input we,
+  input we_is_load,
+  input issue,
+  input [2:0] issue_rd,
+  output fwd_a_en,
+  output fwd_b_en,
+  output stall
+);
+  assign fwd_a_en = we & (waddr == raddr_a);
+  assign fwd_b_en = we & (waddr == raddr_b);
+
+  // One busy bit per architectural register.
+  reg [7:0] busy;
+  reg [7:0] issue_dec, retire_dec;
+  always @(*) begin
+    issue_dec = 8'd0;
+    if (issue) begin
+      case (issue_rd)
+        3'd0: issue_dec[0] = 1'b1;
+        3'd1: issue_dec[1] = 1'b1;
+        3'd2: issue_dec[2] = 1'b1;
+        3'd3: issue_dec[3] = 1'b1;
+        3'd4: issue_dec[4] = 1'b1;
+        3'd5: issue_dec[5] = 1'b1;
+        3'd6: issue_dec[6] = 1'b1;
+        default: issue_dec[7] = 1'b1;
+      endcase
+    end
+  end
+  always @(*) begin
+    retire_dec = 8'd0;
+    if (we) begin
+      case (waddr)
+        3'd0: retire_dec[0] = 1'b1;
+        3'd1: retire_dec[1] = 1'b1;
+        3'd2: retire_dec[2] = 1'b1;
+        3'd3: retire_dec[3] = 1'b1;
+        3'd4: retire_dec[4] = 1'b1;
+        3'd5: retire_dec[5] = 1'b1;
+        3'd6: retire_dec[6] = 1'b1;
+        default: retire_dec[7] = 1'b1;
+      endcase
+    end
+  end
+  always @(posedge clk) begin
+    if (rst)
+      busy <= 8'd0;
+    else
+      busy <= (busy & ~retire_dec) | issue_dec;
+  end
+
+  reg [2:0] last_load_rd;
+  reg last_was_load;
+  always @(posedge clk) begin
+    if (rst) begin
+      last_load_rd <= 3'd0;
+      last_was_load <= 1'b0;
+    end
+    else begin
+      last_was_load <= we & we_is_load;
+      if (we & we_is_load)
+        last_load_rd <= waddr;
+    end
+  end
+  assign stall = busy[raddr_a] | busy[raddr_b]
+               | (last_was_load
+                  & ((last_load_rd == raddr_a) | (last_load_rd == raddr_b)));
+endmodule
+
+// buscontrol: multiplexes the memory interface between instruction
+// fetch and data access.
+module buscontrol #(parameter W = 16) (
+  input [1:0] state,
+  input [W-1:0] pc,
+  input [W-1:0] core_addr,
+  input [W-1:0] core_wdata,
+  input core_rd,
+  input core_wr,
+  output [W-1:0] mem_addr,
+  output [W-1:0] mem_wdata,
+  output mem_rd,
+  output mem_wr
+);
+  wire fetching;
+  assign fetching = state == 2'd0;
+  assign mem_addr = fetching ? pc : core_addr;
+  assign mem_wdata = core_wdata;
+  assign mem_rd = fetching | core_rd;
+  assign mem_wr = core_wr;
+endmodule
+`

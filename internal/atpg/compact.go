@@ -1,0 +1,68 @@
+package atpg
+
+import (
+	"factor/internal/fault"
+	"factor/internal/netlist"
+)
+
+// CompactResult reports the outcome of test-set compaction.
+type CompactResult struct {
+	Before    int // sequences before compaction
+	After     int // sequences kept
+	CyclesIn  int
+	CyclesOut int
+	// Coverage is the detected-fault count of the compacted set (it
+	// never drops below the original set's).
+	Coverage int
+}
+
+// Compact performs reverse-order fault-simulation compaction of a test
+// set: sequences are replayed newest-first with fault dropping, and a
+// sequence that detects nothing not already detected by later
+// sequences is discarded. Deterministic tests generated late in a run
+// tend to subsume the random patterns generated early, so replaying in
+// reverse order keeps the strong tests; this is the classic "reverse
+// order fault simulation" static compaction used between ATPG phases.
+//
+// The returned slice preserves the original relative order of the kept
+// sequences.
+func Compact(nl *netlist.Netlist, faults []fault.Fault, tests []fault.Sequence) ([]fault.Sequence, CompactResult) {
+	res := CompactResult{Before: len(tests)}
+	for _, t := range tests {
+		res.CyclesIn += len(t)
+	}
+	if len(tests) == 0 {
+		return nil, res
+	}
+
+	keep := make([]bool, len(tests))
+	acc := fault.NewResult(faults)
+	ps := fault.NewParallel(nl)
+	for i := len(tests) - 1; i >= 0; i-- {
+		if n := ps.RunSequence(acc, tests[i]); n > 0 {
+			keep[i] = true
+		}
+	}
+	var out []fault.Sequence
+	for i, k := range keep {
+		if k {
+			out = append(out, tests[i])
+			res.CyclesOut += len(tests[i])
+		}
+	}
+	res.After = len(out)
+	res.Coverage = acc.NumDetected()
+	return out, res
+}
+
+// Validate fault-simulates a test set from scratch and returns the
+// detected-fault count — used to confirm a compacted set retains the
+// original coverage.
+func Validate(nl *netlist.Netlist, faults []fault.Fault, tests []fault.Sequence) int {
+	res := fault.NewResult(faults)
+	ps := fault.NewParallel(nl)
+	for _, t := range tests {
+		ps.RunSequence(res, t)
+	}
+	return res.NumDetected()
+}

@@ -1,0 +1,87 @@
+package atpg
+
+import (
+	"testing"
+
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+func TestCompactDropsRedundantTests(t *testing.T) {
+	nl := buildC17ish()
+	faults := fault.Universe(nl)
+
+	// Generate a deliberately redundant set: full ATPG tests plus the
+	// same tests duplicated.
+	eng := New(nl, Options{Seed: 4})
+	run := eng.Run(faults)
+	if run.Coverage() != 100 {
+		t.Fatalf("setup: coverage %.1f%%", run.Coverage())
+	}
+	redundant := append(append([]fault.Sequence{}, run.Tests...), run.Tests...)
+
+	compacted, res := Compact(nl, faults, redundant)
+	if res.Before != len(redundant) || res.After != len(compacted) {
+		t.Errorf("accounting: %+v vs %d -> %d", res, len(redundant), len(compacted))
+	}
+	if len(compacted) >= len(redundant) {
+		t.Errorf("compaction kept everything: %d -> %d", len(redundant), len(compacted))
+	}
+	// Coverage must be fully retained.
+	if got := Validate(nl, faults, compacted); got != run.Result.NumDetected() {
+		t.Errorf("compacted set detects %d, original %d", got, run.Result.NumDetected())
+	}
+	if res.Coverage != run.Result.NumDetected() {
+		t.Errorf("reported coverage %d, want %d", res.Coverage, run.Result.NumDetected())
+	}
+}
+
+func TestCompactPrefersLaterTests(t *testing.T) {
+	// Two tests where the second subsumes the first: only the second
+	// survives.
+	n := netlist.New("and2")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.AddGate(netlist.And, a, b)
+	n.AddOutput("y", y)
+	faults := fault.Universe(n)
+
+	weak := fault.Sequence{fault.Vector{"a": sim.L1, "b": sim.L1}}
+	strongSet := []fault.Sequence{
+		weak,
+		{fault.Vector{"a": sim.L1, "b": sim.L1}, fault.Vector{"a": sim.L0, "b": sim.L1}, fault.Vector{"a": sim.L1, "b": sim.L0}},
+	}
+	compacted, res := Compact(n, faults, strongSet)
+	if len(compacted) != 1 {
+		t.Fatalf("kept %d sequences, want 1 (the subsuming one): %+v", len(compacted), res)
+	}
+	if len(compacted[0]) != 3 {
+		t.Errorf("kept the weak test instead of the strong one")
+	}
+}
+
+func TestCompactEmptyInput(t *testing.T) {
+	nl := buildC17ish()
+	out, res := Compact(nl, fault.Universe(nl), nil)
+	if out != nil || res.Before != 0 || res.After != 0 {
+		t.Errorf("empty input mishandled: %v %+v", out, res)
+	}
+}
+
+func TestCompactOnSequentialCircuit(t *testing.T) {
+	nl := buildShiftChain()
+	faults := fault.Universe(nl)
+	eng := New(nl, Options{Seed: 11})
+	run := eng.Run(faults)
+	if run.Result.NumDetected() == 0 {
+		t.Fatal("setup: nothing detected")
+	}
+	compacted, res := Compact(nl, faults, run.Tests)
+	if got := Validate(nl, faults, compacted); got < run.Result.NumDetected() {
+		t.Errorf("compaction lost coverage: %d < %d", got, run.Result.NumDetected())
+	}
+	if res.CyclesOut > res.CyclesIn {
+		t.Errorf("compaction grew the set: %d -> %d cycles", res.CyclesIn, res.CyclesOut)
+	}
+}

@@ -1,0 +1,237 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+// Options configures the ATPG flow.
+type Options struct {
+	// MaxFrames bounds time-frame expansion. 0 derives it from the
+	// circuit's sequential depth (depth+2, clamped to [1, 24]).
+	MaxFrames int
+	// BacktrackLimit aborts a deterministic search after this many
+	// backtracks (default 512).
+	BacktrackLimit int
+	// RandomSequences is the random-phase budget (default 64).
+	RandomSequences int
+	// RandomSeqLen is the length of each random sequence. 0 derives it
+	// from the sequential depth.
+	RandomSeqLen int
+	// Seed drives the random phase and random fill (default 1).
+	Seed int64
+	// TimeBudget bounds the whole run; faults not reached before the
+	// deadline are left aborted. Zero means unlimited.
+	TimeBudget time.Duration
+	// DisableRandomPhase skips random patterns (ablation).
+	DisableRandomPhase bool
+}
+
+func (o Options) withDefaults(nl *netlist.Netlist) Options {
+	if o.MaxFrames <= 0 {
+		d := nl.SequentialDepth()
+		o.MaxFrames = clamp(d+2, 1, 24)
+	}
+	if o.BacktrackLimit <= 0 {
+		o.BacktrackLimit = 512
+	}
+	if o.RandomSequences == 0 {
+		o.RandomSequences = 64
+	}
+	if o.RandomSeqLen <= 0 {
+		o.RandomSeqLen = clamp(nl.SequentialDepth()*2+4, 4, 48)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Engine runs test generation for a netlist.
+type Engine struct {
+	nl   *netlist.Netlist
+	opts Options
+	cc0  []int
+	cc1  []int
+	obs  []int
+}
+
+// New builds an engine; static testability measures are computed once.
+func New(nl *netlist.Netlist, opts Options) *Engine {
+	cc0, cc1 := controllability(nl)
+	return &Engine{
+		nl:   nl,
+		opts: opts.withDefaults(nl),
+		cc0:  cc0,
+		cc1:  cc1,
+		obs:  observationDistance(nl),
+	}
+}
+
+// RunResult is the outcome of a full ATPG run.
+type RunResult struct {
+	Result *fault.Result
+	// Tests holds the generated sequences (random-phase sequences that
+	// detected something plus all deterministic tests).
+	Tests []fault.Sequence
+
+	TotalFaults    int
+	DetectedRandom int
+	DetectedDet    int
+	UntestableNum  int
+	AbortedNum     int
+	NotAttempted   int
+
+	RandomTime time.Duration
+	DetTime    time.Duration
+}
+
+// Coverage is the fault coverage percentage.
+func (r *RunResult) Coverage() float64 { return r.Result.Coverage() }
+
+// Efficiency is the ATPG efficiency percentage: (detected + proven
+// untestable) / total.
+func (r *RunResult) Efficiency() float64 {
+	if r.TotalFaults == 0 {
+		return 0
+	}
+	return 100 * float64(r.Result.NumDetected()+r.UntestableNum) / float64(r.TotalFaults)
+}
+
+// TotalTime is random-phase plus deterministic-phase time.
+func (r *RunResult) TotalTime() time.Duration { return r.RandomTime + r.DetTime }
+
+// Run executes the two-phase flow over the given target faults.
+func (e *Engine) Run(faults []fault.Fault) *RunResult {
+	res := fault.NewResult(faults)
+	out := &RunResult{Result: res, TotalFaults: len(faults)}
+	rng := rand.New(rand.NewSource(e.opts.Seed))
+	ps := fault.NewParallel(e.nl)
+
+	deadline := time.Time{}
+	if e.opts.TimeBudget > 0 {
+		deadline = time.Now().Add(e.opts.TimeBudget)
+	}
+
+	// Phase 1: random sequences with fault dropping.
+	start := time.Now()
+	if !e.opts.DisableRandomPhase {
+		for i := 0; i < e.opts.RandomSequences; i++ {
+			if res.NumDetected() == len(faults) {
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			seq := e.randomSequence(rng)
+			if n := ps.RunSequence(res, seq); n > 0 {
+				out.Tests = append(out.Tests, seq)
+				out.DetectedRandom += n
+			}
+		}
+	}
+	out.RandomTime = time.Since(start)
+
+	// Phase 2: deterministic PODEM with time-frame expansion and fault
+	// dropping.
+	start = time.Now()
+	for i := range faults {
+		if res.Detected[i] {
+			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			out.NotAttempted++
+			continue
+		}
+		seq, status := e.testFault(faults[i], deadline)
+		switch status {
+		case Detected:
+			filled := e.fillRandom(seq, rng)
+			before := res.NumDetected()
+			ps.RunSequence(res, filled)
+			if !res.Detected[i] {
+				// Random fill can mask the detection through X-optimism
+				// differences; fall back to the unfilled sequence.
+				ps.RunSequence(res, seq)
+			}
+			if !res.Detected[i] {
+				// The PODEM model and the fault simulator agree on
+				// 3-valued semantics, so this should not happen; count
+				// it as aborted to stay conservative.
+				out.AbortedNum++
+				continue
+			}
+			out.Tests = append(out.Tests, filled)
+			out.DetectedDet += res.NumDetected() - before
+		case Untestable:
+			out.UntestableNum++
+		case Aborted:
+			out.AbortedNum++
+		}
+	}
+	out.DetTime = time.Since(start)
+	return out
+}
+
+// testFault escalates time frames until the fault is detected, proven
+// untestable at the maximum frame budget, or aborted.
+func (e *Engine) testFault(f fault.Fault, deadline time.Time) (fault.Sequence, Status) {
+	last := Untestable
+	for frames := 1; frames <= e.opts.MaxFrames; frames++ {
+		p := newPodem(e.nl, f, frames, e.opts.BacktrackLimit, deadline, e.cc0, e.cc1, e.obs)
+		seq, status := p.run()
+		switch status {
+		case Detected:
+			return seq, Detected
+		case Aborted:
+			return nil, Aborted
+		}
+		last = status
+	}
+	return nil, last
+}
+
+// randomSequence builds a fully specified random input sequence.
+func (e *Engine) randomSequence(rng *rand.Rand) fault.Sequence {
+	seq := make(fault.Sequence, e.opts.RandomSeqLen)
+	for t := range seq {
+		vec := fault.Vector{}
+		for _, name := range e.nl.PINames {
+			vec[name] = sim.Logic(rng.Intn(2))
+		}
+		seq[t] = vec
+	}
+	return seq
+}
+
+// fillRandom completes the unassigned PIs of a deterministic test with
+// random binary values (more collateral fault drops per test).
+func (e *Engine) fillRandom(seq fault.Sequence, rng *rand.Rand) fault.Sequence {
+	out := make(fault.Sequence, len(seq))
+	for t, vec := range seq {
+		nv := fault.Vector{}
+		for _, name := range e.nl.PINames {
+			if v, ok := vec[name]; ok {
+				nv[name] = v
+			} else {
+				nv[name] = sim.Logic(rng.Intn(2))
+			}
+		}
+		out[t] = nv
+	}
+	return out
+}

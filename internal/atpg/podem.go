@@ -1,0 +1,760 @@
+// Package atpg implements a gate-level sequential ATPG engine in the
+// mold of the commercial tools the FACTOR paper drives: a PODEM-based
+// deterministic test generator over a time-frame-expanded circuit
+// model, preceded by a random-pattern phase, with fault-dropping
+// simulation between deterministic tests.
+//
+// The sequential model assumes unknown (X) power-up state: frame-0
+// flip-flop outputs are X and cannot be assigned, so every test
+// sequence must justify state through the primary inputs — exactly the
+// discipline that makes deeply embedded modules expensive to test and
+// that FACTOR's transformed modules (with PIERs) relieve.
+package atpg
+
+import (
+	"time"
+
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+// Status classifies the outcome of deterministic test generation for
+// one fault.
+type Status int
+
+// Test generation outcomes.
+const (
+	// Detected: a test sequence was found.
+	Detected Status = iota
+	// Untestable: the search space was exhausted within the time-frame
+	// budget without finding a test (redundant or sequentially
+	// untestable within the budget).
+	Untestable
+	// Aborted: the backtrack or time limit was hit.
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+const costInf = 1 << 28
+
+// podem is the state of one deterministic search for one fault at a
+// fixed number of time frames.
+type podem struct {
+	nl     *netlist.Netlist
+	order  []int
+	flt    fault.Fault
+	frames int
+
+	good [][]sim.Logic // [frame][gate]
+	bad  [][]sim.Logic
+
+	// PI assignments: assigned[frame][gate] is L0/L1 when decided, LX
+	// otherwise. Indexed by gate ID (only PI slots used).
+	assigned [][]sim.Logic
+
+	cc0, cc1 []int // static 0/1-controllability per gate
+	obsDist  []int // static distance-to-observation per gate
+
+	backtracks int
+	limit      int
+	deadline   time.Time
+}
+
+func newPodem(nl *netlist.Netlist, f fault.Fault, frames, limit int, deadline time.Time, cc0, cc1, obs []int) *podem {
+	p := &podem{
+		nl: nl, order: nl.TopoOrder(), flt: f, frames: frames,
+		limit: limit, deadline: deadline,
+		cc0: cc0, cc1: cc1, obsDist: obs,
+	}
+	p.good = make([][]sim.Logic, frames)
+	p.bad = make([][]sim.Logic, frames)
+	p.assigned = make([][]sim.Logic, frames)
+	for t := 0; t < frames; t++ {
+		p.good[t] = make([]sim.Logic, len(nl.Gates))
+		p.bad[t] = make([]sim.Logic, len(nl.Gates))
+		p.assigned[t] = make([]sim.Logic, len(nl.Gates))
+		for i := range p.assigned[t] {
+			p.assigned[t][i] = sim.LX
+		}
+	}
+	return p
+}
+
+// simulate recomputes both machines over all frames from the current
+// PI assignments.
+func (p *podem) simulate() {
+	var inBuf [3]sim.Logic
+	var badBuf [3]sim.Logic
+	for t := 0; t < p.frames; t++ {
+		for _, id := range p.order {
+			g := p.nl.Gates[id]
+			var gv, bv sim.Logic
+			switch g.Kind {
+			case netlist.Input:
+				gv = p.assigned[t][id]
+				bv = gv
+			case netlist.Const0:
+				gv, bv = sim.L0, sim.L0
+			case netlist.Const1:
+				gv, bv = sim.L1, sim.L1
+			case netlist.DFF:
+				if t == 0 {
+					gv, bv = sim.LX, sim.LX
+				} else {
+					d := g.Fanin[0]
+					gv = p.good[t-1][d]
+					bv = p.bad[t-1][d]
+					if p.flt.Gate == id && p.flt.Pin == 0 {
+						bv = p.stuckValue()
+					}
+				}
+			default:
+				in := inBuf[:len(g.Fanin)]
+				bin := badBuf[:len(g.Fanin)]
+				for i, f := range g.Fanin {
+					in[i] = p.good[t][f]
+					bin[i] = p.bad[t][f]
+				}
+				if p.flt.Gate == id && p.flt.Pin >= 0 {
+					bin[p.flt.Pin] = p.stuckValue()
+				}
+				gv = sim.EvalGateL(g.Kind, in)
+				bv = sim.EvalGateL(g.Kind, bin)
+			}
+			if p.flt.Gate == id && p.flt.Pin < 0 {
+				bv = p.stuckValue()
+			}
+			p.good[t][id] = gv
+			p.bad[t][id] = bv
+		}
+	}
+}
+
+func (p *podem) stuckValue() sim.Logic {
+	if p.flt.SAOne {
+		return sim.L1
+	}
+	return sim.L0
+}
+
+// composite five-valued view of a line.
+type comp int8
+
+const (
+	c0 comp = iota
+	c1
+	cX
+	cD    // good 1, faulty 0
+	cDbar // good 0, faulty 1
+)
+
+func (p *podem) value(t, g int) comp {
+	gv, bv := p.good[t][g], p.bad[t][g]
+	switch {
+	case gv == sim.L0 && bv == sim.L0:
+		return c0
+	case gv == sim.L1 && bv == sim.L1:
+		return c1
+	case gv == sim.L1 && bv == sim.L0:
+		return cD
+	case gv == sim.L0 && bv == sim.L1:
+		return cDbar
+	}
+	return cX
+}
+
+// detected reports whether any PO shows D/D' in any frame.
+func (p *podem) detected() bool {
+	for t := 0; t < p.frames; t++ {
+		for _, po := range p.nl.POs {
+			if v := p.value(t, po); v == cD || v == cDbar {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// line is a (frame, gate) pair in the unrolled model.
+type line struct {
+	t, g int
+}
+
+// excited reports whether the fault site is activated in some frame
+// (good site value differs from the stuck value). For pin faults the
+// site line is the driving gate of that pin.
+func (p *podem) excited() bool {
+	site := p.siteGate()
+	want := sim.NotL(p.stuckValue())
+	for t := 0; t < p.frames; t++ {
+		if p.good[t][site] == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *podem) siteGate() int {
+	if p.flt.Pin < 0 {
+		return p.flt.Gate
+	}
+	return p.nl.Gates[p.flt.Gate].Fanin[p.flt.Pin]
+}
+
+// objective is one candidate value objective.
+type objective struct {
+	l   line
+	val sim.Logic
+}
+
+// excitationObjectives lists the frames in which the site could still
+// be activated (good value X). Later frames are easier to justify from
+// unknown initial state, so they come first.
+func (p *podem) excitationObjectives() []objective {
+	site := p.siteGate()
+	want := sim.NotL(p.stuckValue())
+	var out []objective
+	for t := p.frames - 1; t >= 0; t-- {
+		if p.good[t][site] == sim.LX {
+			out = append(out, objective{l: line{t, site}, val: want})
+		}
+	}
+	return out
+}
+
+// pinValue returns the composite value seen on one input pin of a
+// gate, accounting for the fault injection on the faulted pin (where
+// the faulty machine sees the stuck value regardless of the driver).
+func (p *podem) pinValue(t, gate, pin int) comp {
+	drv := p.nl.Gates[gate].Fanin[pin]
+	gv := p.good[t][drv]
+	bv := p.bad[t][drv]
+	if p.flt.Gate == gate && p.flt.Pin == pin {
+		bv = p.stuckValue()
+	}
+	switch {
+	case gv == sim.L0 && bv == sim.L0:
+		return c0
+	case gv == sim.L1 && bv == sim.L1:
+		return c1
+	case gv == sim.L1 && bv == sim.L0:
+		return cD
+	case gv == sim.L0 && bv == sim.L1:
+		return cDbar
+	}
+	return cX
+}
+
+// dFrontier returns combinational gates with a D/D' input pin and an X
+// output. Input-pin faults surface here through pinValue: once the
+// faulted pin's good value opposes the stuck value, the faulted gate
+// itself joins the frontier.
+func (p *podem) dFrontier() []line {
+	var out []line
+	for t := 0; t < p.frames; t++ {
+		for _, id := range p.order {
+			g := p.nl.Gates[id]
+			if !g.Kind.Combinational() {
+				continue
+			}
+			if p.value(t, id) != cX {
+				continue
+			}
+			for pin := range g.Fanin {
+				if v := p.pinValue(t, id, pin); v == cD || v == cDbar {
+					out = append(out, line{t, id})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// xPathExists checks whether any X-valued path leads from l to a PO,
+// crossing frames through flip-flops.
+func (p *podem) xPathExists(l line, fanouts [][]int, poSet map[int]bool) bool {
+	seen := map[line]bool{}
+	stack := []line{l}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if poSet[cur.g] {
+			return true
+		}
+		for _, fo := range fanouts[cur.g] {
+			fg := p.nl.Gates[fo]
+			if fg.Kind == netlist.DFF {
+				if cur.t+1 < p.frames && p.value(cur.t+1, fo) == cX {
+					stack = append(stack, line{cur.t + 1, fo})
+				}
+				continue
+			}
+			if fg.Kind.Combinational() && p.value(cur.t, fo) == cX {
+				stack = append(stack, line{cur.t, fo})
+			}
+		}
+	}
+	return false
+}
+
+// objectives lists candidate value objectives, PODEM-style, best
+// first. The search tries them in order until one backtraces to an
+// assignable primary input.
+func (p *podem) objectives(fanouts [][]int, poSet map[int]bool) []objective {
+	if !p.excited() {
+		return p.excitationObjectives()
+	}
+	frontier := p.dFrontier()
+	type cand struct {
+		obj  objective
+		cost int
+	}
+	var cands []cand
+	for _, fl := range frontier {
+		if !p.xPathExists(fl, fanouts, poSet) {
+			continue
+		}
+		g := p.nl.Gates[fl.g]
+		tgt, val, ok := p.propagationInput(fl, g)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{obj: objective{l: tgt, val: val}, cost: p.obsDist[fl.g]})
+	}
+	// Stable selection sort by cost (candidate lists are short).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].cost < cands[j-1].cost; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := make([]objective, len(cands))
+	for i, c := range cands {
+		out[i] = c.obj
+	}
+	return out
+}
+
+// propagationInput picks the input objective that unblocks a D-frontier
+// gate: non-controlling values on X side inputs, select steering for
+// muxes.
+func (p *podem) propagationInput(fl line, g *netlist.Gate) (line, sim.Logic, bool) {
+	if g.Kind == netlist.Mux {
+		sel, d0, d1 := g.Fanin[0], g.Fanin[1], g.Fanin[2]
+		sv := p.pinValue(fl.t, fl.g, 0)
+		if sv == cD || sv == cDbar {
+			// D on select: make the data inputs differ.
+			for pin, di := range []int{d0, d1} {
+				if p.pinValue(fl.t, fl.g, pin+1) == cX {
+					other := p.pinValue(fl.t, fl.g, 2-pin)
+					switch other {
+					case c0:
+						return line{fl.t, di}, sim.L1, true
+					case c1:
+						return line{fl.t, di}, sim.L0, true
+					default:
+						return line{fl.t, di}, sim.L0, true
+					}
+				}
+			}
+			return line{}, sim.LX, false
+		}
+		// D on a data input: steer the select.
+		if sv == cX {
+			if v := p.pinValue(fl.t, fl.g, 2); v == cD || v == cDbar {
+				return line{fl.t, sel}, sim.L1, true
+			}
+			return line{fl.t, sel}, sim.L0, true
+		}
+		return line{}, sim.LX, false
+	}
+	ctrl, has := sim.ControllingValue(g.Kind)
+	for pin, f := range g.Fanin {
+		if p.pinValue(fl.t, fl.g, pin) == cX {
+			want := sim.L0
+			if has {
+				want = sim.NotL(ctrl)
+			}
+			return line{fl.t, f}, want, true
+		}
+	}
+	return line{}, sim.LX, false
+}
+
+// backtrace walks an objective back to an unassigned primary input
+// through X-valued lines, returning the PI line and value to try.
+func (p *podem) backtrace(obj line, val sim.Logic) (line, sim.Logic, bool) {
+	cur := obj
+	for steps := 0; steps < len(p.nl.Gates)*p.frames+16; steps++ {
+		g := p.nl.Gates[cur.g]
+		switch g.Kind {
+		case netlist.Input:
+			return cur, val, true
+		case netlist.Const0, netlist.Const1:
+			return line{}, sim.LX, false
+		case netlist.DFF:
+			if cur.t == 0 {
+				return line{}, sim.LX, false // power-up state is uncontrollable
+			}
+			cur = line{cur.t - 1, g.Fanin[0]}
+			continue
+		case netlist.Buf:
+			cur = line{cur.t, g.Fanin[0]}
+			continue
+		case netlist.Not:
+			val = sim.NotL(val)
+			cur = line{cur.t, g.Fanin[0]}
+			continue
+		case netlist.Mux:
+			sel, d0, d1 := g.Fanin[0], g.Fanin[1], g.Fanin[2]
+			switch p.value(cur.t, sel) {
+			case c0:
+				cur = line{cur.t, d0}
+			case c1:
+				cur = line{cur.t, d1}
+			case cX:
+				// Steer the select toward a data input that already
+				// carries the needed value; otherwise pick the branch
+				// whose data input is cheapest to control and justify
+				// the select first (once the select is assigned, the
+				// next backtrace descends into the data input).
+				if p.binEqual(cur.t, d1, val) {
+					val, cur = sim.L1, line{cur.t, sel}
+				} else if p.binEqual(cur.t, d0, val) {
+					val, cur = sim.L0, line{cur.t, sel}
+				} else {
+					cost0, cost1 := costInf, costInf
+					if p.value(cur.t, d0) == cX {
+						cost0 = p.cc0[sel] + p.valCost(d0, val)
+					}
+					if p.value(cur.t, d1) == cX {
+						cost1 = p.cc1[sel] + p.valCost(d1, val)
+					}
+					switch {
+					case cost0 == costInf && cost1 == costInf:
+						return line{}, sim.LX, false
+					case cost1 < cost0:
+						val, cur = sim.L1, line{cur.t, sel}
+					default:
+						val, cur = sim.L0, line{cur.t, sel}
+					}
+				}
+			default:
+				return line{}, sim.LX, false
+			}
+			continue
+		}
+		inv := sim.Inverting(g.Kind)
+		eff := val
+		if inv {
+			eff = sim.NotL(eff)
+		}
+		switch g.Kind {
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			ctrl, _ := sim.ControllingValue(g.Kind)
+			if eff == ctrl {
+				// One controlling input suffices: pick the easiest X.
+				if in, ok := p.pickInput(cur, g, eff, true); ok {
+					cur, val = in, eff
+					continue
+				}
+				return line{}, sim.LX, false
+			}
+			// All inputs need the non-controlling value: hardest X first.
+			if in, ok := p.pickInput(cur, g, eff, false); ok {
+				cur, val = in, eff
+				continue
+			}
+			return line{}, sim.LX, false
+		case netlist.Xor, netlist.Xnor:
+			a, b := g.Fanin[0], g.Fanin[1]
+			av, bv := p.value(cur.t, a), p.value(cur.t, b)
+			pickVal := func(other comp) sim.Logic {
+				switch other {
+				case c0:
+					return eff
+				case c1:
+					return sim.NotL(eff)
+				default:
+					return eff // assume other settles to 0
+				}
+			}
+			// Prefer the cheaper-to-control X input.
+			if av == cX && (bv != cX || p.eitherCost(a) <= p.eitherCost(b)) {
+				cur, val = line{cur.t, a}, pickVal(bv)
+				continue
+			}
+			if bv == cX {
+				cur, val = line{cur.t, b}, pickVal(av)
+				continue
+			}
+			return line{}, sim.LX, false
+		}
+		return line{}, sim.LX, false
+	}
+	return line{}, sim.LX, false
+}
+
+// valCost is the static cost of justifying value v on gate g.
+func (p *podem) valCost(g int, v sim.Logic) int {
+	if v == sim.L1 {
+		return p.cc1[g]
+	}
+	return p.cc0[g]
+}
+
+// eitherCost is the cheaper of controlling a gate to 0 or 1.
+func (p *podem) eitherCost(g int) int {
+	return minInt(p.cc0[g], p.cc1[g])
+}
+
+func (p *podem) binEqual(t, g int, v sim.Logic) bool {
+	cv := p.value(t, g)
+	return (cv == c0 && v == sim.L0) || (cv == c1 && v == sim.L1)
+}
+
+// pickInput selects an X-valued fanin by controllability cost; easiest
+// when easy is true, hardest otherwise.
+func (p *podem) pickInput(cur line, g *netlist.Gate, want sim.Logic, easy bool) (line, bool) {
+	best := -1
+	bestCost := 0
+	for _, f := range g.Fanin {
+		if p.value(cur.t, f) != cX {
+			continue
+		}
+		cost := p.cc1[f]
+		if want == sim.L0 {
+			cost = p.cc0[f]
+		}
+		if best < 0 || (easy && cost < bestCost) || (!easy && cost > bestCost) {
+			best = f
+			bestCost = cost
+		}
+	}
+	if best < 0 {
+		return line{}, false
+	}
+	return line{cur.t, best}, true
+}
+
+// decision is one PI assignment on the decision stack.
+type decision struct {
+	l       line
+	val     sim.Logic
+	flipped bool
+}
+
+// run executes the PODEM search. It returns the discovered test
+// sequence on success.
+func (p *podem) run() (fault.Sequence, Status) {
+	fanouts := p.nl.Fanouts()
+	poSet := map[int]bool{}
+	for _, po := range p.nl.POs {
+		poSet[po] = true
+	}
+	var stack []decision
+	for iter := 0; ; iter++ {
+		if iter&63 == 0 && !p.deadline.IsZero() && time.Now().After(p.deadline) {
+			return nil, Aborted
+		}
+		p.simulate()
+		if p.detected() {
+			return p.extractSequence(), Detected
+		}
+		advanced := false
+		for _, obj := range p.objectives(fanouts, poSet) {
+			if pi, pv, ok := p.backtrace(obj.l, obj.val); ok {
+				stack = append(stack, decision{l: pi, val: pv})
+				p.assigned[pi.t][pi.g] = pv
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		// Backtrack.
+		p.backtracks++
+		if p.backtracks > p.limit {
+			return nil, Aborted
+		}
+		for {
+			if len(stack) == 0 {
+				return nil, Untestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = sim.NotL(top.val)
+				p.assigned[top.l.t][top.l.g] = top.val
+				break
+			}
+			p.assigned[top.l.t][top.l.g] = sim.LX
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// extractSequence converts the PI assignments into a test sequence.
+// Unassigned PIs stay absent from the vectors (X); the caller may fill
+// them randomly before fault simulation.
+func (p *podem) extractSequence() fault.Sequence {
+	seq := make(fault.Sequence, p.frames)
+	for t := 0; t < p.frames; t++ {
+		vec := fault.Vector{}
+		for i, pi := range p.nl.PIs {
+			if v := p.assigned[t][pi]; v != sim.LX {
+				vec[p.nl.PINames[i]] = v
+			}
+		}
+		seq[t] = vec
+	}
+	return seq
+}
+
+// controllability computes SCOAP-like static 0/1 controllability costs;
+// flip-flops add a sequential penalty and cyclic definitions relax to a
+// fixpoint.
+func controllability(nl *netlist.Netlist) (cc0, cc1 []int) {
+	n := len(nl.Gates)
+	cc0 = make([]int, n)
+	cc1 = make([]int, n)
+	for i := range cc0 {
+		cc0[i], cc1[i] = costInf, costInf
+	}
+	capAdd := func(a, b int) int {
+		s := a + b
+		if s > costInf {
+			return costInf
+		}
+		return s
+	}
+	for pass := 0; pass < 32; pass++ {
+		changed := false
+		set := func(id, v0, v1 int) {
+			if v0 < cc0[id] {
+				cc0[id] = v0
+				changed = true
+			}
+			if v1 < cc1[id] {
+				cc1[id] = v1
+				changed = true
+			}
+		}
+		for _, g := range nl.Gates {
+			switch g.Kind {
+			case netlist.Input:
+				set(g.ID, 1, 1)
+			case netlist.Const0:
+				set(g.ID, 0, costInf)
+			case netlist.Const1:
+				set(g.ID, costInf, 0)
+			case netlist.Buf:
+				f := g.Fanin[0]
+				set(g.ID, capAdd(cc0[f], 1), capAdd(cc1[f], 1))
+			case netlist.Not:
+				f := g.Fanin[0]
+				set(g.ID, capAdd(cc1[f], 1), capAdd(cc0[f], 1))
+			case netlist.And, netlist.Nand:
+				a, b := g.Fanin[0], g.Fanin[1]
+				v1 := capAdd(capAdd(cc1[a], cc1[b]), 1)
+				v0 := capAdd(minInt(cc0[a], cc0[b]), 1)
+				if g.Kind == netlist.Nand {
+					v0, v1 = v1, v0
+				}
+				set(g.ID, v0, v1)
+			case netlist.Or, netlist.Nor:
+				a, b := g.Fanin[0], g.Fanin[1]
+				v0 := capAdd(capAdd(cc0[a], cc0[b]), 1)
+				v1 := capAdd(minInt(cc1[a], cc1[b]), 1)
+				if g.Kind == netlist.Nor {
+					v0, v1 = v1, v0
+				}
+				set(g.ID, v0, v1)
+			case netlist.Xor, netlist.Xnor:
+				a, b := g.Fanin[0], g.Fanin[1]
+				same := minInt(capAdd(cc0[a], cc0[b]), capAdd(cc1[a], cc1[b]))
+				diff := minInt(capAdd(cc0[a], cc1[b]), capAdd(cc1[a], cc0[b]))
+				v0, v1 := capAdd(same, 1), capAdd(diff, 1)
+				if g.Kind == netlist.Xnor {
+					v0, v1 = v1, v0
+				}
+				set(g.ID, v0, v1)
+			case netlist.Mux:
+				s, d0, d1 := g.Fanin[0], g.Fanin[1], g.Fanin[2]
+				v0 := minInt(capAdd(cc0[s], cc0[d0]), capAdd(cc1[s], cc0[d1]))
+				v1 := minInt(capAdd(cc0[s], cc1[d0]), capAdd(cc1[s], cc1[d1]))
+				set(g.ID, capAdd(v0, 1), capAdd(v1, 1))
+			case netlist.DFF:
+				f := g.Fanin[0]
+				const seqPenalty = 10
+				set(g.ID, capAdd(cc0[f], seqPenalty), capAdd(cc1[f], seqPenalty))
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cc0, cc1
+}
+
+// observationDistance computes, per gate, a static cost to reach a
+// primary output (levels through combinational gates, flip-flops add a
+// sequential penalty).
+func observationDistance(nl *netlist.Netlist) []int {
+	n := len(nl.Gates)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = costInf
+	}
+	for _, po := range nl.POs {
+		dist[po] = 0
+	}
+	fanouts := nl.Fanouts()
+	for pass := 0; pass < 64; pass++ {
+		changed := false
+		for id := n - 1; id >= 0; id-- {
+			best := dist[id]
+			for _, fo := range fanouts[id] {
+				cost := 1
+				if nl.Gates[fo].Kind == netlist.DFF {
+					cost = 10
+				}
+				if d := dist[fo] + cost; d < best {
+					best = d
+				}
+			}
+			if best < dist[id] {
+				dist[id] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a context with a minimal ATPG budget: these tests check
+// the harness plumbing and the paper's structural claims, not absolute
+// coverage numbers.
+func tiny(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := NewContext(Config{
+		ATPGBudget:      400 * time.Millisecond,
+		RandomSequences: 8,
+		BacktrackLimit:  50,
+		MaxFrames:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestTable1Shape(t *testing.T) {
+	ctx := tiny(t)
+	rows, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]Row1{}
+	for _, r := range rows {
+		byName[r.Module] = r
+		if r.GatesInModule <= 0 || r.StuckAtFaults <= 0 || r.GatesInSurrounding <= 0 {
+			t.Errorf("%s: empty characteristics %+v", r.Module, r)
+		}
+		// GatesInModule is the stand-alone synthesis figure while
+		// GatesInSurrounding comes from the full-chip netlist, so they
+		// do not sum exactly (cross-boundary optimization); but the
+		// surrounding logic can never exceed the full design.
+		if r.GatesInSurrounding >= ctx.Full.NumGates() {
+			t.Errorf("%s: surrounding %d >= full design %d",
+				r.Module, r.GatesInSurrounding, ctx.Full.NumGates())
+		}
+	}
+	// regfile_struct is the biggest and deepest module (paper Table 1).
+	rf := byName["regfile_struct"]
+	for name, r := range byName {
+		if name == "regfile_struct" {
+			continue
+		}
+		if r.GatesInModule >= rf.GatesInModule {
+			t.Errorf("%s (%d gates) >= regfile_struct (%d)", name, r.GatesInModule, rf.GatesInModule)
+		}
+		if r.HierarchyLevel > rf.HierarchyLevel {
+			t.Errorf("%s deeper than regfile_struct", name)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "regfile_struct") || !strings.Contains(out, "Table 1") {
+		t.Errorf("formatting: %s", out)
+	}
+}
+
+func TestTables2And3Claims(t *testing.T) {
+	ctx := tiny(t)
+	flat, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := ctx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != len(composed) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range flat {
+		f, c := flat[i], composed[i]
+		// Claim 1 (both tables): drastic reduction of surrounding logic.
+		if f.GateReductionPct < 25 {
+			t.Errorf("%s flat reduction %.1f%% not drastic", f.Module, f.GateReductionPct)
+		}
+		if c.GateReductionPct < 25 {
+			t.Errorf("%s composed reduction %.1f%% not drastic", c.Module, c.GateReductionPct)
+		}
+		// Claim 2: composition produces no larger environments and does
+		// no more extraction work.
+		if c.GatesSurrounding > f.GatesSurrounding {
+			t.Errorf("%s: composed env %d > flat env %d", c.Module, c.GatesSurrounding, f.GatesSurrounding)
+		}
+		if c.ExtractionWork > f.ExtractionWork {
+			t.Errorf("%s: composed work %d > flat work %d", c.Module, c.ExtractionWork, f.ExtractionWork)
+		}
+	}
+	out := FormatTable23("Table 2", flat)
+	if !strings.Contains(out, "Red%") {
+		t.Errorf("formatting: %s", out)
+	}
+}
+
+func TestTables56Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ATPG tables are slow")
+	}
+	ctx := tiny(t)
+	t5, err := ctx.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := ctx.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov5 := map[string]float64{}
+	for _, r := range t5 {
+		cov5[r.Module] = r.FaultCov
+		if r.Faults == 0 {
+			t.Errorf("%s: no faults targeted", r.Module)
+		}
+	}
+	// Claim: composition gives at-least-comparable coverage everywhere
+	// and a clear win on the deepest module. With a tiny budget allow
+	// small noise on the easy modules.
+	for _, r := range t6 {
+		if r.FaultCov+10 < cov5[r.Module] {
+			t.Errorf("%s: composed coverage %.1f%% well below flat %.1f%%", r.Module, r.FaultCov, cov5[r.Module])
+		}
+	}
+	out := FormatTable56("Table 6", t6)
+	if !strings.Contains(out, "PIERs") {
+		t.Errorf("formatting: %s", out)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("raw ATPG is slow")
+	}
+	ctx := tiny(t)
+	rows, err := ctx.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Claim: stand-alone test generation dominates chip-level for
+		// every embedded module.
+		if r.ProcLevelCov > r.StandAloneCov {
+			t.Errorf("%s: proc-level coverage %.1f%% exceeds stand-alone %.1f%%",
+				r.Module, r.ProcLevelCov, r.StandAloneCov)
+		}
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "ProcCov%") {
+		t.Errorf("formatting: %s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Width != 16 || c.ATPGBudget == 0 || c.Seed == 0 || c.MaxFrames == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Width: 24, Seed: 9}.withDefaults()
+	if c2.Width != 24 || c2.Seed != 9 {
+		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "0.50ms",
+		42 * time.Millisecond:   "42ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"factor/internal/arm"
+	"factor/internal/atpg"
+	"factor/internal/design"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// smallSrc is a compact hierarchical design with a clearly separable
+// MUT (leaf) plus logic that is relevant and logic that is not.
+const smallSrc = `
+module top(input clk, input [3:0] a, b, input sel, unrelated,
+           output [3:0] y, output unrelated_out);
+  wire [3:0] mid, junk;
+  mid u_mid (.clk(clk), .in(a), .other(b), .sel(sel), .out(mid));
+  assign y = mid;
+  assign junk = {4{unrelated}};
+  assign unrelated_out = &junk;
+endmodule
+
+module mid(input clk, input [3:0] in, other, input sel, output [3:0] out);
+  wire [3:0] t;
+  reg [3:0] held;
+  leaf u_leaf (.a(t), .y(out));
+  assign t = sel ? in : held;
+  always @(posedge clk) begin
+    held <= other;
+  end
+endmodule
+
+module leaf(input [3:0] a, output [3:0] y);
+  assign y = a + 4'd1;
+endmodule
+`
+
+func analyzeSmall(t *testing.T) *design.Design {
+	t.Helper()
+	sf, err := verilog.Parse("small.v", smallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExtractReachesChipInterface(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	ex, err := e.Extract("u_mid.u_leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range []string{"a", "b", "sel", "clk"} {
+		if !ex.ChipPIs[pi] {
+			t.Errorf("chip PI %s not reached; got %v", pi, ex.ChipPIs)
+		}
+	}
+	if ex.ChipPIs["unrelated"] {
+		t.Error("unrelated input pulled into constraints")
+	}
+	if !ex.ChipPOs["y"] {
+		t.Errorf("chip PO y not reached; got %v", ex.ChipPOs)
+	}
+	if ex.ChipPOs["unrelated_out"] {
+		t.Error("unrelated output pulled into constraints")
+	}
+}
+
+func TestEmitSynthesizesAndBehaves(t *testing.T) {
+	d := analyzeSmall(t)
+	for _, mode := range []Mode{ModeFlat, ModeComposed} {
+		e := NewExtractor(d, mode)
+		ex, err := e.Extract("u_mid.u_leaf")
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		src, topName, err := ex.Emit(d)
+		if err != nil {
+			t.Fatalf("%v: emit: %v", mode, err)
+		}
+		// The emitted source must re-parse (printer round trip).
+		printed := verilog.PrintFile(src)
+		if _, err := verilog.Parse("xf.v", printed); err != nil {
+			t.Fatalf("%v: emitted source does not re-parse: %v\n%s", mode, err, printed)
+		}
+		res, err := synth.Synthesize(src, topName, synth.Options{})
+		if err != nil {
+			t.Fatalf("%v: transformed module does not synthesize: %v\n%s", mode, err, printed)
+		}
+		// Behavior: y = (sel ? a : held) + 1, held <= b.
+		s := sim.New(res.Netlist)
+		set := func(name string, v uint64, w int) {
+			for i := 0; i < w; i++ {
+				pi := res.Netlist.PI(name + "[" + string(rune('0'+i)) + "]")
+				if pi < 0 && w == 1 {
+					pi = res.Netlist.PI(name)
+				}
+				if pi < 0 {
+					t.Fatalf("%v: transformed module lacks PI %s bit %d (PIs: %v)", mode, name, i, res.Netlist.PINames)
+				}
+				s.SetInputScalar(pi, sim.Logic((v>>uint(i))&1))
+			}
+		}
+		get := func(name string, w int) (uint64, bool) {
+			var out uint64
+			for i := 0; i < w; i++ {
+				po := res.Netlist.PO(name + "[" + string(rune('0'+i)) + "]")
+				if po < 0 && w == 1 {
+					po = res.Netlist.PO(name)
+				}
+				v := s.Value(po).Lane(0)
+				if v == sim.LX {
+					return 0, false
+				}
+				out |= uint64(v) << uint(i)
+			}
+			return out, true
+		}
+		set("a", 5, 4)
+		set("b", 9, 4)
+		set("sel", 1, 1)
+		s.Eval()
+		if y, ok := get("y", 4); !ok || y != 6 {
+			t.Errorf("%v: sel=1 a=5: y=%d (ok=%v), want 6", mode, y, ok)
+		}
+		// Clock b into held, then select it.
+		s.Step()
+		set("sel", 0, 1)
+		s.Eval()
+		if y, ok := get("y", 4); !ok || y != 10 {
+			t.Errorf("%v: sel=0 held=9: y=%d (ok=%v), want 10", mode, y, ok)
+		}
+	}
+}
+
+func TestFlatKeepsWholeBlocksComposedSlices(t *testing.T) {
+	src := `
+module top(input clk, input [3:0] a, output [3:0] y, output [3:0] z);
+  wire [3:0] inner;
+  sub u_sub (.a(inner), .y(y));
+  mixer u_mix (.clk(clk), .a(a), .relevant(inner), .irrelevant(z));
+endmodule
+module mixer(input clk, input [3:0] a, output reg [3:0] relevant, output reg [3:0] irrelevant);
+  always @(posedge clk) begin
+    relevant <= a + 4'd1;
+    irrelevant <= a - 4'd1;
+  end
+endmodule
+module sub(input [3:0] a, output [3:0] y);
+  assign y = ~a;
+endmodule`
+	sf, err := verilog.Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gateCount := func(mode Mode) int {
+		e := NewExtractor(d, mode)
+		ex, err := e.Extract("u_sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, top, err := ex.Emit(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Synthesize(src, top, synth.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", mode, err, verilog.PrintFile(src))
+		}
+		return res.Netlist.NumGates()
+	}
+	flat := gateCount(ModeFlat)
+	composed := gateCount(ModeComposed)
+	if composed >= flat {
+		t.Errorf("composed env (%d gates) not smaller than flat (%d): whole-block retention should cost gates", composed, flat)
+	}
+}
+
+func TestComposedCacheReuse(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	if _, err := e.Extract("u_mid.u_leaf"); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := e.CacheMisses
+	if _, err := e.Extract("u_mid.u_leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheMisses != missesAfterFirst {
+		t.Errorf("second extraction recomputed steps: misses %d -> %d", missesAfterFirst, e.CacheMisses)
+	}
+	if e.CacheHits == 0 {
+		t.Error("no cache hits on repeated extraction")
+	}
+	// Flat mode never caches.
+	ef := NewExtractor(d, ModeFlat)
+	if _, err := ef.Extract("u_mid.u_leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ef.Extract("u_mid.u_leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if ef.CacheHits != 0 {
+		t.Error("flat mode used the cache")
+	}
+}
+
+func TestEmptyChainDiagnostics(t *testing.T) {
+	src := `
+module top(input a, output y);
+  wire floating;
+  sub u_sub (.p(floating), .y(y));
+  assign ignored = a;
+  wire ignored;
+endmodule
+module sub(input p, output y);
+  assign y = ~p;
+endmodule`
+	sf, err := verilog.Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExtractor(d, ModeComposed)
+	ex, err := e.Extract("u_sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, dg := range ex.Diags {
+		if dg.Signal == "floating" && dg.Dir == dirSource {
+			found = true
+			if len(dg.Trace) == 0 {
+				t.Error("diagnostic has no trace")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("floating net not diagnosed: %v", ex.Diags)
+	}
+}
+
+// --- ARM integration ---
+
+func armDesign(t *testing.T) *design.Design {
+	t.Helper()
+	sf, err := arm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, arm.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTransformARMModules(t *testing.T) {
+	d := armDesign(t)
+	full, err := arm.SynthesizeTop(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"W": 16}
+	for _, mode := range []Mode{ModeFlat, ModeComposed} {
+		e := NewExtractor(d, mode)
+		for _, mut := range arm.MUTs() {
+			tr, err := Transform(e, mut.Path, full.Netlist, TransformOptions{TopParams: params})
+			if err != nil {
+				t.Errorf("%v/%s: %v", mode, mut.Module, err)
+				continue
+			}
+			if tr.MUTGates == 0 {
+				t.Errorf("%v/%s: no gates attributed to the MUT", mode, mut.Module)
+			}
+			if tr.EnvGates <= 0 {
+				t.Errorf("%v/%s: empty environment", mode, mut.Module)
+			}
+			if tr.GateReductionPct <= 0 {
+				t.Errorf("%v/%s: no gate reduction (env %d vs full %d)",
+					mode, mut.Module, tr.EnvGates, tr.FullSurrounding)
+			}
+			t.Logf("%v/%s: MUT %d gates, env %d gates (full surrounding %d, reduction %.1f%%), PIs %d POs %d",
+				mode, mut.Module, tr.MUTGates, tr.EnvGates, tr.FullSurrounding, tr.GateReductionPct, tr.PIs, tr.POs)
+		}
+	}
+}
+
+func TestComposedEnvNotLargerThanFlatOnARM(t *testing.T) {
+	d := armDesign(t)
+	full, err := arm.SynthesizeTop(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"W": 16}
+	for _, mut := range arm.MUTs() {
+		ef := NewExtractor(d, ModeFlat)
+		ec := NewExtractor(d, ModeComposed)
+		trF, err := Transform(ef, mut.Path, full.Netlist, TransformOptions{TopParams: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trC, err := Transform(ec, mut.Path, full.Netlist, TransformOptions{TopParams: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trC.EnvGates > trF.EnvGates {
+			t.Errorf("%s: composed env %d gates > flat env %d gates", mut.Module, trC.EnvGates, trF.EnvGates)
+		}
+	}
+}
+
+func TestTestabilityFlagsALUControls(t *testing.T) {
+	d := armDesign(t)
+	rep, err := AnalyzeTestability(d, "u_core.u_alu", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := rep.Decoded()
+	if len(decoded) != 10 {
+		var got []string
+		for _, c := range decoded {
+			got = append(got, c.Port)
+		}
+		t.Fatalf("flagged %d decoded controls %v, want 10 (the alu_op decodes)", len(decoded), got)
+	}
+	for _, c := range decoded {
+		if len(c.ControllingSignals) != 1 || c.ControllingSignals[0] != "aluop" {
+			t.Errorf("control %s: controlling signals %v, want [aluop]", c.Port, c.ControllingSignals)
+		}
+		if !strings.HasPrefix(c.Port, "op_") {
+			t.Errorf("unexpected constrained port %s", c.Port)
+		}
+	}
+	tied := rep.ConstantTied()
+	if len(tied) != 1 || tied[0].Port != "pass_zero" {
+		t.Errorf("constant-tied controls = %v, want [pass_zero]", tied)
+	}
+	if rep.InputPorts != 15 { // a, b, 13 controls
+		t.Errorf("input ports examined = %d, want 15", rep.InputPorts)
+	}
+	if !strings.Contains(rep.Summary(), "10 of 15") {
+		t.Errorf("summary: %s", rep.Summary())
+	}
+}
+
+func TestPIERIdentificationOnARM(t *testing.T) {
+	full, err := arm.SynthesizeTop(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piers := IdentifyPIERs(full.Netlist, 0)
+	if len(piers) == 0 {
+		t.Fatal("no PIERs identified on the processor")
+	}
+	regfilePiers := 0
+	for _, p := range piers {
+		if strings.HasPrefix(full.Netlist.Gates[p].Scope, "u_core.u_regbank.u_rf.") {
+			regfilePiers++
+		}
+	}
+	// All 16 x 16 register file bits are load/store reachable.
+	if regfilePiers != 256 {
+		t.Errorf("regfile PIER bits = %d, want 256", regfilePiers)
+	}
+	// The PC must not be a PIER (no combinational path from the pins).
+	for _, p := range piers {
+		if strings.Contains(full.Netlist.Gates[p].Name, "pc_r") {
+			t.Errorf("PC flagged as PIER: %s", full.Netlist.Gates[p].Name)
+		}
+	}
+}
+
+func TestPIERifyAddsAccessPoints(t *testing.T) {
+	full, err := arm.SynthesizeTop(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piers := IdentifyPIERs(full.Netlist, 0)
+	mod := PIERify(full.Netlist, piers)
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One shared load control + one data PI and one observe PO per PIER.
+	if len(mod.PIs) != len(full.Netlist.PIs)+1+len(piers) {
+		t.Errorf("PIs = %d, want %d", len(mod.PIs), len(full.Netlist.PIs)+1+len(piers))
+	}
+	if len(mod.POs) != len(full.Netlist.POs)+len(piers) {
+		t.Errorf("POs = %d, want %d", len(mod.POs), len(full.Netlist.POs)+len(piers))
+	}
+}
+
+func TestPIERifyMakesUnknownStateTestable(t *testing.T) {
+	// A toggle flop with unknown power-up state: q/sa1 is undetectable
+	// (the good machine never leaves X), but with the flop exposed as a
+	// PIER the state becomes justifiable and the fault detectable.
+	n := netlist.New("tff")
+	en := n.AddInput("en")
+	q := n.AddGate(netlist.DFF, en)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetFanin(q, 0, d)
+	n.AddOutput("q", q)
+
+	f := fault.Fault{Site: fault.Site{Gate: q, Pin: -1}, SAOne: true}
+	engBefore := atpg.New(n, atpg.Options{DisableRandomPhase: true})
+	resBefore := engBefore.Run([]fault.Fault{f})
+	if resBefore.Coverage() != 0 {
+		t.Fatalf("q/sa1 unexpectedly detectable without PIER access")
+	}
+
+	mod := PIERify(n, []int{q})
+	// The fault site keeps its gate ID (Clone preserves IDs).
+	engAfter := atpg.New(mod, atpg.Options{DisableRandomPhase: true})
+	resAfter := engAfter.Run([]fault.Fault{f})
+	if resAfter.Coverage() != 100 {
+		t.Errorf("q/sa1 still undetected with PIER access (coverage %.0f%%, untestable %d, aborted %d)",
+			resAfter.Coverage(), resAfter.UntestableNum, resAfter.AbortedNum)
+	}
+}
+
+func TestMUTFaultFilter(t *testing.T) {
+	d := armDesign(t)
+	e := NewExtractor(d, ModeComposed)
+	tr, err := Transform(e, "u_core.u_alu", nil, TransformOptions{TopParams: map[string]int64{"W": 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := tr.MUTFaultFilter()
+	inMUT := 0
+	for _, g := range tr.Netlist.Gates {
+		if filter(g) {
+			inMUT++
+		}
+	}
+	if inMUT == 0 {
+		t.Error("fault filter selects nothing")
+	}
+	if inMUT != tr.MUTGates {
+		t.Errorf("filter selects %d gates, MUTGates reports %d", inMUT, tr.MUTGates)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	if _, err := e.Extract("nope.nothere"); err == nil {
+		t.Error("expected error for unknown path")
+	}
+	if _, err := e.Extract(""); err == nil {
+		t.Error("expected error for top-as-MUT")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFlat.String() != "flat" || ModeComposed.String() != "composed" {
+		t.Error("Mode.String broken")
+	}
+}

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/design"
+	"factor/internal/verilog"
+)
+
+// Emit converts an extraction into a synthesizable Verilog source file:
+// one specialized (sliced) module per touched hierarchy path — shared
+// between paths whose slices are identical, the composition reuse — the
+// MUT subtree included whole, and a transformed top module whose ports
+// are the chip-level PIs/POs the constraints reach. The returned top
+// module name is "xf_<mut module>".
+func (ex *Extraction) Emit(d *design.Design) (*verilog.SourceFile, string, error) {
+	em := &emitter{d: d, ex: ex, emitted: map[string]*verilog.Module{}, bySig: map[string]string{}}
+	return em.run()
+}
+
+type emitter struct {
+	d  *design.Design
+	ex *Extraction
+	// emitted maps specialized module name to its definition.
+	emitted map[string]*verilog.Module
+	// bySig maps a slice signature to an already-emitted module name.
+	bySig map[string]string
+	// nameSeq disambiguates specialized names.
+	nameSeq map[string]int
+	out     *verilog.SourceFile
+}
+
+func (em *emitter) run() (*verilog.SourceFile, string, error) {
+	em.out = &verilog.SourceFile{}
+	em.nameSeq = map[string]int{}
+
+	// The MUT subtree is included whole: its module plus every module
+	// reachable from it, with original names.
+	if err := em.includeWholeModule(em.ex.MUTModule, map[string]bool{}); err != nil {
+		return nil, "", err
+	}
+
+	topName, err := em.emitPath("")
+	if err != nil {
+		return nil, "", err
+	}
+	// Deterministic module order: transformed top first, then sorted.
+	var names []string
+	for name := range em.emitted {
+		if name != topName {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ordered := &verilog.SourceFile{}
+	ordered.Modules = append(ordered.Modules, em.emitted[topName])
+	for _, n := range names {
+		ordered.Modules = append(ordered.Modules, em.emitted[n])
+	}
+	return ordered, topName, nil
+}
+
+// includeWholeModule copies an original module (and its submodules)
+// verbatim into the output.
+func (em *emitter) includeWholeModule(name string, seen map[string]bool) error {
+	if seen[name] {
+		return nil
+	}
+	seen[name] = true
+	mod := em.d.Source.Module(name)
+	if mod == nil {
+		return fmt.Errorf("core: module %q not found", name)
+	}
+	if _, ok := em.emitted[name]; !ok {
+		em.emitted[name] = mod
+	}
+	for _, inst := range mod.Instances() {
+		if err := em.includeWholeModule(inst.ModuleName, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPath emits the specialized module for one instance path and
+// returns its emitted name. Identical slices of the same module share
+// one emitted definition (constraint reuse).
+func (em *emitter) emitPath(path string) (string, error) {
+	sl, ok := em.ex.slices[path]
+	if !ok {
+		return "", fmt.Errorf("core: internal: no slice for path %q", path)
+	}
+	if path == em.ex.MUTPath {
+		return sl.module, nil // MUT included whole under its own name
+	}
+	mod := em.d.Source.Module(sl.module)
+	if mod == nil {
+		return "", fmt.Errorf("core: module %q not found", sl.module)
+	}
+
+	// Children must be emitted first so instance items can be rewritten
+	// to reference the specialized names; child emitted names become
+	// part of this slice's signature. Iterate in declaration order for
+	// deterministic specialized-module naming.
+	childNames := map[*verilog.Instance]string{}
+	for _, item := range mod.Items {
+		if !sl.items[item] {
+			continue
+		}
+		inst, ok := item.(*verilog.Instance)
+		if !ok {
+			continue
+		}
+		childPath := inst.Name
+		if path != "" {
+			childPath = path + "." + inst.Name
+		}
+		if _, touched := em.ex.slices[childPath]; !touched {
+			// Instance kept but never crossed (connection-only keeps);
+			// drop it from the emitted module.
+			continue
+		}
+		name, err := em.emitPath(childPath)
+		if err != nil {
+			return "", err
+		}
+		childNames[inst] = name
+	}
+
+	sig := em.signature(sl, childNames)
+	if path != "" { // the top specialization is always unique
+		if name, ok := em.bySig[sig]; ok {
+			return name, nil
+		}
+	}
+
+	name := em.freshName(sl, path)
+	spec, err := em.buildModule(name, mod, sl, childNames, path)
+	if err != nil {
+		return "", err
+	}
+	em.emitted[name] = spec
+	if path != "" {
+		em.bySig[sig] = name
+	}
+	return name, nil
+}
+
+func (em *emitter) freshName(sl *pathSlice, path string) string {
+	base := "f_" + sl.module
+	if path == "" {
+		base = "xf_" + em.ex.MUTModule
+	}
+	n := em.nameSeq[base]
+	em.nameSeq[base] = n + 1
+	if n == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s_%d", base, n)
+}
+
+// signature canonically describes a slice so identical slices share an
+// emitted module.
+func (em *emitter) signature(sl *pathSlice, childNames map[*verilog.Instance]string) string {
+	mod := em.d.Source.Module(sl.module)
+	var parts []string
+	parts = append(parts, sl.module)
+	for idx, item := range mod.Items {
+		if !sl.items[item] {
+			continue
+		}
+		part := fmt.Sprintf("i%d", idx)
+		if blk, ok := item.(*verilog.AlwaysBlock); ok {
+			if sl.wholeBlk[blk] {
+				part += ":whole"
+			} else {
+				var ts []string
+				for t := range sl.targets[blk] {
+					ts = append(ts, t)
+				}
+				sort.Strings(ts)
+				part += ":" + strings.Join(ts, ",")
+			}
+		}
+		if inst, ok := item.(*verilog.Instance); ok {
+			part += ":" + childNames[inst]
+		}
+		parts = append(parts, part)
+	}
+	var ports []string
+	for p := range sl.portsUsed {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	parts = append(parts, "p:"+strings.Join(ports, ","))
+	return strings.Join(parts, ";")
+}
+
+// buildModule constructs the specialized module AST.
+func (em *emitter) buildModule(name string, mod *verilog.Module, sl *pathSlice, childNames map[*verilog.Instance]string, path string) (*verilog.Module, error) {
+	spec := &verilog.Module{Name: name, Pos: mod.Pos}
+
+	// Collect the kept items in original order, slicing always blocks
+	// and rewriting instances.
+	var items []verilog.Item
+	referenced := map[string]bool{}
+	funcsNeeded := map[string]bool{}
+
+	noteExprs := func(exprs ...verilog.Expr) {
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			for _, s := range design.ExprSignals(e) {
+				referenced[s] = true
+			}
+			for _, fn := range callNames(e) {
+				funcsNeeded[fn] = true
+			}
+		}
+	}
+
+	for _, item := range mod.Items {
+		if !sl.items[item] {
+			continue
+		}
+		switch it := item.(type) {
+		case *verilog.AssignItem:
+			items = append(items, it)
+			noteExprs(it.LHS, it.RHS)
+		case *verilog.GateInst:
+			items = append(items, it)
+			noteExprs(it.Args...)
+		case *verilog.AlwaysBlock:
+			var body verilog.Stmt
+			if sl.wholeBlk[it] {
+				body = it.Body
+			} else {
+				body = sliceStmt(it.Body, sl.targets[it])
+			}
+			if body == nil {
+				continue
+			}
+			sliced := &verilog.AlwaysBlock{Sens: it.Sens, Body: body, Pos: it.Pos}
+			items = append(items, sliced)
+			collectStmtRefs(body, referenced, funcsNeeded)
+			for _, si := range it.Sens.Items {
+				noteExprs(si.Signal)
+			}
+		case *verilog.Instance:
+			newName, ok := childNames[it]
+			if !ok {
+				continue
+			}
+			childPath := it.Name
+			if path != "" {
+				childPath = path + "." + it.Name
+			}
+			childSlice := em.ex.slices[childPath]
+			ni := &verilog.Instance{ModuleName: newName, Name: it.Name, Params: it.Params, Pos: it.Pos}
+			childMod := em.d.Source.Module(it.ModuleName)
+			conns, err := design.NormalizeConns(childMod, it)
+			if err != nil {
+				return nil, err
+			}
+			// Keep connections for ports the specialized child exposes;
+			// the whole-module MUT keeps everything connected.
+			for _, p := range childMod.Ports {
+				expr := conns[p.Name]
+				if expr == nil {
+					continue
+				}
+				if childPath != em.ex.MUTPath && !childSlice.portsUsed[p.Name] {
+					continue
+				}
+				ni.Conns = append(ni.Conns, verilog.PortConn{Port: p.Name, Expr: expr})
+				noteExprs(expr)
+			}
+			items = append(items, ni)
+		}
+	}
+
+	// Ports: the used subset, in original order. The MUT path keeps all.
+	for _, p := range mod.Ports {
+		if !sl.portsUsed[p.Name] {
+			continue
+		}
+		spec.Ports = append(spec.Ports, p)
+		referenced[p.Name] = true
+	}
+
+	// Parameters always carried (they size declarations).
+	for _, item := range mod.Items {
+		if pd, ok := item.(*verilog.ParamDecl); ok {
+			spec.Items = append(spec.Items, pd)
+			for _, v := range pd.Values {
+				noteExprs(v)
+			}
+		}
+	}
+	// Functions needed by kept expressions.
+	for _, item := range mod.Items {
+		if fd, ok := item.(*verilog.FunctionDecl); ok && funcsNeeded[fd.Name] {
+			spec.Items = append(spec.Items, fd)
+		}
+	}
+	// Declarations for referenced non-port signals.
+	declared := map[string]bool{}
+	for _, p := range spec.Ports {
+		declared[p.Name] = true
+	}
+	// Ports pruned from the specialized interface may still be written
+	// or read by kept logic: they degrade to internal nets.
+	for _, p := range mod.Ports {
+		if referenced[p.Name] && !declared[p.Name] {
+			kind := verilog.NetWire
+			if p.IsReg {
+				kind = verilog.NetReg
+			}
+			spec.Items = append(spec.Items, &verilog.NetDecl{Kind: kind, Width: p.Width, Names: []string{p.Name}, Pos: p.Pos})
+			declared[p.Name] = true
+		}
+	}
+	for _, item := range mod.Items {
+		nd, ok := item.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		var names []string
+		for _, n := range nd.Names {
+			if referenced[n] && !declared[n] {
+				names = append(names, n)
+				declared[n] = true
+			}
+		}
+		if len(names) > 0 {
+			spec.Items = append(spec.Items, &verilog.NetDecl{Kind: nd.Kind, Width: nd.Width, Names: names, Pos: nd.Pos})
+		}
+	}
+	spec.Items = append(spec.Items, items...)
+	return spec, nil
+}
+
+// sliceStmt keeps the control skeleton around assignments to target
+// signals; control statements whose subtree contains no kept
+// assignment vanish, and non-kept branches of kept control statements
+// become null statements so case/if priority is preserved exactly.
+func sliceStmt(s verilog.Stmt, targets map[string]bool) verilog.Stmt {
+	switch v := s.(type) {
+	case *verilog.Block:
+		nb := &verilog.Block{Label: v.Label, Pos: v.Pos}
+		for _, st := range v.Stmts {
+			if k := sliceStmt(st, targets); k != nil {
+				nb.Stmts = append(nb.Stmts, k)
+			}
+		}
+		if len(nb.Stmts) == 0 {
+			return nil
+		}
+		return nb
+	case *verilog.IfStmt:
+		thenK := sliceStmt(v.Then, targets)
+		var elseK verilog.Stmt
+		if v.Else != nil {
+			elseK = sliceStmt(v.Else, targets)
+		}
+		if thenK == nil && elseK == nil {
+			return nil
+		}
+		if thenK == nil {
+			thenK = &verilog.NullStmt{Pos: v.Pos}
+		}
+		if v.Else != nil && elseK == nil {
+			elseK = &verilog.NullStmt{Pos: v.Pos}
+		}
+		return &verilog.IfStmt{Cond: v.Cond, Then: thenK, Else: elseK, Pos: v.Pos}
+	case *verilog.CaseStmt:
+		any := false
+		nc := &verilog.CaseStmt{Kind: v.Kind, Subject: v.Subject, Pos: v.Pos}
+		for _, item := range v.Items {
+			body := sliceStmt(item.Body, targets)
+			if body == nil {
+				body = &verilog.NullStmt{Pos: v.Pos}
+			} else {
+				any = true
+			}
+			nc.Items = append(nc.Items, verilog.CaseItem{Exprs: item.Exprs, Body: body})
+		}
+		if !any {
+			return nil
+		}
+		return nc
+	case *verilog.ForStmt:
+		body := sliceStmt(v.Body, targets)
+		if body == nil {
+			return nil
+		}
+		return &verilog.ForStmt{Init: v.Init, Cond: v.Cond, Step: v.Step, Body: body, Pos: v.Pos}
+	case *verilog.WhileStmt:
+		body := sliceStmt(v.Body, targets)
+		if body == nil {
+			return nil
+		}
+		return &verilog.WhileStmt{Cond: v.Cond, Body: body, Pos: v.Pos}
+	case *verilog.AssignStmt:
+		for _, l := range lvalueSignalsOf(v.LHS) {
+			if targets[l] {
+				return v
+			}
+		}
+		return nil
+	case *verilog.NullStmt, *verilog.SysCallStmt:
+		return nil
+	}
+	return nil
+}
+
+// collectStmtRefs gathers signal and function references of a
+// statement subtree.
+func collectStmtRefs(s verilog.Stmt, referenced, funcs map[string]bool) {
+	note := func(exprs ...verilog.Expr) {
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			for _, n := range design.ExprSignals(e) {
+				referenced[n] = true
+			}
+			for _, fn := range callNames(e) {
+				funcs[fn] = true
+			}
+		}
+	}
+	var walk func(st verilog.Stmt)
+	walk = func(st verilog.Stmt) {
+		switch v := st.(type) {
+		case *verilog.Block:
+			for _, c := range v.Stmts {
+				walk(c)
+			}
+		case *verilog.IfStmt:
+			note(v.Cond)
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *verilog.CaseStmt:
+			note(v.Subject)
+			for _, item := range v.Items {
+				note(item.Exprs...)
+				walk(item.Body)
+			}
+		case *verilog.ForStmt:
+			note(v.Cond)
+			walk(v.Init)
+			walk(v.Step)
+			walk(v.Body)
+		case *verilog.WhileStmt:
+			note(v.Cond)
+			walk(v.Body)
+		case *verilog.AssignStmt:
+			note(v.LHS, v.RHS)
+			for _, l := range lvalueSignalsOf(v.LHS) {
+				referenced[l] = true
+			}
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+}
+
+// callNames returns the function names invoked in an expression.
+func callNames(e verilog.Expr) []string {
+	var out []string
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case nil:
+		case *verilog.UnaryExpr:
+			walk(v.X)
+		case *verilog.BinaryExpr:
+			walk(v.X)
+			walk(v.Y)
+		case *verilog.CondExpr:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *verilog.IndexExpr:
+			walk(v.X)
+			walk(v.Index)
+		case *verilog.RangeExpr:
+			walk(v.X)
+			walk(v.MSB)
+			walk(v.LSB)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case *verilog.ReplExpr:
+			walk(v.Count)
+			walk(v.X)
+		case *verilog.CallExpr:
+			out = append(out, v.Name)
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,819 @@
+// Package core implements the FACTOR methodology itself: hierarchical
+// functional constraint extraction (the find_source_logic and
+// find_prop_paths subroutines of the paper's Fig. 3), constraint
+// composition with reuse, transformed-module construction (paper
+// Fig. 1), PIER identification, and testability analysis.
+//
+// Two extraction modes reproduce the paper's comparison:
+//
+//   - ModeFlat ("without composition", the earlier Tupuri-style flow):
+//     constraints are chased across the hierarchy but module processes
+//     are taken whole (item granularity) — without per-level
+//     composition the extractor cannot prune inside submodule
+//     processes — and nothing is reused between queries.
+//   - ModeComposed (the paper's contribution): statement-level slices
+//     are extracted per hierarchy level and composed; module-local
+//     chain traversals are cached and reused across instances and
+//     MUTs, which both shrinks the extracted environment and cuts
+//     extraction time.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/design"
+	"factor/internal/verilog"
+)
+
+// Mode selects the extraction strategy.
+type Mode int
+
+// Extraction modes.
+const (
+	// ModeFlat is the conventional methodology without constraint
+	// composition (paper Table 2/5).
+	ModeFlat Mode = iota
+	// ModeComposed is the hierarchical composition methodology (paper
+	// Table 3/6).
+	ModeComposed
+)
+
+func (m Mode) String() string {
+	if m == ModeComposed {
+		return "composed"
+	}
+	return "flat"
+}
+
+// dir distinguishes backward (source) from forward (propagation)
+// traversal.
+type dir int
+
+const (
+	dirSource dir = iota
+	dirProp
+)
+
+func (d dir) String() string {
+	if d == dirProp {
+		return "prop"
+	}
+	return "source"
+}
+
+// Diag is a testability diagnostic produced during extraction: a
+// signal whose def-use or use-def chain is empty, meaning no path
+// between the chip interface and the MUT exists through it.
+type Diag struct {
+	Path   string // instance path of the module
+	Module string
+	Signal string
+	Dir    dir
+	Trace  []string // signal trail from the MUT boundary to the dead end
+}
+
+func (d Diag) String() string {
+	kind := "use-def (no driver)"
+	if d.Dir == dirProp {
+		kind = "def-use (no reader)"
+	}
+	return fmt.Sprintf("%s.%s: empty %s chain; trace: %s",
+		pathOr(d.Path, "<top>"), d.Signal, kind, strings.Join(d.Trace, " -> "))
+}
+
+func pathOr(p, alt string) string {
+	if p == "" {
+		return alt
+	}
+	return p
+}
+
+// Extractor runs constraint extraction over an analyzed design. It can
+// be reused across MUTs; in ModeComposed the module-local chain cache
+// persists across calls (the paper's constraint reuse).
+type Extractor struct {
+	D    *design.Design
+	Mode Mode
+
+	cache map[stepKey]*moduleStep
+
+	// Stats accumulate over the extractor's lifetime.
+	CacheHits   int
+	CacheMisses int
+	Steps       int // processed work items
+}
+
+// NewExtractor creates an extractor over the analyzed design.
+func NewExtractor(d *design.Design, mode Mode) *Extractor {
+	return &Extractor{D: d, Mode: mode, cache: map[stepKey]*moduleStep{}}
+}
+
+type stepKey struct {
+	module string
+	signal string
+	d      dir
+}
+
+// childCross describes traversal descending into a child instance.
+type childCross struct {
+	inst *verilog.Instance
+	port string
+	d    dir
+}
+
+// moduleStep is the module-local consequence of chasing one signal in
+// one direction: which items to keep, which block slice targets to
+// add, and where the traversal continues. It is independent of the
+// instance path, which is what makes it reusable (composition).
+type moduleStep struct {
+	keepItems []verilog.Item
+	// sliceTargets: per always block, the signals whose assignments
+	// must be kept. A nil signal list means "whole block".
+	sliceTargets map[*verilog.AlwaysBlock][]string
+	localNext    []sigDir
+	children     []childCross
+	emptyDef     bool
+	emptyUse     bool
+}
+
+type sigDir struct {
+	sig string
+	d   dir
+}
+
+// Extraction is the result of extracting constraints for one MUT.
+type Extraction struct {
+	MUTPath   string
+	MUTModule string
+	Mode      Mode
+
+	// slices per instance path (the top module is path "").
+	slices map[string]*pathSlice
+
+	// ChipPIs/ChipPOs are the top-level ports the constraints reach.
+	ChipPIs map[string]bool
+	ChipPOs map[string]bool
+
+	Diags []Diag
+
+	// WorkItems counts processed traversal steps (extraction effort).
+	WorkItems int
+}
+
+type pathSlice struct {
+	path   string
+	module string
+	items  map[verilog.Item]bool
+	// targets[blk] == nil means whole block.
+	targets   map[*verilog.AlwaysBlock]map[string]bool
+	wholeBlk  map[*verilog.AlwaysBlock]bool
+	portsUsed map[string]bool
+}
+
+func newPathSlice(path, module string) *pathSlice {
+	return &pathSlice{
+		path:      path,
+		module:    module,
+		items:     map[verilog.Item]bool{},
+		targets:   map[*verilog.AlwaysBlock]map[string]bool{},
+		wholeBlk:  map[*verilog.AlwaysBlock]bool{},
+		portsUsed: map[string]bool{},
+	}
+}
+
+// workItem is one pending traversal step.
+type workItem struct {
+	path  string
+	sig   string
+	d     dir
+	trace []string
+}
+
+const maxTrace = 24
+
+// Extract runs constraint extraction for the module instance at
+// mutPath (paper: "Once the MUT and the top module are identified,
+// FACTOR calls appropriate subroutines").
+func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
+	node := e.D.Root.Find(mutPath)
+	if node == nil {
+		return nil, fmt.Errorf("core: MUT instance path %q not found", mutPath)
+	}
+	if node.Parent == nil {
+		return nil, fmt.Errorf("core: the top module cannot be a MUT")
+	}
+	ex := &Extraction{
+		MUTPath:   mutPath,
+		MUTModule: node.Module,
+		Mode:      e.Mode,
+		slices:    map[string]*pathSlice{},
+		ChipPIs:   map[string]bool{},
+		ChipPOs:   map[string]bool{},
+	}
+
+	// The spine of instances from the top module down to the MUT is
+	// always part of the transformed module, even if no constraint
+	// crosses a particular level.
+	for n := node; n.Parent != nil; n = n.Parent {
+		ps := ex.slice(n.Parent.Path, n.Parent.Module)
+		ps.items[n.Inst] = true
+		if n != node {
+			ex.slice(n.Path, n.Module)
+		}
+	}
+	parentPath := node.Parent.Path
+
+	mutMod := e.D.Source.Module(node.Module)
+	if mutMod == nil {
+		return nil, fmt.Errorf("core: MUT module %q not found", node.Module)
+	}
+	conns, err := design.NormalizeConns(mutMod, node.Inst)
+	if err != nil {
+		return nil, err
+	}
+
+	var work []workItem
+	mutSlicePorts := ex.slice(mutPath, node.Module)
+	for _, port := range mutMod.Ports {
+		expr, ok := conns[port.Name]
+		if !ok || expr == nil {
+			continue
+		}
+		mutSlicePorts.portsUsed[port.Name] = true
+		switch port.Dir {
+		case verilog.PortInput:
+			for _, sig := range design.ExprSignals(expr) {
+				work = append(work, workItem{path: parentPath, sig: sig, d: dirSource,
+					trace: []string{mutPath + "." + port.Name}})
+			}
+		case verilog.PortOutput:
+			for _, sig := range lvalueSignalsOf(expr) {
+				work = append(work, workItem{path: parentPath, sig: sig, d: dirProp,
+					trace: []string{mutPath + "." + port.Name}})
+			}
+		}
+	}
+
+	visited := map[string]bool{}
+	for len(work) > 0 {
+		w := work[len(work)-1]
+		work = work[:len(work)-1]
+		key := w.path + "\x00" + w.sig + "\x00" + w.d.String()
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+		ex.WorkItems++
+		e.Steps++
+
+		next, err := e.process(ex, w)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, next...)
+	}
+	return ex, nil
+}
+
+func (ex *Extraction) slice(path, module string) *pathSlice {
+	if s, ok := ex.slices[path]; ok {
+		return s
+	}
+	s := newPathSlice(path, module)
+	ex.slices[path] = s
+	return s
+}
+
+// process handles one work item: port crossings first, then the
+// module-local chain step.
+func (e *Extractor) process(ex *Extraction, w workItem) ([]workItem, error) {
+	node := e.D.Root.Find(w.path)
+	if node == nil {
+		return nil, fmt.Errorf("core: internal: path %q vanished", w.path)
+	}
+	mi := e.D.Module(node.Module)
+	if mi.IsParam(w.sig) {
+		// Parameters read like signals but are compile-time constants:
+		// nothing to extract and no chain to diagnose.
+		return nil, nil
+	}
+	sl := ex.slice(w.path, node.Module)
+	var out []workItem
+
+	trace := w.trace
+	if len(trace) < maxTrace {
+		trace = append(append([]string(nil), trace...), pathOr(w.path, "<top>")+"."+w.sig)
+	}
+
+	// Port crossings to the parent / chip interface.
+	si := mi.Signal(w.sig)
+	if si.IsPort {
+		switch {
+		case w.d == dirSource && si.Dir == verilog.PortInput:
+			sl.portsUsed[w.sig] = true
+			if w.path == "" {
+				ex.ChipPIs[w.sig] = true
+				return out, nil
+			}
+			items, err := e.crossUp(ex, node, w, trace)
+			if err != nil {
+				return nil, err
+			}
+			return append(out, items...), nil
+		case w.d == dirProp && si.Dir == verilog.PortOutput:
+			sl.portsUsed[w.sig] = true
+			if w.path == "" {
+				ex.ChipPOs[w.sig] = true
+				// The chip boundary is reached, but local readers of
+				// the signal may still fan out; fall through.
+			} else {
+				items, err := e.crossUp(ex, node, w, trace)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, items...)
+				// Also fall through to local uses.
+			}
+		}
+	}
+
+	step := e.moduleStepFor(node.Module, mi, w.sig, w.d)
+	for _, it := range step.keepItems {
+		sl.items[it] = true
+	}
+	for blk, targets := range step.sliceTargets {
+		sl.items[blk] = true
+		if targets == nil {
+			sl.wholeBlk[blk] = true
+			continue
+		}
+		set := sl.targets[blk]
+		if set == nil {
+			set = map[string]bool{}
+			sl.targets[blk] = set
+		}
+		for _, t := range targets {
+			set[t] = true
+		}
+	}
+	for _, n := range step.localNext {
+		out = append(out, workItem{path: w.path, sig: n.sig, d: n.d, trace: trace})
+	}
+	for _, cc := range step.children {
+		childPath := cc.inst.Name
+		if w.path != "" {
+			childPath = w.path + "." + cc.inst.Name
+		}
+		childNode := e.D.Root.Find(childPath)
+		if childNode == nil {
+			return nil, fmt.Errorf("core: instance path %q not in hierarchy", childPath)
+		}
+		cs := ex.slice(childPath, childNode.Module)
+		cs.portsUsed[cc.port] = true
+		sl.items[cc.inst] = true
+		out = append(out, workItem{path: childPath, sig: cc.port, d: cc.d, trace: trace})
+	}
+
+	// Empty-chain diagnostics (paper §3: "the tool also provides a
+	// trace for any signals ... for which a def-use or use-def chain is
+	// empty").
+	if step.emptyDef && w.d == dirSource && !(si.IsPort && si.Dir == verilog.PortInput) {
+		ex.Diags = append(ex.Diags, Diag{Path: w.path, Module: node.Module, Signal: w.sig, Dir: dirSource, Trace: trace})
+	}
+	if step.emptyUse && w.d == dirProp && !(si.IsPort && si.Dir == verilog.PortOutput) {
+		ex.Diags = append(ex.Diags, Diag{Path: w.path, Module: node.Module, Signal: w.sig, Dir: dirProp, Trace: trace})
+	}
+	return out, nil
+}
+
+// crossUp continues the traversal in the parent module through the
+// instance connection of the given port signal.
+func (e *Extractor) crossUp(ex *Extraction, node *design.InstanceNode, w workItem, trace []string) ([]workItem, error) {
+	parent := node.Parent
+	child := e.D.Source.Module(node.Module)
+	conns, err := design.NormalizeConns(child, node.Inst)
+	if err != nil {
+		return nil, err
+	}
+	ps := ex.slice(parent.Path, parent.Module)
+	ps.items[node.Inst] = true
+	expr, ok := conns[w.sig]
+	if !ok || expr == nil {
+		// Unconnected port: dead end — report as an empty chain at the
+		// parent boundary.
+		ex.Diags = append(ex.Diags, Diag{Path: node.Path, Module: node.Module, Signal: w.sig, Dir: w.d, Trace: trace})
+		return nil, nil
+	}
+	var out []workItem
+	if w.d == dirSource {
+		for _, sig := range design.ExprSignals(expr) {
+			out = append(out, workItem{path: parent.Path, sig: sig, d: dirSource, trace: trace})
+		}
+	} else {
+		for _, sig := range lvalueSignalsOf(expr) {
+			out = append(out, workItem{path: parent.Path, sig: sig, d: dirProp, trace: trace})
+		}
+	}
+	return out, nil
+}
+
+// moduleStepFor computes (or recalls) the module-local traversal step.
+// In ModeComposed the result is cached per (module, signal, direction)
+// — this is the constraint reuse that makes composition cheaper.
+func (e *Extractor) moduleStepFor(module string, mi *design.ModuleInfo, sig string, d dir) *moduleStep {
+	key := stepKey{module: module, signal: sig, d: d}
+	if e.Mode == ModeComposed {
+		if s, ok := e.cache[key]; ok {
+			e.CacheHits++
+			return s
+		}
+		e.CacheMisses++
+	}
+	s := e.computeStep(mi, sig, d)
+	if e.Mode == ModeComposed {
+		e.cache[key] = s
+	}
+	return s
+}
+
+func (e *Extractor) computeStep(mi *design.ModuleInfo, sig string, d dir) *moduleStep {
+	s := &moduleStep{sliceTargets: map[*verilog.AlwaysBlock][]string{}}
+	si := mi.Signal(sig)
+	if d == dirSource {
+		e.stepSource(mi, si, s)
+	} else {
+		e.stepProp(mi, si, s)
+	}
+	return s
+}
+
+// addSliceTarget records that assignments to target inside blk must be
+// kept. In flat mode the whole block is kept instead (nil target list).
+func (e *Extractor) addSliceTarget(s *moduleStep, mi *design.ModuleInfo, blk *verilog.AlwaysBlock, target string) {
+	if e.Mode == ModeFlat {
+		if _, ok := s.sliceTargets[blk]; !ok {
+			s.sliceTargets[blk] = nil
+			// Keeping the whole block pulls in everything it reads
+			// (the values feeding every retained assignment) and makes
+			// every signal it assigns a live constraint whose fanout
+			// must also be extracted — without per-level composition
+			// the extractor cannot tell which of the block's outputs
+			// matter, so it conservatively takes all of them. This is
+			// the conservatism that bloats the Tupuri-style
+			// environments on hierarchical designs.
+			reads, writes := blockSignals(blk)
+			for _, r := range reads {
+				s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+			}
+			for _, w := range writes {
+				s.localNext = append(s.localNext, sigDir{sig: w, d: dirProp})
+			}
+			for _, cs := range sensSignals(blk) {
+				s.localNext = append(s.localNext, sigDir{sig: cs, d: dirSource})
+			}
+		}
+		return
+	}
+	s.sliceTargets[blk] = append(s.sliceTargets[blk], target)
+	for _, cs := range sensSignals(blk) {
+		s.localNext = append(s.localNext, sigDir{sig: cs, d: dirSource})
+	}
+}
+
+func (e *Extractor) stepSource(mi *design.ModuleInfo, si *design.SignalInfo, s *moduleStep) {
+	realDefs := 0
+	for _, def := range si.Defs {
+		switch def.Kind {
+		case design.DefPortIn:
+			// Handled by the caller's port-crossing logic.
+			continue
+		case design.DefAssign:
+			realDefs++
+			item := def.Item.(*verilog.AssignItem)
+			s.keepItems = append(s.keepItems, item)
+			for _, r := range design.ExprSignals(item.RHS) {
+				s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+			}
+			for _, r := range indexSignalsOf(item.LHS) {
+				s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+			}
+		case design.DefProc:
+			realDefs++
+			blk := def.Item.(*verilog.AlwaysBlock)
+			e.addSliceTarget(s, mi, blk, si.Name)
+			if e.Mode == ModeComposed {
+				as := def.Stmt.(*verilog.AssignStmt)
+				for _, r := range design.ExprSignals(as.RHS) {
+					s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+				}
+				for _, r := range indexSignalsOf(as.LHS) {
+					s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+				}
+				for _, r := range def.CondSignals {
+					s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+				}
+			}
+		case design.DefInstOut:
+			realDefs++
+			s.keepItems = append(s.keepItems, def.Item)
+			s.children = append(s.children, childCross{inst: def.Instance, port: def.Port, d: dirSource})
+		case design.DefGateOut:
+			realDefs++
+			g := def.Item.(*verilog.GateInst)
+			s.keepItems = append(s.keepItems, g)
+			for _, arg := range gateInputs(g) {
+				for _, r := range design.ExprSignals(arg) {
+					s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+				}
+			}
+		}
+	}
+	if realDefs == 0 {
+		s.emptyDef = true
+	}
+}
+
+func (e *Extractor) stepProp(mi *design.ModuleInfo, si *design.SignalInfo, s *moduleStep) {
+	realUses := 0
+	for _, use := range si.Uses {
+		switch use.Kind {
+		case design.UsePortOut:
+			// Handled by the caller's port-crossing logic.
+			continue
+		case design.UseAssignRHS:
+			realUses++
+			item := use.Item.(*verilog.AssignItem)
+			s.keepItems = append(s.keepItems, item)
+			for _, l := range lvalueSignalsOf(item.LHS) {
+				s.localNext = append(s.localNext, sigDir{sig: l, d: dirProp})
+			}
+			for _, r := range design.ExprSignals(item.RHS) {
+				if r != si.Name {
+					s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+				}
+			}
+		case design.UseProcRHS:
+			realUses++
+			blk := use.Item.(*verilog.AlwaysBlock)
+			as, ok := use.Stmt.(*verilog.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, l := range lvalueSignalsOf(as.LHS) {
+				e.addSliceTarget(s, mi, blk, l)
+				s.localNext = append(s.localNext, sigDir{sig: l, d: dirProp})
+			}
+			if e.Mode == ModeComposed {
+				for _, r := range design.ExprSignals(as.RHS) {
+					if r != si.Name {
+						s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+					}
+				}
+				for _, enc := range use.Enclosing {
+					for _, r := range condSignalsOf(enc) {
+						s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+					}
+				}
+			}
+		case design.UseCond:
+			realUses++
+			blk := use.Item.(*verilog.AlwaysBlock)
+			// The signal gates every assignment under the conditional:
+			// propagate to all of them (paper Fig. 3, steps 4-7 of
+			// find_prop_paths).
+			for _, as := range assignmentsUnder(use.Stmt) {
+				for _, l := range lvalueSignalsOf(as.LHS) {
+					e.addSliceTarget(s, mi, blk, l)
+					s.localNext = append(s.localNext, sigDir{sig: l, d: dirProp})
+				}
+				if e.Mode == ModeComposed {
+					for _, r := range design.ExprSignals(as.RHS) {
+						if r != si.Name {
+							s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+						}
+					}
+				}
+			}
+			if e.Mode == ModeComposed {
+				for _, r := range condSignalsOf(use.Stmt) {
+					if r != si.Name {
+						s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+					}
+				}
+			}
+		case design.UseInstIn:
+			realUses++
+			s.keepItems = append(s.keepItems, use.Item)
+			s.children = append(s.children, childCross{inst: use.Instance, port: use.Port, d: dirProp})
+		case design.UseGateIn:
+			realUses++
+			g := use.Item.(*verilog.GateInst)
+			s.keepItems = append(s.keepItems, g)
+			for _, outArg := range gateOutputs(g) {
+				for _, l := range lvalueSignalsOf(outArg) {
+					s.localNext = append(s.localNext, sigDir{sig: l, d: dirProp})
+				}
+			}
+			for _, inArg := range gateInputs(g) {
+				for _, r := range design.ExprSignals(inArg) {
+					if r != si.Name {
+						s.localNext = append(s.localNext, sigDir{sig: r, d: dirSource})
+					}
+				}
+			}
+		}
+	}
+	if realUses == 0 {
+		s.emptyUse = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func gateInputs(g *verilog.GateInst) []verilog.Expr {
+	if g.Kind == "buf" || g.Kind == "not" {
+		return g.Args[len(g.Args)-1:]
+	}
+	return g.Args[1:]
+}
+
+func gateOutputs(g *verilog.GateInst) []verilog.Expr {
+	if g.Kind == "buf" || g.Kind == "not" {
+		return g.Args[:len(g.Args)-1]
+	}
+	return g.Args[:1]
+}
+
+func lvalueSignalsOf(e verilog.Expr) []string {
+	var out []string
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case *verilog.Ident:
+			out = append(out, v.Name)
+		case *verilog.IndexExpr:
+			walk(v.X)
+		case *verilog.RangeExpr:
+			walk(v.X)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+func indexSignalsOf(e verilog.Expr) []string {
+	var out []string
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case *verilog.IndexExpr:
+			out = append(out, design.ExprSignals(v.Index)...)
+			walk(v.X)
+		case *verilog.RangeExpr:
+			walk(v.X)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// condSignalsOf returns the signals read by the condition of a control
+// statement.
+func condSignalsOf(s verilog.Stmt) []string {
+	switch v := s.(type) {
+	case *verilog.IfStmt:
+		return design.ExprSignals(v.Cond)
+	case *verilog.CaseStmt:
+		out := design.ExprSignals(v.Subject)
+		for _, item := range v.Items {
+			for _, le := range item.Exprs {
+				out = append(out, design.ExprSignals(le)...)
+			}
+		}
+		return out
+	case *verilog.ForStmt:
+		return design.ExprSignals(v.Cond)
+	case *verilog.WhileStmt:
+		return design.ExprSignals(v.Cond)
+	}
+	return nil
+}
+
+// assignmentsUnder collects all assignment statements in a subtree.
+func assignmentsUnder(s verilog.Stmt) []*verilog.AssignStmt {
+	var out []*verilog.AssignStmt
+	var walk func(st verilog.Stmt)
+	walk = func(st verilog.Stmt) {
+		switch v := st.(type) {
+		case *verilog.Block:
+			for _, c := range v.Stmts {
+				walk(c)
+			}
+		case *verilog.IfStmt:
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *verilog.CaseStmt:
+			for _, item := range v.Items {
+				walk(item.Body)
+			}
+		case *verilog.ForStmt:
+			walk(v.Init)
+			walk(v.Step)
+			walk(v.Body)
+		case *verilog.WhileStmt:
+			walk(v.Body)
+		case *verilog.AssignStmt:
+			out = append(out, v)
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+	return out
+}
+
+// blockSignals returns (reads, writes) of a whole always block.
+func blockSignals(blk *verilog.AlwaysBlock) (reads, writes []string) {
+	seenR := map[string]bool{}
+	seenW := map[string]bool{}
+	var walk func(st verilog.Stmt)
+	addR := func(names []string) {
+		for _, n := range names {
+			if !seenR[n] {
+				seenR[n] = true
+				reads = append(reads, n)
+			}
+		}
+	}
+	walk = func(st verilog.Stmt) {
+		switch v := st.(type) {
+		case *verilog.Block:
+			for _, c := range v.Stmts {
+				walk(c)
+			}
+		case *verilog.IfStmt:
+			addR(design.ExprSignals(v.Cond))
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *verilog.CaseStmt:
+			addR(condSignalsOf(v))
+			for _, item := range v.Items {
+				walk(item.Body)
+			}
+		case *verilog.ForStmt:
+			addR(design.ExprSignals(v.Cond))
+			walk(v.Init)
+			walk(v.Step)
+			walk(v.Body)
+		case *verilog.WhileStmt:
+			addR(design.ExprSignals(v.Cond))
+			walk(v.Body)
+		case *verilog.AssignStmt:
+			addR(design.ExprSignals(v.RHS))
+			addR(indexSignalsOf(v.LHS))
+			for _, w := range lvalueSignalsOf(v.LHS) {
+				if !seenW[w] {
+					seenW[w] = true
+					writes = append(writes, w)
+				}
+			}
+		}
+	}
+	walk(blk.Body)
+	return reads, writes
+}
+
+// sensSignals returns the signals in the sensitivity list of a clocked
+// block (the clock/reset tree is part of the environment).
+func sensSignals(blk *verilog.AlwaysBlock) []string {
+	var out []string
+	for _, it := range blk.Sens.Items {
+		out = append(out, design.ExprSignals(it.Signal)...)
+	}
+	return out
+}
+
+// Paths returns the touched instance paths in deterministic order.
+func (ex *Extraction) Paths() []string {
+	out := make([]string, 0, len(ex.slices))
+	for p := range ex.slices {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"factor/internal/atpg"
+	"factor/internal/design"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// uartSoC is a second, non-CPU benchmark: a UART transceiver chip with
+// a FIFO buffer, baud generator and a parity unit — a different design
+// style (handshakes and counters rather than a fetch/execute loop).
+// It demonstrates the flow is not specialized to the ARM benchmark.
+const uartSoC = `
+module uart_soc(
+  input clk, rst,
+  input [7:0] tx_data,
+  input tx_we,
+  input rx_line,
+  input [3:0] baud_div,
+  output tx_line,
+  output tx_busy,
+  output [7:0] rx_data,
+  output rx_valid,
+  output fifo_full,
+  output parity_err
+);
+  wire tick;
+  baudgen u_baud (.clk(clk), .rst(rst), .div(baud_div), .tick(tick));
+
+  wire [7:0] fifo_out;
+  wire fifo_empty, fifo_rd;
+  fifo4 u_fifo (
+    .clk(clk), .rst(rst),
+    .wdata(tx_data), .we(tx_we),
+    .rdata(fifo_out), .re(fifo_rd),
+    .full(fifo_full), .empty(fifo_empty)
+  );
+
+  txunit u_tx (
+    .clk(clk), .rst(rst), .tick(tick),
+    .data(fifo_out), .start(!fifo_empty),
+    .line(tx_line), .busy(tx_busy), .taken(fifo_rd)
+  );
+
+  rxunit u_rx (
+    .clk(clk), .rst(rst), .tick(tick),
+    .line(rx_line),
+    .data(rx_data), .valid(rx_valid)
+  );
+
+  parity u_par (.data(rx_data), .strobe(rx_valid), .clk(clk), .rst(rst), .err(parity_err));
+endmodule
+
+module baudgen(input clk, rst, input [3:0] div, output reg tick);
+  reg [3:0] cnt;
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= 4'd0;
+      tick <= 1'b0;
+    end
+    else if (cnt == div) begin
+      cnt <= 4'd0;
+      tick <= 1'b1;
+    end
+    else begin
+      cnt <= cnt + 4'd1;
+      tick <= 1'b0;
+    end
+  end
+endmodule
+
+module fifo4(
+  input clk, rst,
+  input [7:0] wdata,
+  input we,
+  output reg [7:0] rdata,
+  input re,
+  output full,
+  output empty
+);
+  wire [7:0] q0, q1, q2, q3;
+  reg [1:0] wp, rp;
+  reg [2:0] count;
+  wire [3:0] wen;
+  fifodec u_dec (.en(we & !full), .sel(wp), .oh(wen));
+  cell8 u_c0 (.clk(clk), .en(wen[0]), .d(wdata), .q(q0));
+  cell8 u_c1 (.clk(clk), .en(wen[1]), .d(wdata), .q(q1));
+  cell8 u_c2 (.clk(clk), .en(wen[2]), .d(wdata), .q(q2));
+  cell8 u_c3 (.clk(clk), .en(wen[3]), .d(wdata), .q(q3));
+  always @(*) begin
+    case (rp)
+      2'd0: rdata = q0;
+      2'd1: rdata = q1;
+      2'd2: rdata = q2;
+      default: rdata = q3;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) begin
+      wp <= 2'd0;
+      rp <= 2'd0;
+      count <= 3'd0;
+    end
+    else begin
+      if (we & !full)
+        wp <= wp + 2'd1;
+      if (re & !empty)
+        rp <= rp + 2'd1;
+      if ((we & !full) & !(re & !empty))
+        count <= count + 3'd1;
+      else if (!(we & !full) & (re & !empty))
+        count <= count - 3'd1;
+    end
+  end
+  assign full = count == 3'd4;
+  assign empty = count == 3'd0;
+endmodule
+
+module fifodec(input en, input [1:0] sel, output reg [3:0] oh);
+  always @(*) begin
+    oh = 4'd0;
+    if (en) begin
+      case (sel)
+        2'd0: oh[0] = 1'b1;
+        2'd1: oh[1] = 1'b1;
+        2'd2: oh[2] = 1'b1;
+        default: oh[3] = 1'b1;
+      endcase
+    end
+  end
+endmodule
+
+module cell8(input clk, en, input [7:0] d, output [7:0] q);
+  reg [7:0] r;
+  always @(posedge clk) begin
+    if (en)
+      r <= d;
+  end
+  assign q = r;
+endmodule
+
+module txunit(
+  input clk, rst, tick,
+  input [7:0] data,
+  input start,
+  output line,
+  output busy,
+  output taken
+);
+  reg [3:0] state; // 0 idle, 1 start bit, 2-9 data bits, 10 stop
+  reg [7:0] shifter;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 4'd0;
+      shifter <= 8'd0;
+    end
+    else if (tick) begin
+      if (state == 4'd0) begin
+        if (start) begin
+          state <= 4'd1;
+          shifter <= data;
+        end
+      end
+      else if (state == 4'd10)
+        state <= 4'd0;
+      else begin
+        state <= state + 4'd1;
+        if (state != 4'd1)
+          shifter <= {1'b0, shifter[7:1]};
+      end
+    end
+  end
+  assign busy = state != 4'd0;
+  assign taken = tick & (state == 4'd0) & start;
+  assign line = (state == 4'd0) ? 1'b1
+              : ((state == 4'd1) ? 1'b0
+              : ((state == 4'd10) ? 1'b1 : shifter[0]));
+endmodule
+
+module rxunit(
+  input clk, rst, tick,
+  input line,
+  output reg [7:0] data,
+  output reg valid
+);
+  reg [3:0] state;
+  reg [7:0] shifter;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 4'd0;
+      shifter <= 8'd0;
+      data <= 8'd0;
+      valid <= 1'b0;
+    end
+    else begin
+      valid <= 1'b0;
+      if (tick) begin
+        if (state == 4'd0) begin
+          if (!line)
+            state <= 4'd1;
+        end
+        else if (state == 4'd9) begin
+          data <= shifter;
+          valid <= 1'b1;
+          state <= 4'd0;
+        end
+        else begin
+          shifter <= {line, shifter[7:1]};
+          state <= state + 4'd1;
+        end
+      end
+    end
+  end
+endmodule
+
+module parity(input [7:0] data, input strobe, clk, rst, output reg err);
+  always @(posedge clk) begin
+    if (rst)
+      err <= 1'b0;
+    else if (strobe)
+      err <= ^data;
+  end
+endmodule
+`
+
+func uartDesign(t *testing.T) (*design.Design, *netlist.Netlist) {
+	t.Helper()
+	sf, err := verilog.Parse("uart.v", uartSoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Analyze(sf, "uart_soc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := synth.Synthesize(sf, "uart_soc", synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, full.Netlist
+}
+
+func TestGenericDesignFullFlow(t *testing.T) {
+	d, full := uartDesign(t)
+	// Minimum coverage expectations differ by module: the FIFO's only
+	// observation path serializes through the transmitter over ~20+
+	// clock cycles, far beyond the 6-frame budget used here, so only
+	// its shallow faults are reachable.
+	minCov := map[string]float64{
+		"u_fifo": 5,
+		"u_tx":   20,
+		// A single FIFO cell needs ~30 frames (fill the FIFO, rotate
+		// the pointers, serialize through the transmitter) — nothing
+		// is detectable at this budget; the assertion is only that the
+		// flow completes and targets its faults.
+		"u_fifo.u_c2": 0,
+		"u_baud":      40,
+	}
+	for _, mutPath := range []string{"u_fifo", "u_tx", "u_fifo.u_c2", "u_baud"} {
+		for _, mode := range []Mode{ModeFlat, ModeComposed} {
+			ext := NewExtractor(d, mode)
+			tr, err := Transform(ext, mutPath, full, TransformOptions{EnablePIERs: true})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", mode, mutPath, err)
+			}
+			if tr.MUTGates == 0 {
+				t.Errorf("%v/%s: no MUT gates", mode, mutPath)
+			}
+			faults := fault.UniverseRestrictedTo(tr.Netlist, tr.MUTFaultFilter())
+			if len(faults) == 0 {
+				t.Errorf("%v/%s: no faults", mode, mutPath)
+				continue
+			}
+			res := atpg.New(tr.Netlist, atpg.Options{
+				Seed: 2, TimeBudget: 2 * time.Second, MaxFrames: 6, BacktrackLimit: 100,
+			}).Run(faults)
+			if res.Coverage() < minCov[mutPath] {
+				t.Errorf("%v/%s: coverage %.1f%% below %1.f%% (%d faults)",
+					mode, mutPath, res.Coverage(), minCov[mutPath], len(faults))
+			}
+		}
+	}
+}
+
+func TestGenericDesignEquivalence(t *testing.T) {
+	d, full := uartDesign(t)
+	for _, mutPath := range []string{"u_fifo", "u_rx"} {
+		ext := NewExtractor(d, ModeComposed)
+		tr, err := Transform(ext, mutPath, full, TransformOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coSimulate(full, tr.Netlist, 40, 7); err != nil {
+			t.Errorf("%s: %v", mutPath, err)
+		}
+	}
+}
+
+func TestGenericDesignPIERSelectivity(t *testing.T) {
+	// The UART FIFO cells are loadable from the tx_data bus but NOT
+	// combinationally observable — their read path goes through the
+	// transmit shift register before reaching a pin. Unlike the ARM
+	// register file (which has a store path straight to the data pins),
+	// they must NOT be classified as PIERs: the heuristic requires both
+	// a load and a store path.
+	d, full := uartDesign(t)
+	ext := NewExtractor(d, ModeComposed)
+	tr, err := Transform(ext, "u_fifo.u_c3", full, TransformOptions{EnablePIERs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.PIERs {
+		if strings.Contains(tr.Netlist.Gates[p].Scope, "u_fifo.u_c") {
+			t.Errorf("FIFO cell %s%s misclassified as PIER (no combinational store path exists)",
+				tr.Netlist.Gates[p].Scope, tr.Netlist.Gates[p].Name)
+		}
+	}
+}

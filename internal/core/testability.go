@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/design"
+	"factor/internal/verilog"
+)
+
+// ControlConstraint flags a MUT input that is driven only from
+// hard-coded constant values selected by a (typically single) control
+// signal — the situation the paper reports for arm_alu, where 10 of 13
+// control inputs are hard-coded decodes of the alu_operation field.
+// Such inputs can never take arbitrary value combinations at the module
+// boundary, capping the achievable fault coverage below the
+// stand-alone figure.
+type ControlConstraint struct {
+	Port string
+	// Drivers is the signal in the parent that feeds the port (empty
+	// when the port is tied directly to a constant).
+	Driver string
+	// ControllingSignals are the condition signals selecting among the
+	// hard-coded values.
+	ControllingSignals []string
+}
+
+func (c ControlConstraint) String() string {
+	if len(c.ControllingSignals) == 0 {
+		return fmt.Sprintf("input %s is tied to a constant", c.Port)
+	}
+	return fmt.Sprintf("input %s is driven from hard-coded values selected by %s",
+		c.Port, strings.Join(c.ControllingSignals, ", "))
+}
+
+// TestabilityReport aggregates FACTOR's testability findings for one
+// MUT (paper §4.2).
+type TestabilityReport struct {
+	MUTPath   string
+	MUTModule string
+	// Constraints lists the hard-coded control inputs.
+	Constraints []ControlConstraint
+	// InputPorts is the number of scalar input ports examined (vector
+	// ports count once).
+	InputPorts int
+	// EmptyChains are dead-end signals discovered during extraction.
+	EmptyChains []Diag
+}
+
+// Decoded returns the constraints whose hard-coded values are selected
+// by control signals (the paper's "driven from a set of hard-coded
+// values depending on a single input signal" case).
+func (r *TestabilityReport) Decoded() []ControlConstraint {
+	var out []ControlConstraint
+	for _, c := range r.Constraints {
+		if len(c.ControllingSignals) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConstantTied returns the constraints that are outright constants.
+func (r *TestabilityReport) ConstantTied() []ControlConstraint {
+	var out []ControlConstraint
+	for _, c := range r.Constraints {
+		if len(c.ControllingSignals) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders the report in the paper's terms.
+func (r *TestabilityReport) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "testability report for %s (%s):\n", r.MUTModule, r.MUTPath)
+	fmt.Fprintf(&sb, "  %d of %d input signals driven from hard-coded decoded values, %d tied to constants\n",
+		len(r.Decoded()), r.InputPorts, len(r.ConstantTied()))
+	for _, c := range r.Constraints {
+		fmt.Fprintf(&sb, "    warning: %s\n", c)
+	}
+	for _, dgn := range r.EmptyChains {
+		fmt.Fprintf(&sb, "    warning: %s\n", dgn)
+	}
+	return sb.String()
+}
+
+// AnalyzeTestability inspects the immediate environment of a MUT and
+// reports constrained control inputs plus any empty-chain diagnostics
+// from a prior extraction (pass nil diags to analyze controls only).
+func AnalyzeTestability(d *design.Design, mutPath string, diags []Diag) (*TestabilityReport, error) {
+	node := d.Root.Find(mutPath)
+	if node == nil {
+		return nil, fmt.Errorf("core: MUT instance path %q not found", mutPath)
+	}
+	if node.Parent == nil {
+		return nil, fmt.Errorf("core: the top module cannot be a MUT")
+	}
+	mutMod := d.Source.Module(node.Module)
+	parent := d.Module(node.Parent.Module)
+	conns, err := design.NormalizeConns(mutMod, node.Inst)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TestabilityReport{MUTPath: mutPath, MUTModule: node.Module, EmptyChains: diags}
+	for _, port := range mutMod.Ports {
+		if port.Dir != verilog.PortInput {
+			continue
+		}
+		rep.InputPorts++
+		expr, ok := conns[port.Name]
+		if !ok || expr == nil {
+			continue
+		}
+		if cc, constrained := analyzeConn(parent, port.Name, expr); constrained {
+			rep.Constraints = append(rep.Constraints, cc)
+		}
+	}
+	return rep, nil
+}
+
+// analyzeConn decides whether a port connection is hard-coded: either a
+// literal constant, or a signal whose every definition assigns a
+// constant (with the selecting condition signals reported).
+func analyzeConn(parent *design.ModuleInfo, port string, expr verilog.Expr) (ControlConstraint, bool) {
+	switch v := expr.(type) {
+	case *verilog.Number:
+		return ControlConstraint{Port: port}, true
+	case *verilog.Ident:
+		return analyzeDriver(parent, port, v.Name)
+	case *verilog.IndexExpr:
+		if id, ok := v.X.(*verilog.Ident); ok {
+			return analyzeDriver(parent, port, id.Name)
+		}
+	}
+	return ControlConstraint{}, false
+}
+
+// analyzeDriver reports a signal constrained when its every definition
+// writes a literal constant; the governing condition signals are the
+// "selectors" of the hard-coded values.
+func analyzeDriver(parent *design.ModuleInfo, port, sig string) (ControlConstraint, bool) {
+	si := parent.Signal(sig)
+	if len(si.Defs) == 0 {
+		return ControlConstraint{}, false
+	}
+	condSet := map[string]bool{}
+	for _, def := range si.Defs {
+		var rhs verilog.Expr
+		switch def.Kind {
+		case design.DefAssign:
+			rhs = def.Item.(*verilog.AssignItem).RHS
+		case design.DefProc:
+			as, ok := def.Stmt.(*verilog.AssignStmt)
+			if !ok {
+				return ControlConstraint{}, false
+			}
+			rhs = as.RHS
+			for _, cs := range def.CondSignals {
+				condSet[cs] = true
+			}
+		default:
+			return ControlConstraint{}, false
+		}
+		if _, isConst := rhs.(*verilog.Number); !isConst {
+			return ControlConstraint{}, false
+		}
+	}
+	var conds []string
+	for cs := range condSet {
+		conds = append(conds, cs)
+	}
+	sort.Strings(conds)
+	return ControlConstraint{Port: port, Driver: sig, ControllingSignals: conds}, true
+}

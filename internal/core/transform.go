@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"factor/internal/netlist"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// TransformOptions configures transformed-module construction.
+type TransformOptions struct {
+	// TopParams forwards parameter overrides (e.g. the datapath width)
+	// to synthesis of both the transformed module and the references.
+	TopParams map[string]int64
+	// EnablePIERs exposes Primary Input/output accessible Registers as
+	// pseudo load/observe points (paper §2.1).
+	EnablePIERs bool
+	// PIERMaxDepth bounds how deep in the hierarchy PIERs are
+	// identified (0 = unlimited). The conventional flow, which lacks
+	// FACTOR's per-level analysis, only finds registers close to the
+	// chip interface; the composed flow finds them at every level.
+	PIERMaxDepth int
+}
+
+// Transformed is the ATPG view of one module under test: the MUT
+// combined with its synthesized virtual environment (paper Fig. 1).
+type Transformed struct {
+	MUTPath   string
+	MUTModule string
+	Mode      Mode
+
+	// Source is the emitted constraint Verilog; TopName its top module.
+	Source  *verilog.SourceFile
+	TopName string
+
+	// Netlist is the synthesized transformed module (optimized).
+	Netlist *netlist.Netlist
+
+	// PIERs lists the pseudo-scanned flip-flops (gate IDs in Netlist),
+	// empty unless EnablePIERs.
+	PIERs []int
+
+	// Gate accounting.
+	MUTGates         int // gates attributed to the MUT instance
+	EnvGates         int // gates in the surrounding virtual logic
+	FullDesignGates  int // gates in the full synthesized design
+	FullSurrounding  int // FullDesignGates - MUT gates in the full design
+	GateReductionPct float64
+
+	// Interface of the transformed module.
+	PIs int
+	POs int
+
+	// Timing.
+	ExtractTime time.Duration
+	SynthTime   time.Duration
+
+	// Extraction telemetry and diagnostics.
+	WorkItems int
+	Diags     []Diag
+	Warnings  []synth.Warning
+}
+
+// Transform runs the full FACTOR flow for the MUT at mutPath: extract
+// constraints (in the extractor's mode), emit them as Verilog,
+// synthesize the transformed module, and gather the Table 2/3 metrics.
+// The full-design synthesis used for the reduction baseline is supplied
+// by the caller (it is MUT-independent and expensive, so it is computed
+// once and shared).
+func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts TransformOptions) (*Transformed, error) {
+	start := time.Now()
+	ex, err := e.Extract(mutPath)
+	if err != nil {
+		return nil, err
+	}
+	src, topName, err := ex.Emit(e.D)
+	if err != nil {
+		return nil, err
+	}
+	extractTime := time.Since(start)
+
+	start = time.Now()
+	res, err := synth.Synthesize(src, topName, synth.Options{TopParams: opts.TopParams})
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesizing transformed module for %s: %v", mutPath, err)
+	}
+	synthTime := time.Since(start)
+
+	t := &Transformed{
+		MUTPath:     mutPath,
+		MUTModule:   ex.MUTModule,
+		Mode:        e.Mode,
+		Source:      src,
+		TopName:     topName,
+		Netlist:     res.Netlist,
+		ExtractTime: extractTime,
+		SynthTime:   synthTime,
+		WorkItems:   ex.WorkItems,
+		Diags:       ex.Diags,
+		Warnings:    res.Warnings,
+	}
+
+	if opts.EnablePIERs {
+		piers := IdentifyPIERs(t.Netlist, opts.PIERMaxDepth)
+		t.Netlist = PIERify(t.Netlist, piers)
+		t.PIERs = piers
+	}
+
+	prefix := mutPath + "."
+	t.MUTGates, t.EnvGates = splitGates(t.Netlist, prefix)
+	t.PIs = len(t.Netlist.PIs)
+	t.POs = len(t.Netlist.POs)
+
+	if full != nil {
+		fullMUT, fullEnv := splitGates(full, prefix)
+		t.FullDesignGates = fullMUT + fullEnv
+		t.FullSurrounding = fullEnv
+		if fullEnv > 0 {
+			t.GateReductionPct = 100 * float64(fullEnv-t.EnvGates) / float64(fullEnv)
+		}
+	}
+	return t, nil
+}
+
+// splitGates counts gates inside vs outside a hierarchical scope
+// prefix. Inputs and constants are not counted (matching
+// Netlist.NumGates).
+func splitGates(n *netlist.Netlist, prefix string) (in, out int) {
+	for _, g := range n.Gates {
+		switch g.Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		if strings.HasPrefix(g.Scope, prefix) {
+			in++
+		} else {
+			out++
+		}
+	}
+	return in, out
+}
+
+// MUTFaultFilter returns a predicate selecting gates that belong to the
+// module under test within the transformed netlist — the fault target
+// set handed to the ATPG tool.
+func (t *Transformed) MUTFaultFilter() func(g *netlist.Gate) bool {
+	prefix := t.MUTPath + "."
+	return func(g *netlist.Gate) bool {
+		return strings.HasPrefix(g.Scope, prefix)
+	}
+}
+
+// IdentifyPIERs finds Primary Input/output accessible Registers: flip-
+// flops whose D input is reachable combinationally from a *data-bus*
+// primary input (loadable, e.g. through a load instruction's data
+// path) and whose output reaches a primary output combinationally
+// (observable, e.g. through a store path). These are the registers the
+// paper exposes to cut sequential depth during test generation.
+//
+// Loadability deliberately requires a bus bit (a PI named "name[i]"):
+// scalar control pins such as reset or interrupt lines reach almost
+// every flop's D logic but cannot carry load data, and treating them as
+// load paths would misclassify, for example, the program counter.
+//
+// maxDepth bounds the hierarchy depth of candidate registers (0 =
+// unlimited): the conventional flow's chip-level view only recognizes
+// registers near the interface, while FACTOR's per-level analysis
+// identifies them at any depth.
+func IdentifyPIERs(n *netlist.Netlist, maxDepth int) []int {
+	if len(n.DFFs) == 0 {
+		return nil
+	}
+	busPI := make(map[int]bool)
+	for i, pi := range n.PIs {
+		if strings.Contains(n.PINames[i], "[") {
+			busPI[pi] = true
+		}
+	}
+	loadable := func(dff int) bool {
+		seen := make(map[int]bool)
+		stack := []int{n.Gates[dff].Fanin[0]}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			g := n.Gates[id]
+			if g.Kind == netlist.Input {
+				if busPI[id] {
+					return true
+				}
+				continue
+			}
+			if !g.Kind.Combinational() {
+				continue // stop at flops/constants
+			}
+			stack = append(stack, g.Fanin...)
+		}
+		return false
+	}
+	// Forward reachability from Q to POs through combinational logic.
+	fanouts := n.Fanouts()
+	poSet := map[int]bool{}
+	for _, po := range n.POs {
+		poSet[po] = true
+	}
+	observable := func(dff int) bool {
+		seen := map[int]bool{}
+		stack := []int{dff}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if poSet[id] {
+				return true
+			}
+			for _, fo := range fanouts[id] {
+				if n.Gates[fo].Kind.Combinational() {
+					stack = append(stack, fo)
+				}
+			}
+		}
+		return false
+	}
+	var piers []int
+	for _, dff := range n.DFFs {
+		if maxDepth > 0 && scopeDepth(n.Gates[dff].Scope) > maxDepth {
+			continue
+		}
+		if loadable(dff) && observable(dff) {
+			piers = append(piers, dff)
+		}
+	}
+	return piers
+}
+
+// scopeDepth counts hierarchy levels in a gate scope prefix
+// ("u_core.u_regbank.u_rf." has depth 3; "" is the top, depth 0).
+func scopeDepth(scope string) int {
+	return strings.Count(scope, ".")
+}
+
+// PIERify returns a copy of the netlist where each listed flip-flop
+// gains a load path and an observation point, modeling chip-level
+// load/store access: D' = pier_load ? pier_in_<k> : D, and Q is
+// exported as a pseudo-PO. The flip-flop and its faults remain in the
+// circuit; sequential depth collapses because its state is justified in
+// one cycle. A single shared pier_load control plus one data input per
+// register are added, exactly the access discipline a load instruction
+// provides.
+func PIERify(n *netlist.Netlist, piers []int) *netlist.Netlist {
+	if len(piers) == 0 {
+		return n
+	}
+	c := n.Clone()
+	loadPI := c.AddInput("pier_load")
+	for k, dff := range piers {
+		din := c.AddInput(fmt.Sprintf("pier_in_%d", k))
+		d := c.Gates[dff].Fanin[0]
+		mux := c.AddGate(netlist.Mux, loadPI, d, din)
+		// The load mux is DfT logic, not part of any design module:
+		// leave its scope empty so it never enters a MUT fault list.
+		c.SetFanin(dff, 0, mux)
+		c.AddOutput(fmt.Sprintf("pier_out_%d", k), dff)
+	}
+	return c
+}

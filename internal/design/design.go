@@ -1,0 +1,594 @@
+// Package design builds the analysis data structure of the FACTOR
+// methodology (paper Fig. 2): for every module, per-signal def-use and
+// use-def chains with their enclosing conditional/loop/concurrency
+// constructs, plus the elaborated instance tree of the design
+// hierarchy. The constraint extractor (internal/core) traverses these
+// chains to implement find_source_logic and find_prop_paths.
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"factor/internal/verilog"
+)
+
+// RefKind classifies one occurrence of a signal.
+type RefKind int
+
+// Reference kinds.
+const (
+	// DefAssign: signal driven by a continuous assign.
+	DefAssign RefKind = iota
+	// DefProc: signal assigned in an always block.
+	DefProc
+	// DefInstOut: signal driven by an instance output port.
+	DefInstOut
+	// DefGateOut: signal driven by a gate primitive output.
+	DefGateOut
+	// DefPortIn: signal is an input port of the module (defined by the
+	// environment).
+	DefPortIn
+	// UseAssignRHS: signal read on the RHS of a continuous assign.
+	UseAssignRHS
+	// UseProcRHS: signal read inside an always block (RHS or index).
+	UseProcRHS
+	// UseCond: signal read in a governing condition (if/case/loop) of
+	// an always block.
+	UseCond
+	// UseInstIn: signal feeds an instance input port.
+	UseInstIn
+	// UseGateIn: signal feeds a gate primitive input.
+	UseGateIn
+	// UsePortOut: signal is an output port of the module (used by the
+	// environment).
+	UsePortOut
+)
+
+var refKindNames = map[RefKind]string{
+	DefAssign: "assign-def", DefProc: "proc-def", DefInstOut: "inst-out",
+	DefGateOut: "gate-out", DefPortIn: "port-in",
+	UseAssignRHS: "assign-use", UseProcRHS: "proc-use", UseCond: "cond-use",
+	UseInstIn: "inst-in", UseGateIn: "gate-in", UsePortOut: "port-out",
+}
+
+func (k RefKind) String() string { return refKindNames[k] }
+
+// IsDef reports whether the reference defines (drives) the signal.
+func (k RefKind) IsDef() bool { return k <= DefPortIn }
+
+// Ref is one occurrence of a signal in a module body: an element of a
+// def-use or use-def chain.
+type Ref struct {
+	Kind RefKind
+	// Item is the containing module item (assign, always, instance,
+	// gate). Nil for port refs.
+	Item verilog.Item
+	// Stmt is the exact procedural statement for DefProc/UseProcRHS/
+	// UseCond references.
+	Stmt verilog.Stmt
+	// Enclosing lists the control statements (innermost last) that
+	// govern Stmt inside its always block.
+	Enclosing []verilog.Stmt
+	// CondSignals are the signals appearing in all governing
+	// conditions of Stmt (the "enc_driving_signals" of the paper).
+	CondSignals []string
+	// Instance/Port identify the connection for inst-in/inst-out refs.
+	Instance *verilog.Instance
+	Port     string
+}
+
+// SignalInfo aggregates all references to a named signal in one module.
+type SignalInfo struct {
+	Name string
+	// Defs is the use-def chain: where the signal gets its value.
+	Defs []*Ref
+	// Uses is the def-use chain: where the signal's value is consumed.
+	Uses []*Ref
+	// DeclWidth is the declared width (1 for scalars, 0 if undeclared).
+	DeclWidth int
+	IsPort    bool
+	Dir       verilog.PortDir
+}
+
+// ModuleInfo is the analyzed form of one module.
+type ModuleInfo struct {
+	Mod     *verilog.Module
+	Signals map[string]*SignalInfo
+	// Functions by name (inlined by the extractor when slicing).
+	Functions map[string]*verilog.FunctionDecl
+	// Params holds parameter and localparam names: identifiers that
+	// look like signal reads but are compile-time constants.
+	Params map[string]bool
+}
+
+// IsParam reports whether name is a parameter of the module.
+func (mi *ModuleInfo) IsParam(name string) bool { return mi.Params[name] }
+
+// Signal returns the signal info, creating an empty record for unknown
+// names (which then shows an empty def chain — a testability flag).
+func (mi *ModuleInfo) Signal(name string) *SignalInfo {
+	if s, ok := mi.Signals[name]; ok {
+		return s
+	}
+	s := &SignalInfo{Name: name}
+	mi.Signals[name] = s
+	return s
+}
+
+// SignalNames returns all signal names sorted (deterministic reports).
+func (mi *ModuleInfo) SignalNames() []string {
+	names := make([]string, 0, len(mi.Signals))
+	for n := range mi.Signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InstanceNode is one node of the elaborated hierarchy tree.
+type InstanceNode struct {
+	// Path is the hierarchical instance path ("" for the root; child
+	// paths are dot-joined: "u_core.u_dp.u_alu").
+	Path string
+	// InstName is the local instance name ("" for root).
+	InstName string
+	Module   string
+	Inst     *verilog.Instance // nil for root
+	Parent   *InstanceNode
+	Children []*InstanceNode
+	// Level is the hierarchy depth: 0 for the top module.
+	Level int
+}
+
+// Find locates a descendant (or self) by hierarchical path.
+func (n *InstanceNode) Find(path string) *InstanceNode {
+	if n.Path == path {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := c.Find(path); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Walk visits the subtree in preorder.
+func (n *InstanceNode) Walk(visit func(*InstanceNode)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Design is the full analyzed design.
+type Design struct {
+	Source  *verilog.SourceFile
+	Top     string
+	Modules map[string]*ModuleInfo
+	Root    *InstanceNode
+}
+
+// Module returns the analysis for a module name, or nil.
+func (d *Design) Module(name string) *ModuleInfo { return d.Modules[name] }
+
+// InstancesOf returns the hierarchy nodes instantiating the named
+// module, in preorder.
+func (d *Design) InstancesOf(module string) []*InstanceNode {
+	var out []*InstanceNode
+	d.Root.Walk(func(n *InstanceNode) {
+		if n.Module == module {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Analyze parses def-use/use-def chains for every module reachable from
+// top and builds the instance tree.
+func Analyze(src *verilog.SourceFile, top string) (*Design, error) {
+	if src.Module(top) == nil {
+		return nil, fmt.Errorf("design: top module %q not found", top)
+	}
+	d := &Design{Source: src, Top: top, Modules: map[string]*ModuleInfo{}}
+	// Analyze every module (not only reachable ones: the extractor may
+	// be pointed at any module as MUT).
+	for _, m := range src.Modules {
+		mi, err := analyzeModule(m)
+		if err != nil {
+			return nil, err
+		}
+		d.Modules[m.Name] = mi
+	}
+	if err := d.resolveInstanceConns(); err != nil {
+		return nil, err
+	}
+	root, err := buildTree(src, top, nil, "", "", 0, map[string]int{})
+	if err != nil {
+		return nil, err
+	}
+	d.Root = root
+	return d, nil
+}
+
+func buildTree(src *verilog.SourceFile, module string, parent *InstanceNode, path, instName string, level int, depth map[string]int) (*InstanceNode, error) {
+	if depth[module] > 0 {
+		return nil, fmt.Errorf("design: recursive instantiation of module %s", module)
+	}
+	depth[module]++
+	defer func() { depth[module]-- }()
+
+	n := &InstanceNode{Path: path, InstName: instName, Module: module, Parent: parent, Level: level}
+	mod := src.Module(module)
+	if mod == nil {
+		return nil, fmt.Errorf("design: instance %s of unknown module %s", path, module)
+	}
+	for _, inst := range mod.Instances() {
+		childPath := inst.Name
+		if path != "" {
+			childPath = path + "." + inst.Name
+		}
+		child, err := buildTree(src, inst.ModuleName, n, childPath, inst.Name, level+1, depth)
+		if err != nil {
+			return nil, err
+		}
+		child.Inst = inst
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// analyzeModule builds the per-signal chains of one module.
+func analyzeModule(m *verilog.Module) (*ModuleInfo, error) {
+	mi := &ModuleInfo{
+		Mod:       m,
+		Signals:   map[string]*SignalInfo{},
+		Functions: map[string]*verilog.FunctionDecl{},
+		Params:    map[string]bool{},
+	}
+	for _, item := range m.Items {
+		if pd, ok := item.(*verilog.ParamDecl); ok {
+			for _, name := range pd.Names {
+				mi.Params[name] = true
+			}
+		}
+	}
+	// Declarations first so widths and port directions are known.
+	for _, p := range m.Ports {
+		si := mi.Signal(p.Name)
+		si.IsPort = true
+		si.Dir = p.Dir
+		si.DeclWidth = widthOf(p.Width)
+		switch p.Dir {
+		case verilog.PortInput:
+			si.Defs = append(si.Defs, &Ref{Kind: DefPortIn})
+		case verilog.PortOutput:
+			si.Uses = append(si.Uses, &Ref{Kind: UsePortOut})
+		case verilog.PortInout:
+			return nil, fmt.Errorf("design: %s: inout port %s.%s not supported", p.Pos, m.Name, p.Name)
+		}
+	}
+	for _, item := range m.Items {
+		if nd, ok := item.(*verilog.NetDecl); ok {
+			for _, name := range nd.Names {
+				si := mi.Signal(name)
+				if si.DeclWidth == 0 {
+					si.DeclWidth = widthOf(nd.Width)
+				}
+			}
+		}
+	}
+	for _, item := range m.Items {
+		switch it := item.(type) {
+		case *verilog.AssignItem:
+			for _, name := range lvalueSignals(it.LHS) {
+				mi.Signal(name).Defs = append(mi.Signal(name).Defs, &Ref{Kind: DefAssign, Item: it})
+			}
+			for _, name := range exprSignalsWithIndexOf(it.LHS) {
+				// Index expressions on the LHS are uses.
+				mi.Signal(name).Uses = append(mi.Signal(name).Uses, &Ref{Kind: UseAssignRHS, Item: it})
+			}
+			for _, name := range ExprSignals(it.RHS) {
+				mi.Signal(name).Uses = append(mi.Signal(name).Uses, &Ref{Kind: UseAssignRHS, Item: it})
+			}
+		case *verilog.AlwaysBlock:
+			walkProc(mi, it, it.Body, nil, nil)
+		case *verilog.Instance:
+			// Port-connection refs need the child module's port
+			// directions; resolveInstanceConns records them once all
+			// modules are analyzed.
+		case *verilog.GateInst:
+			for i, arg := range it.Args {
+				isOut := i == 0
+				if it.Kind == "buf" || it.Kind == "not" {
+					isOut = i < len(it.Args)-1
+				}
+				if isOut {
+					for _, name := range lvalueSignals(arg) {
+						mi.Signal(name).Defs = append(mi.Signal(name).Defs, &Ref{Kind: DefGateOut, Item: it})
+					}
+				} else {
+					for _, name := range ExprSignals(arg) {
+						mi.Signal(name).Uses = append(mi.Signal(name).Uses, &Ref{Kind: UseGateIn, Item: it})
+					}
+				}
+			}
+		case *verilog.FunctionDecl:
+			mi.Functions[it.Name] = it
+		}
+	}
+	return mi, nil
+}
+
+// ResolveInstanceConns records instance port connections into the
+// parent module's chains; it needs the child module definitions, so the
+// Design calls it after all modules are known.
+func (d *Design) resolveInstanceConns() error {
+	for _, mi := range d.Modules {
+		for _, inst := range mi.Mod.Instances() {
+			child := d.Source.Module(inst.ModuleName)
+			if child == nil {
+				return fmt.Errorf("design: %s: instance %s of unknown module %s", inst.Pos, inst.Name, inst.ModuleName)
+			}
+			conns, err := NormalizeConns(child, inst)
+			if err != nil {
+				return err
+			}
+			for port, expr := range conns {
+				if expr == nil {
+					continue
+				}
+				p := child.Port(port)
+				switch p.Dir {
+				case verilog.PortInput:
+					for _, name := range ExprSignals(expr) {
+						mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+							&Ref{Kind: UseInstIn, Item: inst, Instance: inst, Port: port})
+					}
+				case verilog.PortOutput:
+					for _, name := range lvalueSignals(expr) {
+						mi.Signal(name).Defs = append(mi.Signal(name).Defs,
+							&Ref{Kind: DefInstOut, Item: inst, Instance: inst, Port: port})
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NormalizeConns maps a (possibly positional) connection list to
+// port-name keyed expressions.
+func NormalizeConns(child *verilog.Module, inst *verilog.Instance) (map[string]verilog.Expr, error) {
+	out := map[string]verilog.Expr{}
+	positional := false
+	for _, c := range inst.Conns {
+		if c.Port == "" {
+			positional = true
+			break
+		}
+	}
+	if positional {
+		if len(inst.Conns) > len(child.Ports) {
+			return nil, fmt.Errorf("design: %s: too many connections on instance %s", inst.Pos, inst.Name)
+		}
+		for i, c := range inst.Conns {
+			out[child.Ports[i].Name] = c.Expr
+		}
+		return out, nil
+	}
+	for _, c := range inst.Conns {
+		if child.Port(c.Port) == nil {
+			return nil, fmt.Errorf("design: %s: module %s has no port %s", inst.Pos, child.Name, c.Port)
+		}
+		out[c.Port] = c.Expr
+	}
+	return out, nil
+}
+
+// walkProc records procedural defs/uses with their enclosing control
+// statements and condition signal sets.
+func walkProc(mi *ModuleInfo, blk *verilog.AlwaysBlock, s verilog.Stmt, enclosing []verilog.Stmt, condSignals []string) {
+	switch v := s.(type) {
+	case *verilog.Block:
+		for _, st := range v.Stmts {
+			walkProc(mi, blk, st, enclosing, condSignals)
+		}
+	case *verilog.IfStmt:
+		conds := ExprSignals(v.Cond)
+		for _, name := range conds {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseCond, Item: blk, Stmt: v, Enclosing: append([]verilog.Stmt(nil), enclosing...)})
+		}
+		inner := append(append([]verilog.Stmt(nil), enclosing...), v)
+		innerConds := append(append([]string(nil), condSignals...), conds...)
+		walkProc(mi, blk, v.Then, inner, innerConds)
+		if v.Else != nil {
+			walkProc(mi, blk, v.Else, inner, innerConds)
+		}
+	case *verilog.CaseStmt:
+		conds := ExprSignals(v.Subject)
+		for _, item := range v.Items {
+			for _, le := range item.Exprs {
+				conds = append(conds, ExprSignals(le)...)
+			}
+		}
+		for _, name := range conds {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseCond, Item: blk, Stmt: v, Enclosing: append([]verilog.Stmt(nil), enclosing...)})
+		}
+		inner := append(append([]verilog.Stmt(nil), enclosing...), v)
+		innerConds := append(append([]string(nil), condSignals...), conds...)
+		for _, item := range v.Items {
+			walkProc(mi, blk, item.Body, inner, innerConds)
+		}
+	case *verilog.ForStmt:
+		conds := ExprSignals(v.Cond)
+		for _, name := range conds {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseCond, Item: blk, Stmt: v, Enclosing: append([]verilog.Stmt(nil), enclosing...)})
+		}
+		inner := append(append([]verilog.Stmt(nil), enclosing...), v)
+		innerConds := append(append([]string(nil), condSignals...), conds...)
+		walkProc(mi, blk, v.Init, inner, innerConds)
+		walkProc(mi, blk, v.Step, inner, innerConds)
+		walkProc(mi, blk, v.Body, inner, innerConds)
+	case *verilog.WhileStmt:
+		conds := ExprSignals(v.Cond)
+		for _, name := range conds {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseCond, Item: blk, Stmt: v, Enclosing: append([]verilog.Stmt(nil), enclosing...)})
+		}
+		inner := append(append([]verilog.Stmt(nil), enclosing...), v)
+		innerConds := append(append([]string(nil), condSignals...), conds...)
+		walkProc(mi, blk, v.Body, inner, innerConds)
+	case *verilog.AssignStmt:
+		ref := &Ref{
+			Kind:        DefProc,
+			Item:        blk,
+			Stmt:        v,
+			Enclosing:   append([]verilog.Stmt(nil), enclosing...),
+			CondSignals: dedup(condSignals),
+		}
+		for _, name := range lvalueSignals(v.LHS) {
+			mi.Signal(name).Defs = append(mi.Signal(name).Defs, ref)
+		}
+		for _, name := range exprSignalsWithIndexOf(v.LHS) {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseProcRHS, Item: blk, Stmt: v, Enclosing: ref.Enclosing})
+		}
+		for _, name := range ExprSignals(v.RHS) {
+			mi.Signal(name).Uses = append(mi.Signal(name).Uses,
+				&Ref{Kind: UseProcRHS, Item: blk, Stmt: v, Enclosing: ref.Enclosing})
+		}
+	}
+}
+
+// ExprSignals returns the distinct signal names read by an expression,
+// in first-occurrence order.
+func ExprSignals(e verilog.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case nil:
+		case *verilog.Ident:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		case *verilog.Number:
+		case *verilog.UnaryExpr:
+			walk(v.X)
+		case *verilog.BinaryExpr:
+			walk(v.X)
+			walk(v.Y)
+		case *verilog.CondExpr:
+			walk(v.Cond)
+			walk(v.Then)
+			walk(v.Else)
+		case *verilog.IndexExpr:
+			walk(v.X)
+			walk(v.Index)
+		case *verilog.RangeExpr:
+			walk(v.X)
+			walk(v.MSB)
+			walk(v.LSB)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case *verilog.ReplExpr:
+			walk(v.Count)
+			walk(v.X)
+		case *verilog.CallExpr:
+			// The function body's own reads are resolved when the
+			// extractor inlines it; arguments are direct reads.
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// lvalueSignals returns the signals *driven* by an lvalue expression
+// (the base identifiers, not index sub-expressions).
+func lvalueSignals(e verilog.Expr) []string {
+	var out []string
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case nil:
+		case *verilog.Ident:
+			out = append(out, v.Name)
+		case *verilog.IndexExpr:
+			walk(v.X)
+		case *verilog.RangeExpr:
+			walk(v.X)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		}
+	}
+	walk(e)
+	return dedup(out)
+}
+
+// exprSignalsWithIndexOf returns the signals read by the index
+// sub-expressions of an lvalue (a[i] = ... reads i).
+func exprSignalsWithIndexOf(e verilog.Expr) []string {
+	var out []string
+	var walk func(x verilog.Expr)
+	walk = func(x verilog.Expr) {
+		switch v := x.(type) {
+		case nil:
+		case *verilog.IndexExpr:
+			out = append(out, ExprSignals(v.Index)...)
+			walk(v.X)
+		case *verilog.RangeExpr:
+			walk(v.X)
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		}
+	}
+	walk(e)
+	return dedup(out)
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func widthOf(r *verilog.Range) int {
+	if r == nil {
+		return 1
+	}
+	m, ok1 := constInt(r.MSB)
+	l, ok2 := constInt(r.LSB)
+	if !ok1 || !ok2 || l > m {
+		return 0 // parameterized or unusual; width unknown at analysis time
+	}
+	return m - l + 1
+}
+
+func constInt(e verilog.Expr) (int, bool) {
+	if n, ok := e.(*verilog.Number); ok && !n.HasXZ() {
+		return int(n.Value), true
+	}
+	return 0, false
+}

@@ -1,0 +1,173 @@
+package design
+
+import (
+	"testing"
+
+	"factor/internal/verilog"
+)
+
+func TestRefKindStrings(t *testing.T) {
+	kinds := []RefKind{
+		DefAssign, DefProc, DefInstOut, DefGateOut, DefPortIn,
+		UseAssignRHS, UseProcRHS, UseCond, UseInstIn, UseGateIn, UsePortOut,
+	}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("RefKind %d has no name", k)
+		}
+	}
+	for _, k := range kinds[:5] {
+		if !k.IsDef() {
+			t.Errorf("%v should be a def", k)
+		}
+	}
+	for _, k := range kinds[5:] {
+		if k.IsDef() {
+			t.Errorf("%v should be a use", k)
+		}
+	}
+}
+
+func TestIsParam(t *testing.T) {
+	d := analyze(t, `
+module p #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+  localparam HALF = W / 2;
+  assign y = a + HALF;
+endmodule`, "p")
+	mi := d.Module("p")
+	if !mi.IsParam("W") || !mi.IsParam("HALF") {
+		t.Error("parameters not recognized")
+	}
+	if mi.IsParam("a") || mi.IsParam("nothing") {
+		t.Error("non-parameters misclassified")
+	}
+}
+
+func TestNormalizeConnsErrors(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `
+module top(input a, output y);
+  sub u1 (a, y, a);
+  sub u2 (.ghost(a));
+endmodule
+module sub(input p, output q);
+  assign q = p;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := sf.Module("sub")
+	top := sf.Module("top")
+	insts := top.Instances()
+	if _, err := NormalizeConns(sub, insts[0]); err == nil {
+		t.Error("too many positional connections accepted")
+	}
+	if _, err := NormalizeConns(sub, insts[1]); err == nil {
+		t.Error("unknown named port accepted")
+	}
+}
+
+func TestWidthOfVariants(t *testing.T) {
+	d := analyze(t, `
+module w #(parameter P = 4)(
+  input scalar,
+  input [7:0] byte_sig,
+  input [P-1:0] parameterized,
+  output y);
+  assign y = scalar;
+endmodule`, "w")
+	mi := d.Module("w")
+	if got := mi.Signal("scalar").DeclWidth; got != 1 {
+		t.Errorf("scalar width %d", got)
+	}
+	if got := mi.Signal("byte_sig").DeclWidth; got != 8 {
+		t.Errorf("byte width %d", got)
+	}
+	// Parameterized widths are unknown at analysis time (0).
+	if got := mi.Signal("parameterized").DeclWidth; got != 0 {
+		t.Errorf("parameterized width %d, want 0 (unknown)", got)
+	}
+}
+
+func TestInoutRejected(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", "module io(inout x); endmodule")
+	if _, err := Analyze(sf, "io"); err == nil {
+		t.Error("inout accepted")
+	}
+}
+
+func TestForLoopRefsInsideAlways(t *testing.T) {
+	d := analyze(t, `
+module f(input [3:0] a, output reg [3:0] y);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 4; i = i + 1)
+      y[i] = a[3 - i];
+  end
+endmodule`, "f")
+	mi := d.Module("f")
+	// The loop variable is both defined (init/step) and used (cond,
+	// index) within the process.
+	if len(mi.Signal("i").Defs) < 2 {
+		t.Errorf("loop var defs: %d, want init and step", len(mi.Signal("i").Defs))
+	}
+	if len(mi.Signal("i").Uses) == 0 {
+		t.Error("loop var never used?")
+	}
+	// y is assigned under the for, so the def carries the loop among
+	// its enclosing statements.
+	found := false
+	for _, def := range mi.Signal("y").Defs {
+		for _, enc := range def.Enclosing {
+			if _, ok := enc.(*verilog.ForStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("for statement missing from enclosing chain")
+	}
+}
+
+func TestWhileRefs(t *testing.T) {
+	d := analyze(t, `
+module wl(input [3:0] a, output reg [3:0] y);
+  integer i;
+  always @(*) begin
+    y = 4'd0;
+    i = 0;
+    while (i < 2) begin
+      y = y + a;
+      i = i + 1;
+    end
+  end
+endmodule`, "wl")
+	mi := d.Module("wl")
+	hasCondUse := false
+	for _, u := range mi.Signal("i").Uses {
+		if u.Kind == UseCond {
+			hasCondUse = true
+		}
+	}
+	if !hasCondUse {
+		t.Error("while condition not recorded as cond-use")
+	}
+}
+
+func TestInstancesOfMultiple(t *testing.T) {
+	d := analyze(t, `
+module top(input a, output y);
+  wire m;
+  leaf u1 (.p(a), .q(m));
+  leaf u2 (.p(m), .q(y));
+endmodule
+module leaf(input p, output q);
+  assign q = ~p;
+endmodule`, "top")
+	nodes := d.InstancesOf("leaf")
+	if len(nodes) != 2 {
+		t.Fatalf("found %d instances, want 2", len(nodes))
+	}
+	if nodes[0].Path == nodes[1].Path {
+		t.Error("instances share a path")
+	}
+}

@@ -1,0 +1,353 @@
+package design
+
+import (
+	"testing"
+
+	"factor/internal/verilog"
+)
+
+const hierSrc = `
+module top(input clk, input [3:0] din, output [3:0] dout, output flag);
+  wire [3:0] mid;
+  core u_core (.clk(clk), .in(din), .out(mid));
+  post u_post (.clk(clk), .in(mid), .out(dout));
+  assign flag = |mid;
+endmodule
+
+module core(input clk, input [3:0] in, output reg [3:0] out);
+  wire [3:0] t;
+  leaf u_leaf (.a(in), .y(t));
+  always @(posedge clk)
+    if (t[0]) out <= t;
+    else out <= 4'd0;
+endmodule
+
+module post(input clk, input [3:0] in, output [3:0] out);
+  assign out = ~in;
+endmodule
+
+module leaf(input [3:0] a, output [3:0] y);
+  assign y = a + 4'd1;
+endmodule
+`
+
+func analyze(t *testing.T, src, top string) *Design {
+	t.Helper()
+	sf, err := verilog.Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(sf, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInstanceTree(t *testing.T) {
+	d := analyze(t, hierSrc, "top")
+	if d.Root.Module != "top" || d.Root.Level != 0 {
+		t.Fatalf("root: %+v", d.Root)
+	}
+	if len(d.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(d.Root.Children))
+	}
+	leaf := d.Root.Find("u_core.u_leaf")
+	if leaf == nil {
+		t.Fatal("u_core.u_leaf not found")
+	}
+	if leaf.Module != "leaf" || leaf.Level != 2 || leaf.Parent.Module != "core" {
+		t.Errorf("leaf node: %+v", leaf)
+	}
+	if got := d.InstancesOf("leaf"); len(got) != 1 || got[0].Path != "u_core.u_leaf" {
+		t.Errorf("InstancesOf(leaf) = %v", got)
+	}
+	if d.Root.Find("missing.path") != nil {
+		t.Error("Find on missing path should be nil")
+	}
+}
+
+func TestDefUseChainsContinuousAssign(t *testing.T) {
+	d := analyze(t, hierSrc, "top")
+	top := d.Module("top")
+
+	mid := top.Signal("mid")
+	// mid: defined by u_core output conn, used by u_post input conn
+	// and the reduction in flag's assign.
+	var defKinds, useKinds []RefKind
+	for _, r := range mid.Defs {
+		defKinds = append(defKinds, r.Kind)
+	}
+	for _, r := range mid.Uses {
+		useKinds = append(useKinds, r.Kind)
+	}
+	if len(mid.Defs) != 1 || mid.Defs[0].Kind != DefInstOut || mid.Defs[0].Port != "out" {
+		t.Errorf("mid defs: %v", defKinds)
+	}
+	if len(mid.Uses) != 2 {
+		t.Errorf("mid uses: %v", useKinds)
+	}
+	hasUse := func(k RefKind) bool {
+		for _, r := range mid.Uses {
+			if r.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasUse(UseInstIn) || !hasUse(UseAssignRHS) {
+		t.Errorf("mid uses missing kinds: %v", useKinds)
+	}
+
+	flag := top.Signal("flag")
+	if len(flag.Defs) != 1 || flag.Defs[0].Kind != DefAssign {
+		t.Errorf("flag defs: %+v", flag.Defs)
+	}
+	// flag is an output port: used by the environment.
+	if len(flag.Uses) != 1 || flag.Uses[0].Kind != UsePortOut {
+		t.Errorf("flag uses: %+v", flag.Uses)
+	}
+}
+
+func TestProceduralDefsWithEnclosing(t *testing.T) {
+	d := analyze(t, hierSrc, "top")
+	core := d.Module("core")
+
+	out := core.Signal("out")
+	if len(out.Defs) != 2 {
+		t.Fatalf("out defs = %d, want 2 (then and else branches)", len(out.Defs))
+	}
+	for _, def := range out.Defs {
+		if def.Kind != DefProc {
+			t.Errorf("def kind = %v", def.Kind)
+		}
+		if len(def.Enclosing) != 1 {
+			t.Errorf("enclosing = %d, want 1 (the if)", len(def.Enclosing))
+		}
+		if len(def.CondSignals) != 1 || def.CondSignals[0] != "t" {
+			t.Errorf("cond signals = %v, want [t]", def.CondSignals)
+		}
+	}
+
+	// t: used in condition and in RHS.
+	tsig := core.Signal("t")
+	var kinds []RefKind
+	for _, u := range tsig.Uses {
+		kinds = append(kinds, u.Kind)
+	}
+	hasCond, hasRHS := false, false
+	for _, k := range kinds {
+		if k == UseCond {
+			hasCond = true
+		}
+		if k == UseProcRHS {
+			hasRHS = true
+		}
+	}
+	if !hasCond || !hasRHS {
+		t.Errorf("t uses: %v (want cond-use and proc-use)", kinds)
+	}
+}
+
+func TestEmptyChains(t *testing.T) {
+	d := analyze(t, `
+module dangling(input a, output y);
+  wire never_driven;
+  wire never_used;
+  assign never_used = a;
+  assign y = a & never_driven;
+endmodule`, "dangling")
+	mi := d.Module("dangling")
+	nd := mi.Signal("never_driven")
+	if len(nd.Defs) != 0 {
+		t.Errorf("never_driven defs: %+v", nd.Defs)
+	}
+	if len(nd.Uses) != 1 {
+		t.Errorf("never_driven uses: %+v", nd.Uses)
+	}
+	nu := mi.Signal("never_used")
+	if len(nu.Uses) != 0 {
+		t.Errorf("never_used uses: %+v", nu.Uses)
+	}
+	if len(nu.Defs) != 1 {
+		t.Errorf("never_used defs: %+v", nu.Defs)
+	}
+}
+
+func TestGateRefs(t *testing.T) {
+	d := analyze(t, `
+module g(input a, b, output y);
+  wire w;
+  and g1 (w, a, b);
+  not n1 (y, w);
+endmodule`, "g")
+	mi := d.Module("g")
+	w := mi.Signal("w")
+	if len(w.Defs) != 1 || w.Defs[0].Kind != DefGateOut {
+		t.Errorf("w defs: %+v", w.Defs)
+	}
+	if len(w.Uses) != 1 || w.Uses[0].Kind != UseGateIn {
+		t.Errorf("w uses: %+v", w.Uses)
+	}
+}
+
+func TestPositionalConnectionsResolved(t *testing.T) {
+	d := analyze(t, `
+module top(input a, output y);
+  sub u (a, y);
+endmodule
+module sub(input i, output o);
+  assign o = ~i;
+endmodule`, "top")
+	top := d.Module("top")
+	a := top.Signal("a")
+	foundInstIn := false
+	for _, u := range a.Uses {
+		if u.Kind == UseInstIn && u.Port == "i" {
+			foundInstIn = true
+		}
+	}
+	if !foundInstIn {
+		t.Errorf("positional input conn not resolved: %+v", a.Uses)
+	}
+	y := top.Signal("y")
+	foundInstOut := false
+	for _, u := range y.Defs {
+		if u.Kind == DefInstOut && u.Port == "o" {
+			foundInstOut = true
+		}
+	}
+	if !foundInstOut {
+		t.Errorf("positional output conn not resolved: %+v", y.Defs)
+	}
+}
+
+func TestExprSignals(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `module m(input a, b, c, output y);
+  assign y = (a & b) | c[a] | {b, ~c} | f(a, c);
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rhs verilog.Expr
+	for _, it := range sf.Modules[0].Items {
+		if as, ok := it.(*verilog.AssignItem); ok {
+			rhs = as.RHS
+		}
+	}
+	got := ExprSignals(rhs)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("ExprSignals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ExprSignals[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLValueSignals(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `module m(input [3:0] a, input i, output [7:0] y);
+  wire [3:0] p, q;
+  assign {p, q[i]} = a;
+  assign y = {p, q};
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(sf, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := d.Module("m")
+	if len(mi.Signal("p").Defs) != 1 || len(mi.Signal("q").Defs) != 1 {
+		t.Errorf("concat lvalue defs: p=%d q=%d", len(mi.Signal("p").Defs), len(mi.Signal("q").Defs))
+	}
+	// i is used as an index on the LHS.
+	usedAsIndex := false
+	for _, u := range mi.Signal("i").Uses {
+		if u.Kind == UseAssignRHS {
+			usedAsIndex = true
+		}
+	}
+	if !usedAsIndex {
+		t.Errorf("index signal i not recorded as use: %+v", mi.Signal("i").Uses)
+	}
+}
+
+func TestRecursiveInstantiationRejected(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `
+module a(input x, output y); b u (.x(x), .y(y)); endmodule
+module b(input x, output y); a u (.x(x), .y(y)); endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(sf, "a"); err == nil {
+		t.Error("expected recursion error")
+	}
+}
+
+func TestUnknownTopRejected(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", "module m; endmodule")
+	if _, err := Analyze(sf, "ghost"); err == nil {
+		t.Error("expected unknown-top error")
+	}
+}
+
+func TestCaseConditionSignals(t *testing.T) {
+	d := analyze(t, `
+module c(input [1:0] sel, input a, b, output reg y);
+  always @(*) begin
+    case (sel)
+      2'b00: y = a;
+      default: y = b;
+    endcase
+  end
+endmodule`, "c")
+	mi := d.Module("c")
+	sel := mi.Signal("sel")
+	hasCond := false
+	for _, u := range sel.Uses {
+		if u.Kind == UseCond {
+			hasCond = true
+		}
+	}
+	if !hasCond {
+		t.Errorf("case subject not a cond-use: %+v", sel.Uses)
+	}
+	// y's defs carry sel as a condition signal.
+	for _, def := range mi.Signal("y").Defs {
+		found := false
+		for _, cs := range def.CondSignals {
+			if cs == "sel" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("y def missing sel in cond signals: %v", def.CondSignals)
+		}
+	}
+}
+
+func TestSignalNamesDeterministic(t *testing.T) {
+	d := analyze(t, hierSrc, "top")
+	names := d.Module("top").SignalNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	d := analyze(t, hierSrc, "top")
+	var paths []string
+	d.Root.Walk(func(n *InstanceNode) { paths = append(paths, n.Path) })
+	if len(paths) != 4 {
+		t.Fatalf("walk visited %d nodes, want 4: %v", len(paths), paths)
+	}
+	if paths[0] != "" {
+		t.Errorf("preorder should start at root, got %v", paths)
+	}
+}

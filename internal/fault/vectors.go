@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"factor/internal/sim"
+)
+
+// WriteSequences serializes test sequences in a simple line format that
+// external simulators (or a tester) can replay:
+//
+//	# header comment lines
+//	seq 0
+//	clk=0 rst=1 a=1 b=X
+//	clk=0 rst=0 a=0
+//	seq 1
+//	...
+//
+// Within a vector, inputs are sorted by name; unassigned inputs are
+// omitted (X).
+func WriteSequences(w io.Writer, tests []Sequence, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		for _, line := range strings.Split(strings.TrimRight(header, "\n"), "\n") {
+			if _, err := fmt.Fprintf(bw, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	for i, seq := range tests {
+		if _, err := fmt.Fprintf(bw, "seq %d\n", i); err != nil {
+			return err
+		}
+		for _, vec := range seq {
+			names := make([]string, 0, len(vec))
+			for n := range vec {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, n := range names {
+				parts = append(parts, fmt.Sprintf("%s=%s", n, vec[n]))
+			}
+			if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSequences parses the format written by WriteSequences.
+func ReadSequences(r io.Reader) ([]Sequence, error) {
+	var tests []Sequence
+	var cur Sequence
+	inSeq := false
+	flush := func() {
+		if inSeq {
+			tests = append(tests, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "seq ") || line == "seq" {
+			flush()
+			inSeq = true
+			continue
+		}
+		if !inSeq {
+			return nil, fmt.Errorf("line %d: vector before any 'seq' marker", lineNo)
+		}
+		vec := Vector{}
+		for _, part := range strings.Fields(line) {
+			eq := strings.IndexByte(part, '=')
+			if eq <= 0 {
+				return nil, fmt.Errorf("line %d: malformed assignment %q", lineNo, part)
+			}
+			name, val := part[:eq], part[eq+1:]
+			switch val {
+			case "0":
+				vec[name] = sim.L0
+			case "1":
+				vec[name] = sim.L1
+			case "X", "x":
+				vec[name] = sim.LX
+			default:
+				return nil, fmt.Errorf("line %d: bad value %q for %s", lineNo, val, name)
+			}
+		}
+		cur = append(cur, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return tests, nil
+}

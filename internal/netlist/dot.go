@@ -1,0 +1,78 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotOptions controls Graphviz emission.
+type DotOptions struct {
+	// HighlightScope draws gates whose Scope has this prefix in a
+	// distinct color (e.g. the module under test inside a transformed
+	// netlist).
+	HighlightScope string
+	// MaxGates truncates huge graphs (0 = no limit); a truncated graph
+	// carries a "truncated" note node.
+	MaxGates int
+}
+
+// EmitDot renders the netlist as a Graphviz digraph for inspection of
+// extracted environments and transformed modules.
+func (n *Netlist) EmitDot(opts DotOptions) string {
+	var sb strings.Builder
+	sb.WriteString("digraph ")
+	sb.WriteString(sanitizeName(n.Name))
+	sb.WriteString(" {\n  rankdir=LR;\n  node [fontsize=9];\n")
+
+	limit := len(n.Gates)
+	if opts.MaxGates > 0 && opts.MaxGates < limit {
+		limit = opts.MaxGates
+		sb.WriteString("  truncated [shape=plaintext, label=\"(truncated)\"];\n")
+	}
+
+	shape := func(k GateKind) string {
+		switch k {
+		case Input:
+			return "invtriangle"
+		case DFF:
+			return "box"
+		case Const0, Const1:
+			return "plaintext"
+		case Mux:
+			return "trapezium"
+		default:
+			return "ellipse"
+		}
+	}
+	for id := 0; id < limit; id++ {
+		g := n.Gates[id]
+		label := g.Kind.String()
+		if g.Name != "" {
+			label += "\\n" + g.Name
+		}
+		attrs := fmt.Sprintf("shape=%s, label=\"%s\"", shape(g.Kind), label)
+		if opts.HighlightScope != "" && strings.HasPrefix(g.Scope, opts.HighlightScope) {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&sb, "  g%d [%s];\n", id, attrs)
+		for pin, f := range g.Fanin {
+			if f >= limit {
+				continue
+			}
+			style := ""
+			if g.Kind == Mux && pin == 0 {
+				style = " [style=dashed]" // select input
+			}
+			fmt.Fprintf(&sb, "  g%d -> g%d%s;\n", f, id, style)
+		}
+	}
+	for i, po := range n.POs {
+		if po >= limit {
+			continue
+		}
+		fmt.Fprintf(&sb, "  po%d [shape=triangle, label=\"%s\"];\n", i, n.PONames[i])
+		fmt.Fprintf(&sb, "  g%d -> po%d;\n", po, i)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

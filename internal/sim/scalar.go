@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+)
+
+// Scalar three-valued operations, shared by the ATPG engine (which
+// simulates a good and a faulty machine as two scalar planes).
+
+// NotL returns ~a.
+func NotL(a Logic) Logic {
+	switch a {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return LX
+}
+
+// AndL returns a & b (0 dominates X).
+func AndL(a, b Logic) Logic {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return LX
+}
+
+// OrL returns a | b (1 dominates X).
+func OrL(a, b Logic) Logic {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return LX
+}
+
+// XorL returns a ^ b (X-propagating).
+func XorL(a, b Logic) Logic {
+	if a == LX || b == LX {
+		return LX
+	}
+	if a != b {
+		return L1
+	}
+	return L0
+}
+
+// MuxL returns s ? d1 : d0; an X select yields the agreed binary value
+// of the branches or X.
+func MuxL(s, d0, d1 Logic) Logic {
+	switch s {
+	case L0:
+		return d0
+	case L1:
+		return d1
+	}
+	if d0 == d1 && d0 != LX {
+		return d0
+	}
+	return LX
+}
+
+// EvalGateL evaluates one combinational gate kind over scalar values.
+func EvalGateL(kind netlist.GateKind, in []Logic) Logic {
+	switch kind {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return NotL(in[0])
+	case netlist.And:
+		return AndL(in[0], in[1])
+	case netlist.Or:
+		return OrL(in[0], in[1])
+	case netlist.Nand:
+		return NotL(AndL(in[0], in[1]))
+	case netlist.Nor:
+		return NotL(OrL(in[0], in[1]))
+	case netlist.Xor:
+		return XorL(in[0], in[1])
+	case netlist.Xnor:
+		return NotL(XorL(in[0], in[1]))
+	case netlist.Mux:
+		return MuxL(in[0], in[1], in[2])
+	}
+	panic(fmt.Sprintf("sim: EvalGateL on non-combinational kind %s", kind))
+}
+
+// ControllingValue returns the controlling input value of a gate kind
+// and whether it has one (AND/NAND: 0, OR/NOR: 1).
+func ControllingValue(kind netlist.GateKind) (Logic, bool) {
+	switch kind {
+	case netlist.And, netlist.Nand:
+		return L0, true
+	case netlist.Or, netlist.Nor:
+		return L1, true
+	}
+	return LX, false
+}
+
+// Inverting reports whether the gate kind inverts (its output for the
+// non-controlled case is the complement).
+func Inverting(kind netlist.GateKind) bool {
+	switch kind {
+	case netlist.Not, netlist.Nand, netlist.Nor, netlist.Xnor:
+		return true
+	}
+	return false
+}

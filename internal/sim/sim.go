@@ -1,0 +1,283 @@
+// Package sim implements a gate-level logic simulator over the netlist
+// IR. Values are three-state (0, 1, X); the simulator packs 64
+// independent patterns per gate into two machine words, so one pass
+// evaluates 64 vectors in parallel — the workhorse behind the fault
+// simulator's parallel-pattern mode.
+//
+// Sequential circuits are simulated cycle-accurately: Eval computes the
+// combinational fanout of the current inputs and flip-flop state, and
+// Step additionally clocks every DFF with its D value. Flip-flops power
+// up unknown (X), matching the pessimistic reset model used by
+// gate-level ATPG tools.
+package sim
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+)
+
+// Logic is a scalar three-state logic value.
+type Logic int8
+
+// Scalar logic values.
+const (
+	L0 Logic = iota
+	L1
+	LX
+)
+
+func (v Logic) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Word is a packed vector of 64 three-state values. Bit i of Ones is
+// set when pattern i is 1; bit i of Xs marks pattern i unknown and
+// overrides Ones.
+type Word struct {
+	Ones uint64
+	Xs   uint64
+}
+
+// Splat returns a Word holding the same scalar value in all 64 lanes.
+func Splat(v Logic) Word {
+	switch v {
+	case L0:
+		return Word{}
+	case L1:
+		return Word{Ones: ^uint64(0)}
+	default:
+		return Word{Xs: ^uint64(0)}
+	}
+}
+
+// Lane extracts the scalar value of pattern i.
+func (w Word) Lane(i int) Logic {
+	bit := uint64(1) << uint(i)
+	if w.Xs&bit != 0 {
+		return LX
+	}
+	if w.Ones&bit != 0 {
+		return L1
+	}
+	return L0
+}
+
+// SetLane sets pattern i to v.
+func (w *Word) SetLane(i int, v Logic) {
+	bit := uint64(1) << uint(i)
+	w.Ones &^= bit
+	w.Xs &^= bit
+	switch v {
+	case L1:
+		w.Ones |= bit
+	case LX:
+		w.Xs |= bit
+	}
+}
+
+// norm clears Ones bits in X lanes so Words compare canonically.
+func (w Word) norm() Word {
+	w.Ones &^= w.Xs
+	return w
+}
+
+// zeros returns the lanes that are definitely 0.
+func (w Word) zeros() uint64 { return ^w.Ones & ^w.Xs }
+
+// Not returns ~w in three-valued logic.
+func Not(a Word) Word {
+	return Word{Ones: a.zeros(), Xs: a.Xs}
+}
+
+// And returns a & b: 0 dominates X.
+func And(a, b Word) Word {
+	zero := a.zeros() | b.zeros()
+	xs := (a.Xs | b.Xs) &^ zero
+	return Word{Ones: ^(zero | xs), Xs: xs}
+}
+
+// Or returns a | b: 1 dominates X.
+func Or(a, b Word) Word {
+	one := (a.Ones &^ a.Xs) | (b.Ones &^ b.Xs)
+	xs := (a.Xs | b.Xs) &^ one
+	return Word{Ones: one, Xs: xs}
+}
+
+// Xor returns a ^ b: X if either operand is X.
+func Xor(a, b Word) Word {
+	xs := a.Xs | b.Xs
+	return Word{Ones: (a.Ones ^ b.Ones) &^ xs, Xs: xs}
+}
+
+// MuxW returns sel ? d1 : d0 lane-wise. When sel is X the result is X
+// unless d0 and d1 agree on a binary value.
+func MuxW(sel, d0, d1 Word) Word {
+	selOne := sel.Ones &^ sel.Xs
+	selZero := sel.zeros()
+	res := Word{}
+	res.Ones = (selOne & d1.Ones) | (selZero & d0.Ones)
+	res.Xs = (selOne & d1.Xs) | (selZero & d0.Xs)
+	// X select: agree => value, else X.
+	agreeOnes := d0.Ones & d1.Ones &^ d0.Xs &^ d1.Xs
+	agreeZeros := d0.zeros() & d1.zeros()
+	selX := sel.Xs
+	res.Ones |= selX & agreeOnes
+	res.Xs |= selX &^ (agreeOnes | agreeZeros)
+	return res.norm()
+}
+
+// EvalGate computes the output Word of a gate kind from its fanin
+// values. Input/Const/DFF kinds are handled by the simulator state, not
+// here.
+func EvalGate(kind netlist.GateKind, in []Word) Word {
+	switch kind {
+	case netlist.Buf:
+		return in[0].norm()
+	case netlist.Not:
+		return Not(in[0])
+	case netlist.And:
+		return And(in[0], in[1])
+	case netlist.Or:
+		return Or(in[0], in[1])
+	case netlist.Nand:
+		return Not(And(in[0], in[1]))
+	case netlist.Nor:
+		return Not(Or(in[0], in[1]))
+	case netlist.Xor:
+		return Xor(in[0], in[1])
+	case netlist.Xnor:
+		return Not(Xor(in[0], in[1]))
+	case netlist.Mux:
+		return MuxW(in[0], in[1], in[2])
+	}
+	panic(fmt.Sprintf("sim: EvalGate on non-combinational kind %s", kind))
+}
+
+// Simulator evaluates a netlist over packed 64-pattern words.
+type Simulator struct {
+	N     *netlist.Netlist
+	order []int  // topological order of gates
+	vals  []Word // current value per gate
+	state []Word // DFF state, indexed by gate ID (only DFF slots used)
+}
+
+// New builds a simulator for n. Flip-flops start at X.
+func New(n *netlist.Netlist) *Simulator {
+	s := &Simulator{
+		N:     n,
+		order: n.TopoOrder(),
+		vals:  make([]Word, len(n.Gates)),
+		state: make([]Word, len(n.Gates)),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset sets every flip-flop to X and every input to X.
+func (s *Simulator) Reset() {
+	for i := range s.vals {
+		s.vals[i] = Splat(LX)
+	}
+	for _, f := range s.N.DFFs {
+		s.state[f] = Splat(LX)
+	}
+}
+
+// ResetToZero sets every flip-flop to 0 (a hardware-reset assumption
+// used by some experiments).
+func (s *Simulator) ResetToZero() {
+	for _, f := range s.N.DFFs {
+		s.state[f] = Splat(L0)
+	}
+}
+
+// SetInput sets the packed value of a primary input by gate ID.
+func (s *Simulator) SetInput(gate int, w Word) {
+	s.vals[gate] = w.norm()
+}
+
+// SetInputScalar sets all 64 lanes of an input to a scalar value.
+func (s *Simulator) SetInputScalar(gate int, v Logic) {
+	s.vals[gate] = Splat(v)
+}
+
+// SetState forces the state of a DFF (used by the pattern translator
+// when PIER registers are loaded directly).
+func (s *Simulator) SetState(dff int, w Word) {
+	s.state[dff] = w.norm()
+}
+
+// Eval propagates the current inputs and flop state through the
+// combinational logic. It does not clock the flops.
+func (s *Simulator) Eval() {
+	var faninBuf [3]Word
+	for _, id := range s.order {
+		g := s.N.Gates[id]
+		switch g.Kind {
+		case netlist.Input:
+			// Value set via SetInput; leave as is.
+		case netlist.Const0:
+			s.vals[id] = Splat(L0)
+		case netlist.Const1:
+			s.vals[id] = Splat(L1)
+		case netlist.DFF:
+			s.vals[id] = s.state[id]
+		default:
+			in := faninBuf[:len(g.Fanin)]
+			for i, f := range g.Fanin {
+				in[i] = s.vals[f]
+			}
+			s.vals[id] = EvalGate(g.Kind, in)
+		}
+	}
+}
+
+// Step evaluates the combinational logic and then clocks every DFF.
+func (s *Simulator) Step() {
+	s.Eval()
+	for _, f := range s.N.DFFs {
+		d := s.N.Gates[f].Fanin[0]
+		s.state[f] = s.vals[d]
+	}
+}
+
+// Value returns the current packed value of a gate.
+func (s *Simulator) Value(gate int) Word { return s.vals[gate] }
+
+// OutputLane returns the scalar value of the named PO in lane i.
+func (s *Simulator) OutputLane(name string, lane int) Logic {
+	po := s.N.PO(name)
+	if po < 0 {
+		panic(fmt.Sprintf("sim: unknown output %q", name))
+	}
+	return s.vals[po].Lane(lane)
+}
+
+// ApplyVector assigns scalar values to all PIs from a map of PI name to
+// Logic; missing names default to X.
+func (s *Simulator) ApplyVector(v map[string]Logic) {
+	for i, pi := range s.N.PIs {
+		val, ok := v[s.N.PINames[i]]
+		if !ok {
+			val = LX
+		}
+		s.SetInputScalar(pi, val)
+	}
+}
+
+// Outputs captures the scalar values of all POs in lane 0.
+func (s *Simulator) Outputs() map[string]Logic {
+	out := make(map[string]Logic, len(s.N.POs))
+	for i, po := range s.N.POs {
+		out[s.N.PONames[i]] = s.vals[po].Lane(0)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"factor/internal/netlist"
+)
+
+func TestEvalGateAllKinds(t *testing.T) {
+	one, zero, x := Splat(L1), Splat(L0), Splat(LX)
+	cases := []struct {
+		kind netlist.GateKind
+		in   []Word
+		want Logic
+	}{
+		{netlist.Buf, []Word{one}, L1},
+		{netlist.Not, []Word{one}, L0},
+		{netlist.And, []Word{one, zero}, L0},
+		{netlist.Or, []Word{zero, one}, L1},
+		{netlist.Nand, []Word{one, one}, L0},
+		{netlist.Nor, []Word{zero, zero}, L1},
+		{netlist.Xor, []Word{one, zero}, L1},
+		{netlist.Xnor, []Word{one, zero}, L0},
+		{netlist.Mux, []Word{zero, one, zero}, L1},
+		{netlist.Mux, []Word{one, one, zero}, L0},
+		{netlist.Mux, []Word{x, one, one}, L1},
+	}
+	for i, c := range cases {
+		if got := EvalGate(c.kind, c.in).Lane(0); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestEvalGatePanicsOnNonCombinational(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	EvalGate(netlist.DFF, []Word{Splat(L0)})
+}
+
+func TestScalarOpsMatchWordOps(t *testing.T) {
+	vals := []Logic{L0, L1, LX}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := AndL(a, b), And(Splat(a), Splat(b)).Lane(0); got != want {
+				t.Errorf("AndL(%v,%v)=%v, Word=%v", a, b, got, want)
+			}
+			if got, want := OrL(a, b), Or(Splat(a), Splat(b)).Lane(0); got != want {
+				t.Errorf("OrL(%v,%v)=%v, Word=%v", a, b, got, want)
+			}
+			if got, want := XorL(a, b), Xor(Splat(a), Splat(b)).Lane(0); got != want {
+				t.Errorf("XorL(%v,%v)=%v, Word=%v", a, b, got, want)
+			}
+			if got, want := NotL(a), Not(Splat(a)).Lane(0); got != want {
+				t.Errorf("NotL(%v)=%v, Word=%v", a, got, want)
+			}
+			for _, s := range vals {
+				if got, want := MuxL(s, a, b), MuxW(Splat(s), Splat(a), Splat(b)).Lane(0); got != want {
+					t.Errorf("MuxL(%v,%v,%v)=%v, Word=%v", s, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalGateLAllKinds(t *testing.T) {
+	kinds := []netlist.GateKind{
+		netlist.Buf, netlist.Not, netlist.And, netlist.Or,
+		netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Mux,
+	}
+	for _, k := range kinds {
+		in := make([]Logic, k.Arity())
+		for i := range in {
+			in[i] = L1
+		}
+		packed := make([]Word, k.Arity())
+		for i := range packed {
+			packed[i] = Splat(L1)
+		}
+		if got, want := EvalGateL(k, in), EvalGate(k, packed).Lane(0); got != want {
+			t.Errorf("%s: scalar %v, packed %v", k, got, want)
+		}
+	}
+}
+
+func TestControllingValueAndInverting(t *testing.T) {
+	if v, ok := ControllingValue(netlist.And); !ok || v != L0 {
+		t.Error("And controlling value should be 0")
+	}
+	if v, ok := ControllingValue(netlist.Nor); !ok || v != L1 {
+		t.Error("Nor controlling value should be 1")
+	}
+	if _, ok := ControllingValue(netlist.Xor); ok {
+		t.Error("Xor has no controlling value")
+	}
+	if !Inverting(netlist.Nand) || Inverting(netlist.And) || !Inverting(netlist.Not) {
+		t.Error("Inverting classification broken")
+	}
+}
+
+func TestLogicString(t *testing.T) {
+	if L0.String() != "0" || L1.String() != "1" || LX.String() != "X" {
+		t.Error("Logic.String broken")
+	}
+}
+
+func TestApplyVectorAndOutputs(t *testing.T) {
+	n := netlist.New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("y", n.AddGate(netlist.And, a, b))
+	s := New(n)
+	s.ApplyVector(map[string]Logic{"a": L1}) // b defaults to X
+	s.Eval()
+	out := s.Outputs()
+	if out["y"] != LX {
+		t.Errorf("y = %v, want X (b unset)", out["y"])
+	}
+	s.ApplyVector(map[string]Logic{"a": L1, "b": L1})
+	s.Eval()
+	if s.OutputLane("y", 0) != L1 {
+		t.Error("y should be 1")
+	}
+}
+
+func TestOutputLanePanicsOnUnknownName(t *testing.T) {
+	n := netlist.New("m")
+	n.AddInput("a")
+	s := New(n)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown output")
+		}
+	}()
+	s.OutputLane("ghost", 0)
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := netlist.New("m")
+	d := n.AddInput("d")
+	q := n.AddGate(netlist.DFF, d)
+	n.AddOutput("q", q)
+	s := New(n)
+	s.SetInputScalar(d, L1)
+	s.Step()
+	s.Eval()
+	if s.OutputLane("q", 0) != L1 {
+		t.Fatal("setup failed")
+	}
+	s.Reset()
+	s.Eval()
+	if s.OutputLane("q", 0) != LX {
+		t.Error("Reset should return flops to X")
+	}
+	s.ResetToZero()
+	s.Eval()
+	if s.OutputLane("q", 0) != L0 {
+		t.Error("ResetToZero should zero flops")
+	}
+}

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"factor/internal/netlist"
+)
+
+func TestWordLanes(t *testing.T) {
+	var w Word
+	w.SetLane(0, L1)
+	w.SetLane(1, LX)
+	w.SetLane(63, L1)
+	if w.Lane(0) != L1 || w.Lane(1) != LX || w.Lane(2) != L0 || w.Lane(63) != L1 {
+		t.Errorf("lanes: %v %v %v %v", w.Lane(0), w.Lane(1), w.Lane(2), w.Lane(63))
+	}
+	w.SetLane(0, L0)
+	if w.Lane(0) != L0 {
+		t.Error("SetLane overwrite failed")
+	}
+	w.SetLane(1, L1)
+	if w.Lane(1) != L1 {
+		t.Error("SetLane X->1 failed")
+	}
+}
+
+// scalar three-valued reference functions.
+func refNot(a Logic) Logic {
+	switch a {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return LX
+}
+
+func refAnd(a, b Logic) Logic {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return LX
+}
+
+func refOr(a, b Logic) Logic {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return LX
+}
+
+func refXor(a, b Logic) Logic {
+	if a == LX || b == LX {
+		return LX
+	}
+	if a != b {
+		return L1
+	}
+	return L0
+}
+
+func refMux(s, d0, d1 Logic) Logic {
+	switch s {
+	case L0:
+		return d0
+	case L1:
+		return d1
+	}
+	if d0 == d1 && d0 != LX {
+		return d0
+	}
+	return LX
+}
+
+var allLogic = []Logic{L0, L1, LX}
+
+func TestWordOpsMatchScalarTruthTables(t *testing.T) {
+	// Exhaustive over all 3x3 operand combinations, one per lane.
+	var a, b Word
+	lane := 0
+	type pair struct{ x, y Logic }
+	var pairs []pair
+	for _, x := range allLogic {
+		for _, y := range allLogic {
+			a.SetLane(lane, x)
+			b.SetLane(lane, y)
+			pairs = append(pairs, pair{x, y})
+			lane++
+		}
+	}
+	check := func(name string, got Word, ref func(x, y Logic) Logic) {
+		for i, p := range pairs {
+			if got.Lane(i) != ref(p.x, p.y) {
+				t.Errorf("%s(%v,%v) = %v, want %v", name, p.x, p.y, got.Lane(i), ref(p.x, p.y))
+			}
+		}
+	}
+	check("and", And(a, b), refAnd)
+	check("or", Or(a, b), refOr)
+	check("xor", Xor(a, b), refXor)
+	check("nand", Not(And(a, b)), func(x, y Logic) Logic { return refNot(refAnd(x, y)) })
+	for i, p := range pairs {
+		if Not(a).Lane(i) != refNot(p.x) {
+			t.Errorf("not(%v) = %v, want %v", p.x, Not(a).Lane(i), refNot(p.x))
+		}
+	}
+}
+
+func TestMuxTruthTable(t *testing.T) {
+	var s, d0, d1 Word
+	lane := 0
+	type triple struct{ s, a, b Logic }
+	var tr []triple
+	for _, x := range allLogic {
+		for _, y := range allLogic {
+			for _, z := range allLogic {
+				s.SetLane(lane, x)
+				d0.SetLane(lane, y)
+				d1.SetLane(lane, z)
+				tr = append(tr, triple{x, y, z})
+				lane++
+			}
+		}
+	}
+	got := MuxW(s, d0, d1)
+	for i, p := range tr {
+		if got.Lane(i) != refMux(p.s, p.a, p.b) {
+			t.Errorf("mux(%v,%v,%v) = %v, want %v", p.s, p.a, p.b, got.Lane(i), refMux(p.s, p.a, p.b))
+		}
+	}
+}
+
+func buildAdder() *netlist.Netlist {
+	n := netlist.New("fa")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	cin := n.AddInput("cin")
+	axb := n.AddGate(netlist.Xor, a, b)
+	sum := n.AddGate(netlist.Xor, axb, cin)
+	ab := n.AddGate(netlist.And, a, b)
+	cab := n.AddGate(netlist.And, cin, axb)
+	cout := n.AddGate(netlist.Or, ab, cab)
+	n.AddOutput("sum", sum)
+	n.AddOutput("cout", cout)
+	return n
+}
+
+func TestFullAdderExhaustive(t *testing.T) {
+	s := New(buildAdder())
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				s.ApplyVector(map[string]Logic{"a": Logic(a), "b": Logic(b), "cin": Logic(c)})
+				s.Eval()
+				total := a + b + c
+				wantSum := Logic(total & 1)
+				wantCout := Logic(total >> 1)
+				if got := s.OutputLane("sum", 0); got != wantSum {
+					t.Errorf("a=%d b=%d c=%d: sum=%v want %v", a, b, c, got, wantSum)
+				}
+				if got := s.OutputLane("cout", 0); got != wantCout {
+					t.Errorf("a=%d b=%d c=%d: cout=%v want %v", a, b, c, got, wantCout)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelLanesIndependent(t *testing.T) {
+	n := buildAdder()
+	s := New(n)
+	// Put all 8 input combinations in lanes 0..7.
+	var wa, wb, wc Word
+	for i := 0; i < 8; i++ {
+		wa.SetLane(i, Logic(i&1))
+		wb.SetLane(i, Logic((i>>1)&1))
+		wc.SetLane(i, Logic((i>>2)&1))
+	}
+	s.SetInput(n.PI("a"), wa)
+	s.SetInput(n.PI("b"), wb)
+	s.SetInput(n.PI("cin"), wc)
+	s.Eval()
+	for i := 0; i < 8; i++ {
+		total := (i & 1) + ((i >> 1) & 1) + ((i >> 2) & 1)
+		if got := s.Value(n.PO("sum")).Lane(i); got != Logic(total&1) {
+			t.Errorf("lane %d: sum=%v want %v", i, got, Logic(total&1))
+		}
+		if got := s.Value(n.PO("cout")).Lane(i); got != Logic(total>>1) {
+			t.Errorf("lane %d: cout=%v want %v", i, got, Logic(total>>1))
+		}
+	}
+}
+
+func buildToggle() *netlist.Netlist {
+	// q toggles when en=1.
+	n := netlist.New("tff")
+	en := n.AddInput("en")
+	q := n.AddGate(netlist.DFF, en)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetFanin(q, 0, d)
+	n.AddOutput("q", q)
+	return n
+}
+
+func TestSequentialToggle(t *testing.T) {
+	n := buildToggle()
+	s := New(n)
+	s.ResetToZero()
+	want := []Logic{L1, L0, L1, L0}
+	for cyc, w := range want {
+		s.ApplyVector(map[string]Logic{"en": L1})
+		s.Step()
+		s.Eval()
+		if got := s.OutputLane("q", 0); got != w {
+			t.Errorf("cycle %d: q=%v want %v", cyc, got, w)
+		}
+	}
+	// en=0 holds state.
+	s.ApplyVector(map[string]Logic{"en": L0})
+	s.Step()
+	s.Eval()
+	if got := s.OutputLane("q", 0); got != L0 {
+		t.Errorf("hold: q=%v want 0", got)
+	}
+}
+
+func TestUnknownInitialStatePropagates(t *testing.T) {
+	n := buildToggle()
+	s := New(n) // DFFs at X
+	s.ApplyVector(map[string]Logic{"en": L1})
+	s.Step()
+	s.Eval()
+	if got := s.OutputLane("q", 0); got != LX {
+		t.Errorf("q after toggling unknown state = %v, want X", got)
+	}
+	// en=0 and XOR with 0 keeps X.
+	s.ApplyVector(map[string]Logic{"en": L0})
+	s.Step()
+	s.Eval()
+	if got := s.OutputLane("q", 0); got != LX {
+		t.Errorf("q = %v, want X", got)
+	}
+}
+
+func TestSetStateOverridesX(t *testing.T) {
+	n := buildToggle()
+	s := New(n)
+	q := n.DFFs[0]
+	s.SetState(q, Splat(L1))
+	s.ApplyVector(map[string]Logic{"en": L0})
+	s.Eval()
+	if got := s.OutputLane("q", 0); got != L1 {
+		t.Errorf("q = %v, want 1 after SetState", got)
+	}
+}
+
+// Property: X is a sound abstraction — lanes where inputs are binary
+// never produce X at outputs of a purely combinational circuit built
+// from And/Or/Not/Xor.
+func TestNoSpuriousX(t *testing.T) {
+	f := func(ops []byte, av, bv, cv bool) bool {
+		n := netlist.New("rnd")
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		c := n.AddInput("c")
+		last := c
+		for _, op := range ops {
+			sz := len(n.Gates)
+			f1 := int(op) % sz
+			f2 := int(op>>2) % sz
+			switch op % 4 {
+			case 0:
+				last = n.AddGate(netlist.And, f1, f2)
+			case 1:
+				last = n.AddGate(netlist.Or, f1, f2)
+			case 2:
+				last = n.AddGate(netlist.Xor, f1, f2)
+			case 3:
+				last = n.AddGate(netlist.Not, f1)
+			}
+		}
+		n.AddOutput("y", last)
+		s := New(n)
+		toL := func(v bool) Logic {
+			if v {
+				return L1
+			}
+			return L0
+		}
+		s.SetInputScalar(a, toL(av))
+		s.SetInputScalar(b, toL(bv))
+		s.SetInputScalar(c, toL(cv))
+		s.Eval()
+		return s.OutputLane("y", 0) != LX
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: packed evaluation agrees with scalar lane-by-lane
+// evaluation on random circuits and random inputs.
+func TestParallelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := netlist.New("rnd")
+		var pis []int
+		for i := 0; i < 4; i++ {
+			pis = append(pis, n.AddInput(string(rune('a'+i))))
+		}
+		for i := 0; i < 30; i++ {
+			sz := len(n.Gates)
+			f1 := rng.Intn(sz)
+			f2 := rng.Intn(sz)
+			f3 := rng.Intn(sz)
+			switch rng.Intn(6) {
+			case 0:
+				n.AddGate(netlist.And, f1, f2)
+			case 1:
+				n.AddGate(netlist.Or, f1, f2)
+			case 2:
+				n.AddGate(netlist.Xor, f1, f2)
+			case 3:
+				n.AddGate(netlist.Nand, f1, f2)
+			case 4:
+				n.AddGate(netlist.Not, f1)
+			case 5:
+				n.AddGate(netlist.Mux, f1, f2, f3)
+			}
+		}
+		n.AddOutput("y", len(n.Gates)-1)
+
+		// Random packed input: 64 lanes of random 3-valued values.
+		words := make([]Word, len(pis))
+		for i := range words {
+			for lane := 0; lane < 64; lane++ {
+				words[i].SetLane(lane, Logic(rng.Intn(3)))
+			}
+		}
+		sPar := New(n)
+		for i, pi := range pis {
+			sPar.SetInput(pi, words[i])
+		}
+		sPar.Eval()
+		parallel := sPar.Value(n.PO("y"))
+
+		for lane := 0; lane < 64; lane++ {
+			sSer := New(n)
+			for i, pi := range pis {
+				sSer.SetInputScalar(pi, words[i].Lane(lane))
+			}
+			sSer.Eval()
+			if got := sSer.OutputLane("y", 0); got != parallel.Lane(lane) {
+				t.Fatalf("trial %d lane %d: scalar=%v parallel=%v", trial, lane, got, parallel.Lane(lane))
+			}
+		}
+	}
+}
+
+func TestSplatAndNorm(t *testing.T) {
+	w := Word{Ones: ^uint64(0), Xs: ^uint64(0)}
+	if w.norm().Ones != 0 {
+		t.Error("norm should clear Ones under Xs")
+	}
+	if Splat(L1).Lane(5) != L1 || Splat(LX).Lane(5) != LX || Splat(L0).Lane(5) != L0 {
+		t.Error("Splat broken")
+	}
+}

@@ -1,0 +1,786 @@
+package synth
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+	"factor/internal/verilog"
+)
+
+// env is the symbolic-execution environment used inside always blocks
+// and functions: it maps signal names to their current bit-vector
+// values, overriding the anchors. A nil env reads anchors directly.
+type env map[string][]int
+
+func (v env) clone() env {
+	c := make(env, len(v))
+	for k, bv := range v {
+		c[k] = append([]int(nil), bv...)
+	}
+	return c
+}
+
+// constEval evaluates an expression that must be a compile-time
+// constant (parameter values, ranges, case labels, replication counts).
+func (e *elab) constEval(sc *scope, x verilog.Expr) (int64, error) {
+	switch v := x.(type) {
+	case *verilog.Number:
+		if v.HasXZ() {
+			return 0, fmt.Errorf("%s: x/z literal is not a constant value", v.Pos)
+		}
+		return int64(v.Value), nil
+	case *verilog.Ident:
+		if val, ok := sc.params[v.Name]; ok {
+			return val, nil
+		}
+		return 0, fmt.Errorf("%s: %s is not a constant (not a parameter)", v.Pos, v.Name)
+	case *verilog.UnaryExpr:
+		a, err := e.constEval(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case verilog.UnaryPlus:
+			return a, nil
+		case verilog.UnaryMinus:
+			return -a, nil
+		case verilog.UnaryNot:
+			if a == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case verilog.UnaryBitNot:
+			return ^a, nil
+		}
+		return 0, fmt.Errorf("%s: reduction operator in constant expression", v.Pos)
+	case *verilog.BinaryExpr:
+		a, err := e.constEval(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.constEval(sc, v.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case verilog.BinAdd:
+			return a + b, nil
+		case verilog.BinSub:
+			return a - b, nil
+		case verilog.BinMul:
+			return a * b, nil
+		case verilog.BinDiv:
+			if b == 0 {
+				return 0, fmt.Errorf("%s: constant division by zero", v.Pos)
+			}
+			return a / b, nil
+		case verilog.BinMod:
+			if b == 0 {
+				return 0, fmt.Errorf("%s: constant modulo by zero", v.Pos)
+			}
+			return a % b, nil
+		case verilog.BinAnd:
+			return a & b, nil
+		case verilog.BinOr:
+			return a | b, nil
+		case verilog.BinXor:
+			return a ^ b, nil
+		case verilog.BinShl:
+			return a << uint(b), nil
+		case verilog.BinShr, verilog.BinAShr:
+			return a >> uint(b), nil
+		case verilog.BinLt:
+			return b2i(a < b), nil
+		case verilog.BinLe:
+			return b2i(a <= b), nil
+		case verilog.BinGt:
+			return b2i(a > b), nil
+		case verilog.BinGe:
+			return b2i(a >= b), nil
+		case verilog.BinEq, verilog.BinCaseEq:
+			return b2i(a == b), nil
+		case verilog.BinNeq, verilog.BinCaseNe:
+			return b2i(a != b), nil
+		case verilog.BinLogAnd:
+			return b2i(a != 0 && b != 0), nil
+		case verilog.BinLogOr:
+			return b2i(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("%s: unsupported constant operator", v.Pos)
+	case *verilog.CondExpr:
+		c, err := e.constEval(sc, v.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.constEval(sc, v.Then)
+		}
+		return e.constEval(sc, v.Else)
+	}
+	return 0, fmt.Errorf("%s: not a constant expression", x.ExprPos())
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// bvConst reports whether all bits of bv are constant gates and, if
+// so, the value they encode.
+func (e *elab) bvConst(bv []int) (uint64, bool) {
+	var v uint64
+	for i, g := range bv {
+		switch e.nl.Gates[g].Kind {
+		case netlist.Const1:
+			if i < 64 {
+				v |= 1 << uint(i)
+			}
+		case netlist.Const0:
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// synthExpr elaborates an expression to a bit vector (LSB first).
+func (e *elab) synthExpr(sc *scope, x verilog.Expr, vars env) ([]int, error) {
+	switch v := x.(type) {
+	case *verilog.Number:
+		if v.HasXZ() {
+			return nil, fmt.Errorf("synth: %s: x/z literal %s outside casez/casex label", v.Pos, v.Text)
+		}
+		w := v.Width
+		if w == 0 || w > 64 {
+			w = 32
+		}
+		return e.constBV(v.Value, w), nil
+
+	case *verilog.Ident:
+		if bv, ok := vars[v.Name]; ok {
+			return append([]int(nil), bv...), nil
+		}
+		if pv, ok := sc.params[v.Name]; ok {
+			return e.constBV(uint64(pv), 32), nil
+		}
+		sig, ok := sc.signals[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: reference to undeclared signal %s", v.Pos, v.Name)
+		}
+		return append([]int(nil), sig.anchors...), nil
+
+	case *verilog.UnaryExpr:
+		a, err := e.synthExpr(sc, v.X, vars)
+		if err != nil {
+			return nil, err
+		}
+		if av, ok := e.bvConst(a); ok {
+			w := len(a)
+			switch v.Op {
+			case verilog.UnaryPlus:
+				return a, nil
+			case verilog.UnaryMinus:
+				return e.constBV(maskTo(-av, w), w), nil
+			case verilog.UnaryBitNot:
+				return e.constBV(maskTo(^av, w), w), nil
+			case verilog.UnaryNot:
+				return e.constBV(maskTo(b2u(av == 0), 1), 1), nil
+			case verilog.UnaryOr:
+				return e.constBV(b2u(av != 0), 1), nil
+			case verilog.UnaryNor:
+				return e.constBV(b2u(av == 0), 1), nil
+			case verilog.UnaryAnd:
+				return e.constBV(b2u(av == maskTo(^uint64(0), w)), 1), nil
+			case verilog.UnaryNand:
+				return e.constBV(b2u(av != maskTo(^uint64(0), w)), 1), nil
+			case verilog.UnaryXor:
+				return e.constBV(uint64(popcount(av)&1), 1), nil
+			case verilog.UnaryXnor:
+				return e.constBV(uint64(1-popcount(av)&1), 1), nil
+			}
+		}
+		switch v.Op {
+		case verilog.UnaryPlus:
+			return a, nil
+		case verilog.UnaryMinus:
+			return e.negate(a), nil
+		case verilog.UnaryBitNot:
+			out := make([]int, len(a))
+			for i, g := range a {
+				out[i] = e.nl.AddGate(netlist.Not, g)
+			}
+			return out, nil
+		case verilog.UnaryNot:
+			return []int{e.nl.AddGate(netlist.Not, e.reduceOr(a))}, nil
+		case verilog.UnaryAnd:
+			return []int{e.tree(netlist.And, a)}, nil
+		case verilog.UnaryNand:
+			return []int{e.nl.AddGate(netlist.Not, e.tree(netlist.And, a))}, nil
+		case verilog.UnaryOr:
+			return []int{e.reduceOr(a)}, nil
+		case verilog.UnaryNor:
+			return []int{e.nl.AddGate(netlist.Not, e.reduceOr(a))}, nil
+		case verilog.UnaryXor:
+			return []int{e.tree(netlist.Xor, a)}, nil
+		case verilog.UnaryXnor:
+			return []int{e.nl.AddGate(netlist.Not, e.tree(netlist.Xor, a))}, nil
+		}
+		return nil, fmt.Errorf("synth: %s: unsupported unary operator", v.ExprPos())
+
+	case *verilog.BinaryExpr:
+		return e.synthBinary(sc, v, vars)
+
+	case *verilog.CondExpr:
+		cond, err := e.synthExpr(sc, v.Cond, vars)
+		if err != nil {
+			return nil, err
+		}
+		sel := e.reduceOr(cond)
+		thenBV, err := e.synthExpr(sc, v.Then, vars)
+		if err != nil {
+			return nil, err
+		}
+		elseBV, err := e.synthExpr(sc, v.Else, vars)
+		if err != nil {
+			return nil, err
+		}
+		w := max(len(thenBV), len(elseBV))
+		thenBV = extend(thenBV, w, e.zero)
+		elseBV = extend(elseBV, w, e.zero)
+		out := make([]int, w)
+		for i := 0; i < w; i++ {
+			out[i] = e.nl.AddGate(netlist.Mux, sel, elseBV[i], thenBV[i])
+		}
+		return out, nil
+
+	case *verilog.IndexExpr:
+		base, err := e.synthExpr(sc, v.X, vars)
+		if err != nil {
+			return nil, err
+		}
+		lsbOff := 0
+		if id, ok := v.X.(*verilog.Ident); ok {
+			if sig, ok := sc.signals[id.Name]; ok {
+				lsbOff = sig.lsb
+			}
+		}
+		idxBV, err := e.synthExpr(sc, v.Index, vars)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := e.bvConst(idxBV); ok {
+			bit := int(c) - lsbOff
+			if bit < 0 || bit >= len(base) {
+				return nil, fmt.Errorf("synth: %s: constant bit select [%d] out of range", v.ExprPos(), c)
+			}
+			return []int{base[bit]}, nil
+		}
+		// Variable index: decoder + OR tree. The declared LSB offset is
+		// subtracted via the comparison constants.
+		var terms []int
+		for i := range base {
+			eq := e.eqConst(idxBV, uint64(i+lsbOff))
+			terms = append(terms, e.nl.AddGate(netlist.And, eq, base[i]))
+		}
+		return []int{e.reduceOr(terms)}, nil
+
+	case *verilog.RangeExpr:
+		base, err := e.synthExpr(sc, v.X, vars)
+		if err != nil {
+			return nil, err
+		}
+		lsbOff := 0
+		if id, ok := v.X.(*verilog.Ident); ok {
+			if sig, ok := sc.signals[id.Name]; ok {
+				lsbOff = sig.lsb
+			}
+		}
+		msb, err := e.constEval(sc, v.MSB)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: part select bounds must be constant: %v", v.ExprPos(), err)
+		}
+		lsb, err := e.constEval(sc, v.LSB)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: part select bounds must be constant: %v", v.ExprPos(), err)
+		}
+		lo, hi := int(lsb)-lsbOff, int(msb)-lsbOff
+		if lo < 0 || hi >= len(base) || lo > hi {
+			return nil, fmt.Errorf("synth: %s: part select [%d:%d] out of range", v.ExprPos(), msb, lsb)
+		}
+		return append([]int(nil), base[lo:hi+1]...), nil
+
+	case *verilog.ConcatExpr:
+		// MSB-first in source; LSB-first in our vectors.
+		var out []int
+		for i := len(v.Parts) - 1; i >= 0; i-- {
+			bv, err := e.synthExpr(sc, v.Parts[i], vars)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bv...)
+		}
+		return out, nil
+
+	case *verilog.ReplExpr:
+		count, err := e.constEval(sc, v.Count)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: replication count must be constant: %v", v.ExprPos(), err)
+		}
+		if count <= 0 || count > 64 {
+			return nil, fmt.Errorf("synth: %s: replication count %d out of range", v.ExprPos(), count)
+		}
+		bv, err := e.synthExpr(sc, v.X, vars)
+		if err != nil {
+			return nil, err
+		}
+		var out []int
+		for i := int64(0); i < count; i++ {
+			out = append(out, bv...)
+		}
+		return out, nil
+
+	case *verilog.CallExpr:
+		return e.synthCall(sc, v, vars)
+	}
+	return nil, fmt.Errorf("synth: %s: unsupported expression", x.ExprPos())
+}
+
+func (e *elab) synthBinary(sc *scope, v *verilog.BinaryExpr, vars env) ([]int, error) {
+	a, err := e.synthExpr(sc, v.X, vars)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.synthExpr(sc, v.Y, vars)
+	if err != nil {
+		return nil, err
+	}
+	// Constant folding keeps unrolled loop indices compile-time
+	// constant (loop conditions must fold) and avoids emitting gates
+	// for parameter arithmetic.
+	if av, aok := e.bvConst(a); aok {
+		if bv, bok := e.bvConst(b); bok {
+			if folded, ok := foldConstBinary(v.Op, av, bv, len(a), len(b)); ok {
+				return e.constBV(folded.value, folded.width), nil
+			}
+		}
+	}
+	switch v.Op {
+	case verilog.BinAnd, verilog.BinOr, verilog.BinXor, verilog.BinXnor:
+		w := max(len(a), len(b))
+		a, b = extend(a, w, e.zero), extend(b, w, e.zero)
+		out := make([]int, w)
+		for i := 0; i < w; i++ {
+			switch v.Op {
+			case verilog.BinAnd:
+				out[i] = e.nl.AddGate(netlist.And, a[i], b[i])
+			case verilog.BinOr:
+				out[i] = e.nl.AddGate(netlist.Or, a[i], b[i])
+			case verilog.BinXor:
+				out[i] = e.nl.AddGate(netlist.Xor, a[i], b[i])
+			case verilog.BinXnor:
+				out[i] = e.nl.AddGate(netlist.Xnor, a[i], b[i])
+			}
+		}
+		return out, nil
+
+	case verilog.BinLogAnd:
+		return []int{e.nl.AddGate(netlist.And, e.reduceOr(a), e.reduceOr(b))}, nil
+	case verilog.BinLogOr:
+		return []int{e.nl.AddGate(netlist.Or, e.reduceOr(a), e.reduceOr(b))}, nil
+
+	case verilog.BinAdd:
+		w := max(len(a), len(b))
+		sum, _ := e.adder(extend(a, w, e.zero), extend(b, w, e.zero), e.zero)
+		return sum, nil
+	case verilog.BinSub:
+		w := max(len(a), len(b))
+		bb := extend(b, w, e.zero)
+		nb := make([]int, w)
+		for i := range nb {
+			nb[i] = e.nl.AddGate(netlist.Not, bb[i])
+		}
+		diff, _ := e.adder(extend(a, w, e.zero), nb, e.one)
+		return diff, nil
+
+	case verilog.BinMul:
+		return e.multiplier(a, b)
+
+	case verilog.BinDiv, verilog.BinMod:
+		av, aok := e.bvConst(a)
+		bv, bok := e.bvConst(b)
+		if !aok || !bok {
+			return nil, fmt.Errorf("synth: %s: division/modulo require constant operands", v.ExprPos())
+		}
+		if bv == 0 {
+			return nil, fmt.Errorf("synth: %s: constant division by zero", v.ExprPos())
+		}
+		var r uint64
+		if v.Op == verilog.BinDiv {
+			r = av / bv
+		} else {
+			r = av % bv
+		}
+		return e.constBV(r, max(len(a), len(b))), nil
+
+	case verilog.BinEq, verilog.BinCaseEq:
+		return []int{e.equality(a, b)}, nil
+	case verilog.BinNeq, verilog.BinCaseNe:
+		return []int{e.nl.AddGate(netlist.Not, e.equality(a, b))}, nil
+
+	case verilog.BinLt:
+		return []int{e.lessThan(a, b)}, nil
+	case verilog.BinGt:
+		return []int{e.lessThan(b, a)}, nil
+	case verilog.BinLe:
+		return []int{e.nl.AddGate(netlist.Not, e.lessThan(b, a))}, nil
+	case verilog.BinGe:
+		return []int{e.nl.AddGate(netlist.Not, e.lessThan(a, b))}, nil
+
+	case verilog.BinShl, verilog.BinShr, verilog.BinAShr:
+		return e.shift(sc, v.Op, a, b)
+	}
+	return nil, fmt.Errorf("synth: %s: unsupported binary operator %s", v.ExprPos(), v.Op)
+}
+
+// reduceOr collapses a vector to a single "is nonzero" bit.
+func (e *elab) reduceOr(bv []int) int {
+	if len(bv) == 1 {
+		return bv[0]
+	}
+	return e.tree(netlist.Or, bv)
+}
+
+// equality builds a == b over the common (zero-extended) width.
+func (e *elab) equality(a, b []int) int {
+	w := max(len(a), len(b))
+	a, b = extend(a, w, e.zero), extend(b, w, e.zero)
+	bits := make([]int, w)
+	for i := 0; i < w; i++ {
+		bits[i] = e.nl.AddGate(netlist.Xnor, a[i], b[i])
+	}
+	return e.tree(netlist.And, bits)
+}
+
+// eqConst builds bv == c.
+func (e *elab) eqConst(bv []int, c uint64) int {
+	bits := make([]int, len(bv))
+	for i := range bv {
+		if c&(1<<uint(i)) != 0 {
+			bits[i] = bv[i]
+		} else {
+			bits[i] = e.nl.AddGate(netlist.Not, bv[i])
+		}
+	}
+	// Constant bits beyond the vector width must be zero for equality.
+	if len(bv) < 64 && c>>uint(len(bv)) != 0 {
+		return e.zero
+	}
+	return e.tree(netlist.And, bits)
+}
+
+// lessThan builds unsigned a < b via a ripple borrow comparator.
+func (e *elab) lessThan(a, b []int) int {
+	w := max(len(a), len(b))
+	a, b = extend(a, w, e.zero), extend(b, w, e.zero)
+	// lt_i = (~a_i & b_i) | (a_i XNOR b_i) & lt_{i-1}, from LSB up.
+	lt := e.zero
+	for i := 0; i < w; i++ {
+		na := e.nl.AddGate(netlist.Not, a[i])
+		strict := e.nl.AddGate(netlist.And, na, b[i])
+		eq := e.nl.AddGate(netlist.Xnor, a[i], b[i])
+		carry := e.nl.AddGate(netlist.And, eq, lt)
+		lt = e.nl.AddGate(netlist.Or, strict, carry)
+	}
+	return lt
+}
+
+// adder builds a ripple-carry adder; returns the sum bits and carry out.
+func (e *elab) adder(a, b []int, cin int) ([]int, int) {
+	w := len(a)
+	sum := make([]int, w)
+	c := cin
+	for i := 0; i < w; i++ {
+		axb := e.nl.AddGate(netlist.Xor, a[i], b[i])
+		sum[i] = e.nl.AddGate(netlist.Xor, axb, c)
+		ab := e.nl.AddGate(netlist.And, a[i], b[i])
+		cab := e.nl.AddGate(netlist.And, c, axb)
+		c = e.nl.AddGate(netlist.Or, ab, cab)
+	}
+	return sum, c
+}
+
+// negate builds the two's complement of a.
+func (e *elab) negate(a []int) []int {
+	na := make([]int, len(a))
+	for i := range a {
+		na[i] = e.nl.AddGate(netlist.Not, a[i])
+	}
+	one := extend([]int{e.one}, len(a), e.zero)
+	sum, _ := e.adder(na, one, e.zero)
+	return sum
+}
+
+// multiplier builds a shift-and-add array multiplier. The result width
+// is the sum of operand widths, capped at 64.
+func (e *elab) multiplier(a, b []int) ([]int, error) {
+	w := len(a) + len(b)
+	if w > 64 {
+		w = 64
+	}
+	acc := e.constBV(0, w)
+	for i := range b {
+		// partial_i = (a << i) & {w{b[i]}}
+		part := make([]int, w)
+		for j := 0; j < w; j++ {
+			if j-i >= 0 && j-i < len(a) {
+				part[j] = e.nl.AddGate(netlist.And, a[j-i], b[i])
+			} else {
+				part[j] = e.zero
+			}
+		}
+		acc, _ = e.adder(acc, part, e.zero)
+	}
+	return acc, nil
+}
+
+// shift builds shift operations. Constant shift amounts become pure
+// rewiring; variable amounts become a mux barrel.
+func (e *elab) shift(sc *scope, op verilog.BinaryOp, a, amt []int) ([]int, error) {
+	_ = sc
+	if c, ok := e.bvConst(amt); ok {
+		return e.shiftConst(op, a, int(c)), nil
+	}
+	// Barrel shifter: stage k shifts by 2^k when amt[k] is set.
+	cur := append([]int(nil), a...)
+	maxStage := 0
+	for s := 1; s < len(a); s <<= 1 {
+		maxStage++
+	}
+	for k := 0; k < len(amt) && k < maxStage; k++ {
+		shifted := e.shiftConst(op, cur, 1<<uint(k))
+		next := make([]int, len(a))
+		for i := range next {
+			next[i] = e.nl.AddGate(netlist.Mux, amt[k], cur[i], shifted[i])
+		}
+		cur = next
+	}
+	// Amount bits beyond the width force the result toward the fill
+	// value (0 for logical shifts, sign for arithmetic).
+	if len(amt) > maxStage {
+		over := e.reduceOr(amt[maxStage:])
+		fill := e.zero
+		if op == verilog.BinAShr {
+			fill = a[len(a)-1]
+		}
+		for i := range cur {
+			cur[i] = e.nl.AddGate(netlist.Mux, over, cur[i], fill)
+		}
+	}
+	return cur, nil
+}
+
+func (e *elab) shiftConst(op verilog.BinaryOp, a []int, n int) []int {
+	w := len(a)
+	out := make([]int, w)
+	for i := 0; i < w; i++ {
+		switch op {
+		case verilog.BinShl:
+			if i-n >= 0 {
+				out[i] = a[i-n]
+			} else {
+				out[i] = e.zero
+			}
+		case verilog.BinShr:
+			if i+n < w {
+				out[i] = a[i+n]
+			} else {
+				out[i] = e.zero
+			}
+		case verilog.BinAShr:
+			if i+n < w {
+				out[i] = a[i+n]
+			} else {
+				out[i] = a[w-1]
+			}
+		}
+	}
+	return out
+}
+
+// synthCall inlines a function call.
+func (e *elab) synthCall(sc *scope, call *verilog.CallExpr, vars env) ([]int, error) {
+	fn, ok := sc.funcs[call.Name]
+	if !ok {
+		return nil, fmt.Errorf("synth: %s: call to unknown function %s", call.ExprPos(), call.Name)
+	}
+	if len(call.Args) != len(fn.Inputs) {
+		return nil, fmt.Errorf("synth: %s: function %s expects %d arguments, got %d",
+			call.ExprPos(), call.Name, len(fn.Inputs), len(call.Args))
+	}
+	local := env{}
+	for i, in := range fn.Inputs {
+		bv, err := e.synthExpr(sc, call.Args[i], vars)
+		if err != nil {
+			return nil, err
+		}
+		w, _, _, err := e.rangeBounds(sc, in.Width)
+		if err != nil {
+			return nil, err
+		}
+		local[in.Name] = extend(bv, w, e.zero)
+	}
+	retW, _, _, err := e.rangeBounds(sc, fn.Width)
+	if err != nil {
+		return nil, err
+	}
+	local[fn.Name] = undefBV(retW)
+	for _, decl := range fn.Locals {
+		w, _, _, err := e.rangeBounds(sc, decl.Width)
+		if err != nil {
+			return nil, err
+		}
+		if decl.Kind == verilog.NetInteger {
+			w = 32
+		}
+		for _, n := range decl.Names {
+			local[n] = undefBV(w)
+		}
+	}
+	ex := &executor{
+		e: e, sc: sc, clocked: false,
+		vars: local, next: env{},
+		mask:  map[string][]bool{},
+		style: map[string]assignStyle{},
+	}
+	if err := ex.exec(fn.Body); err != nil {
+		return nil, err
+	}
+	// Branch merging replaces the executor's environment map, so the
+	// result must be read from ex.vars, not the initial binding map.
+	ret := ex.vars[fn.Name]
+	for _, b := range ret {
+		if b == undef {
+			return nil, fmt.Errorf("synth: %s: function %s does not assign its result on all paths", call.ExprPos(), call.Name)
+		}
+	}
+	return ret, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// constResult is the outcome of compile-time binary folding.
+type constResult struct {
+	value uint64
+	width int
+}
+
+func maskTo(v uint64, w int) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & ((uint64(1) << uint(w)) - 1)
+}
+
+// foldConstBinary evaluates a binary operation over constant operands.
+// The reported width matches the width the gate-level construction
+// would have produced. Division/modulo are left to the caller (they
+// carry their own error handling).
+func foldConstBinary(op verilog.BinaryOp, a, b uint64, wa, wb int) (constResult, bool) {
+	w := wa
+	if wb > w {
+		w = wb
+	}
+	bool1 := func(v bool) (constResult, bool) {
+		if v {
+			return constResult{1, 1}, true
+		}
+		return constResult{0, 1}, true
+	}
+	switch op {
+	case verilog.BinAdd:
+		return constResult{maskTo(a+b, w), w}, true
+	case verilog.BinSub:
+		return constResult{maskTo(a-b, w), w}, true
+	case verilog.BinMul:
+		mw := wa + wb
+		if mw > 64 {
+			mw = 64
+		}
+		return constResult{maskTo(a*b, mw), mw}, true
+	case verilog.BinAnd:
+		return constResult{a & b, w}, true
+	case verilog.BinOr:
+		return constResult{a | b, w}, true
+	case verilog.BinXor:
+		return constResult{a ^ b, w}, true
+	case verilog.BinXnor:
+		return constResult{maskTo(^(a ^ b), w), w}, true
+	case verilog.BinLogAnd:
+		return bool1(a != 0 && b != 0)
+	case verilog.BinLogOr:
+		return bool1(a != 0 || b != 0)
+	case verilog.BinEq, verilog.BinCaseEq:
+		return bool1(a == b)
+	case verilog.BinNeq, verilog.BinCaseNe:
+		return bool1(a != b)
+	case verilog.BinLt:
+		return bool1(a < b)
+	case verilog.BinLe:
+		return bool1(a <= b)
+	case verilog.BinGt:
+		return bool1(a > b)
+	case verilog.BinGe:
+		return bool1(a >= b)
+	case verilog.BinShl:
+		if b >= 64 {
+			return constResult{0, wa}, true
+		}
+		return constResult{maskTo(a<<b, wa), wa}, true
+	case verilog.BinShr:
+		if b >= 64 {
+			return constResult{0, wa}, true
+		}
+		return constResult{a >> b, wa}, true
+	case verilog.BinAShr:
+		// Arithmetic shift fills with the operand's top bit, matching
+		// the gate-level construction.
+		sign := (a >> uint(wa-1)) & 1
+		if b >= uint64(wa) {
+			if sign == 1 {
+				return constResult{maskTo(^uint64(0), wa), wa}, true
+			}
+			return constResult{0, wa}, true
+		}
+		r := a >> b
+		if sign == 1 {
+			for i := uint64(0); i < b; i++ {
+				r |= 1 << (uint64(wa) - 1 - i)
+			}
+		}
+		return constResult{maskTo(r, wa), wa}, true
+	}
+	return constResult{}, false
+}

@@ -1,0 +1,352 @@
+package synth
+
+import (
+	"factor/internal/netlist"
+)
+
+// Optimize rewrites a netlist with constant propagation, local boolean
+// simplification, structural hashing (common-subexpression sharing) and
+// a dead-logic sweep, repeating until the gate count stabilizes. This
+// is the redundancy-removal role the FACTOR paper delegates to the
+// synthesis tool: extracted environments contain every possible source
+// and propagation path, and the redundant ones are eliminated here.
+//
+// Note on unknowns: like production synthesis tools, the rewrites are
+// valid over binary values; identities such as AND(x, NOT x) = 0 are
+// applied even though a 3-valued simulation of the original netlist
+// could produce X where the optimized netlist produces a constant.
+func Optimize(n *netlist.Netlist) *netlist.Netlist {
+	prev := -1
+	for pass := 0; pass < 16; pass++ {
+		n = rebuild(n)
+		if g := n.NumGates(); g == prev {
+			break
+		} else {
+			prev = g
+		}
+	}
+	return n
+}
+
+// gateKey identifies a gate for structural hashing.
+type gateKey struct {
+	kind       netlist.GateKind
+	f0, f1, f2 int
+}
+
+type rebuilder struct {
+	out  *netlist.Netlist
+	hash map[gateKey]int
+	zero int
+	one  int
+	// curScope tags gates created while rewriting one source gate with
+	// that gate's provenance.
+	curScope string
+}
+
+func (r *rebuilder) isConst0(g int) bool { return r.out.Gates[g].Kind == netlist.Const0 }
+func (r *rebuilder) isConst1(g int) bool { return r.out.Gates[g].Kind == netlist.Const1 }
+
+// notOf reports whether gate a is the complement of gate b.
+func (r *rebuilder) notOf(a, b int) bool {
+	ga, gb := r.out.Gates[a], r.out.Gates[b]
+	if ga.Kind == netlist.Not && ga.Fanin[0] == b {
+		return true
+	}
+	if gb.Kind == netlist.Not && gb.Fanin[0] == a {
+		return true
+	}
+	if ga.Kind == netlist.Const0 && gb.Kind == netlist.Const1 {
+		return true
+	}
+	if ga.Kind == netlist.Const1 && gb.Kind == netlist.Const0 {
+		return true
+	}
+	return false
+}
+
+// gate creates (or reuses) a simplified gate in the output netlist.
+func (r *rebuilder) gate(kind netlist.GateKind, fanin ...int) int {
+	switch kind {
+	case netlist.Buf:
+		return fanin[0]
+	case netlist.Not:
+		x := fanin[0]
+		if r.isConst0(x) {
+			return r.one
+		}
+		if r.isConst1(x) {
+			return r.zero
+		}
+		if g := r.out.Gates[x]; g.Kind == netlist.Not {
+			return g.Fanin[0]
+		}
+	case netlist.And:
+		a, b := fanin[0], fanin[1]
+		if r.isConst0(a) || r.isConst0(b) {
+			return r.zero
+		}
+		if r.isConst1(a) {
+			return b
+		}
+		if r.isConst1(b) {
+			return a
+		}
+		if a == b {
+			return a
+		}
+		if r.notOf(a, b) {
+			return r.zero
+		}
+	case netlist.Or:
+		a, b := fanin[0], fanin[1]
+		if r.isConst1(a) || r.isConst1(b) {
+			return r.one
+		}
+		if r.isConst0(a) {
+			return b
+		}
+		if r.isConst0(b) {
+			return a
+		}
+		if a == b {
+			return a
+		}
+		if r.notOf(a, b) {
+			return r.one
+		}
+	case netlist.Nand:
+		a, b := fanin[0], fanin[1]
+		if r.isConst0(a) || r.isConst0(b) {
+			return r.one
+		}
+		if r.isConst1(a) {
+			return r.gate(netlist.Not, b)
+		}
+		if r.isConst1(b) {
+			return r.gate(netlist.Not, a)
+		}
+		if a == b {
+			return r.gate(netlist.Not, a)
+		}
+		if r.notOf(a, b) {
+			return r.one
+		}
+	case netlist.Nor:
+		a, b := fanin[0], fanin[1]
+		if r.isConst1(a) || r.isConst1(b) {
+			return r.zero
+		}
+		if r.isConst0(a) {
+			return r.gate(netlist.Not, b)
+		}
+		if r.isConst0(b) {
+			return r.gate(netlist.Not, a)
+		}
+		if a == b {
+			return r.gate(netlist.Not, a)
+		}
+		if r.notOf(a, b) {
+			return r.zero
+		}
+	case netlist.Xor:
+		a, b := fanin[0], fanin[1]
+		if r.isConst0(a) {
+			return b
+		}
+		if r.isConst0(b) {
+			return a
+		}
+		if r.isConst1(a) {
+			return r.gate(netlist.Not, b)
+		}
+		if r.isConst1(b) {
+			return r.gate(netlist.Not, a)
+		}
+		if a == b {
+			return r.zero
+		}
+		if r.notOf(a, b) {
+			return r.one
+		}
+	case netlist.Xnor:
+		a, b := fanin[0], fanin[1]
+		if r.isConst0(a) {
+			return r.gate(netlist.Not, b)
+		}
+		if r.isConst0(b) {
+			return r.gate(netlist.Not, a)
+		}
+		if r.isConst1(a) {
+			return b
+		}
+		if r.isConst1(b) {
+			return a
+		}
+		if a == b {
+			return r.one
+		}
+		if r.notOf(a, b) {
+			return r.zero
+		}
+	case netlist.Mux:
+		sel, d0, d1 := fanin[0], fanin[1], fanin[2]
+		if r.isConst0(sel) {
+			return d0
+		}
+		if r.isConst1(sel) {
+			return d1
+		}
+		if d0 == d1 {
+			return d0
+		}
+		if r.isConst0(d0) && r.isConst1(d1) {
+			return sel
+		}
+		if r.isConst1(d0) && r.isConst0(d1) {
+			return r.gate(netlist.Not, sel)
+		}
+		if r.isConst0(d0) {
+			return r.gate(netlist.And, sel, d1)
+		}
+		if r.isConst0(d1) {
+			return r.gate(netlist.And, r.gate(netlist.Not, sel), d0)
+		}
+		if r.isConst1(d0) {
+			return r.gate(netlist.Or, r.gate(netlist.Not, sel), d1)
+		}
+		if r.isConst1(d1) {
+			return r.gate(netlist.Or, sel, d0)
+		}
+		if r.notOf(d0, d1) {
+			// Mux(s, x, ~x) = s XNOR ... careful: d1 when s=1.
+			// If d1 == Not(d0): result = s ? ~d0 : d0 = s XOR d0.
+			if g := r.out.Gates[d1]; g.Kind == netlist.Not && g.Fanin[0] == d0 {
+				return r.gate(netlist.Xor, sel, d0)
+			}
+			if g := r.out.Gates[d0]; g.Kind == netlist.Not && g.Fanin[0] == d1 {
+				return r.gate(netlist.Xnor, sel, d1)
+			}
+		}
+	}
+	// Hash-cons. Commutative kinds normalize fanin order.
+	key := gateKey{kind: kind, f0: -1, f1: -1, f2: -1}
+	f := append([]int(nil), fanin...)
+	switch kind {
+	case netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Xnor:
+		if f[0] > f[1] {
+			f[0], f[1] = f[1], f[0]
+		}
+	}
+	if len(f) > 0 {
+		key.f0 = f[0]
+	}
+	if len(f) > 1 {
+		key.f1 = f[1]
+	}
+	if len(f) > 2 {
+		key.f2 = f[2]
+	}
+	if kind != netlist.DFF && kind != netlist.Input {
+		if id, ok := r.hash[key]; ok {
+			return id
+		}
+	}
+	id := r.out.AddGate(kind, fanin...)
+	r.out.Gates[id].Scope = r.curScope
+	if kind != netlist.DFF && kind != netlist.Input {
+		r.hash[key] = id
+	}
+	return id
+}
+
+// liveSet marks gates reachable backward from primary outputs, chasing
+// through DFF D-inputs.
+func liveSet(n *netlist.Netlist) []bool {
+	live := make([]bool, len(n.Gates))
+	var stack []int
+	push := func(id int) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, po := range n.POs {
+		push(po)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range n.Gates[id].Fanin {
+			push(f)
+		}
+	}
+	return live
+}
+
+// rebuild performs one simplify-and-sweep pass.
+func rebuild(n *netlist.Netlist) *netlist.Netlist {
+	live := liveSet(n)
+	r := &rebuilder{out: netlist.New(n.Name), hash: map[gateKey]int{}}
+	r.zero = r.out.AddGate(netlist.Const0)
+	r.one = r.out.AddGate(netlist.Const1)
+
+	remap := make([]int, len(n.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// All PIs survive (the module interface is fixed), in order.
+	for i, pi := range n.PIs {
+		remap[pi] = r.out.AddInput(n.PINames[i])
+	}
+	// Live DFFs are created up front so combinational logic can read
+	// them; their D fanins are wired after the sweep.
+	for _, f := range n.DFFs {
+		if !live[f] {
+			continue
+		}
+		id := r.out.AddGate(netlist.DFF, r.zero)
+		r.out.Gates[id].Name = n.Gates[f].Name
+		r.out.Gates[id].Scope = n.Gates[f].Scope
+		remap[f] = id
+	}
+	// Combinational logic in topological order.
+	for _, id := range n.TopoOrder() {
+		if !live[id] || remap[id] >= 0 {
+			continue
+		}
+		g := n.Gates[id]
+		switch g.Kind {
+		case netlist.Const0:
+			remap[id] = r.zero
+		case netlist.Const1:
+			remap[id] = r.one
+		case netlist.Input, netlist.DFF:
+			// Already mapped (or dead).
+		default:
+			fanin := make([]int, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = remap[f]
+			}
+			r.curScope = g.Scope
+			nid := r.gate(g.Kind, fanin...)
+			if r.out.Gates[nid].Name == "" {
+				r.out.Gates[nid].Name = g.Name
+			}
+			remap[id] = nid
+		}
+	}
+	// Close DFF feedback.
+	for _, f := range n.DFFs {
+		if remap[f] < 0 {
+			continue
+		}
+		d := remap[n.Gates[f].Fanin[0]]
+		r.out.SetFanin(remap[f], 0, d)
+	}
+	// Outputs.
+	for i, po := range n.POs {
+		r.out.AddOutput(n.PONames[i], remap[po])
+	}
+	return r.out
+}

@@ -1,0 +1,198 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+// optEquiv optimizes a hand-built netlist and verifies (a) gates do not
+// increase and (b) behavior is preserved on all binary input patterns
+// (up to 2^12 exhaustive, else random).
+func optEquiv(t *testing.T, n *netlist.Netlist) *netlist.Netlist {
+	t.Helper()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(n)
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized netlist invalid: %v", err)
+	}
+	if opt.NumGates() > n.NumGates() {
+		t.Errorf("optimization grew the netlist: %d -> %d", n.NumGates(), opt.NumGates())
+	}
+
+	nIn := len(n.PIs)
+	patterns := 1 << uint(nIn)
+	exhaustive := nIn <= 12
+	if !exhaustive {
+		patterns = 256
+	}
+	rng := rand.New(rand.NewSource(5))
+	s1 := sim.New(n)
+	s2 := sim.New(opt)
+	for p := 0; p < patterns; p++ {
+		var bits uint64
+		if exhaustive {
+			bits = uint64(p)
+		} else {
+			bits = rng.Uint64()
+		}
+		for i := range n.PIs {
+			v := sim.Logic((bits >> uint(i)) & 1)
+			s1.SetInputScalar(n.PIs[i], v)
+			s2.SetInputScalar(opt.PI(n.PINames[i]), v)
+		}
+		// Two clocked evaluations cover sequential behavior too.
+		for step := 0; step < 2; step++ {
+			s1.Eval()
+			s2.Eval()
+			for i := range n.POs {
+				v1 := s1.Value(n.POs[i]).Lane(0)
+				v2 := s2.Value(opt.PO(n.PONames[i])).Lane(0)
+				// The optimizer may resolve X to a constant (binary
+				// identities like x&~x=0), but never the reverse.
+				if v1 != sim.LX && v1 != v2 {
+					t.Fatalf("pattern %d step %d: output %s: %v -> %v", p, step, n.PONames[i], v1, v2)
+				}
+			}
+			s1.Step()
+			s2.Step()
+		}
+	}
+	return opt
+}
+
+func TestOptimizeIdentities(t *testing.T) {
+	n := netlist.New("idents")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	zero := n.AddGate(netlist.Const0)
+	one := n.AddGate(netlist.Const1)
+
+	n.AddOutput("and0", n.AddGate(netlist.And, a, zero))   // -> 0
+	n.AddOutput("and1", n.AddGate(netlist.And, a, one))    // -> a
+	n.AddOutput("or1", n.AddGate(netlist.Or, a, one))      // -> 1
+	n.AddOutput("oraa", n.AddGate(netlist.Or, a, a))       // -> a
+	n.AddOutput("xorself", n.AddGate(netlist.Xor, b, b))   // -> 0
+	n.AddOutput("xnor0", n.AddGate(netlist.Xnor, b, zero)) // -> ~b
+	n.AddOutput("nand0", n.AddGate(netlist.Nand, a, zero)) // -> 1
+	n.AddOutput("nor1", n.AddGate(netlist.Nor, a, one))    // -> 0
+	nb := n.AddGate(netlist.Not, b)
+	n.AddOutput("andcompl", n.AddGate(netlist.And, b, nb)) // -> 0
+	n.AddOutput("orcompl", n.AddGate(netlist.Or, b, nb))   // -> 1
+	nn := n.AddGate(netlist.Not, nb)
+	n.AddOutput("notnot", nn) // -> b
+
+	opt := optEquiv(t, n)
+	// Everything above folds away: only the Not feeding xnor0 remains.
+	if got := opt.NumGates(); got > 1 {
+		t.Errorf("identities left %d gates, want <= 1 (%s)", got, opt.ComputeStats().KindCounts())
+	}
+}
+
+func TestOptimizeMuxRules(t *testing.T) {
+	n := netlist.New("mux")
+	s := n.AddInput("s")
+	a := n.AddInput("a")
+	zero := n.AddGate(netlist.Const0)
+	one := n.AddGate(netlist.Const1)
+	n.AddOutput("m01", n.AddGate(netlist.Mux, s, zero, one)) // -> s
+	n.AddOutput("m10", n.AddGate(netlist.Mux, s, one, zero)) // -> ~s
+	n.AddOutput("m0a", n.AddGate(netlist.Mux, s, zero, a))   // -> s & a
+	n.AddOutput("ma0", n.AddGate(netlist.Mux, s, a, zero))   // -> ~s & a
+	n.AddOutput("m1a", n.AddGate(netlist.Mux, s, one, a))    // -> ~s | a
+	n.AddOutput("ma1", n.AddGate(netlist.Mux, s, a, one))    // -> s | a
+	n.AddOutput("maa", n.AddGate(netlist.Mux, s, a, a))      // -> a
+	na := n.AddGate(netlist.Not, a)
+	n.AddOutput("maxor", n.AddGate(netlist.Mux, s, a, na)) // -> s ^ a
+	opt := optEquiv(t, n)
+	for _, g := range opt.Gates {
+		if g.Kind == netlist.Mux {
+			t.Errorf("a mux survived constant-input simplification")
+		}
+	}
+}
+
+func TestOptimizeStructuralSharing(t *testing.T) {
+	n := netlist.New("share")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x1 := n.AddGate(netlist.And, a, b)
+	x2 := n.AddGate(netlist.And, b, a) // commutative duplicate
+	n.AddOutput("y", n.AddGate(netlist.Xor, x1, x2))
+	opt := optEquiv(t, n)
+	// And(a,b) == And(b,a) shared; Xor(x,x) -> 0: everything folds.
+	if opt.NumGates() != 0 {
+		t.Errorf("gates = %d, want 0", opt.NumGates())
+	}
+}
+
+func TestOptimizeKeepsLiveSequentialLoops(t *testing.T) {
+	n := netlist.New("loop")
+	en := n.AddInput("en")
+	q := n.AddGate(netlist.DFF, en)
+	d := n.AddGate(netlist.Xor, q, en)
+	n.SetFanin(q, 0, d)
+	n.AddOutput("q", q)
+	opt := optEquiv(t, n)
+	if len(opt.DFFs) != 1 {
+		t.Errorf("DFF count = %d, want 1", len(opt.DFFs))
+	}
+}
+
+func TestOptimizeSweepsDeadFlops(t *testing.T) {
+	n := netlist.New("deadflop")
+	a := n.AddInput("a")
+	n.AddGate(netlist.DFF, a) // unobserved
+	live := n.AddGate(netlist.Not, a)
+	n.AddOutput("y", live)
+	opt := Optimize(n)
+	if len(opt.DFFs) != 0 {
+		t.Errorf("dead flop survived")
+	}
+}
+
+func TestOptimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := netlist.New("rand")
+		for i := 0; i < 5; i++ {
+			n.AddInput(string(rune('a' + i)))
+		}
+		zero := n.AddGate(netlist.Const0)
+		one := n.AddGate(netlist.Const1)
+		_ = zero
+		_ = one
+		for i := 0; i < 60; i++ {
+			sz := len(n.Gates)
+			f1, f2, f3 := rng.Intn(sz), rng.Intn(sz), rng.Intn(sz)
+			switch rng.Intn(9) {
+			case 0:
+				n.AddGate(netlist.And, f1, f2)
+			case 1:
+				n.AddGate(netlist.Or, f1, f2)
+			case 2:
+				n.AddGate(netlist.Xor, f1, f2)
+			case 3:
+				n.AddGate(netlist.Nand, f1, f2)
+			case 4:
+				n.AddGate(netlist.Nor, f1, f2)
+			case 5:
+				n.AddGate(netlist.Xnor, f1, f2)
+			case 6:
+				n.AddGate(netlist.Not, f1)
+			case 7:
+				n.AddGate(netlist.Mux, f1, f2, f3)
+			case 8:
+				n.AddGate(netlist.DFF, f1)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			n.AddOutput("y"+string(rune('0'+i)), rng.Intn(len(n.Gates)))
+		}
+		optEquiv(t, n)
+	}
+}

@@ -1,0 +1,576 @@
+package synth
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+	"factor/internal/verilog"
+)
+
+// undef marks a bit that has not been assigned on the current path.
+// Merging an undef bit with a defined one indicates incomplete
+// assignment (a latch) in combinational processes, which is an error.
+const undef = -1
+
+func undefBV(w int) []int {
+	bv := make([]int, w)
+	for i := range bv {
+		bv[i] = undef
+	}
+	return bv
+}
+
+// assignStyle records whether a register target uses blocking or
+// nonblocking assignments (mixing both on one target is rejected).
+type assignStyle int8
+
+const (
+	styleNone assignStyle = iota
+	styleBlocking
+	styleNonblocking
+)
+
+// executor symbolically executes a statement tree, producing
+// multiplexer logic for control flow.
+type executor struct {
+	e       *elab
+	sc      *scope
+	clocked bool
+
+	// vars holds the "blocking view": the value visible to subsequent
+	// reads inside the process. next holds nonblocking next-state
+	// values (clocked processes only).
+	vars env
+	next env
+
+	// mask marks the bits of each target actually assigned somewhere.
+	mask  map[string][]bool
+	style map[string]assignStyle
+
+	depth int
+}
+
+const maxExecDepth = 512
+
+// synthAlways elaborates one always block.
+func (e *elab) synthAlways(sc *scope, a *verilog.AlwaysBlock) error {
+	clocked := a.Clocked()
+	if clocked {
+		for _, it := range a.Sens.Items {
+			if it.Edge == EdgeNoneConst {
+				return fmt.Errorf("synth: %s: mixed edge and level sensitivity is not supported", a.Pos)
+			}
+		}
+	}
+	ex := &executor{
+		e:       e,
+		sc:      sc,
+		clocked: clocked,
+		vars:    env{},
+		next:    env{},
+		mask:    map[string][]bool{},
+		style:   map[string]assignStyle{},
+	}
+	if err := ex.exec(a.Body); err != nil {
+		return err
+	}
+	// Commit results.
+	for name, bits := range ex.mask {
+		sig := sc.signals[name]
+		if sig == nil {
+			return fmt.Errorf("synth: %s: assignment to undeclared signal %s", a.Pos, name)
+		}
+		var final []int
+		if ex.style[name] == styleNonblocking {
+			final = ex.next[name]
+		} else {
+			final = ex.vars[name]
+		}
+		for i, assigned := range bits {
+			if !assigned {
+				continue
+			}
+			if final[i] == undef {
+				return fmt.Errorf("synth: %s: %s bit %d is not assigned on all paths of a combinational always block (latch inferred)",
+					a.Pos, name, i+sig.lsb)
+			}
+			if sig.driven[i] {
+				return fmt.Errorf("synth: %s: multiple drivers for %s bit %d", a.Pos, name, i+sig.lsb)
+			}
+			var driver int
+			if clocked {
+				driver = e.nl.AddGate(netlist.DFF, final[i])
+				e.nl.Gates[driver].Name = sc.prefix + bitName(name, sig, i) + "$dff"
+			} else {
+				driver = final[i]
+			}
+			e.nl.SetFanin(sig.anchors[i], 0, driver)
+			sig.driven[i] = true
+		}
+	}
+	return nil
+}
+
+// EdgeNoneConst mirrors verilog.EdgeNone for the mixed-sensitivity
+// check without importing the constant directly into the condition.
+const EdgeNoneConst = verilog.EdgeNone
+
+// touch ensures the executor has working entries for a target signal.
+func (ex *executor) touch(name string, pos verilog.Pos) (*signal, error) {
+	sig, ok := ex.sc.signals[name]
+	if !ok {
+		return nil, fmt.Errorf("synth: %s: assignment to undeclared signal %s", pos, name)
+	}
+	if _, ok := ex.vars[name]; !ok {
+		if ex.clocked {
+			// Old value readable; next defaults to hold.
+			ex.vars[name] = append([]int(nil), sig.anchors...)
+			ex.next[name] = append([]int(nil), sig.anchors...)
+		} else {
+			ex.vars[name] = undefBV(sig.width)
+		}
+		if _, ok := ex.mask[name]; !ok {
+			ex.mask[name] = make([]bool, sig.width)
+		}
+	}
+	return sig, nil
+}
+
+// state snapshot for branch merging.
+type execState struct {
+	vars env
+	next env
+	mask map[string][]bool
+}
+
+func (ex *executor) snapshot() execState {
+	m := make(map[string][]bool, len(ex.mask))
+	for k, v := range ex.mask {
+		m[k] = append([]bool(nil), v...)
+	}
+	return execState{vars: ex.vars.clone(), next: ex.next.clone(), mask: m}
+}
+
+func (ex *executor) restore(s execState) {
+	ex.vars = s.vars
+	ex.next = s.next
+	ex.mask = s.mask
+}
+
+// merge combines two branch outcomes under select bit sel (sel=1 picks
+// the "then" state).
+func (ex *executor) merge(sel int, thenS, elseS execState, pos verilog.Pos) error {
+	mergeEnv := func(t, f env) (env, error) {
+		out := env{}
+		keys := map[string]bool{}
+		for k := range t {
+			keys[k] = true
+		}
+		for k := range f {
+			keys[k] = true
+		}
+		for k := range keys {
+			tb, tok := t[k]
+			fb, fok := f[k]
+			switch {
+			case tok && !fok:
+				// Target only touched in then-branch: other branch
+				// holds the pre-branch (untouched) value. touch()
+				// recorded the pre-branch default in tb's creation, so
+				// reconstruct the default for the else side.
+				fb = ex.defaultFor(k, len(tb))
+			case fok && !tok:
+				tb = ex.defaultFor(k, len(fb))
+			}
+			if len(tb) != len(fb) {
+				return nil, fmt.Errorf("synth: %s: internal width mismatch merging %s", pos, k)
+			}
+			merged := make([]int, len(tb))
+			for i := range tb {
+				switch {
+				case tb[i] == fb[i]:
+					merged[i] = tb[i]
+				case tb[i] == undef || fb[i] == undef:
+					merged[i] = undef
+				default:
+					merged[i] = ex.e.nl.AddGate(netlist.Mux, sel, fb[i], tb[i])
+				}
+			}
+			out[k] = merged
+		}
+		return out, nil
+	}
+	var err error
+	ex.vars, err = mergeEnv(thenS.vars, elseS.vars)
+	if err != nil {
+		return err
+	}
+	ex.next, err = mergeEnv(thenS.next, elseS.next)
+	if err != nil {
+		return err
+	}
+	mask := map[string][]bool{}
+	for k, v := range thenS.mask {
+		mask[k] = append([]bool(nil), v...)
+	}
+	for k, v := range elseS.mask {
+		if mv, ok := mask[k]; ok {
+			for i := range v {
+				mv[i] = mv[i] || v[i]
+			}
+		} else {
+			mask[k] = append([]bool(nil), v...)
+		}
+	}
+	ex.mask = mask
+	return nil
+}
+
+// defaultFor reconstructs the untouched value of a target for a branch
+// that never assigned it: hold (anchors) when clocked, undef otherwise.
+// Function-local variables (no declared signal) default to undef.
+func (ex *executor) defaultFor(name string, w int) []int {
+	if sig, ok := ex.sc.signals[name]; ok && ex.clocked {
+		return append([]int(nil), sig.anchors...)
+	}
+	return undefBV(w)
+}
+
+func (ex *executor) exec(s verilog.Stmt) error {
+	if ex.depth++; ex.depth > maxExecDepth {
+		return fmt.Errorf("synth: %s: statement nesting too deep", s.StmtPos())
+	}
+	defer func() { ex.depth-- }()
+
+	switch v := s.(type) {
+	case *verilog.Block:
+		for _, st := range v.Stmts {
+			if err := ex.exec(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.NullStmt, *verilog.SysCallStmt:
+		return nil
+	case *verilog.AssignStmt:
+		return ex.execAssign(v)
+	case *verilog.IfStmt:
+		return ex.execIf(v)
+	case *verilog.CaseStmt:
+		return ex.execCase(v)
+	case *verilog.ForStmt:
+		return ex.execFor(v)
+	case *verilog.WhileStmt:
+		return ex.execWhile(v)
+	}
+	return fmt.Errorf("synth: %s: unsupported statement in process", s.StmtPos())
+}
+
+func (ex *executor) execAssign(a *verilog.AssignStmt) error {
+	rhs, err := ex.e.synthExpr(ex.sc, a.RHS, ex.vars)
+	if err != nil {
+		return err
+	}
+	name, offsets, err := ex.lvalueOffsets(a.LHS)
+	if err != nil {
+		return err
+	}
+	if _, err := ex.touch(name, a.Pos); err != nil {
+		// Function locals are not module signals; create on the fly.
+		if _, ok := ex.vars[name]; !ok {
+			return err
+		}
+	}
+	st := styleBlocking
+	if !a.Blocking {
+		st = styleNonblocking
+	}
+	if prev := ex.style[name]; prev != styleNone && prev != st {
+		return fmt.Errorf("synth: %s: %s uses both blocking and nonblocking assignments", a.Pos, name)
+	}
+	ex.style[name] = st
+	if !a.Blocking && !ex.clocked {
+		return fmt.Errorf("synth: %s: nonblocking assignment to %s in a combinational always block", a.Pos, name)
+	}
+
+	rhs = extend(rhs, len(offsets), ex.e.zero)
+	target := ex.vars[name]
+	for _, off := range offsets {
+		if off < 0 || off >= len(target) {
+			return fmt.Errorf("synth: %s: bit select out of range on %s", a.Pos, name)
+		}
+	}
+	if a.Blocking {
+		for i, off := range offsets {
+			target[off] = rhs[i]
+		}
+		// Blocking assignments in clocked blocks register the final
+		// value; in combinational blocks they drive the net.
+		if ex.clocked {
+			if nx, ok := ex.next[name]; ok {
+				for i, off := range offsets {
+					nx[off] = rhs[i]
+				}
+			}
+		}
+	} else {
+		nx := ex.next[name]
+		for i, off := range offsets {
+			nx[off] = rhs[i]
+		}
+	}
+	if m, ok := ex.mask[name]; ok {
+		for _, off := range offsets {
+			m[off] = true
+		}
+	}
+	return nil
+}
+
+// lvalueOffsets resolves a procedural lvalue into a signal name and the
+// bit offsets (in vector index space, LSB=0) being written, LSB first.
+func (ex *executor) lvalueOffsets(lhs verilog.Expr) (string, []int, error) {
+	switch v := lhs.(type) {
+	case *verilog.Ident:
+		w := 0
+		if sig, ok := ex.sc.signals[v.Name]; ok {
+			w = sig.width
+		} else if bv, ok := ex.vars[v.Name]; ok {
+			w = len(bv)
+		} else {
+			return "", nil, fmt.Errorf("synth: %s: assignment to undeclared signal %s", v.Pos, v.Name)
+		}
+		offs := make([]int, w)
+		for i := range offs {
+			offs[i] = i
+		}
+		return v.Name, offs, nil
+	case *verilog.IndexExpr:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return "", nil, fmt.Errorf("synth: %s: unsupported lvalue", v.ExprPos())
+		}
+		lsb := 0
+		if sig, ok := ex.sc.signals[id.Name]; ok {
+			lsb = sig.lsb
+		}
+		idxBV, err := ex.e.synthExpr(ex.sc, v.Index, ex.vars)
+		if err != nil {
+			return "", nil, err
+		}
+		c, isConst := ex.e.bvConst(idxBV)
+		if !isConst {
+			return "", nil, fmt.Errorf("synth: %s: variable bit select on lvalue %s (unroll the loop or use constant indices)", v.ExprPos(), id.Name)
+		}
+		return id.Name, []int{int(c) - lsb}, nil
+	case *verilog.RangeExpr:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return "", nil, fmt.Errorf("synth: %s: unsupported lvalue", v.ExprPos())
+		}
+		lsb := 0
+		if sig, ok := ex.sc.signals[id.Name]; ok {
+			lsb = sig.lsb
+		}
+		m, err := ex.e.constEval(ex.sc, v.MSB)
+		if err != nil {
+			return "", nil, err
+		}
+		l, err := ex.e.constEval(ex.sc, v.LSB)
+		if err != nil {
+			return "", nil, err
+		}
+		if l > m {
+			return "", nil, fmt.Errorf("synth: %s: reversed part select on %s", v.ExprPos(), id.Name)
+		}
+		offs := make([]int, m-l+1)
+		for i := range offs {
+			offs[i] = int(l) - lsb + i
+		}
+		return id.Name, offs, nil
+	}
+	return "", nil, fmt.Errorf("synth: %s: unsupported procedural lvalue (concatenation targets are not supported in processes)", lhs.ExprPos())
+}
+
+func (ex *executor) execIf(v *verilog.IfStmt) error {
+	condBV, err := ex.e.synthExpr(ex.sc, v.Cond, ex.vars)
+	if err != nil {
+		return err
+	}
+	// Constant conditions (loop-unrolled code) take one branch only.
+	if c, ok := ex.e.bvConst(condBV); ok {
+		if c != 0 {
+			return ex.exec(v.Then)
+		}
+		if v.Else != nil {
+			return ex.exec(v.Else)
+		}
+		return nil
+	}
+	sel := ex.e.reduceOr(condBV)
+	before := ex.snapshot()
+
+	if err := ex.exec(v.Then); err != nil {
+		return err
+	}
+	thenS := ex.snapshot()
+
+	ex.restore(before)
+	if v.Else != nil {
+		if err := ex.exec(v.Else); err != nil {
+			return err
+		}
+	}
+	elseS := ex.snapshot()
+
+	return ex.merge(sel, thenS, elseS, v.Pos)
+}
+
+func (ex *executor) execCase(v *verilog.CaseStmt) error {
+	subj, err := ex.e.synthExpr(ex.sc, v.Subject, ex.vars)
+	if err != nil {
+		return err
+	}
+	return ex.execCaseItems(v, subj, 0)
+}
+
+// execCaseItems lowers a case statement to a priority if-else chain.
+func (ex *executor) execCaseItems(v *verilog.CaseStmt, subj []int, i int) error {
+	if i >= len(v.Items) {
+		return nil
+	}
+	item := v.Items[i]
+	if len(item.Exprs) == 0 { // default
+		return ex.exec(item.Body)
+	}
+	// Build the match condition for this arm.
+	var conds []int
+	for _, le := range item.Exprs {
+		c, err := ex.caseMatch(v.Kind, subj, le)
+		if err != nil {
+			return err
+		}
+		conds = append(conds, c)
+	}
+	sel := ex.e.reduceOr(conds)
+	if c, ok := constGate(ex.e, sel); ok {
+		if c {
+			return ex.exec(item.Body)
+		}
+		return ex.execCaseItems(v, subj, i+1)
+	}
+
+	before := ex.snapshot()
+	if err := ex.exec(item.Body); err != nil {
+		return err
+	}
+	thenS := ex.snapshot()
+
+	ex.restore(before)
+	if err := ex.execCaseItems(v, subj, i+1); err != nil {
+		return err
+	}
+	elseS := ex.snapshot()
+
+	return ex.merge(sel, thenS, elseS, v.Pos)
+}
+
+func constGate(e *elab, g int) (bool, bool) {
+	switch e.nl.Gates[g].Kind {
+	case netlist.Const0:
+		return false, true
+	case netlist.Const1:
+		return true, true
+	}
+	return false, false
+}
+
+// caseMatch builds the equality (with casez/casex wildcards) between
+// the subject and one case label.
+func (ex *executor) caseMatch(kind verilog.CaseKind, subj []int, label verilog.Expr) (int, error) {
+	if num, ok := label.(*verilog.Number); ok && num.HasXZ() {
+		var ignore uint64
+		switch kind {
+		case verilog.CaseZ:
+			ignore = num.ZMask
+			if num.XMask != 0 {
+				return 0, fmt.Errorf("synth: %s: x bits in casez label %s", num.Pos, num.Text)
+			}
+		case verilog.CaseX:
+			ignore = num.ZMask | num.XMask
+		default:
+			return 0, fmt.Errorf("synth: %s: x/z bits in plain case label %s never match in hardware", num.Pos, num.Text)
+		}
+		var bits []int
+		w := num.Width
+		for i := 0; i < w && i < len(subj); i++ {
+			if ignore&(1<<uint(i)) != 0 {
+				continue
+			}
+			if num.Value&(1<<uint(i)) != 0 {
+				bits = append(bits, subj[i])
+			} else {
+				bits = append(bits, ex.e.nl.AddGate(netlist.Not, subj[i]))
+			}
+		}
+		if len(bits) == 0 {
+			return ex.e.one, nil
+		}
+		return ex.e.tree(netlist.And, bits), nil
+	}
+	lv, err := ex.e.synthExpr(ex.sc, label, ex.vars)
+	if err != nil {
+		return 0, err
+	}
+	return ex.e.equality(subj, lv), nil
+}
+
+func (ex *executor) execFor(v *verilog.ForStmt) error {
+	if err := ex.execAssign(v.Init); err != nil {
+		return err
+	}
+	for iter := 0; ; iter++ {
+		if iter >= ex.e.maxLoop {
+			return fmt.Errorf("synth: %s: for loop exceeded %d iterations (is the condition constant?)", v.Pos, ex.e.maxLoop)
+		}
+		condBV, err := ex.e.synthExpr(ex.sc, v.Cond, ex.vars)
+		if err != nil {
+			return err
+		}
+		c, ok := ex.e.bvConst(condBV)
+		if !ok {
+			return fmt.Errorf("synth: %s: for loop condition is not compile-time constant; loops are fully unrolled", v.Pos)
+		}
+		if c == 0 {
+			return nil
+		}
+		if err := ex.exec(v.Body); err != nil {
+			return err
+		}
+		if err := ex.execAssign(v.Step); err != nil {
+			return err
+		}
+	}
+}
+
+func (ex *executor) execWhile(v *verilog.WhileStmt) error {
+	for iter := 0; ; iter++ {
+		if iter >= ex.e.maxLoop {
+			return fmt.Errorf("synth: %s: while loop exceeded %d iterations (is the condition constant?)", v.Pos, ex.e.maxLoop)
+		}
+		condBV, err := ex.e.synthExpr(ex.sc, v.Cond, ex.vars)
+		if err != nil {
+			return err
+		}
+		c, ok := ex.e.bvConst(condBV)
+		if !ok {
+			return fmt.Errorf("synth: %s: while loop condition is not compile-time constant; loops are fully unrolled", v.Pos)
+		}
+		if c == 0 {
+			return nil
+		}
+		if err := ex.exec(v.Body); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,722 @@
+// Package synth elaborates Verilog RTL into the gate-level netlist IR.
+// It plays the role of the commercial synthesis tool in the FACTOR
+// flow: it flattens the module hierarchy, bit-blasts word-level
+// operations into a small cell library, infers flip-flops from clocked
+// always blocks, and (optionally) removes dead and redundant logic via
+// constant propagation, structural hashing and a reachability sweep.
+//
+// Deviations from full Verilog semantics, chosen deliberately for the
+// ATPG use case and documented here:
+//
+//   - A single implicit clock domain: every edge-triggered always block
+//     infers positive-edge DFFs of the same clock; asynchronous-reset
+//     patterns are synthesized as synchronous resets (the reset term
+//     becomes part of the D-input logic).
+//   - Unknown (x/z) literal bits are only meaningful as casez/casex
+//     wildcards; elsewhere they are rejected.
+//   - Signed arithmetic and division/modulo by non-constants are
+//     rejected.
+//   - Expression width calculation is simplified: operands of a binary
+//     operation are zero-extended to the wider operand, and results are
+//     truncated or zero-extended at assignment.
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/netlist"
+	"factor/internal/verilog"
+)
+
+// Options controls elaboration.
+type Options struct {
+	// TopParams overrides parameters of the top module by name.
+	TopParams map[string]int64
+	// NoOptimize skips the optimization passes (used by ablation
+	// benches to measure what optimization buys).
+	NoOptimize bool
+	// MaxLoopIterations bounds loop unrolling; 0 means the default.
+	MaxLoopIterations int
+}
+
+const defaultMaxLoopIterations = 4096
+
+// Warning is a non-fatal elaboration diagnostic.
+type Warning struct {
+	Pos verilog.Pos
+	Msg string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%s: warning: %s", w.Pos, w.Msg) }
+
+// Result is the output of Synthesize.
+type Result struct {
+	Netlist  *netlist.Netlist
+	Warnings []Warning
+	// GatesBeforeOpt is the gate count before optimization (equals the
+	// final count when NoOptimize is set).
+	GatesBeforeOpt int
+}
+
+// Synthesize elaborates the module named top from src into a flat
+// gate-level netlist.
+func Synthesize(src *verilog.SourceFile, top string, opts Options) (*Result, error) {
+	mod := src.Module(top)
+	if mod == nil {
+		return nil, fmt.Errorf("synth: top module %q not found", top)
+	}
+	e := &elab{
+		sf:      src,
+		nl:      netlist.New(top),
+		opts:    opts,
+		maxLoop: opts.MaxLoopIterations,
+	}
+	if e.maxLoop <= 0 {
+		e.maxLoop = defaultMaxLoopIterations
+	}
+	e.zero = e.nl.AddGate(netlist.Const0)
+	e.one = e.nl.AddGate(netlist.Const1)
+
+	params := map[string]int64{}
+	for k, v := range opts.TopParams {
+		params[k] = v
+	}
+	sc, err := e.elaborateModule(mod, "", params, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Top-level ports become PIs/POs.
+	for _, port := range mod.Ports {
+		sig := sc.signals[port.Name]
+		switch port.Dir {
+		case verilog.PortInput:
+			for i := 0; i < sig.width; i++ {
+				pi := e.nl.AddInput(bitName(port.Name, sig, i))
+				e.nl.SetFanin(sig.anchors[i], 0, pi)
+				sig.driven[i] = true
+			}
+		case verilog.PortOutput:
+			for i := 0; i < sig.width; i++ {
+				e.nl.AddOutput(bitName(port.Name, sig, i), sig.anchors[i])
+			}
+		case verilog.PortInout:
+			return nil, fmt.Errorf("synth: %s: inout ports are not supported (port %s)", port.Pos, port.Name)
+		}
+	}
+	if err := e.finishScopes(); err != nil {
+		return nil, err
+	}
+	// Bake gate provenance: ranges are appended innermost-first, so the
+	// first range containing a gate is its creating instance.
+	for _, r := range e.ranges {
+		for id := r.start; id < r.end; id++ {
+			if e.nl.Gates[id].Scope == "" && r.prefix != "" {
+				e.nl.Gates[id].Scope = r.prefix
+			}
+		}
+	}
+	res := &Result{Warnings: e.warnings, GatesBeforeOpt: e.nl.NumGates()}
+	if opts.NoOptimize {
+		res.Netlist = e.nl
+	} else {
+		res.Netlist = Optimize(e.nl)
+	}
+	if err := res.Netlist.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: internal error: produced invalid netlist: %v", err)
+	}
+	return res, nil
+}
+
+func bitName(port string, sig *signal, i int) string {
+	if sig.width == 1 && !sig.vector {
+		return port
+	}
+	return fmt.Sprintf("%s[%d]", port, i+sig.lsb)
+}
+
+// signal is one declared net/reg within a scope, bit-blasted to anchor
+// gates (Buf) whose fanin is set when the driver is known. Index 0 of
+// anchors is the LSB (declared bit lsb).
+type signal struct {
+	name   string
+	width  int
+	lsb    int
+	msb    int
+	vector bool // declared with a range
+	kind   verilog.NetKind
+	isPort bool
+	dir    verilog.PortDir
+	pos    verilog.Pos
+
+	anchors []int
+	driven  []bool
+}
+
+// scope is one elaborated module instance.
+type scope struct {
+	prefix  string // hierarchical prefix including trailing dot, "" for top
+	mod     *verilog.Module
+	params  map[string]int64
+	sigs    []*signal // declaration order
+	signals map[string]*signal
+	funcs   map[string]*verilog.FunctionDecl
+}
+
+type elab struct {
+	sf       *verilog.SourceFile
+	nl       *netlist.Netlist
+	opts     Options
+	zero     int
+	one      int
+	warnings []Warning
+	scopes   []*scope
+	maxLoop  int
+	depth    int
+	// ranges records the contiguous gate-ID span each module instance
+	// created, innermost instances first (they finish elaboration
+	// before their parents). Used to bake Gate.Scope provenance.
+	ranges []scopeRange
+}
+
+type scopeRange struct {
+	prefix     string
+	start, end int
+}
+
+func (e *elab) warnf(pos verilog.Pos, format string, args ...interface{}) {
+	e.warnings = append(e.warnings, Warning{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// constBV returns a BV of width w holding the constant v.
+func (e *elab) constBV(v uint64, w int) []int {
+	bv := make([]int, w)
+	for i := 0; i < w; i++ {
+		if v&(1<<uint(i)) != 0 {
+			bv[i] = e.one
+		} else {
+			bv[i] = e.zero
+		}
+	}
+	return bv
+}
+
+const maxHierDepth = 64
+
+// elaborateModule elaborates one module instance. conns, when non-nil,
+// carries bit drivers for input ports (by port name); output ports are
+// returned through the scope for the caller to wire up.
+func (e *elab) elaborateModule(mod *verilog.Module, prefix string, params map[string]int64, _ map[string][]int) (*scope, error) {
+	if e.depth++; e.depth > maxHierDepth {
+		return nil, fmt.Errorf("synth: module hierarchy deeper than %d (recursive instantiation of %s?)", maxHierDepth, mod.Name)
+	}
+	defer func() { e.depth-- }()
+
+	sc := &scope{
+		prefix:  prefix,
+		mod:     mod,
+		params:  params,
+		signals: map[string]*signal{},
+		funcs:   map[string]*verilog.FunctionDecl{},
+	}
+	e.scopes = append(e.scopes, sc)
+	rangeStart := len(e.nl.Gates)
+	defer func() {
+		e.ranges = append(e.ranges, scopeRange{prefix: prefix, start: rangeStart, end: len(e.nl.Gates)})
+	}()
+
+	// Pass 1: parameters (defaults for those not overridden).
+	for _, item := range mod.Items {
+		pd, ok := item.(*verilog.ParamDecl)
+		if !ok {
+			continue
+		}
+		for i, name := range pd.Names {
+			if _, overridden := params[name]; overridden && !pd.Local {
+				continue
+			}
+			v, err := e.constEval(sc, pd.Values[i])
+			if err != nil {
+				return nil, fmt.Errorf("synth: %s: parameter %s: %v", pd.Pos, name, err)
+			}
+			params[name] = v
+		}
+	}
+	// Pass 2: declarations (ports first, then body nets) and functions.
+	for _, port := range mod.Ports {
+		if _, err := e.declare(sc, port.Name, port.Width, netKindForPort(port), port.Pos, true, port.Dir); err != nil {
+			return nil, err
+		}
+	}
+	for _, item := range mod.Items {
+		switch it := item.(type) {
+		case *verilog.NetDecl:
+			for _, name := range it.Names {
+				if existing, ok := sc.signals[name]; ok {
+					// Port re-declaration (non-ANSI style): verify width.
+					w, lsb, _, err := e.rangeBounds(sc, it.Width)
+					if err != nil {
+						return nil, fmt.Errorf("synth: %s: %v", it.Pos, err)
+					}
+					if w != existing.width || lsb != existing.lsb {
+						return nil, fmt.Errorf("synth: %s: conflicting widths for %s", it.Pos, name)
+					}
+					if it.Kind == verilog.NetReg {
+						existing.kind = verilog.NetReg
+					}
+					continue
+				}
+				if _, err := e.declare(sc, name, it.Width, it.Kind, it.Pos, false, 0); err != nil {
+					return nil, err
+				}
+			}
+		case *verilog.FunctionDecl:
+			sc.funcs[it.Name] = it
+		}
+	}
+	// Pass 3: behavioral and structural items.
+	for _, item := range mod.Items {
+		switch it := item.(type) {
+		case *verilog.AssignItem:
+			rhs, err := e.synthExpr(sc, it.RHS, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.driveLValue(sc, it.LHS, rhs); err != nil {
+				return nil, err
+			}
+		case *verilog.AlwaysBlock:
+			if err := e.synthAlways(sc, it); err != nil {
+				return nil, err
+			}
+		case *verilog.GateInst:
+			if err := e.synthGate(sc, it); err != nil {
+				return nil, err
+			}
+		case *verilog.Instance:
+			if err := e.synthInstance(sc, it); err != nil {
+				return nil, err
+			}
+		case *verilog.InitialBlock:
+			e.warnf(it.Pos, "initial block ignored by synthesis")
+		}
+	}
+	return sc, nil
+}
+
+func netKindForPort(p *verilog.Port) verilog.NetKind {
+	if p.IsReg {
+		return verilog.NetReg
+	}
+	return verilog.NetWire
+}
+
+// declare creates the bit-blasted signal with its anchor gates.
+func (e *elab) declare(sc *scope, name string, r *verilog.Range, kind verilog.NetKind, pos verilog.Pos, isPort bool, dir verilog.PortDir) (*signal, error) {
+	if kind == verilog.NetInteger {
+		r = &verilog.Range{
+			MSB: &verilog.Number{Width: 32, Value: 31},
+			LSB: &verilog.Number{Width: 32, Value: 0},
+		}
+	}
+	w, lsb, msb, err := e.rangeBounds(sc, r)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: signal %s: %v", pos, name, err)
+	}
+	sig := &signal{
+		name: name, width: w, lsb: lsb, msb: msb, vector: r != nil,
+		kind: kind, isPort: isPort, dir: dir, pos: pos,
+		anchors: make([]int, w),
+		driven:  make([]bool, w),
+	}
+	for i := 0; i < w; i++ {
+		sig.anchors[i] = e.nl.AddGate(netlist.Buf, e.zero)
+		e.nl.Gates[sig.anchors[i]].Name = sc.prefix + bitName(name, sig, i)
+	}
+	switch kind {
+	case verilog.NetSupply0:
+		for i := 0; i < w; i++ {
+			e.nl.SetFanin(sig.anchors[i], 0, e.zero)
+			sig.driven[i] = true
+		}
+	case verilog.NetSupply1:
+		for i := 0; i < w; i++ {
+			e.nl.SetFanin(sig.anchors[i], 0, e.one)
+			sig.driven[i] = true
+		}
+	}
+	sc.sigs = append(sc.sigs, sig)
+	sc.signals[name] = sig
+	return sig, nil
+}
+
+// rangeBounds evaluates a declaration range. nil means scalar.
+func (e *elab) rangeBounds(sc *scope, r *verilog.Range) (width, lsb, msb int, err error) {
+	if r == nil {
+		return 1, 0, 0, nil
+	}
+	m, err := e.constEval(sc, r.MSB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	l, err := e.constEval(sc, r.LSB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if l > m {
+		return 0, 0, 0, fmt.Errorf("descending ranges [%d:%d] are not supported", m, l)
+	}
+	if m-l+1 > 64 {
+		return 0, 0, 0, fmt.Errorf("vector wider than 64 bits [%d:%d]", m, l)
+	}
+	return int(m - l + 1), int(l), int(m), nil
+}
+
+// driveLValue connects value bits to the anchors selected by an lvalue
+// expression (identifier, bit/part select or concatenation).
+func (e *elab) driveLValue(sc *scope, lhs verilog.Expr, value []int) error {
+	bits, err := e.lvalueBits(sc, lhs)
+	if err != nil {
+		return err
+	}
+	value = extend(value, len(bits), e.zero)
+	for i, ref := range bits {
+		if ref.sig.driven[ref.idx] {
+			return fmt.Errorf("synth: %s: multiple drivers for %s bit %d", lhs.ExprPos(), ref.sig.name, ref.idx+ref.sig.lsb)
+		}
+		e.nl.SetFanin(ref.sig.anchors[ref.idx], 0, value[i])
+		ref.sig.driven[ref.idx] = true
+	}
+	return nil
+}
+
+// bitRef identifies one bit of a declared signal.
+type bitRef struct {
+	sig *signal
+	idx int // 0-based from LSB
+}
+
+// lvalueBits resolves an lvalue to its component bits, LSB first.
+func (e *elab) lvalueBits(sc *scope, lhs verilog.Expr) ([]bitRef, error) {
+	switch v := lhs.(type) {
+	case *verilog.Ident:
+		sig, ok := sc.signals[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: assignment to undeclared signal %s", v.Pos, v.Name)
+		}
+		bits := make([]bitRef, sig.width)
+		for i := range bits {
+			bits[i] = bitRef{sig, i}
+		}
+		return bits, nil
+	case *verilog.IndexExpr:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: unsupported lvalue", v.ExprPos())
+		}
+		sig, ok := sc.signals[id.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: assignment to undeclared signal %s", v.ExprPos(), id.Name)
+		}
+		idx, err := e.constEval(sc, v.Index)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: non-constant bit select on lvalue %s: %v", v.ExprPos(), id.Name, err)
+		}
+		bit := int(idx) - sig.lsb
+		if bit < 0 || bit >= sig.width {
+			return nil, fmt.Errorf("synth: %s: bit select %s[%d] out of range", v.ExprPos(), id.Name, idx)
+		}
+		return []bitRef{{sig, bit}}, nil
+	case *verilog.RangeExpr:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: unsupported lvalue", v.ExprPos())
+		}
+		sig, ok := sc.signals[id.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: assignment to undeclared signal %s", v.ExprPos(), id.Name)
+		}
+		msb, err := e.constEval(sc, v.MSB)
+		if err != nil {
+			return nil, err
+		}
+		lsb, err := e.constEval(sc, v.LSB)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := int(lsb)-sig.lsb, int(msb)-sig.lsb
+		if lo < 0 || hi >= sig.width || lo > hi {
+			return nil, fmt.Errorf("synth: %s: part select %s[%d:%d] out of range", v.ExprPos(), id.Name, msb, lsb)
+		}
+		bits := make([]bitRef, hi-lo+1)
+		for i := range bits {
+			bits[i] = bitRef{sig, lo + i}
+		}
+		return bits, nil
+	case *verilog.ConcatExpr:
+		// Verilog concatenation is MSB-first: the first part is the
+		// most significant. Collect parts and reverse.
+		var all []bitRef
+		for i := len(v.Parts) - 1; i >= 0; i-- {
+			bits, err := e.lvalueBits(sc, v.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, bits...)
+		}
+		return all, nil
+	}
+	return nil, fmt.Errorf("synth: %s: unsupported lvalue expression", lhs.ExprPos())
+}
+
+// synthGate elaborates a gate primitive instance.
+func (e *elab) synthGate(sc *scope, g *verilog.GateInst) error {
+	// Output is Args[0] (for buf/not there may be multiple outputs,
+	// all but the last arg).
+	evalInput := func(x verilog.Expr) (int, error) {
+		bv, err := e.synthExpr(sc, x, nil)
+		if err != nil {
+			return 0, err
+		}
+		return e.reduceOr(bv), nil
+	}
+	switch g.Kind {
+	case "buf", "not":
+		in, err := evalInput(g.Args[len(g.Args)-1])
+		if err != nil {
+			return err
+		}
+		var out int
+		if g.Kind == "not" {
+			out = e.nl.AddGate(netlist.Not, in)
+		} else {
+			out = e.nl.AddGate(netlist.Buf, in)
+		}
+		for _, lhs := range g.Args[:len(g.Args)-1] {
+			if err := e.driveLValue(sc, lhs, []int{out}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var kind netlist.GateKind
+	switch g.Kind {
+	case "and":
+		kind = netlist.And
+	case "or":
+		kind = netlist.Or
+	case "nand":
+		kind = netlist.Nand
+	case "nor":
+		kind = netlist.Nor
+	case "xor":
+		kind = netlist.Xor
+	case "xnor":
+		kind = netlist.Xnor
+	default:
+		return fmt.Errorf("synth: %s: unknown gate primitive %q", g.Pos, g.Kind)
+	}
+	if len(g.Args) < 3 {
+		return fmt.Errorf("synth: %s: gate %s needs an output and at least two inputs", g.Pos, g.Kind)
+	}
+	// N-input gates become balanced 2-input trees; for the inverting
+	// kinds the inversion applies once at the root.
+	var base netlist.GateKind
+	invert := false
+	switch kind {
+	case netlist.Nand:
+		base, invert = netlist.And, true
+	case netlist.Nor:
+		base, invert = netlist.Or, true
+	case netlist.Xnor:
+		base, invert = netlist.Xor, true
+	default:
+		base = kind
+	}
+	var ins []int
+	for _, a := range g.Args[1:] {
+		in, err := evalInput(a)
+		if err != nil {
+			return err
+		}
+		ins = append(ins, in)
+	}
+	out := e.tree(base, ins)
+	if invert {
+		out = e.nl.AddGate(netlist.Not, out)
+	}
+	return e.driveLValue(sc, g.Args[0], []int{out})
+}
+
+// tree builds a balanced binary tree of 2-input gates.
+func (e *elab) tree(kind netlist.GateKind, ins []int) int {
+	for len(ins) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ins); i += 2 {
+			next = append(next, e.nl.AddGate(kind, ins[i], ins[i+1]))
+		}
+		if len(ins)%2 == 1 {
+			next = append(next, ins[len(ins)-1])
+		}
+		ins = next
+	}
+	return ins[0]
+}
+
+// synthInstance elaborates a child module instance and wires its ports.
+func (e *elab) synthInstance(sc *scope, inst *verilog.Instance) error {
+	child := e.sf.Module(inst.ModuleName)
+	if child == nil {
+		return fmt.Errorf("synth: %s: instance %s of unknown module %s", inst.Pos, inst.Name, inst.ModuleName)
+	}
+	// Parameter overrides.
+	params := map[string]int64{}
+	var declOrder []string
+	for _, item := range child.Items {
+		if pd, ok := item.(*verilog.ParamDecl); ok && !pd.Local {
+			declOrder = append(declOrder, pd.Names...)
+		}
+	}
+	for i, pa := range inst.Params {
+		name := pa.Name
+		if name == "" {
+			if i >= len(declOrder) {
+				return fmt.Errorf("synth: %s: too many positional parameters for %s", inst.Pos, inst.ModuleName)
+			}
+			name = declOrder[i]
+		}
+		v, err := e.constEval(sc, pa.Value)
+		if err != nil {
+			return fmt.Errorf("synth: %s: parameter %s: %v", inst.Pos, name, err)
+		}
+		params[name] = v
+	}
+	childScope, err := e.elaborateModule(child, sc.prefix+inst.Name+".", params, nil)
+	if err != nil {
+		return err
+	}
+	// Resolve connections.
+	conns := map[string]verilog.Expr{}
+	positional := false
+	for _, c := range inst.Conns {
+		if c.Port == "" {
+			positional = true
+			break
+		}
+	}
+	if positional {
+		if len(inst.Conns) > len(child.Ports) {
+			return fmt.Errorf("synth: %s: too many connections for %s", inst.Pos, inst.ModuleName)
+		}
+		for i, c := range inst.Conns {
+			if c.Port != "" {
+				return fmt.Errorf("synth: %s: cannot mix positional and named connections", inst.Pos)
+			}
+			conns[child.Ports[i].Name] = c.Expr
+		}
+	} else {
+		for _, c := range inst.Conns {
+			if child.Port(c.Port) == nil {
+				return fmt.Errorf("synth: %s: module %s has no port %s", inst.Pos, inst.ModuleName, c.Port)
+			}
+			conns[c.Port] = c.Expr
+		}
+	}
+	for _, port := range child.Ports {
+		expr, connected := conns[port.Name]
+		csig := childScope.signals[port.Name]
+		switch port.Dir {
+		case verilog.PortInput:
+			if !connected || expr == nil {
+				e.warnf(inst.Pos, "input port %s.%s unconnected; tied to 0", inst.Name, port.Name)
+				for i := 0; i < csig.width; i++ {
+					e.nl.SetFanin(csig.anchors[i], 0, e.zero)
+					csig.driven[i] = true
+				}
+				continue
+			}
+			bv, err := e.synthExpr(sc, expr, nil)
+			if err != nil {
+				return err
+			}
+			bv = extend(bv, csig.width, e.zero)
+			for i := 0; i < csig.width; i++ {
+				e.nl.SetFanin(csig.anchors[i], 0, bv[i])
+				csig.driven[i] = true
+			}
+		case verilog.PortOutput:
+			if !connected || expr == nil {
+				continue // open output
+			}
+			value := make([]int, csig.width)
+			copy(value, csig.anchors)
+			if err := e.driveLValue(sc, expr, value); err != nil {
+				return err
+			}
+		case verilog.PortInout:
+			return fmt.Errorf("synth: %s: inout port %s.%s not supported", inst.Pos, inst.Name, port.Name)
+		}
+	}
+	return nil
+}
+
+// finishScopes verifies that every non-input signal bit received a
+// driver; undriven bits are tied to 0 with a warning (these are exactly
+// the dangling nets FACTOR's testability analysis reports).
+func (e *elab) finishScopes() error {
+	for _, sc := range e.scopes {
+		for _, sig := range sc.sigs {
+			if sig.isPort && sig.dir == verilog.PortInput && sc.prefix == "" {
+				continue
+			}
+			for i := 0; i < sig.width; i++ {
+				if !sig.driven[i] {
+					e.warnf(sig.pos, "net %s%s has no driver; tied to 0", sc.prefix, bitName(sig.name, sig, i))
+					e.nl.SetFanin(sig.anchors[i], 0, e.zero)
+					sig.driven[i] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// extend truncates or zero-extends bv to width w.
+func extend(bv []int, w int, zero int) []int {
+	if len(bv) == w {
+		return bv
+	}
+	out := make([]int, w)
+	for i := 0; i < w; i++ {
+		if i < len(bv) {
+			out[i] = bv[i]
+		} else {
+			out[i] = zero
+		}
+	}
+	return out
+}
+
+// SortedWarnings renders warnings deterministically for reports.
+func SortedWarnings(ws []Warning) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustSynthesize is a test helper that panics on error.
+func MustSynthesize(src *verilog.SourceFile, top string, opts Options) *Result {
+	r, err := Synthesize(src, top, opts)
+	if err != nil {
+		panic(fmt.Sprintf("synth.MustSynthesize(%s): %v", top, err))
+	}
+	return r
+}
+
+// DescribeScopePath is a debugging helper that formats a hierarchical
+// net name from prefix parts.
+func DescribeScopePath(parts ...string) string { return strings.Join(parts, ".") }

@@ -1,0 +1,283 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"factor/internal/verilog"
+)
+
+func synthErr(t *testing.T, src, top string) error {
+	t.Helper()
+	sf, err := verilog.Parse("t.v", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Synthesize(sf, top, Options{})
+	return err
+}
+
+func TestSynthCasexWildcards(t *testing.T) {
+	h := newHarness(t, `
+module cx(input [3:0] v, output reg hit);
+  always @(*) begin
+    casex (v)
+      4'b1xx1: hit = 1'b1;
+      default: hit = 1'b0;
+    endcase
+  end
+endmodule`, "cx", Options{})
+	cases := map[uint64]uint64{
+		0b1001: 1, 0b1111: 1, 0b1011: 1, 0b0001: 0, 0b1000: 0,
+	}
+	for v, want := range cases {
+		h.in("v", v)
+		h.eval()
+		if got := h.out("hit"); got != want {
+			t.Errorf("v=%04b: hit=%d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSynthBufNotMultipleOutputs(t *testing.T) {
+	h := newHarness(t, `
+module bn(input a, output y1, y2, z1, z2);
+  buf (y1, y2, a);
+  not (z1, z2, a);
+endmodule`, "bn", Options{})
+	h.in("a", 1)
+	h.eval()
+	if h.out("y1") != 1 || h.out("y2") != 1 || h.out("z1") != 0 || h.out("z2") != 0 {
+		t.Error("multi-output buf/not broken")
+	}
+}
+
+func TestSynthArithmeticShiftRightVariable(t *testing.T) {
+	h := newHarness(t, `
+module av(input [7:0] a, input [2:0] n, output [7:0] y);
+  assign y = a >>> n;
+endmodule`, "av", Options{})
+	const a = 0b10010000 // negative as int8
+	h.in("a", a)
+	for n := uint64(0); n < 8; n++ {
+		h.in("n", n)
+		h.eval()
+		signed := int64(a) - 256 // int8 value of the pattern
+		want := uint64(signed>>n) & 0xFF
+		if got := h.out("y"); got != want {
+			t.Errorf("asr %d: %08b, want %08b", n, got, want)
+		}
+	}
+}
+
+func TestSynthReductionNandXnor(t *testing.T) {
+	h := newHarness(t, `
+module rn(input [2:0] v, output na, xn);
+  assign na = ~&v;
+  assign xn = ~^v;
+endmodule`, "rn", Options{})
+	for v := uint64(0); v < 8; v++ {
+		h.in("v", v)
+		h.eval()
+		ones := 0
+		for i := uint(0); i < 3; i++ {
+			ones += int(v>>i) & 1
+		}
+		wantNa := uint64(1)
+		if v == 7 {
+			wantNa = 0
+		}
+		wantXn := uint64(1 - ones%2)
+		if h.out("na") != wantNa || h.out("xn") != wantXn {
+			t.Errorf("v=%03b: na=%d xn=%d, want %d %d", v, h.out("na"), h.out("xn"), wantNa, wantXn)
+		}
+	}
+}
+
+func TestSynthLogicalOpsOnVectors(t *testing.T) {
+	h := newHarness(t, `
+module lo(input [3:0] a, b, output y, z, w);
+  assign y = a && b;
+  assign z = a || b;
+  assign w = !a;
+endmodule`, "lo", Options{})
+	h.in("a", 0)
+	h.in("b", 5)
+	h.eval()
+	if h.out("y") != 0 || h.out("z") != 1 || h.out("w") != 1 {
+		t.Error("logical ops broken for a=0")
+	}
+	h.in("a", 2)
+	h.eval()
+	if h.out("y") != 1 || h.out("w") != 0 {
+		t.Error("logical ops broken for a=2")
+	}
+}
+
+func TestSynthConstantConditionPruning(t *testing.T) {
+	// A parameterized if collapses to one branch with zero mux gates.
+	res := synthSrc(t, `
+module cp #(parameter EN = 1)(input [3:0] a, output [3:0] y);
+  reg [3:0] t;
+  always @(*) begin
+    if (EN != 0)
+      t = a + 4'd1;
+    else
+      t = a - 4'd1;
+  end
+  assign y = t;
+endmodule`, "cp", Options{})
+	for _, g := range res.Netlist.Gates {
+		if g.Kind.String() == "mux" {
+			t.Error("constant condition produced a mux")
+		}
+	}
+}
+
+func TestSynthErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, src, top, want string
+	}{
+		{"unknown top", "module a; endmodule", "b", "not found"},
+		{"inout", "module m(inout x); endmodule", "m", "inout"},
+		{"64bit limit", "module m(input [64:0] a, output y); assign y = a[0]; endmodule", "m", "wider than 64"},
+		{"descending range", "module m(input [0:7] a, output y); assign y = a[0]; endmodule", "m", "descending"},
+		{"div by zero", "module m(output [3:0] y); assign y = 8 / 0; endmodule", "m", "zero"},
+		{"non-const div", "module m(input [3:0] a, b, output [3:0] y); assign y = a / b; endmodule", "m", "constant"},
+		{"bad repl", "module m(input a, output y); wire [7:0] t; assign t = {0{a}}; assign y = t[0]; endmodule", "m", "replication"},
+		{"undeclared", "module m(output y); assign y = ghost; endmodule", "m", "undeclared"},
+		{"bad bit select", "module m(input [3:0] a, output y); assign y = a[9]; endmodule", "m", "out of range"},
+		{"bad part select", "module m(input [3:0] a, output [7:0] y); assign y = a[9:2]; endmodule", "m", "out of range"},
+		{"unknown function", "module m(input a, output y); assign y = f(a); endmodule", "m", "unknown function"},
+		{"arg count", `module m(input a, output y);
+  function g; input p, q; begin g = p & q; end endfunction
+  assign y = g(a);
+endmodule`, "m", "expects 2 arguments"},
+		{"too many conns", `module m(input a, output y); s u (a, y, a); endmodule
+module s(input p, output q); assign q = p; endmodule`, "m", "too many"},
+		{"no port", `module m(input a, output y); s u (.zz(a)); endmodule
+module s(input p, output q); assign q = p; endmodule`, "m", "no port"},
+		{"xz in case label", `module m(input [1:0] s, output reg y);
+  always @(*) begin
+    case (s)
+      2'b1x: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule`, "m", "never match"},
+		{"x in casez", `module m(input [1:0] s, output reg y);
+  always @(*) begin
+    casez (s)
+      2'b1x: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule`, "m", "x bits in casez"},
+		{"variable lvalue index", `module m(input [3:0] a, input [1:0] i, output reg [3:0] y);
+  always @(*) begin
+    y = 4'd0;
+    y[i] = a[0];
+  end
+endmodule`, "m", "variable bit select"},
+		{"runaway loop", `module m(input a, output reg y);
+  integer i;
+  always @(*) begin
+    y = a;
+    i = 0;
+    while (i < 1) begin
+      y = ~y;
+    end
+  end
+endmodule`, "m", "iterations"},
+	}
+	for _, c := range cases {
+		err := synthErr(t, c.src, c.top)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSynthRecursionGuard(t *testing.T) {
+	err := synthErr(t, `
+module a(input x, output y); b u (.x(x), .y(y)); endmodule
+module b(input x, output y); a u (.x(x), .y(y)); endmodule`, "a")
+	if err == nil || !strings.Contains(err.Error(), "deeper") {
+		t.Errorf("expected hierarchy depth error, got %v", err)
+	}
+}
+
+func TestSynthTernaryMultiBitCondition(t *testing.T) {
+	h := newHarness(t, `
+module tm(input [3:0] c, input [3:0] a, b, output [3:0] y);
+  assign y = c ? a : b;
+endmodule`, "tm", Options{})
+	h.in("c", 0)
+	h.in("a", 3)
+	h.in("b", 9)
+	h.eval()
+	if h.out("y") != 9 {
+		t.Error("c=0 should select b")
+	}
+	h.in("c", 8) // any nonzero bit
+	h.eval()
+	if h.out("y") != 3 {
+		t.Error("c=8 should select a")
+	}
+}
+
+func TestSynthCaseWithNonConstLabel(t *testing.T) {
+	h := newHarness(t, `
+module nc(input [1:0] s, m, input a, b, output reg y);
+  always @(*) begin
+    case (s)
+      m: y = a;
+      default: y = b;
+    endcase
+  end
+endmodule`, "nc", Options{})
+	h.in("s", 2)
+	h.in("m", 2)
+	h.in("a", 1)
+	h.in("b", 0)
+	h.eval()
+	if h.out("y") != 1 {
+		t.Error("matching dynamic label should select a")
+	}
+	h.in("m", 3)
+	h.eval()
+	if h.out("y") != 0 {
+		t.Error("non-matching dynamic label should select b")
+	}
+}
+
+func TestSynthConcatLValueContinuous(t *testing.T) {
+	h := newHarness(t, `
+module cl(input [7:0] a, output [3:0] hi, lo);
+  assign {hi, lo} = a;
+endmodule`, "cl", Options{})
+	h.in("a", 0xA5)
+	h.eval()
+	if h.out("hi") != 0xA || h.out("lo") != 0x5 {
+		t.Errorf("hi=%x lo=%x", h.out("hi"), h.out("lo"))
+	}
+}
+
+func TestSynthWarningsSorted(t *testing.T) {
+	res := synthSrc(t, `
+module ws(input a, output y);
+  wire u1, u2;
+  assign y = a & u1 & u2;
+endmodule`, "ws", Options{})
+	lines := SortedWarnings(res.Warnings)
+	if len(lines) != 2 {
+		t.Fatalf("warnings: %v", lines)
+	}
+	if lines[0] > lines[1] {
+		t.Error("warnings not sorted")
+	}
+}

@@ -1,0 +1,890 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"factor/internal/netlist"
+	"factor/internal/sim"
+	"factor/internal/verilog"
+)
+
+// harness wraps a synthesized netlist with word-level port access.
+type harness struct {
+	t  *testing.T
+	nl *netlist.Netlist
+	s  *sim.Simulator
+}
+
+func synthSrc(t *testing.T, src, top string, opts Options) *Result {
+	t.Helper()
+	sf, err := verilog.Parse("test.v", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Synthesize(sf, top, opts)
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	return res
+}
+
+func newHarness(t *testing.T, src, top string, opts Options) *harness {
+	t.Helper()
+	res := synthSrc(t, src, top, opts)
+	return &harness{t: t, nl: res.Netlist, s: sim.New(res.Netlist)}
+}
+
+// in sets a (possibly multi-bit) input port to an integer value.
+func (h *harness) in(name string, value uint64) {
+	h.t.Helper()
+	if pi := h.nl.PI(name); pi >= 0 {
+		h.s.SetInputScalar(pi, sim.Logic(value&1))
+		return
+	}
+	found := false
+	for i := 0; i < 64; i++ {
+		pi := h.nl.PI(bitPortName(name, i))
+		if pi < 0 {
+			break
+		}
+		found = true
+		h.s.SetInputScalar(pi, sim.Logic((value>>uint(i))&1))
+	}
+	if !found {
+		h.t.Fatalf("no input port %q", name)
+	}
+}
+
+// out reads a (possibly multi-bit) output port as an integer; it fails
+// on X bits.
+func (h *harness) out(name string) uint64 {
+	h.t.Helper()
+	if po := h.nl.PO(name); po >= 0 {
+		v := h.s.Value(po).Lane(0)
+		if v == sim.LX {
+			h.t.Fatalf("output %s is X", name)
+		}
+		return uint64(v)
+	}
+	var out uint64
+	found := false
+	for i := 0; i < 64; i++ {
+		po := h.nl.PO(bitPortName(name, i))
+		if po < 0 {
+			break
+		}
+		found = true
+		v := h.s.Value(po).Lane(0)
+		if v == sim.LX {
+			h.t.Fatalf("output %s[%d] is X", name, i)
+		}
+		out |= uint64(v) << uint(i)
+	}
+	if !found {
+		h.t.Fatalf("no output port %q", name)
+	}
+	return out
+}
+
+// outIsX reports whether any bit of the output is X.
+func (h *harness) outIsX(name string) bool {
+	h.t.Helper()
+	if po := h.nl.PO(name); po >= 0 {
+		return h.s.Value(po).Lane(0) == sim.LX
+	}
+	for i := 0; i < 64; i++ {
+		po := h.nl.PO(bitPortName(name, i))
+		if po < 0 {
+			break
+		}
+		if h.s.Value(po).Lane(0) == sim.LX {
+			return true
+		}
+	}
+	return false
+}
+
+func bitPortName(name string, i int) string {
+	return name + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func (h *harness) eval() { h.s.Eval() }
+func (h *harness) step() { h.s.Step(); h.s.Eval() }
+
+// ---------------------------------------------------------------------------
+
+func TestSynthAdder(t *testing.T) {
+	h := newHarness(t, `
+module add8(input [7:0] a, b, output [8:0] y);
+  assign y = {1'b0, a} + {1'b0, b};
+endmodule`, "add8", Options{})
+	cases := [][2]uint64{{0, 0}, {1, 1}, {255, 1}, {170, 85}, {200, 100}, {255, 255}}
+	for _, c := range cases {
+		h.in("a", c[0])
+		h.in("b", c[1])
+		h.eval()
+		if got := h.out("y"); got != c[0]+c[1] {
+			t.Errorf("%d+%d = %d, want %d", c[0], c[1], got, c[0]+c[1])
+		}
+	}
+}
+
+func TestSynthSubAndNeg(t *testing.T) {
+	h := newHarness(t, `
+module subber(input [7:0] a, b, output [7:0] d, n);
+  assign d = a - b;
+  assign n = -a;
+endmodule`, "subber", Options{})
+	h.in("a", 100)
+	h.in("b", 58)
+	h.eval()
+	if got := h.out("d"); got != 42 {
+		t.Errorf("100-58 = %d, want 42", got)
+	}
+	wantNeg := uint64(256 - 100)
+	if got := h.out("n"); got != wantNeg {
+		t.Errorf("-100 = %d, want %d", got, wantNeg)
+	}
+}
+
+func TestSynthMul(t *testing.T) {
+	h := newHarness(t, `
+module mult(input [3:0] a, b, output [7:0] y);
+  assign y = a * b;
+endmodule`, "mult", Options{})
+	for a := uint64(0); a < 16; a += 3 {
+		for b := uint64(0); b < 16; b += 5 {
+			h.in("a", a)
+			h.in("b", b)
+			h.eval()
+			if got := h.out("y"); got != a*b {
+				t.Errorf("%d*%d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestSynthBitwiseAndReduction(t *testing.T) {
+	h := newHarness(t, `
+module bits(input [3:0] a, b, output [3:0] x, o, e,
+            output ra, ro, rx, output nn);
+  assign x = a ^ b;
+  assign o = a | b;
+  assign e = a & ~b;
+  assign ra = &a;
+  assign ro = |a;
+  assign rx = ^a;
+  assign nn = !a;
+endmodule`, "bits", Options{})
+	h.in("a", 0b1010)
+	h.in("b", 0b0110)
+	h.eval()
+	if h.out("x") != 0b1100 || h.out("o") != 0b1110 || h.out("e") != 0b1000 {
+		t.Errorf("bitwise: x=%b o=%b e=%b", h.out("x"), h.out("o"), h.out("e"))
+	}
+	if h.out("ra") != 0 || h.out("ro") != 1 || h.out("rx") != 0 || h.out("nn") != 0 {
+		t.Errorf("reductions: ra=%d ro=%d rx=%d nn=%d", h.out("ra"), h.out("ro"), h.out("rx"), h.out("nn"))
+	}
+	h.in("a", 0b1111)
+	h.eval()
+	if h.out("ra") != 1 || h.out("rx") != 0 {
+		t.Errorf("a=1111: ra=%d rx=%d", h.out("ra"), h.out("rx"))
+	}
+	h.in("a", 0b0111)
+	h.eval()
+	if h.out("rx") != 1 {
+		t.Errorf("a=0111: rx=%d, want 1", h.out("rx"))
+	}
+}
+
+func TestSynthComparisons(t *testing.T) {
+	h := newHarness(t, `
+module cmp(input [3:0] a, b, output lt, le, gt, ge, eq, ne);
+  assign lt = a < b;
+  assign le = a <= b;
+  assign gt = a > b;
+  assign ge = a >= b;
+  assign eq = a == b;
+  assign ne = a != b;
+endmodule`, "cmp", Options{})
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			h.in("a", a)
+			h.in("b", b)
+			h.eval()
+			checks := map[string]bool{
+				"lt": a < b, "le": a <= b, "gt": a > b,
+				"ge": a >= b, "eq": a == b, "ne": a != b,
+			}
+			for name, want := range checks {
+				got := h.out(name) == 1
+				if got != want {
+					t.Errorf("a=%d b=%d: %s=%v, want %v", a, b, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthShifts(t *testing.T) {
+	h := newHarness(t, `
+module sh(input [7:0] a, input [2:0] n, output [7:0] l, r, lc, rc);
+  assign l = a << n;
+  assign r = a >> n;
+  assign lc = a << 3;
+  assign rc = a >> 2;
+endmodule`, "sh", Options{})
+	for _, a := range []uint64{0b10110101, 0xFF, 1} {
+		for n := uint64(0); n < 8; n++ {
+			h.in("a", a)
+			h.in("n", n)
+			h.eval()
+			if got := h.out("l"); got != (a<<n)&0xFF {
+				t.Errorf("a=%#x n=%d: l=%#x want %#x", a, n, got, (a<<n)&0xFF)
+			}
+			if got := h.out("r"); got != a>>n {
+				t.Errorf("a=%#x n=%d: r=%#x want %#x", a, n, got, a>>n)
+			}
+		}
+		h.in("a", a)
+		h.in("n", 0)
+		h.eval()
+		if h.out("lc") != (a<<3)&0xFF || h.out("rc") != a>>2 {
+			t.Errorf("const shifts broken for a=%#x", a)
+		}
+	}
+}
+
+func TestSynthVariableShiftOverflowGivesZero(t *testing.T) {
+	h := newHarness(t, `
+module sh2(input [3:0] a, input [3:0] n, output [3:0] y);
+  assign y = a >> n;
+endmodule`, "sh2", Options{})
+	h.in("a", 0xF)
+	h.in("n", 9)
+	h.eval()
+	if got := h.out("y"); got != 0 {
+		t.Errorf("15 >> 9 = %d, want 0", got)
+	}
+}
+
+func TestSynthTernaryAndConcat(t *testing.T) {
+	h := newHarness(t, `
+module tc(input s, input [3:0] a, b, output [7:0] y);
+  assign y = s ? {a, b} : {b, a};
+endmodule`, "tc", Options{})
+	h.in("s", 1)
+	h.in("a", 0xA)
+	h.in("b", 0x5)
+	h.eval()
+	if got := h.out("y"); got != 0xA5 {
+		t.Errorf("s=1: y=%#x, want 0xA5", got)
+	}
+	h.in("s", 0)
+	h.eval()
+	if got := h.out("y"); got != 0x5A {
+		t.Errorf("s=0: y=%#x, want 0x5A", got)
+	}
+}
+
+func TestSynthReplicationAndParts(t *testing.T) {
+	h := newHarness(t, `
+module rp(input [1:0] a, output [7:0] y, output [3:0] hi);
+  wire [7:0] t;
+  assign t = {4{a}};
+  assign y = t;
+  assign hi = t[7:4];
+endmodule`, "rp", Options{})
+	h.in("a", 0b10)
+	h.eval()
+	if got := h.out("y"); got != 0b10101010 {
+		t.Errorf("y=%#b, want 10101010", got)
+	}
+	if got := h.out("hi"); got != 0b1010 {
+		t.Errorf("hi=%#b, want 1010", got)
+	}
+}
+
+func TestSynthVariableBitSelect(t *testing.T) {
+	h := newHarness(t, `
+module vb(input [7:0] a, input [2:0] i, output y);
+  assign y = a[i];
+endmodule`, "vb", Options{})
+	a := uint64(0b11001010)
+	h.in("a", a)
+	for i := uint64(0); i < 8; i++ {
+		h.in("i", i)
+		h.eval()
+		if got := h.out("y"); got != (a>>i)&1 {
+			t.Errorf("a[%d] = %d, want %d", i, got, (a>>i)&1)
+		}
+	}
+}
+
+func TestSynthCombAlwaysCase(t *testing.T) {
+	h := newHarness(t, `
+module alu4(input [1:0] op, input [3:0] a, b, output reg [3:0] y);
+  always @(*) begin
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a ^ b;
+    endcase
+  end
+endmodule`, "alu4", Options{})
+	for op := uint64(0); op < 4; op++ {
+		for _, ab := range [][2]uint64{{3, 5}, {12, 7}, {15, 15}} {
+			h.in("op", op)
+			h.in("a", ab[0])
+			h.in("b", ab[1])
+			h.eval()
+			var want uint64
+			switch op {
+			case 0:
+				want = (ab[0] + ab[1]) & 0xF
+			case 1:
+				want = (ab[0] - ab[1]) & 0xF
+			case 2:
+				want = ab[0] & ab[1]
+			case 3:
+				want = ab[0] ^ ab[1]
+			}
+			if got := h.out("y"); got != want {
+				t.Errorf("op=%d a=%d b=%d: y=%d, want %d", op, ab[0], ab[1], got, want)
+			}
+		}
+	}
+}
+
+func TestSynthCasezWildcards(t *testing.T) {
+	h := newHarness(t, `
+module pri(input [3:0] req, output reg [1:0] grant, output reg valid);
+  always @(*) begin
+    valid = 1'b1;
+    casez (req)
+      4'b???1: grant = 2'd0;
+      4'b??10: grant = 2'd1;
+      4'b?100: grant = 2'd2;
+      4'b1000: grant = 2'd3;
+      default: begin grant = 2'd0; valid = 1'b0; end
+    endcase
+  end
+endmodule`, "pri", Options{})
+	cases := []struct {
+		req, grant, valid uint64
+	}{
+		{0b0001, 0, 1}, {0b1111, 0, 1}, {0b0010, 1, 1}, {0b1010, 1, 1},
+		{0b0100, 2, 1}, {0b1100, 2, 1}, {0b1000, 3, 1}, {0b0000, 0, 0},
+	}
+	for _, c := range cases {
+		h.in("req", c.req)
+		h.eval()
+		if h.out("grant") != c.grant || h.out("valid") != c.valid {
+			t.Errorf("req=%04b: grant=%d valid=%d, want %d %d",
+				c.req, h.out("grant"), h.out("valid"), c.grant, c.valid)
+		}
+	}
+}
+
+func TestSynthClockedCounter(t *testing.T) {
+	h := newHarness(t, `
+module cnt(input clk, rst, en, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+  end
+endmodule`, "cnt", Options{})
+	h.in("clk", 0)
+	h.in("rst", 1)
+	h.in("en", 0)
+	h.step()
+	if got := h.out("q"); got != 0 {
+		t.Fatalf("after reset q=%d, want 0", got)
+	}
+	h.in("rst", 0)
+	h.in("en", 1)
+	for i := 1; i <= 20; i++ {
+		h.step()
+		if got := h.out("q"); got != uint64(i%16) {
+			t.Fatalf("cycle %d: q=%d, want %d", i, got, i%16)
+		}
+	}
+	h.in("en", 0)
+	h.step()
+	if got := h.out("q"); got != 4 {
+		t.Errorf("hold: q=%d, want 4", got)
+	}
+}
+
+func TestSynthAsyncResetPatternAsSyncReset(t *testing.T) {
+	// The async-reset sensitivity form synthesizes as a sync reset.
+	h := newHarness(t, `
+module ff(input clk, rst_n, d, output reg q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+endmodule`, "ff", Options{})
+	h.in("rst_n", 0)
+	h.in("d", 1)
+	h.step()
+	if got := h.out("q"); got != 0 {
+		t.Errorf("reset: q=%d, want 0", got)
+	}
+	h.in("rst_n", 1)
+	h.step()
+	if got := h.out("q"); got != 1 {
+		t.Errorf("load: q=%d, want 1", got)
+	}
+}
+
+func TestSynthBlockingTempInClockedBlock(t *testing.T) {
+	h := newHarness(t, `
+module acc(input clk, input [3:0] a, b, output reg [3:0] q);
+  reg [3:0] tmp;
+  always @(posedge clk) begin
+    tmp = a ^ b;
+    q <= tmp;
+  end
+endmodule`, "acc", Options{})
+	h.in("a", 0b1100)
+	h.in("b", 0b1010)
+	h.step()
+	if got := h.out("q"); got != 0b0110 {
+		t.Errorf("q=%04b, want 0110", got)
+	}
+}
+
+func TestSynthForLoopUnroll(t *testing.T) {
+	h := newHarness(t, `
+module rev(input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule`, "rev", Options{})
+	h.in("a", 0b11010010)
+	h.eval()
+	if got := h.out("y"); got != 0b01001011 {
+		t.Errorf("y=%08b, want 01001011", got)
+	}
+}
+
+func TestSynthWhileLoopUnroll(t *testing.T) {
+	h := newHarness(t, `
+module wsum(input [3:0] a, output reg [5:0] y);
+  integer i;
+  always @(*) begin
+    y = 6'd0;
+    i = 0;
+    while (i < 3) begin
+      y = y + a;
+      i = i + 1;
+    end
+  end
+endmodule`, "wsum", Options{})
+	h.in("a", 7)
+	h.eval()
+	if got := h.out("y"); got != 21 {
+		t.Errorf("y=%d, want 21", got)
+	}
+}
+
+func TestSynthFunctionInline(t *testing.T) {
+	h := newHarness(t, `
+module fn(input [3:0] a, b, output [3:0] y);
+  function [3:0] maxv;
+    input [3:0] p, q;
+    begin
+      if (p > q) maxv = p;
+      else maxv = q;
+    end
+  endfunction
+  assign y = maxv(a, b);
+endmodule`, "fn", Options{})
+	h.in("a", 9)
+	h.in("b", 4)
+	h.eval()
+	if got := h.out("y"); got != 9 {
+		t.Errorf("max(9,4)=%d, want 9", got)
+	}
+	h.in("b", 12)
+	h.eval()
+	if got := h.out("y"); got != 12 {
+		t.Errorf("max(9,12)=%d, want 12", got)
+	}
+}
+
+func TestSynthHierarchyAndParams(t *testing.T) {
+	h := newHarness(t, `
+module top(input [7:0] a, b, output [7:0] s1, output [3:0] s2);
+  addN #(.W(8)) u8 (.x(a), .y(b), .s(s1));
+  addN #(.W(4)) u4 (.x(a[3:0]), .y(b[3:0]), .s(s2));
+endmodule
+module addN #(parameter W = 2)(input [W-1:0] x, y, output [W-1:0] s);
+  assign s = x + y;
+endmodule`, "top", Options{})
+	h.in("a", 0x3C)
+	h.in("b", 0x21)
+	h.eval()
+	if got := h.out("s1"); got != 0x5D {
+		t.Errorf("s1=%#x, want 0x5D", got)
+	}
+	if got := h.out("s2"); got != 0xD {
+		t.Errorf("s2=%#x, want 0xD", got)
+	}
+}
+
+func TestSynthDeepHierarchy(t *testing.T) {
+	h := newHarness(t, `
+module l0(input [3:0] a, output [3:0] y);
+  l1 u (.a(a), .y(y));
+endmodule
+module l1(input [3:0] a, output [3:0] y);
+  l2 u (.a(a), .y(y));
+endmodule
+module l2(input [3:0] a, output [3:0] y);
+  assign y = a + 4'd1;
+endmodule`, "l0", Options{})
+	h.in("a", 7)
+	h.eval()
+	if got := h.out("y"); got != 8 {
+		t.Errorf("y=%d, want 8", got)
+	}
+}
+
+func TestSynthGatePrimitives(t *testing.T) {
+	h := newHarness(t, `
+module gp(input a, b, c, output y1, y2, y3, y4);
+  and g1 (y1, a, b, c);
+  nor g2 (y2, a, b);
+  xnor g3 (y3, a, b);
+  not g4 (y4, a);
+endmodule`, "gp", Options{})
+	for v := uint64(0); v < 8; v++ {
+		a, b, c := v&1, (v>>1)&1, (v>>2)&1
+		h.in("a", a)
+		h.in("b", b)
+		h.in("c", c)
+		h.eval()
+		if got := h.out("y1"); got != a&b&c {
+			t.Errorf("and3(%d,%d,%d)=%d", a, b, c, got)
+		}
+		if got := h.out("y2"); got != (a|b)^1 {
+			t.Errorf("nor(%d,%d)=%d", a, b, got)
+		}
+		if got := h.out("y3"); got != (a^b)^1 {
+			t.Errorf("xnor(%d,%d)=%d", a, b, got)
+		}
+		if got := h.out("y4"); got != a^1 {
+			t.Errorf("not(%d)=%d", a, got)
+		}
+	}
+}
+
+func TestSynthLatchInferenceError(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `
+module latch(input en, d, output reg q);
+  always @(*) begin
+    if (en) q = d;
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(sf, "latch", Options{}); err == nil || !strings.Contains(err.Error(), "latch") {
+		t.Errorf("expected latch inference error, got %v", err)
+	}
+}
+
+func TestSynthMultipleDriverError(t *testing.T) {
+	sf, err := verilog.Parse("t.v", `
+module md(input a, b, output y);
+  assign y = a;
+  assign y = b;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(sf, "md", Options{}); err == nil || !strings.Contains(err.Error(), "multiple drivers") {
+		t.Errorf("expected multiple-driver error, got %v", err)
+	}
+}
+
+func TestSynthUndrivenWarning(t *testing.T) {
+	res := synthSrc(t, `
+module ud(input a, output y);
+  wire floating;
+  assign y = a & floating;
+endmodule`, "ud", Options{})
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w.Msg, "no driver") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected undriven-net warning, got %v", res.Warnings)
+	}
+}
+
+func TestSynthTopParamsOverride(t *testing.T) {
+	h := newHarness(t, `
+module pw #(parameter W = 2)(input [W-1:0] a, output [W-1:0] y);
+  assign y = ~a;
+endmodule`, "pw", Options{TopParams: map[string]int64{"W": 6}})
+	h.in("a", 0b101010)
+	h.eval()
+	if got := h.out("y"); got != 0b010101 {
+		t.Errorf("y=%06b, want 010101", got)
+	}
+	if len(h.nl.PIs) != 6 || len(h.nl.POs) != 6 {
+		t.Errorf("PIs=%d POs=%d, want 6 and 6", len(h.nl.PIs), len(h.nl.POs))
+	}
+}
+
+func TestSynthOptimizeReducesGates(t *testing.T) {
+	src := `
+module red(input a, b, output y, z);
+  wire t1, t2, t3;
+  assign t1 = a & 1'b1;
+  assign t2 = b | 1'b0;
+  assign t3 = a ^ a;
+  assign y = t1 & t2;
+  assign z = y | t3;
+endmodule`
+	un := synthSrc(t, src, "red", Options{NoOptimize: true})
+	op := synthSrc(t, src, "red", Options{})
+	if op.Netlist.NumGates() >= un.Netlist.NumGates() {
+		t.Errorf("optimized %d gates >= unoptimized %d", op.Netlist.NumGates(), un.Netlist.NumGates())
+	}
+	// Behavior must be preserved.
+	for v := uint64(0); v < 4; v++ {
+		a, b := v&1, v>>1
+		for _, res := range []*Result{un, op} {
+			s := sim.New(res.Netlist)
+			s.SetInputScalar(res.Netlist.PI("a"), sim.Logic(a))
+			s.SetInputScalar(res.Netlist.PI("b"), sim.Logic(b))
+			s.Eval()
+			want := a & b
+			if got := s.Value(res.Netlist.PO("y")).Lane(0); got != sim.Logic(want) {
+				t.Errorf("a=%d b=%d: y=%v, want %d", a, b, got, want)
+			}
+			if got := s.Value(res.Netlist.PO("z")).Lane(0); got != sim.Logic(want) {
+				t.Errorf("a=%d b=%d: z=%v, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSynthStructuralHashingShares(t *testing.T) {
+	src := `
+module sh(input a, b, output y, z);
+  assign y = a & b;
+  assign z = a & b;
+endmodule`
+	res := synthSrc(t, src, "sh", Options{})
+	// After hashing, y and z share one AND gate.
+	if got := res.Netlist.NumGates(); got != 1 {
+		t.Errorf("gates=%d, want 1 shared AND", got)
+	}
+}
+
+func TestSynthDeadLogicSwept(t *testing.T) {
+	src := `
+module dead(input a, b, output y);
+  wire unused;
+  assign unused = a ^ b;
+  assign y = a & b;
+endmodule`
+	res := synthSrc(t, src, "dead", Options{})
+	if got := res.Netlist.NumGates(); got != 1 {
+		t.Errorf("gates=%d, want 1 (XOR swept)", got)
+	}
+}
+
+func TestSynthConstantCaseArmPruned(t *testing.T) {
+	// op is a parameter, so the case collapses at elaboration time.
+	h := newHarness(t, `
+module cc #(parameter OP = 2)(input [3:0] a, b, output reg [3:0] y);
+  always @(*) begin
+    case (OP)
+      0: y = a + b;
+      1: y = a - b;
+      2: y = a & b;
+      default: y = a | b;
+    endcase
+  end
+endmodule`, "cc", Options{})
+	h.in("a", 0b1100)
+	h.in("b", 0b1010)
+	h.eval()
+	if got := h.out("y"); got != 0b1000 {
+		t.Errorf("y=%04b, want 1000", got)
+	}
+}
+
+func TestSynthUnknownModuleError(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", `module t(input a, output y); ghost u (.a(a), .y(y)); endmodule`)
+	if _, err := Synthesize(sf, "t", Options{}); err == nil || !strings.Contains(err.Error(), "unknown module") {
+		t.Errorf("expected unknown-module error, got %v", err)
+	}
+}
+
+func TestSynthPortWidthExtension(t *testing.T) {
+	// Narrow expression connected to wider port zero-extends.
+	h := newHarness(t, `
+module top(input [1:0] a, output [3:0] y);
+  wide u (.in({2'b00, a}), .out(y));
+endmodule
+module wide(input [3:0] in, output [3:0] out);
+  assign out = in + 4'd1;
+endmodule`, "top", Options{})
+	h.in("a", 3)
+	h.eval()
+	if got := h.out("y"); got != 4 {
+		t.Errorf("y=%d, want 4", got)
+	}
+}
+
+func TestSynthSupplyNets(t *testing.T) {
+	h := newHarness(t, `
+module sup(input a, output y);
+  supply1 vdd;
+  supply0 gnd;
+  assign y = (a & vdd) | gnd;
+endmodule`, "sup", Options{})
+	h.in("a", 1)
+	h.eval()
+	if h.out("y") != 1 {
+		t.Error("supply nets broken")
+	}
+}
+
+func TestSynthLsbOffsetVectors(t *testing.T) {
+	h := newHarness(t, `
+module off(input [11:4] a, output [11:4] y, output b);
+  assign y = a + 8'd1;
+  assign b = a[4];
+endmodule`, "off", Options{})
+	// Port bits are named with declared indices.
+	if h.nl.PI("a[4]") < 0 || h.nl.PI("a[11]") < 0 {
+		t.Fatalf("PI names: %v", h.nl.PINames)
+	}
+	// Bit names use declared indices (4..11), so set lanes manually.
+	for i := 4; i <= 11; i++ {
+		h.s.SetInputScalar(h.nl.PI(bitPortName("a", i)), sim.Logic(0))
+	}
+	h.s.SetInputScalar(h.nl.PI("a[4]"), sim.L1)
+	h.eval()
+	if got := h.s.Value(h.nl.PO("y[4]")).Lane(0); got != sim.L0 {
+		t.Errorf("y[4]=%v, want 0 (1+1 carries)", got)
+	}
+	if got := h.s.Value(h.nl.PO("y[5]")).Lane(0); got != sim.L1 {
+		t.Errorf("y[5]=%v, want 1", got)
+	}
+	if got := h.s.Value(h.nl.PO("b")).Lane(0); got != sim.L1 {
+		t.Errorf("b=%v, want 1 (a[4])", got)
+	}
+}
+
+func TestSynthSequentialPipelineDepth(t *testing.T) {
+	res := synthSrc(t, `
+module pipe(input clk, input [3:0] d, output [3:0] q);
+  reg [3:0] s1, s2, s3;
+  always @(posedge clk) begin
+    s1 <= d;
+    s2 <= s1;
+    s3 <= s2;
+  end
+  assign q = s3;
+endmodule`, "pipe", Options{})
+	if got := len(res.Netlist.DFFs); got != 12 {
+		t.Errorf("DFFs=%d, want 12", got)
+	}
+	if got := res.Netlist.SequentialDepth(); got != 3 {
+		t.Errorf("sequential depth=%d, want 3", got)
+	}
+}
+
+func TestSynthXZLiteralRejectedOutsideCase(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", `module xz(output y); assign y = 1'bx; endmodule`)
+	if _, err := Synthesize(sf, "xz", Options{}); err == nil {
+		t.Error("expected error for x literal in assign")
+	}
+}
+
+func TestSynthMixedAssignStylesRejected(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", `
+module mx(input clk, a, output reg q);
+  always @(posedge clk) begin
+    q = a;
+    q <= a;
+  end
+endmodule`)
+	if _, err := Synthesize(sf, "mx", Options{}); err == nil || !strings.Contains(err.Error(), "blocking") {
+		t.Errorf("expected mixed-style error, got %v", err)
+	}
+}
+
+func TestSynthNonblockingInCombRejected(t *testing.T) {
+	sf, _ := verilog.Parse("t.v", `
+module nb(input a, output reg q);
+  always @(*) q <= a;
+endmodule`)
+	if _, err := Synthesize(sf, "nb", Options{}); err == nil {
+		t.Error("expected error for nonblocking in combinational block")
+	}
+}
+
+func TestSynthDivModConstant(t *testing.T) {
+	h := newHarness(t, `
+module dm(input [5:0] a, output [5:0] q, r);
+  localparam D = 52 / 8;
+  localparam M = 52 % 8;
+  assign q = a + D;
+  assign r = a + M;
+endmodule`, "dm", Options{})
+	h.in("a", 0)
+	h.eval()
+	if h.out("q") != 6 || h.out("r") != 4 {
+		t.Errorf("q=%d r=%d, want 6 4", h.out("q"), h.out("r"))
+	}
+}
+
+func TestSynthDefaultBeforeIfPattern(t *testing.T) {
+	h := newHarness(t, `
+module dbi(input c, input [3:0] a, output reg [3:0] y);
+  always @(*) begin
+    y = 4'd0;
+    if (c) y = a;
+  end
+endmodule`, "dbi", Options{})
+	h.in("c", 0)
+	h.in("a", 9)
+	h.eval()
+	if h.out("y") != 0 {
+		t.Errorf("c=0: y=%d, want 0", h.out("y"))
+	}
+	h.in("c", 1)
+	h.eval()
+	if h.out("y") != 9 {
+		t.Errorf("c=1: y=%d, want 9", h.out("y"))
+	}
+}

@@ -1,0 +1,294 @@
+// Package translate maps test sequences generated for a transformed
+// module back to the chip level (paper §2.1: "The patterns obtained are
+// later translated back to the chip level").
+//
+// A transformed-module test drives two kinds of inputs: real chip pins
+// (which the extracted environment exposed one-to-one) and PIER
+// pseudo-inputs (pier_load / pier_in_k), which justify internal
+// register state directly. Translation keeps the chip-pin frames and
+// expands each PIER load into the instruction sequence that a program
+// would use:
+//
+//   - a register-file PIER value becomes a LOAD instruction whose
+//     memory data is the desired value (the memory bus is a chip input,
+//     so the tester supplies the data directly);
+//   - an instruction-register PIER value becomes the fetch of that
+//     value (again via the memory bus).
+//
+// Translation is approximate by nature: the chip's fetch/execute state
+// machine advances while registers are being loaded, so not every
+// module-level detection survives. TranslateAndValidate therefore
+// fault-simulates the translated suite at the chip level and reports
+// how much of the module-level coverage is retained — the paper's flow
+// relies on exactly this kind of re-simulation to confirm translated
+// patterns.
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/arm"
+	"factor/internal/core"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+// PIERClass identifies how a PIER register is accessed at chip level.
+type PIERClass int
+
+// PIER classes for the ARM benchmark SoC.
+const (
+	// ClassRegfile is a register-file bit, loaded by a LOAD instruction.
+	ClassRegfile PIERClass = iota
+	// ClassInstrReg is an instruction-register bit, loaded by a fetch.
+	ClassInstrReg
+	// ClassOther has no chip-level load procedure; its pier assignments
+	// are dropped during translation.
+	ClassOther
+)
+
+// PIERBinding describes one PIER pseudo-input of a transformed module.
+type PIERBinding struct {
+	Index int // k in pier_in_k
+	Class PIERClass
+	// Reg and Bit locate a regfile PIER (physical register number and
+	// bit position); Bit alone locates an instruction-register bit.
+	Reg int
+	Bit int
+}
+
+// BindPIERs classifies the PIER list of a transformed ARM netlist by
+// gate scope and name. The netlist must be the PIERified one.
+func BindPIERs(n *netlist.Netlist, piers []int) []PIERBinding {
+	out := make([]PIERBinding, 0, len(piers))
+	for k, dff := range piers {
+		g := n.Gates[dff]
+		b := PIERBinding{Index: k, Class: ClassOther}
+		switch {
+		case strings.Contains(g.Scope, ".u_rf.u_r"):
+			// Scope like "u_core.u_regbank.u_rf.u_r5."; name like
+			// ".r[3]$dff".
+			b.Class = ClassRegfile
+			b.Reg = parseTrailingInt(strings.TrimSuffix(g.Scope, "."), "u_r")
+			b.Bit = bitIndex(g.Name)
+		case strings.Contains(g.Scope, "u_fetch.") && strings.Contains(g.Name, "instr_r"):
+			b.Class = ClassInstrReg
+			b.Bit = bitIndex(g.Name)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func parseTrailingInt(s, marker string) int {
+	i := strings.LastIndex(s, marker)
+	if i < 0 {
+		return -1
+	}
+	v := 0
+	for _, c := range s[i+len(marker):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+func bitIndex(name string) int {
+	open := strings.LastIndexByte(name, '[')
+	close := strings.LastIndexByte(name, ']')
+	if open < 0 || close < open {
+		return -1
+	}
+	v := 0
+	for _, c := range name[open+1 : close] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// Translator converts transformed-module tests to chip-level sequences
+// for the ARM benchmark SoC.
+type Translator struct {
+	Width    int
+	Bindings []PIERBinding
+}
+
+// NewTranslator builds a translator for a PIERified transformed module.
+func NewTranslator(width int, tr *core.Transformed) *Translator {
+	return &Translator{Width: width, Bindings: BindPIERs(tr.Netlist, tr.PIERs)}
+}
+
+// pierWrites extracts, from one module-level vector, the register and
+// IR values the PIER inputs request.
+type pierWrites struct {
+	regs  map[int]uint64 // physical regfile register -> value
+	irVal uint64
+	irSet bool
+}
+
+func (t *Translator) collect(vec fault.Vector) pierWrites {
+	w := pierWrites{regs: map[int]uint64{}}
+	if load, ok := vec["pier_load"]; !ok || load != sim.L1 {
+		return w
+	}
+	for _, b := range t.Bindings {
+		v, ok := vec[fmt.Sprintf("pier_in_%d", b.Index)]
+		if !ok || v == sim.LX {
+			continue
+		}
+		bit := uint64(0)
+		if v == sim.L1 {
+			bit = 1
+		}
+		switch b.Class {
+		case ClassRegfile:
+			if b.Reg >= 0 && b.Bit >= 0 {
+				w.regs[b.Reg] |= bit << uint(b.Bit)
+			}
+		case ClassInstrReg:
+			if b.Bit >= 0 {
+				w.irVal |= bit << uint(b.Bit)
+				w.irSet = true
+			}
+		}
+	}
+	return w
+}
+
+// chipVector builds one chip-level vector: the chip-pin part of the
+// module vector (pier_* inputs dropped) with the memory bus forced to
+// data.
+func (t *Translator) chipVector(base fault.Vector, memData uint64, haveMem bool) fault.Vector {
+	out := fault.Vector{}
+	for name, v := range base {
+		if strings.HasPrefix(name, "pier_") {
+			continue
+		}
+		out[name] = v
+	}
+	out["rst"] = sim.L0
+	if haveMem {
+		for i := 0; i < t.Width; i++ {
+			out[fmt.Sprintf("mem_rdata[%d]", i)] = sim.Logic((memData >> uint(i)) & 1)
+		}
+	}
+	return out
+}
+
+func (t *Translator) memVector(data uint64) fault.Vector {
+	return t.chipVector(fault.Vector{}, data, true)
+}
+
+// loadRegister emits the four-cycle LOAD instruction sequence writing
+// value into architectural register reg (user mode: physical register
+// numbers 0-7 map one-to-one).
+func (t *Translator) loadRegister(reg int, value uint64) fault.Sequence {
+	instr := uint64(arm.EncLoad(reg&7, 0, 0))
+	return fault.Sequence{
+		t.memVector(instr), // FETCH: the load instruction
+		t.memVector(0),     // EXEC
+		t.memVector(value), // MEM: bus supplies the data
+		t.memVector(value), // WB: bus holds the data through write-back
+	}
+}
+
+// resetPrefix synchronizes the chip state machine.
+func (t *Translator) resetPrefix() fault.Sequence {
+	rst := fault.Vector{"rst": sim.L1, "irq": sim.L0, "fiq": sim.L0}
+	return fault.Sequence{rst, rst}
+}
+
+// Translate converts one transformed-module test into a chip-level
+// sequence: reset, then for each test frame the PIER state *changes*
+// expanded into LOAD instruction sequences, followed by the frame's
+// chip-pin values. Registers whose pier value is unchanged since the
+// previous frame are not reloaded, so deterministic tests (which
+// justify state once, in their earliest frames) translate compactly.
+func (t *Translator) Translate(moduleTest fault.Sequence) fault.Sequence {
+	out := append(fault.Sequence{}, t.resetPrefix()...)
+	current := map[int]uint64{} // register values already loaded
+	irLoaded := false
+	var irVal uint64
+
+	for _, vec := range moduleTest {
+		w := t.collect(vec)
+		// Load registers whose requested value changed.
+		var regs []int
+		for r, v := range w.regs {
+			if r >= 8 {
+				continue // banked copies need a mode switch; dropped
+			}
+			if cur, ok := current[r]; !ok || cur != v {
+				regs = append(regs, r)
+			}
+		}
+		sort.Ints(regs)
+		for _, r := range regs {
+			out = append(out, t.loadRegister(r, w.regs[r])...)
+			current[r] = w.regs[r]
+		}
+		if w.irSet {
+			irVal, irLoaded = w.irVal, true
+		}
+
+		haveMem := false
+		memData := uint64(0)
+		if irLoaded {
+			// Feed the requested instruction encoding on the bus so the
+			// next fetch latches it.
+			haveMem = true
+			memData = irVal
+		}
+		if v, ok := vec["mem_rdata[0]"]; ok && v != sim.LX {
+			// The test drives the bus itself; keep its values.
+			haveMem = false
+		}
+		out = append(out, t.chipVector(vec, memData, haveMem))
+	}
+	return out
+}
+
+// ValidationResult reports how much module-level coverage the
+// translated suite retains at the chip level.
+type ValidationResult struct {
+	ModuleDetected int
+	ChipDetected   int
+	TotalFaults    int
+	Sequences      int
+	TotalCycles    int
+}
+
+// RetentionPct is the fraction of module-level detections confirmed at
+// chip level.
+func (v ValidationResult) RetentionPct() float64 {
+	if v.ModuleDetected == 0 {
+		return 0
+	}
+	return 100 * float64(v.ChipDetected) / float64(v.ModuleDetected)
+}
+
+// TranslateAndValidate translates every test and fault-simulates the
+// resulting suite on the full chip netlist against the MUT fault list
+// (expressed in full-chip gate IDs).
+func (t *Translator) TranslateAndValidate(full *netlist.Netlist, chipFaults []fault.Fault,
+	moduleDetected int, tests []fault.Sequence) ValidationResult {
+
+	res := fault.NewResult(chipFaults)
+	ps := fault.NewParallel(full)
+	v := ValidationResult{ModuleDetected: moduleDetected, TotalFaults: len(chipFaults), Sequences: len(tests)}
+	for _, mt := range tests {
+		seq := t.Translate(mt)
+		v.TotalCycles += len(seq)
+		ps.RunSequence(res, seq)
+	}
+	v.ChipDetected = res.NumDetected()
+	return v
+}

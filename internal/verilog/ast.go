@@ -1,0 +1,663 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SourceFile is a parsed Verilog source unit: a list of module
+// definitions.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// Module finds the module with the given name, or nil.
+func (f *SourceFile) Module(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Module is one Verilog module definition.
+type Module struct {
+	Name  string
+	Pos   Pos
+	Ports []*Port // in header order
+	Items []Item  // body items in source order
+}
+
+// Port looks up a port by name, or returns nil.
+func (m *Module) Port(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Params returns the parameter declarations of the module in order.
+func (m *Module) Params() []*ParamDecl {
+	var out []*ParamDecl
+	for _, it := range m.Items {
+		if p, ok := it.(*ParamDecl); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Instances returns the module instantiations in the body, in order.
+func (m *Module) Instances() []*Instance {
+	var out []*Instance
+	for _, it := range m.Items {
+		if inst, ok := it.(*Instance); ok {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// PortDir is the direction of a module port.
+type PortDir int
+
+// Port directions.
+const (
+	PortInput PortDir = iota
+	PortOutput
+	PortInout
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case PortInput:
+		return "input"
+	case PortOutput:
+		return "output"
+	case PortInout:
+		return "inout"
+	}
+	return fmt.Sprintf("PortDir(%d)", int(d))
+}
+
+// Port is a module port. Width nil means a scalar port.
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Width *Range
+	IsReg bool // "output reg"
+	Pos   Pos
+}
+
+// Range is a bit range [MSB:LSB]; both bounds are constant expressions.
+type Range struct {
+	MSB Expr
+	LSB Expr
+}
+
+// Item is a module body item.
+type Item interface {
+	itemNode()
+	ItemPos() Pos
+}
+
+// ParamDecl declares one or more parameters or localparams.
+type ParamDecl struct {
+	Local  bool
+	Width  *Range
+	Names  []string
+	Values []Expr
+	Pos    Pos
+}
+
+// NetKind is the kind of declared signal.
+type NetKind int
+
+// Net kinds.
+const (
+	NetWire NetKind = iota
+	NetReg
+	NetInteger
+	NetSupply0
+	NetSupply1
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case NetWire:
+		return "wire"
+	case NetReg:
+		return "reg"
+	case NetInteger:
+		return "integer"
+	case NetSupply0:
+		return "supply0"
+	case NetSupply1:
+		return "supply1"
+	}
+	return fmt.Sprintf("NetKind(%d)", int(k))
+}
+
+// NetDecl declares one or more wires/regs. If a declared name carries
+// an initializer in source ("wire x = a & b;") the parser splits it
+// into a NetDecl plus an AssignItem.
+type NetDecl struct {
+	Kind  NetKind
+	Width *Range
+	Names []string
+	Pos   Pos
+}
+
+// AssignItem is a continuous assignment: assign LHS = RHS;
+type AssignItem struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// AlwaysBlock is an always process with its sensitivity list.
+type AlwaysBlock struct {
+	Sens SensList
+	Body Stmt
+	Pos  Pos
+}
+
+// Clocked reports whether the block has an edge-triggered sensitivity.
+func (a *AlwaysBlock) Clocked() bool {
+	for _, it := range a.Sens.Items {
+		if it.Edge != EdgeNone {
+			return true
+		}
+	}
+	return false
+}
+
+// InitialBlock is an initial process (accepted, ignored by synthesis).
+type InitialBlock struct {
+	Body Stmt
+	Pos  Pos
+}
+
+// SensList is a sensitivity list: @(*) or @(a or posedge clk or ...).
+type SensList struct {
+	Star  bool
+	Items []SensItem
+}
+
+// Edge is the edge qualifier on a sensitivity item.
+type Edge int
+
+// Edge kinds.
+const (
+	EdgeNone Edge = iota
+	EdgePos
+	EdgeNeg
+)
+
+// SensItem is one entry of a sensitivity list.
+type SensItem struct {
+	Edge   Edge
+	Signal Expr
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	ModuleName string
+	Name       string
+	Params     []ParamAssign // #(...) overrides
+	Conns      []PortConn
+	Pos        Pos
+}
+
+// Conn returns the expression connected to the named port, or nil.
+func (i *Instance) Conn(port string) Expr {
+	for _, c := range i.Conns {
+		if c.Port == port {
+			return c.Expr
+		}
+	}
+	return nil
+}
+
+// ParamAssign is a parameter override in an instantiation.
+type ParamAssign struct {
+	Name  string // empty for positional
+	Value Expr
+}
+
+// PortConn is one port connection of an instance. Port is empty for
+// positional connections; Expr is nil for explicitly unconnected ports
+// (.p()).
+type PortConn struct {
+	Port string
+	Expr Expr
+}
+
+// GateInst is a built-in gate primitive instance: and g1(y, a, b);
+// The first argument is the output.
+type GateInst struct {
+	Kind string // and, or, nand, nor, xor, xnor, not, buf
+	Name string // optional instance name
+	Args []Expr
+	Pos  Pos
+}
+
+// FunctionDecl is a function definition. Functions are supported in
+// their common synthesizable form: a single return value assigned to
+// the function name, input arguments, and a statement body.
+type FunctionDecl struct {
+	Name   string
+	Width  *Range // return width, nil = 1 bit
+	Inputs []*Port
+	Locals []*NetDecl
+	Body   Stmt
+	Pos    Pos
+}
+
+func (*ParamDecl) itemNode()    {}
+func (*NetDecl) itemNode()      {}
+func (*AssignItem) itemNode()   {}
+func (*AlwaysBlock) itemNode()  {}
+func (*InitialBlock) itemNode() {}
+func (*Instance) itemNode()     {}
+func (*GateInst) itemNode()     {}
+func (*FunctionDecl) itemNode() {}
+
+// ItemPos implements Item.
+func (p *ParamDecl) ItemPos() Pos    { return p.Pos }
+func (n *NetDecl) ItemPos() Pos      { return n.Pos }
+func (a *AssignItem) ItemPos() Pos   { return a.Pos }
+func (a *AlwaysBlock) ItemPos() Pos  { return a.Pos }
+func (i *InitialBlock) ItemPos() Pos { return i.Pos }
+func (i *Instance) ItemPos() Pos     { return i.Pos }
+func (g *GateInst) ItemPos() Pos     { return g.Pos }
+func (f *FunctionDecl) ItemPos() Pos { return f.Pos }
+
+// Stmt is a behavioral statement.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Block is a begin/end statement group.
+type Block struct {
+	Label string
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// IfStmt is if (Cond) Then else Else; Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+// CaseKind distinguishes case/casez/casex.
+type CaseKind int
+
+// Case kinds.
+const (
+	CaseExact CaseKind = iota // case
+	CaseZ                     // casez
+	CaseX                     // casex
+)
+
+func (k CaseKind) String() string {
+	switch k {
+	case CaseExact:
+		return "case"
+	case CaseZ:
+		return "casez"
+	case CaseX:
+		return "casex"
+	}
+	return fmt.Sprintf("CaseKind(%d)", int(k))
+}
+
+// CaseStmt is a case statement.
+type CaseStmt struct {
+	Kind    CaseKind
+	Subject Expr
+	Items   []CaseItem
+	Pos     Pos
+}
+
+// CaseItem is one arm of a case statement. A default arm has no
+// match expressions.
+type CaseItem struct {
+	Exprs []Expr // empty => default
+	Body  Stmt
+}
+
+// ForStmt is a for loop: for (Init; Cond; Step) Body. Init and Step
+// are blocking assignments.
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Step *AssignStmt
+	Body Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// AssignStmt is a procedural assignment, blocking (=) or
+// nonblocking (<=).
+type AssignStmt struct {
+	LHS      Expr
+	RHS      Expr
+	Blocking bool
+	Pos      Pos
+}
+
+// NullStmt is a lone semicolon.
+type NullStmt struct {
+	Pos Pos
+}
+
+// SysCallStmt is a system task call such as $display(...). Parsed and
+// ignored by synthesis.
+type SysCallStmt struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Block) stmtNode()       {}
+func (*IfStmt) stmtNode()      {}
+func (*CaseStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()  {}
+func (*NullStmt) stmtNode()    {}
+func (*SysCallStmt) stmtNode() {}
+
+// StmtPos implements Stmt.
+func (b *Block) StmtPos() Pos       { return b.Pos }
+func (s *IfStmt) StmtPos() Pos      { return s.Pos }
+func (s *CaseStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos   { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos  { return s.Pos }
+func (s *NullStmt) StmtPos() Pos    { return s.Pos }
+func (s *SysCallStmt) StmtPos() Pos { return s.Pos }
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// Ident is a reference to a named signal, parameter or genvar.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Number is a literal. Width 0 means unsized. XMask/ZMask mark bits
+// that are x or z in the literal; Value holds the 0/1 bits.
+type Number struct {
+	Width  int
+	Sized  bool
+	Value  uint64
+	XMask  uint64
+	ZMask  uint64
+	Signed bool
+	Text   string // original text for printing
+	Pos    Pos
+}
+
+// HasXZ reports whether the literal contains x or z bits.
+func (n *Number) HasXZ() bool { return n.XMask != 0 || n.ZMask != 0 }
+
+// UnaryOp is the operator of a unary expression.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnaryPlus UnaryOp = iota
+	UnaryMinus
+	UnaryNot    // !
+	UnaryBitNot // ~
+	UnaryAnd    // & (reduction)
+	UnaryNand   // ~&
+	UnaryOr     // |
+	UnaryNor    // ~|
+	UnaryXor    // ^
+	UnaryXnor   // ~^
+)
+
+var unaryOpNames = map[UnaryOp]string{
+	UnaryPlus: "+", UnaryMinus: "-", UnaryNot: "!", UnaryBitNot: "~",
+	UnaryAnd: "&", UnaryNand: "~&", UnaryOr: "|", UnaryNor: "~|",
+	UnaryXor: "^", UnaryXnor: "~^",
+}
+
+func (op UnaryOp) String() string { return unaryOpNames[op] }
+
+// UnaryExpr is op X.
+type UnaryExpr struct {
+	Op UnaryOp
+	X  Expr
+	Pos
+}
+
+// BinaryOp is the operator of a binary expression.
+type BinaryOp int
+
+// Binary operators.
+const (
+	BinAdd BinaryOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd    // &
+	BinOr     // |
+	BinXor    // ^
+	BinXnor   // ~^
+	BinLogAnd // &&
+	BinLogOr  // ||
+	BinEq     // ==
+	BinNeq    // !=
+	BinCaseEq // ===
+	BinCaseNe // !==
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinShl
+	BinShr
+	BinAShr // >>>
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinMod: "%",
+	BinAnd: "&", BinOr: "|", BinXor: "^", BinXnor: "~^",
+	BinLogAnd: "&&", BinLogOr: "||",
+	BinEq: "==", BinNeq: "!=", BinCaseEq: "===", BinCaseNe: "!==",
+	BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=",
+	BinShl: "<<", BinShr: ">>", BinAShr: ">>>",
+}
+
+func (op BinaryOp) String() string { return binaryOpNames[op] }
+
+// BinaryExpr is X op Y.
+type BinaryExpr struct {
+	Op BinaryOp
+	X  Expr
+	Y  Expr
+	Pos
+}
+
+// CondExpr is Cond ? Then : Else.
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+	Pos
+}
+
+// IndexExpr is a bit select X[Index].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Pos
+}
+
+// RangeExpr is a part select X[MSB:LSB] with constant bounds.
+type RangeExpr struct {
+	X   Expr
+	MSB Expr
+	LSB Expr
+	Pos
+}
+
+// ConcatExpr is {A, B, C}.
+type ConcatExpr struct {
+	Parts []Expr
+	Pos
+}
+
+// ReplExpr is a replication {N{X}}.
+type ReplExpr struct {
+	Count Expr
+	X     Expr
+	Pos
+}
+
+// CallExpr is a function call f(args).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos
+}
+
+func (*Ident) exprNode()      {}
+func (*Number) exprNode()     {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*RangeExpr) exprNode()  {}
+func (*ConcatExpr) exprNode() {}
+func (*ReplExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+
+// ExprPos implements Expr.
+func (e *Ident) ExprPos() Pos      { return e.Pos }
+func (e *Number) ExprPos() Pos     { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *CondExpr) ExprPos() Pos   { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *RangeExpr) ExprPos() Pos  { return e.Pos }
+func (e *ConcatExpr) ExprPos() Pos { return e.Pos }
+func (e *ReplExpr) ExprPos() Pos   { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+
+// ParseNumber converts the raw text of a numeric literal to a Number.
+func ParseNumber(text string, pos Pos) (*Number, error) {
+	n := &Number{Text: text, Pos: pos}
+	clean := strings.ReplaceAll(text, "_", "")
+	tick := strings.IndexByte(clean, '\'')
+	if tick < 0 {
+		v, err := strconv.ParseUint(clean, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: invalid decimal literal %q", pos, text)
+		}
+		n.Value = v
+		n.Width = 32
+		return n, nil
+	}
+	if tick > 0 {
+		w, err := strconv.Atoi(clean[:tick])
+		if err != nil || w <= 0 || w > 64 {
+			return nil, fmt.Errorf("%s: invalid literal width in %q (must be 1..64)", pos, text)
+		}
+		n.Width = w
+		n.Sized = true
+	} else {
+		n.Width = 32
+	}
+	rest := clean[tick+1:]
+	if rest == "" {
+		return nil, fmt.Errorf("%s: malformed literal %q", pos, text)
+	}
+	if rest[0] == 's' || rest[0] == 'S' {
+		n.Signed = true
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("%s: malformed literal %q", pos, text)
+	}
+	base := rest[0]
+	digits := rest[1:]
+	var bitsPer int
+	switch base {
+	case 'b', 'B':
+		bitsPer = 1
+	case 'o', 'O':
+		bitsPer = 3
+	case 'h', 'H':
+		bitsPer = 4
+	case 'd', 'D':
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: invalid decimal digits in %q", pos, text)
+		}
+		n.Value = v & widthMask(n.Width)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%s: unsupported base %q in %q", pos, base, text)
+	}
+	var value, xm, zm uint64
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		var dv uint64
+		var dx, dz uint64
+		switch {
+		case c == 'x' || c == 'X':
+			dx = (1 << bitsPer) - 1
+		case c == 'z' || c == 'Z' || c == '?':
+			dz = (1 << bitsPer) - 1
+		case c >= '0' && c <= '9':
+			dv = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			dv = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			dv = uint64(c-'A') + 10
+		default:
+			return nil, fmt.Errorf("%s: invalid digit %q in %q", pos, c, text)
+		}
+		if dv >= 1<<bitsPer {
+			return nil, fmt.Errorf("%s: digit %q out of range for base in %q", pos, c, text)
+		}
+		value = value<<bitsPer | dv
+		xm = xm<<bitsPer | dx
+		zm = zm<<bitsPer | dz
+	}
+	mask := widthMask(n.Width)
+	n.Value = value & mask
+	n.XMask = xm & mask
+	n.ZMask = zm & mask
+	return n, nil
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

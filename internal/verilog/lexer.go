@@ -1,0 +1,332 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns Verilog source text into a stream of tokens. Line ("//")
+// and block ("/* */") comments are skipped, as are compiler directives
+// (lines starting with `) and attribute instances ((* ... *)).
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src. The file name is used only for
+// positions in diagnostics.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// LexError is an error produced during tokenization.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '\\' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// skipTrivia consumes whitespace, comments, compiler directives and
+// attribute instances.
+func (l *Lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '`':
+			// Compiler directive: skip to end of line. `timescale,
+			// `define bodies with continuations are not supported; the
+			// benchmark sources do not use them.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '(' && l.peekAt(1) == '*':
+			// Attribute instance (* ... *). Distinguish from "(*" used
+			// in event control "@(*)" — that case has ')' right after.
+			if l.peekAt(2) == ')' {
+				return nil
+			}
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == ')' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated attribute instance"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token. At end of input it returns a TokEOF
+// token and a nil error forever after.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(pos)
+	case isDigit(c) || (c == '\'' && l.isBaseChar(l.peekAt(1))):
+		return l.lexNumber(pos)
+	case c == '$':
+		l.advance()
+		var sb strings.Builder
+		sb.WriteByte('$')
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		return Token{Kind: TokSystemIdent, Text: sb.String(), Pos: pos}, nil
+	case c == '"':
+		return l.lexString(pos)
+	}
+
+	// Operators and punctuation: longest match first.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	three := ""
+	if l.off+2 < len(l.src) {
+		three = l.src[l.off : l.off+3]
+	}
+	switch three {
+	case "===":
+		return l.emit(TokEqEqEq, 3, pos), nil
+	case "!==":
+		return l.emit(TokBangEqEq, 3, pos), nil
+	case ">>>":
+		return l.emit(TokShiftRight3, 3, pos), nil
+	case "<<<":
+		return l.emit(TokShiftLeft3, 3, pos), nil
+	}
+	switch two {
+	case "&&":
+		return l.emit(TokAmpAmp, 2, pos), nil
+	case "||":
+		return l.emit(TokPipeBar, 2, pos), nil
+	case "==":
+		return l.emit(TokEqEq, 2, pos), nil
+	case "!=":
+		return l.emit(TokBangEq, 2, pos), nil
+	case "<=":
+		return l.emit(TokLessEq, 2, pos), nil
+	case ">=":
+		return l.emit(TokGreaterEq, 2, pos), nil
+	case "<<":
+		return l.emit(TokShiftLeft, 2, pos), nil
+	case ">>":
+		return l.emit(TokShiftRight, 2, pos), nil
+	case "~&":
+		return l.emit(TokTildeAmp, 2, pos), nil
+	case "~|":
+		return l.emit(TokTildePipe, 2, pos), nil
+	case "~^", "^~":
+		return l.emit(TokTildeCaret, 2, pos), nil
+	}
+	single := map[byte]TokenKind{
+		'(': TokLParen, ')': TokRParen,
+		'[': TokLBracket, ']': TokRBracket,
+		'{': TokLBrace, '}': TokRBrace,
+		',': TokComma, ';': TokSemi, ':': TokColon, '.': TokDot,
+		'#': TokHash, '@': TokAt, '?': TokQuestion, '=': TokEquals,
+		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+		'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
+		'~': TokTilde, '!': TokBang, '<': TokLess, '>': TokGreater,
+	}
+	if k, ok := single[c]; ok {
+		return l.emit(k, 1, pos), nil
+	}
+	return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) emit(k TokenKind, n int, pos Pos) Token {
+	text := l.src[l.off : l.off+n]
+	for i := 0; i < n; i++ {
+		l.advance()
+	}
+	return Token{Kind: k, Text: text, Pos: pos}
+}
+
+func (l *Lexer) isBaseChar(c byte) bool {
+	switch c {
+	case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H', 's', 'S':
+		return true
+	}
+	return false
+}
+
+func (l *Lexer) lexIdent(pos Pos) (Token, error) {
+	var sb strings.Builder
+	if l.peek() == '\\' {
+		// Escaped identifier: backslash to next whitespace.
+		l.advance()
+		for l.off < len(l.src) && !isSpace(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		return Token{Kind: TokIdent, Text: sb.String(), Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		sb.WriteByte(l.advance())
+	}
+	text := sb.String()
+	if IsKeyword(text) {
+		return Token{Kind: TokKeyword, Text: text, Pos: pos}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+}
+
+// lexNumber scans decimal literals and based literals of the forms
+// 42, 8'hFF, 'b1010, 4'b1x0z, 16'd255. The raw text is preserved; the
+// parser converts it to a value via ParseNumber.
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	var sb strings.Builder
+	// Optional size (decimal digits, possibly with _).
+	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+		sb.WriteByte(l.advance())
+	}
+	if l.peek() == '\'' {
+		sb.WriteByte(l.advance())
+		if l.peek() == 's' || l.peek() == 'S' {
+			sb.WriteByte(l.advance())
+		}
+		if !l.isBaseChar(l.peek()) {
+			return Token{}, &LexError{Pos: pos, Msg: "malformed based literal: missing base"}
+		}
+		sb.WriteByte(l.advance())
+		n := 0
+		for l.off < len(l.src) {
+			c := l.peek()
+			if isIdentPart(c) || c == '?' {
+				sb.WriteByte(l.advance())
+				n++
+			} else {
+				break
+			}
+		}
+		if n == 0 {
+			return Token{}, &LexError{Pos: pos, Msg: "malformed based literal: missing digits"}
+		}
+	}
+	return Token{Kind: TokNumber, Text: sb.String(), Pos: pos}, nil
+}
+
+func (l *Lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+		}
+		if c == '\\' && l.off < len(l.src) {
+			sb.WriteByte(l.advance())
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+	}
+	return Token{}, &LexError{Pos: pos, Msg: "unterminated string literal"}
+}
+
+// Tokenize lexes the entire input, returning all tokens up to and
+// excluding EOF.
+func Tokenize(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

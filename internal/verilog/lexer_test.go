@@ -1,0 +1,230 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, err := Tokenize("t.v", "module m; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokKeyword, TokIdent, TokSemi, TokKeyword}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want TokenKind
+	}{
+		{"&&", TokAmpAmp},
+		{"||", TokPipeBar},
+		{"==", TokEqEq},
+		{"!=", TokBangEq},
+		{"===", TokEqEqEq},
+		{"!==", TokBangEqEq},
+		{"<=", TokLessEq},
+		{">=", TokGreaterEq},
+		{"<<", TokShiftLeft},
+		{">>", TokShiftRight},
+		{">>>", TokShiftRight3},
+		{"~&", TokTildeAmp},
+		{"~|", TokTildePipe},
+		{"~^", TokTildeCaret},
+		{"^~", TokTildeCaret},
+		{"?", TokQuestion},
+		{"@", TokAt},
+		{"#", TokHash},
+	}
+	for _, c := range cases {
+		toks, err := Tokenize("t.v", c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != c.want {
+			t.Errorf("%q: got %v, want single %s", c.src, toks, c.want)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+module /* block
+comment */ m;
+endmodule // trailing
+`
+	toks, err := Tokenize("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+}
+
+func TestTokenizeDirectivesSkipped(t *testing.T) {
+	src := "`timescale 1ns/1ps\n`define FOO 1\nmodule m; endmodule\n"
+	toks, err := Tokenize("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+}
+
+func TestTokenizeAttributesSkipped(t *testing.T) {
+	src := "(* keep = 1 *) module m; endmodule"
+	toks, err := Tokenize("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens, want 4: %v", len(toks), toks)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	srcs := []string{"42", "8'hFF", "4'b1010", "'b1", "16'd255", "12'o777", "4'b1x0z", "8'b???1_0000"}
+	for _, s := range srcs {
+		toks, err := Tokenize("t.v", s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != TokNumber {
+			t.Errorf("%q: got %v, want single number token", s, toks)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("f.v", "module\n  m;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("module pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("m pos = %v, want 2:3", toks[1].Pos)
+	}
+	if toks[0].Pos.File != "f.v" {
+		t.Errorf("file = %q, want f.v", toks[0].Pos.File)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		"/* unterminated",
+		"\"unterminated string",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize("t.v", src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestTokenizeEscapedIdent(t *testing.T) {
+	toks, err := Tokenize("t.v", `\bus[3] x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "bus[3]" {
+		t.Errorf("escaped ident: got %v", toks[0])
+	}
+}
+
+func TestTokenizeSystemIdent(t *testing.T) {
+	toks, err := Tokenize("t.v", "$display")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokSystemIdent || toks[0].Text != "$display" {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestParseNumberValues(t *testing.T) {
+	cases := []struct {
+		text  string
+		width int
+		value uint64
+		xmask uint64
+		zmask uint64
+	}{
+		{"42", 32, 42, 0, 0},
+		{"8'hFF", 8, 0xFF, 0, 0},
+		{"8'hff", 8, 0xFF, 0, 0},
+		{"4'b1010", 4, 0b1010, 0, 0},
+		{"16'd255", 16, 255, 0, 0},
+		{"6'o77", 6, 0o77, 0, 0},
+		{"4'b1x0z", 4, 0b1000, 0b0100, 0b0001},
+		{"4'b??11", 4, 0b0011, 0, 0b1100},
+		{"3'b101", 3, 5, 0, 0},
+		{"1'b1", 1, 1, 0, 0},
+		{"32'hDEAD_BEEF", 32, 0xDEADBEEF, 0, 0},
+	}
+	for _, c := range cases {
+		n, err := ParseNumber(c.text, Pos{})
+		if err != nil {
+			t.Fatalf("%q: %v", c.text, err)
+		}
+		if n.Width != c.width || n.Value != c.value || n.XMask != c.xmask || n.ZMask != c.zmask {
+			t.Errorf("%q: got width=%d value=%#x x=%#b z=%#b, want width=%d value=%#x x=%#b z=%#b",
+				c.text, n.Width, n.Value, n.XMask, n.ZMask, c.width, c.value, c.xmask, c.zmask)
+		}
+	}
+}
+
+func TestParseNumberErrors(t *testing.T) {
+	bad := []string{"8'", "'q1", "0'h1", "65'h0", "4'b2", "8'hG"}
+	for _, s := range bad {
+		if _, err := ParseNumber(s, Pos{}); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}
+
+func TestParseNumberTruncatesToWidth(t *testing.T) {
+	n, err := ParseNumber("4'hFF", Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Value != 0xF {
+		t.Errorf("4'hFF: value=%#x, want 0xF (truncated)", n.Value)
+	}
+}
+
+func TestTokenizeLongSource(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("assign w = a + b;\n")
+	}
+	toks, err := Tokenize("t.v", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 200*7 {
+		t.Errorf("got %d tokens, want %d", len(toks), 200*7)
+	}
+}

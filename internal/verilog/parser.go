@@ -1,0 +1,1383 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parser parses Verilog source into an AST. It is a hand-written
+// recursive-descent parser over the token stream produced by Lexer.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+// ParseError is a syntax error with source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a whole source file.
+func Parse(file, src string) (*SourceFile, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	sf := &SourceFile{}
+	for !p.atEOF() {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		sf.Modules = append(sf.Modules, m)
+	}
+	return sf, nil
+}
+
+// ParseFiles parses several sources into a single SourceFile, checking
+// for duplicate module names.
+func ParseFiles(sources map[string]string) (*SourceFile, error) {
+	merged := &SourceFile{}
+	seen := map[string]string{}
+	// Deterministic order.
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		sf, err := Parse(name, sources[name])
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range sf.Modules {
+			if prev, dup := seen[m.Name]; dup {
+				return nil, fmt.Errorf("module %s defined in both %s and %s", m.Name, prev, name)
+			}
+			seen[m.Name] = name
+			merged.Modules = append(merged.Modules, m)
+		}
+	}
+	return merged, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{File: p.file}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: TokEOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekTok(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errf("expected %s, found %s", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(kw string) (Token, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return t, p.errf("expected %q, found %s", kw, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Module
+
+func (p *Parser) parseModule() (*Module, error) {
+	start, err := p.expectKeyword("module")
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: nameTok.Text, Pos: start.Pos}
+
+	// Optional parameter port list: #(parameter N = 8, ...)
+	if p.accept(TokHash) {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			pd, err := p.parseParamDecl(false, false)
+			if err != nil {
+				return nil, err
+			}
+			m.Items = append(m.Items, pd)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+
+	// Port list. Two styles: ANSI (directions in header) and non-ANSI
+	// (names only, directions declared in body).
+	if p.accept(TokLParen) {
+		if !p.accept(TokRParen) {
+			if err := p.parsePortList(m); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+
+	for !p.atKeyword("endmodule") {
+		if p.atEOF() {
+			return nil, p.errf("unexpected EOF inside module %s", m.Name)
+		}
+		items, err := p.parseModuleItem(m)
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	p.next() // endmodule
+	return m, nil
+}
+
+func (p *Parser) parsePortList(m *Module) error {
+	// Detect ANSI style: first token is a direction keyword.
+	ansi := p.atKeyword("input") || p.atKeyword("output") || p.atKeyword("inout")
+	if !ansi {
+		for {
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			m.Ports = append(m.Ports, &Port{Name: t.Text, Pos: t.Pos, Dir: PortInput})
+			if !p.accept(TokComma) {
+				return nil
+			}
+		}
+	}
+	// ANSI: direction [reg] [range] name (, name)* (, direction ...)*
+	dir := PortInput
+	isReg := false
+	var width *Range
+	first := true
+	for {
+		switch {
+		case p.atKeyword("input"):
+			p.next()
+			dir, isReg, width = PortInput, false, nil
+		case p.atKeyword("output"):
+			p.next()
+			dir, isReg, width = PortOutput, false, nil
+		case p.atKeyword("inout"):
+			p.next()
+			dir, isReg, width = PortInout, false, nil
+		default:
+			if first {
+				return p.errf("expected port direction")
+			}
+		}
+		first = false
+		if p.acceptKeyword("reg") {
+			isReg = true
+		}
+		p.acceptKeyword("wire")
+		p.acceptKeyword("signed")
+		if p.cur().Kind == TokLBracket {
+			r, err := p.parseRange()
+			if err != nil {
+				return err
+			}
+			width = r
+		}
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, &Port{Name: t.Text, Dir: dir, Width: width, IsReg: isReg, Pos: t.Pos})
+		if !p.accept(TokComma) {
+			return nil
+		}
+	}
+}
+
+func (p *Parser) parseRange() (*Range, error) {
+	if _, err := p.expect(TokLBracket); err != nil {
+		return nil, err
+	}
+	msb, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	lsb, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	return &Range{MSB: msb, LSB: lsb}, nil
+}
+
+// parseModuleItem parses one body item; it may expand to several AST
+// items (e.g. a non-ANSI port direction declaration updates ports and
+// yields a NetDecl, a decl with initializer yields decl+assign).
+func (p *Parser) parseModuleItem(m *Module) ([]Item, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword:
+		switch t.Text {
+		case "parameter", "localparam":
+			pd, err := p.parseParamDecl(t.Text == "localparam", true)
+			if err != nil {
+				return nil, err
+			}
+			return []Item{pd}, nil
+		case "input", "output", "inout":
+			return p.parseDirectionDecl(m)
+		case "wire", "reg", "integer", "supply0", "supply1":
+			return p.parseNetDecl()
+		case "assign":
+			return p.parseContinuousAssign()
+		case "always":
+			a, err := p.parseAlways()
+			if err != nil {
+				return nil, err
+			}
+			return []Item{a}, nil
+		case "initial":
+			p.next()
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			return []Item{&InitialBlock{Body: body, Pos: t.Pos}}, nil
+		case "function":
+			f, err := p.parseFunction()
+			if err != nil {
+				return nil, err
+			}
+			return []Item{f}, nil
+		case "genvar":
+			// genvar declarations: skip to semicolon.
+			for p.cur().Kind != TokSemi && !p.atEOF() {
+				p.next()
+			}
+			p.next()
+			return nil, nil
+		default:
+			if IsGatePrimitive(t.Text) {
+				return p.parseGateInsts()
+			}
+			return nil, p.errf("unsupported module item keyword %q", t.Text)
+		}
+	case t.Kind == TokIdent:
+		inst, err := p.parseInstance()
+		if err != nil {
+			return nil, err
+		}
+		return inst, nil
+	case t.Kind == TokSemi:
+		p.next()
+		return nil, nil
+	}
+	return nil, p.errf("unexpected token %s in module body", t)
+}
+
+func (p *Parser) parseParamDecl(local, allowMulti bool) (*ParamDecl, error) {
+	t := p.cur()
+	pd := &ParamDecl{Local: local, Pos: t.Pos}
+	if t.Kind == TokKeyword && (t.Text == "parameter" || t.Text == "localparam") {
+		p.next()
+	}
+	p.acceptKeyword("signed")
+	p.acceptKeyword("integer")
+	if p.cur().Kind == TokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		pd.Width = r
+	}
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEquals); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		pd.Names = append(pd.Names, name.Text)
+		pd.Values = append(pd.Values, val)
+		if !allowMulti {
+			return pd, nil
+		}
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return pd, nil
+}
+
+// parseDirectionDecl handles non-ANSI "input [7:0] a, b;" items. It
+// updates the module's port table and also emits a NetDecl so the
+// signal exists as a net.
+func (p *Parser) parseDirectionDecl(m *Module) ([]Item, error) {
+	t := p.next()
+	dir := PortInput
+	switch t.Text {
+	case "output":
+		dir = PortOutput
+	case "inout":
+		dir = PortInout
+	}
+	kind := NetWire
+	isReg := false
+	if p.acceptKeyword("reg") {
+		kind = NetReg
+		isReg = true
+	}
+	p.acceptKeyword("wire")
+	p.acceptKeyword("signed")
+	var width *Range
+	if p.cur().Kind == TokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		width = r
+	}
+	nd := &NetDecl{Kind: kind, Width: width, Pos: t.Pos}
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		nd.Names = append(nd.Names, name.Text)
+		if port := m.Port(name.Text); port != nil {
+			port.Dir = dir
+			port.Width = width
+			port.IsReg = isReg
+		} else {
+			m.Ports = append(m.Ports, &Port{Name: name.Text, Dir: dir, Width: width, IsReg: isReg, Pos: name.Pos})
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return []Item{nd}, nil
+}
+
+func (p *Parser) parseNetDecl() ([]Item, error) {
+	t := p.next()
+	var kind NetKind
+	switch t.Text {
+	case "wire":
+		kind = NetWire
+	case "reg":
+		kind = NetReg
+	case "integer":
+		kind = NetInteger
+	case "supply0":
+		kind = NetSupply0
+	case "supply1":
+		kind = NetSupply1
+	}
+	p.acceptKeyword("signed")
+	var width *Range
+	if p.cur().Kind == TokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		width = r
+	}
+	nd := &NetDecl{Kind: kind, Width: width, Pos: t.Pos}
+	var items []Item
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Memory declarations (reg [7:0] mem [0:15]) are rejected:
+		// the FACTOR subset models register files structurally.
+		if p.cur().Kind == TokLBracket {
+			return nil, p.errf("memory (array) declarations are not supported; model %s structurally", name.Text)
+		}
+		nd.Names = append(nd.Names, name.Text)
+		if p.accept(TokEquals) {
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, &AssignItem{LHS: &Ident{Name: name.Text, Pos: name.Pos}, RHS: rhs, Pos: name.Pos})
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return append([]Item{nd}, items...), nil
+}
+
+func (p *Parser) parseContinuousAssign() ([]Item, error) {
+	p.next() // assign
+	// Optional drive strength / delay are not supported; a # delay is
+	// skipped.
+	if p.accept(TokHash) {
+		if _, err := p.expect(TokNumber); err != nil {
+			return nil, err
+		}
+	}
+	var items []Item
+	for {
+		lhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		eq, err := p.expect(TokEquals)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, &AssignItem{LHS: lhs, RHS: rhs, Pos: eq.Pos})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *Parser) parseAlways() (*AlwaysBlock, error) {
+	t := p.next() // always
+	a := &AlwaysBlock{Pos: t.Pos}
+	if _, err := p.expect(TokAt); err != nil {
+		return nil, err
+	}
+	if p.accept(TokStar) { // always @* form
+		a.Sens.Star = true
+	} else {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if p.accept(TokStar) {
+			a.Sens.Star = true
+		} else {
+			for {
+				item := SensItem{}
+				if p.acceptKeyword("posedge") {
+					item.Edge = EdgePos
+				} else if p.acceptKeyword("negedge") {
+					item.Edge = EdgeNeg
+				}
+				sig, err := p.parsePrimary()
+				if err != nil {
+					return nil, err
+				}
+				item.Signal = sig
+				a.Sens.Items = append(a.Sens.Items, item)
+				if p.acceptKeyword("or") || p.accept(TokComma) {
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *Parser) parseFunction() (*FunctionDecl, error) {
+	t := p.next() // function
+	f := &FunctionDecl{Pos: t.Pos}
+	p.acceptKeyword("signed")
+	if p.cur().Kind == TokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		f.Width = r
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name.Text
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	// Input declarations, then a single statement (commonly a block).
+	for {
+		if p.atKeyword("input") {
+			p.next()
+			var width *Range
+			p.acceptKeyword("signed")
+			if p.cur().Kind == TokLBracket {
+				r, err := p.parseRange()
+				if err != nil {
+					return nil, err
+				}
+				width = r
+			}
+			for {
+				n, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				f.Inputs = append(f.Inputs, &Port{Name: n.Text, Dir: PortInput, Width: width, Pos: n.Pos})
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.atKeyword("reg") || p.atKeyword("integer") {
+			items, err := p.parseNetDecl()
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				if nd, ok := it.(*NetDecl); ok {
+					f.Locals = append(f.Locals, nd)
+				}
+			}
+			continue
+		}
+		break
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	if _, err := p.expectKeyword("endfunction"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseGateInsts parses one or more gate primitive instances sharing a
+// gate type: and g1(y, a, b), g2(z, c, d);
+func (p *Parser) parseGateInsts() ([]Item, error) {
+	t := p.next()
+	kind := t.Text
+	var items []Item
+	for {
+		g := &GateInst{Kind: kind, Pos: t.Pos}
+		if p.cur().Kind == TokIdent {
+			g.Name = p.next().Text
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Args = append(g.Args, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if len(g.Args) < 2 {
+			return nil, p.errf("gate %s needs at least an output and one input", kind)
+		}
+		items = append(items, g)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func (p *Parser) parseInstance() ([]Item, error) {
+	modTok := p.next()
+	inst := &Instance{ModuleName: modTok.Text, Pos: modTok.Pos}
+	if p.accept(TokHash) {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			pa := ParamAssign{}
+			if p.accept(TokDot) {
+				n, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				pa.Name = n.Text
+				if _, err := p.expect(TokLParen); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				pa.Value = v
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			} else {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				pa.Value = v
+			}
+			inst.Params = append(inst.Params, pa)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = nameTok.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokRParen) {
+		for {
+			pc := PortConn{}
+			if p.accept(TokDot) {
+				n, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				pc.Port = n.Text
+				if _, err := p.expect(TokLParen); err != nil {
+					return nil, err
+				}
+				if p.cur().Kind != TokRParen {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					pc.Expr = e
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				pc.Expr = e
+			}
+			inst.Conns = append(inst.Conns, pc)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return []Item{inst}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokSemi:
+		p.next()
+		return &NullStmt{Pos: t.Pos}, nil
+	case t.Kind == TokKeyword:
+		switch t.Text {
+		case "begin":
+			return p.parseBlock()
+		case "if":
+			return p.parseIf()
+		case "case", "casez", "casex":
+			return p.parseCase()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		}
+		return nil, p.errf("unsupported statement keyword %q", t.Text)
+	case t.Kind == TokSystemIdent:
+		return p.parseSysCall()
+	case t.Kind == TokIdent || t.Kind == TokLBrace:
+		return p.parseAssignStmt(true)
+	case t.Kind == TokAt:
+		return nil, p.errf("intra-statement event controls are not supported")
+	case t.Kind == TokHash:
+		// #delay stmt — skip the delay.
+		p.next()
+		if _, err := p.expect(TokNumber); err != nil {
+			return nil, err
+		}
+		return p.parseStmt()
+	}
+	return nil, p.errf("unexpected token %s at start of statement", t)
+}
+
+func (p *Parser) parseBlock() (Stmt, error) {
+	t := p.next() // begin
+	b := &Block{Pos: t.Pos}
+	if p.accept(TokColon) {
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		b.Label = n.Text
+	}
+	for !p.atKeyword("end") {
+		if p.atEOF() {
+			return nil, p.errf("unexpected EOF inside begin/end block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // end
+	return b, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.acceptKeyword("else") {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) parseCase() (Stmt, error) {
+	t := p.next()
+	kind := CaseExact
+	switch t.Text {
+	case "casez":
+		kind = CaseZ
+	case "casex":
+		kind = CaseX
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	subj, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	cs := &CaseStmt{Kind: kind, Subject: subj, Pos: t.Pos}
+	for !p.atKeyword("endcase") {
+		if p.atEOF() {
+			return nil, p.errf("unexpected EOF inside case statement")
+		}
+		item := CaseItem{}
+		if p.acceptKeyword("default") {
+			p.accept(TokColon)
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Exprs = append(item.Exprs, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		item.Body = body
+		cs.Items = append(cs.Items, item)
+	}
+	p.next() // endcase
+	return cs, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	initStmt, err := p.parseAssignNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	step, err := p.parseAssignNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: initStmt, Cond: cond, Step: step, Body: body, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+// parseLValue parses an assignment target: an identifier with optional
+// bit/part selects, or a concatenation of lvalues. Using the general
+// expression parser here would mis-read "q <= d" as a comparison.
+func (p *Parser) parseLValue() (Expr, error) {
+	if p.cur().Kind == TokLBrace {
+		lb := p.next()
+		c := &ConcatExpr{Pos: lb.Pos}
+		for {
+			e, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var e Expr = &Ident{Name: t.Text, Pos: t.Pos}
+	for p.cur().Kind == TokLBracket {
+		lb := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokColon) {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &RangeExpr{X: e, MSB: first, LSB: lsb, Pos: lb.Pos}
+		} else {
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{X: e, Index: first, Pos: lb.Pos}
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) parseAssignNoSemi() (*AssignStmt, error) {
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	blocking := true
+	switch p.cur().Kind {
+	case TokEquals:
+		p.next()
+	case TokLessEq:
+		blocking = false
+		p.next()
+	default:
+		return nil, p.errf("expected = or <= in assignment, found %s", p.cur())
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, RHS: rhs, Blocking: blocking, Pos: lhs.ExprPos()}, nil
+}
+
+func (p *Parser) parseAssignStmt(withSemi bool) (Stmt, error) {
+	s, err := p.parseAssignNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	if withSemi {
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSysCall() (Stmt, error) {
+	t := p.next()
+	s := &SysCallStmt{Name: t.Text, Pos: t.Pos}
+	if p.accept(TokLParen) {
+		if !p.accept(TokRParen) {
+			for {
+				if p.cur().Kind == TokString {
+					str := p.next()
+					s.Args = append(s.Args, &Ident{Name: "\"" + str.Text + "\"", Pos: str.Pos})
+				} else {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					s.Args = append(s.Args, e)
+				}
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+// binPrec maps binary operator tokens to (precedence, op). Higher
+// precedence binds tighter.
+func binPrec(t Token) (int, BinaryOp, bool) {
+	switch t.Kind {
+	case TokStar:
+		return 11, BinMul, true
+	case TokSlash:
+		return 11, BinDiv, true
+	case TokPercent:
+		return 11, BinMod, true
+	case TokPlus:
+		return 10, BinAdd, true
+	case TokMinus:
+		return 10, BinSub, true
+	case TokShiftLeft:
+		return 9, BinShl, true
+	case TokShiftRight:
+		return 9, BinShr, true
+	case TokShiftRight3:
+		return 9, BinAShr, true
+	case TokShiftLeft3:
+		return 9, BinShl, true
+	case TokLess:
+		return 8, BinLt, true
+	case TokLessEq:
+		return 8, BinLe, true
+	case TokGreater:
+		return 8, BinGt, true
+	case TokGreaterEq:
+		return 8, BinGe, true
+	case TokEqEq:
+		return 7, BinEq, true
+	case TokBangEq:
+		return 7, BinNeq, true
+	case TokEqEqEq:
+		return 7, BinCaseEq, true
+	case TokBangEqEq:
+		return 7, BinCaseNe, true
+	case TokAmp:
+		return 6, BinAnd, true
+	case TokCaret:
+		return 5, BinXor, true
+	case TokTildeCaret:
+		return 5, BinXnor, true
+	case TokPipe:
+		return 4, BinOr, true
+	case TokAmpAmp:
+		return 3, BinLogAnd, true
+	case TokPipeBar:
+		return 2, BinLogOr, true
+	}
+	return 0, 0, false
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokQuestion {
+		q := p.next()
+		thenE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		elseE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: cond, Then: thenE, Else: elseE, Pos: q.Pos}, nil
+	}
+	return cond, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, op, ok := binPrec(p.cur())
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	var op UnaryOp
+	switch t.Kind {
+	case TokPlus:
+		op = UnaryPlus
+	case TokMinus:
+		op = UnaryMinus
+	case TokBang:
+		op = UnaryNot
+	case TokTilde:
+		op = UnaryBitNot
+	case TokAmp:
+		op = UnaryAnd
+	case TokTildeAmp:
+		op = UnaryNand
+	case TokPipe:
+		op = UnaryOr
+	case TokTildePipe:
+		op = UnaryNor
+	case TokCaret:
+		op = UnaryXor
+	case TokTildeCaret:
+		op = UnaryXnor
+	default:
+		return p.parsePostfix()
+	}
+	p.next()
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &UnaryExpr{Op: op, X: x, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokLBracket {
+		lb := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokColon) {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &RangeExpr{X: e, MSB: first, LSB: lsb, Pos: lb.Pos}
+		} else {
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{X: e, Index: first, Pos: lb.Pos}
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			// Function call.
+			p.next()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			if !p.accept(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case TokNumber:
+		p.next()
+		return ParseNumber(t.Text, t.Pos)
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBrace:
+		return p.parseConcat()
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// parseConcat parses {a, b} and replication {n{a}}.
+func (p *Parser) parseConcat() (Expr, error) {
+	lb := p.next() // {
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokLBrace {
+		// Replication: {count{expr, ...}}
+		p.next()
+		inner := &ConcatExpr{Pos: lb.Pos}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			inner.Parts = append(inner.Parts, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		var body Expr = inner
+		if len(inner.Parts) == 1 {
+			body = inner.Parts[0]
+		}
+		return &ReplExpr{Count: first, X: body, Pos: lb.Pos}, nil
+	}
+	c := &ConcatExpr{Parts: []Expr{first}, Pos: lb.Pos}
+	for p.accept(TokComma) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Parts = append(c.Parts, e)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and
+// embedded benchmark sources that are known-good.
+func MustParse(file, src string) *SourceFile {
+	sf, err := Parse(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("verilog.MustParse(%s): %v", file, err))
+	}
+	return sf
+}
+
+// DescribeExpr renders a compact single-line description of an
+// expression, used in testability traces.
+func DescribeExpr(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}

@@ -1,0 +1,477 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *Module {
+	t.Helper()
+	sf, err := Parse("test.v", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if len(sf.Modules) != 1 {
+		t.Fatalf("got %d modules, want 1", len(sf.Modules))
+	}
+	return sf.Modules[0]
+}
+
+func TestParseEmptyModule(t *testing.T) {
+	m := parseOne(t, "module m; endmodule")
+	if m.Name != "m" || len(m.Ports) != 0 || len(m.Items) != 0 {
+		t.Errorf("unexpected module: %+v", m)
+	}
+}
+
+func TestParseANSIPorts(t *testing.T) {
+	m := parseOne(t, `module m(input clk, input [7:0] a, b, output reg [3:0] y, inout io);
+endmodule`)
+	if len(m.Ports) != 5 {
+		t.Fatalf("got %d ports, want 5", len(m.Ports))
+	}
+	checks := []struct {
+		name  string
+		dir   PortDir
+		wide  bool
+		isReg bool
+	}{
+		{"clk", PortInput, false, false},
+		{"a", PortInput, true, false},
+		{"b", PortInput, true, false},
+		{"y", PortOutput, true, true},
+		{"io", PortInout, false, false},
+	}
+	for i, c := range checks {
+		p := m.Ports[i]
+		if p.Name != c.name || p.Dir != c.dir || (p.Width != nil) != c.wide || p.IsReg != c.isReg {
+			t.Errorf("port %d: got %+v, want %+v", i, p, c)
+		}
+	}
+}
+
+func TestParseNonANSIPorts(t *testing.T) {
+	m := parseOne(t, `module m(a, y);
+  input [7:0] a;
+  output reg y;
+  wire internal;
+endmodule`)
+	if len(m.Ports) != 2 {
+		t.Fatalf("got %d ports, want 2", len(m.Ports))
+	}
+	if m.Ports[0].Width == nil || m.Ports[0].Dir != PortInput {
+		t.Errorf("port a: %+v", m.Ports[0])
+	}
+	if !m.Ports[1].IsReg || m.Ports[1].Dir != PortOutput {
+		t.Errorf("port y: %+v", m.Ports[1])
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	m := parseOne(t, `module m #(parameter W = 8, parameter D = W*2)(input [W-1:0] a);
+  localparam HALF = W / 2;
+endmodule`)
+	params := m.Params()
+	if len(params) != 3 {
+		t.Fatalf("got %d param decls, want 3", len(params))
+	}
+	if params[0].Names[0] != "W" || params[2].Names[0] != "HALF" || !params[2].Local {
+		t.Errorf("params: %+v %+v %+v", params[0], params[1], params[2])
+	}
+}
+
+func TestParseContinuousAssign(t *testing.T) {
+	m := parseOne(t, `module m(input a, b, output y);
+  assign y = a & b | ~a;
+endmodule`)
+	var assigns []*AssignItem
+	for _, it := range m.Items {
+		if a, ok := it.(*AssignItem); ok {
+			assigns = append(assigns, a)
+		}
+	}
+	if len(assigns) != 1 {
+		t.Fatalf("got %d assigns, want 1", len(assigns))
+	}
+	// Check precedence: & binds tighter than |.
+	rhs, ok := assigns[0].RHS.(*BinaryExpr)
+	if !ok || rhs.Op != BinOr {
+		t.Fatalf("rhs = %s, want top-level |", DescribeExpr(assigns[0].RHS))
+	}
+	if l, ok := rhs.X.(*BinaryExpr); !ok || l.Op != BinAnd {
+		t.Errorf("lhs of | = %s, want a & b", DescribeExpr(rhs.X))
+	}
+}
+
+func TestParseAlwaysComb(t *testing.T) {
+	m := parseOne(t, `module m(input [1:0] s, input a, b, c, d, output reg y);
+  always @(*) begin
+    case (s)
+      2'b00: y = a;
+      2'b01: y = b;
+      2'b10: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule`)
+	var always *AlwaysBlock
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysBlock); ok {
+			always = a
+		}
+	}
+	if always == nil {
+		t.Fatal("no always block parsed")
+	}
+	if !always.Sens.Star || always.Clocked() {
+		t.Errorf("sensitivity: %+v", always.Sens)
+	}
+	blk := always.Body.(*Block)
+	cs := blk.Stmts[0].(*CaseStmt)
+	if len(cs.Items) != 4 {
+		t.Fatalf("case items: %d, want 4", len(cs.Items))
+	}
+	if len(cs.Items[3].Exprs) != 0 {
+		t.Errorf("last case item should be default")
+	}
+}
+
+func TestParseAlwaysClocked(t *testing.T) {
+	m := parseOne(t, `module m(input clk, rst_n, d, output reg q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+endmodule`)
+	var always *AlwaysBlock
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysBlock); ok {
+			always = a
+		}
+	}
+	if !always.Clocked() {
+		t.Fatal("expected clocked always")
+	}
+	if len(always.Sens.Items) != 2 ||
+		always.Sens.Items[0].Edge != EdgePos ||
+		always.Sens.Items[1].Edge != EdgeNeg {
+		t.Errorf("sensitivity: %+v", always.Sens)
+	}
+	ifs := always.Body.(*IfStmt)
+	as := ifs.Then.(*AssignStmt)
+	if as.Blocking {
+		t.Errorf("expected nonblocking assignment")
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	src := `module top(input clk, output [7:0] y);
+  wire [7:0] t;
+  sub #(.W(8)) u_sub (.clk(clk), .out(t), .unused());
+  sub2 u2 (clk, t, y);
+endmodule
+module sub #(parameter W=4)(input clk, output [W-1:0] out, input unused); endmodule
+module sub2(input clk, input [7:0] a, output [7:0] y); endmodule`
+	sf, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := sf.Module("top")
+	insts := top.Instances()
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances, want 2", len(insts))
+	}
+	u := insts[0]
+	if u.ModuleName != "sub" || u.Name != "u_sub" {
+		t.Errorf("instance: %+v", u)
+	}
+	if len(u.Params) != 1 || u.Params[0].Name != "W" {
+		t.Errorf("param overrides: %+v", u.Params)
+	}
+	if u.Conn("clk") == nil {
+		t.Error("missing .clk connection")
+	}
+	if u.Conns[2].Port != "unused" || u.Conns[2].Expr != nil {
+		t.Errorf("unconnected port: %+v", u.Conns[2])
+	}
+	if insts[1].Conns[0].Port != "" {
+		t.Errorf("positional connection should have empty port name")
+	}
+}
+
+func TestParseGatePrimitives(t *testing.T) {
+	m := parseOne(t, `module m(input a, b, output y, z);
+  and g1 (y, a, b);
+  nor (z, a, b);
+  not n1 (w1, a), n2 (w2, b);
+  wire w1, w2;
+endmodule`)
+	var gates []*GateInst
+	for _, it := range m.Items {
+		if g, ok := it.(*GateInst); ok {
+			gates = append(gates, g)
+		}
+	}
+	if len(gates) != 4 {
+		t.Fatalf("got %d gates, want 4", len(gates))
+	}
+	if gates[0].Kind != "and" || gates[0].Name != "g1" || len(gates[0].Args) != 3 {
+		t.Errorf("gate 0: %+v", gates[0])
+	}
+	if gates[1].Name != "" {
+		t.Errorf("gate 1 should be anonymous: %+v", gates[1])
+	}
+	if gates[3].Name != "n2" {
+		t.Errorf("comma-separated gate list: %+v", gates[3])
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	m := parseOne(t, `module m(input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule`)
+	var always *AlwaysBlock
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysBlock); ok {
+			always = a
+		}
+	}
+	blk := always.Body.(*Block)
+	fs, ok := blk.Stmts[0].(*ForStmt)
+	if !ok {
+		t.Fatalf("expected for, got %T", blk.Stmts[0])
+	}
+	if !fs.Init.Blocking || DescribeExpr(fs.Cond) != "(i < 8)" {
+		t.Errorf("for: init=%+v cond=%s", fs.Init, DescribeExpr(fs.Cond))
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a + b * c", "(a + (b * c))"},
+		{"(a + b) * c", "((a + b) * c)"},
+		{"a ? b : c ? d : e", "(a ? b : (c ? d : e))"},
+		{"{a, b[3:0], 2'b01}", "{a, b[3:0], 2'b01}"},
+		{"{4{x}}", "{4{x}}"},
+		{"a[i+1]", "a[(i + 1)]"},
+		{"&bus", "&(bus)"},
+		{"~|bus", "~|(bus)"},
+		{"a == b && c != d", "((a == b) && (c != d))"},
+		{"a << 2 | b >> 1", "((a << 2) | (b >> 1))"},
+		{"f(x, y)", "f(x, y)"},
+		{"-a + b", "(-(a) + b)"},
+		{"a < b == c", "((a < b) == c)"},
+		{"x & y ^ z", "((x & y) ^ z)"},
+		{"x ^ y | z", "((x ^ y) | z)"},
+	}
+	for _, c := range cases {
+		src := "module m(input a, output y); assign y = " + c.src + "; endmodule"
+		m := parseOne(t, src)
+		var assign *AssignItem
+		for _, it := range m.Items {
+			if a, ok := it.(*AssignItem); ok {
+				assign = a
+			}
+		}
+		got := DescribeExpr(assign.RHS)
+		if got != c.want {
+			t.Errorf("%q: got %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	m := parseOne(t, `module m(input [3:0] a, output [3:0] y);
+  function [3:0] twice;
+    input [3:0] v;
+    begin
+      twice = v << 1;
+    end
+  endfunction
+  assign y = twice(a);
+endmodule`)
+	var fn *FunctionDecl
+	for _, it := range m.Items {
+		if f, ok := it.(*FunctionDecl); ok {
+			fn = f
+		}
+	}
+	if fn == nil || fn.Name != "twice" || len(fn.Inputs) != 1 {
+		t.Fatalf("function: %+v", fn)
+	}
+	var assign *AssignItem
+	for _, it := range m.Items {
+		if a, ok := it.(*AssignItem); ok {
+			assign = a
+		}
+	}
+	if _, ok := assign.RHS.(*CallExpr); !ok {
+		t.Errorf("rhs should be a call, got %T", assign.RHS)
+	}
+}
+
+func TestParseWireWithInit(t *testing.T) {
+	m := parseOne(t, `module m(input a, b, output y);
+  wire t = a ^ b;
+  assign y = t;
+endmodule`)
+	var decls int
+	var assigns int
+	for _, it := range m.Items {
+		switch it.(type) {
+		case *NetDecl:
+			decls++
+		case *AssignItem:
+			assigns++
+		}
+	}
+	if decls != 1 || assigns != 2 {
+		t.Errorf("decls=%d assigns=%d, want 1 and 2", decls, assigns)
+	}
+}
+
+func TestParseMultipleModules(t *testing.T) {
+	sf, err := Parse("t.v", `module a; endmodule
+module b; endmodule
+module c; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Modules) != 3 {
+		t.Fatalf("got %d modules, want 3", len(sf.Modules))
+	}
+	if sf.Module("b") == nil || sf.Module("missing") != nil {
+		t.Error("Module() lookup broken")
+	}
+}
+
+func TestParseFilesDuplicateModule(t *testing.T) {
+	_, err := ParseFiles(map[string]string{
+		"a.v": "module m; endmodule",
+		"b.v": "module m; endmodule",
+	})
+	if err == nil || !strings.Contains(err.Error(), "defined in both") {
+		t.Errorf("expected duplicate module error, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module",
+		"module m",
+		"module m(input); endmodule",
+		"module m; assign = 1; endmodule",
+		"module m; always @(posedge) x = 1; endmodule",
+		"module m; if (a) x = 1; endmodule", // if outside always
+		"module m; wire [7:0] mem [0:3]; endmodule",
+		"module m; case endmodule",
+		"module m; assign y = (a; endmodule",
+	}
+	for _, src := range bad {
+		if _, err := Parse("t.v", src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseInitialBlockAndSysCalls(t *testing.T) {
+	m := parseOne(t, `module m;
+  reg clk;
+  initial begin
+    clk = 0;
+    $display("hello %d", clk);
+    $finish;
+  end
+endmodule`)
+	var init *InitialBlock
+	for _, it := range m.Items {
+		if b, ok := it.(*InitialBlock); ok {
+			init = b
+		}
+	}
+	if init == nil {
+		t.Fatal("no initial block")
+	}
+	blk := init.Body.(*Block)
+	if len(blk.Stmts) != 3 {
+		t.Fatalf("got %d stmts, want 3", len(blk.Stmts))
+	}
+	if _, ok := blk.Stmts[1].(*SysCallStmt); !ok {
+		t.Errorf("stmt 1 should be a system call, got %T", blk.Stmts[1])
+	}
+}
+
+// TestPrintRoundTrip checks that printed modules re-parse to the same
+// printed form (print → parse → print is a fixed point).
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`module m(input clk, input [7:0] a, output reg [7:0] q);
+  wire [7:0] nxt;
+  assign nxt = a + 8'd1;
+  always @(posedge clk) q <= nxt;
+endmodule`,
+		`module mux(input [1:0] s, input a, b, c, d, output reg y);
+  always @(*) begin
+    casez (s)
+      2'b0?: y = a;
+      2'b10: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule`,
+		`module g(input a, b, output y);
+  and g1 (y, a, b);
+endmodule`,
+		`module h(input [3:0] v, output [3:0] o);
+  sub #(.W(4)) u (.in(v), .out(o));
+endmodule
+module sub #(parameter W = 2)(input [W-1:0] in, output [W-1:0] out);
+  assign out = ~in;
+endmodule`,
+	}
+	for i, src := range srcs {
+		sf1, err := Parse("a.v", src)
+		if err != nil {
+			t.Fatalf("case %d parse 1: %v", i, err)
+		}
+		p1 := PrintFile(sf1)
+		sf2, err := Parse("b.v", p1)
+		if err != nil {
+			t.Fatalf("case %d parse of printed form: %v\n%s", i, err, p1)
+		}
+		p2 := PrintFile(sf2)
+		if p1 != p2 {
+			t.Errorf("case %d: print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", i, p1, p2)
+		}
+	}
+}
+
+func TestParseWhileLoop(t *testing.T) {
+	m := parseOne(t, `module m(input [3:0] a, output reg [3:0] y);
+  integer i;
+  always @(*) begin
+    y = 0;
+    i = 0;
+    while (i < 4) begin
+      y = y + a;
+      i = i + 1;
+    end
+  end
+endmodule`)
+	var always *AlwaysBlock
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysBlock); ok {
+			always = a
+		}
+	}
+	blk := always.Body.(*Block)
+	if _, ok := blk.Stmts[2].(*WhileStmt); !ok {
+		t.Errorf("expected while, got %T", blk.Stmts[2])
+	}
+}

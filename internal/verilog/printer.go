@@ -1,0 +1,381 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module back to Verilog source. FACTOR uses this to
+// write extracted constraints out as synthesizable netlists.
+func Print(m *Module) string {
+	var sb strings.Builder
+	pr := &printer{sb: &sb}
+	pr.module(m)
+	return sb.String()
+}
+
+// PrintFile renders all modules of a source file.
+func PrintFile(f *SourceFile) string {
+	var sb strings.Builder
+	for i, m := range f.Modules {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		pr := &printer{sb: &sb}
+		pr.module(m)
+	}
+	return sb.String()
+}
+
+type printer struct {
+	sb     *strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.sb.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("  ")
+	}
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	fmt.Fprintf(p.sb, format, args...)
+}
+
+func (p *printer) module(m *Module) {
+	p.printf("module %s (", m.Name)
+	for i, port := range m.Ports {
+		if i > 0 {
+			p.printf(", ")
+		}
+		p.printf("%s", port.Name)
+	}
+	p.printf(");")
+	p.indent++
+	for _, port := range m.Ports {
+		p.nl()
+		p.printf("%s", port.Dir)
+		if port.IsReg {
+			p.printf(" reg")
+		}
+		if port.Width != nil {
+			p.printf(" [%s:%s]", DescribeExpr(port.Width.MSB), DescribeExpr(port.Width.LSB))
+		}
+		p.printf(" %s;", port.Name)
+	}
+	for _, it := range m.Items {
+		// Port directions are printed with the port list above; a
+		// NetDecl that only re-declares ports (as produced when
+		// parsing non-ANSI direction declarations) would duplicate
+		// them on re-parse.
+		if nd, ok := it.(*NetDecl); ok {
+			var names []string
+			for _, n := range nd.Names {
+				if m.Port(n) == nil {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			it = &NetDecl{Kind: nd.Kind, Width: nd.Width, Names: names, Pos: nd.Pos}
+		}
+		p.item(it)
+	}
+	p.indent--
+	p.nl()
+	p.printf("endmodule")
+	p.nl()
+}
+
+func (p *printer) item(it Item) {
+	switch v := it.(type) {
+	case *ParamDecl:
+		for i, name := range v.Names {
+			p.nl()
+			kw := "parameter"
+			if v.Local {
+				kw = "localparam"
+			}
+			p.printf("%s %s = %s;", kw, name, DescribeExpr(v.Values[i]))
+		}
+	case *NetDecl:
+		p.nl()
+		p.printf("%s", v.Kind)
+		if v.Width != nil {
+			p.printf(" [%s:%s]", DescribeExpr(v.Width.MSB), DescribeExpr(v.Width.LSB))
+		}
+		p.printf(" %s;", strings.Join(v.Names, ", "))
+	case *AssignItem:
+		p.nl()
+		p.printf("assign %s = %s;", DescribeExpr(v.LHS), DescribeExpr(v.RHS))
+	case *AlwaysBlock:
+		p.nl()
+		p.printf("always @(%s)", sensString(v.Sens))
+		p.stmtInline(v.Body)
+	case *InitialBlock:
+		p.nl()
+		p.printf("initial")
+		p.stmtInline(v.Body)
+	case *Instance:
+		p.nl()
+		p.printf("%s", v.ModuleName)
+		if len(v.Params) > 0 {
+			p.printf(" #(")
+			for i, pa := range v.Params {
+				if i > 0 {
+					p.printf(", ")
+				}
+				if pa.Name != "" {
+					p.printf(".%s(%s)", pa.Name, DescribeExpr(pa.Value))
+				} else {
+					p.printf("%s", DescribeExpr(pa.Value))
+				}
+			}
+			p.printf(")")
+		}
+		p.printf(" %s (", v.Name)
+		for i, c := range v.Conns {
+			if i > 0 {
+				p.printf(", ")
+			}
+			if c.Port != "" {
+				if c.Expr != nil {
+					p.printf(".%s(%s)", c.Port, DescribeExpr(c.Expr))
+				} else {
+					p.printf(".%s()", c.Port)
+				}
+			} else {
+				p.printf("%s", DescribeExpr(c.Expr))
+			}
+		}
+		p.printf(");")
+	case *GateInst:
+		p.nl()
+		p.printf("%s", v.Kind)
+		if v.Name != "" {
+			p.printf(" %s", v.Name)
+		}
+		p.printf(" (")
+		for i, a := range v.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.printf("%s", DescribeExpr(a))
+		}
+		p.printf(");")
+	case *FunctionDecl:
+		p.nl()
+		p.printf("function")
+		if v.Width != nil {
+			p.printf(" [%s:%s]", DescribeExpr(v.Width.MSB), DescribeExpr(v.Width.LSB))
+		}
+		p.printf(" %s;", v.Name)
+		p.indent++
+		for _, in := range v.Inputs {
+			p.nl()
+			p.printf("input")
+			if in.Width != nil {
+				p.printf(" [%s:%s]", DescribeExpr(in.Width.MSB), DescribeExpr(in.Width.LSB))
+			}
+			p.printf(" %s;", in.Name)
+		}
+		for _, loc := range v.Locals {
+			p.nl()
+			p.printf("%s", loc.Kind)
+			if loc.Width != nil {
+				p.printf(" [%s:%s]", DescribeExpr(loc.Width.MSB), DescribeExpr(loc.Width.LSB))
+			}
+			p.printf(" %s;", strings.Join(loc.Names, ", "))
+		}
+		p.stmt(v.Body)
+		p.indent--
+		p.nl()
+		p.printf("endfunction")
+	}
+}
+
+func sensString(s SensList) string {
+	if s.Star {
+		return "*"
+	}
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		prefix := ""
+		switch it.Edge {
+		case EdgePos:
+			prefix = "posedge "
+		case EdgeNeg:
+			prefix = "negedge "
+		}
+		parts[i] = prefix + DescribeExpr(it.Signal)
+	}
+	return strings.Join(parts, " or ")
+}
+
+// stmtInline prints a statement after a header on the same logical
+// construct (always/initial/if/else headers).
+func (p *printer) stmtInline(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.printf(" begin")
+		p.indent++
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.nl()
+		p.printf("end")
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch v := s.(type) {
+	case *Block:
+		p.nl()
+		p.printf("begin")
+		p.indent++
+		for _, st := range v.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.nl()
+		p.printf("end")
+	case *IfStmt:
+		p.nl()
+		p.printf("if (%s)", DescribeExpr(v.Cond))
+		p.stmtInline(v.Then)
+		if v.Else != nil {
+			p.nl()
+			p.printf("else")
+			p.stmtInline(v.Else)
+		}
+	case *CaseStmt:
+		p.nl()
+		p.printf("%s (%s)", v.Kind, DescribeExpr(v.Subject))
+		p.indent++
+		for _, item := range v.Items {
+			p.nl()
+			if len(item.Exprs) == 0 {
+				p.printf("default:")
+			} else {
+				labels := make([]string, len(item.Exprs))
+				for i, e := range item.Exprs {
+					labels[i] = DescribeExpr(e)
+				}
+				p.printf("%s:", strings.Join(labels, ", "))
+			}
+			p.stmtInline(item.Body)
+		}
+		p.indent--
+		p.nl()
+		p.printf("endcase")
+	case *ForStmt:
+		p.nl()
+		p.printf("for (%s; %s; %s)", assignString(v.Init), DescribeExpr(v.Cond), assignString(v.Step))
+		p.stmtInline(v.Body)
+	case *WhileStmt:
+		p.nl()
+		p.printf("while (%s)", DescribeExpr(v.Cond))
+		p.stmtInline(v.Body)
+	case *AssignStmt:
+		p.nl()
+		p.printf("%s;", assignString(v))
+	case *NullStmt:
+		p.nl()
+		p.printf(";")
+	case *SysCallStmt:
+		p.nl()
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = DescribeExpr(a)
+		}
+		p.printf("%s(%s);", v.Name, strings.Join(args, ", "))
+	}
+}
+
+func assignString(a *AssignStmt) string {
+	op := "="
+	if !a.Blocking {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s %s", DescribeExpr(a.LHS), op, DescribeExpr(a.RHS))
+}
+
+// writeExpr renders an expression with minimal but safe parentheses.
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch v := e.(type) {
+	case *Ident:
+		sb.WriteString(v.Name)
+	case *Number:
+		if v.Text != "" {
+			sb.WriteString(v.Text)
+		} else {
+			fmt.Fprintf(sb, "%d'd%d", v.Width, v.Value)
+		}
+	case *UnaryExpr:
+		sb.WriteString(v.Op.String())
+		sb.WriteByte('(')
+		writeExpr(sb, v.X)
+		sb.WriteByte(')')
+	case *BinaryExpr:
+		sb.WriteByte('(')
+		writeExpr(sb, v.X)
+		sb.WriteByte(' ')
+		sb.WriteString(v.Op.String())
+		sb.WriteByte(' ')
+		writeExpr(sb, v.Y)
+		sb.WriteByte(')')
+	case *CondExpr:
+		sb.WriteByte('(')
+		writeExpr(sb, v.Cond)
+		sb.WriteString(" ? ")
+		writeExpr(sb, v.Then)
+		sb.WriteString(" : ")
+		writeExpr(sb, v.Else)
+		sb.WriteByte(')')
+	case *IndexExpr:
+		writeExpr(sb, v.X)
+		sb.WriteByte('[')
+		writeExpr(sb, v.Index)
+		sb.WriteByte(']')
+	case *RangeExpr:
+		writeExpr(sb, v.X)
+		sb.WriteByte('[')
+		writeExpr(sb, v.MSB)
+		sb.WriteByte(':')
+		writeExpr(sb, v.LSB)
+		sb.WriteByte(']')
+	case *ConcatExpr:
+		sb.WriteByte('{')
+		for i, part := range v.Parts {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, part)
+		}
+		sb.WriteByte('}')
+	case *ReplExpr:
+		sb.WriteByte('{')
+		writeExpr(sb, v.Count)
+		sb.WriteByte('{')
+		writeExpr(sb, v.X)
+		sb.WriteString("}}")
+	case *CallExpr:
+		sb.WriteString(v.Name)
+		sb.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	default:
+		sb.WriteString("/*?*/")
+	}
+}

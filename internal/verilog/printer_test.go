@@ -1,0 +1,184 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randExpr builds a random expression tree over a fixed signal set.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Ident{Name: string(rune('a' + rng.Intn(4)))}
+		case 1:
+			return &Number{Width: 4, Sized: true, Value: uint64(rng.Intn(16)), Text: ""}
+		default:
+			return &Ident{Name: "bus"}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []UnaryOp{UnaryMinus, UnaryNot, UnaryBitNot, UnaryAnd, UnaryOr, UnaryXor, UnaryNand, UnaryNor, UnaryXnor}
+		return &UnaryExpr{Op: ops[rng.Intn(len(ops))], X: randExpr(rng, depth-1)}
+	case 1, 2, 3:
+		ops := []BinaryOp{BinAdd, BinSub, BinMul, BinAnd, BinOr, BinXor, BinXnor, BinLogAnd, BinLogOr,
+			BinEq, BinNeq, BinLt, BinLe, BinGt, BinGe, BinShl, BinShr}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], X: randExpr(rng, depth-1), Y: randExpr(rng, depth-1)}
+	case 4:
+		return &CondExpr{Cond: randExpr(rng, depth-1), Then: randExpr(rng, depth-1), Else: randExpr(rng, depth-1)}
+	case 5:
+		return &IndexExpr{X: &Ident{Name: "bus"}, Index: randExpr(rng, depth-1)}
+	case 6:
+		parts := make([]Expr, 1+rng.Intn(3))
+		for i := range parts {
+			parts[i] = randExpr(rng, depth-1)
+		}
+		return &ConcatExpr{Parts: parts}
+	default:
+		return &ReplExpr{Count: &Number{Width: 3, Value: uint64(1 + rng.Intn(4)), Text: ""}, X: randExpr(rng, depth-1)}
+	}
+}
+
+// TestExprPrintParseFixpoint: printing a random expression, parsing it
+// back and printing again yields the same text (the printed form is
+// canonical).
+func TestExprPrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		e := randExpr(rng, 4)
+		text1 := DescribeExpr(e)
+		src := "module m(input a, b, c, d, input [7:0] bus, output y); assign y = " + text1 + "; endmodule"
+		sf, err := Parse("t.v", src)
+		if err != nil {
+			t.Fatalf("trial %d: printed expression does not parse: %v\n%s", trial, err, text1)
+		}
+		var rhs Expr
+		for _, it := range sf.Modules[0].Items {
+			if a, ok := it.(*AssignItem); ok {
+				rhs = a.RHS
+			}
+		}
+		if text2 := DescribeExpr(rhs); text2 != text1 {
+			t.Fatalf("trial %d: not a fixpoint:\n  %s\n  %s", trial, text1, text2)
+		}
+	}
+}
+
+func TestPrintModuleFixpointOnARMStyleConstructs(t *testing.T) {
+	src := `
+module m #(parameter W = 8)(input clk, input [W-1:0] a, output reg [W-1:0] q, output w);
+  localparam HALF = W / 2;
+  wire [W-1:0] t;
+  supply0 gnd;
+  assign t = a ^ {W{1'b1}};
+  function [1:0] enc;
+    input [3:0] v;
+    begin
+      if (v[0]) enc = 2'd0;
+      else if (v[1]) enc = 2'd1;
+      else enc = 2'd3;
+    end
+  endfunction
+  assign w = enc(a[3:0]) == 2'd1;
+  always @(posedge clk) begin
+    if (a[0])
+      q <= t;
+  end
+  sub u_s (.x(t[0]), .y());
+endmodule
+module sub(input x, output y);
+  not (y, x);
+endmodule`
+	sf1, err := Parse("a.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := PrintFile(sf1)
+	sf2, err := Parse("b.v", p1)
+	if err != nil {
+		t.Fatalf("printed form does not re-parse: %v\n%s", err, p1)
+	}
+	if p2 := PrintFile(sf2); p2 != p1 {
+		t.Errorf("print not a fixpoint:\n--- 1 ---\n%s\n--- 2 ---\n%s", p1, p2)
+	}
+}
+
+func TestPrintCaseKinds(t *testing.T) {
+	src := `
+module m(input [1:0] s, output reg y);
+  always @(*) begin
+    casex (s)
+      2'b1x: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule`
+	sf, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(sf.Modules[0])
+	if !strings.Contains(out, "casex") {
+		t.Errorf("casex lost: %s", out)
+	}
+}
+
+func TestPrintSysCallAndWhile(t *testing.T) {
+	src := `
+module m;
+  reg [3:0] i;
+  initial begin
+    i = 0;
+    while (i < 4) begin
+      $display("i=%d", i);
+      i = i + 1;
+    end
+  end
+endmodule`
+	sf, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(sf.Modules[0])
+	for _, want := range []string{"while", "$display", "initial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Printed form re-parses.
+	if _, err := Parse("t2.v", out); err != nil {
+		t.Errorf("printed form does not re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestDescribeExprNumberWithoutText(t *testing.T) {
+	n := &Number{Width: 8, Value: 42}
+	if got := DescribeExpr(n); got != "8'd42" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintForLoop(t *testing.T) {
+	src := `
+module m(input [3:0] a, output reg [3:0] y);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 4; i = i + 1)
+      y[i] = a[3 - i];
+  end
+endmodule`
+	sf, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := PrintFile(sf)
+	sf2, err := Parse("t2.v", p1)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, p1)
+	}
+	if p2 := PrintFile(sf2); p2 != p1 {
+		t.Errorf("for-loop print not a fixpoint")
+	}
+}

@@ -1,0 +1,195 @@
+// Package verilog implements a lexer, parser and AST for the subset of
+// Verilog-2001 needed by the FACTOR methodology: register-transfer level
+// constructs (module/port/parameter declarations, continuous assigns,
+// always blocks with if/case/for/while, blocking and nonblocking
+// assignments) and structural constructs (module instances and gate
+// primitives).
+//
+// This plays the role of the "Rough Verilog Parser" that the original
+// PERL implementation of FACTOR was built on.
+package verilog
+
+import "fmt"
+
+// TokenKind classifies a lexical token.
+type TokenKind int
+
+// Token kinds. Operators that are also part of larger operators (for
+// example < and <=) are disambiguated by the lexer, which always emits
+// the longest match.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokSystemIdent // $display, $time, ...
+	TokNumber
+	TokString
+	TokKeyword
+
+	// Punctuation.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokComma    // ,
+	TokSemi     // ;
+	TokColon    // :
+	TokDot      // .
+	TokHash     // #
+	TokAt       // @
+	TokQuestion // ?
+	TokEquals   // =
+
+	// Operators.
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokAmpAmp  // &&
+	TokPipe    // |
+	TokPipeBar // ||
+	TokCaret   // ^
+	TokTildeCaret
+	TokTilde       // ~
+	TokTildeAmp    // ~&
+	TokTildePipe   // ~|
+	TokBang        // !
+	TokEqEq        // ==
+	TokBangEq      // !=
+	TokEqEqEq      // ===
+	TokBangEqEq    // !==
+	TokLess        // <
+	TokLessEq      // <=  (also nonblocking assign)
+	TokGreater     // >
+	TokGreaterEq   // >=
+	TokShiftLeft   // <<
+	TokShiftRight  // >>
+	TokShiftRight3 // >>> (arithmetic)
+	TokShiftLeft3  // <<<
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:         "EOF",
+	TokIdent:       "identifier",
+	TokSystemIdent: "system identifier",
+	TokNumber:      "number",
+	TokString:      "string",
+	TokKeyword:     "keyword",
+	TokLParen:      "(",
+	TokRParen:      ")",
+	TokLBracket:    "[",
+	TokRBracket:    "]",
+	TokLBrace:      "{",
+	TokRBrace:      "}",
+	TokComma:       ",",
+	TokSemi:        ";",
+	TokColon:       ":",
+	TokDot:         ".",
+	TokHash:        "#",
+	TokAt:          "@",
+	TokQuestion:    "?",
+	TokEquals:      "=",
+	TokPlus:        "+",
+	TokMinus:       "-",
+	TokStar:        "*",
+	TokSlash:       "/",
+	TokPercent:     "%",
+	TokAmp:         "&",
+	TokAmpAmp:      "&&",
+	TokPipe:        "|",
+	TokPipeBar:     "||",
+	TokCaret:       "^",
+	TokTildeCaret:  "~^",
+	TokTilde:       "~",
+	TokTildeAmp:    "~&",
+	TokTildePipe:   "~|",
+	TokBang:        "!",
+	TokEqEq:        "==",
+	TokBangEq:      "!=",
+	TokEqEqEq:      "===",
+	TokBangEqEq:    "!==",
+	TokLess:        "<",
+	TokLessEq:      "<=",
+	TokGreater:     ">",
+	TokGreaterEq:   ">=",
+	TokShiftLeft:   "<<",
+	TokShiftRight:  ">>",
+	TokShiftRight3: ">>>",
+	TokShiftLeft3:  "<<<",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text (identifier name, keyword, number literal...)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokKeyword, TokNumber, TokSystemIdent, TokString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Pos is a position in a source file, 1-based.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// keywords is the set of Verilog keywords recognized by the parser.
+// Keywords outside the supported subset are still lexed as keywords so
+// the parser can produce a precise error.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true, "integer": true,
+	"parameter": true, "localparam": true,
+	"assign": true,
+	"always": true, "initial": true,
+	"begin": true, "end": true,
+	"if": true, "else": true,
+	"case": true, "casez": true, "casex": true, "endcase": true,
+	"default": true,
+	"for":     true, "while": true,
+	"posedge": true, "negedge": true, "or": true,
+	"and": true, "nand": true, "nor": true, "xor": true,
+	"xnor": true, "not": true, "buf": true,
+	"supply0": true, "supply1": true,
+	"signed":   true,
+	"function": true, "endfunction": true,
+	"task": true, "endtask": true,
+	"generate": true, "endgenerate": true, "genvar": true,
+}
+
+// IsKeyword reports whether s is a recognized Verilog keyword.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// gatePrimitives is the set of built-in gate primitive keywords.
+var gatePrimitives = map[string]bool{
+	"and": true, "nand": true, "or": true, "nor": true,
+	"xor": true, "xnor": true, "not": true, "buf": true,
+}
+
+// IsGatePrimitive reports whether s names a built-in gate primitive.
+func IsGatePrimitive(s string) bool { return gatePrimitives[s] }
