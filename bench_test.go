@@ -298,6 +298,41 @@ func BenchmarkAblationCompositionReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelScaling runs the full ATPG flow (random phase +
+// deterministic PODEM) on the stand-alone ALU at several worker counts.
+// The engine is deterministic by construction, so the sub-benchmarks
+// must report identical coverage; the interesting metric is wall-clock
+// per op as -j grows. On a multi-core host -j 4 should be well over 2x
+// faster than -j 1; on a single-core host (GOMAXPROCS=1) the times
+// collapse to parity, which is itself a useful sanity check that the
+// parallel scaffolding adds little overhead.
+func BenchmarkParallelScaling(b *testing.B) {
+	res, err := arm.SynthesizeModule("arm_alu", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Universe(res.Netlist)
+	var refCov float64
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run("j-"+itoa(j), func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				r := atpg.New(res.Netlist, atpg.Options{
+					Seed: 1, MaxFrames: 4, BacktrackLimit: 150,
+					RandomSequences: 32, Workers: j,
+				}).Run(faults)
+				cov = r.Coverage()
+			}
+			b.ReportMetric(cov, "coverage-%")
+			if j == 1 {
+				refCov = cov
+			} else if cov != refCov {
+				b.Fatalf("coverage at -j %d (%v%%) differs from -j 1 (%v%%): determinism broken", j, cov, refCov)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationCompaction measures reverse-order static compaction
 // of a full ATPG test set for the stand-alone ALU.
 func BenchmarkAblationCompaction(b *testing.B) {

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	atpg [-design file.v] [-top module] [-budget 10s] [-frames N]
-//	     [-scope prefix] [-v]
+//	     [-scope prefix] [-j N] [-compact] [-dump file] [-v]
 //
 // Without -design the built-in ARM benchmark SoC is used (-top selects
 // any of its modules; default is the full chip). -scope restricts the
 // fault list to gates of one instance subtree (e.g. -scope u_core.u_alu).
+// -j sets the worker count for the parallel random-phase fault
+// simulation and deterministic PODEM searches (0 = all CPU cores);
+// results are identical for every worker count.
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 	verbose := flag.Bool("v", false, "list undetected faults")
 	dump := flag.String("dump", "", "write the generated test sequences to this file")
 	compact := flag.Bool("compact", false, "statically compact the test set (reverse-order fault simulation)")
+	workers := flag.Int("j", 0, "worker goroutines for ATPG and fault simulation (0 = all CPU cores)")
 	flag.Parse()
 
 	nl, err := loadNetlist(*designFile, *top, *width)
@@ -61,11 +65,14 @@ func main() {
 	}
 	fmt.Printf("targeting %d collapsed stuck-at faults\n", len(faults))
 
+	fmt.Printf("workers: %d\n", fault.ResolveWorkers(*workers))
+
 	eng := atpg.New(nl, atpg.Options{
 		Seed:           *seed,
 		TimeBudget:     *budget,
 		MaxFrames:      *frames,
 		BacktrackLimit: *backtracks,
+		Workers:        *workers,
 	})
 	start := time.Now()
 	res := eng.Run(faults)

@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	benchtables [-table N] [-width W] [-budget D] [-seed S]
+//	benchtables [-table N] [-width W] [-budget D] [-seed S] [-j N]
 //
-// With no -table flag all six tables are produced in order. Table 4
+// -j sets the worker count for parallel constraint extraction and
+// ATPG (0 = all CPU cores); table contents are identical for every
+// worker count. With no -table flag all six tables are produced in
+// order. Table 4
 // (raw chip-level ATPG) is the slowest by design: it demonstrates the
 // problem the methodology solves.
 package main
@@ -25,6 +28,7 @@ func main() {
 	budget := flag.Duration("budget", 10*time.Second, "ATPG time budget per module")
 	seed := flag.Int64("seed", 1, "ATPG random seed")
 	frames := flag.Int("frames", 8, "time-frame budget for sequential ATPG")
+	workers := flag.Int("j", 0, "worker goroutines for extraction and ATPG (0 = all CPU cores)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -32,6 +36,7 @@ func main() {
 		ATPGBudget: *budget,
 		Seed:       *seed,
 		MaxFrames:  *frames,
+		Workers:    *workers,
 	}
 	ctx, err := bench.NewContext(cfg)
 	if err != nil {

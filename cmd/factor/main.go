@@ -5,16 +5,23 @@
 //
 // Usage:
 //
-//	factor -mut <instance.path> [-design file.v] [-top name]
-//	       [-mode flat|composed] [-piers] [-o out.v] [-stats]
+//	factor -mut <instance.path>[,<instance.path>...] [-design file.v]
+//	       [-top name] [-mode flat|composed] [-piers] [-o out.v]
+//	       [-dir outdir] [-j N] [-stats]
 //
 // Without -design the built-in ARM2-class benchmark SoC is used.
+// Several comma-separated MUT paths are extracted concurrently over -j
+// workers (0 = all CPU cores) with a shared constraint cache, so
+// intermediate modules common to several MUTs are analyzed once;
+// multi-MUT mode requires -dir and writes one subdirectory per MUT.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"factor/internal/arm"
@@ -26,17 +33,26 @@ import (
 func main() {
 	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
 	top := flag.String("top", "", "top module (default: first module, or 'arm' for the built-in design)")
-	mut := flag.String("mut", "", "hierarchical instance path of the module under test (required)")
+	mut := flag.String("mut", "", "hierarchical instance path(s) of the module(s) under test, comma-separated (required)")
 	mode := flag.String("mode", "composed", "extraction mode: flat | composed")
 	piers := flag.Bool("piers", false, "identify PIERs and add load/observe points to the netlist view")
 	out := flag.String("o", "", "write the transformed Verilog here (default stdout)")
 	outDir := flag.String("dir", "", "write one file per module into this directory (the paper's \"retains the original directory structure\")")
 	stats := flag.Bool("stats", true, "print extraction statistics to stderr")
 	width := flag.Int("width", 16, "datapath width parameter W (built-in design)")
+	workers := flag.Int("j", 0, "worker goroutines for multi-MUT extraction (0 = all CPU cores)")
 	flag.Parse()
 
 	if *mut == "" {
 		fmt.Fprintln(os.Stderr, "factor: -mut is required (e.g. -mut u_core.u_alu)")
+		os.Exit(2)
+	}
+	muts := strings.Split(*mut, ",")
+	for i := range muts {
+		muts[i] = strings.TrimSpace(muts[i])
+	}
+	if len(muts) > 1 && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "factor: multiple -mut paths require -dir (one subdirectory per MUT)")
 		os.Exit(2)
 	}
 
@@ -57,50 +73,63 @@ func main() {
 
 	ext := core.NewExtractor(d, m)
 	start := time.Now()
-	tr, err := core.Transform(ext, *mut, nil, core.TransformOptions{
+	trs, err := core.TransformAll(ext, muts, nil, core.TransformOptions{
 		TopParams:   params,
 		EnablePIERs: *piers,
-	})
+	}, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
-		}
-		for _, m := range tr.Source.Modules {
-			path := *outDir + "/" + m.Name + ".v"
-			if err := os.WriteFile(path, []byte(verilog.Print(m)), 0o644); err != nil {
+	multi := len(muts) > 1
+	for _, tr := range trs {
+		if *outDir != "" {
+			// Each MUT gets its own subdirectory in multi-MUT mode so
+			// specialized modules of different MUTs cannot collide.
+			dir := *outDir
+			if multi {
+				dir = filepath.Join(dir, strings.ReplaceAll(tr.MUTPath, ".", "_"))
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
 				fatal(err)
 			}
-		}
-		fmt.Fprintf(os.Stderr, "factor: wrote %d module files to %s\n", len(tr.Source.Modules), *outDir)
-	} else {
-		text := verilog.PrintFile(tr.Source)
-		if *out == "" {
-			fmt.Print(text)
-		} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			fatal(err)
+			for _, m := range tr.Source.Modules {
+				path := filepath.Join(dir, m.Name+".v")
+				if err := os.WriteFile(path, []byte(verilog.Print(m)), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "factor: wrote %d module files to %s\n", len(tr.Source.Modules), dir)
+		} else {
+			text := verilog.PrintFile(tr.Source)
+			if *out == "" {
+				fmt.Print(text)
+			} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "factor: MUT %s (%s), mode %s\n", tr.MUTModule, tr.MUTPath, tr.Mode)
-		fmt.Fprintf(os.Stderr, "  transformed top: %s\n", tr.TopName)
-		fmt.Fprintf(os.Stderr, "  MUT gates: %d, environment gates: %d\n", tr.MUTGates, tr.EnvGates)
-		fmt.Fprintf(os.Stderr, "  interface: %d PIs, %d POs\n", tr.PIs, tr.POs)
-		fmt.Fprintf(os.Stderr, "  PIERs: %d\n", len(tr.PIERs))
-		fmt.Fprintf(os.Stderr, "  extraction %v (%d work items), synthesis %v, total %v\n",
-			tr.ExtractTime.Round(time.Microsecond), tr.WorkItems,
-			tr.SynthTime.Round(time.Microsecond), elapsed.Round(time.Microsecond))
-		for _, dg := range tr.Diags {
-			fmt.Fprintf(os.Stderr, "  testability: %s\n", dg)
+		for _, tr := range trs {
+			fmt.Fprintf(os.Stderr, "factor: MUT %s (%s), mode %s\n", tr.MUTModule, tr.MUTPath, tr.Mode)
+			fmt.Fprintf(os.Stderr, "  transformed top: %s\n", tr.TopName)
+			fmt.Fprintf(os.Stderr, "  MUT gates: %d, environment gates: %d\n", tr.MUTGates, tr.EnvGates)
+			fmt.Fprintf(os.Stderr, "  interface: %d PIs, %d POs\n", tr.PIs, tr.POs)
+			fmt.Fprintf(os.Stderr, "  PIERs: %d\n", len(tr.PIERs))
+			fmt.Fprintf(os.Stderr, "  extraction %v (%d work items), synthesis %v\n",
+				tr.ExtractTime.Round(time.Microsecond), tr.WorkItems,
+				tr.SynthTime.Round(time.Microsecond))
+			for _, dg := range tr.Diags {
+				fmt.Fprintf(os.Stderr, "  testability: %s\n", dg)
+			}
+			for _, w := range tr.Warnings {
+				fmt.Fprintf(os.Stderr, "  synth: %s\n", w)
+			}
 		}
-		for _, w := range tr.Warnings {
-			fmt.Fprintf(os.Stderr, "  synth: %s\n", w)
-		}
+		fmt.Fprintf(os.Stderr, "factor: %d MUT(s) in %v; cache hits %d, misses %d\n",
+			len(trs), elapsed.Round(time.Microsecond), ext.CacheHits, ext.CacheMisses)
 	}
 }
 

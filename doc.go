@@ -13,6 +13,13 @@
 // (internal/bench). Command-line tools are under cmd/ and runnable
 // examples under examples/.
 //
+// ATPG, fault simulation and multi-MUT constraint extraction run on a
+// worker pool (the -j flag on every CLI; 0 = all CPU cores) and are
+// deterministic by construction: results are bit-identical for any
+// worker count. DESIGN.md's "Concurrency architecture" section
+// documents the worker topology, the state-ownership map and the
+// deterministic-merge contract.
+//
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured comparison. The benchmarks in bench_test.go

@@ -2,6 +2,8 @@ package atpg
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"factor/internal/fault"
@@ -29,6 +31,13 @@ type Options struct {
 	TimeBudget time.Duration
 	// DisableRandomPhase skips random patterns (ablation).
 	DisableRandomPhase bool
+	// Workers is the number of worker goroutines for the random-phase
+	// fault simulation and the deterministic-phase PODEM searches.
+	// <= 0 selects runtime.NumCPU(). Results are identical for every
+	// worker count (see DESIGN.md, "Concurrency architecture"), except
+	// under TimeBudget pressure where which faults get attempted before
+	// the deadline is inherently timing-dependent.
+	Workers int
 }
 
 func (o Options) withDefaults(nl *netlist.Netlist) Options {
@@ -61,24 +70,46 @@ func clamp(v, lo, hi int) int {
 	return v
 }
 
+// statics bundles the per-netlist read-only data shared by every PODEM
+// search: evaluation order, fanout lists, PO membership, and SCOAP-like
+// testability measures. Computed once per Engine; worker goroutines
+// share it without synchronization because nothing mutates it after
+// construction.
+type statics struct {
+	order    []int
+	fanouts  [][]int
+	poSet    map[int]bool
+	cc0, cc1 []int
+	obs      []int
+}
+
 // Engine runs test generation for a netlist.
 type Engine struct {
-	nl   *netlist.Netlist
-	opts Options
-	cc0  []int
-	cc1  []int
-	obs  []int
+	nl      *netlist.Netlist
+	opts    Options
+	workers int
+	st      *statics
 }
 
 // New builds an engine; static testability measures are computed once.
 func New(nl *netlist.Netlist, opts Options) *Engine {
 	cc0, cc1 := controllability(nl)
+	poSet := make(map[int]bool, len(nl.POs))
+	for _, po := range nl.POs {
+		poSet[po] = true
+	}
 	return &Engine{
-		nl:   nl,
-		opts: opts.withDefaults(nl),
-		cc0:  cc0,
-		cc1:  cc1,
-		obs:  observationDistance(nl),
+		nl:      nl,
+		opts:    opts.withDefaults(nl),
+		workers: fault.ResolveWorkers(opts.Workers),
+		st: &statics{
+			order:   nl.TopoOrder(),
+			fanouts: nl.Fanouts(),
+			poSet:   poSet,
+			cc0:     cc0,
+			cc1:     cc1,
+			obs:     observationDistance(nl),
+		},
 	}
 }
 
@@ -115,12 +146,41 @@ func (r *RunResult) Efficiency() float64 {
 // TotalTime is random-phase plus deterministic-phase time.
 func (r *RunResult) TotalTime() time.Duration { return r.RandomTime + r.DetTime }
 
+// mix64 is a splitmix64-style mixer: it derives an independent,
+// well-distributed RNG seed from (base seed, stream index). Giving
+// every random sequence and every random fill its own seeded stream —
+// instead of sharing one RNG whose consumption order would depend on
+// scheduling — is what makes the random phase and the deterministic
+// fill reproducible for any worker count.
+func mix64(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Stream tags keep the per-sequence and per-fault RNG families
+// disjoint even though both derive from Options.Seed.
+const (
+	streamRandomSeq = int64(0x52414e44) // random-phase sequence i
+	streamFill      = int64(0x46494c4c) // random fill for fault i
+)
+
 // Run executes the two-phase flow over the given target faults.
+//
+// Both phases fan out over Options.Workers goroutines; the merged
+// result is bit-identical to a single-worker run (same detected set,
+// same tests in the same order) except under TimeBudget pressure. The
+// random phase computes each fault's first detecting sequence — an
+// intrinsic property independent of fault dropping — and replays the
+// canonical drop order afterwards. The deterministic phase runs PODEM
+// speculatively in fault-list chunks and merges chunk results in list
+// order, replaying exactly the serial drop/fill/simulate semantics;
+// see DESIGN.md, "Concurrency architecture".
 func (e *Engine) Run(faults []fault.Fault) *RunResult {
 	res := fault.NewResult(faults)
 	out := &RunResult{Result: res, TotalFaults: len(faults)}
-	rng := rand.New(rand.NewSource(e.opts.Seed))
-	ps := fault.NewParallel(e.nl)
+	pool := fault.NewPool(e.nl, e.workers)
 
 	deadline := time.Time{}
 	if e.opts.TimeBudget > 0 {
@@ -130,69 +190,201 @@ func (e *Engine) Run(faults []fault.Fault) *RunResult {
 	// Phase 1: random sequences with fault dropping.
 	start := time.Now()
 	if !e.opts.DisableRandomPhase {
-		for i := 0; i < e.opts.RandomSequences; i++ {
-			if res.NumDetected() == len(faults) {
-				break
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				break
-			}
-			seq := e.randomSequence(rng)
-			if n := ps.RunSequence(res, seq); n > 0 {
-				out.Tests = append(out.Tests, seq)
-				out.DetectedRandom += n
-			}
-		}
+		e.randomPhase(out, deadline)
 	}
 	out.RandomTime = time.Since(start)
 
 	// Phase 2: deterministic PODEM with time-frame expansion and fault
 	// dropping.
 	start = time.Now()
-	for i := range faults {
-		if res.Detected[i] {
-			continue
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			out.NotAttempted++
-			continue
-		}
-		seq, status := e.testFault(faults[i], deadline)
-		switch status {
-		case Detected:
-			filled := e.fillRandom(seq, rng)
-			before := res.NumDetected()
-			ps.RunSequence(res, filled)
-			if !res.Detected[i] {
-				// Random fill can mask the detection through X-optimism
-				// differences; fall back to the unfilled sequence.
-				ps.RunSequence(res, seq)
-			}
-			if !res.Detected[i] {
-				// The PODEM model and the fault simulator agree on
-				// 3-valued semantics, so this should not happen; count
-				// it as aborted to stay conservative.
-				out.AbortedNum++
-				continue
-			}
-			out.Tests = append(out.Tests, filled)
-			out.DetectedDet += res.NumDetected() - before
-		case Untestable:
-			out.UntestableNum++
-		case Aborted:
-			out.AbortedNum++
-		}
-	}
+	e.deterministicPhase(out, pool, deadline)
 	out.DetTime = time.Since(start)
 	return out
 }
 
+// randomPhase generates the whole random-sequence budget up front (each
+// sequence from its own seeded RNG), computes per-fault first-detection
+// indices in parallel, and then merges in sequence order: sequence i is
+// kept iff it is the first detector of at least one fault. That merge
+// is exactly what serial dropped simulation produces — a dropped pass
+// detects fault f with sequence i iff i is f's first detector — so the
+// outcome is independent of worker count.
+func (e *Engine) randomPhase(out *RunResult, deadline time.Time) {
+	res := out.Result
+	seqs := make([]fault.Sequence, e.opts.RandomSequences)
+	for i := range seqs {
+		rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamRandomSeq+int64(i)<<8)))
+		seqs[i] = e.randomSequence(rng)
+	}
+	first := fault.FirstDetections(e.nl, res.Faults, seqs, e.workers, deadline)
+
+	detBySeq := make([]int, len(seqs))
+	for fi, si := range first {
+		if si >= 0 {
+			res.Detected[fi] = true
+			detBySeq[si]++
+		}
+	}
+	for si, n := range detBySeq {
+		if n > 0 {
+			out.Tests = append(out.Tests, seqs[si])
+			out.DetectedRandom += n
+		}
+	}
+}
+
+// Chunk-result classification for the deterministic phase.
+const (
+	specAttempted = iota // testFault ran; status/seq are valid
+	specSkipped          // worker observed the fault already detected
+	specDeadline         // worker reached the fault after the deadline
+)
+
+// specResult is one worker's speculative outcome for one fault.
+type specResult struct {
+	kind   int
+	status Status
+	seq    fault.Sequence
+}
+
+// deterministicPhase runs PODEM over the undetected faults with a
+// speculative ordered merge. Workers pull contiguous fault-list chunks
+// from a shared counter and search each fault independently (checking
+// the shared canonical detected-set at pickup purely as an
+// optimization); the merger — this goroutine — consumes chunk results
+// strictly in fault-list order and replays the serial semantics:
+// canonically detected faults are dropped, detected tests are
+// random-filled with a per-fault-index RNG and fault-simulated to
+// update the canonical set. Because the canonical detected-set only
+// ever grows, a worker that observed "detected" and skipped is always
+// confirmed by the merger, and a worker that searched a fault the
+// merger later drops just wasted speculative work — either way the
+// merged output matches a single-worker run exactly.
+func (e *Engine) deterministicPhase(out *RunResult, pool *fault.Pool, deadline time.Time) {
+	res := out.Result
+	var pending []int
+	for i := range res.Faults {
+		if !res.Detected[i] {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	// Chunk size depends only on (len(pending), workers) — never on
+	// timing — so the chunk boundaries, and therefore the merge replay,
+	// are reproducible. Small chunks keep workers load-balanced; the
+	// clamp bounds per-chunk result buffering.
+	cs := clamp(len(pending)/(e.workers*4), 1, 64)
+	nchunks := (len(pending) + cs - 1) / cs
+
+	// mu guards the canonical detected-set (res.Detected) and the pool
+	// simulators used by the merger. Workers take it only for the
+	// skip-check snapshot at fault pickup.
+	var mu sync.Mutex
+	chans := make([]chan []specResult, nchunks)
+	for i := range chans {
+		chans[i] = make(chan []specResult, 1)
+	}
+
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * cs
+				hi := min(lo+cs, len(pending))
+				results := make([]specResult, hi-lo)
+				for k, fi := range pending[lo:hi] {
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						results[k] = specResult{kind: specDeadline}
+						continue
+					}
+					mu.Lock()
+					dropped := res.Detected[fi]
+					mu.Unlock()
+					if dropped {
+						results[k] = specResult{kind: specSkipped}
+						continue
+					}
+					seq, status := e.testFault(res.Faults[fi], deadline)
+					results[k] = specResult{kind: specAttempted, status: status, seq: seq}
+				}
+				chans[c] <- results
+			}
+		}()
+	}
+
+	for c := 0; c < nchunks; c++ {
+		results := <-chans[c]
+		lo := c * cs
+		for k, r := range results {
+			fi := pending[lo+k]
+			mu.Lock()
+			dropped := res.Detected[fi]
+			mu.Unlock()
+			if dropped {
+				continue
+			}
+			if r.kind == specDeadline {
+				out.NotAttempted++
+				continue
+			}
+			if r.kind == specSkipped {
+				// Unreachable when the monotonicity invariant holds (the
+				// canonical set never shrinks), but dropping must stay an
+				// optimization, never a correctness dependency: recompute.
+				r.seq, r.status = e.testFault(res.Faults[fi], deadline)
+			}
+			switch r.status {
+			case Detected:
+				rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamFill+int64(fi)<<8)))
+				filled := e.fillRandom(r.seq, rng)
+				mu.Lock()
+				before := res.NumDetected()
+				pool.RunSequence(res, filled)
+				if !res.Detected[fi] {
+					// Random fill can mask the detection through X-optimism
+					// differences; fall back to the unfilled sequence.
+					pool.RunSequence(res, r.seq)
+				}
+				detected := res.Detected[fi]
+				newly := res.NumDetected() - before
+				mu.Unlock()
+				if !detected {
+					// The PODEM model and the fault simulator agree on
+					// 3-valued semantics, so this should not happen; count
+					// it as aborted to stay conservative.
+					out.AbortedNum++
+					continue
+				}
+				out.Tests = append(out.Tests, filled)
+				out.DetectedDet += newly
+			case Untestable:
+				out.UntestableNum++
+			case Aborted:
+				out.AbortedNum++
+			}
+		}
+	}
+	wg.Wait()
+}
+
 // testFault escalates time frames until the fault is detected, proven
-// untestable at the maximum frame budget, or aborted.
+// untestable at the maximum frame budget, or aborted. The search is
+// fully deterministic: given the same (fault, options), it returns the
+// same sequence regardless of which goroutine runs it.
 func (e *Engine) testFault(f fault.Fault, deadline time.Time) (fault.Sequence, Status) {
 	last := Untestable
 	for frames := 1; frames <= e.opts.MaxFrames; frames++ {
-		p := newPodem(e.nl, f, frames, e.opts.BacktrackLimit, deadline, e.cc0, e.cc1, e.obs)
+		p := newPodem(e.nl, f, frames, e.opts.BacktrackLimit, deadline, e.st)
 		seq, status := p.run()
 		switch status {
 		case Detected:

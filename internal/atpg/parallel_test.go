@@ -1,0 +1,161 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"factor/internal/arm"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+)
+
+// runsEqual compares everything the determinism contract promises:
+// detection marks, the test set (content and order), and the phase
+// counters.
+func runsEqual(t *testing.T, name string, a, b *RunResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Result.Detected, b.Result.Detected) {
+		t.Errorf("%s: detection marks diverge", name)
+	}
+	if !reflect.DeepEqual(a.Tests, b.Tests) {
+		t.Errorf("%s: test sequences diverge (%d vs %d)", name, len(a.Tests), len(b.Tests))
+	}
+	if a.DetectedRandom != b.DetectedRandom || a.DetectedDet != b.DetectedDet ||
+		a.UntestableNum != b.UntestableNum || a.AbortedNum != b.AbortedNum ||
+		a.NotAttempted != b.NotAttempted {
+		t.Errorf("%s: counters diverge: %+v vs %+v", name,
+			[5]int{a.DetectedRandom, a.DetectedDet, a.UntestableNum, a.AbortedNum, a.NotAttempted},
+			[5]int{b.DetectedRandom, b.DetectedDet, b.UntestableNum, b.AbortedNum, b.NotAttempted})
+	}
+	if a.Coverage() != b.Coverage() {
+		t.Errorf("%s: coverage diverges: %v vs %v", name, a.Coverage(), b.Coverage())
+	}
+}
+
+// randomSeqCircuit mirrors the fault package's random circuit builder:
+// enough gates for multi-chunk scheduling, with flip-flops.
+func randomSeqCircuit(rng *rand.Rand, nIn, nGates int) *netlist.Netlist {
+	n := netlist.New("rand")
+	for i := 0; i < nIn; i++ {
+		n.AddInput(string(rune('a' + i)))
+	}
+	for i := 0; i < nGates; i++ {
+		sz := len(n.Gates)
+		f1, f2, f3 := rng.Intn(sz), rng.Intn(sz), rng.Intn(sz)
+		switch rng.Intn(7) {
+		case 0:
+			n.AddGate(netlist.And, f1, f2)
+		case 1:
+			n.AddGate(netlist.Or, f1, f2)
+		case 2:
+			n.AddGate(netlist.Xor, f1, f2)
+		case 3:
+			n.AddGate(netlist.Nand, f1, f2)
+		case 4:
+			n.AddGate(netlist.Not, f1)
+		case 5:
+			n.AddGate(netlist.Mux, f1, f2, f3)
+		case 6:
+			n.AddGate(netlist.DFF, f1)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		n.AddOutput("y"+string(rune('0'+i)), rng.Intn(len(n.Gates)))
+	}
+	return n
+}
+
+// TestRunWorkerInvariance is the core acceptance criterion of the
+// parallel engine: for any worker count the full run result is
+// bit-identical to a single-worker run (no TimeBudget, so the one
+// legitimate source of nondeterminism is off).
+func TestRunWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	circuits := []*netlist.Netlist{
+		buildC17ish(),
+		buildShiftChain(),
+		randomSeqCircuit(rng, 5, 140),
+		randomSeqCircuit(rng, 6, 200),
+	}
+	for ci, nl := range circuits {
+		faults := fault.Universe(nl)
+		base := Options{Seed: 5, MaxFrames: 4, BacktrackLimit: 64, RandomSequences: 8}
+
+		o1 := base
+		o1.Workers = 1
+		ref := New(nl, o1).Run(faults)
+		for _, w := range []int{2, 4, 8} {
+			ow := base
+			ow.Workers = w
+			got := New(nl, ow).Run(faults)
+			runsEqual(t, formatName(ci, w), ref, got)
+		}
+	}
+}
+
+func formatName(circuit, workers int) string {
+	return "circuit " + string(rune('0'+circuit)) + " workers " + string(rune('0'+workers))
+}
+
+// TestARMALUDeterminism runs the real ARM ALU workload serial vs -j 8
+// and demands identical fault coverage and pattern counts — the
+// ISSUE's acceptance test on real hardware description input.
+func TestARMALUDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ARM ALU synthesis + two ATPG runs in -short mode")
+	}
+	res, err := arm.SynthesizeModule("arm_alu", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.Netlist
+	faults := fault.Universe(nl)
+	base := Options{Seed: 1, MaxFrames: 3, BacktrackLimit: 100, RandomSequences: 16}
+
+	o1 := base
+	o1.Workers = 1
+	serial := New(nl, o1).Run(faults)
+	o8 := base
+	o8.Workers = 8
+	parallel := New(nl, o8).Run(faults)
+
+	if serial.Coverage() != parallel.Coverage() {
+		t.Errorf("coverage: serial %.4f%% vs -j8 %.4f%%", serial.Coverage(), parallel.Coverage())
+	}
+	if len(serial.Tests) != len(parallel.Tests) {
+		t.Errorf("pattern count: serial %d vs -j8 %d", len(serial.Tests), len(parallel.Tests))
+	}
+	runsEqual(t, "arm_alu", serial, parallel)
+	if serial.Coverage() < 50 {
+		t.Errorf("suspiciously low ALU coverage %.1f%%; workload may be degenerate", serial.Coverage())
+	}
+}
+
+// TestDetectedSetHammer drives the shared canonical detected-set and
+// the speculative merge from many goroutines at once (run under -race
+// in CI): a fault-rich circuit, many workers, tiny chunks.
+func TestDetectedSetHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nl := randomSeqCircuit(rng, 6, 260)
+	faults := fault.Universe(nl)
+	opts := Options{Seed: 3, MaxFrames: 3, BacktrackLimit: 32, RandomSequences: 4, Workers: 12}
+	got := New(nl, opts).Run(faults)
+
+	ref := New(nl, Options{Seed: 3, MaxFrames: 3, BacktrackLimit: 32, RandomSequences: 4, Workers: 1}).Run(faults)
+	runsEqual(t, "hammer", ref, got)
+}
+
+func TestMix64Streams(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		v := mix64(1, i)
+		if seen[v] {
+			t.Fatalf("mix64 collision at stream %d", i)
+		}
+		seen[v] = true
+	}
+	if mix64(1, 0) == mix64(2, 0) {
+		t.Error("mix64 ignores the seed")
+	}
+}

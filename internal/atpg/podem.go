@@ -64,19 +64,25 @@ type podem struct {
 	// otherwise. Indexed by gate ID (only PI slots used).
 	assigned [][]sim.Logic
 
-	cc0, cc1 []int // static 0/1-controllability per gate
-	obsDist  []int // static distance-to-observation per gate
+	cc0, cc1 []int          // static 0/1-controllability per gate
+	obsDist  []int          // static distance-to-observation per gate
+	fanouts  [][]int        // shared read-only fanout lists
+	poSet    map[int]bool   // shared read-only PO membership
 
 	backtracks int
 	limit      int
 	deadline   time.Time
 }
 
-func newPodem(nl *netlist.Netlist, f fault.Fault, frames, limit int, deadline time.Time, cc0, cc1, obs []int) *podem {
+// newPodem builds one search over the shared per-netlist statics. The
+// statics are read-only, so concurrent searches on different goroutines
+// share them safely.
+func newPodem(nl *netlist.Netlist, f fault.Fault, frames, limit int, deadline time.Time, st *statics) *podem {
 	p := &podem{
-		nl: nl, order: nl.TopoOrder(), flt: f, frames: frames,
+		nl: nl, order: st.order, flt: f, frames: frames,
 		limit: limit, deadline: deadline,
-		cc0: cc0, cc1: cc1, obsDist: obs,
+		cc0: st.cc0, cc1: st.cc1, obsDist: st.obs,
+		fanouts: st.fanouts, poSet: st.poSet,
 	}
 	p.good = make([][]sim.Logic, frames)
 	p.bad = make([][]sim.Logic, frames)
@@ -563,11 +569,7 @@ type decision struct {
 // run executes the PODEM search. It returns the discovered test
 // sequence on success.
 func (p *podem) run() (fault.Sequence, Status) {
-	fanouts := p.nl.Fanouts()
-	poSet := map[int]bool{}
-	for _, po := range p.nl.POs {
-		poSet[po] = true
-	}
+	fanouts, poSet := p.fanouts, p.poSet
 	var stack []decision
 	for iter := 0; ; iter++ {
 		if iter&63 == 0 && !p.deadline.IsZero() && time.Now().After(p.deadline) {

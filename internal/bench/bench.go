@@ -40,6 +40,10 @@ type Config struct {
 	BacktrackLimit int
 	// RandomSequences for the ATPG random phase (0 = default).
 	RandomSequences int
+	// Workers is the worker count for parallel extraction and ATPG
+	// (<= 0 selects runtime.NumCPU()). Table contents are identical for
+	// any worker count; only wall-clock timings change.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +75,7 @@ func (c Config) atpgOptions() atpg.Options {
 		MaxFrames:       c.MaxFrames,
 		BacktrackLimit:  c.BacktrackLimit,
 		RandomSequences: c.RandomSequences,
+		Workers:         c.Workers,
 	}
 }
 
@@ -188,12 +193,18 @@ func (c *Context) Table3() ([]Row23, error) { return c.table23(core.ModeComposed
 
 func (c *Context) table23(mode core.Mode) ([]Row23, error) {
 	ext := core.NewExtractor(c.Design, mode)
+	muts := arm.MUTs()
+	paths := make([]string, len(muts))
+	for i, mut := range muts {
+		paths[i] = mut.Path
+	}
+	trs, err := core.TransformAll(ext, paths, c.Full, core.TransformOptions{TopParams: c.params()}, c.Cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row23
-	for _, mut := range arm.MUTs() {
-		tr, err := core.Transform(ext, mut.Path, c.Full, core.TransformOptions{TopParams: c.params()})
-		if err != nil {
-			return nil, err
-		}
+	for i, mut := range muts {
+		tr := trs[i]
 		rows = append(rows, Row23{
 			Module:           mut.Module,
 			ExtractionTime:   tr.ExtractTime,
@@ -288,16 +299,22 @@ func (c *Context) Table6() ([]Row56, error) {
 
 func (c *Context) table56(mode core.Mode, pierDepth int) ([]Row56, error) {
 	ext := core.NewExtractor(c.Design, mode)
+	muts := arm.MUTs()
+	paths := make([]string, len(muts))
+	for i, mut := range muts {
+		paths[i] = mut.Path
+	}
+	trs, err := core.TransformAll(ext, paths, c.Full, core.TransformOptions{
+		TopParams:    c.params(),
+		EnablePIERs:  true,
+		PIERMaxDepth: pierDepth,
+	}, c.Cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row56
-	for _, mut := range arm.MUTs() {
-		tr, err := core.Transform(ext, mut.Path, c.Full, core.TransformOptions{
-			TopParams:    c.params(),
-			EnablePIERs:  true,
-			PIERMaxDepth: pierDepth,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, mut := range muts {
+		tr := trs[i]
 		faults := fault.UniverseRestrictedTo(tr.Netlist, tr.MUTFaultFilter())
 		start := time.Now()
 		res := atpg.New(tr.Netlist, c.atpgOpts()).Run(faults)

@@ -20,8 +20,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"factor/internal/design"
 	"factor/internal/verilog"
@@ -93,21 +96,39 @@ func pathOr(p, alt string) string {
 // Extractor runs constraint extraction over an analyzed design. It can
 // be reused across MUTs; in ModeComposed the module-local chain cache
 // persists across calls (the paper's constraint reuse).
+//
+// Extract is safe to call from multiple goroutines (see ExtractAll):
+// the chain cache is single-flight — when two MUTs sharing an
+// intermediate module race on the same (module, signal, direction)
+// view, one goroutine computes it and the other blocks and reuses it —
+// and the stats counters are guarded. Counter totals stay deterministic
+// under concurrency: misses equal the number of distinct views touched
+// and hits equal lookups minus misses, neither of which depends on
+// scheduling.
 type Extractor struct {
 	D    *design.Design
 	Mode Mode
 
-	cache map[stepKey]*moduleStep
+	mu    sync.Mutex // guards cache map and stats counters
+	cache map[stepKey]*cacheEntry
 
-	// Stats accumulate over the extractor's lifetime.
+	// Stats accumulate over the extractor's lifetime. Read them only
+	// when no Extract call is in flight.
 	CacheHits   int
 	CacheMisses int
 	Steps       int // processed work items
 }
 
+// cacheEntry is a single-flight slot: the creator runs once.Do to fill
+// step; latecomers block on the same once and then read it.
+type cacheEntry struct {
+	once sync.Once
+	step *moduleStep
+}
+
 // NewExtractor creates an extractor over the analyzed design.
 func NewExtractor(d *design.Design, mode Mode) *Extractor {
-	return &Extractor{D: d, Mode: mode, cache: map[stepKey]*moduleStep{}}
+	return &Extractor{D: d, Mode: mode, cache: map[stepKey]*cacheEntry{}}
 }
 
 type stepKey struct {
@@ -266,7 +287,6 @@ func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
 		}
 		visited[key] = true
 		ex.WorkItems++
-		e.Steps++
 
 		next, err := e.process(ex, w)
 		if err != nil {
@@ -274,7 +294,50 @@ func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
 		}
 		work = append(work, next...)
 	}
+	e.mu.Lock()
+	e.Steps += ex.WorkItems
+	e.mu.Unlock()
 	return ex, nil
+}
+
+// ExtractAll extracts constraints for several MUTs concurrently over
+// the given number of workers (<= 0 selects runtime.NumCPU()). Results
+// are returned in input order; on failure the error of the
+// lowest-index failing MUT is returned. Each individual Extraction is
+// identical to a serial Extract call for the same path, and the shared
+// chain cache computes each (module, signal, direction) view exactly
+// once across all workers.
+func (e *Extractor) ExtractAll(mutPaths []string, workers int) ([]*Extraction, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(mutPaths) {
+		workers = len(mutPaths)
+	}
+	out := make([]*Extraction, len(mutPaths))
+	errs := make([]error, len(mutPaths))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(mutPaths) {
+					return
+				}
+				out[i], errs[i] = e.Extract(mutPaths[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func (ex *Extraction) slice(path, module string) *pathSlice {
@@ -421,21 +484,27 @@ func (e *Extractor) crossUp(ex *Extraction, node *design.InstanceNode, w workIte
 
 // moduleStepFor computes (or recalls) the module-local traversal step.
 // In ModeComposed the result is cached per (module, signal, direction)
-// — this is the constraint reuse that makes composition cheaper.
+// — this is the constraint reuse that makes composition cheaper. The
+// cache is single-flight: the goroutine that creates the entry computes
+// the step; concurrent lookups of the same key block on the entry's
+// sync.Once and share the result instead of computing it twice.
 func (e *Extractor) moduleStepFor(module string, mi *design.ModuleInfo, sig string, d dir) *moduleStep {
+	if e.Mode != ModeComposed {
+		return e.computeStep(mi, sig, d)
+	}
 	key := stepKey{module: module, signal: sig, d: d}
-	if e.Mode == ModeComposed {
-		if s, ok := e.cache[key]; ok {
-			e.CacheHits++
-			return s
-		}
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if ok {
+		e.CacheHits++
+	} else {
+		ent = &cacheEntry{}
+		e.cache[key] = ent
 		e.CacheMisses++
 	}
-	s := e.computeStep(mi, sig, d)
-	if e.Mode == ModeComposed {
-		e.cache[key] = s
-	}
-	return s
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.step = e.computeStep(mi, sig, d) })
+	return ent.step
 }
 
 func (e *Extractor) computeStep(mi *design.ModuleInfo, sig string, d dir) *moduleStep {

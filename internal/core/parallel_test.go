@@ -1,0 +1,160 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// extractionFingerprint reduces an Extraction to comparable facts.
+type extractionFingerprint struct {
+	Paths     []string
+	ChipPIs   []string
+	ChipPOs   []string
+	WorkItems int
+	Diags     int
+}
+
+func fingerprint(ex *Extraction) extractionFingerprint {
+	fp := extractionFingerprint{
+		Paths:     ex.Paths(),
+		WorkItems: ex.WorkItems,
+		Diags:     len(ex.Diags),
+	}
+	for pi := range ex.ChipPIs {
+		fp.ChipPIs = append(fp.ChipPIs, pi)
+	}
+	for po := range ex.ChipPOs {
+		fp.ChipPOs = append(fp.ChipPOs, po)
+	}
+	sort.Strings(fp.ChipPIs)
+	sort.Strings(fp.ChipPOs)
+	return fp
+}
+
+// TestExtractAllMatchesSerial runs the same MUT list serially and via
+// ExtractAll with 8 workers and compares each extraction plus the
+// shared cache statistics, which must not depend on scheduling.
+func TestExtractAllMatchesSerial(t *testing.T) {
+	d := analyzeSmall(t)
+	muts := []string{"u_mid.u_leaf", "u_mid", "u_mid.u_leaf", "u_mid"}
+
+	serialExt := NewExtractor(d, ModeComposed)
+	var want []extractionFingerprint
+	for _, m := range muts {
+		ex, err := serialExt.Extract(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fingerprint(ex))
+	}
+
+	parExt := NewExtractor(analyzeSmall(t), ModeComposed)
+	exs, err := parExt.ExtractAll(muts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ex := range exs {
+		if got := fingerprint(ex); !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("MUT %q: extraction diverges under ExtractAll:\ngot  %+v\nwant %+v", muts[i], got, want[i])
+		}
+	}
+	if parExt.Steps != serialExt.Steps {
+		t.Errorf("Steps: parallel %d vs serial %d", parExt.Steps, serialExt.Steps)
+	}
+	if parExt.CacheMisses != serialExt.CacheMisses {
+		t.Errorf("CacheMisses: parallel %d vs serial %d (misses = distinct views, must not depend on scheduling)",
+			parExt.CacheMisses, serialExt.CacheMisses)
+	}
+	if parExt.CacheHits != serialExt.CacheHits {
+		t.Errorf("CacheHits: parallel %d vs serial %d", parExt.CacheHits, serialExt.CacheHits)
+	}
+}
+
+// TestExtractAllError surfaces the lowest-index failure.
+func TestExtractAllError(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	if _, err := e.ExtractAll([]string{"u_mid", "no.such.path"}, 4); err == nil {
+		t.Fatal("expected error for unknown MUT path")
+	}
+}
+
+// TestConstraintCacheHammer hits the single-flight cache from many
+// goroutines at once (run under -race in CI): every goroutine extracts
+// MUTs that share intermediate modules, so the same (module, signal,
+// direction) views race constantly.
+func TestConstraintCacheHammer(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				mut := "u_mid.u_leaf"
+				if (g+iter)%2 == 1 {
+					mut = "u_mid"
+				}
+				if _, err := e.Extract(mut); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Misses must equal the number of distinct views even after the
+	// stampede: compare against a fresh serial extractor.
+	ref := NewExtractor(analyzeSmall(t), ModeComposed)
+	if _, err := ref.Extract("u_mid.u_leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Extract("u_mid"); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheMisses != ref.CacheMisses {
+		t.Errorf("hammered CacheMisses = %d, want %d (distinct views only)", e.CacheMisses, ref.CacheMisses)
+	}
+}
+
+// TestTransformAllMatchesSerial compares full Transform outputs (the
+// synthesized netlist sizes and interfaces) between serial and
+// concurrent runs.
+func TestTransformAllMatchesSerial(t *testing.T) {
+	d := analyzeSmall(t)
+	muts := []string{"u_mid.u_leaf", "u_mid"}
+
+	serialExt := NewExtractor(d, ModeComposed)
+	type fp struct{ gates, pis, pos, work int }
+	var want []fp
+	for _, m := range muts {
+		tr, err := Transform(serialExt, m, nil, TransformOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fp{tr.Netlist.NumGates(), tr.PIs, tr.POs, tr.WorkItems})
+	}
+
+	parExt := NewExtractor(analyzeSmall(t), ModeComposed)
+	trs, err := TransformAll(parExt, muts, nil, TransformOptions{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trs {
+		got := fp{tr.Netlist.NumGates(), tr.PIs, tr.POs, tr.WorkItems}
+		if got != want[i] {
+			t.Errorf("MUT %q: transform diverges: got %+v want %+v", muts[i], got, want[i])
+		}
+	}
+}

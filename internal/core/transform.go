@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"factor/internal/netlist"
@@ -123,6 +126,47 @@ func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts Transfo
 		}
 	}
 	return t, nil
+}
+
+// TransformAll runs Transform for several MUTs concurrently over the
+// given number of workers (<= 0 selects runtime.NumCPU()). Results are
+// returned in input order; on failure the error of the lowest-index
+// failing MUT is returned. The extractor's single-flight chain cache is
+// shared across workers, so intermediate modules common to several MUTs
+// are extracted once. The parsed design AST is read-only after
+// analysis, and each Transform synthesizes its own emitted source, so
+// workers share no mutable synthesis state.
+func TransformAll(e *Extractor, mutPaths []string, full *netlist.Netlist, opts TransformOptions, workers int) ([]*Transformed, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(mutPaths) {
+		workers = len(mutPaths)
+	}
+	out := make([]*Transformed, len(mutPaths))
+	errs := make([]error, len(mutPaths))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(mutPaths) {
+					return
+				}
+				out[i], errs[i] = Transform(e, mutPaths[i], full, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // splitGates counts gates inside vs outside a hierarchical scope

@@ -9,6 +9,7 @@ package design
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"factor/internal/verilog"
 )
@@ -100,6 +101,11 @@ type ModuleInfo struct {
 	// Params holds parameter and localparam names: identifiers that
 	// look like signal reads but are compile-time constants.
 	Params map[string]bool
+
+	// mu guards Signals: Signal lazily inserts a record for unknown
+	// names, and concurrent extractions over the same design share
+	// ModuleInfo instances.
+	mu sync.Mutex
 }
 
 // IsParam reports whether name is a parameter of the module.
@@ -107,7 +113,11 @@ func (mi *ModuleInfo) IsParam(name string) bool { return mi.Params[name] }
 
 // Signal returns the signal info, creating an empty record for unknown
 // names (which then shows an empty def chain — a testability flag).
+// Safe for concurrent use; the returned record's chains are read-only
+// after Analyze.
 func (mi *ModuleInfo) Signal(name string) *SignalInfo {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
 	if s, ok := mi.Signals[name]; ok {
 		return s
 	}
@@ -118,6 +128,8 @@ func (mi *ModuleInfo) Signal(name string) *SignalInfo {
 
 // SignalNames returns all signal names sorted (deterministic reports).
 func (mi *ModuleInfo) SignalNames() []string {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
 	names := make([]string, 0, len(mi.Signals))
 	for n := range mi.Signals {
 		names = append(names, n)

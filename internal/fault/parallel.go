@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+// ResolveWorkers maps a user-facing worker count to an effective one:
+// values <= 0 select runtime.NumCPU(), anything else is used as given.
+// This is the single place the "-j 0 means all cores" convention is
+// implemented, shared by every CLI and by the ATPG engine.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Clone returns a fresh simulator over the same netlist. The netlist
+// and memoized evaluation order are shared read-only; the value/state
+// arrays and injection tables are private, so each clone can run on its
+// own goroutine without synchronization. The clone starts empty (no
+// faults loaded, state unset) — callers always load and reset before a
+// pass, so current values are deliberately not copied.
+func (p *ParallelSim) Clone() *ParallelSim {
+	return &ParallelSim{
+		nl:    p.nl,
+		order: p.order,
+		vals:  make([]sim.Word, len(p.vals)),
+		state: make([]sim.Word, len(p.state)),
+	}
+}
+
+// Pool is a worker pool of fault simulators over one netlist. A
+// sequence run against N pending faults splits into ceil(N/63)
+// single-pass batches; the pool fans the batches out over its workers.
+//
+// Determinism: each batch's detected-lane mask depends only on (batch,
+// sequence) — workers share nothing but the read-only netlist, each
+// batch writes a distinct slot of the result slice, and the merge into
+// Result happens on the calling goroutine in batch order. The outcome
+// is therefore bit-identical to ParallelSim.RunSequence for any worker
+// count.
+type Pool struct {
+	nl   *netlist.Netlist
+	sims []*ParallelSim
+}
+
+// NewPool builds a pool with the given worker count (<= 0 selects
+// runtime.NumCPU()). Each worker owns a private simulator.
+func NewPool(nl *netlist.Netlist, workers int) *Pool {
+	w := ResolveWorkers(workers)
+	sims := make([]*ParallelSim, w)
+	sims[0] = NewParallel(nl)
+	for i := 1; i < w; i++ {
+		sims[i] = sims[0].Clone()
+	}
+	return &Pool{nl: nl, sims: sims}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return len(p.sims) }
+
+// RunSequence simulates seq against the pending faults of res across
+// the pool and marks newly detected faults, returning how many were
+// newly detected. Results are identical to ParallelSim.RunSequence.
+func (p *Pool) RunSequence(res *Result, seq Sequence) int {
+	pending := res.Remaining()
+	nbatches := (len(pending) + 62) / 63
+	if nbatches == 0 {
+		return 0
+	}
+	if len(p.sims) == 1 || nbatches == 1 {
+		return p.sims[0].RunSequence(res, seq)
+	}
+
+	detected := make([]uint64, nbatches)
+	var next int64
+	var wg sync.WaitGroup
+	nw := min(len(p.sims), nbatches)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(ps *ParallelSim) {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= nbatches {
+					return
+				}
+				start := b * 63
+				end := min(start+63, len(pending))
+				batch := make([]Fault, end-start)
+				for i, fi := range pending[start:end] {
+					batch[i] = res.Faults[fi]
+				}
+				detected[b] = ps.runBatch(batch, seq)
+			}
+		}(p.sims[w])
+	}
+	wg.Wait()
+
+	newly := 0
+	for b := 0; b < nbatches; b++ {
+		start := b * 63
+		end := min(start+63, len(pending))
+		for i, fi := range pending[start:end] {
+			if detected[b]&(1<<uint(i+1)) != 0 && !res.Detected[fi] {
+				res.Detected[fi] = true
+				newly++
+			}
+		}
+	}
+	return newly
+}
+
+// FirstDetections computes, for every fault, the index of the first
+// sequence in seqs that detects it (-1 if none does). First detection
+// is an intrinsic property of (fault, sequence list): it does not
+// depend on fault dropping or on how faults are batched, so the result
+// is identical for any worker count. It is exactly the information the
+// random ATPG phase needs — a serial dropped-simulation pass over seqs
+// detects fault f with sequence i iff FirstDetections reports i for f.
+//
+// A non-zero deadline is checked between sequences inside each batch;
+// sequences not reached in time are treated as non-detecting (this is
+// the one code path where results may legitimately differ run to run,
+// matching the serial engine's behavior under a time budget).
+func FirstDetections(nl *netlist.Netlist, faults []Fault, seqs []Sequence, workers int, deadline time.Time) []int {
+	first := make([]int, len(faults))
+	for i := range first {
+		first[i] = -1
+	}
+	nbatches := (len(faults) + 62) / 63
+	if nbatches == 0 || len(seqs) == 0 {
+		return first
+	}
+	w := min(ResolveWorkers(workers), nbatches)
+
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps := NewParallel(nl)
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= nbatches {
+					return
+				}
+				start := b * 63
+				end := min(start+63, len(faults))
+				ps.firstDetections(faults[start:end], seqs, deadline, first[start:end])
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// firstDetections runs all sequences against one batch of faults and
+// records, per fault, the first detecting sequence index into out
+// (pre-initialized to -1 by the caller). Stops early once every lane is
+// detected or the deadline passes.
+func (p *ParallelSim) firstDetections(batch []Fault, seqs []Sequence, deadline time.Time, out []int) {
+	p.load(batch)
+	var remaining uint64
+	for i := range batch {
+		remaining |= 1 << uint(i+1)
+	}
+	for si, seq := range seqs {
+		if remaining == 0 {
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		p.resetAllX()
+		det := uint64(0)
+		for _, vec := range seq {
+			p.applyVector(vec)
+			p.eval()
+			det |= p.detectLanes()
+			p.stepFromCurrent()
+		}
+		newly := det & remaining
+		for i := range batch {
+			if newly&(1<<uint(i+1)) != 0 {
+				out[i] = si
+			}
+		}
+		remaining &^= newly
+	}
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"factor/internal/netlist"
+	"factor/internal/sim"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(0); got < 1 {
+		t.Errorf("ResolveWorkers(0) = %d, want >= 1", got)
+	}
+	if got := ResolveWorkers(-3); got < 1 {
+		t.Errorf("ResolveWorkers(-3) = %d, want >= 1", got)
+	}
+	if got := ResolveWorkers(7); got != 7 {
+		t.Errorf("ResolveWorkers(7) = %d, want 7", got)
+	}
+}
+
+// randSeqFor builds a fully specified random sequence over the PIs of n.
+func randSeqFor(n *netlist.Netlist, rng *rand.Rand, cycles int) Sequence {
+	seq := make(Sequence, cycles)
+	for t := range seq {
+		vec := Vector{}
+		for _, name := range n.PINames {
+			vec[name] = sim.Logic(rng.Intn(2))
+		}
+		seq[t] = vec
+	}
+	return seq
+}
+
+// TestPoolMatchesParallelSim checks that the worker pool produces
+// bit-identical detection marks and counts to the single simulator on
+// randomized sequential circuits with more than 63 pending faults.
+func TestPoolMatchesParallelSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nl := randomCircuit(rng, 5, 120, true)
+		faults := Universe(nl)
+		if len(faults) <= 63 {
+			continue // want multi-batch coverage
+		}
+		seqs := make([]Sequence, 4)
+		for i := range seqs {
+			seqs[i] = randSeqFor(nl, rng, 5)
+		}
+
+		serial := NewResult(faults)
+		ps := NewParallel(nl)
+		pooled := NewResult(faults)
+		pool := NewPool(nl, 8)
+		for _, seq := range seqs {
+			nSerial := ps.RunSequence(serial, seq)
+			nPool := pool.RunSequence(pooled, seq)
+			if nSerial != nPool {
+				t.Fatalf("trial %d: newly-detected mismatch: serial %d, pool %d", trial, nSerial, nPool)
+			}
+		}
+		if !reflect.DeepEqual(serial.Detected, pooled.Detected) {
+			t.Fatalf("trial %d: detection marks diverge between serial and pool", trial)
+		}
+	}
+}
+
+// TestFirstDetectionsMatchesDroppedSim verifies the theorem the random
+// ATPG phase relies on: the first detecting sequence index of each
+// fault (an intrinsic, order-independent property) coincides with which
+// sequence detects the fault in a serial fault-dropping pass.
+func TestFirstDetectionsMatchesDroppedSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		nl := randomCircuit(rng, 5, 90, true)
+		faults := Universe(nl)
+		seqs := make([]Sequence, 6)
+		for i := range seqs {
+			seqs[i] = randSeqFor(nl, rng, 4)
+		}
+
+		// Reference: serial dropped simulation, recording which sequence
+		// newly detects each fault.
+		want := make([]int, len(faults))
+		for i := range want {
+			want[i] = -1
+		}
+		res := NewResult(faults)
+		ps := NewParallel(nl)
+		for si, seq := range seqs {
+			before := append([]bool(nil), res.Detected...)
+			ps.RunSequence(res, seq)
+			for fi := range faults {
+				if res.Detected[fi] && !before[fi] {
+					want[fi] = si
+				}
+			}
+		}
+
+		got := FirstDetections(nl, faults, seqs, 8, time.Time{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: FirstDetections diverges from dropped simulation\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestFirstDetectionsWorkerInvariance checks bit-identical results
+// across worker counts.
+func TestFirstDetectionsWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	nl := randomCircuit(rng, 5, 150, true)
+	faults := Universe(nl)
+	seqs := make([]Sequence, 5)
+	for i := range seqs {
+		seqs[i] = randSeqFor(nl, rng, 4)
+	}
+	ref := FirstDetections(nl, faults, seqs, 1, time.Time{})
+	for _, w := range []int{2, 4, 8} {
+		if got := FirstDetections(nl, faults, seqs, w, time.Time{}); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverges from workers=1", w)
+		}
+	}
+}
+
+func TestParallelSimClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nl := randomCircuit(rng, 4, 40, true)
+	faults := Universe(nl)
+	seq := randSeqFor(nl, rng, 4)
+
+	orig := NewParallel(nl)
+	clone := orig.Clone()
+	r1 := NewResult(faults)
+	r2 := NewResult(faults)
+	orig.RunSequence(r1, seq)
+	clone.RunSequence(r2, seq)
+	if !reflect.DeepEqual(r1.Detected, r2.Detected) {
+		t.Fatal("clone detection differs from original")
+	}
+}

@@ -147,15 +147,7 @@ func (p *ParallelSim) RunSequence(res *Result, seq Sequence) int {
 		for i, fi := range idxs {
 			batch[i] = res.Faults[fi]
 		}
-		p.load(batch)
-		p.resetAllX()
-		detectedLanes := uint64(0)
-		for _, vec := range seq {
-			p.applyVector(vec)
-			p.eval()
-			detectedLanes |= p.detectLanes()
-			p.stepFromCurrent()
-		}
+		detectedLanes := p.runBatch(batch, seq)
 		for i, fi := range idxs {
 			if detectedLanes&(1<<uint(i+1)) != 0 && !res.Detected[fi] {
 				res.Detected[fi] = true
@@ -164,6 +156,24 @@ func (p *ParallelSim) RunSequence(res *Result, seq Sequence) int {
 		}
 	}
 	return newly
+}
+
+// runBatch loads one batch of faults, simulates seq from the all-X
+// power-up state and returns the set of detected lanes. Detection is
+// an intrinsic property of (fault, sequence): it does not depend on
+// which other faults share the pass, which is what makes both fault
+// dropping and the batch-parallel pool pure optimizations.
+func (p *ParallelSim) runBatch(batch []Fault, seq Sequence) uint64 {
+	p.load(batch)
+	p.resetAllX()
+	detectedLanes := uint64(0)
+	for _, vec := range seq {
+		p.applyVector(vec)
+		p.eval()
+		detectedLanes |= p.detectLanes()
+		p.stepFromCurrent()
+	}
+	return detectedLanes
 }
 
 // stepFromCurrent clocks the flops using the values already computed by

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // GateKind enumerates the cell library.
@@ -105,6 +106,14 @@ type Netlist struct {
 
 	// DFFs lists the IDs of all DFF gates, in creation order.
 	DFFs []int
+
+	// topoMu guards topoCache. TopoOrder is on the construction path of
+	// every simulator and every per-fault PODEM search, so its result
+	// is memoized; the mutex makes first use safe when workers sharing
+	// the netlist race to compute it. AddGate and SetFanin invalidate
+	// the cache.
+	topoMu    sync.Mutex
+	topoCache []int
 }
 
 // New returns an empty netlist with the given name.
@@ -129,6 +138,7 @@ func (n *Netlist) AddGate(kind GateKind, fanin ...int) int {
 	if kind == DFF {
 		n.DFFs = append(n.DFFs, id)
 	}
+	n.invalidateTopo()
 	return id
 }
 
@@ -162,6 +172,7 @@ func (n *Netlist) SetFanin(gate, idx, driver int) {
 		panic(fmt.Sprintf("netlist: driver %d out of range", driver))
 	}
 	g.Fanin[idx] = driver
+	n.invalidateTopo()
 }
 
 // NumGates returns the number of logic gates — combinational cells plus
@@ -252,7 +263,27 @@ func (n *Netlist) Levelize() []int {
 // combinational graph: a combinational gate appears after all its
 // fanins; DFFs, inputs and constants appear before any gate that reads
 // them. Panics if the combinational logic is cyclic.
+//
+// The order is computed once and memoized (mutating the netlist via
+// AddGate or SetFanin invalidates it); concurrent callers share one
+// computation. The returned slice is shared: callers must treat it as
+// read-only.
 func (n *Netlist) TopoOrder() []int {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	if n.topoCache == nil {
+		n.topoCache = n.computeTopoOrder()
+	}
+	return n.topoCache
+}
+
+func (n *Netlist) invalidateTopo() {
+	n.topoMu.Lock()
+	n.topoCache = nil
+	n.topoMu.Unlock()
+}
+
+func (n *Netlist) computeTopoOrder() []int {
 	order := make([]int, 0, len(n.Gates))
 	// 0 = unvisited, 1 = on stack, 2 = done.
 	state := make([]byte, len(n.Gates))

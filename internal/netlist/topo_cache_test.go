@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func buildSmallDag() *Netlist {
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate(And, a, b)
+	g2 := n.AddGate(Not, g1)
+	n.AddOutput("y", g2)
+	return n
+}
+
+// TestTopoOrderMemoized checks that repeated calls share the cached
+// slice and that mutation invalidates it.
+func TestTopoOrderMemoized(t *testing.T) {
+	n := buildSmallDag()
+	o1 := n.TopoOrder()
+	o2 := n.TopoOrder()
+	if &o1[0] != &o2[0] {
+		t.Error("TopoOrder should return the memoized slice on repeat calls")
+	}
+
+	// AddGate invalidates: the new gate must appear in the fresh order.
+	g := n.AddGate(Not, 0)
+	o3 := n.TopoOrder()
+	if len(o3) != len(o1)+1 {
+		t.Fatalf("stale topo order after AddGate: len %d, want %d", len(o3), len(o1)+1)
+	}
+	found := false
+	for _, id := range o3 {
+		if id == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new gate missing from recomputed topo order")
+	}
+
+	// SetFanin invalidates too (order constraints may change).
+	before := append([]int(nil), n.TopoOrder()...)
+	n.SetFanin(g, 0, 1)
+	after := n.TopoOrder()
+	if len(before) != len(after) {
+		t.Error("SetFanin changed topo length")
+	}
+}
+
+// TestTopoOrderConcurrentFirstUse races many goroutines on the first
+// TopoOrder call of a shared netlist (run under -race in CI): this is
+// the cloned-worker startup pattern the ATPG pool relies on.
+func TestTopoOrderConcurrentFirstUse(t *testing.T) {
+	n := buildSmallDag()
+	const goroutines = 16
+	orders := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			orders[g] = n.TopoOrder()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(orders[0], orders[g]) {
+			t.Fatalf("goroutine %d saw a different topo order", g)
+		}
+	}
+}

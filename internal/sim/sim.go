@@ -181,6 +181,19 @@ func New(n *netlist.Netlist) *Simulator {
 	return s
 }
 
+// Clone returns an independent simulator over the same netlist. The
+// netlist and the memoized evaluation order are shared read-only; the
+// value and state arrays are private copies, so a clone can run on its
+// own goroutine without synchronization.
+func (s *Simulator) Clone() *Simulator {
+	return &Simulator{
+		N:     s.N,
+		order: s.order,
+		vals:  append([]Word(nil), s.vals...),
+		state: append([]Word(nil), s.state...),
+	}
+}
+
 // Reset sets every flip-flop to X and every input to X.
 func (s *Simulator) Reset() {
 	for i := range s.vals {
