@@ -7,6 +7,8 @@
 //
 //	atpg [-design file.v] [-top module] [-budget 10s] [-frames N]
 //	     [-scope prefix] [-j N] [-compact] [-dump file] [-v]
+//	     [-timeout d] [-checkpoint file] [-checkpoint-every N]
+//	     [-resume file] [-report file.json]
 //
 // Without -design the built-in ARM benchmark SoC is used (-top selects
 // any of its modules; default is the full chip). -scope restricts the
@@ -14,6 +16,16 @@
 // -j sets the worker count for the parallel random-phase fault
 // simulation and deterministic PODEM searches (0 = all CPU cores);
 // results are identical for every worker count.
+//
+// Interruption and resume: -timeout is a hard wall-clock deadline
+// (unlike the soft -budget, which finishes the run and counts unreached
+// faults as not attempted). On SIGINT or deadline expiry the workers
+// drain, partial results are printed and dumped, and — when -checkpoint
+// is set — a journal of detected faults and generated tests is flushed.
+// A later run with -resume <journal> (same design, same options, any -j)
+// continues from the journal and finishes bit-identical to an
+// uninterrupted run. Exit codes: 0 success, 1 error, 2 usage, 3 partial
+// (interrupted or quarantined faults).
 package main
 
 import (
@@ -25,6 +37,8 @@ import (
 
 	"factor/internal/arm"
 	"factor/internal/atpg"
+	"factor/internal/cli"
+	"factor/internal/factorerr"
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/synth"
@@ -35,7 +49,7 @@ func main() {
 	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
 	top := flag.String("top", "", "module to test (default: arm, the full chip)")
 	width := flag.Int("width", 16, "datapath width parameter W (built-in design)")
-	budget := flag.Duration("budget", 10*time.Second, "time budget")
+	budget := flag.Duration("budget", 10*time.Second, "soft time budget (run completes, unreached faults -> not attempted)")
 	frames := flag.Int("frames", 0, "time-frame budget (0 = derive from sequential depth)")
 	backtracks := flag.Int("backtracks", 0, "PODEM backtrack limit (0 = default)")
 	seed := flag.Int64("seed", 1, "random-phase seed")
@@ -44,11 +58,30 @@ func main() {
 	dump := flag.String("dump", "", "write the generated test sequences to this file")
 	compact := flag.Bool("compact", false, "statically compact the test set (reverse-order fault simulation)")
 	workers := flag.Int("j", 0, "worker goroutines for ATPG and fault simulation (0 = all CPU cores)")
+	timeout := flag.Duration("timeout", 0, "hard wall-clock deadline; cancels the run, flushes partial results (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "journal progress to this file (flushed periodically and on interruption)")
+	ckEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many deterministic-phase faults")
+	resume := flag.String("resume", "", "resume from a checkpoint journal written by -checkpoint")
+	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
+	// Load the journal before the (expensive) netlist build so a bad
+	// -resume path fails fast.
+	var resumeCk *atpg.Checkpoint
+	if *resume != "" {
+		ck, err := atpg.LoadCheckpoint(*resume)
+		if err != nil {
+			cli.Fatal("atpg", err)
+		}
+		resumeCk = ck
+	}
 
 	nl, err := loadNetlist(*designFile, *top, *width)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("atpg", err)
 	}
 	stats := nl.ComputeStats()
 	fmt.Printf("circuit %s: %d gates, %d DFFs, %d PIs, %d POs, seq depth %d\n",
@@ -67,43 +100,57 @@ func main() {
 
 	fmt.Printf("workers: %d\n", fault.ResolveWorkers(*workers))
 
-	eng := atpg.New(nl, atpg.Options{
+	opts := atpg.Options{
 		Seed:           *seed,
 		TimeBudget:     *budget,
 		MaxFrames:      *frames,
 		BacktrackLimit: *backtracks,
 		Workers:        *workers,
-	})
+	}
+	if *checkpoint != "" {
+		ckPath := *checkpoint
+		opts.Checkpoint = func(ck *atpg.Checkpoint) error { return ck.WriteFile(ckPath) }
+		opts.CheckpointEvery = *ckEvery
+	}
+	opts.Resume = resumeCk
+
+	eng := atpg.New(nl, opts)
 	start := time.Now()
-	res := eng.Run(faults)
+	res, runErr := eng.RunContext(ctx, faults)
 	elapsed := time.Since(start)
+
+	for _, e := range res.Errors {
+		cli.Warn("atpg", e)
+	}
 
 	fmt.Printf("fault coverage:   %6.2f%% (%d/%d)\n", res.Coverage(), res.Result.NumDetected(), len(faults))
 	fmt.Printf("ATPG efficiency:  %6.2f%%\n", res.Efficiency())
-	fmt.Printf("random detected:  %d, deterministic: %d, untestable: %d, aborted: %d, not attempted: %d\n",
-		res.DetectedRandom, res.DetectedDet, res.UntestableNum, res.AbortedNum, res.NotAttempted)
+	fmt.Printf("random detected:  %d, deterministic: %d, untestable: %d, aborted: %d, not attempted: %d, quarantined: %d\n",
+		res.DetectedRandom, res.DetectedDet, res.UntestableNum, res.AbortedNum, res.NotAttempted, res.QuarantinedNum)
 	fmt.Printf("tests: %d sequences; time: random %v + deterministic %v = %v\n",
 		len(res.Tests), res.RandomTime.Round(time.Millisecond),
 		res.DetTime.Round(time.Millisecond), elapsed.Round(time.Millisecond))
 
 	tests := res.Tests
-	if *compact {
+	if *compact && runErr == nil {
 		var cr atpg.CompactResult
 		tests, cr = atpg.Compact(nl, faults, tests)
 		fmt.Printf("compaction: %d -> %d sequences (%d -> %d cycles), coverage retained at %d faults\n",
 			cr.Before, cr.After, cr.CyclesIn, cr.CyclesOut, cr.Coverage)
+	} else if *compact {
+		fmt.Fprintln(os.Stderr, "atpg: run interrupted, skipping compaction")
 	}
-	if *dump != "" {
+	if *dump != "" && len(tests) > 0 {
 		f, err := os.Create(*dump)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("atpg", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 		}
 		header := fmt.Sprintf("circuit %s: %d sequences, %.2f%% fault coverage", stats.Name, len(tests), res.Coverage())
 		if err := fault.WriteSequences(f, tests, header); err != nil {
-			fatal(err)
+			cli.Fatal("atpg", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cli.Fatal("atpg", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 		}
 		fmt.Printf("wrote %d sequences to %s\n", len(tests), *dump)
 	}
@@ -117,6 +164,54 @@ func main() {
 			}
 		}
 	}
+
+	// Exit-code shaping: an interruption (canceled/timeout) maps to the
+	// partial exit on its own; a completed run with quarantined faults
+	// is also partial — the coverage number is missing their searches.
+	var exitErr error
+	switch {
+	case runErr != nil && len(res.Errors) > 0:
+		exitErr = factorerr.Collect(append([]error{runErr}, res.Errors...))
+	case runErr != nil:
+		exitErr = runErr
+	case len(res.Errors) > 0:
+		pe := factorerr.New(factorerr.StageATPG, factorerr.CodePartial,
+			"%d fault(s) quarantined after worker panics", res.QuarantinedNum)
+		pe.Err = factorerr.Collect(res.Errors)
+		exitErr = pe
+	}
+
+	if *report != "" {
+		rep := cli.NewReport("atpg", exitErr)
+		rep.ATPG = &cli.ATPGReport{
+			TotalFaults:    len(faults),
+			Detected:       res.Result.NumDetected(),
+			DetectedRandom: res.DetectedRandom,
+			DetectedDet:    res.DetectedDet,
+			Untestable:     res.UntestableNum,
+			Aborted:        res.AbortedNum,
+			NotAttempted:   res.NotAttempted,
+			Quarantined:    res.QuarantinedNum,
+			Tests:          len(tests),
+			Coverage:       res.Coverage(),
+			Efficiency:     res.Efficiency(),
+			Interrupted:    runErr != nil,
+			Resumed:        *resume != "",
+		}
+		if err := rep.Write(*report); err != nil {
+			cli.Fatal("atpg", err)
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "atpg: %s\n", factorerr.FormatChain(runErr))
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "atpg: progress journaled to %s — continue with -resume %s\n", *checkpoint, *checkpoint)
+		}
+	}
+	if exitErr != nil {
+		os.Exit(factorerr.ExitCode(exitErr))
+	}
 }
 
 func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
@@ -126,7 +221,7 @@ func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
 	if file == "" {
 		src, err = arm.Parse()
 		if err != nil {
-			return nil, err
+			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
 		if top == "" {
 			top = arm.Top
@@ -137,22 +232,22 @@ func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
 	} else {
 		data, err := os.ReadFile(file)
 		if err != nil {
-			return nil, err
+			return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 		}
 		src, err = verilog.Parse(file, string(data))
 		if err != nil {
-			return nil, err
+			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
 		if top == "" {
 			if len(src.Modules) == 0 {
-				return nil, fmt.Errorf("%s: no modules", file)
+				return nil, factorerr.New(factorerr.StageParse, factorerr.CodeInput, "%s: no modules", file)
 			}
 			top = src.Modules[0].Name
 		}
 	}
 	res, err := synth.Synthesize(src, top, synth.Options{TopParams: params})
 	if err != nil {
-		return nil, err
+		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodeAnalysis, err)
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, "atpg:", w)
@@ -173,9 +268,4 @@ func hasWidthParam(src *verilog.SourceFile, top string) bool {
 		}
 	}
 	return false
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atpg:", err)
-	os.Exit(1)
 }

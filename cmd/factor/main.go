@@ -7,13 +7,18 @@
 //
 //	factor -mut <instance.path>[,<instance.path>...] [-design file.v]
 //	       [-top name] [-mode flat|composed] [-piers] [-o out.v]
-//	       [-dir outdir] [-j N] [-stats]
+//	       [-dir outdir] [-j N] [-stats] [-timeout d] [-report file.json]
 //
 // Without -design the built-in ARM2-class benchmark SoC is used.
 // Several comma-separated MUT paths are extracted concurrently over -j
 // workers (0 = all CPU cores) with a shared constraint cache, so
 // intermediate modules common to several MUTs are analyzed once;
 // multi-MUT mode requires -dir and writes one subdirectory per MUT.
+//
+// In multi-MUT mode a failing MUT does not abort its siblings: the
+// healthy MUTs are written normally, the failure is reported on stderr
+// (and in the -report JSON), and the process exits 3. Exit codes:
+// 0 success, 1 error (nothing produced), 2 usage, 3 partial.
 package main
 
 import (
@@ -25,8 +30,10 @@ import (
 	"time"
 
 	"factor/internal/arm"
+	"factor/internal/cli"
 	"factor/internal/core"
 	"factor/internal/design"
+	"factor/internal/factorerr"
 	"factor/internal/verilog"
 )
 
@@ -41,49 +48,54 @@ func main() {
 	stats := flag.Bool("stats", true, "print extraction statistics to stderr")
 	width := flag.Int("width", 16, "datapath width parameter W (built-in design)")
 	workers := flag.Int("j", 0, "worker goroutines for multi-MUT extraction (0 = all CPU cores)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for extraction + synthesis (0 = none)")
+	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
 	flag.Parse()
 
 	if *mut == "" {
-		fmt.Fprintln(os.Stderr, "factor: -mut is required (e.g. -mut u_core.u_alu)")
-		os.Exit(2)
+		cli.Usagef("factor", "-mut is required (e.g. -mut u_core.u_alu)")
 	}
 	muts := strings.Split(*mut, ",")
 	for i := range muts {
 		muts[i] = strings.TrimSpace(muts[i])
 	}
 	if len(muts) > 1 && *outDir == "" {
-		fmt.Fprintln(os.Stderr, "factor: multiple -mut paths require -dir (one subdirectory per MUT)")
-		os.Exit(2)
-	}
-
-	src, topName, params, err := loadDesign(*designFile, *top, *width)
-	if err != nil {
-		fatal(err)
-	}
-	d, err := design.Analyze(src, topName)
-	if err != nil {
-		fatal(err)
+		cli.Usagef("factor", "multiple -mut paths require -dir (one subdirectory per MUT)")
 	}
 	m := core.ModeComposed
 	if *mode == "flat" {
 		m = core.ModeFlat
 	} else if *mode != "composed" {
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		cli.Usagef("factor", "unknown mode %q", *mode)
+	}
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
+	src, topName, params, err := loadDesign(*designFile, *top, *width)
+	if err != nil {
+		cli.Fatal("factor", err)
+	}
+	d, err := design.Analyze(src, topName)
+	if err != nil {
+		cli.Fatal("factor", factorerr.Wrap(factorerr.StageAnalyze, factorerr.CodeAnalysis, err))
 	}
 
 	ext := core.NewExtractor(d, m)
 	start := time.Now()
-	trs, err := core.TransformAll(ext, muts, nil, core.TransformOptions{
+	trs, runErr := core.TransformAll(ctx, ext, muts, nil, core.TransformOptions{
 		TopParams:   params,
 		EnablePIERs: *piers,
 	}, *workers)
-	if err != nil {
-		fatal(err)
-	}
 	elapsed := time.Since(start)
 
+	// Write outputs for every MUT that made it; failed MUTs left nil
+	// entries and are reported below.
 	multi := len(muts) > 1
 	for _, tr := range trs {
+		if tr == nil {
+			continue
+		}
 		if *outDir != "" {
 			// Each MUT gets its own subdirectory in multi-MUT mode so
 			// specialized modules of different MUTs cannot collide.
@@ -92,12 +104,12 @@ func main() {
 				dir = filepath.Join(dir, strings.ReplaceAll(tr.MUTPath, ".", "_"))
 			}
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fatal(err)
+				cli.Fatal("factor", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 			}
 			for _, m := range tr.Source.Modules {
 				path := filepath.Join(dir, m.Name+".v")
 				if err := os.WriteFile(path, []byte(verilog.Print(m)), 0o644); err != nil {
-					fatal(err)
+					cli.Fatal("factor", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 				}
 			}
 			fmt.Fprintf(os.Stderr, "factor: wrote %d module files to %s\n", len(tr.Source.Modules), dir)
@@ -106,13 +118,16 @@ func main() {
 			if *out == "" {
 				fmt.Print(text)
 			} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-				fatal(err)
+				cli.Fatal("factor", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
 			}
 		}
 	}
 
 	if *stats {
 		for _, tr := range trs {
+			if tr == nil {
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "factor: MUT %s (%s), mode %s\n", tr.MUTModule, tr.MUTPath, tr.Mode)
 			fmt.Fprintf(os.Stderr, "  transformed top: %s\n", tr.TopName)
 			fmt.Fprintf(os.Stderr, "  MUT gates: %d, environment gates: %d\n", tr.MUTGates, tr.EnvGates)
@@ -131,13 +146,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "factor: %d MUT(s) in %v; cache hits %d, misses %d\n",
 			len(trs), elapsed.Round(time.Microsecond), ext.CacheHits, ext.CacheMisses)
 	}
+
+	if *report != "" {
+		rep := cli.NewReport("factor", runErr)
+		for i, tr := range trs {
+			mr := cli.MUTReport{Path: muts[i], OK: tr != nil}
+			if tr != nil {
+				mr.Gates = tr.MUTGates + tr.EnvGates
+				mr.PIs = tr.PIs
+				mr.POs = tr.POs
+				mr.PIERs = len(tr.PIERs)
+			}
+			rep.MUTs = append(rep.MUTs, mr)
+		}
+		if err := rep.Write(*report); err != nil {
+			cli.Fatal("factor", err)
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "factor: %s\n", factorerr.FormatChain(runErr))
+		os.Exit(factorerr.ExitCode(runErr))
+	}
 }
 
 func loadDesign(file, top string, width int) (*verilog.SourceFile, string, map[string]int64, error) {
 	if file == "" {
 		src, err := arm.Parse()
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
 		if top == "" {
 			top = arm.Top
@@ -146,22 +183,17 @@ func loadDesign(file, top string, width int) (*verilog.SourceFile, string, map[s
 	}
 	data, err := os.ReadFile(file)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 	}
 	src, err := verilog.Parse(file, string(data))
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 	}
 	if top == "" {
 		if len(src.Modules) == 0 {
-			return nil, "", nil, fmt.Errorf("%s: no modules", file)
+			return nil, "", nil, factorerr.New(factorerr.StageParse, factorerr.CodeInput, "%s: no modules", file)
 		}
 		top = src.Modules[0].Name
 	}
 	return src, top, nil, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "factor:", err)
-	os.Exit(1)
 }

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	testability -mut <instance.path> [-design file.v] [-top name]
+//	            [-timeout d]
+//
+// Exit codes follow the suite-wide taxonomy: 0 success, 1 error,
+// 2 usage, 3 canceled/timed out.
 package main
 
 import (
@@ -13,8 +17,10 @@ import (
 	"os"
 
 	"factor/internal/arm"
+	"factor/internal/cli"
 	"factor/internal/core"
 	"factor/internal/design"
+	"factor/internal/factorerr"
 	"factor/internal/verilog"
 )
 
@@ -22,29 +28,32 @@ func main() {
 	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
 	top := flag.String("top", "", "top module (default: first module, or 'arm')")
 	mut := flag.String("mut", "", "hierarchical instance path of the module under test (required)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none)")
 	flag.Parse()
 
 	if *mut == "" {
-		fmt.Fprintln(os.Stderr, "testability: -mut is required (e.g. -mut u_core.u_alu)")
-		os.Exit(2)
+		cli.Usagef("testability", "-mut is required (e.g. -mut u_core.u_alu)")
 	}
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
 	src, topName, err := loadDesign(*designFile, *top)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("testability", err)
 	}
 	d, err := design.Analyze(src, topName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("testability", factorerr.Wrap(factorerr.StageAnalyze, factorerr.CodeAnalysis, err))
 	}
 	// Extraction supplies the empty-chain diagnostics.
 	ext := core.NewExtractor(d, core.ModeComposed)
-	ex, err := ext.Extract(*mut)
+	ex, err := ext.ExtractContext(ctx, *mut)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("testability", err)
 	}
 	rep, err := core.AnalyzeTestability(d, *mut, ex.Diags)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("testability", err)
 	}
 	fmt.Print(rep.Summary())
 	if len(rep.Constraints) == 0 && len(rep.EmptyChains) == 0 {
@@ -56,7 +65,7 @@ func loadDesign(file, top string) (*verilog.SourceFile, string, error) {
 	if file == "" {
 		src, err := arm.Parse()
 		if err != nil {
-			return nil, "", err
+			return nil, "", factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
 		if top == "" {
 			top = arm.Top
@@ -65,22 +74,17 @@ func loadDesign(file, top string) (*verilog.SourceFile, string, error) {
 	}
 	data, err := os.ReadFile(file)
 	if err != nil {
-		return nil, "", err
+		return nil, "", factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 	}
 	src, err := verilog.Parse(file, string(data))
 	if err != nil {
-		return nil, "", err
+		return nil, "", factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 	}
 	if top == "" {
 		if len(src.Modules) == 0 {
-			return nil, "", fmt.Errorf("%s: no modules", file)
+			return nil, "", factorerr.New(factorerr.StageParse, factorerr.CodeInput, "%s: no modules", file)
 		}
 		top = src.Modules[0].Name
 	}
 	return src, top, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "testability:", err)
-	os.Exit(1)
 }

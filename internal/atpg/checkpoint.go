@@ -1,0 +1,204 @@
+package atpg
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"factor/internal/factorerr"
+	"factor/internal/fault"
+)
+
+// CheckpointVersion is the journal format version. Decoding rejects
+// other versions rather than guessing at field semantics.
+const CheckpointVersion = 1
+
+// Checkpoint is a resumable journal of an ATPG run, written during the
+// deterministic phase (see Options.Checkpoint). It captures everything
+// the merge replay needs to continue bit-identically:
+//
+//   - PostRandom is the detected bitmap at the end of the random phase.
+//     It alone determines the deterministic-phase pending list, whose
+//     order the merger replays.
+//   - Detected is the canonical detected bitmap at the journal point
+//     (PostRandom plus every merged deterministic test's detections).
+//   - Merged counts the pending-list entries the merger has fully
+//     processed; resume skips exactly that prefix.
+//   - Tests holds every kept sequence so far (random + deterministic).
+//
+// Because the deterministic merge replays serial semantics strictly in
+// fault-list order and every random fill draws from a per-fault-index
+// RNG stream, continuing from (PostRandom, Detected, Merged) yields the
+// same final result as the uninterrupted run — for any worker count on
+// either side of the interruption. The random phase is never
+// journaled: interrupted before the deterministic phase, a run simply
+// re-executes the (deterministic, seeded) random phase from scratch.
+type Checkpoint struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+
+	PostRandom []bool           `json:"post_random"`
+	Detected   []bool           `json:"detected"`
+	Merged     int              `json:"merged"`
+	Tests      []fault.Sequence `json:"tests"`
+
+	DetectedRandom int `json:"detected_random"`
+	DetectedDet    int `json:"detected_det"`
+	UntestableNum  int `json:"untestable"`
+	AbortedNum     int `json:"aborted"`
+	NotAttempted   int `json:"not_attempted"`
+	QuarantinedNum int `json:"quarantined"`
+
+	Errors []CheckpointError `json:"errors,omitempty"`
+}
+
+// CheckpointError is the journaled form of a quarantine error. Stacks
+// are dropped; the rendered message and fault identity survive resume.
+type CheckpointError struct {
+	Fault   string `json:"fault,omitempty"`
+	Message string `json:"message"`
+}
+
+// Encode writes the checkpoint as JSON.
+func (ck *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ck)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.NewDecoder(r).Decode(ck); err != nil {
+		return nil, factorerr.Wrap(factorerr.StageATPG, factorerr.CodeCheckpoint, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, factorerr.New(factorerr.StageATPG, factorerr.CodeCheckpoint,
+			"checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	return ck, nil
+}
+
+// WriteFile atomically replaces path with the encoded checkpoint
+// (write to a temp file in the same directory, fsync, rename) so a
+// crash mid-write never leaves a truncated journal behind.
+func (ck *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeCheckpoint, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := ck.Encode(tmp); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeCheckpoint, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeCheckpoint, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeCheckpoint, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file written by WriteFile.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeCheckpoint, err)
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}
+
+// fingerprint hashes everything that determines the run's outcome:
+// netlist structure, the result-shaping options (Workers and TimeBudget
+// excluded — both are free to change across a resume), and the fault
+// list. A checkpoint is only valid against an identical fingerprint.
+func (e *Engine) fingerprint(faults []fault.Fault) string {
+	h := fnv.New64a()
+	put := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	puts := func(s string) {
+		put(int64(len(s)))
+		io.WriteString(h, s)
+	}
+
+	puts(e.nl.Name)
+	put(int64(len(e.nl.Gates)))
+	for _, g := range e.nl.Gates {
+		put(int64(g.Kind))
+		put(int64(len(g.Fanin)))
+		for _, f := range g.Fanin {
+			put(int64(f))
+		}
+	}
+	for _, name := range e.nl.PINames {
+		puts(name)
+	}
+	for _, po := range e.nl.POs {
+		put(int64(po))
+	}
+
+	o := e.opts
+	put(int64(o.MaxFrames))
+	put(int64(o.BacktrackLimit))
+	put(int64(o.RandomSequences))
+	put(int64(o.RandomSeqLen))
+	put(o.Seed)
+	if o.DisableRandomPhase {
+		put(1)
+	} else {
+		put(0)
+	}
+
+	put(int64(len(faults)))
+	for _, f := range faults {
+		put(int64(f.Gate))
+		put(int64(f.Pin))
+		if f.SAOne {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// validate checks a checkpoint against the engine and fault list it is
+// about to resume.
+func (ck *Checkpoint) validate(fingerprint string, nfaults int) error {
+	if ck.Fingerprint != fingerprint {
+		return factorerr.New(factorerr.StageATPG, factorerr.CodeCheckpoint,
+			"checkpoint fingerprint %s does not match this netlist/options/fault list (%s)",
+			ck.Fingerprint, fingerprint)
+	}
+	if len(ck.PostRandom) != nfaults || len(ck.Detected) != nfaults {
+		return factorerr.New(factorerr.StageATPG, factorerr.CodeCheckpoint,
+			"checkpoint bitmap length %d/%d, want %d", len(ck.PostRandom), len(ck.Detected), nfaults)
+	}
+	pending := 0
+	for i, d := range ck.PostRandom {
+		if !d {
+			pending++
+		}
+		if d && !ck.Detected[i] {
+			return factorerr.New(factorerr.StageATPG, factorerr.CodeCheckpoint,
+				"checkpoint detected bitmap lost fault %d from the post-random set", i)
+		}
+	}
+	if ck.Merged < 0 || ck.Merged > pending {
+		return factorerr.New(factorerr.StageATPG, factorerr.CodeCheckpoint,
+			"checkpoint merge position %d outside pending list of %d", ck.Merged, pending)
+	}
+	return nil
+}

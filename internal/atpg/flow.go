@@ -1,11 +1,14 @@
 package atpg
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"factor/internal/factorerr"
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/sim"
@@ -38,6 +41,21 @@ type Options struct {
 	// under TimeBudget pressure where which faults get attempted before
 	// the deadline is inherently timing-dependent.
 	Workers int
+	// Checkpoint, when non-nil, periodically receives a journal of the
+	// run during the deterministic phase: every CheckpointEvery merged
+	// faults, once more when the run is canceled, and once on
+	// completion. The callback runs on the merger goroutine; an error
+	// it returns aborts the run with a checkpoint-stage error.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the number of merged deterministic-phase
+	// faults between Checkpoint calls (default 256).
+	CheckpointEvery int
+	// Resume, when non-nil, continues an interrupted run from its
+	// journal instead of starting over. The checkpoint must have been
+	// taken with the same netlist, fault list, and result-shaping
+	// options — Workers and TimeBudget are free to differ — and the
+	// final result is bit-identical to the uninterrupted run's.
+	Resume *Checkpoint
 }
 
 func (o Options) withDefaults(nl *netlist.Netlist) Options {
@@ -56,6 +74,9 @@ func (o Options) withDefaults(nl *netlist.Netlist) Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 256
 	}
 	return o
 }
@@ -126,6 +147,17 @@ type RunResult struct {
 	UntestableNum  int
 	AbortedNum     int
 	NotAttempted   int
+	// QuarantinedNum counts faults whose deterministic search panicked:
+	// the panic-isolation boundary converts the crash into a structured
+	// error (see Errors), classifies the fault as neither detected nor
+	// untestable, and the run continues.
+	QuarantinedNum int
+
+	// Errors holds the structured quarantine errors recorded during the
+	// run — PODEM panics and fault-simulation batch panics — in
+	// deterministic (merge/batch) order. They describe recovered,
+	// per-item failures; the run as a whole still succeeded.
+	Errors []error
 
 	RandomTime time.Duration
 	DetTime    time.Duration
@@ -166,7 +198,15 @@ const (
 	streamFill      = int64(0x46494c4c) // random fill for fault i
 )
 
-// Run executes the two-phase flow over the given target faults.
+// Run executes the two-phase flow over the given target faults. It is
+// RunContext without cancellation, checkpointing, or resume — in that
+// configuration the flow cannot fail, so no error is returned.
+func (e *Engine) Run(faults []fault.Fault) *RunResult {
+	out, _ := e.RunContext(context.Background(), faults)
+	return out
+}
+
+// RunContext executes the two-phase flow over the given target faults.
 //
 // Both phases fan out over Options.Workers goroutines; the merged
 // result is bit-identical to a single-worker run (same detected set,
@@ -177,7 +217,19 @@ const (
 // speculatively in fault-list chunks and merges chunk results in list
 // order, replaying exactly the serial drop/fill/simulate semantics;
 // see DESIGN.md, "Concurrency architecture".
-func (e *Engine) Run(faults []fault.Fault) *RunResult {
+//
+// Cancellation: when ctx is canceled (SIGINT, -timeout), workers drain
+// promptly, a final checkpoint is flushed if Options.Checkpoint is set,
+// and RunContext returns the partial result together with a canceled-
+// or timeout-stage error. A run resumed from that checkpoint (for any
+// worker count) finishes with a result bit-identical to an
+// uninterrupted run — see Checkpoint. The softer Options.TimeBudget
+// keeps its old semantics: the run completes normally with unreached
+// faults counted in NotAttempted, and no error.
+func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := fault.NewResult(faults)
 	out := &RunResult{Result: res, TotalFaults: len(faults)}
 	pool := fault.NewPool(e.nl, e.workers)
@@ -187,19 +239,53 @@ func (e *Engine) Run(faults []fault.Fault) *RunResult {
 		deadline = time.Now().Add(e.opts.TimeBudget)
 	}
 
-	// Phase 1: random sequences with fault dropping.
-	start := time.Now()
-	if !e.opts.DisableRandomPhase {
-		e.randomPhase(out, deadline)
+	var postRandom []bool
+	startMerged := 0
+	if ck := e.opts.Resume; ck != nil {
+		if err := ck.validate(e.fingerprint(faults), len(faults)); err != nil {
+			return out, err
+		}
+		copy(res.Detected, ck.Detected)
+		postRandom = append([]bool(nil), ck.PostRandom...)
+		startMerged = ck.Merged
+		out.Tests = append(out.Tests, ck.Tests...)
+		out.DetectedRandom = ck.DetectedRandom
+		out.DetectedDet = ck.DetectedDet
+		out.UntestableNum = ck.UntestableNum
+		out.AbortedNum = ck.AbortedNum
+		out.NotAttempted = ck.NotAttempted
+		out.QuarantinedNum = ck.QuarantinedNum
+		for _, ce := range ck.Errors {
+			fe := factorerr.New(factorerr.StageATPG, factorerr.CodePanic, "%s", ce.Message)
+			fe.Fault = ce.Fault
+			out.Errors = append(out.Errors, fe)
+		}
+	} else {
+		// Phase 1: random sequences with fault dropping. Never
+		// journaled — the phase is seeded and cheap, so an interrupted
+		// run re-executes it identically on resume.
+		start := time.Now()
+		if !e.opts.DisableRandomPhase {
+			if err := e.randomPhase(ctx, out, deadline); err != nil {
+				out.RandomTime = time.Since(start)
+				return out, err
+			}
+		}
+		out.RandomTime = time.Since(start)
+		postRandom = append([]bool(nil), res.Detected...)
 	}
-	out.RandomTime = time.Since(start)
 
 	// Phase 2: deterministic PODEM with time-frame expansion and fault
 	// dropping.
-	start = time.Now()
-	e.deterministicPhase(out, pool, deadline)
+	start := time.Now()
+	err := e.deterministicPhase(ctx, out, pool, deadline, postRandom, startMerged)
 	out.DetTime = time.Since(start)
-	return out
+	return out, err
+}
+
+// cancelErr classifies a context interruption as canceled or timed out.
+func cancelErr(ctxErr error) error {
+	return factorerr.FromContext(factorerr.StageATPG, ctxErr)
 }
 
 // randomPhase generates the whole random-sequence budget up front (each
@@ -209,14 +295,23 @@ func (e *Engine) Run(faults []fault.Fault) *RunResult {
 // is exactly what serial dropped simulation produces — a dropped pass
 // detects fault f with sequence i iff i is f's first detector — so the
 // outcome is independent of worker count.
-func (e *Engine) randomPhase(out *RunResult, deadline time.Time) {
+// A fault-simulation batch that panics during the pass is quarantined
+// by the pool (its faults report no random detection and stay eligible
+// for the deterministic phase); the structured errors are recorded on
+// the result. A canceled context abandons the pass wholesale — merging
+// a partial first-detection pass would match no serial run.
+func (e *Engine) randomPhase(ctx context.Context, out *RunResult, deadline time.Time) error {
 	res := out.Result
 	seqs := make([]fault.Sequence, e.opts.RandomSequences)
 	for i := range seqs {
 		rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamRandomSeq+int64(i)<<8)))
 		seqs[i] = e.randomSequence(rng)
 	}
-	first := fault.FirstDetections(e.nl, res.Faults, seqs, e.workers, deadline)
+	first, errs := fault.FirstDetections(ctx, e.nl, res.Faults, seqs, e.workers, deadline)
+	out.Errors = append(out.Errors, errs...)
+	if err := ctx.Err(); err != nil {
+		return cancelErr(err)
+	}
 
 	detBySeq := make([]int, len(seqs))
 	for fi, si := range first {
@@ -231,6 +326,7 @@ func (e *Engine) randomPhase(out *RunResult, deadline time.Time) {
 			out.DetectedRandom += n
 		}
 	}
+	return nil
 }
 
 // Chunk-result classification for the deterministic phase.
@@ -238,6 +334,8 @@ const (
 	specAttempted = iota // testFault ran; status/seq are valid
 	specSkipped          // worker observed the fault already detected
 	specDeadline         // worker reached the fault after the deadline
+	specCanceled         // worker observed a canceled context; merge stops here
+	specPanic            // testFault panicked; the fault is quarantined
 )
 
 // specResult is one worker's speculative outcome for one fault.
@@ -245,6 +343,33 @@ type specResult struct {
 	kind   int
 	status Status
 	seq    fault.Sequence
+	err    error // specPanic only: the structured quarantine error
+}
+
+// testFaultPanicHook, when non-nil, runs before every deterministic
+// search — the test-only injection point for exercising the PODEM
+// worker panic-isolation boundary (see TestDeterministicQuarantine).
+var testFaultPanicHook func(f fault.Fault)
+
+// safeTestFault runs testFault behind the worker panic-isolation
+// boundary: a panicking search yields a quarantine result carrying a
+// structured error instead of killing the process. Sibling faults and
+// the merge replay are unaffected, so the remaining run stays
+// deterministic.
+func (e *Engine) safeTestFault(f fault.Fault, deadline time.Time) (r specResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r = specResult{
+				kind: specPanic,
+				err:  factorerr.FromPanic(factorerr.StageATPG, rec).WithFault(f.String()),
+			}
+		}
+	}()
+	if testFaultPanicHook != nil {
+		testFaultPanicHook(f)
+	}
+	seq, status := e.testFault(f, deadline)
+	return specResult{kind: specAttempted, status: status, seq: seq}
 }
 
 // deterministicPhase runs PODEM over the undetected faults with a
@@ -260,24 +385,41 @@ type specResult struct {
 // confirmed by the merger, and a worker that searched a fault the
 // merger later drops just wasted speculative work — either way the
 // merged output matches a single-worker run exactly.
-func (e *Engine) deterministicPhase(out *RunResult, pool *fault.Pool, deadline time.Time) {
+// Resume: the pending list is derived from the post-random detected
+// bitmap — never from the current canonical set — so it is identical
+// across interruptions, and resuming just skips the first startMerged
+// entries of the same list.
+//
+// Cancellation: workers observe the context at fault pickup and emit
+// specCanceled markers; the merger stops at the first one (recording
+// the merge position in a final checkpoint) and returns a structured
+// canceled/timeout error. Chunk channels are buffered, so workers
+// never block on the stopped merger and the drain cannot deadlock.
+func (e *Engine) deterministicPhase(ctx context.Context, out *RunResult, pool *fault.Pool, deadline time.Time, postRandom []bool, startMerged int) error {
 	res := out.Result
 	var pending []int
 	for i := range res.Faults {
-		if !res.Detected[i] {
+		if !postRandom[i] {
 			pending = append(pending, i)
 		}
 	}
-	if len(pending) == 0 {
-		return
+	work := pending[startMerged:]
+	if len(work) == 0 {
+		return e.flushCheckpoint(out, postRandom, startMerged)
 	}
 
-	// Chunk size depends only on (len(pending), workers) — never on
+	// ictx lets the merger abandon the run (checkpoint write failure)
+	// without waiting for workers to grind through the remaining
+	// chunks; it also propagates the caller's cancellation.
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
+	// Chunk size depends only on (len(work), workers) — never on
 	// timing — so the chunk boundaries, and therefore the merge replay,
 	// are reproducible. Small chunks keep workers load-balanced; the
 	// clamp bounds per-chunk result buffering.
-	cs := clamp(len(pending)/(e.workers*4), 1, 64)
-	nchunks := (len(pending) + cs - 1) / cs
+	cs := clamp(len(work)/(e.workers*4), 1, 64)
+	nchunks := (len(work) + cs - 1) / cs
 
 	// mu guards the canonical detected-set (res.Detected) and the pool
 	// simulators used by the merger. Workers take it only for the
@@ -300,9 +442,13 @@ func (e *Engine) deterministicPhase(out *RunResult, pool *fault.Pool, deadline t
 					return
 				}
 				lo := c * cs
-				hi := min(lo+cs, len(pending))
+				hi := min(lo+cs, len(work))
 				results := make([]specResult, hi-lo)
-				for k, fi := range pending[lo:hi] {
+				for k, fi := range work[lo:hi] {
+					if ictx.Err() != nil {
+						results[k] = specResult{kind: specCanceled}
+						continue
+					}
 					if !deadline.IsZero() && time.Now().After(deadline) {
 						results[k] = specResult{kind: specDeadline}
 						continue
@@ -314,67 +460,139 @@ func (e *Engine) deterministicPhase(out *RunResult, pool *fault.Pool, deadline t
 						results[k] = specResult{kind: specSkipped}
 						continue
 					}
-					seq, status := e.testFault(res.Faults[fi], deadline)
-					results[k] = specResult{kind: specAttempted, status: status, seq: seq}
+					results[k] = e.safeTestFault(res.Faults[fi], deadline)
 				}
 				chans[c] <- results
 			}
 		}()
 	}
 
+	merged := startMerged
+	var runErr error
+mergeLoop:
 	for c := 0; c < nchunks; c++ {
 		results := <-chans[c]
 		lo := c * cs
 		for k, r := range results {
-			fi := pending[lo+k]
-			mu.Lock()
-			dropped := res.Detected[fi]
-			mu.Unlock()
-			if dropped {
-				continue
+			if r.kind == specCanceled {
+				runErr = cancelErr(ctx.Err())
+				break mergeLoop
 			}
-			if r.kind == specDeadline {
-				out.NotAttempted++
-				continue
-			}
-			if r.kind == specSkipped {
-				// Unreachable when the monotonicity invariant holds (the
-				// canonical set never shrinks), but dropping must stay an
-				// optimization, never a correctness dependency: recompute.
-				r.seq, r.status = e.testFault(res.Faults[fi], deadline)
-			}
-			switch r.status {
-			case Detected:
-				rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamFill+int64(fi)<<8)))
-				filled := e.fillRandom(r.seq, rng)
-				mu.Lock()
-				before := res.NumDetected()
-				pool.RunSequence(res, filled)
-				if !res.Detected[fi] {
-					// Random fill can mask the detection through X-optimism
-					// differences; fall back to the unfilled sequence.
-					pool.RunSequence(res, r.seq)
+			e.mergeOne(out, pool, work[lo+k], r, deadline, &mu)
+			merged++
+			if e.opts.Checkpoint != nil && (merged-startMerged)%e.opts.CheckpointEvery == 0 {
+				if err := e.flushCheckpoint(out, postRandom, merged); err != nil {
+					runErr = err
+					break mergeLoop
 				}
-				detected := res.Detected[fi]
-				newly := res.NumDetected() - before
-				mu.Unlock()
-				if !detected {
-					// The PODEM model and the fault simulator agree on
-					// 3-valued semantics, so this should not happen; count
-					// it as aborted to stay conservative.
-					out.AbortedNum++
-					continue
-				}
-				out.Tests = append(out.Tests, filled)
-				out.DetectedDet += newly
-			case Untestable:
-				out.UntestableNum++
-			case Aborted:
-				out.AbortedNum++
 			}
 		}
 	}
+	icancel()
 	wg.Wait()
+	out.Errors = append(out.Errors, pool.DrainErrors()...)
+	if err := e.flushCheckpoint(out, postRandom, merged); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// mergeOne replays the serial semantics for one fault on the merger
+// goroutine: drop if canonically detected, random-fill a detecting
+// sequence from the fault's own RNG stream, fault-simulate it into the
+// canonical set, and account the outcome. specPanic results quarantine
+// the fault: the structured error is recorded and the fault is
+// classified neither detected nor untestable.
+func (e *Engine) mergeOne(out *RunResult, pool *fault.Pool, fi int, r specResult, deadline time.Time, mu *sync.Mutex) {
+	res := out.Result
+	mu.Lock()
+	dropped := res.Detected[fi]
+	mu.Unlock()
+	if dropped {
+		return
+	}
+	switch r.kind {
+	case specDeadline:
+		out.NotAttempted++
+		return
+	case specPanic:
+		out.QuarantinedNum++
+		out.Errors = append(out.Errors, r.err)
+		return
+	case specSkipped:
+		// Unreachable when the monotonicity invariant holds (the
+		// canonical set never shrinks), but dropping must stay an
+		// optimization, never a correctness dependency: recompute.
+		if r = e.safeTestFault(res.Faults[fi], deadline); r.kind == specPanic {
+			out.QuarantinedNum++
+			out.Errors = append(out.Errors, r.err)
+			return
+		}
+	}
+	switch r.status {
+	case Detected:
+		rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamFill+int64(fi)<<8)))
+		filled := e.fillRandom(r.seq, rng)
+		mu.Lock()
+		before := res.NumDetected()
+		pool.RunSequence(res, filled)
+		if !res.Detected[fi] {
+			// Random fill can mask the detection through X-optimism
+			// differences; fall back to the unfilled sequence.
+			pool.RunSequence(res, r.seq)
+		}
+		detected := res.Detected[fi]
+		newly := res.NumDetected() - before
+		mu.Unlock()
+		if !detected {
+			// The PODEM model and the fault simulator agree on
+			// 3-valued semantics, so this should not happen; count
+			// it as aborted to stay conservative.
+			out.AbortedNum++
+			return
+		}
+		out.Tests = append(out.Tests, filled)
+		out.DetectedDet += newly
+	case Untestable:
+		out.UntestableNum++
+	case Aborted:
+		out.AbortedNum++
+	}
+}
+
+// flushCheckpoint snapshots the run at a merge position and hands it to
+// the Checkpoint callback. It runs only on the merger goroutine, which
+// is the sole mutator of the result, so the snapshot needs no lock.
+func (e *Engine) flushCheckpoint(out *RunResult, postRandom []bool, merged int) error {
+	if e.opts.Checkpoint == nil {
+		return nil
+	}
+	ck := &Checkpoint{
+		Version:        CheckpointVersion,
+		Fingerprint:    e.fingerprint(out.Result.Faults),
+		PostRandom:     append([]bool(nil), postRandom...),
+		Detected:       append([]bool(nil), out.Result.Detected...),
+		Merged:         merged,
+		Tests:          append([]fault.Sequence(nil), out.Tests...),
+		DetectedRandom: out.DetectedRandom,
+		DetectedDet:    out.DetectedDet,
+		UntestableNum:  out.UntestableNum,
+		AbortedNum:     out.AbortedNum,
+		NotAttempted:   out.NotAttempted,
+		QuarantinedNum: out.QuarantinedNum,
+	}
+	for _, err := range out.Errors {
+		ce := CheckpointError{Message: err.Error()}
+		var fe *factorerr.Error
+		if errors.As(err, &fe) {
+			ce.Fault = fe.Fault
+		}
+		ck.Errors = append(ck.Errors, ce)
+	}
+	if err := e.opts.Checkpoint(ck); err != nil {
+		return factorerr.Wrap(factorerr.StageATPG, factorerr.CodeCheckpoint, err)
+	}
+	return nil
 }
 
 // testFault escalates time frames until the fault is detected, proven

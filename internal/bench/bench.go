@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -198,7 +199,7 @@ func (c *Context) table23(mode core.Mode) ([]Row23, error) {
 	for i, mut := range muts {
 		paths[i] = mut.Path
 	}
-	trs, err := core.TransformAll(ext, paths, c.Full, core.TransformOptions{TopParams: c.params()}, c.Cfg.Workers)
+	trs, err := core.TransformAll(context.Background(), ext, paths, c.Full, core.TransformOptions{TopParams: c.params()}, c.Cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +305,7 @@ func (c *Context) table56(mode core.Mode, pierDepth int) ([]Row56, error) {
 	for i, mut := range muts {
 		paths[i] = mut.Path
 	}
-	trs, err := core.TransformAll(ext, paths, c.Full, core.TransformOptions{
+	trs, err := core.TransformAll(context.Background(), ext, paths, c.Full, core.TransformOptions{
 		TopParams:    c.params(),
 		EnablePIERs:  true,
 		PIERMaxDepth: pierDepth,

@@ -1,0 +1,63 @@
+// Package cli holds the runtime plumbing shared by the factor command
+// suite (cmd/factor, cmd/atpg, cmd/testability): signal-aware contexts
+// with wall-clock budgets, the unified exit-code taxonomy, and the
+// machine-readable run report written by -report.
+//
+// Exit codes (see DESIGN.md §9):
+//
+//	0  success
+//	1  input or analysis error (nothing usable produced)
+//	2  usage error
+//	3  partial failure: some results were produced and flushed
+//	   (a failed MUT among successes, a canceled or timed-out run,
+//	   quarantined faults)
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"factor/internal/factorerr"
+)
+
+// SignalContext returns a context that is canceled on SIGINT or
+// SIGTERM and, when timeout > 0, after the wall-clock budget expires.
+// The caller must call stop to release the signal handler; after the
+// first signal cancels the context, a second signal falls back to the
+// default handler and kills the process (the standard double-Ctrl-C
+// escape hatch).
+func SignalContext(timeout time.Duration) (ctx context.Context, stop context.CancelFunc) {
+	ctx = context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, sstop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	return ctx, func() {
+		sstop()
+		cancel()
+	}
+}
+
+// Fatal prints the structured error chain to stderr and exits with the
+// taxonomy code for err.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, factorerr.FormatChain(err))
+	os.Exit(factorerr.ExitCode(err))
+}
+
+// Usagef prints a usage complaint and exits 2.
+func Usagef(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(factorerr.ExitUsage)
+}
+
+// Warn prints a non-fatal structured error (e.g. a quarantined fault
+// or MUT) to stderr.
+func Warn(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: warning: %s\n", tool, factorerr.FormatChain(err))
+}

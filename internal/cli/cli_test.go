@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"factor/internal/factorerr"
+)
+
+func TestNewReportStatus(t *testing.T) {
+	cases := []struct {
+		err    error
+		status string
+		exit   int
+	}{
+		{nil, "ok", factorerr.ExitOK},
+		{factorerr.New(factorerr.StageParse, factorerr.CodeInput, "bad"), "error", factorerr.ExitError},
+		{factorerr.New(factorerr.StageATPG, factorerr.CodeCanceled, "stop"), "partial", factorerr.ExitPartial},
+		{factorerr.New(factorerr.StageExtract, factorerr.CodePartial, "1 of 2"), "partial", factorerr.ExitPartial},
+	}
+	for i, c := range cases {
+		r := NewReport("tool", c.err)
+		if r.Status != c.status || r.ExitCode != c.exit {
+			t.Errorf("case %d: status=%s exit=%d, want %s/%d", i, r.Status, r.ExitCode, c.status, c.exit)
+		}
+	}
+}
+
+func TestReportErrorsKeepTags(t *testing.T) {
+	agg := factorerr.New(factorerr.StageExtract, factorerr.CodePartial, "1 of 2 MUTs failed")
+	agg.Err = factorerr.Collect([]error{
+		factorerr.New(factorerr.StageExtract, factorerr.CodePanic, "boom").WithMUT("u_a"),
+		factorerr.New(factorerr.StageATPG, factorerr.CodePanic, "bang").WithFault("g3/sa1"),
+	})
+	res := ReportErrors(agg)
+	if len(res) != 2 {
+		t.Fatalf("got %d entries, want 2 (aggregate header dissolved)", len(res))
+	}
+	if res[0].MUT != "u_a" || res[0].Code != "panic" || res[0].Stage != "extract" {
+		t.Errorf("entry 0 = %+v", res[0])
+	}
+	if res[1].Fault != "g3/sa1" {
+		t.Errorf("entry 1 = %+v", res[1])
+	}
+}
+
+func TestReportWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	rep := NewReport("atpg", factorerr.New(factorerr.StageATPG, factorerr.CodeTimeout, "deadline"))
+	rep.ATPG = &ATPGReport{TotalFaults: 10, Detected: 7, Coverage: 70, Interrupted: true}
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Status != "partial" || got.ExitCode != factorerr.ExitPartial {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.ATPG == nil || !got.ATPG.Interrupted || got.ATPG.Detected != 7 {
+		t.Errorf("ATPG section: %+v", got.ATPG)
+	}
+	if len(got.MUTs) != 0 {
+		t.Errorf("empty MUT section should be omitted, got %v", got.MUTs)
+	}
+}
+
+func TestSignalContextTimeout(t *testing.T) {
+	ctx, stop := SignalContext(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout did not fire")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want deadline exceeded", ctx.Err())
+	}
+}
+
+func TestSignalContextNoTimeout(t *testing.T) {
+	ctx, stop := SignalContext(0)
+	select {
+	case <-ctx.Done():
+		t.Fatal("context canceled without signal or timeout")
+	default:
+	}
+	stop()
+}

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+
+	"factor/internal/factorerr"
+)
+
+// Report is the machine-readable run summary written by -report. The
+// schema is shared by all tools; tool-specific sections are omitted
+// when empty.
+type Report struct {
+	Tool     string `json:"tool"`
+	Status   string `json:"status"` // "ok", "partial", "error"
+	ExitCode int    `json:"exit_code"`
+
+	// Errors are the leaf failures of the run, one entry per
+	// quarantined MUT/fault or interruption.
+	Errors []ReportError `json:"errors,omitempty"`
+
+	// MUTs reports per-MUT outcomes of a multi-MUT factor run.
+	MUTs []MUTReport `json:"muts,omitempty"`
+
+	// ATPG reports the test-generation outcome of an atpg run.
+	ATPG *ATPGReport `json:"atpg,omitempty"`
+}
+
+// ReportError is one structured failure.
+type ReportError struct {
+	Stage   string `json:"stage,omitempty"`
+	Code    string `json:"code,omitempty"`
+	MUT     string `json:"mut,omitempty"`
+	Fault   string `json:"fault,omitempty"`
+	Message string `json:"message"`
+}
+
+// MUTReport is the per-MUT outcome of a factor run.
+type MUTReport struct {
+	Path  string `json:"path"`
+	OK    bool   `json:"ok"`
+	Gates int    `json:"gates,omitempty"`
+	PIs   int    `json:"pis,omitempty"`
+	POs   int    `json:"pos,omitempty"`
+	PIERs int    `json:"piers,omitempty"`
+}
+
+// ATPGReport is the test-generation outcome of an atpg run.
+type ATPGReport struct {
+	TotalFaults    int     `json:"total_faults"`
+	Detected       int     `json:"detected"`
+	DetectedRandom int     `json:"detected_random"`
+	DetectedDet    int     `json:"detected_deterministic"`
+	Untestable     int     `json:"untestable"`
+	Aborted        int     `json:"aborted"`
+	NotAttempted   int     `json:"not_attempted"`
+	Quarantined    int     `json:"quarantined"`
+	Tests          int     `json:"tests"`
+	Coverage       float64 `json:"fault_coverage"`
+	Efficiency     float64 `json:"fault_efficiency"`
+	Interrupted    bool    `json:"interrupted"`
+	Resumed        bool    `json:"resumed"`
+}
+
+// NewReport seeds a report for a finished run: the exit code and status
+// come from err via the unified taxonomy, the error list from its
+// flattened leaves.
+func NewReport(tool string, err error) *Report {
+	r := &Report{Tool: tool, ExitCode: factorerr.ExitCode(err)}
+	switch r.ExitCode {
+	case factorerr.ExitOK:
+		r.Status = "ok"
+	case factorerr.ExitPartial:
+		r.Status = "partial"
+	default:
+		r.Status = "error"
+	}
+	r.Errors = ReportErrors(err)
+	return r
+}
+
+// ReportErrors flattens err into report entries, preserving structured
+// tags where present.
+func ReportErrors(err error) []ReportError {
+	var out []ReportError
+	for _, leaf := range factorerr.Flatten(err) {
+		re := ReportError{Message: leaf.Error()}
+		if fe, ok := leaf.(*factorerr.Error); ok {
+			re.Stage = string(fe.Stage)
+			re.Code = fe.Code.String()
+			re.MUT = fe.MUT
+			re.Fault = fe.Fault
+		}
+		out = append(out, re)
+	}
+	return out
+}
+
+// Write marshals the report to path (pretty-printed, trailing newline).
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return nil
+}

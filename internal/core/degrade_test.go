@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"factor/internal/factorerr"
+)
+
+// TestExtractAllQuarantinesPanic injects a panic into one MUT's pooled
+// extraction (test hook) and checks the degradation policy: the
+// sibling MUT completes, the panicking MUT is quarantined with a
+// structured, MUT-tagged error, and the aggregate maps to the partial
+// exit code.
+func TestExtractAllQuarantinesPanic(t *testing.T) {
+	d := analyzeSmall(t)
+	extractPanicHook = func(mutPath string) {
+		if mutPath == "u_mid.u_leaf" {
+			panic("injected extraction panic")
+		}
+	}
+	defer func() { extractPanicHook = nil }()
+
+	e := NewExtractor(d, ModeComposed)
+	exs, err := e.ExtractAll(context.Background(), []string{"u_mid", "u_mid.u_leaf"}, 4)
+	if err == nil {
+		t.Fatal("expected an aggregate error")
+	}
+	if exs[0] == nil {
+		t.Fatal("healthy sibling MUT was lost")
+	}
+	if exs[1] != nil {
+		t.Fatal("panicking MUT produced a result")
+	}
+	if !errors.Is(err, &factorerr.Error{Stage: factorerr.StageExtract, Code: factorerr.CodePanic}) {
+		t.Fatalf("aggregate %v does not contain a structured extract panic", err)
+	}
+	fe := factorerr.Find(err, &factorerr.Error{Code: factorerr.CodePanic})
+	if fe == nil || fe.MUT != "u_mid.u_leaf" || len(fe.Stack) == 0 {
+		t.Fatalf("panic error lacks MUT tag or stack: %+v", fe)
+	}
+	if got := factorerr.ExitCode(err); got != factorerr.ExitPartial {
+		t.Fatalf("exit code = %d, want %d (one MUT succeeded)", got, factorerr.ExitPartial)
+	}
+}
+
+// TestTransformAllQuarantinesPanic: same contract at the transform
+// (extract + synthesize) pool.
+func TestTransformAllQuarantinesPanic(t *testing.T) {
+	d := analyzeSmall(t)
+	transformPanicHook = func(mutPath string) {
+		if mutPath == "u_mid" {
+			panic("injected transform panic")
+		}
+	}
+	defer func() { transformPanicHook = nil }()
+
+	e := NewExtractor(d, ModeComposed)
+	trs, err := TransformAll(context.Background(), e, []string{"u_mid.u_leaf", "u_mid"}, nil, TransformOptions{}, 4)
+	if err == nil {
+		t.Fatal("expected an aggregate error")
+	}
+	if trs[0] == nil || trs[1] != nil {
+		t.Fatalf("degradation: results = [%v, %v], want [ok, nil]", trs[0] != nil, trs[1] != nil)
+	}
+	if !errors.Is(err, &factorerr.Error{Stage: factorerr.StageSynth, Code: factorerr.CodePanic}) {
+		t.Fatalf("aggregate %v does not contain a structured synth-stage panic", err)
+	}
+	if got := factorerr.ExitCode(err); got != factorerr.ExitPartial {
+		t.Fatalf("exit code = %d, want %d", got, factorerr.ExitPartial)
+	}
+}
+
+// TestAllMUTsFailingIsNotPartial: when every MUT fails there is nothing
+// partial about the outcome — the aggregate maps to a plain error exit.
+func TestAllMUTsFailingIsNotPartial(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	exs, err := e.ExtractAll(context.Background(), []string{"no.such.a", "no.such.b"}, 2)
+	if err == nil {
+		t.Fatal("expected an aggregate error")
+	}
+	if exs[0] != nil || exs[1] != nil {
+		t.Fatal("failed MUTs produced results")
+	}
+	if got := factorerr.ExitCode(err); got != factorerr.ExitError {
+		t.Fatalf("exit code = %d, want %d (no MUT succeeded)", got, factorerr.ExitError)
+	}
+}
+
+// TestExtractAllCancellation: a canceled context marks the MUTs with
+// structured canceled errors and maps to the partial exit code.
+func TestExtractAllCancellation(t *testing.T) {
+	d := analyzeSmall(t)
+	e := NewExtractor(d, ModeComposed)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ExtractAll(ctx, []string{"u_mid", "u_mid.u_leaf"}, 2)
+	if !errors.Is(err, &factorerr.Error{Code: factorerr.CodeCanceled}) {
+		t.Fatalf("error = %v, want structured canceled error", err)
+	}
+	if got := factorerr.ExitCode(err); got != factorerr.ExitPartial {
+		t.Fatalf("exit code = %d, want %d", got, factorerr.ExitPartial)
+	}
+}

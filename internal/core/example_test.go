@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"factor/internal/core"
@@ -39,7 +40,7 @@ endmodule
 	}
 
 	e := core.NewExtractor(d, core.ModeComposed)
-	exs, err := e.ExtractAll([]string{"u_a", "u_b"}, 8)
+	exs, err := e.ExtractAll(context.Background(), []string{"u_a", "u_b"}, 8)
 	if err != nil {
 		panic(err)
 	}

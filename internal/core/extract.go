@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"factor/internal/design"
+	"factor/internal/factorerr"
 	"factor/internal/verilog"
 )
 
@@ -216,8 +219,17 @@ const maxTrace = 24
 
 // Extract runs constraint extraction for the module instance at
 // mutPath (paper: "Once the MUT and the top module are identified,
-// FACTOR calls appropriate subroutines").
+// FACTOR calls appropriate subroutines"). It is ExtractContext without
+// cancellation.
 func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
+	return e.ExtractContext(context.Background(), mutPath)
+}
+
+// ExtractContext is Extract under a context: the traversal polls ctx
+// every 64 work items and returns a structured canceled/timeout error
+// when it is interrupted (extractions can walk very large hierarchies,
+// so the loop itself must be interruptible, not just the callers).
+func (e *Extractor) ExtractContext(ctx context.Context, mutPath string) (*Extraction, error) {
 	node := e.D.Root.Find(mutPath)
 	if node == nil {
 		return nil, fmt.Errorf("core: MUT instance path %q not found", mutPath)
@@ -287,6 +299,11 @@ func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
 		}
 		visited[key] = true
 		ex.WorkItems++
+		if ex.WorkItems&63 == 0 && ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, factorerr.FromContext(factorerr.StageExtract, cerr)
+			}
+		}
 
 		next, err := e.process(ex, w)
 		if err != nil {
@@ -300,14 +317,80 @@ func (e *Extractor) Extract(mutPath string) (*Extraction, error) {
 	return ex, nil
 }
 
+// extractPanicHook, when non-nil, runs at the top of every pooled
+// extraction — the test-only injection point for the worker
+// panic-isolation boundary.
+var extractPanicHook func(mutPath string)
+
+// safeExtract runs one MUT's extraction behind the worker pool's
+// panic-isolation boundary: a panic quarantines that MUT (nil result,
+// structured error) and the sibling MUTs continue.
+func (e *Extractor) safeExtract(ctx context.Context, mutPath string) (ex *Extraction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex = nil
+			err = factorerr.FromPanic(factorerr.StageExtract, r).WithMUT(mutPath)
+		}
+	}()
+	if extractPanicHook != nil {
+		extractPanicHook(mutPath)
+	}
+	return e.ExtractContext(ctx, mutPath)
+}
+
+// wrapMUT tags a per-MUT failure with the MUT's instance path.
+// Structured errors keep their stage and code; anything else becomes
+// an analysis error at the given stage.
+func wrapMUT(err error, stage factorerr.Stage, mut string) error {
+	if err == nil {
+		return nil
+	}
+	var fe *factorerr.Error
+	if errors.As(err, &fe) {
+		if fe.MUT == "" {
+			fe.MUT = mut
+		}
+		return err
+	}
+	return factorerr.Wrap(stage, factorerr.CodeAnalysis, err).WithMUT(mut)
+}
+
+// collectMUT aggregates per-MUT failures into the degradation policy's
+// error shape: nil when every MUT succeeded; a partial-code error
+// wrapping the individual failures when only some failed (CLI exit 3);
+// the plain aggregate when all failed (exit 1).
+func collectMUT(stage factorerr.Stage, errs []error, total int) error {
+	agg := factorerr.Collect(errs)
+	if agg == nil {
+		return nil
+	}
+	nfail := len(factorerr.Flatten(agg))
+	if nfail < total {
+		pe := factorerr.New(stage, factorerr.CodePartial, "%d of %d MUTs failed", nfail, total)
+		pe.Err = agg
+		return pe
+	}
+	return agg
+}
+
 // ExtractAll extracts constraints for several MUTs concurrently over
 // the given number of workers (<= 0 selects runtime.NumCPU()). Results
-// are returned in input order; on failure the error of the
-// lowest-index failing MUT is returned. Each individual Extraction is
-// identical to a serial Extract call for the same path, and the shared
-// chain cache computes each (module, signal, direction) view exactly
-// once across all workers.
-func (e *Extractor) ExtractAll(mutPaths []string, workers int) ([]*Extraction, error) {
+// are returned in input order. Each individual Extraction is identical
+// to a serial Extract call for the same path, and the shared chain
+// cache computes each (module, signal, direction) view exactly once
+// across all workers.
+//
+// Degradation policy: one failing (or panicking) MUT does not abort its
+// siblings. The returned slice always has len(mutPaths) entries — nil
+// at the failed indices — and the error aggregates every per-MUT
+// failure, tagged with its MUT path; it carries CodePartial when at
+// least one MUT succeeded. Cancellation marks the not-yet-started MUTs
+// with canceled errors and returns once in-flight extractions notice
+// the context.
+func (e *Extractor) ExtractAll(ctx context.Context, mutPaths []string, workers int) ([]*Extraction, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -327,17 +410,17 @@ func (e *Extractor) ExtractAll(mutPaths []string, workers int) ([]*Extraction, e
 				if i >= len(mutPaths) {
 					return
 				}
-				out[i], errs[i] = e.Extract(mutPaths[i])
+				if cerr := ctx.Err(); cerr != nil {
+					errs[i] = factorerr.FromContext(factorerr.StageExtract, cerr).WithMUT(mutPaths[i])
+					continue
+				}
+				ex, err := e.safeExtract(ctx, mutPaths[i])
+				out[i], errs[i] = ex, wrapMUT(err, factorerr.StageExtract, mutPaths[i])
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, collectMUT(factorerr.StageExtract, errs, len(mutPaths))
 }
 
 func (ex *Extraction) slice(path, module string) *pathSlice {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"sync"
@@ -51,7 +52,7 @@ func TestExtractAllMatchesSerial(t *testing.T) {
 	}
 
 	parExt := NewExtractor(analyzeSmall(t), ModeComposed)
-	exs, err := parExt.ExtractAll(muts, 8)
+	exs, err := parExt.ExtractAll(context.Background(), muts, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +73,17 @@ func TestExtractAllMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestExtractAllError surfaces the lowest-index failure.
+// TestExtractAllError: a bad MUT path fails, is tagged, and does not
+// take its healthy sibling down with it (the degradation policy).
 func TestExtractAllError(t *testing.T) {
 	d := analyzeSmall(t)
 	e := NewExtractor(d, ModeComposed)
-	if _, err := e.ExtractAll([]string{"u_mid", "no.such.path"}, 4); err == nil {
+	exs, err := e.ExtractAll(context.Background(), []string{"u_mid", "no.such.path"}, 4)
+	if err == nil {
 		t.Fatal("expected error for unknown MUT path")
+	}
+	if exs[0] == nil || exs[1] != nil {
+		t.Fatalf("degradation: results = [%v, %v], want [ok, nil]", exs[0] != nil, exs[1] != nil)
 	}
 }
 
@@ -147,7 +153,7 @@ func TestTransformAllMatchesSerial(t *testing.T) {
 	}
 
 	parExt := NewExtractor(analyzeSmall(t), ModeComposed)
-	trs, err := TransformAll(parExt, muts, nil, TransformOptions{}, 8)
+	trs, err := TransformAll(context.Background(), parExt, muts, nil, TransformOptions{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

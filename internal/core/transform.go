@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"factor/internal/factorerr"
 	"factor/internal/netlist"
 	"factor/internal/synth"
 	"factor/internal/verilog"
@@ -74,8 +76,15 @@ type Transformed struct {
 // by the caller (it is MUT-independent and expensive, so it is computed
 // once and shared).
 func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts TransformOptions) (*Transformed, error) {
+	return TransformContext(context.Background(), e, mutPath, full, opts)
+}
+
+// TransformContext is Transform under a context: the extraction
+// traversal polls it (see ExtractContext), and it is checked again
+// between the extract and synthesis steps.
+func TransformContext(ctx context.Context, e *Extractor, mutPath string, full *netlist.Netlist, opts TransformOptions) (*Transformed, error) {
 	start := time.Now()
-	ex, err := e.Extract(mutPath)
+	ex, err := e.ExtractContext(ctx, mutPath)
 	if err != nil {
 		return nil, err
 	}
@@ -85,10 +94,15 @@ func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts Transfo
 	}
 	extractTime := time.Since(start)
 
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, factorerr.FromContext(factorerr.StageSynth, cerr)
+		}
+	}
 	start = time.Now()
 	res, err := synth.Synthesize(src, topName, synth.Options{TopParams: opts.TopParams})
 	if err != nil {
-		return nil, fmt.Errorf("core: synthesizing transformed module for %s: %v", mutPath, err)
+		return nil, fmt.Errorf("core: synthesizing transformed module for %s: %w", mutPath, err)
 	}
 	synthTime := time.Since(start)
 
@@ -128,15 +142,42 @@ func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts Transfo
 	return t, nil
 }
 
+// transformPanicHook, when non-nil, runs at the top of every pooled
+// transform — the test-only injection point for the worker
+// panic-isolation boundary.
+var transformPanicHook func(mutPath string)
+
+// safeTransform runs one MUT's transform behind the worker pool's
+// panic-isolation boundary.
+func safeTransform(ctx context.Context, e *Extractor, mutPath string, full *netlist.Netlist, opts TransformOptions) (t *Transformed, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t = nil
+			err = factorerr.FromPanic(factorerr.StageSynth, r).WithMUT(mutPath)
+		}
+	}()
+	if transformPanicHook != nil {
+		transformPanicHook(mutPath)
+	}
+	return TransformContext(ctx, e, mutPath, full, opts)
+}
+
 // TransformAll runs Transform for several MUTs concurrently over the
 // given number of workers (<= 0 selects runtime.NumCPU()). Results are
-// returned in input order; on failure the error of the lowest-index
-// failing MUT is returned. The extractor's single-flight chain cache is
+// returned in input order. The extractor's single-flight chain cache is
 // shared across workers, so intermediate modules common to several MUTs
 // are extracted once. The parsed design AST is read-only after
 // analysis, and each Transform synthesizes its own emitted source, so
 // workers share no mutable synthesis state.
-func TransformAll(e *Extractor, mutPaths []string, full *netlist.Netlist, opts TransformOptions, workers int) ([]*Transformed, error) {
+//
+// Degradation policy: as ExtractAll — one failing or panicking MUT is
+// quarantined (nil entry, structured error tagged with the MUT path)
+// while its siblings complete; the aggregate error carries CodePartial
+// when at least one MUT succeeded.
+func TransformAll(ctx context.Context, e *Extractor, mutPaths []string, full *netlist.Netlist, opts TransformOptions, workers int) ([]*Transformed, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -156,17 +197,17 @@ func TransformAll(e *Extractor, mutPaths []string, full *netlist.Netlist, opts T
 				if i >= len(mutPaths) {
 					return
 				}
-				out[i], errs[i] = Transform(e, mutPaths[i], full, opts)
+				if cerr := ctx.Err(); cerr != nil {
+					errs[i] = factorerr.FromContext(factorerr.StageSynth, cerr).WithMUT(mutPaths[i])
+					continue
+				}
+				t, err := safeTransform(ctx, e, mutPaths[i], full, opts)
+				out[i], errs[i] = t, wrapMUT(err, factorerr.StageSynth, mutPaths[i])
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, collectMUT(factorerr.StageSynth, errs, len(mutPaths))
 }
 
 // splitGates counts gates inside vs outside a hierarchical scope

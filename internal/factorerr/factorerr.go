@@ -1,0 +1,358 @@
+// Package factorerr defines the structured error vocabulary of the
+// FACTOR pipeline: every failure carries the pipeline stage it occurred
+// in, a machine-readable code, and — where applicable — the MUT
+// instance path and fault it belongs to. The CLIs map these errors to a
+// documented exit-code taxonomy and a machine-readable failure report,
+// and the worker pools use them to quarantine a panicking work item
+// instead of killing the whole run (see DESIGN.md, "Failure model &
+// degradation policy").
+package factorerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Stage names the pipeline phase an error belongs to (paper Fig. 1:
+// parse -> analyze -> extract -> synthesize -> ATPG).
+type Stage string
+
+// Pipeline stages.
+const (
+	StageParse    Stage = "parse"
+	StageAnalyze  Stage = "analyze"
+	StageExtract  Stage = "extract"
+	StageSynth    Stage = "synth"
+	StageATPG     Stage = "atpg"
+	StageFaultSim Stage = "faultsim"
+	StageIO       Stage = "io"
+)
+
+// Code classifies an error for exit-code mapping and reports.
+type Code int
+
+// Error codes.
+const (
+	CodeUnknown Code = iota
+	// CodeUsage is a command-line usage error (exit 2).
+	CodeUsage
+	// CodeInput is a malformed or missing input (bad RTL, unknown MUT
+	// path, unreadable file).
+	CodeInput
+	// CodeAnalysis is a semantic failure on well-formed input
+	// (unsupported construct, unsynthesizable logic, combinational
+	// cycle).
+	CodeAnalysis
+	// CodePanic is a worker panic converted into an error by a pool's
+	// isolation boundary; the offending item was quarantined.
+	CodePanic
+	// CodeCanceled reports a run interrupted by SIGINT or an explicit
+	// context cancellation; partial results were flushed.
+	CodeCanceled
+	// CodeTimeout reports a phase exceeding its wall-clock budget.
+	CodeTimeout
+	// CodePartial aggregates a multi-MUT run where some MUTs succeeded
+	// and some failed (exit 3).
+	CodePartial
+	// CodeCheckpoint is a checkpoint/resume mismatch or I/O failure.
+	CodeCheckpoint
+	// CodeInternal is a violated internal invariant.
+	CodeInternal
+	// CodeIO is a filesystem read/write failure.
+	CodeIO
+)
+
+var codeNames = map[Code]string{
+	CodeUnknown:    "unknown",
+	CodeUsage:      "usage",
+	CodeInput:      "input",
+	CodeAnalysis:   "analysis",
+	CodePanic:      "panic",
+	CodeCanceled:   "canceled",
+	CodeTimeout:    "timeout",
+	CodePartial:    "partial",
+	CodeCheckpoint: "checkpoint",
+	CodeInternal:   "internal",
+	CodeIO:         "io",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Code(%d)", int(c))
+}
+
+// Exit codes of the unified CLI taxonomy.
+const (
+	ExitOK      = 0 // success
+	ExitError   = 1 // input or analysis error (nothing usable produced)
+	ExitUsage   = 2 // command-line usage error
+	ExitPartial = 3 // partial failure: some results produced, some lost
+)
+
+// Error is a structured pipeline error.
+type Error struct {
+	Stage Stage
+	Code  Code
+	// MUT is the instance path of the module under test this error
+	// belongs to, when the failure is MUT-scoped.
+	MUT string
+	// Fault identifies the quarantined fault (String form), when the
+	// failure is fault-scoped.
+	Fault string
+	// Msg describes the failure; Err is the wrapped cause (either may
+	// be empty/nil, not both).
+	Msg string
+	Err error
+	// Stack is the goroutine stack captured by FromPanic.
+	Stack []byte
+}
+
+// New builds an error with a formatted message.
+func New(stage Stage, code Code, format string, args ...interface{}) *Error {
+	return &Error{Stage: stage, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap attaches stage and code to a cause. A cause that is already an
+// *Error keeps its own code when code is CodeUnknown.
+func Wrap(stage Stage, code Code, err error) *Error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Stage: stage, Code: code, Err: err}
+}
+
+// FromContext classifies a context interruption at the given stage:
+// deadline expiry becomes a timeout error, everything else a
+// cancellation. A nil ctxErr yields a bare cancellation (defensive).
+func FromContext(stage Stage, ctxErr error) *Error {
+	if ctxErr == nil {
+		return New(stage, CodeCanceled, "canceled")
+	}
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		return Wrap(stage, CodeTimeout, ctxErr)
+	}
+	return Wrap(stage, CodeCanceled, ctxErr)
+}
+
+// FromPanic converts a recovered panic value into a structured error
+// with the current goroutine stack. Called from the recover() boundary
+// of every worker pool.
+func FromPanic(stage Stage, r interface{}) *Error {
+	return &Error{
+		Stage: stage,
+		Code:  CodePanic,
+		Msg:   fmt.Sprintf("worker panic: %v", r),
+		Stack: debug.Stack(),
+	}
+}
+
+// WithMUT returns a copy scoped to the given MUT instance path.
+func (e *Error) WithMUT(mut string) *Error {
+	c := *e
+	c.MUT = mut
+	return &c
+}
+
+// WithFault returns a copy scoped to the given fault.
+func (e *Error) WithFault(f string) *Error {
+	c := *e
+	c.Fault = f
+	return &c
+}
+
+func (e *Error) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s/%s]", e.Stage, e.Code)
+	if e.MUT != "" {
+		fmt.Fprintf(&sb, " mut=%s", e.MUT)
+	}
+	if e.Fault != "" {
+		fmt.Fprintf(&sb, " fault=%s", e.Fault)
+	}
+	if e.Msg != "" {
+		sb.WriteString(": ")
+		sb.WriteString(e.Msg)
+	}
+	if e.Err != nil {
+		sb.WriteString(": ")
+		sb.WriteString(e.Err.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches another *Error treating zero-valued fields of the target
+// as wildcards: errors.Is(err, &Error{Code: CodePanic}) asks "was there
+// a panic anywhere in the chain, whatever the stage or MUT".
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	if t.Stage != "" && t.Stage != e.Stage {
+		return false
+	}
+	if t.Code != CodeUnknown && t.Code != e.Code {
+		return false
+	}
+	if t.MUT != "" && t.MUT != e.MUT {
+		return false
+	}
+	if t.Fault != "" && t.Fault != e.Fault {
+		return false
+	}
+	return true
+}
+
+// List aggregates several errors (per-MUT failures of a multi-MUT run,
+// per-batch quarantines of a fault-simulation pass). It unwraps to its
+// members, so errors.Is/As search the whole set.
+type List struct {
+	Errs []error
+}
+
+func (l *List) Error() string {
+	switch len(l.Errs) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l.Errs[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l.Errs[0], len(l.Errs)-1)
+}
+
+// Unwrap supports multi-error matching (Go 1.20 semantics).
+func (l *List) Unwrap() []error { return l.Errs }
+
+// Collect drops nil entries and returns nil (none), the lone error
+// (one), or a *List (several). Entry order is preserved, so workers
+// that store errs[i] by input index yield a deterministic aggregate.
+func Collect(errs []error) error {
+	var kept []error
+	for _, err := range errs {
+		if err != nil {
+			kept = append(kept, err)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &List{Errs: kept}
+}
+
+// Flatten returns the leaf errors of err: members of nested Lists in
+// order, or err itself when it is not a List.
+func Flatten(err error) []error {
+	if err == nil {
+		return nil
+	}
+	if l, ok := err.(*List); ok {
+		var out []error
+		for _, e := range l.Errs {
+			out = append(out, Flatten(e)...)
+		}
+		return out
+	}
+	// An aggregate header (an Error that directly wraps a List, or a
+	// partial-failure summary wrapping a single cause) dissolves into
+	// its leaves — the header is presentation, the leaves carry the
+	// MUT/fault tags a report needs.
+	if e, ok := err.(*Error); ok {
+		if l, ok := e.Err.(*List); ok {
+			return Flatten(l)
+		}
+		if e.Code == CodePartial && e.Err != nil {
+			return Flatten(e.Err)
+		}
+	}
+	return []error{err}
+}
+
+// Find returns the first *Error in err's tree matching the non-zero
+// fields of target (the same wildcard semantics as Is), walking both
+// wrapped chains and multi-error lists depth-first. It returns nil
+// when nothing matches — use it to pull a specific failure (say, the
+// panic that quarantined a MUT) out of an aggregate.
+func Find(err error, target *Error) *Error {
+	if err == nil || target == nil {
+		return nil
+	}
+	if e, ok := err.(*Error); ok && e.Is(target) {
+		return e
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() []error }:
+		for _, c := range u.Unwrap() {
+			if found := Find(c, target); found != nil {
+				return found
+			}
+		}
+	case interface{ Unwrap() error }:
+		return Find(u.Unwrap(), target)
+	}
+	return nil
+}
+
+// ExitCode maps an error to the unified CLI exit-code taxonomy:
+// 0 success, 2 usage, 3 partial failure or interruption with flushed
+// partial results, 1 everything else.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, &Error{Code: CodeUsage}) {
+		return ExitUsage
+	}
+	if errors.Is(err, &Error{Code: CodePartial}) || errors.Is(err, &Error{Code: CodeCanceled}) ||
+		errors.Is(err, &Error{Code: CodeTimeout}) {
+		return ExitPartial
+	}
+	return ExitError
+}
+
+// FormatChain renders err as an indented multi-line report: Lists are
+// enumerated, wrapped causes are expanded one per line. Stacks are
+// omitted (they belong in the JSON report, not on stderr).
+func FormatChain(err error) string {
+	var sb strings.Builder
+	formatChain(&sb, err, 0)
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func formatChain(sb *strings.Builder, err error, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v := err.(type) {
+	case *List:
+		fmt.Fprintf(sb, "%s%d error(s):\n", indent, len(v.Errs))
+		for _, e := range v.Errs {
+			formatChain(sb, e, depth+1)
+		}
+	case *Error:
+		head := fmt.Sprintf("[%s/%s]", v.Stage, v.Code)
+		if v.MUT != "" {
+			head += " mut=" + v.MUT
+		}
+		if v.Fault != "" {
+			head += " fault=" + v.Fault
+		}
+		if v.Msg != "" {
+			head += ": " + v.Msg
+		}
+		fmt.Fprintf(sb, "%s%s\n", indent, head)
+		if v.Err != nil {
+			formatChain(sb, v.Err, depth+1)
+		}
+	default:
+		fmt.Fprintf(sb, "%s%s\n", indent, err.Error())
+	}
+}

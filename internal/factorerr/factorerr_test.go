@@ -1,0 +1,158 @@
+package factorerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrorString(t *testing.T) {
+	e := New(StageExtract, CodePanic, "boom").WithMUT("u_core.u_alu")
+	s := e.Error()
+	for _, want := range []string{"extract", "panic", "u_core.u_alu", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestIsWildcards(t *testing.T) {
+	e := New(StageATPG, CodePanic, "x").WithMUT("u_a").WithFault("g3/sa1")
+	cases := []struct {
+		target *Error
+		want   bool
+	}{
+		{&Error{Code: CodePanic}, true},
+		{&Error{Stage: StageATPG}, true},
+		{&Error{Stage: StageATPG, Code: CodePanic}, true},
+		{&Error{MUT: "u_a"}, true},
+		{&Error{Fault: "g3/sa1"}, true},
+		{&Error{Code: CodeTimeout}, false},
+		{&Error{Stage: StageParse}, false},
+		{&Error{MUT: "u_b"}, false},
+	}
+	for i, c := range cases {
+		if got := errors.Is(e, c.target); got != c.want {
+			t.Errorf("case %d: errors.Is = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestUnwrapAndAs(t *testing.T) {
+	cause := context.Canceled
+	e := Wrap(StageATPG, CodeCanceled, cause)
+	if !errors.Is(e, context.Canceled) {
+		t.Error("wrapped context.Canceled not found by errors.Is")
+	}
+	var fe *Error
+	if !errors.As(fmt.Errorf("outer: %w", e), &fe) || fe.Code != CodeCanceled {
+		t.Error("errors.As failed to recover *Error through wrapping")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	if Collect([]error{nil, nil}) != nil {
+		t.Error("Collect of all-nil should be nil")
+	}
+	one := New(StageSynth, CodeAnalysis, "bad")
+	if got := Collect([]error{nil, one, nil}); got != one {
+		t.Errorf("Collect of one error should return it directly, got %v", got)
+	}
+	two := Collect([]error{one, New(StageSynth, CodeInput, "worse")})
+	l, ok := two.(*List)
+	if !ok || len(l.Errs) != 2 {
+		t.Fatalf("Collect of two errors should return a *List, got %T", two)
+	}
+	if !errors.Is(two, &Error{Code: CodeInput}) {
+		t.Error("errors.Is should search List members")
+	}
+	if n := len(Flatten(two)); n != 2 {
+		t.Errorf("Flatten returned %d leaves, want 2", n)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{New(StageParse, CodeInput, "x"), ExitError},
+		{New("", CodeUsage, "x"), ExitUsage},
+		{New(StageATPG, CodeCanceled, "x"), ExitPartial},
+		{Collect([]error{New(StageExtract, CodePartial, "x"), New(StageExtract, CodeInput, "y")}), ExitPartial},
+		{errors.New("plain"), ExitError},
+	}
+	for i, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("case %d: ExitCode = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestFromPanicCapturesStack(t *testing.T) {
+	var e *Error
+	func() {
+		defer func() { e = FromPanic(StageATPG, recover()) }()
+		panic("injected")
+	}()
+	if e.Code != CodePanic || !strings.Contains(e.Msg, "injected") {
+		t.Errorf("FromPanic = %v", e)
+	}
+	if len(e.Stack) == 0 {
+		t.Error("FromPanic should capture a stack trace")
+	}
+}
+
+func TestFormatChain(t *testing.T) {
+	err := Collect([]error{
+		Wrap(StageSynth, CodeAnalysis, errors.New("width mismatch")).WithMUT("u_a"),
+		New(StageExtract, CodePanic, "boom").WithFault("g1/sa0"),
+	})
+	s := FormatChain(err)
+	for _, want := range []string{"2 error(s)", "width mismatch", "mut=u_a", "fault=g1/sa0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatChain missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFindDigsThroughAggregates(t *testing.T) {
+	inner := New(StageExtract, CodePanic, "boom").WithMUT("u_leaf")
+	partial := New(StageExtract, CodePartial, "1 of 2 MUTs failed")
+	partial.Err = Collect([]error{
+		Wrap(StageSynth, CodeAnalysis, errors.New("bad width")).WithMUT("u_mid"),
+		inner,
+	})
+	if got := Find(partial, &Error{Code: CodePanic}); got != inner {
+		t.Errorf("Find(CodePanic) = %v, want the inner panic error", got)
+	}
+	if got := Find(partial, &Error{MUT: "u_mid"}); got == nil || got.MUT != "u_mid" {
+		t.Errorf("Find(MUT=u_mid) = %v", got)
+	}
+	if got := Find(partial, &Error{Code: CodeCheckpoint}); got != nil {
+		t.Errorf("Find(no match) = %v, want nil", got)
+	}
+	if got := Find(nil, &Error{}); got != nil {
+		t.Errorf("Find(nil) = %v, want nil", got)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if e := FromContext(StageATPG, ctx.Err()); e.Code != CodeCanceled {
+		t.Errorf("canceled ctx -> %v", e)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if e := FromContext(StageATPG, dctx.Err()); e.Code != CodeTimeout {
+		t.Errorf("expired ctx -> %v", e)
+	}
+	if e := FromContext(StageATPG, nil); e.Code != CodeCanceled {
+		t.Errorf("nil ctx err -> %v", e)
+	}
+}

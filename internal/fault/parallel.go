@@ -1,11 +1,14 @@
 package fault
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"factor/internal/factorerr"
 	"factor/internal/netlist"
 	"factor/internal/sim"
 )
@@ -36,6 +39,22 @@ func (p *ParallelSim) Clone() *ParallelSim {
 	}
 }
 
+// batchPanicHook, when non-nil, is invoked with every simulation batch
+// before it runs — the test-only injection point for exercising the
+// worker panic-isolation boundaries (see TestPoolQuarantinesPanic).
+var batchPanicHook func(batch []Fault)
+
+// quarantineError converts a recovered batch panic into a structured
+// error identifying the quarantined faults by their representative.
+func quarantineError(r interface{}, batch []Fault) error {
+	e := factorerr.FromPanic(factorerr.StageFaultSim, r)
+	if len(batch) > 0 {
+		e = e.WithFault(batch[0].String())
+		e.Msg = fmt.Sprintf("%s (quarantined batch of %d faults)", e.Msg, len(batch))
+	}
+	return e
+}
+
 // Pool is a worker pool of fault simulators over one netlist. A
 // sequence run against N pending faults splits into ceil(N/63)
 // single-pass batches; the pool fans the batches out over its workers.
@@ -46,9 +65,18 @@ func (p *ParallelSim) Clone() *ParallelSim {
 // Result happens on the calling goroutine in batch order. The outcome
 // is therefore bit-identical to ParallelSim.RunSequence for any worker
 // count.
+//
+// Panic isolation: a panic inside one batch quarantines that batch (its
+// faults are reported undetected for the pass) and is recorded as a
+// structured error retrievable via DrainErrors; sibling batches and the
+// process survive. Because batch boundaries depend only on the pending
+// list, quarantine behavior is also identical for every worker count.
 type Pool struct {
 	nl   *netlist.Netlist
 	sims []*ParallelSim
+
+	mu   sync.Mutex
+	errs []error
 }
 
 // NewPool builds a pool with the given worker count (<= 0 selects
@@ -66,43 +94,77 @@ func NewPool(nl *netlist.Netlist, workers int) *Pool {
 // Workers reports the pool size.
 func (p *Pool) Workers() int { return len(p.sims) }
 
+// DrainErrors returns the structured errors recorded by quarantined
+// batches since the last drain, in batch order, and clears them.
+func (p *Pool) DrainErrors() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.errs
+	p.errs = nil
+	return out
+}
+
+// safeRunBatch is runBatch behind the pool's panic-isolation boundary:
+// a panicking batch yields zero detections and a structured error.
+func safeRunBatch(ps *ParallelSim, batch []Fault, seq Sequence) (lanes uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			lanes = 0
+			err = quarantineError(r, batch)
+		}
+	}()
+	if batchPanicHook != nil {
+		batchPanicHook(batch)
+	}
+	return ps.runBatch(batch, seq), nil
+}
+
 // RunSequence simulates seq against the pending faults of res across
 // the pool and marks newly detected faults, returning how many were
-// newly detected. Results are identical to ParallelSim.RunSequence.
+// newly detected. Results are identical to ParallelSim.RunSequence for
+// any worker count.
 func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 	pending := res.Remaining()
 	nbatches := (len(pending) + 62) / 63
 	if nbatches == 0 {
 		return 0
 	}
-	if len(p.sims) == 1 || nbatches == 1 {
-		return p.sims[0].RunSequence(res, seq)
-	}
 
 	detected := make([]uint64, nbatches)
-	var next int64
-	var wg sync.WaitGroup
-	nw := min(len(p.sims), nbatches)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(ps *ParallelSim) {
-			defer wg.Done()
-			for {
-				b := int(atomic.AddInt64(&next, 1)) - 1
-				if b >= nbatches {
-					return
-				}
-				start := b * 63
-				end := min(start+63, len(pending))
-				batch := make([]Fault, end-start)
-				for i, fi := range pending[start:end] {
-					batch[i] = res.Faults[fi]
-				}
-				detected[b] = ps.runBatch(batch, seq)
-			}
-		}(p.sims[w])
+	batchErrs := make([]error, nbatches)
+	runOne := func(ps *ParallelSim, b int) {
+		start := b * 63
+		end := min(start+63, len(pending))
+		batch := make([]Fault, end-start)
+		for i, fi := range pending[start:end] {
+			batch[i] = res.Faults[fi]
+		}
+		detected[b], batchErrs[b] = safeRunBatch(ps, batch, seq)
 	}
-	wg.Wait()
+
+	if len(p.sims) == 1 || nbatches == 1 {
+		for b := 0; b < nbatches; b++ {
+			runOne(p.sims[0], b)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		nw := min(len(p.sims), nbatches)
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(ps *ParallelSim) {
+				defer wg.Done()
+				for {
+					b := int(atomic.AddInt64(&next, 1)) - 1
+					if b >= nbatches {
+						return
+					}
+					runOne(ps, b)
+				}
+			}(p.sims[w])
+		}
+		wg.Wait()
+	}
 
 	newly := 0
 	for b := 0; b < nbatches; b++ {
@@ -115,6 +177,11 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 			}
 		}
 	}
+	if err := factorerr.Collect(batchErrs); err != nil {
+		p.mu.Lock()
+		p.errs = append(p.errs, factorerr.Flatten(err)...)
+		p.mu.Unlock()
+	}
 	return newly
 }
 
@@ -126,20 +193,28 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 // random ATPG phase needs — a serial dropped-simulation pass over seqs
 // detects fault f with sequence i iff FirstDetections reports i for f.
 //
-// A non-zero deadline is checked between sequences inside each batch;
-// sequences not reached in time are treated as non-detecting (this is
-// the one code path where results may legitimately differ run to run,
-// matching the serial engine's behavior under a time budget).
-func FirstDetections(nl *netlist.Netlist, faults []Fault, seqs []Sequence, workers int, deadline time.Time) []int {
+// A non-zero deadline and the context are checked between sequences
+// inside each batch; sequences not reached in time are treated as
+// non-detecting (this and cancellation are the code paths where results
+// may legitimately differ run to run, matching the serial engine's
+// behavior under a time budget — a canceled pass is abandoned by the
+// caller, never merged).
+//
+// A panic inside one batch quarantines the whole batch: its faults
+// report -1 (no random detection — they remain eligible for the
+// deterministic phase) and a structured error is returned. Errors are
+// returned in batch order, so the aggregate is deterministic.
+func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, seqs []Sequence, workers int, deadline time.Time) ([]int, []error) {
 	first := make([]int, len(faults))
 	for i := range first {
 		first[i] = -1
 	}
 	nbatches := (len(faults) + 62) / 63
 	if nbatches == 0 || len(seqs) == 0 {
-		return first
+		return first, nil
 	}
 	w := min(ResolveWorkers(workers), nbatches)
+	batchErrs := make([]error, nbatches)
 
 	var next int64
 	var wg sync.WaitGroup
@@ -153,21 +228,50 @@ func FirstDetections(nl *netlist.Netlist, faults []Fault, seqs []Sequence, worke
 				if b >= nbatches {
 					return
 				}
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				start := b * 63
 				end := min(start+63, len(faults))
-				ps.firstDetections(faults[start:end], seqs, deadline, first[start:end])
+				batchErrs[b] = safeFirstDetections(ctx, ps, faults[start:end], seqs, deadline, first[start:end])
 			}
 		}()
 	}
 	wg.Wait()
-	return first
+
+	var errs []error
+	for _, err := range batchErrs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return first, errs
+}
+
+// safeFirstDetections wraps one batch in the panic-isolation boundary:
+// on panic the batch's outputs are reset to -1 (deterministic
+// quarantine regardless of how far the batch got).
+func safeFirstDetections(ctx context.Context, ps *ParallelSim, batch []Fault, seqs []Sequence, deadline time.Time, out []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			for i := range out {
+				out[i] = -1
+			}
+			err = quarantineError(r, batch)
+		}
+	}()
+	if batchPanicHook != nil {
+		batchPanicHook(batch)
+	}
+	ps.firstDetections(ctx, batch, seqs, deadline, out)
+	return nil
 }
 
 // firstDetections runs all sequences against one batch of faults and
 // records, per fault, the first detecting sequence index into out
 // (pre-initialized to -1 by the caller). Stops early once every lane is
-// detected or the deadline passes.
-func (p *ParallelSim) firstDetections(batch []Fault, seqs []Sequence, deadline time.Time, out []int) {
+// detected, the deadline passes, or the context is canceled.
+func (p *ParallelSim) firstDetections(ctx context.Context, batch []Fault, seqs []Sequence, deadline time.Time, out []int) {
 	p.load(batch)
 	var remaining uint64
 	for i := range batch {
@@ -178,6 +282,9 @@ func (p *ParallelSim) firstDetections(batch []Fault, seqs []Sequence, deadline t
 			return
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		if ctx != nil && ctx.Err() != nil {
 			return
 		}
 		p.resetAllX()

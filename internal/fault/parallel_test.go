@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -100,7 +101,10 @@ func TestFirstDetectionsMatchesDroppedSim(t *testing.T) {
 			}
 		}
 
-		got := FirstDetections(nl, faults, seqs, 8, time.Time{})
+		got, errs := FirstDetections(context.Background(), nl, faults, seqs, 8, time.Time{})
+		if len(errs) != 0 {
+			t.Fatalf("trial %d: unexpected quarantine errors: %v", trial, errs)
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d: FirstDetections diverges from dropped simulation\ngot  %v\nwant %v", trial, got, want)
 		}
@@ -117,9 +121,9 @@ func TestFirstDetectionsWorkerInvariance(t *testing.T) {
 	for i := range seqs {
 		seqs[i] = randSeqFor(nl, rng, 4)
 	}
-	ref := FirstDetections(nl, faults, seqs, 1, time.Time{})
+	ref, _ := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
 	for _, w := range []int{2, 4, 8} {
-		if got := FirstDetections(nl, faults, seqs, w, time.Time{}); !reflect.DeepEqual(got, ref) {
+		if got, _ := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{}); !reflect.DeepEqual(got, ref) {
 			t.Fatalf("workers=%d diverges from workers=1", w)
 		}
 	}

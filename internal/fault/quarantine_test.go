@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"factor/internal/factorerr"
+)
+
+// hookPanicOnGate installs a batch hook that panics whenever the batch
+// contains a fault on the given gate, and returns a restore func.
+func hookPanicOnGate(gate int) func() {
+	batchPanicHook = func(batch []Fault) {
+		for _, f := range batch {
+			if f.Gate == gate {
+				panic("injected fault-sim panic")
+			}
+		}
+	}
+	return func() { batchPanicHook = nil }
+}
+
+// TestPoolQuarantinesPanic injects a panic into one batch of a pool
+// pass and checks: the process survives, a structured error is
+// recorded, the other batches' detections are unaffected, and the
+// outcome is bit-identical for every worker count.
+func TestPoolQuarantinesPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	nl := randomCircuit(rng, 5, 160, true)
+	faults := Universe(nl)
+	if len(faults) <= 63 {
+		t.Skip("need a multi-batch fault list")
+	}
+	seq := randSeqFor(nl, rng, 6)
+
+	// Clean reference.
+	clean := NewResult(faults)
+	NewPool(nl, 1).RunSequence(clean, seq)
+
+	// Panic on the last fault's gate: exactly the batches containing
+	// that gate are quarantined.
+	poison := faults[len(faults)-1].Gate
+	defer hookPanicOnGate(poison)()
+
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		res := NewResult(faults)
+		pool := NewPool(nl, workers)
+		pool.RunSequence(res, seq)
+		errs := pool.DrainErrors()
+		if len(errs) == 0 {
+			t.Fatalf("workers=%d: expected quarantine errors, got none", workers)
+		}
+		for _, err := range errs {
+			if !errors.Is(err, &factorerr.Error{Stage: factorerr.StageFaultSim, Code: factorerr.CodePanic}) {
+				t.Fatalf("workers=%d: error %v is not a structured faultsim panic", workers, err)
+			}
+			var fe *factorerr.Error
+			if !errors.As(err, &fe) || fe.Fault == "" {
+				t.Fatalf("workers=%d: quarantine error lacks a fault identity: %v", workers, err)
+			}
+			if len(fe.Stack) == 0 {
+				t.Fatalf("workers=%d: quarantine error lacks a stack trace", workers)
+			}
+		}
+		if ref == nil {
+			ref = res
+		} else if !reflect.DeepEqual(res.Detected, ref.Detected) {
+			t.Fatalf("workers=%d: quarantined detection marks diverge from workers=1", workers)
+		}
+	}
+
+	// The quarantined run detects a subset of the clean run, and a
+	// strict subset only within the poisoned batches.
+	extra := 0
+	for i := range faults {
+		if ref.Detected[i] && !clean.Detected[i] {
+			t.Fatalf("quarantined run detected fault %v the clean run did not", faults[i])
+		}
+		if clean.Detected[i] && !ref.Detected[i] {
+			extra++
+		}
+	}
+	if extra == 0 {
+		t.Log("note: poisoned batch happened to contain no clean detections")
+	}
+}
+
+// TestFirstDetectionsQuarantinesPanic: same contract for the random
+// phase's first-detection pass.
+func TestFirstDetectionsQuarantinesPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	nl := randomCircuit(rng, 5, 160, true)
+	faults := Universe(nl)
+	if len(faults) <= 63 {
+		t.Skip("need a multi-batch fault list")
+	}
+	seqs := make([]Sequence, 5)
+	for i := range seqs {
+		seqs[i] = randSeqFor(nl, rng, 4)
+	}
+
+	poison := faults[0].Gate
+	defer hookPanicOnGate(poison)()
+
+	ref, refErrs := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	if len(refErrs) == 0 {
+		t.Fatal("expected quarantine errors")
+	}
+	// The poisoned batch must be fully reset to -1 (deterministic
+	// quarantine, no partial results).
+	for i := 0; i < min(63, len(faults)); i++ {
+		if ref[i] != -1 {
+			t.Fatalf("fault %d of the poisoned batch has first-detection %d, want -1", i, ref[i])
+		}
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, errs := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{})
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: quarantined first-detections diverge from workers=1", w)
+		}
+		if len(errs) != len(refErrs) {
+			t.Fatalf("workers=%d: %d errors, want %d", w, len(errs), len(refErrs))
+		}
+	}
+}
+
+// TestFirstDetectionsCancellation: a canceled context stops the pass
+// early without deadlock; the caller is expected to discard the result.
+func TestFirstDetectionsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	nl := randomCircuit(rng, 5, 120, true)
+	faults := Universe(nl)
+	seqs := make([]Sequence, 8)
+	for i := range seqs {
+		seqs[i] = randSeqFor(nl, rng, 4)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the pass must return promptly
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		FirstDetections(ctx, nl, faults, seqs, 4, time.Time{})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("FirstDetections did not return after cancellation")
+	}
+}

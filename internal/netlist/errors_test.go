@@ -1,0 +1,111 @@
+package netlist
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTopoOrderErrReturnsCycleError checks the non-panicking cycle
+// path returns a typed *CycleError naming a gate on the cycle.
+func TestTopoOrderErrReturnsCycleError(t *testing.T) {
+	n := New("cyc")
+	a := n.AddInput("a")
+	g1 := n.AddGate(And, a, a)
+	g2 := n.AddGate(Or, g1, a)
+	n.SetFanin(g1, 1, g2)
+	_, err := n.TopoOrderErr()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("TopoOrderErr = %v, want *CycleError", err)
+	}
+	if ce.Netlist != "cyc" {
+		t.Errorf("CycleError.Netlist = %q, want cyc", ce.Netlist)
+	}
+	if ce.Gate != g1 && ce.Gate != g2 {
+		t.Errorf("CycleError.Gate = %d, want a gate on the cycle (%d or %d)", ce.Gate, g1, g2)
+	}
+}
+
+// TestTopoOrderPanicsWithCycleError: the panicking variant must carry
+// the same typed value so RecoverInvariant can convert it.
+func TestTopoOrderPanicsWithCycleError(t *testing.T) {
+	n := New("cyc")
+	a := n.AddInput("a")
+	g1 := n.AddGate(And, a, a)
+	g2 := n.AddGate(Or, g1, a)
+	n.SetFanin(g1, 1, g2)
+	defer func() {
+		r := recover()
+		if _, ok := r.(*CycleError); !ok {
+			t.Fatalf("TopoOrder panicked with %T, want *CycleError", r)
+		}
+	}()
+	n.TopoOrder()
+	t.Fatal("TopoOrder should have panicked on a cyclic netlist")
+}
+
+// TestRecoverInvariant converts construction panics into errors at a
+// simulated API boundary and re-raises unrelated panics.
+func TestRecoverInvariant(t *testing.T) {
+	build := func(fn func(n *Netlist)) (err error) {
+		defer RecoverInvariant(&err)
+		n := New("x")
+		fn(n)
+		return nil
+	}
+	if err := build(func(n *Netlist) { n.AddGate(And, 0, 1) }); err == nil {
+		t.Error("out-of-range fanin should surface as an error")
+	} else if _, ok := err.(*InvariantError); !ok {
+		t.Errorf("got %T, want *InvariantError", err)
+	}
+	if err := build(func(n *Netlist) { n.AddGate(Not) }); err == nil {
+		t.Error("wrong arity should surface as an error")
+	}
+	if err := build(func(n *Netlist) { n.AddOutput("o", 7) }); err == nil {
+		t.Error("bad output driver should surface as an error")
+	}
+	if err := build(func(n *Netlist) {
+		a := n.AddInput("a")
+		g1 := n.AddGate(And, a, a)
+		g2 := n.AddGate(Or, g1, a)
+		n.SetFanin(g1, 1, g2)
+		n.TopoOrder()
+	}); err == nil {
+		t.Error("cycle panic should surface as an error")
+	}
+
+	// Unrelated panics must propagate.
+	didPanic := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				didPanic = true
+			}
+		}()
+		_ = build(func(n *Netlist) { panic("unrelated") })
+	}()
+	if !didPanic {
+		t.Error("RecoverInvariant swallowed an unrelated panic")
+	}
+}
+
+// TestTopoOrderErrNotCachedAcrossFix: after fixing the cycle the order
+// must be recomputed successfully.
+func TestTopoOrderErrNotCachedAcrossFix(t *testing.T) {
+	n := New("fix")
+	a := n.AddInput("a")
+	g1 := n.AddGate(And, a, a)
+	g2 := n.AddGate(Or, g1, a)
+	n.SetFanin(g1, 1, g2)
+	if _, err := n.TopoOrderErr(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	n.SetFanin(g1, 1, a) // break the cycle
+	order, err := n.TopoOrderErr()
+	if err != nil {
+		t.Fatalf("after fix: %v", err)
+	}
+	if len(order) != len(n.Gates) {
+		t.Errorf("order has %d entries, want %d", len(order), len(n.Gates))
+	}
+}

@@ -89,6 +89,57 @@ type Gate struct {
 	Scope string
 }
 
+// InvariantError is the panic value raised when a construction-time
+// invariant is violated (wrong fanin arity, out-of-range gate ID).
+// Construction calls are hot paths used by the synthesizer on
+// internally-generated IDs, so they panic rather than return errors;
+// public API boundaries that construct netlists from less-trusted input
+// convert the panic back into an error with RecoverInvariant.
+type InvariantError struct {
+	Msg string
+}
+
+func (e *InvariantError) Error() string { return e.Msg }
+
+func invariantf(format string, args ...interface{}) {
+	panic(&InvariantError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// CycleError reports a combinational cycle found during topological
+// ordering, naming one gate on the cycle.
+type CycleError struct {
+	Netlist string
+	Gate    int
+	Kind    GateKind
+	Name    string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("netlist %s: combinational cycle through gate %d (%s %s)",
+		e.Netlist, e.Gate, e.Kind, e.Name)
+}
+
+// RecoverInvariant is a deferred boundary that converts a netlist
+// invariant or cycle panic into an error assigned to *errp; any other
+// panic propagates. It lets public constructors (synth.Synthesize,
+// core.Transform) return structured errors on malformed logic while the
+// construction primitives stay panic-based for provably-internal
+// invariants.
+func RecoverInvariant(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch e := r.(type) {
+	case *InvariantError:
+		*errp = e
+	case *CycleError:
+		*errp = e
+	default:
+		panic(r)
+	}
+}
+
 // Netlist is a gate-level circuit.
 type Netlist struct {
 	Name  string
@@ -126,11 +177,11 @@ func New(name string) *Netlist {
 // order except for DFF feedback, see SetFanin).
 func (n *Netlist) AddGate(kind GateKind, fanin ...int) int {
 	if len(fanin) != kind.Arity() {
-		panic(fmt.Sprintf("netlist: %s gate requires %d fanins, got %d", kind, kind.Arity(), len(fanin)))
+		invariantf("netlist: %s gate requires %d fanins, got %d", kind, kind.Arity(), len(fanin))
 	}
 	for _, f := range fanin {
 		if f < 0 || f >= len(n.Gates) {
-			panic(fmt.Sprintf("netlist: fanin %d out of range (have %d gates)", f, len(n.Gates)))
+			invariantf("netlist: fanin %d out of range (have %d gates)", f, len(n.Gates))
 		}
 	}
 	id := len(n.Gates)
@@ -154,7 +205,7 @@ func (n *Netlist) AddInput(name string) int {
 // AddOutput marks driver as a primary output with the given name.
 func (n *Netlist) AddOutput(name string, driver int) {
 	if driver < 0 || driver >= len(n.Gates) {
-		panic(fmt.Sprintf("netlist: output %s driver %d out of range", name, driver))
+		invariantf("netlist: output %s driver %d out of range", name, driver)
 	}
 	n.POs = append(n.POs, driver)
 	n.PONames = append(n.PONames, name)
@@ -166,10 +217,10 @@ func (n *Netlist) AddOutput(name string, driver int) {
 func (n *Netlist) SetFanin(gate, idx, driver int) {
 	g := n.Gates[gate]
 	if idx < 0 || idx >= len(g.Fanin) {
-		panic(fmt.Sprintf("netlist: fanin index %d out of range for %s gate %d", idx, g.Kind, gate))
+		invariantf("netlist: fanin index %d out of range for %s gate %d", idx, g.Kind, gate)
 	}
 	if driver < 0 || driver >= len(n.Gates) {
-		panic(fmt.Sprintf("netlist: driver %d out of range", driver))
+		invariantf("netlist: driver %d out of range", driver)
 	}
 	g.Fanin[idx] = driver
 	n.invalidateTopo()
@@ -262,19 +313,36 @@ func (n *Netlist) Levelize() []int {
 // TopoOrder returns all gate IDs in a topological order of the
 // combinational graph: a combinational gate appears after all its
 // fanins; DFFs, inputs and constants appear before any gate that reads
-// them. Panics if the combinational logic is cyclic.
+// them. Panics with a *CycleError if the combinational logic is cyclic
+// — callers that construct netlists from untrusted RTL should check
+// TopoOrderErr (or Validate) once at their API boundary, after which
+// TopoOrder cannot panic.
 //
 // The order is computed once and memoized (mutating the netlist via
 // AddGate or SetFanin invalidates it); concurrent callers share one
 // computation. The returned slice is shared: callers must treat it as
 // read-only.
 func (n *Netlist) TopoOrder() []int {
+	order, err := n.TopoOrderErr()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// TopoOrderErr is TopoOrder returning a *CycleError instead of
+// panicking when the combinational logic is cyclic.
+func (n *Netlist) TopoOrderErr() ([]int, error) {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
 	if n.topoCache == nil {
-		n.topoCache = n.computeTopoOrder()
+		order, err := n.computeTopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		n.topoCache = order
 	}
-	return n.topoCache
+	return n.topoCache, nil
 }
 
 func (n *Netlist) invalidateTopo() {
@@ -283,7 +351,7 @@ func (n *Netlist) invalidateTopo() {
 	n.topoMu.Unlock()
 }
 
-func (n *Netlist) computeTopoOrder() []int {
+func (n *Netlist) computeTopoOrder() ([]int, error) {
 	order := make([]int, 0, len(n.Gates))
 	// 0 = unvisited, 1 = on stack, 2 = done.
 	state := make([]byte, len(n.Gates))
@@ -309,8 +377,8 @@ func (n *Netlist) computeTopoOrder() []int {
 					case 0:
 						stack = append(stack, f)
 					case 1:
-						panic(fmt.Sprintf("netlist %s: combinational cycle through gate %d (%s %s)",
-							n.Name, f, n.Gates[f].Kind, n.Gates[f].Name))
+						return nil, &CycleError{Netlist: n.Name, Gate: f,
+							Kind: n.Gates[f].Kind, Name: n.Gates[f].Name}
 					}
 				}
 				continue
@@ -322,7 +390,7 @@ func (n *Netlist) computeTopoOrder() []int {
 			}
 		}
 	}
-	return order
+	return order, nil
 }
 
 // Fanouts returns, for each gate ID, the list of gates that read it.
@@ -457,16 +525,7 @@ func (n *Netlist) Validate() error {
 			return fmt.Errorf("netlist %s: PO %s driver out of range", n.Name, n.PONames[i])
 		}
 	}
-	// TopoOrder panics on cycles; convert to error.
-	var err error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("%v", r)
-			}
-		}()
-		n.TopoOrder()
-	}()
+	_, err := n.TopoOrderErr()
 	return err
 }
 

@@ -1,0 +1,62 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"factor/internal/verilog"
+)
+
+// FuzzSynthesize drives the whole RTL frontend: parse, then elaborate
+// the first module. Synthesize must return an error on anything it
+// cannot handle — a panic or a hang is a bug (the elaborator runs
+// inside long-lived pipeline workers, so a crash would take out a whole
+// multi-MUT run).
+func FuzzSynthesize(f *testing.F) {
+	seeds := []string{
+		"module m(input a, output y); assign y = a; endmodule",
+		"module m(input [7:0] a, b, output [8:0] y); assign y = a + b; endmodule",
+		"module m(input clk, rst, d, output reg q); always @(posedge clk) if (rst) q <= 0; else q <= d; endmodule",
+		`module m(input [3:0] s, output reg [1:0] y);
+		  always @(*) case (s) 4'b0001: y = 0; default: y = 2; endcase
+		endmodule`,
+		"module top(input a, output y); sub u(.x(a), .y(y)); endmodule module sub(input x, output y); assign y = ~x; endmodule",
+		"module m #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y); assign y = a << 1; endmodule",
+		// Combinational cycle: must come back as an error, not a panic.
+		"module m(input a, output y); wire b, c; assign b = c & a; assign c = b | a; assign y = c; endmodule",
+		// Multiple drivers.
+		"module m(input a, output y); assign y = a; assign y = ~a; endmodule",
+		// Recursive instantiation: bounded by the hierarchy-depth guard.
+		"module m(input a); m u(.a(a)); endmodule",
+		// Division by a non-constant is rejected.
+		"module m(input [3:0] a, b, output [3:0] y); assign y = a / b; endmodule",
+		"module m(output y); assign y = 1'bx; endmodule",
+		"module m(input clk, output reg [3:0] c); always @(posedge clk) c <= c + 1; endmodule",
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sf, err := verilog.Parse("fuzz.v", src)
+		if err != nil || len(sf.Modules) == 0 {
+			return
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// A small loop budget keeps fuzz iterations fast; the bound
+			// is a documented elaboration limit, not a correctness knob.
+			res, err := Synthesize(sf, sf.Modules[0].Name, Options{MaxLoopIterations: 64})
+			if err == nil {
+				if verr := res.Netlist.Validate(); verr != nil {
+					t.Errorf("Synthesize produced an invalid netlist: %v", verr)
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("synthesis hang on %d-byte input: %.80q", len(src), src)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"factor/internal/netlist"
 	"factor/internal/verilog"
@@ -18,6 +19,19 @@ func undefBV(w int) []int {
 		bv[i] = undef
 	}
 	return bv
+}
+
+// sortedKeys returns m's keys in sorted order. Symbolic execution
+// allocates gates while iterating target maps, and netlist gate
+// numbering must be reproducible across process runs (checkpoint
+// fingerprints hash the gate array).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // assignStyle records whether a register target uses blocking or
@@ -74,8 +88,12 @@ func (e *elab) synthAlways(sc *scope, a *verilog.AlwaysBlock) error {
 	if err := ex.exec(a.Body); err != nil {
 		return err
 	}
-	// Commit results.
-	for name, bits := range ex.mask {
+	// Commit results in sorted target order: this loop allocates DFF
+	// gates, and gate numbering must not depend on map iteration order —
+	// the netlist (and every checkpoint fingerprint derived from it)
+	// has to be identical across process runs.
+	for _, name := range sortedKeys(ex.mask) {
+		bits := ex.mask[name]
 		sig := sc.signals[name]
 		if sig == nil {
 			return fmt.Errorf("synth: %s: assignment to undeclared signal %s", a.Pos, name)
@@ -169,7 +187,9 @@ func (ex *executor) merge(sel int, thenS, elseS execState, pos verilog.Pos) erro
 		for k := range f {
 			keys[k] = true
 		}
-		for k := range keys {
+		// Sorted merge order: the loop allocates mux gates, so iteration
+		// order must be deterministic (see synthAlways commit loop).
+		for _, k := range sortedKeys(keys) {
 			tb, tok := t[k]
 			fb, fok := f[k]
 			switch {

@@ -62,7 +62,13 @@ type Result struct {
 
 // Synthesize elaborates the module named top from src into a flat
 // gate-level netlist.
-func Synthesize(src *verilog.SourceFile, top string, opts Options) (*Result, error) {
+//
+// Synthesize is a hardened API boundary: netlist construction panics
+// (invariant violations, combinational cycles discovered mid-pass)
+// are converted into returned errors here, so malformed RTL can never
+// crash the process.
+func Synthesize(src *verilog.SourceFile, top string, opts Options) (res *Result, err error) {
+	defer netlist.RecoverInvariant(&err)
 	mod := src.Module(top)
 	if mod == nil {
 		return nil, fmt.Errorf("synth: top module %q not found", top)
@@ -117,7 +123,14 @@ func Synthesize(src *verilog.SourceFile, top string, opts Options) (*Result, err
 			}
 		}
 	}
-	res := &Result{Warnings: e.warnings, GatesBeforeOpt: e.nl.NumGates()}
+	// Catch combinational cycles (e.g. mutually-dependent continuous
+	// assignments) before the optimizer walks the graph, so the failure
+	// is a structured error naming the cycle rather than a panic deep in
+	// a TopoOrder call.
+	if _, cerr := e.nl.TopoOrderErr(); cerr != nil {
+		return nil, fmt.Errorf("synth: %s: %w", top, cerr)
+	}
+	res = &Result{Warnings: e.warnings, GatesBeforeOpt: e.nl.NumGates()}
 	if opts.NoOptimize {
 		res.Netlist = e.nl
 	} else {
