@@ -20,7 +20,6 @@ import (
 	"factor/internal/core"
 	"factor/internal/fault"
 	"factor/internal/netlist"
-	"factor/internal/sim"
 	"factor/internal/synth"
 )
 
@@ -161,56 +160,96 @@ func covOf(rows []bench.Row56, module string) float64 {
 // Ablations
 
 // BenchmarkAblationFaultSimParallel measures the 63-fault-per-pass
-// packed simulator against the serial reference on the stand-alone ALU.
+// packed full-evaluation simulator, one sub-benchmark per ablation
+// design (two stand-alone modules plus the full SoC). Together with
+// the Serial and EventDriven variants below this is the engine
+// ablation exported to BENCH_faultsim.json by `benchtables -faultsim`
+// (same designs and workload via bench.FaultSimWorkload).
 func BenchmarkAblationFaultSimParallel(b *testing.B) {
-	nl, faults, seqs := faultSimWorkload(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := fault.NewResult(faults)
-		ps := fault.NewParallel(nl)
-		for _, seq := range seqs {
-			ps.RunSequence(res, seq)
-		}
+	for _, module := range bench.FaultSimModules {
+		b.Run(module, func(b *testing.B) {
+			nl, faults, seqs := faultSimWorkload(b, module)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := fault.NewResult(faults)
+				ps := fault.NewParallel(nl)
+				for _, seq := range seqs {
+					ps.RunSequence(res, seq)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFaultSimEventDriven measures the event-driven
+// cone-restricted engine on the identical workload; speedup over the
+// Parallel variant is the gain from good-trace sharing plus active-cone
+// pruning alone (same packing, same batching arithmetic). The gain
+// grows with design size — cone restriction matters most at chip level,
+// where a fault's cone is a tiny slice of the netlist.
+func BenchmarkAblationFaultSimEventDriven(b *testing.B) {
+	for _, module := range bench.FaultSimModules {
+		b.Run(module, func(b *testing.B) {
+			nl, faults, seqs := faultSimWorkload(b, module)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := fault.NewResult(faults)
+				es := fault.NewEvent(nl)
+				for _, seq := range seqs {
+					es.RunSequence(res, seq)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkAblationFaultSimSerial(b *testing.B) {
-	nl, faults, seqs := faultSimWorkload(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		detected := 0
-		for _, f := range faults {
-			for _, seq := range seqs {
-				if fault.SerialDetect(nl, f, seq) {
-					detected++
-					break
+	for _, module := range bench.FaultSimModules {
+		b.Run(module, func(b *testing.B) {
+			nl, faults, seqs := faultSimWorkload(b, module)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				detected := 0
+				for _, f := range faults {
+					for _, seq := range seqs {
+						if fault.SerialDetect(nl, f, seq) {
+							detected++
+							break
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }
 
-func faultSimWorkload(b *testing.B) (*netlist.Netlist, []fault.Fault, []fault.Sequence) {
+type fsWorkload struct {
+	nl     *netlist.Netlist
+	faults []fault.Fault
+	seqs   []fault.Sequence
+}
+
+var (
+	fsWorkloadMu    sync.Mutex
+	fsWorkloadCache = map[string]*fsWorkload{}
+)
+
+// faultSimWorkload memoizes the per-module ablation workload so the
+// full-SoC synthesis runs once across the three engine benchmarks.
+func faultSimWorkload(b *testing.B, module string) (*netlist.Netlist, []fault.Fault, []fault.Sequence) {
 	b.Helper()
-	res, err := arm.SynthesizeModule("arm_alu", 16)
-	if err != nil {
-		b.Fatal(err)
-	}
-	faults := fault.Universe(res.Netlist)
-	if len(faults) > 256 {
-		faults = faults[:256]
-	}
-	var seqs []fault.Sequence
-	rng := uint64(0x9E3779B97F4A7C15)
-	for s := 0; s < 8; s++ {
-		vec := fault.Vector{}
-		for _, name := range res.Netlist.PINames {
-			rng = rng*6364136223846793005 + 1442695040888963407
-			vec[name] = sim.Logic((rng >> 33) & 1)
+	fsWorkloadMu.Lock()
+	defer fsWorkloadMu.Unlock()
+	w, ok := fsWorkloadCache[module]
+	if !ok {
+		nl, faults, seqs, err := bench.FaultSimWorkload(module, 16, 512, 16, 8)
+		if err != nil {
+			b.Fatal(err)
 		}
-		seqs = append(seqs, fault.Sequence{vec})
+		w = &fsWorkload{nl: nl, faults: faults, seqs: seqs}
+		fsWorkloadCache[module] = w
 	}
-	return res.Netlist, faults, seqs
+	return w.nl, w.faults, w.seqs
 }
 
 // BenchmarkAblationSynthOpt measures what the optimization passes buy:

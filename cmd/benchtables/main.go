@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtables [-table N] [-width W] [-budget D] [-seed S] [-j N]
+//	benchtables [-table N] [-width W] [-budget D] [-seed S] [-j N] [-faultsim PATH]
 //
 // -j sets the worker count for parallel constraint extraction and
 // ATPG (0 = all CPU cores); table contents are identical for every
@@ -11,6 +11,10 @@
 // order. Table 4
 // (raw chip-level ATPG) is the slowest by design: it demonstrates the
 // problem the methodology solves.
+//
+// -faultsim runs the single-core fault-simulation engine ablation
+// (serial vs packed full-evaluation vs event-driven) instead of the
+// tables and writes the rows as JSON to PATH (use - for stdout only).
 package main
 
 import (
@@ -29,7 +33,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "ATPG random seed")
 	frames := flag.Int("frames", 8, "time-frame budget for sequential ATPG")
 	workers := flag.Int("j", 0, "worker goroutines for extraction and ATPG (0 = all CPU cores)")
+	faultsim := flag.String("faultsim", "", "run the fault-simulation engine ablation and write JSON to this path (- for stdout only)")
+	reps := flag.Int("reps", 3, "repetitions per engine for the -faultsim ablation (fastest pass wins)")
 	flag.Parse()
+
+	if *faultsim != "" {
+		rows, err := bench.FaultSimAblation(*width, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatFaultSim(rows))
+		if *faultsim != "-" {
+			if err := bench.WriteFaultSimJSON(*faultsim, rows); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *faultsim)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		Width:      *width,

@@ -290,8 +290,11 @@ func cancelErr(ctxErr error) error {
 
 // randomPhase generates the whole random-sequence budget up front (each
 // sequence from its own seeded RNG), computes per-fault first-detection
-// indices in parallel, and then merges in sequence order: sequence i is
-// kept iff it is the first detector of at least one fault. That merge
+// indices in parallel (fault.FirstDetections rides the event-driven
+// cone-restricted engine, sharing one good trace per sequence across
+// all batches — see DESIGN.md §10), and then merges in sequence order:
+// sequence i is kept iff it is the first detector of at least one
+// fault. That merge
 // is exactly what serial dropped simulation produces — a dropped pass
 // detects fault f with sequence i iff i is f's first detector — so the
 // outcome is independent of worker count.

@@ -64,10 +64,10 @@ type podem struct {
 	// otherwise. Indexed by gate ID (only PI slots used).
 	assigned [][]sim.Logic
 
-	cc0, cc1 []int          // static 0/1-controllability per gate
-	obsDist  []int          // static distance-to-observation per gate
-	fanouts  [][]int        // shared read-only fanout lists
-	poSet    map[int]bool   // shared read-only PO membership
+	cc0, cc1 []int        // static 0/1-controllability per gate
+	obsDist  []int        // static distance-to-observation per gate
+	fanouts  [][]int      // shared read-only fanout lists
+	poSet    map[int]bool // shared read-only PO membership
 
 	backtracks int
 	limit      int

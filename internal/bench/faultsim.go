@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/sim"
+	"factor/internal/synth"
+)
+
+// FaultSimRow is one design of the fault-simulation engine ablation:
+// the same fault set and stimulus run through the serial two-machine
+// reference, the full-evaluation packed simulator and the event-driven
+// cone-restricted engine, all single-core. Detected counts must agree
+// across engines — the ablation doubles as a differential check.
+type FaultSimRow struct {
+	Module    string `json:"module"`
+	Gates     int    `json:"gates"`
+	Faults    int    `json:"faults"`
+	Sequences int    `json:"sequences"`
+	Cycles    int    `json:"cycles_per_sequence"`
+	Detected  int    `json:"detected"`
+
+	SerialSec float64 `json:"serial_sec"`
+	PackedSec float64 `json:"packed_sec"`
+	EventSec  float64 `json:"event_sec"`
+
+	PackedSpeedup float64 `json:"packed_speedup_vs_serial"`
+	EventSpeedup  float64 `json:"event_speedup_vs_packed"`
+}
+
+// FaultSimModules are the seed designs the ablation runs on: two
+// stand-alone modules plus the full SoC — the chip-level case (Table 4)
+// is where fault simulation dominates ATPG time and where cone
+// restriction pays off most. Shared with the BenchmarkAblationFaultSim*
+// benchmarks so the Go benchmarks and the JSON export cover the same
+// designs.
+var FaultSimModules = []string{"arm_alu", "regfile_struct", "arm2_soc"}
+
+// FaultSimWorkload builds the ablation stimulus for one module: the
+// collapsed fault universe (uniformly sampled down to maxFaults, so
+// deep faults with narrow cones are represented the same as near-input
+// ones) and deterministic random sequences. The module name "arm2_soc"
+// selects the full benchmark SoC. Exported for reuse by bench_test.go
+// so the Go benchmarks and the JSON export measure the same workload.
+func FaultSimWorkload(module string, width, maxFaults, nSeqs, cycles int) (*netlist.Netlist, []fault.Fault, []fault.Sequence, error) {
+	var nl *netlist.Netlist
+	if module == "arm2_soc" {
+		sf, err := arm.Parse()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		full, err := synth.Synthesize(sf, arm.Top, synth.Options{TopParams: map[string]int64{"W": int64(width)}})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		nl = full.Netlist
+	} else {
+		res, err := arm.SynthesizeModule(module, width)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		nl = res.Netlist
+	}
+	faults := fault.Universe(nl)
+	if maxFaults > 0 && len(faults) > maxFaults {
+		sampled := make([]fault.Fault, maxFaults)
+		stride := float64(len(faults)) / float64(maxFaults)
+		for i := range sampled {
+			sampled[i] = faults[int(float64(i)*stride)]
+		}
+		faults = sampled
+	}
+	seqs := make([]fault.Sequence, nSeqs)
+	rng := uint64(0x9E3779B97F4A7C15)
+	for s := range seqs {
+		seq := make(fault.Sequence, cycles)
+		for t := range seq {
+			vec := fault.Vector{}
+			for _, name := range nl.PINames {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				vec[name] = sim.Logic((rng >> 33) & 1)
+			}
+			seq[t] = vec
+		}
+		seqs[s] = seq
+	}
+	return nl, faults, seqs, nil
+}
+
+// FaultSimAblation runs the three-engine ablation on the seed designs
+// and returns one row per design. reps > 1 re-runs each engine and
+// keeps the fastest pass (timing noise suppression); detection counts
+// are asserted identical across engines and repetitions.
+func FaultSimAblation(width, reps int) ([]FaultSimRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []FaultSimRow
+	for _, module := range FaultSimModules {
+		nl, faults, seqs, err := FaultSimWorkload(module, width, 512, 16, 8)
+		if err != nil {
+			return nil, err
+		}
+
+		packedSec, packedDet := math.Inf(1), -1
+		eventSec, eventDet := math.Inf(1), -1
+		for r := 0; r < reps; r++ {
+			res := fault.NewResult(faults)
+			ps := fault.NewParallel(nl)
+			start := time.Now()
+			for _, seq := range seqs {
+				ps.RunSequence(res, seq)
+			}
+			if sec := time.Since(start).Seconds(); sec < packedSec {
+				packedSec = sec
+			}
+			if d := res.NumDetected(); packedDet >= 0 && d != packedDet {
+				return nil, fmt.Errorf("faultsim ablation: packed engine nondeterministic on %s", module)
+			} else {
+				packedDet = d
+			}
+
+			res = fault.NewResult(faults)
+			es := fault.NewEvent(nl)
+			start = time.Now()
+			for _, seq := range seqs {
+				es.RunSequence(res, seq)
+			}
+			if sec := time.Since(start).Seconds(); sec < eventSec {
+				eventSec = sec
+			}
+			if d := res.NumDetected(); eventDet >= 0 && d != eventDet {
+				return nil, fmt.Errorf("faultsim ablation: event engine nondeterministic on %s", module)
+			} else {
+				eventDet = d
+			}
+		}
+		if packedDet != eventDet {
+			return nil, fmt.Errorf("faultsim ablation: engines disagree on %s: packed detects %d, event detects %d",
+				module, packedDet, eventDet)
+		}
+
+		serialSec := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			detected := 0
+			start := time.Now()
+			for _, f := range faults {
+				for _, seq := range seqs {
+					if fault.SerialDetect(nl, f, seq) {
+						detected++
+						break
+					}
+				}
+			}
+			if sec := time.Since(start).Seconds(); sec < serialSec {
+				serialSec = sec
+			}
+			if detected != packedDet {
+				return nil, fmt.Errorf("faultsim ablation: serial oracle disagrees on %s: serial detects %d, packed detects %d",
+					module, detected, packedDet)
+			}
+		}
+
+		rows = append(rows, FaultSimRow{
+			Module:        module,
+			Gates:         nl.NumGates(),
+			Faults:        len(faults),
+			Sequences:     len(seqs),
+			Cycles:        len(seqs[0]),
+			Detected:      packedDet,
+			SerialSec:     serialSec,
+			PackedSec:     packedSec,
+			EventSec:      eventSec,
+			PackedSpeedup: serialSec / packedSec,
+			EventSpeedup:  packedSec / eventSec,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFaultSimJSON writes the ablation rows as indented JSON to path.
+func WriteFaultSimJSON(path string, rows []FaultSimRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatFaultSim renders the ablation rows as a table.
+func FormatFaultSim(rows []FaultSimRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fault-simulation engine ablation (single-core)\n")
+	fmt.Fprintf(&sb, "%-16s %7s %7s %9s %10s %10s %10s %9s %9s\n",
+		"Module", "Gates", "Faults", "Detected", "Serial", "Packed", "Event", "Pk/Ser", "Ev/Pk")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %7d %7d %9d %9.3fs %9.3fs %9.3fs %8.1fx %8.1fx\n",
+			r.Module, r.Gates, r.Faults, r.Detected,
+			r.SerialSec, r.PackedSec, r.EventSec, r.PackedSpeedup, r.EventSpeedup)
+	}
+	return sb.String()
+}

@@ -10,7 +10,6 @@ import (
 
 	"factor/internal/factorerr"
 	"factor/internal/netlist"
-	"factor/internal/sim"
 )
 
 // ResolveWorkers maps a user-facing worker count to an effective one:
@@ -25,18 +24,13 @@ func ResolveWorkers(n int) int {
 }
 
 // Clone returns a fresh simulator over the same netlist. The netlist
-// and memoized evaluation order are shared read-only; the value/state
-// arrays and injection tables are private, so each clone can run on its
-// own goroutine without synchronization. The clone starts empty (no
-// faults loaded, state unset) — callers always load and reset before a
-// pass, so current values are deliberately not copied.
+// and its compiled view are shared read-only; the value/state arrays
+// and injection tables are private, so each clone can run on its own
+// goroutine without synchronization. The clone starts empty (no faults
+// loaded, state unset) — callers always load and reset before a pass,
+// so current values are deliberately not copied.
 func (p *ParallelSim) Clone() *ParallelSim {
-	return &ParallelSim{
-		nl:    p.nl,
-		order: p.order,
-		vals:  make([]sim.Word, len(p.vals)),
-		state: make([]sim.Word, len(p.state)),
-	}
+	return NewParallel(p.nl)
 }
 
 // batchPanicHook, when non-nil, is invoked with every simulation batch
@@ -55,16 +49,19 @@ func quarantineError(r interface{}, batch []Fault) error {
 	return e
 }
 
-// Pool is a worker pool of fault simulators over one netlist. A
-// sequence run against N pending faults splits into ceil(N/63)
-// single-pass batches; the pool fans the batches out over its workers.
+// Pool is a worker pool of event-driven fault simulators over one
+// netlist. A sequence run against N pending faults assembles
+// ceil(N/63) single-pass batches by cone locality (see coneOrder); the
+// pool computes the good-machine trace once on the calling goroutine
+// and fans the batches out over its workers.
 //
 // Determinism: each batch's detected-lane mask depends only on (batch,
-// sequence) — workers share nothing but the read-only netlist, each
-// batch writes a distinct slot of the result slice, and the merge into
-// Result happens on the calling goroutine in batch order. The outcome
-// is therefore bit-identical to ParallelSim.RunSequence for any worker
-// count.
+// sequence) — workers share nothing but the read-only netlist and
+// trace, each batch writes a distinct slot of the result slice, and
+// the merge into Result happens on the calling goroutine in batch
+// order. Batch assembly is a deterministic function of the pending
+// list, so the outcome is bit-identical to ParallelSim.RunSequence for
+// any worker count.
 //
 // Panic isolation: a panic inside one batch quarantines that batch (its
 // faults are reported undetected for the pass) and is recorded as a
@@ -73,7 +70,8 @@ func quarantineError(r interface{}, batch []Fault) error {
 // list, quarantine behavior is also identical for every worker count.
 type Pool struct {
 	nl   *netlist.Netlist
-	sims []*ParallelSim
+	sims []*EventSim
+	tr   goodTrace // good-machine trace scratch, reused across calls
 
 	mu   sync.Mutex
 	errs []error
@@ -83,8 +81,8 @@ type Pool struct {
 // runtime.NumCPU()). Each worker owns a private simulator.
 func NewPool(nl *netlist.Netlist, workers int) *Pool {
 	w := ResolveWorkers(workers)
-	sims := make([]*ParallelSim, w)
-	sims[0] = NewParallel(nl)
+	sims := make([]*EventSim, w)
+	sims[0] = NewEvent(nl)
 	for i := 1; i < w; i++ {
 		sims[i] = sims[0].Clone()
 	}
@@ -106,7 +104,7 @@ func (p *Pool) DrainErrors() []error {
 
 // safeRunBatch is runBatch behind the pool's panic-isolation boundary:
 // a panicking batch yields zero detections and a structured error.
-func safeRunBatch(ps *ParallelSim, batch []Fault, seq Sequence) (lanes uint64, err error) {
+func safeRunBatch(es *EventSim, batch []Fault, seq Sequence, tr *goodTrace) (lanes uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			lanes = 0
@@ -116,7 +114,7 @@ func safeRunBatch(ps *ParallelSim, batch []Fault, seq Sequence) (lanes uint64, e
 	if batchPanicHook != nil {
 		batchPanicHook(batch)
 	}
-	return ps.runBatch(batch, seq), nil
+	return es.runBatch(batch, seq, tr), nil
 }
 
 // RunSequence simulates seq against the pending faults of res across
@@ -124,22 +122,23 @@ func safeRunBatch(ps *ParallelSim, batch []Fault, seq Sequence) (lanes uint64, e
 // newly detected. Results are identical to ParallelSim.RunSequence for
 // any worker count.
 func (p *Pool) RunSequence(res *Result, seq Sequence) int {
-	pending := res.Remaining()
+	pending := coneOrder(p.sims[0].c, res.Faults, res.Remaining())
 	nbatches := (len(pending) + 62) / 63
 	if nbatches == 0 {
 		return 0
 	}
+	p.tr.compute(p.nl, p.sims[0].c, seq)
 
 	detected := make([]uint64, nbatches)
 	batchErrs := make([]error, nbatches)
-	runOne := func(ps *ParallelSim, b int) {
+	runOne := func(es *EventSim, b int) {
 		start := b * 63
 		end := min(start+63, len(pending))
 		batch := make([]Fault, end-start)
 		for i, fi := range pending[start:end] {
 			batch[i] = res.Faults[fi]
 		}
-		detected[b], batchErrs[b] = safeRunBatch(ps, batch, seq)
+		detected[b], batchErrs[b] = safeRunBatch(es, batch, seq, &p.tr)
 	}
 
 	if len(p.sims) == 1 || nbatches == 1 {
@@ -152,14 +151,14 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 		nw := min(len(p.sims), nbatches)
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func(ps *ParallelSim) {
+			go func(es *EventSim) {
 				defer wg.Done()
 				for {
 					b := int(atomic.AddInt64(&next, 1)) - 1
 					if b >= nbatches {
 						return
 					}
-					runOne(ps, b)
+					runOne(es, b)
 				}
 			}(p.sims[w])
 		}
@@ -193,6 +192,12 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 // random ATPG phase needs — a serial dropped-simulation pass over seqs
 // detects fault f with sequence i iff FirstDetections reports i for f.
 //
+// The pass runs on the event-driven engine: each sequence's good-
+// machine trace is computed once (lazily, by whichever worker reaches
+// the sequence first) and shared read-only across all batches. Batches
+// are contiguous slices of the fault list, which Universe emits in
+// gate order — already cone-local.
+//
 // A non-zero deadline and the context are checked between sequences
 // inside each batch; sequences not reached in time are treated as
 // non-detecting (this and cancellation are the code paths where results
@@ -213,8 +218,18 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 	if nbatches == 0 || len(seqs) == 0 {
 		return first, nil
 	}
+	c := nl.Compile()
 	w := min(ResolveWorkers(workers), nbatches)
 	batchErrs := make([]error, nbatches)
+
+	// Lazily shared good traces: one per sequence, computed by the
+	// first worker that needs it, never recomputed per batch.
+	traces := make([]*goodTrace, len(seqs))
+	onces := make([]sync.Once, len(seqs))
+	getTrace := func(si int) *goodTrace {
+		onces[si].Do(func() { traces[si] = newGoodTrace(nl, c, seqs[si]) })
+		return traces[si]
+	}
 
 	var next int64
 	var wg sync.WaitGroup
@@ -222,7 +237,7 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ps := NewParallel(nl)
+			es := NewEvent(nl)
 			for {
 				b := int(atomic.AddInt64(&next, 1)) - 1
 				if b >= nbatches {
@@ -233,7 +248,7 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 				}
 				start := b * 63
 				end := min(start+63, len(faults))
-				batchErrs[b] = safeFirstDetections(ctx, ps, faults[start:end], seqs, deadline, first[start:end])
+				batchErrs[b] = safeFirstDetections(ctx, es, faults[start:end], seqs, getTrace, deadline, first[start:end])
 			}
 		}()
 	}
@@ -251,7 +266,7 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 // safeFirstDetections wraps one batch in the panic-isolation boundary:
 // on panic the batch's outputs are reset to -1 (deterministic
 // quarantine regardless of how far the batch got).
-func safeFirstDetections(ctx context.Context, ps *ParallelSim, batch []Fault, seqs []Sequence, deadline time.Time, out []int) (err error) {
+func safeFirstDetections(ctx context.Context, es *EventSim, batch []Fault, seqs []Sequence, getTrace func(int) *goodTrace, deadline time.Time, out []int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			for i := range out {
@@ -263,7 +278,7 @@ func safeFirstDetections(ctx context.Context, ps *ParallelSim, batch []Fault, se
 	if batchPanicHook != nil {
 		batchPanicHook(batch)
 	}
-	ps.firstDetections(ctx, batch, seqs, deadline, out)
+	es.firstDetections(ctx, batch, seqs, getTrace, deadline, out)
 	return nil
 }
 
@@ -271,6 +286,36 @@ func safeFirstDetections(ctx context.Context, ps *ParallelSim, batch []Fault, se
 // records, per fault, the first detecting sequence index into out
 // (pre-initialized to -1 by the caller). Stops early once every lane is
 // detected, the deadline passes, or the context is canceled.
+func (e *EventSim) firstDetections(ctx context.Context, batch []Fault, seqs []Sequence, getTrace func(int) *goodTrace, deadline time.Time, out []int) {
+	e.load(batch)
+	var remaining uint64
+	for i := range batch {
+		remaining |= 1 << uint(i+1)
+	}
+	for si := range seqs {
+		if remaining == 0 {
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		det := e.runLoaded(seqs[si], getTrace(si))
+		newly := det & remaining
+		for i := range batch {
+			if newly&(1<<uint(i+1)) != 0 {
+				out[i] = si
+			}
+		}
+		remaining &^= newly
+	}
+}
+
+// firstDetections is the reference-engine counterpart used by the
+// differential tests: same contract as EventSim.firstDetections, full
+// re-evaluation per cycle.
 func (p *ParallelSim) firstDetections(ctx context.Context, batch []Fault, seqs []Sequence, deadline time.Time, out []int) {
 	p.load(batch)
 	var remaining uint64

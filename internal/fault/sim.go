@@ -11,42 +11,63 @@ import (
 // input sequence; lane k has fault k injected persistently. A fault is
 // detected when, on some cycle, a primary output is binary in both the
 // good and the faulty lane and the values differ.
+//
+// ParallelSim evaluates the full netlist every cycle and is kept as the
+// reference implementation the event-driven engine (EventSim) is
+// differentially verified against. Its hot loop runs over the compiled
+// CSR netlist view, and the injection tables are dense slices indexed
+// by gate ID — load reuses their backing arrays across batches instead
+// of allocating maps.
 type ParallelSim struct {
 	nl    *netlist.Netlist
-	order []int
+	c     *netlist.Compiled
 	vals  []sim.Word
 	state []sim.Word
 
-	// Injection tables for the current pass, keyed by gate ID.
-	stemMask  map[int]uint64 // lanes where this gate's output is stuck
-	stemOne   map[int]uint64 // of those, lanes stuck at 1
-	pinInject map[int][]pinInjection
+	// Injection tables for the current pass, indexed by gate ID.
+	// touched lists the gate IDs with any entry so load can clear in
+	// O(batch) without reallocating.
+	stemMask []uint64         // lanes where this gate's output is stuck
+	stemOne  []uint64         // of those, lanes stuck at 1
+	pinInj   [][]pinInjection // per-gate input-pin injections
+	touched  []int32
 }
 
 type pinInjection struct {
-	pin   int
+	pin   int32
 	mask  uint64
 	saOne uint64 // lanes (within mask) stuck at 1
 }
 
 // NewParallel builds a parallel fault simulator for n.
 func NewParallel(n *netlist.Netlist) *ParallelSim {
+	c := n.Compile()
 	return &ParallelSim{
-		nl:    n,
-		order: n.TopoOrder(),
-		vals:  make([]sim.Word, len(n.Gates)),
-		state: make([]sim.Word, len(n.Gates)),
+		nl:       n,
+		c:        c,
+		vals:     make([]sim.Word, c.NumGates),
+		state:    make([]sim.Word, c.NumGates),
+		stemMask: make([]uint64, c.NumGates),
+		stemOne:  make([]uint64, c.NumGates),
+		pinInj:   make([][]pinInjection, c.NumGates),
 	}
 }
 
 // load prepares injection tables for a batch of faults occupying lanes
-// 1..len(batch).
+// 1..len(batch). Tables from the previous batch are cleared in place;
+// steady-state loads allocate nothing.
 func (p *ParallelSim) load(batch []Fault) {
-	p.stemMask = map[int]uint64{}
-	p.stemOne = map[int]uint64{}
-	p.pinInject = map[int][]pinInjection{}
+	for _, g := range p.touched {
+		p.stemMask[g] = 0
+		p.stemOne[g] = 0
+		p.pinInj[g] = p.pinInj[g][:0]
+	}
+	p.touched = p.touched[:0]
 	for i, f := range batch {
 		lane := uint64(1) << uint(i+1)
+		if p.stemMask[f.Gate] == 0 && len(p.pinInj[f.Gate]) == 0 {
+			p.touched = append(p.touched, int32(f.Gate))
+		}
 		if f.Pin < 0 {
 			p.stemMask[f.Gate] |= lane
 			if f.SAOne {
@@ -57,7 +78,7 @@ func (p *ParallelSim) load(batch []Fault) {
 			if f.SAOne {
 				sa = lane
 			}
-			p.pinInject[f.Gate] = append(p.pinInject[f.Gate], pinInjection{pin: f.Pin, mask: lane, saOne: sa})
+			p.pinInj[f.Gate] = append(p.pinInj[f.Gate], pinInjection{pin: int32(f.Pin), mask: lane, saOne: sa})
 		}
 	}
 }
@@ -71,11 +92,12 @@ func inject(w sim.Word, mask, ones uint64) sim.Word {
 
 // eval runs one combinational evaluation with injections applied.
 func (p *ParallelSim) eval() {
+	c := p.c
 	var faninBuf [3]sim.Word
-	for _, id := range p.order {
-		g := p.nl.Gates[id]
+	for _, id32 := range c.Order {
+		id := int(id32)
 		var out sim.Word
-		switch g.Kind {
+		switch netlist.GateKind(c.Kind[id]) {
 		case netlist.Input:
 			out = p.vals[id] // set by applyVector
 		case netlist.Const0:
@@ -85,31 +107,20 @@ func (p *ParallelSim) eval() {
 		case netlist.DFF:
 			out = p.state[id]
 		default:
-			in := faninBuf[:len(g.Fanin)]
-			for i, f := range g.Fanin {
+			fan := c.Fanins(id)
+			in := faninBuf[:len(fan)]
+			for i, f := range fan {
 				in[i] = p.vals[f]
 			}
-			for _, pi := range p.pinInject[id] {
+			for _, pi := range p.pinInj[id] {
 				in[pi.pin] = inject(in[pi.pin], pi.mask, pi.saOne)
 			}
-			out = sim.EvalGate(g.Kind, in)
+			out = sim.EvalGate(netlist.GateKind(c.Kind[id]), in)
 		}
 		if m := p.stemMask[id]; m != 0 {
 			out = inject(out, m, p.stemOne[id])
 		}
 		p.vals[id] = out
-	}
-}
-
-// step clocks the flip-flops, applying D-pin injections.
-func (p *ParallelSim) step() {
-	p.eval()
-	for _, f := range p.nl.DFFs {
-		d := p.vals[p.nl.Gates[f].Fanin[0]]
-		for _, pi := range p.pinInject[f] {
-			d = inject(d, pi.mask, pi.saOne)
-		}
-		p.state[f] = d
 	}
 }
 
@@ -161,8 +172,9 @@ func (p *ParallelSim) RunSequence(res *Result, seq Sequence) int {
 // runBatch loads one batch of faults, simulates seq from the all-X
 // power-up state and returns the set of detected lanes. Detection is
 // an intrinsic property of (fault, sequence): it does not depend on
-// which other faults share the pass, which is what makes both fault
-// dropping and the batch-parallel pool pure optimizations.
+// which other faults share the pass, which is what makes fault
+// dropping, the batch-parallel pool and cone-grouped batch assembly
+// all pure optimizations.
 func (p *ParallelSim) runBatch(batch []Fault, seq Sequence) uint64 {
 	p.load(batch)
 	p.resetAllX()
@@ -180,8 +192,8 @@ func (p *ParallelSim) runBatch(batch []Fault, seq Sequence) uint64 {
 // the preceding eval (avoids re-evaluating).
 func (p *ParallelSim) stepFromCurrent() {
 	for _, f := range p.nl.DFFs {
-		d := p.vals[p.nl.Gates[f].Fanin[0]]
-		for _, pi := range p.pinInject[f] {
+		d := p.vals[p.c.Fanins(f)[0]]
+		for _, pi := range p.pinInj[f] {
 			d = inject(d, pi.mask, pi.saOne)
 		}
 		// A stem fault on the DFF output overrides the captured state

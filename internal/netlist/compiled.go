@@ -1,0 +1,200 @@
+package netlist
+
+// Compiled is a flattened, read-only view of a Netlist in compressed
+// sparse row (CSR) form: gate kinds, fanins and fanouts live in
+// contiguous int32 arrays instead of per-gate structs, with the
+// topological order, its inverse permutation and combinational levels
+// precomputed. Simulators iterate these arrays directly, so the hot
+// evaluation loops touch a handful of cache lines per gate and never
+// chase a *Gate pointer or hash a map key.
+//
+// A Compiled view is built once per netlist by Compile, memoized
+// alongside the TopoOrder cache, and shared read-only by every
+// simulator clone and worker goroutine; mutating the netlist (AddGate,
+// SetFanin) invalidates it. All slices must be treated as immutable by
+// callers.
+type Compiled struct {
+	// NumGates is len(Netlist.Gates).
+	NumGates int
+
+	// Kind[id] is the GateKind of gate id, stored as uint8 for density.
+	Kind []uint8
+
+	// FaninStart/FaninList are the CSR fanin adjacency: the fanins of
+	// gate id are FaninList[FaninStart[id]:FaninStart[id+1]], in pin
+	// order. FaninStart has NumGates+1 entries.
+	FaninStart []int32
+	FaninList  []int32
+
+	// FanoutStart/FanoutList are the CSR fanout adjacency: the readers
+	// of gate id are FanoutList[FanoutStart[id]:FanoutStart[id+1]].
+	// A gate wired to the same driver on two pins appears twice.
+	FanoutStart []int32
+	FanoutList  []int32
+
+	// FanoutRefs mirrors FanoutList with the reader's combinational
+	// level precomputed (Level == -1 flags a DFF reader, i.e. a
+	// clock-boundary edge). The event-driven sweep dispatches fanout
+	// edges from this array with a single contiguous load instead of
+	// separate Kind and Level lookups per edge.
+	FanoutRefs []FanoutRef
+
+	// Order is the memoized topological order (see TopoOrder); Pos is
+	// its inverse permutation (Pos[Order[i]] == i). Pos doubles as a
+	// cone-locality key: faults whose sites are close in Pos have
+	// overlapping fanout cones far more often than not.
+	Order []int32
+	Pos   []int32
+
+	// Level[id] is the combinational level of gate id (see Levelize);
+	// NumLevels is max(Level)+1. Event-driven evaluation sweeps gates
+	// level by level, so a gate is visited only after all its fanins
+	// have settled.
+	Level     []int32
+	NumLevels int
+
+	// LevelStart is a CSR partition of capacity by level: the gates
+	// with Level == l number LevelStart[l+1]-LevelStart[l], so a flat
+	// NumGates-sized buffer indexed by these offsets can hold every
+	// level's worklist segment without per-level slices. LevelStart has
+	// NumLevels+1 entries.
+	LevelStart []int32
+
+	// PIs, POs and DFFs mirror the Netlist slices as int32.
+	PIs, POs, DFFs []int32
+
+	// IsPO[id] reports whether gate id drives at least one primary
+	// output — the only gates whose divergence can detect a fault.
+	IsPO []bool
+}
+
+// FanoutRef is one precomputed fanout edge: the reader gate and its
+// combinational level, or Level == -1 for DFF readers.
+type FanoutRef struct {
+	ID    int32
+	Level int32
+}
+
+// Fanins returns the fanin gate IDs of gate id in pin order.
+func (c *Compiled) Fanins(id int) []int32 {
+	return c.FaninList[c.FaninStart[id]:c.FaninStart[id+1]]
+}
+
+// Fanouts returns the reader gate IDs of gate id.
+func (c *Compiled) Fanouts(id int) []int32 {
+	return c.FanoutList[c.FanoutStart[id]:c.FanoutStart[id+1]]
+}
+
+// Compile returns the memoized CSR view of the netlist, building it on
+// first use. Like TopoOrder it panics with a *CycleError if the
+// combinational logic is cyclic; callers holding untrusted netlists
+// should Validate first. Concurrent first use is safe, and the result
+// is shared: treat every slice as read-only.
+func (n *Netlist) Compile() *Compiled {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	if n.compiledCache != nil {
+		return n.compiledCache
+	}
+	order, err := n.topoOrderLocked()
+	if err != nil {
+		panic(err)
+	}
+	n.compiledCache = n.buildCompiled(order, n.fanoutsLocked())
+	return n.compiledCache
+}
+
+func (n *Netlist) buildCompiled(order []int, fanouts [][]int) *Compiled {
+	ng := len(n.Gates)
+	c := &Compiled{
+		NumGates:    ng,
+		Kind:        make([]uint8, ng),
+		FaninStart:  make([]int32, ng+1),
+		FanoutStart: make([]int32, ng+1),
+		Order:       make([]int32, ng),
+		Pos:         make([]int32, ng),
+		Level:       make([]int32, ng),
+		IsPO:        make([]bool, ng),
+	}
+	nFanin, nFanout := 0, 0
+	for id, g := range n.Gates {
+		c.Kind[id] = uint8(g.Kind)
+		nFanin += len(g.Fanin)
+		nFanout += len(fanouts[id])
+	}
+	c.FaninList = make([]int32, 0, nFanin)
+	c.FanoutList = make([]int32, 0, nFanout)
+	for id, g := range n.Gates {
+		c.FaninStart[id] = int32(len(c.FaninList))
+		for _, f := range g.Fanin {
+			c.FaninList = append(c.FaninList, int32(f))
+		}
+		c.FanoutStart[id] = int32(len(c.FanoutList))
+		for _, fo := range fanouts[id] {
+			c.FanoutList = append(c.FanoutList, int32(fo))
+		}
+	}
+	c.FaninStart[ng] = int32(len(c.FaninList))
+	c.FanoutStart[ng] = int32(len(c.FanoutList))
+
+	for i, id := range order {
+		c.Order[i] = int32(id)
+		c.Pos[id] = int32(i)
+	}
+	// Combinational levels, computed over the supplied order so this
+	// runs under the same lock that memoizes it (Levelize would
+	// re-enter TopoOrder).
+	for _, id := range order {
+		g := n.Gates[id]
+		if !g.Kind.Combinational() {
+			c.Level[id] = 0
+			continue
+		}
+		max := int32(-1)
+		for _, f := range g.Fanin {
+			if c.Level[f] > max {
+				max = c.Level[f]
+			}
+		}
+		c.Level[id] = max + 1
+		if int(c.Level[id])+1 > c.NumLevels {
+			c.NumLevels = int(c.Level[id]) + 1
+		}
+	}
+	if ng > 0 && c.NumLevels == 0 {
+		c.NumLevels = 1
+	}
+
+	c.LevelStart = make([]int32, c.NumLevels+1)
+	for _, l := range c.Level {
+		c.LevelStart[l+1]++
+	}
+	for l := 0; l < c.NumLevels; l++ {
+		c.LevelStart[l+1] += c.LevelStart[l]
+	}
+
+	c.FanoutRefs = make([]FanoutRef, len(c.FanoutList))
+	for i, fo := range c.FanoutList {
+		lvl := c.Level[fo]
+		if GateKind(c.Kind[fo]) == DFF {
+			lvl = -1
+		}
+		c.FanoutRefs[i] = FanoutRef{ID: fo, Level: lvl}
+	}
+
+	c.PIs = toInt32(n.PIs)
+	c.POs = toInt32(n.POs)
+	c.DFFs = toInt32(n.DFFs)
+	for _, po := range n.POs {
+		c.IsPO[po] = true
+	}
+	return c
+}
+
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package netlist
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randomNetlist builds a random sequential DAG for structural checks.
+func randomNetlist(rng *rand.Rand, nIn, nGates int) *Netlist {
+	n := New("rnd")
+	var ids []int
+	for i := 0; i < nIn; i++ {
+		ids = append(ids, n.AddInput(string(rune('a'+i))))
+	}
+	pick := func() int { return ids[rng.Intn(len(ids))] }
+	kinds := []GateKind{Buf, Not, And, Or, Nand, Nor, Xor, Xnor, Mux}
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var id int
+		switch k.Arity() {
+		case 1:
+			id = n.AddGate(k, pick())
+		case 2:
+			id = n.AddGate(k, pick(), pick())
+		default:
+			id = n.AddGate(k, pick(), pick(), pick())
+		}
+		ids = append(ids, id)
+		if rng.Intn(6) == 0 {
+			ids = append(ids, n.AddGate(DFF, id))
+		}
+	}
+	n.AddOutput("y", ids[len(ids)-1])
+	n.AddOutput("z", pick())
+	return n
+}
+
+// TestCompiledMatchesNetlist checks the CSR view against the per-gate
+// representation: kinds, fanins, fanouts, topological order, inverse
+// permutation, levels and the PI/PO/DFF mirrors.
+func TestCompiledMatchesNetlist(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		n := randomNetlist(rng, 1+rng.Intn(5), 20+rng.Intn(120))
+		c := n.Compile()
+
+		if c.NumGates != len(n.Gates) {
+			t.Fatalf("NumGates = %d, want %d", c.NumGates, len(n.Gates))
+		}
+		fanouts := n.Fanouts()
+		levels := n.Levelize()
+		order := n.TopoOrder()
+		for id, g := range n.Gates {
+			if GateKind(c.Kind[id]) != g.Kind {
+				t.Fatalf("gate %d: kind %v, want %v", id, GateKind(c.Kind[id]), g.Kind)
+			}
+			fi := c.Fanins(id)
+			if len(fi) != len(g.Fanin) {
+				t.Fatalf("gate %d: %d fanins, want %d", id, len(fi), len(g.Fanin))
+			}
+			for p, f := range g.Fanin {
+				if int(fi[p]) != f {
+					t.Fatalf("gate %d pin %d: fanin %d, want %d", id, p, fi[p], f)
+				}
+			}
+			fo := c.Fanouts(id)
+			if len(fo) != len(fanouts[id]) {
+				t.Fatalf("gate %d: %d fanouts, want %d", id, len(fo), len(fanouts[id]))
+			}
+			for j, r := range fanouts[id] {
+				if int(fo[j]) != r {
+					t.Fatalf("gate %d fanout %d: %d, want %d", id, j, fo[j], r)
+				}
+			}
+			if int(c.Level[id]) != levels[id] {
+				t.Fatalf("gate %d: level %d, want %d", id, c.Level[id], levels[id])
+			}
+		}
+		for i, id := range order {
+			if int(c.Order[i]) != id {
+				t.Fatalf("Order[%d] = %d, want %d", i, c.Order[i], id)
+			}
+			if int(c.Pos[id]) != i {
+				t.Fatalf("Pos[%d] = %d, want %d (not the inverse of Order)", id, c.Pos[id], i)
+			}
+		}
+		maxLevel := 0
+		for _, l := range levels {
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+		if c.NumLevels != maxLevel+1 {
+			t.Fatalf("NumLevels = %d, want %d", c.NumLevels, maxLevel+1)
+		}
+		for i, pi := range n.PIs {
+			if int(c.PIs[i]) != pi {
+				t.Fatalf("PIs[%d] = %d, want %d", i, c.PIs[i], pi)
+			}
+		}
+		for i, po := range n.POs {
+			if int(c.POs[i]) != po {
+				t.Fatalf("POs[%d] = %d, want %d", i, c.POs[i], po)
+			}
+			if !c.IsPO[po] {
+				t.Fatalf("IsPO[%d] false for PO driver", po)
+			}
+		}
+		for i, f := range n.DFFs {
+			if int(c.DFFs[i]) != f {
+				t.Fatalf("DFFs[%d] = %d, want %d", i, c.DFFs[i], f)
+			}
+		}
+		nPO := 0
+		for _, b := range c.IsPO {
+			if b {
+				nPO++
+			}
+		}
+		distinct := map[int]bool{}
+		for _, po := range n.POs {
+			distinct[po] = true
+		}
+		if nPO != len(distinct) {
+			t.Fatalf("IsPO marks %d gates, want %d", nPO, len(distinct))
+		}
+	}
+}
+
+// TestCompileMemoized checks that Compile returns the same view on
+// repeat calls and rebuilds after mutation, like the TopoOrder cache.
+func TestCompileMemoized(t *testing.T) {
+	n := buildSmallDag()
+	c1 := n.Compile()
+	if c2 := n.Compile(); c1 != c2 {
+		t.Error("Compile should return the memoized view on repeat calls")
+	}
+
+	g := n.AddGate(Not, 0)
+	c3 := n.Compile()
+	if c3 == c1 {
+		t.Fatal("stale compiled view after AddGate")
+	}
+	if c3.NumGates != c1.NumGates+1 {
+		t.Fatalf("rebuilt view has %d gates, want %d", c3.NumGates, c1.NumGates+1)
+	}
+
+	n.SetFanin(g, 0, 1)
+	c4 := n.Compile()
+	if c4 == c3 {
+		t.Fatal("stale compiled view after SetFanin")
+	}
+	if got := c4.Fanins(g); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("rebuilt fanins of gate %d = %v, want [1]", g, got)
+	}
+}
+
+// TestCompileConcurrentFirstUse races the first Compile call across
+// goroutines (run under -race in CI) — the simulator-clone startup
+// pattern.
+func TestCompileConcurrentFirstUse(t *testing.T) {
+	n := buildSmallDag()
+	const goroutines = 16
+	views := make([]*Compiled, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			views[g] = n.Compile()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if views[g] != views[0] {
+			t.Fatalf("goroutine %d saw a different compiled view", g)
+		}
+	}
+}
+
+// TestFanoutsMemoized checks that repeated Fanouts calls share the
+// cached slice-of-slices and that mutation invalidates it.
+func TestFanoutsMemoized(t *testing.T) {
+	n := buildSmallDag()
+	f1 := n.Fanouts()
+	f2 := n.Fanouts()
+	if &f1[0] != &f2[0] {
+		t.Error("Fanouts should return the memoized slice on repeat calls")
+	}
+
+	// AddGate invalidates: the new reader must appear.
+	g := n.AddGate(Not, 0)
+	f3 := n.Fanouts()
+	if len(f3) != len(f1)+1 {
+		t.Fatalf("stale fanouts after AddGate: len %d, want %d", len(f3), len(f1)+1)
+	}
+	found := false
+	for _, r := range f3[0] {
+		if r == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new gate missing from recomputed fanouts of its driver")
+	}
+
+	// SetFanin invalidates: the reader moves from gate 0 to gate 1.
+	n.SetFanin(g, 0, 1)
+	f4 := n.Fanouts()
+	for _, r := range f4[0] {
+		if r == g {
+			t.Error("stale fanout on old driver after SetFanin")
+		}
+	}
+	found = false
+	for _, r := range f4[1] {
+		if r == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fanout missing on new driver after SetFanin")
+	}
+}
+
+// TestFanoutsConsistentWithCompiled pins the two fanout representations
+// to each other on a random netlist.
+func TestFanoutsConsistentWithCompiled(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := randomNetlist(rng, 4, 80)
+	c := n.Compile()
+	fanouts := n.Fanouts()
+	if !reflect.DeepEqual(len(fanouts), c.NumGates) {
+		t.Fatalf("fanout table has %d rows, want %d", len(fanouts), c.NumGates)
+	}
+	for id := range fanouts {
+		fo := c.Fanouts(id)
+		if len(fo) != len(fanouts[id]) {
+			t.Fatalf("gate %d: CSR has %d fanouts, slice form has %d", id, len(fo), len(fanouts[id]))
+		}
+	}
+}

@@ -158,13 +158,15 @@ type Netlist struct {
 	// DFFs lists the IDs of all DFF gates, in creation order.
 	DFFs []int
 
-	// topoMu guards topoCache. TopoOrder is on the construction path of
-	// every simulator and every per-fault PODEM search, so its result
-	// is memoized; the mutex makes first use safe when workers sharing
-	// the netlist race to compute it. AddGate and SetFanin invalidate
-	// the cache.
-	topoMu    sync.Mutex
-	topoCache []int
+	// topoMu guards the derived-view caches below. TopoOrder, Fanouts
+	// and Compile are all on the construction path of every simulator
+	// and every per-fault PODEM search, so their results are memoized;
+	// the mutex makes first use safe when workers sharing the netlist
+	// race to compute them. AddGate and SetFanin invalidate all three.
+	topoMu        sync.Mutex
+	topoCache     []int
+	fanoutCache   [][]int
+	compiledCache *Compiled
 }
 
 // New returns an empty netlist with the given name.
@@ -335,6 +337,11 @@ func (n *Netlist) TopoOrder() []int {
 func (n *Netlist) TopoOrderErr() ([]int, error) {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
+	return n.topoOrderLocked()
+}
+
+// topoOrderLocked memoizes the topological order; topoMu must be held.
+func (n *Netlist) topoOrderLocked() ([]int, error) {
 	if n.topoCache == nil {
 		order, err := n.computeTopoOrder()
 		if err != nil {
@@ -348,6 +355,8 @@ func (n *Netlist) TopoOrderErr() ([]int, error) {
 func (n *Netlist) invalidateTopo() {
 	n.topoMu.Lock()
 	n.topoCache = nil
+	n.fanoutCache = nil
+	n.compiledCache = nil
 	n.topoMu.Unlock()
 }
 
@@ -394,14 +403,28 @@ func (n *Netlist) computeTopoOrder() ([]int, error) {
 }
 
 // Fanouts returns, for each gate ID, the list of gates that read it.
+// The result is computed once and memoized alongside the TopoOrder
+// cache (mutating the netlist via AddGate or SetFanin invalidates it);
+// concurrent first use shares one computation. The returned slices are
+// shared: callers must treat them as read-only.
 func (n *Netlist) Fanouts() [][]int {
-	out := make([][]int, len(n.Gates))
-	for id, g := range n.Gates {
-		for _, f := range g.Fanin {
-			out[f] = append(out[f], id)
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	return n.fanoutsLocked()
+}
+
+// fanoutsLocked memoizes the fanout lists; topoMu must be held.
+func (n *Netlist) fanoutsLocked() [][]int {
+	if n.fanoutCache == nil {
+		out := make([][]int, len(n.Gates))
+		for id, g := range n.Gates {
+			for _, f := range g.Fanin {
+				out[f] = append(out[f], id)
+			}
 		}
+		n.fanoutCache = out
 	}
-	return out
+	return n.fanoutCache
 }
 
 // SequentialDepth estimates the sequential depth of the circuit: the

@@ -114,3 +114,33 @@ func Inverting(kind netlist.GateKind) bool {
 	}
 	return false
 }
+
+// Table-driven scalar evaluation. The good-machine trace of the
+// event-driven fault simulator evaluates every gate of the netlist once
+// per cycle per sequence; a truth-table load there is measurably faster
+// than EvalGateL's switch plus per-kind branches. Tables are indexed by
+// gate kind and the base-3 encoding of the scalar inputs.
+var (
+	// Tab1[kind][a] == EvalGateL(kind, [a]) for 1-input kinds.
+	Tab1 [13][3]Logic
+	// Tab2[kind][a*3+b] == EvalGateL(kind, [a, b]) for 2-input kinds.
+	Tab2 [13][9]Logic
+)
+
+func init() {
+	vals := [3]Logic{L0, L1, LX}
+	for k := netlist.Buf; k <= netlist.Xnor; k++ {
+		switch k.Arity() {
+		case 1:
+			for _, a := range vals {
+				Tab1[k][a] = EvalGateL(k, []Logic{a})
+			}
+		case 2:
+			for _, a := range vals {
+				for _, b := range vals {
+					Tab2[k][a*3+b] = EvalGateL(k, []Logic{a, b})
+				}
+			}
+		}
+	}
+}

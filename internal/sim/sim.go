@@ -161,10 +161,13 @@ func EvalGate(kind netlist.GateKind, in []Word) Word {
 	panic(fmt.Sprintf("sim: EvalGate on non-combinational kind %s", kind))
 }
 
-// Simulator evaluates a netlist over packed 64-pattern words.
+// Simulator evaluates a netlist over packed 64-pattern words. The
+// evaluation loop runs over the netlist's compiled CSR view (see
+// netlist.Compile): contiguous kind/fanin arrays in topological order,
+// no per-gate pointer chasing.
 type Simulator struct {
 	N     *netlist.Netlist
-	order []int  // topological order of gates
+	c     *netlist.Compiled
 	vals  []Word // current value per gate
 	state []Word // DFF state, indexed by gate ID (only DFF slots used)
 }
@@ -173,7 +176,7 @@ type Simulator struct {
 func New(n *netlist.Netlist) *Simulator {
 	s := &Simulator{
 		N:     n,
-		order: n.TopoOrder(),
+		c:     n.Compile(),
 		vals:  make([]Word, len(n.Gates)),
 		state: make([]Word, len(n.Gates)),
 	}
@@ -182,13 +185,13 @@ func New(n *netlist.Netlist) *Simulator {
 }
 
 // Clone returns an independent simulator over the same netlist. The
-// netlist and the memoized evaluation order are shared read-only; the
-// value and state arrays are private copies, so a clone can run on its
-// own goroutine without synchronization.
+// netlist and its compiled view are shared read-only; the value and
+// state arrays are private copies, so a clone can run on its own
+// goroutine without synchronization.
 func (s *Simulator) Clone() *Simulator {
 	return &Simulator{
 		N:     s.N,
-		order: s.order,
+		c:     s.c,
 		vals:  append([]Word(nil), s.vals...),
 		state: append([]Word(nil), s.state...),
 	}
@@ -231,10 +234,11 @@ func (s *Simulator) SetState(dff int, w Word) {
 // Eval propagates the current inputs and flop state through the
 // combinational logic. It does not clock the flops.
 func (s *Simulator) Eval() {
+	c := s.c
 	var faninBuf [3]Word
-	for _, id := range s.order {
-		g := s.N.Gates[id]
-		switch g.Kind {
+	for _, id32 := range c.Order {
+		id := int(id32)
+		switch netlist.GateKind(c.Kind[id]) {
 		case netlist.Input:
 			// Value set via SetInput; leave as is.
 		case netlist.Const0:
@@ -244,11 +248,12 @@ func (s *Simulator) Eval() {
 		case netlist.DFF:
 			s.vals[id] = s.state[id]
 		default:
-			in := faninBuf[:len(g.Fanin)]
-			for i, f := range g.Fanin {
+			fan := c.Fanins(id)
+			in := faninBuf[:len(fan)]
+			for i, f := range fan {
 				in[i] = s.vals[f]
 			}
-			s.vals[id] = EvalGate(g.Kind, in)
+			s.vals[id] = EvalGate(netlist.GateKind(c.Kind[id]), in)
 		}
 	}
 }
@@ -256,8 +261,8 @@ func (s *Simulator) Eval() {
 // Step evaluates the combinational logic and then clocks every DFF.
 func (s *Simulator) Step() {
 	s.Eval()
-	for _, f := range s.N.DFFs {
-		d := s.N.Gates[f].Fanin[0]
+	for _, f := range s.c.DFFs {
+		d := s.c.Fanins(int(f))[0]
 		s.state[f] = s.vals[d]
 	}
 }
