@@ -1,0 +1,156 @@
+// Command conformance runs the metamorphic conformance harness over a
+// corpus of freshly generated hierarchical designs: each seed is
+// expanded into a random Verilog design, pushed through the full
+// FACTOR pipeline (parse -> analyze -> synthesize -> extract/transform
+// -> ATPG -> dual-engine fault-sim replay), and checked against the
+// four conformance invariants (RTL/netlist co-simulation, extraction
+// soundness, detection replay with engine agreement, worker-count and
+// checkpoint/resume determinism).
+//
+// Usage:
+//
+//	conformance [-n count] [-seed start] [-j N] [-shrink]
+//	            [-shrink-budget N] [-repro-dir dir] [-timeout d] [-q]
+//
+// Seeds [start, start+count) are checked and one summary line is
+// printed per seed, in seed order, followed by a totals line. The
+// report is deterministic: the same seed range always produces a
+// byte-identical report, regardless of -j.
+//
+// With -shrink, every failing design is minimized (preserving its
+// violation class) and the reproducer is written to -repro-dir as
+// seed_<seed>.v; commit reproducers for fixed bugs so they become
+// regression tests (internal/conformance reruns everything under its
+// testdata/repro). Exit codes: 0 all seeds pass, 1 violations or
+// error, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"factor/internal/cli"
+	"factor/internal/conformance"
+	"factor/internal/designgen"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of seeds to check")
+	seed := flag.Int64("seed", 1, "first generator seed; seeds [seed, seed+n) are checked")
+	workers := flag.Int("j", 0, "worker goroutines (0 = all CPU cores); output order is unaffected")
+	shrink := flag.Bool("shrink", false, "minimize failing designs and write reproducers to -repro-dir")
+	shrinkBudget := flag.Int("shrink-budget", 4000, "max candidate evaluations per shrink")
+	reproDir := flag.String("repro-dir", "internal/conformance/testdata/repro", "directory for shrunk reproducers")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	quiet := flag.Bool("q", false, "print only failing seeds and the totals line")
+	flag.Parse()
+
+	if *n <= 0 {
+		cli.Usagef("conformance", "-n must be positive (got %d)", *n)
+	}
+	if flag.NArg() > 0 {
+		cli.Usagef("conformance", "unexpected argument %q", flag.Arg(0))
+	}
+
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
+	opts := conformance.DefaultOptions()
+	reports := make([]*conformance.Report, *n)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	nw := *workers
+	if nw <= 0 {
+		nw = defaultWorkers()
+	}
+	if nw > *n {
+		nw = *n
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i] = conformance.Check(*seed+int64(i), opts)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < *n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		cli.Fatal("conformance", fmt.Errorf("interrupted: %w", err))
+	}
+
+	fail := 0
+	for _, rep := range reports {
+		if !rep.OK() {
+			fail++
+		}
+		if !*quiet || !rep.OK() {
+			fmt.Println(rep.Line())
+		}
+	}
+	fmt.Printf("conformance: n=%d pass=%d fail=%d\n", *n, *n-fail, fail)
+
+	if fail > 0 && *shrink {
+		if err := writeReproducers(reports, opts, *shrinkBudget, *reproDir); err != nil {
+			cli.Fatal("conformance", err)
+		}
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func defaultWorkers() int {
+	if n := runtime.NumCPU(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// writeReproducers minimizes each failing design (preserving the first
+// violation's class) and writes the result under dir.
+func writeReproducers(reports []*conformance.Report, opts conformance.Options, budget int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		if rep.OK() {
+			continue
+		}
+		v := rep.Violations[0]
+		text := designgen.Generate(rep.Seed, opts.Gen).Text()
+		start := time.Now()
+		small := conformance.ShrinkReport(text, rep.Seed, v, opts, budget)
+		var b strings.Builder
+		fmt.Fprintf(&b, "// Reproducer shrunk from designgen seed %d (%d -> %d lines).\n",
+			rep.Seed, strings.Count(text, "\n"), strings.Count(small, "\n"))
+		fmt.Fprintf(&b, "// Violation: %s\n", v)
+		fmt.Fprintf(&b, "// Replay: go run ./cmd/conformance -seed %d -n 1\n", rep.Seed)
+		b.WriteString(small)
+		path := filepath.Join(dir, fmt.Sprintf("seed_%d.v", rep.Seed))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "conformance: seed %d shrunk to %d lines in %v -> %s\n",
+			rep.Seed, strings.Count(small, "\n"), time.Since(start).Round(time.Millisecond), path)
+	}
+	return nil
+}

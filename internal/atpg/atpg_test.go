@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -101,6 +102,35 @@ func TestGeneratedTestsActuallyDetect(t *testing.T) {
 		}
 		if !fault.SerialDetect(nl, f, seq) {
 			t.Errorf("fault %v: generated sequence does not detect it (serial check)", f)
+		}
+	}
+}
+
+// TestExportedSuiteRedetects replays RunResult.Tests from scratch and
+// checks every fault the run marked detected is re-detected by the
+// exported suite alone — the suite-validity contract the conformance
+// harness asserts pipeline-wide (invariant I3). In particular this
+// covers the fill-masking fallback in mergeOne: when the random-filled
+// sequence masks the target detection, the unfilled sequence must ship
+// in the suite alongside the filled one.
+func TestExportedSuiteRedetects(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for ci := 0; ci < 25; ci++ {
+		nl := randomSeqCircuit(rng, 1+rng.Intn(5), 10+rng.Intn(60))
+		faults := fault.Universe(nl)
+		if len(faults) == 0 {
+			continue
+		}
+		out := New(nl, Options{Seed: int64(ci) + 1, RandomSequences: 8, RandomSeqLen: 6}).Run(faults)
+		replay := fault.NewResult(faults)
+		ps := fault.NewParallel(nl)
+		for _, seq := range out.Tests {
+			ps.RunSequence(replay, seq)
+		}
+		for i := range faults {
+			if out.Result.Detected[i] && !replay.Detected[i] {
+				t.Errorf("circuit %d fault %v: marked detected but the exported suite does not re-detect it", ci, faults[i])
+			}
 		}
 	}
 }

@@ -539,10 +539,12 @@ func (e *Engine) mergeOne(out *RunResult, pool *fault.Pool, fi int, r specResult
 		mu.Lock()
 		before := res.NumDetected()
 		pool.RunSequence(res, filled)
+		usedFallback := false
 		if !res.Detected[fi] {
 			// Random fill can mask the detection through X-optimism
 			// differences; fall back to the unfilled sequence.
 			pool.RunSequence(res, r.seq)
+			usedFallback = true
 		}
 		detected := res.Detected[fi]
 		newly := res.NumDetected() - before
@@ -555,6 +557,14 @@ func (e *Engine) mergeOne(out *RunResult, pool *fault.Pool, fi int, r specResult
 			return
 		}
 		out.Tests = append(out.Tests, filled)
+		if usedFallback {
+			// The filled sequence carries collateral detections already
+			// folded into the canonical set, but the target fault was
+			// only detected by the unfilled sequence — the exported
+			// suite must contain both or replaying it would not
+			// re-detect the fault.
+			out.Tests = append(out.Tests, r.seq)
+		}
 		out.DetectedDet += newly
 	case Untestable:
 		out.UntestableNum++

@@ -1,0 +1,32 @@
+package conformance
+
+import "testing"
+
+// FuzzPipelineConformance fuzzes the whole FACTOR pipeline with the
+// generator seed as the only input: every seed yields a hierarchical
+// design that must survive parse -> analyze -> synthesize (optimized
+// and not) -> extract/transform -> ATPG -> dual-engine fault-sim replay
+// with all four conformance invariants intact. A failing seed is a bug
+// somewhere in the pipeline; reproduce it with
+//
+//	go run ./cmd/conformance -seed <seed> -n 1 -shrink
+//
+// which minimizes the design to a small reproducer.
+func FuzzPipelineConformance(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 15, 33, 34, 99, -7, 1 << 40} {
+		f.Add(seed)
+	}
+	opts := DefaultOptions()
+	// Keep per-input work small: the fuzzer's value is breadth of seeds,
+	// not stimulus depth on one seed.
+	opts.CosimCycles = 8
+	opts.RandomSequences = 8
+	opts.RandomSeqLen = 6
+	opts.BacktrackLimit = 64
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep := Check(seed, opts)
+		if !rep.OK() {
+			t.Fatalf("conformance violation: %s", rep.Line())
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package conformance
+
+import (
+	"factor/internal/verilog"
+)
+
+// Shrink minimizes Verilog source text while keep(text) remains true.
+// It greedily applies single AST-level reductions — removing modules,
+// ports, items and statements, flattening if/case, replacing
+// expressions with their operands or a constant — re-parsing the
+// current text for every candidate so each mutation is independent.
+// Every mutation strictly shrinks the AST, so accepting any keeping
+// candidate is monotone and the loop reaches a 1-minimal fixpoint (no
+// single reduction keeps the failure) or exhausts the budget of
+// candidate evaluations.
+func Shrink(text string, keep func(string) bool, budget int) string {
+	cur := text
+	for budget > 0 {
+		improved := false
+		for k := 0; budget > 0; k++ {
+			cand, ok := mutateText(cur, k)
+			if !ok {
+				break
+			}
+			if cand == cur {
+				continue
+			}
+			budget--
+			if keep(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// ShrinkReport minimizes a failing design such that CheckSource keeps
+// reporting the same (invariant, code) violation class.
+func ShrinkReport(text string, seed int64, v Violation, opts Options, budget int) string {
+	keep := func(cand string) bool {
+		return CheckSource(cand, seed, opts).Fails(v.Invariant, v.Code)
+	}
+	return Shrink(text, keep, budget)
+}
+
+// mutateText parses text, applies the k-th enumerated mutation, and
+// prints the result. ok is false when k is past the enumeration (or the
+// text no longer parses, which only happens when shrinking a parse
+// failure — those are already minimal for this mutator).
+func mutateText(text string, k int) (string, bool) {
+	src, err := verilog.Parse("shrink.v", text)
+	if err != nil {
+		return "", false
+	}
+	m := &mutator{target: k}
+	m.file(src)
+	if !m.applied {
+		return "", false
+	}
+	return verilog.PrintFile(src), true
+}
+
+// mutator enumerates mutation points in deterministic AST order and
+// applies the target-th one in place.
+type mutator struct {
+	target, count int
+	applied       bool
+}
+
+// hit reports whether the current mutation point is the target, and
+// marks the mutator applied when it is. After a hit every later point
+// reports false, so callers apply at most one mutation.
+func (m *mutator) hit() bool {
+	if m.applied {
+		return false
+	}
+	m.count++
+	if m.count-1 == m.target {
+		m.applied = true
+		return true
+	}
+	return false
+}
+
+func (m *mutator) file(src *verilog.SourceFile) {
+	top := "top"
+	if src.Module(top) == nil && len(src.Modules) > 0 {
+		top = src.Modules[len(src.Modules)-1].Name
+	}
+	instantiated := map[string]bool{}
+	for _, mod := range src.Modules {
+		for _, inst := range mod.Instances() {
+			instantiated[inst.ModuleName] = true
+		}
+	}
+	// Remove an uninstantiated non-top module.
+	for i, mod := range src.Modules {
+		if mod.Name != top && !instantiated[mod.Name] && m.hit() {
+			src.Modules = append(src.Modules[:i], src.Modules[i+1:]...)
+			return
+		}
+	}
+	for _, mod := range src.Modules {
+		m.module(src, mod)
+		if m.applied {
+			return
+		}
+	}
+}
+
+func (m *mutator) module(src *verilog.SourceFile, mod *verilog.Module) {
+	// Remove a port (and its connection at every instantiation site).
+	for pi, p := range mod.Ports {
+		if m.hit() {
+			name := p.Name
+			mod.Ports = append(mod.Ports[:pi], mod.Ports[pi+1:]...)
+			for _, other := range src.Modules {
+				for _, inst := range other.Instances() {
+					if inst.ModuleName != mod.Name {
+						continue
+					}
+					for ci, c := range inst.Conns {
+						if c.Port == name {
+							inst.Conns = append(inst.Conns[:ci], inst.Conns[ci+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	// Narrow a port to a scalar.
+	for _, p := range mod.Ports {
+		if p.Width != nil && m.hit() {
+			p.Width = nil
+			return
+		}
+	}
+	// Remove an item.
+	for i := range mod.Items {
+		if m.hit() {
+			mod.Items = append(mod.Items[:i], mod.Items[i+1:]...)
+			return
+		}
+	}
+	// Descend into items.
+	for _, item := range mod.Items {
+		switch it := item.(type) {
+		case *verilog.NetDecl:
+			if it.Width != nil && m.hit() {
+				it.Width = nil
+				return
+			}
+		case *verilog.AssignItem:
+			it.RHS = m.expr(it.RHS)
+		case *verilog.AlwaysBlock:
+			it.Body = m.stmt(it.Body)
+		case *verilog.GateInst:
+			for ai := 1; ai < len(it.Args); ai++ { // arg 0 is the output
+				it.Args[ai] = m.expr(it.Args[ai])
+			}
+		case *verilog.Instance:
+			for ci := range it.Conns {
+				if it.Conns[ci].Expr != nil {
+					it.Conns[ci].Expr = m.expr(it.Conns[ci].Expr)
+				}
+			}
+		}
+		if m.applied {
+			return
+		}
+	}
+}
+
+func (m *mutator) stmt(s verilog.Stmt) verilog.Stmt {
+	if s == nil || m.applied {
+		return s
+	}
+	switch v := s.(type) {
+	case *verilog.Block:
+		for i := range v.Stmts {
+			if m.hit() {
+				v.Stmts = append(v.Stmts[:i], v.Stmts[i+1:]...)
+				return v
+			}
+		}
+		for i := range v.Stmts {
+			v.Stmts[i] = m.stmt(v.Stmts[i])
+			if m.applied {
+				return v
+			}
+		}
+	case *verilog.IfStmt:
+		if m.hit() {
+			return v.Then
+		}
+		if v.Else != nil && m.hit() {
+			return v.Else
+		}
+		v.Cond = m.expr(v.Cond)
+		v.Then = m.stmt(v.Then)
+		if v.Else != nil {
+			v.Else = m.stmt(v.Else)
+		}
+	case *verilog.CaseStmt:
+		for _, item := range v.Items {
+			if m.hit() {
+				return item.Body
+			}
+		}
+		if len(v.Items) > 1 {
+			for i := range v.Items {
+				if m.hit() {
+					v.Items = append(v.Items[:i], v.Items[i+1:]...)
+					return v
+				}
+			}
+		}
+		v.Subject = m.expr(v.Subject)
+		for i := range v.Items {
+			v.Items[i].Body = m.stmt(v.Items[i].Body)
+			if m.applied {
+				return v
+			}
+		}
+	case *verilog.ForStmt:
+		v.Body = m.stmt(v.Body)
+	case *verilog.WhileStmt:
+		v.Body = m.stmt(v.Body)
+	case *verilog.AssignStmt:
+		v.RHS = m.expr(v.RHS)
+	}
+	return s
+}
+
+func (m *mutator) expr(e verilog.Expr) verilog.Expr {
+	if e == nil || m.applied {
+		return e
+	}
+	// Any non-literal expression can collapse to 1'b0.
+	if _, isNum := e.(*verilog.Number); !isNum && m.hit() {
+		return &verilog.Number{Width: 1, Sized: true, Value: 0}
+	}
+	switch v := e.(type) {
+	case *verilog.UnaryExpr:
+		if m.hit() {
+			return v.X
+		}
+		v.X = m.expr(v.X)
+	case *verilog.BinaryExpr:
+		if m.hit() {
+			return v.X
+		}
+		if m.hit() {
+			return v.Y
+		}
+		v.X = m.expr(v.X)
+		v.Y = m.expr(v.Y)
+	case *verilog.CondExpr:
+		if m.hit() {
+			return v.Then
+		}
+		if m.hit() {
+			return v.Else
+		}
+		v.Cond = m.expr(v.Cond)
+		v.Then = m.expr(v.Then)
+		v.Else = m.expr(v.Else)
+	case *verilog.ConcatExpr:
+		for _, p := range v.Parts {
+			if m.hit() {
+				return p
+			}
+		}
+		for i := range v.Parts {
+			v.Parts[i] = m.expr(v.Parts[i])
+			if m.applied {
+				return v
+			}
+		}
+	case *verilog.ReplExpr:
+		if m.hit() {
+			return v.X
+		}
+		v.X = m.expr(v.X)
+	case *verilog.IndexExpr:
+		if m.hit() {
+			return v.X
+		}
+		v.X = m.expr(v.X)
+	case *verilog.RangeExpr:
+		if m.hit() {
+			return v.X
+		}
+		v.X = m.expr(v.X)
+	}
+	return e
+}

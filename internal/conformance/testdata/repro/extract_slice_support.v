@@ -1,0 +1,25 @@
+// Reproducer shrunk from designgen seed 15 (89 lines -> 16) by the
+// conformance shrinker. Composed-mode extraction made c2 a slice
+// target when tracing the MUT output connected to c1, which keeps BOTH
+// assignments to c2 in the emitted environment — but only the support
+// of the on-path assignment (c1) was traced, so the kept "c2 = in0"
+// read in0 as an undriven wire and the transformed module disagreed
+// with the full design on out1 (invariant I2). Fixed by re-tracing
+// every slice target as a source so all of its defs pull in their
+// support (core/extract.go, addSliceTarget).
+module m1_dp (out1);
+  output out1;
+endmodule
+
+module top (in0, out1);
+  input in0;
+  output out1;
+  wire c1;
+  reg c2;
+  m1_dp u_0 (.out1(c1));
+  always @(*) begin
+    c2 = c1;
+    c2 = in0;
+  end
+  assign out1 = c2;
+endmodule

@@ -629,6 +629,16 @@ func (e *Extractor) addSliceTarget(s *moduleStep, mi *design.ModuleInfo, blk *ve
 		return
 	}
 	s.sliceTargets[blk] = append(s.sliceTargets[blk], target)
+	// The emitter keeps EVERY assignment to target inside blk (the
+	// slicer matches by target name, and dropping a reconvergent
+	// assignment would break case/if priority), so the support of every
+	// such assignment must be extracted too. Re-tracing the target as a
+	// source visits all of its defs — including assignments other than
+	// the one that put it on the propagation path — and pulls their RHS
+	// and enclosing conditions into the environment. Without this, a
+	// kept assignment can read a signal that was never traced and ends
+	// up as an undriven wire in the transformed module (unsound S').
+	s.localNext = append(s.localNext, sigDir{sig: target, d: dirSource})
 	for _, cs := range sensSignals(blk) {
 		s.localNext = append(s.localNext, sigDir{sig: cs, d: dirSource})
 	}

@@ -1,0 +1,696 @@
+// Package designgen generates random hierarchical Verilog designs for
+// metamorphic conformance testing of the FACTOR pipeline. Following the
+// bottom-up random-design-generation approach used to stress EDA tools
+// (Vieira et al., "Bottom-Up Generation of Verilog Designs for Testing
+// EDA Tools"), every design is built from a (seed, Config) pair and is
+// fully deterministic: the same seed always yields the same module
+// tree, the same expressions and the same printed source.
+//
+// Generated designs stay inside the synthesizable subset the synth
+// package documents: a single positive-edge clock domain, synchronous
+// resets, no signed arithmetic, no division, no x/z literals. Designs
+// are hierarchical (2-4 levels of module nesting) and mix three block
+// styles — datapath (continuous assignments over word-level operators),
+// control (combinational always with case/if and full default
+// assignment), and FSM (state register plus combinational next-state
+// logic) — with parameterized widths and both registered and
+// combinational module boundaries.
+package designgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factor/internal/verilog"
+)
+
+// Config bounds the shape of generated designs.
+type Config struct {
+	// MaxDepth is the maximum module nesting depth below the top module
+	// (1..3; the total hierarchy is 2..4 levels including top).
+	MaxDepth int
+	// MaxWidth is the maximum bus width (>= 2).
+	MaxWidth int
+	// MaxChildren is the maximum child instances per non-leaf module.
+	MaxChildren int
+	// MaxGlue is the maximum number of glue signals per module.
+	MaxGlue int
+}
+
+// DefaultConfig returns the corpus configuration: small enough that the
+// whole pipeline (synthesis, extraction, ATPG, two fault-simulation
+// engines) runs in milliseconds per design, large enough to exercise
+// hierarchy, parameterization and all three block styles.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 3, MaxWidth: 8, MaxChildren: 3, MaxGlue: 4}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 3
+	}
+	if c.MaxDepth > 3 {
+		c.MaxDepth = 3
+	}
+	if c.MaxWidth < 2 {
+		c.MaxWidth = 8
+	}
+	if c.MaxChildren < 1 {
+		c.MaxChildren = 3
+	}
+	if c.MaxGlue < 1 {
+		c.MaxGlue = 4
+	}
+	return c
+}
+
+// Generated is one random design.
+type Generated struct {
+	Seed   int64
+	Source *verilog.SourceFile
+	Top    string
+	// InstancePaths lists every hierarchical instance path of the
+	// elaborated tree in creation order — the MUT candidates.
+	InstancePaths []string
+	// Levels is the hierarchy depth including the top module.
+	Levels int
+}
+
+// Text renders the design as Verilog source through the same printer
+// the FACTOR flow uses to write transformed modules.
+func (g *Generated) Text() string { return verilog.PrintFile(g.Source) }
+
+// portShape describes one port of a generated module shape.
+type portShape struct {
+	name   string
+	dir    verilog.PortDir
+
+	// paramW marks a port whose width is the module's W parameter;
+	// width is the concrete width otherwise (1 = scalar).
+	paramW bool
+	width  int
+	isReg  bool
+}
+
+// moduleShape is the reusable interface summary of a generated module.
+type moduleShape struct {
+	name     string
+	hasParam bool // has "parameter W = ..."
+	defaultW int
+	ports    []portShape
+	depth    int // levels of hierarchy below this module (0 = leaf)
+}
+
+// minWidth is the guaranteed width of a paramW port: instantiations
+// override W with values >= minWidth only, so constant bit indices
+// below minWidth are safe for every specialization.
+const minWidth = 2
+
+// signal is one readable value inside a module under construction.
+type signal struct {
+	name string
+	// minw is the width lower bound (equals the width for concrete
+	// signals; minWidth for parameterized ones).
+	minw int
+}
+
+// gen is the generator state.
+type gen struct {
+	rng     *rand.Rand
+	cfg     Config
+	modules []*verilog.Module
+	shapes  []*moduleShape // shapes available for reuse, any depth
+	nameSeq int
+	paths   []string
+}
+
+// Generate builds a random hierarchical design from the seed.
+func Generate(seed int64, cfg Config) *Generated {
+	cfg = cfg.withDefaults()
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	depth := 1 + g.rng.Intn(cfg.MaxDepth) // 1..MaxDepth levels below top
+	top := g.buildModule("top", depth, true)
+	g.recordPaths("", top)
+	src := &verilog.SourceFile{Modules: append([]*verilog.Module{}, g.modules...)}
+	return &Generated{
+		Seed:          seed,
+		Source:        src,
+		Top:           top.name,
+		InstancePaths: g.paths,
+		Levels:        depth + 1,
+	}
+}
+
+// recordPaths walks the generated instance tree to enumerate MUT
+// candidate paths.
+func (g *gen) recordPaths(prefix string, shape *moduleShape) {
+	mod := g.module(shape.name)
+	for _, inst := range mod.Instances() {
+		path := inst.Name
+		if prefix != "" {
+			path = prefix + "." + inst.Name
+		}
+		g.paths = append(g.paths, path)
+		for _, s := range g.shapes {
+			if s.name == inst.ModuleName {
+				g.recordPaths(path, s)
+				break
+			}
+		}
+	}
+}
+
+func (g *gen) module(name string) *verilog.Module {
+	for _, m := range g.modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// mctx is the per-module construction context.
+type mctx struct {
+	shape   *moduleShape
+	decls   []verilog.Item
+	body    []verilog.Item
+	clocked []verilog.Item // clocked always blocks, appended last
+	avail   []signal
+	names   map[string]bool
+	// hasParam mirrors shape.hasParam for width generation.
+	hasParam bool
+}
+
+func (m *mctx) fresh(prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if !m.names[name] {
+			m.names[name] = true
+			return name
+		}
+	}
+}
+
+// buildModule creates a new module with the given hierarchy depth below
+// it and registers its shape. Top modules get a fixed name and always
+// instantiate at least one child.
+func (g *gen) buildModule(name string, depth int, isTop bool) *moduleShape {
+	if name == "" {
+		g.nameSeq++
+		kind := "dp"
+		if depth > 0 {
+			kind = "mid"
+		}
+		name = fmt.Sprintf("m%d_%s", g.nameSeq, kind)
+	}
+	shape := &moduleShape{name: name, depth: depth, defaultW: minWidth + g.rng.Intn(g.cfg.MaxWidth-minWidth+1)}
+	m := &mctx{shape: shape, names: map[string]bool{}}
+	m.names["clk"], m.names["rst"], m.names["W"] = true, true, true
+
+	// Leaf datapath modules are parameterized half the time.
+	if depth == 0 && !isTop && g.rng.Intn(2) == 0 {
+		shape.hasParam = true
+		m.hasParam = true
+	}
+
+	// Ports: clk, rst, then 2-4 data inputs and (later) 1-3 outputs.
+	shape.ports = append(shape.ports,
+		portShape{name: "clk", dir: verilog.PortInput, width: 1},
+		portShape{name: "rst", dir: verilog.PortInput, width: 1})
+	nin := 2 + g.rng.Intn(3)
+	for i := 0; i < nin; i++ {
+		p := portShape{name: fmt.Sprintf("in%d", i), dir: verilog.PortInput}
+		if shape.hasParam && g.rng.Intn(2) == 0 {
+			p.paramW = true
+			m.avail = append(m.avail, signal{p.name, minWidth})
+		} else {
+			p.width = g.width()
+			m.avail = append(m.avail, signal{p.name, p.width})
+		}
+		m.names[p.name] = true
+		shape.ports = append(shape.ports, p)
+	}
+
+	// Body: glue logic, then child instances (non-leaf), then control
+	// and FSM blocks, then registered outputs.
+	g.glue(m)
+	if depth > 0 {
+		nchild := 1 + g.rng.Intn(g.cfg.MaxChildren)
+		for i := 0; i < nchild; i++ {
+			g.instance(m, depth-1)
+		}
+		g.glue(m)
+	}
+	if g.rng.Intn(2) == 0 {
+		g.combAlways(m)
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		g.fsm(m)
+	case 1:
+		g.clockedRegs(m)
+	}
+	if isTop && len(m.clocked) == 0 {
+		// The conformance pipeline exercises sequential ATPG; make sure
+		// every design has at least one flip-flop.
+		g.clockedRegs(m)
+	}
+
+	// Outputs: 1-3, each either a combinational assign or a registered
+	// output (a clocked "output reg").
+	nout := 1 + g.rng.Intn(3)
+	for i := 0; i < nout; i++ {
+		p := portShape{name: fmt.Sprintf("out%d", i), dir: verilog.PortOutput}
+		m.names[p.name] = true
+		if shape.hasParam && g.rng.Intn(3) == 0 {
+			p.paramW = true
+		} else {
+			p.width = g.width()
+		}
+		if g.rng.Intn(3) == 0 || (isTop && i == 0) {
+			// Top's first output is always registered so every design
+			// keeps at least one flip-flop through optimization.
+			p.isReg = true
+			g.registerOutput(m, p)
+		} else {
+			m.body = append(m.body, &verilog.AssignItem{LHS: id(p.name), RHS: g.expr(m, 2)})
+		}
+		shape.ports = append(shape.ports, p)
+	}
+
+	// Assemble the module AST.
+	mod := &verilog.Module{Name: name}
+	for _, p := range shape.ports {
+		port := &verilog.Port{Name: p.name, Dir: p.dir, IsReg: p.isReg}
+		if p.paramW {
+			port.Width = &verilog.Range{MSB: sub(id("W"), 1), LSB: intNum(0)}
+		} else if p.width > 1 {
+			port.Width = &verilog.Range{MSB: intNum(p.width - 1), LSB: intNum(0)}
+		}
+		mod.Ports = append(mod.Ports, port)
+	}
+	if shape.hasParam {
+		mod.Items = append(mod.Items, &verilog.ParamDecl{
+			Names:  []string{"W"},
+			Values: []verilog.Expr{intNum(shape.defaultW)},
+		})
+	}
+	mod.Items = append(mod.Items, m.decls...)
+	mod.Items = append(mod.Items, m.body...)
+	mod.Items = append(mod.Items, m.clocked...)
+
+	g.modules = append(g.modules, mod)
+	g.shapes = append(g.shapes, shape)
+	return shape
+}
+
+// width picks a concrete signal width in [1, MaxWidth].
+func (g *gen) width() int {
+	if g.rng.Intn(4) == 0 {
+		return 1
+	}
+	return 2 + g.rng.Intn(g.cfg.MaxWidth-1)
+}
+
+// glue adds 1..MaxGlue combinational glue signals: wire assigns and
+// occasional scalar gate primitives.
+func (g *gen) glue(m *mctx) {
+	n := 1 + g.rng.Intn(g.cfg.MaxGlue)
+	for i := 0; i < n; i++ {
+		if len(m.avail) >= 2 && g.rng.Intn(4) == 0 {
+			// Scalar gate primitive over 1-bit operands.
+			name := m.fresh("gw")
+			m.decls = append(m.decls, &verilog.NetDecl{Kind: verilog.NetWire, Names: []string{name}})
+			kinds := []string{"and", "or", "xor", "nand", "nor", "xnor"}
+			kind := kinds[g.rng.Intn(len(kinds))]
+			m.body = append(m.body, &verilog.GateInst{
+				Kind: kind,
+				Name: m.fresh("g"),
+				Args: []verilog.Expr{id(name), g.scalarExpr(m), g.scalarExpr(m)},
+			})
+			m.avail = append(m.avail, signal{name, 1})
+			continue
+		}
+		name := m.fresh("w")
+		w := g.width()
+		decl := &verilog.NetDecl{Kind: verilog.NetWire, Names: []string{name}}
+		if w > 1 {
+			decl.Width = &verilog.Range{MSB: intNum(w - 1), LSB: intNum(0)}
+		}
+		m.decls = append(m.decls, decl)
+		m.body = append(m.body, &verilog.AssignItem{LHS: id(name), RHS: g.expr(m, 2)})
+		m.avail = append(m.avail, signal{name, w})
+	}
+}
+
+// instance adds a child module instance, reusing an existing shape of a
+// suitable depth about a third of the time (so designs contain repeated
+// instantiations of the same module, like real SoCs).
+func (g *gen) instance(m *mctx, childDepth int) {
+	var shape *moduleShape
+	if g.rng.Intn(3) == 0 {
+		var cands []*moduleShape
+		for _, s := range g.shapes {
+			if s.depth <= childDepth {
+				cands = append(cands, s)
+			}
+		}
+		if len(cands) > 0 {
+			shape = cands[g.rng.Intn(len(cands))]
+		}
+	}
+	if shape == nil {
+		d := 0
+		if childDepth > 0 {
+			d = g.rng.Intn(childDepth + 1)
+		}
+		shape = g.buildModule("", d, false)
+	}
+
+	inst := &verilog.Instance{ModuleName: shape.name, Name: m.fresh("u_")}
+	wOverride := 0
+	if shape.hasParam {
+		wOverride = minWidth + g.rng.Intn(g.cfg.MaxWidth-minWidth+1)
+		inst.Params = append(inst.Params, verilog.ParamAssign{Name: "W", Value: intNum(wOverride)})
+	}
+	for _, p := range shape.ports {
+		actual := p.width
+		if p.paramW {
+			actual = shape.defaultW
+			if wOverride > 0 {
+				actual = wOverride
+			}
+		}
+		switch {
+		case p.name == "clk":
+			inst.Conns = append(inst.Conns, verilog.PortConn{Port: "clk", Expr: id("clk")})
+		case p.name == "rst":
+			inst.Conns = append(inst.Conns, verilog.PortConn{Port: "rst", Expr: id("rst")})
+		case p.dir == verilog.PortInput:
+			inst.Conns = append(inst.Conns, verilog.PortConn{Port: p.name, Expr: id(g.pick(m).name)})
+		default:
+			// Output: a fresh wire of the specialized width.
+			name := m.fresh("c")
+			decl := &verilog.NetDecl{Kind: verilog.NetWire, Names: []string{name}}
+			if actual > 1 {
+				decl.Width = &verilog.Range{MSB: intNum(actual - 1), LSB: intNum(0)}
+			}
+			m.decls = append(m.decls, decl)
+			inst.Conns = append(inst.Conns, verilog.PortConn{Port: p.name, Expr: id(name)})
+			m.avail = append(m.avail, signal{name, actual})
+		}
+	}
+	m.body = append(m.body, inst)
+}
+
+// combAlways adds a combinational control block: 1-2 reg targets, each
+// fully assigned (a default followed by optional if/case refinement) so
+// no latch is inferred.
+func (g *gen) combAlways(m *mctx) {
+	ntargets := 1 + g.rng.Intn(2)
+	var stmts []verilog.Stmt
+	var newSigs []signal
+	for i := 0; i < ntargets; i++ {
+		name := m.fresh("c")
+		w := g.width()
+		decl := &verilog.NetDecl{Kind: verilog.NetReg, Names: []string{name}}
+		if w > 1 {
+			decl.Width = &verilog.Range{MSB: intNum(w - 1), LSB: intNum(0)}
+		}
+		m.decls = append(m.decls, decl)
+		stmts = append(stmts, assign(id(name), g.expr(m, 1), true))
+		switch g.rng.Intn(3) {
+		case 0:
+			stmts = append(stmts, &verilog.IfStmt{
+				Cond: g.scalarExpr(m),
+				Then: assign(id(name), g.expr(m, 1), true),
+			})
+		case 1:
+			stmts = append(stmts, g.caseStmt(m, name))
+		}
+		newSigs = append(newSigs, signal{name, w})
+	}
+	m.body = append(m.body, &verilog.AlwaysBlock{
+		Sens: verilog.SensList{Star: true},
+		Body: &verilog.Block{Stmts: stmts},
+	})
+	m.avail = append(m.avail, newSigs...)
+}
+
+// caseStmt builds a full case over a small avail subject with a default
+// arm, assigning the target in every arm.
+func (g *gen) caseStmt(m *mctx, target string) verilog.Stmt {
+	subj := g.pick(m)
+	subjW := subj.minw
+	if subjW > 3 {
+		subjW = 3
+	}
+	var subjExpr verilog.Expr = id(subj.name)
+	if subj.minw > subjW {
+		subjExpr = &verilog.RangeExpr{X: id(subj.name), MSB: intNum(subjW - 1), LSB: intNum(0)}
+	}
+	cs := &verilog.CaseStmt{Kind: verilog.CaseExact, Subject: subjExpr}
+	narms := 1 + g.rng.Intn(3)
+	seen := map[uint64]bool{}
+	for i := 0; i < narms; i++ {
+		v := uint64(g.rng.Intn(1 << uint(subjW)))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		cs.Items = append(cs.Items, verilog.CaseItem{
+			Exprs: []verilog.Expr{num(subjW, v, true)},
+			Body:  assign(id(target), g.expr(m, 1), true),
+		})
+	}
+	cs.Items = append(cs.Items, verilog.CaseItem{
+		Body: assign(id(target), g.expr(m, 1), true),
+	})
+	return cs
+}
+
+// clockedRegs adds a clocked always block with 1-2 registered signals,
+// synchronous reset, nonblocking assignments.
+func (g *gen) clockedRegs(m *mctx) {
+	n := 1 + g.rng.Intn(2)
+	var stmts []verilog.Stmt
+	for i := 0; i < n; i++ {
+		name := m.fresh("q")
+		w := g.width()
+		decl := &verilog.NetDecl{Kind: verilog.NetReg, Names: []string{name}}
+		if w > 1 {
+			decl.Width = &verilog.Range{MSB: intNum(w - 1), LSB: intNum(0)}
+		}
+		m.decls = append(m.decls, decl)
+		// Registers may read anything, including themselves (counters).
+		m.avail = append(m.avail, signal{name, w})
+		var rhs verilog.Expr
+		if g.rng.Intn(3) == 0 {
+			rhs = add(id(name), 1) // counter
+		} else {
+			rhs = g.expr(m, 2)
+		}
+		stmts = append(stmts, &verilog.IfStmt{
+			Cond: id("rst"),
+			Then: assign(id(name), num(1, 0, true), false),
+			Else: assign(id(name), rhs, false),
+		})
+	}
+	m.clocked = append(m.clocked, &verilog.AlwaysBlock{
+		Sens: verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgePos, Signal: id("clk")}}},
+		Body: &verilog.Block{Stmts: stmts},
+	})
+}
+
+// fsm adds a small state machine: a 2-bit state register, combinational
+// next-state logic via a full case, and the state made available to
+// downstream logic.
+func (g *gen) fsm(m *mctx) {
+	state := m.fresh("state")
+	next := m.fresh("next")
+	for _, name := range []string{state, next} {
+		m.decls = append(m.decls, &verilog.NetDecl{
+			Kind:  verilog.NetReg,
+			Width: &verilog.Range{MSB: intNum(1), LSB: intNum(0)},
+			Names: []string{name},
+		})
+	}
+	m.avail = append(m.avail, signal{state, 2})
+
+	// Next-state: case over state; each arm branches on an input.
+	cs := &verilog.CaseStmt{Kind: verilog.CaseExact, Subject: id(state)}
+	for s := 0; s < 3; s++ {
+		cs.Items = append(cs.Items, verilog.CaseItem{
+			Exprs: []verilog.Expr{num(2, uint64(s), true)},
+			Body: &verilog.IfStmt{
+				Cond: g.scalarExpr(m),
+				Then: assign(id(next), num(2, uint64((s+1)%4), true), true),
+				Else: assign(id(next), num(2, uint64(s), true), true),
+			},
+		})
+	}
+	cs.Items = append(cs.Items, verilog.CaseItem{Body: assign(id(next), num(2, 0, true), true)})
+	m.body = append(m.body, &verilog.AlwaysBlock{
+		Sens: verilog.SensList{Star: true},
+		Body: &verilog.Block{Stmts: []verilog.Stmt{assign(id(next), id(state), true), cs}},
+	})
+	m.clocked = append(m.clocked, &verilog.AlwaysBlock{
+		Sens: verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgePos, Signal: id("clk")}}},
+		Body: &verilog.IfStmt{
+			Cond: id("rst"),
+			Then: assign(id(state), num(2, 0, true), false),
+			Else: assign(id(state), id(next), false),
+		},
+	})
+}
+
+// registerOutput drives an "output reg" port from a clocked block.
+func (g *gen) registerOutput(m *mctx, p portShape) {
+	rhs := g.expr(m, 2)
+	m.clocked = append(m.clocked, &verilog.AlwaysBlock{
+		Sens: verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgePos, Signal: id("clk")}}},
+		Body: &verilog.IfStmt{
+			Cond: id("rst"),
+			Then: assign(id(p.name), num(1, 0, true), false),
+			Else: assign(id(p.name), rhs, false),
+		},
+	})
+}
+
+// pick returns a random available signal.
+func (g *gen) pick(m *mctx) signal {
+	return m.avail[g.rng.Intn(len(m.avail))]
+}
+
+// scalarExpr builds a 1-bit expression (for conditions and gate pins).
+func (g *gen) scalarExpr(m *mctx) verilog.Expr {
+	s := g.pick(m)
+	switch g.rng.Intn(4) {
+	case 0:
+		if s.minw > 1 {
+			return &verilog.IndexExpr{X: id(s.name), Index: intNum(g.rng.Intn(s.minw))}
+		}
+		return id(s.name)
+	case 1:
+		ops := []verilog.UnaryOp{verilog.UnaryAnd, verilog.UnaryOr, verilog.UnaryXor, verilog.UnaryNor}
+		return &verilog.UnaryExpr{Op: ops[g.rng.Intn(len(ops))], X: id(s.name)}
+	case 2:
+		t := g.pick(m)
+		if g.rng.Intn(2) == 0 {
+			return &verilog.BinaryExpr{Op: verilog.BinEq, X: id(s.name), Y: id(t.name)}
+		}
+		return &verilog.BinaryExpr{Op: verilog.BinNeq, X: id(s.name), Y: num(s.minw, uint64(g.rng.Intn(1<<uint(min(s.minw, 6)))), true)}
+	default:
+		if s.minw > 1 {
+			return &verilog.IndexExpr{X: id(s.name), Index: intNum(g.rng.Intn(s.minw))}
+		}
+		return id(s.name)
+	}
+}
+
+// expr builds a random expression over the available signals, bounded
+// by depth. Operators stay inside the synthesizable subset (no
+// division, modulo or signed arithmetic; shifts by constants only).
+func (g *gen) expr(m *mctx, depth int) verilog.Expr {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		if g.rng.Intn(5) == 0 {
+			w := 1 + g.rng.Intn(6)
+			return num(w, uint64(g.rng.Int63())&((1<<uint(w))-1), true)
+		}
+		s := g.pick(m)
+		if s.minw > 2 && g.rng.Intn(4) == 0 {
+			hi := 1 + g.rng.Intn(s.minw-1)
+			lo := g.rng.Intn(hi)
+			return &verilog.RangeExpr{X: id(s.name), MSB: intNum(hi), LSB: intNum(lo)}
+		}
+		return id(s.name)
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		ops := []verilog.UnaryOp{verilog.UnaryBitNot, verilog.UnaryNot, verilog.UnaryAnd, verilog.UnaryOr, verilog.UnaryXor}
+		return &verilog.UnaryExpr{Op: ops[g.rng.Intn(len(ops))], X: g.expr(m, depth-1)}
+	case 1, 2, 3:
+		ops := []verilog.BinaryOp{
+			verilog.BinAdd, verilog.BinSub, verilog.BinAnd, verilog.BinOr,
+			verilog.BinXor, verilog.BinAnd, verilog.BinOr, verilog.BinXor,
+		}
+		return &verilog.BinaryExpr{Op: ops[g.rng.Intn(len(ops))], X: g.expr(m, depth-1), Y: g.expr(m, depth-1)}
+	case 4:
+		ops := []verilog.BinaryOp{verilog.BinEq, verilog.BinNeq, verilog.BinLt, verilog.BinLe, verilog.BinGt, verilog.BinGe}
+		s, t := g.pick(m), g.pick(m)
+		return &verilog.BinaryExpr{Op: ops[g.rng.Intn(len(ops))], X: id(s.name), Y: id(t.name)}
+	case 5:
+		s := g.pick(m)
+		sh := intNum(g.rng.Intn(max(s.minw, 2)))
+		op := verilog.BinShl
+		if g.rng.Intn(2) == 0 {
+			op = verilog.BinShr
+		}
+		return &verilog.BinaryExpr{Op: op, X: id(s.name), Y: sh}
+	case 6:
+		return &verilog.CondExpr{Cond: g.scalarExpr(m), Then: g.expr(m, depth-1), Else: g.expr(m, depth-1)}
+	case 7:
+		s, t := g.pick(m), g.pick(m)
+		return &verilog.ConcatExpr{Parts: []verilog.Expr{id(s.name), id(t.name)}}
+	case 8:
+		if g.rng.Intn(4) == 0 {
+			// Multiplication is supported but bit-blasts into many
+			// gates; keep it rare and on narrow operands.
+			s := g.pick(m)
+			return &verilog.BinaryExpr{Op: verilog.BinMul, X: id(s.name), Y: num(2, uint64(1+g.rng.Intn(3)), true)}
+		}
+		return &verilog.ReplExpr{Count: intNum(2 + g.rng.Intn(2)), X: g.scalarExpr(m)}
+	default:
+		s := g.pick(m)
+		if s.minw > 1 {
+			return &verilog.IndexExpr{X: id(s.name), Index: intNum(g.rng.Intn(s.minw))}
+		}
+		return id(s.name)
+	}
+}
+
+// AST construction helpers.
+
+func id(name string) *verilog.Ident { return &verilog.Ident{Name: name} }
+
+// num builds a sized literal (prints as w'dv).
+func num(w int, v uint64, sized bool) *verilog.Number {
+	if w < 1 {
+		w = 1
+	}
+	if w > 63 {
+		w = 63
+	}
+	return &verilog.Number{Width: w, Sized: sized, Value: v & ((1 << uint(w)) - 1)}
+}
+
+// intNum builds an unsized decimal literal (prints as the bare value).
+func intNum(v int) *verilog.Number {
+	return &verilog.Number{Width: 32, Value: uint64(v), Text: fmt.Sprintf("%d", v)}
+}
+
+func assign(lhs, rhs verilog.Expr, blocking bool) *verilog.AssignStmt {
+	return &verilog.AssignStmt{LHS: lhs, RHS: rhs, Blocking: blocking}
+}
+
+func sub(x verilog.Expr, v int) verilog.Expr {
+	return &verilog.BinaryExpr{Op: verilog.BinSub, X: x, Y: intNum(v)}
+}
+
+func add(x verilog.Expr, v int) verilog.Expr {
+	return &verilog.BinaryExpr{Op: verilog.BinAdd, X: x, Y: intNum(v)}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

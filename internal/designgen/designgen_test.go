@@ -1,0 +1,66 @@
+package designgen
+
+import (
+	"strings"
+	"testing"
+
+	"factor/internal/design"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// TestDeterministic checks that the same seed yields byte-identical
+// source and the same instance paths.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, DefaultConfig())
+		b := Generate(seed, DefaultConfig())
+		if a.Text() != b.Text() {
+			t.Fatalf("seed %d: non-deterministic source", seed)
+		}
+		if strings.Join(a.InstancePaths, "|") != strings.Join(b.InstancePaths, "|") {
+			t.Fatalf("seed %d: non-deterministic instance paths", seed)
+		}
+	}
+}
+
+// TestCorpusSynthesizes runs a corpus of generated designs through the
+// real front end: parse, hierarchy analysis, and synthesis must all
+// succeed, and the netlist must validate.
+func TestCorpusSynthesizes(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		g := Generate(seed, DefaultConfig())
+		text := g.Text()
+		src, err := verilog.Parse("gen.v", text)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not parse: %v\n%s", seed, err, text)
+		}
+		if _, err := design.Analyze(src, g.Top); err != nil {
+			t.Fatalf("seed %d: hierarchy analysis failed: %v\n%s", seed, err, text)
+		}
+		res, err := synth.Synthesize(src, g.Top, synth.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: synthesis failed: %v\n%s", seed, err, text)
+		}
+		if err := res.Netlist.Validate(); err != nil {
+			t.Fatalf("seed %d: netlist invalid: %v", seed, err)
+		}
+		if len(res.Netlist.DFFs) == 0 {
+			t.Errorf("seed %d: design has no flip-flops", seed)
+		}
+	}
+}
+
+// TestHierarchyDepth checks every design has 2-4 module levels and at
+// least one instance (MUT candidate).
+func TestHierarchyDepth(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := Generate(seed, DefaultConfig())
+		if g.Levels < 2 || g.Levels > 4 {
+			t.Fatalf("seed %d: hierarchy depth %d outside [2,4]", seed, g.Levels)
+		}
+		if len(g.InstancePaths) == 0 {
+			t.Fatalf("seed %d: no instances", seed)
+		}
+	}
+}

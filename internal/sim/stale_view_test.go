@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"factor/internal/netlist"
+)
+
+// TestSimulatorSeesRebuiltViewAfterMutation is a consumer-level
+// regression for the netlist.Compiled memoization: a simulator built
+// AFTER AddGate/SetFanin must evaluate the mutated structure, not a
+// stale CSR view cached by an earlier consumer. (The identity-level
+// invalidation is covered in netlist; this pins the behavior through
+// the packed simulator, which is how the bug would actually bite.)
+func TestSimulatorSeesRebuiltViewAfterMutation(t *testing.T) {
+	n := netlist.New("stale_view")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.AddGate(netlist.And, a, b)
+	n.AddOutput("y", y)
+
+	eval := func(s *Simulator, va, vb Logic) Logic {
+		s.SetInputScalar(a, va)
+		s.SetInputScalar(b, vb)
+		s.Eval()
+		return s.Value(y).Lane(0)
+	}
+
+	before := New(n) // memoizes the compiled view
+	if got := eval(before, L1, L1); got != L1 {
+		t.Fatalf("and(1,1) = %v, want 1", got)
+	}
+
+	// Splice an inverter into the b leg: y becomes and(a, not b).
+	inv := n.AddGate(netlist.Not, b)
+	n.SetFanin(y, 1, inv)
+
+	after := New(n)
+	if got := eval(after, L1, L1); got != L0 {
+		t.Errorf("post-mutation simulator: and(1,~1) = %v, want 0 (stale compiled view?)", got)
+	}
+	if got := eval(after, L1, L0); got != L1 {
+		t.Errorf("post-mutation simulator: and(1,~0) = %v, want 1 (stale compiled view?)", got)
+	}
+
+	// The pre-mutation simulator keeps its snapshot: its view was built
+	// before the splice and Clone shares it read-only, so both must
+	// still compute the ORIGINAL function (documented contract — a
+	// mutation never reaches into already-built simulators).
+	if got := eval(before, L1, L1); got != L1 {
+		t.Errorf("pre-mutation simulator changed behavior: and(1,1) = %v, want 1", got)
+	}
+	if got := eval(before.Clone(), L1, L1); got != L1 {
+		t.Errorf("clone of pre-mutation simulator changed behavior: got %v, want 1", got)
+	}
+}

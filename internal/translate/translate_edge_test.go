@@ -1,0 +1,253 @@
+package translate
+
+import (
+	"fmt"
+	"testing"
+
+	"factor/internal/arm"
+	"factor/internal/fault"
+	"factor/internal/sim"
+)
+
+// edgeTranslator builds a synthetic translator (no ARM build needed):
+// register 2 on PIER indices 0-7 (bits 0-7), register 9 (banked) on
+// indices 8-9, the instruction register on indices 10-13 (bits 0-3),
+// and one unclassified PIER on index 14.
+func edgeTranslator() *Translator {
+	t := &Translator{Width: 16}
+	for bit := 0; bit < 8; bit++ {
+		t.Bindings = append(t.Bindings, PIERBinding{Index: bit, Class: ClassRegfile, Reg: 2, Bit: bit})
+	}
+	t.Bindings = append(t.Bindings,
+		PIERBinding{Index: 8, Class: ClassRegfile, Reg: 9, Bit: 0},
+		PIERBinding{Index: 9, Class: ClassRegfile, Reg: 9, Bit: 1},
+	)
+	for bit := 0; bit < 4; bit++ {
+		t.Bindings = append(t.Bindings, PIERBinding{Index: 10 + bit, Class: ClassInstrReg, Bit: bit})
+	}
+	t.Bindings = append(t.Bindings, PIERBinding{Index: 14, Class: ClassOther})
+	return t
+}
+
+// pierFrame builds a module-test frame requesting register 2 = value
+// via PIERs. Bits listed in xBits are driven X instead.
+func pierFrame(value uint64, xBits ...int) fault.Vector {
+	vec := fault.Vector{"pier_load": sim.L1}
+	for bit := 0; bit < 8; bit++ {
+		v := sim.L0
+		if (value>>uint(bit))&1 == 1 {
+			v = sim.L1
+		}
+		vec[fmt.Sprintf("pier_in_%d", bit)] = v
+	}
+	for _, bit := range xBits {
+		vec[fmt.Sprintf("pier_in_%d", bit)] = sim.LX
+	}
+	return vec
+}
+
+// busValue reads the mem_rdata word a translated frame drives;
+// ok=false when the frame leaves the bus undriven.
+func busValue(vec fault.Vector, width int) (uint64, bool) {
+	if _, ok := vec["mem_rdata[0]"]; !ok {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		if vec[fmt.Sprintf("mem_rdata[%d]", i)] == sim.L1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+// countLoads counts four-cycle LOAD expansions for register reg in a
+// translated chip sequence by matching fetch frames carrying the LOAD
+// encoding.
+func countLoads(seq fault.Sequence, width, reg int) int {
+	want := uint64(arm.EncLoad(reg&7, 0, 0))
+	n := 0
+	for _, vec := range seq {
+		if v, ok := busValue(vec, width); ok && v == want {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTranslateEdgeCases covers the PIER-expansion corner cases:
+// re-issued loads at frame boundaries, first frames with no register
+// state, and X-valued PIER requests.
+func TestTranslateEdgeCases(t *testing.T) {
+	const resetLen = 2 // resetPrefix
+	const loadLen = 4  // loadRegister
+	cases := []struct {
+		name string
+		test fault.Sequence
+		// wantLen is the expected translated length; wantLoadsR2 the
+		// number of LOAD-r2 expansions.
+		wantLen     int
+		wantLoadsR2 int
+		check       func(t *testing.T, chip fault.Sequence)
+	}{
+		{
+			// A first frame with no register state must translate to
+			// reset plus the replayed frame only — no load traffic, bus
+			// left undriven.
+			name:    "first frame without register state",
+			test:    fault.Sequence{fault.Vector{"irq": sim.L1}},
+			wantLen: resetLen + 1,
+			check: func(t *testing.T, chip fault.Sequence) {
+				if _, driven := busValue(chip[resetLen], 16); driven {
+					t.Error("bus driven although no IR value was ever requested")
+				}
+			},
+		},
+		{
+			// pier_load low means the pier_in values are don't-cares:
+			// no expansion even though the frame carries pier bits.
+			name: "pier_load low ignores pier bits",
+			test: func() fault.Sequence {
+				vec := pierFrame(0xFF)
+				vec["pier_load"] = sim.L0
+				return fault.Sequence{vec}
+			}(),
+			wantLen:     resetLen + 1,
+			wantLoadsR2: 0,
+		},
+		{
+			// An X-valued pier_load is not a load request.
+			name: "x-valued pier_load",
+			test: func() fault.Sequence {
+				vec := pierFrame(0xFF)
+				vec["pier_load"] = sim.LX
+				return fault.Sequence{vec}
+			}(),
+			wantLen:     resetLen + 1,
+			wantLoadsR2: 0,
+		},
+		{
+			// A load re-issued at the next frame boundary with the SAME
+			// value must not be expanded again.
+			name: "re-issued load with unchanged value",
+			test: fault.Sequence{
+				pierFrame(0xA5),
+				fault.Vector{"irq": sim.L1},
+				pierFrame(0xA5),
+			},
+			wantLen:     resetLen + loadLen + 3,
+			wantLoadsR2: 1,
+		},
+		{
+			// The same boundary re-issue with a CHANGED value must
+			// reload the register.
+			name: "re-issued load with changed value",
+			test: fault.Sequence{
+				pierFrame(0xA5),
+				fault.Vector{"irq": sim.L1},
+				pierFrame(0x5A),
+			},
+			wantLen:     resetLen + loadLen + 2 + loadLen + 1,
+			wantLoadsR2: 2,
+			check: func(t *testing.T, chip fault.Sequence) {
+				// The second load's MEM frame carries the new value.
+				memFrame := resetLen + loadLen + 2 + 2
+				if v, ok := busValue(chip[memFrame], 16); !ok || v != 0x5A {
+					t.Errorf("reload data = %#x (driven=%v), want 0x5a", v, ok)
+				}
+			},
+		},
+		{
+			// X-valued pier_in bits contribute nothing: the requested
+			// value is formed from the binary bits alone.
+			name:        "x-valued pier bits masked out",
+			test:        fault.Sequence{pierFrame(0xFF, 1, 3, 5, 7)},
+			wantLen:     resetLen + loadLen + 1,
+			wantLoadsR2: 1,
+			check: func(t *testing.T, chip fault.Sequence) {
+				if v, ok := busValue(chip[resetLen+2], 16); !ok || v != 0x55 {
+					t.Errorf("load data = %#x (driven=%v), want 0x55 (X bits dropped)", v, ok)
+				}
+			},
+		},
+		{
+			// An all-X request is no request: every bit is a don't-care,
+			// so the register never enters the write set and no load is
+			// emitted at all.
+			name:        "all-x pier request is dropped",
+			test:        fault.Sequence{pierFrame(0, 0, 1, 2, 3, 4, 5, 6, 7)},
+			wantLen:     resetLen + 1,
+			wantLoadsR2: 0,
+		},
+		{
+			// Banked registers (physical number >= 8) have no user-mode
+			// load procedure and are dropped.
+			name: "banked register dropped",
+			test: fault.Sequence{fault.Vector{
+				"pier_load": sim.L1,
+				"pier_in_8": sim.L1,
+				"pier_in_9": sim.L1,
+			}},
+			wantLen:     resetLen + 1,
+			wantLoadsR2: 0,
+		},
+		{
+			// An IR request forces the fetch bus on subsequent frames.
+			name: "instruction-register request drives later fetches",
+			test: fault.Sequence{
+				fault.Vector{
+					"pier_load":  sim.L1,
+					"pier_in_10": sim.L1, // IR bit 0
+					"pier_in_12": sim.L1, // IR bit 2
+				},
+				fault.Vector{"irq": sim.L1},
+			},
+			wantLen: resetLen + 2,
+			check: func(t *testing.T, chip fault.Sequence) {
+				for i := resetLen; i < resetLen+2; i++ {
+					if v, ok := busValue(chip[i], 16); !ok || v != 0b101 {
+						t.Errorf("frame %d bus = %#x (driven=%v), want 0b101", i, v, ok)
+					}
+				}
+			},
+		},
+		{
+			// A frame that drives the bus itself wins over the IR value.
+			name: "explicit bus drive overrides ir",
+			test: fault.Sequence{
+				fault.Vector{"pier_load": sim.L1, "pier_in_10": sim.L1},
+				fault.Vector{"mem_rdata[0]": sim.L0, "mem_rdata[1]": sim.L1},
+			},
+			wantLen: resetLen + 2,
+			check: func(t *testing.T, chip fault.Sequence) {
+				if v, ok := busValue(chip[resetLen+1], 16); !ok || v != 0b10 {
+					t.Errorf("explicit bus frame = %#x (driven=%v), want 0b10", v, ok)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tl := edgeTranslator()
+			chip := tl.Translate(tc.test)
+			if len(chip) != tc.wantLen {
+				t.Fatalf("translated length = %d, want %d", len(chip), tc.wantLen)
+			}
+			if got := countLoads(chip, 16, 2); got != tc.wantLoadsR2 {
+				t.Errorf("LOAD-r2 expansions = %d, want %d", got, tc.wantLoadsR2)
+			}
+			if chip[0]["rst"] != sim.L1 || chip[1]["rst"] != sim.L1 {
+				t.Error("reset prefix missing")
+			}
+			for i := resetLen; i < len(chip); i++ {
+				if chip[i]["rst"] != sim.L0 {
+					t.Errorf("frame %d: rst not deasserted", i)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, chip)
+			}
+		})
+	}
+}
