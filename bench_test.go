@@ -355,14 +355,24 @@ func BenchmarkParallelScaling(b *testing.B) {
 	for _, j := range []int{1, 2, 4, 8} {
 		b.Run("j-"+itoa(j), func(b *testing.B) {
 			var cov float64
+			var events, backtracks uint64
 			for i := 0; i < b.N; i++ {
 				r := atpg.New(res.Netlist, atpg.Options{
 					Seed: 1, MaxFrames: 4, BacktrackLimit: 150,
 					RandomSequences: 32, Workers: j,
 				}).Run(faults)
 				cov = r.Coverage()
+				events += r.Stats.Sim.Events
+				backtracks += r.Stats.Backtracks
 			}
 			b.ReportMetric(cov, "coverage-%")
+			// Throughput of the deterministic work counters: events/s
+			// should scale with -j while events per op stays constant.
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(events)/sec, "simevents/s")
+				b.ReportMetric(float64(backtracks)/sec, "backtracks/s")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "simevents/op")
 			if j == 1 {
 				refCov = cov
 			} else if cov != refCov {

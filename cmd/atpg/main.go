@@ -8,7 +8,9 @@
 //	atpg [-design file.v] [-top module] [-budget 10s] [-frames N]
 //	     [-scope prefix] [-j N] [-compact] [-dump file] [-v]
 //	     [-timeout d] [-checkpoint file] [-checkpoint-every N]
-//	     [-resume file] [-report file.json]
+//	     [-resume file] [-report file.json] [-stats]
+//	     [-trace out.json] [-progress auto|on|off]
+//	     [-cpuprofile f] [-memprofile f]
 //
 // Without -design the built-in ARM benchmark SoC is used (-top selects
 // any of its modules; default is the full chip). -scope restricts the
@@ -29,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +45,7 @@ import (
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/synth"
+	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
 
@@ -63,10 +67,17 @@ func main() {
 	ckEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many deterministic-phase faults")
 	resume := flag.String("resume", "", "resume from a checkpoint journal written by -checkpoint")
 	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
+	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
+	tel, finishTel, err := rf.Start("atpg")
+	if err != nil {
+		cli.Fatal("atpg", err)
+	}
+	ctx = telemetry.NewContext(ctx, tel)
 
 	// Load the journal before the (expensive) netlist build so a bad
 	// -resume path fails fast.
@@ -79,7 +90,7 @@ func main() {
 		resumeCk = ck
 	}
 
-	nl, err := loadNetlist(*designFile, *top, *width)
+	nl, err := loadNetlist(ctx, *designFile, *top, *width)
 	if err != nil {
 		cli.Fatal("atpg", err)
 	}
@@ -118,6 +129,12 @@ func main() {
 	start := time.Now()
 	res, runErr := eng.RunContext(ctx, faults)
 	elapsed := time.Since(start)
+	if err := finishTel(); err != nil {
+		cli.Warn("atpg", err)
+	}
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, tel.Summary())
+	}
 
 	for _, e := range res.Errors {
 		cli.Warn("atpg", e)
@@ -183,6 +200,7 @@ func main() {
 
 	if *report != "" {
 		rep := cli.NewReport("atpg", exitErr)
+		rep.AttachTelemetry(tel)
 		rep.ATPG = &cli.ATPGReport{
 			TotalFaults:    len(faults),
 			Detected:       res.Result.NumDetected(),
@@ -214,12 +232,12 @@ func main() {
 	}
 }
 
-func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
+func loadNetlist(ctx context.Context, file, top string, width int) (*netlist.Netlist, error) {
 	var src *verilog.SourceFile
 	var err error
 	params := map[string]int64{}
 	if file == "" {
-		src, err = arm.Parse()
+		src, err = arm.ParseContext(ctx)
 		if err != nil {
 			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
@@ -234,7 +252,7 @@ func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
 		if err != nil {
 			return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 		}
-		src, err = verilog.Parse(file, string(data))
+		src, err = verilog.ParseContext(ctx, file, string(data))
 		if err != nil {
 			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
@@ -245,7 +263,7 @@ func loadNetlist(file, top string, width int) (*netlist.Netlist, error) {
 			top = src.Modules[0].Name
 		}
 	}
-	res, err := synth.Synthesize(src, top, synth.Options{TopParams: params})
+	res, err := synth.SynthesizeContext(ctx, src, top, synth.Options{TopParams: params})
 	if err != nil {
 		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodeAnalysis, err)
 	}

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	benchtables [-table N] [-width W] [-budget D] [-seed S] [-j N] [-faultsim PATH]
+//	            [-stats] [-trace out.json] [-progress auto|on|off]
+//	            [-cpuprofile f] [-memprofile f]
 //
 // -j sets the worker count for parallel constraint extraction and
 // ATPG (0 = all CPU cores); table contents are identical for every
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"factor/internal/bench"
+	"factor/internal/cli"
 )
 
 func main() {
@@ -35,12 +38,33 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for extraction and ATPG (0 = all CPU cores)")
 	faultsim := flag.String("faultsim", "", "run the fault-simulation engine ablation and write JSON to this path (- for stdout only)")
 	reps := flag.Int("reps", 3, "repetitions per engine for the -faultsim ablation (fastest pass wins)")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
+	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
+	tel, finishTel, err := rf.Start("benchtables")
+	if err != nil {
+		fatal(err)
+	}
+	finish := func() {
+		if err := finishTel(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+		}
+		if *statsFlag {
+			fmt.Fprint(os.Stderr, tel.Summary())
+		}
+	}
+
 	if *faultsim != "" {
+		sp := tel.StartSpan("faultsim-ablation")
 		rows, err := bench.FaultSimAblation(*width, *reps)
+		sp.End()
 		if err != nil {
 			fatal(err)
+		}
+		for _, r := range rows {
+			tel.AddCounter("faultsim.packed_evals."+r.Module, r.PackedEvals)
+			tel.AddCounter("faultsim.event_evals."+r.Module, r.EventEvals)
 		}
 		fmt.Print(bench.FormatFaultSim(rows))
 		if *faultsim != "-" {
@@ -49,6 +73,7 @@ func main() {
 			}
 			fmt.Printf("\nwrote %s\n", *faultsim)
 		}
+		finish()
 		return
 	}
 
@@ -59,7 +84,9 @@ func main() {
 		MaxFrames:  *frames,
 		Workers:    *workers,
 	}
+	sp := tel.StartSpan("setup")
 	ctx, err := bench.NewContext(cfg)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +94,8 @@ func main() {
 		ctx.Full.NumGates(), len(ctx.Full.DFFs), *width, ctx.FullSynthTime.Round(time.Millisecond))
 
 	run := func(n int) {
+		sp := tel.StartSpan(fmt.Sprintf("table%d", n))
+		defer sp.End()
 		switch n {
 		case 1:
 			rows, err := ctx.Table1()
@@ -111,11 +140,13 @@ func main() {
 
 	if *table != 0 {
 		run(*table)
+		finish()
 		return
 	}
 	for n := 1; n <= 6; n++ {
 		run(n)
 	}
+	finish()
 }
 
 func fatal(err error) {

@@ -11,6 +11,8 @@
 //
 //	conformance [-n count] [-seed start] [-j N] [-shrink]
 //	            [-shrink-budget N] [-repro-dir dir] [-timeout d] [-q]
+//	            [-report file.json] [-stats] [-trace out.json]
+//	            [-progress auto|on|off] [-cpuprofile f] [-memprofile f]
 //
 // Seeds [start, start+count) are checked and one summary line is
 // printed per seed, in seed order, followed by a totals line. The
@@ -33,6 +35,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"factor/internal/cli"
@@ -49,6 +52,9 @@ func main() {
 	reproDir := flag.String("repro-dir", "internal/conformance/testdata/repro", "directory for shrunk reproducers")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	quiet := flag.Bool("q", false, "print only failing seeds and the totals line")
+	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
+	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
 	if *n <= 0 {
@@ -60,12 +66,17 @@ func main() {
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
+	tel, finishTel, err := rf.Start("conformance")
+	if err != nil {
+		cli.Fatal("conformance", err)
+	}
 
 	opts := conformance.DefaultOptions()
 	reports := make([]*conformance.Report, *n)
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var done int64
 	nw := *workers
 	if nw <= 0 {
 		nw = defaultWorkers()
@@ -75,12 +86,18 @@ func main() {
 	}
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range jobs {
+				sp := tel.StartSpan("check").WithTID(lane).WithArg("seed", fmt.Sprint(*seed+int64(i)))
 				reports[i] = conformance.Check(*seed+int64(i), opts)
+				sp.End()
+				d := atomic.AddInt64(&done, 1)
+				if tel.ProgressEnabled() {
+					tel.Progressf("conformance: %d/%d seeds checked", d, *n)
+				}
 			}
-		}()
+		}(w + 1)
 	}
 feed:
 	for i := 0; i < *n; i++ {
@@ -106,7 +123,28 @@ feed:
 			fmt.Println(rep.Line())
 		}
 	}
+	tel.AddCounter("conformance.seeds", uint64(*n))
+	tel.AddCounter("conformance.pass", uint64(*n-fail))
+	tel.AddCounter("conformance.fail", uint64(fail))
+	if err := finishTel(); err != nil {
+		cli.Warn("conformance", err)
+	}
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, tel.Summary())
+	}
 	fmt.Printf("conformance: n=%d pass=%d fail=%d\n", *n, *n-fail, fail)
+
+	var exitErr error
+	if fail > 0 {
+		exitErr = fmt.Errorf("%d of %d seeds failed", fail, *n)
+	}
+	if *report != "" {
+		rep := cli.NewReport("conformance", exitErr)
+		rep.AttachTelemetry(tel)
+		if err := rep.Write(*report); err != nil {
+			cli.Fatal("conformance", err)
+		}
+	}
 
 	if fail > 0 && *shrink {
 		if err := writeReproducers(reports, opts, *shrinkBudget, *reproDir); err != nil {

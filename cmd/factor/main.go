@@ -8,6 +8,8 @@
 //	factor -mut <instance.path>[,<instance.path>...] [-design file.v]
 //	       [-top name] [-mode flat|composed] [-piers] [-o out.v]
 //	       [-dir outdir] [-j N] [-stats] [-timeout d] [-report file.json]
+//	       [-trace out.json] [-progress auto|on|off]
+//	       [-cpuprofile f] [-memprofile f]
 //
 // Without -design the built-in ARM2-class benchmark SoC is used.
 // Several comma-separated MUT paths are extracted concurrently over -j
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,7 @@ import (
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
 
@@ -50,6 +54,7 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for multi-MUT extraction (0 = all CPU cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for extraction + synthesis (0 = none)")
 	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
 	if *mut == "" {
@@ -71,23 +76,35 @@ func main() {
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
-
-	src, topName, params, err := loadDesign(*designFile, *top, *width)
+	tel, finishTel, err := rf.Start("factor")
 	if err != nil {
 		cli.Fatal("factor", err)
 	}
+	ctx = telemetry.NewContext(ctx, tel)
+
+	src, topName, params, err := loadDesign(ctx, *designFile, *top, *width)
+	if err != nil {
+		cli.Fatal("factor", err)
+	}
+	span := tel.StartSpan("analyze")
 	d, err := design.Analyze(src, topName)
+	span.End()
 	if err != nil {
 		cli.Fatal("factor", factorerr.Wrap(factorerr.StageAnalyze, factorerr.CodeAnalysis, err))
 	}
 
 	ext := core.NewExtractor(d, m)
 	start := time.Now()
+	span = tel.StartSpan("transform")
 	trs, runErr := core.TransformAll(ctx, ext, muts, nil, core.TransformOptions{
 		TopParams:   params,
 		EnablePIERs: *piers,
 	}, *workers)
+	span.End()
 	elapsed := time.Since(start)
+	if err := finishTel(); err != nil {
+		fmt.Fprintf(os.Stderr, "factor: %s\n", factorerr.FormatChain(err))
+	}
 
 	// Write outputs for every MUT that made it; failed MUTs left nil
 	// entries and are reported below.
@@ -145,10 +162,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "factor: %d MUT(s) in %v; cache hits %d, misses %d\n",
 			len(trs), elapsed.Round(time.Microsecond), ext.CacheHits, ext.CacheMisses)
+		fmt.Fprint(os.Stderr, tel.Summary())
 	}
 
 	if *report != "" {
 		rep := cli.NewReport("factor", runErr)
+		rep.AttachTelemetry(tel)
 		for i, tr := range trs {
 			mr := cli.MUTReport{Path: muts[i], OK: tr != nil}
 			if tr != nil {
@@ -170,9 +189,9 @@ func main() {
 	}
 }
 
-func loadDesign(file, top string, width int) (*verilog.SourceFile, string, map[string]int64, error) {
+func loadDesign(ctx context.Context, file, top string, width int) (*verilog.SourceFile, string, map[string]int64, error) {
 	if file == "" {
-		src, err := arm.Parse()
+		src, err := arm.ParseContext(ctx)
 		if err != nil {
 			return nil, "", nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
@@ -185,7 +204,7 @@ func loadDesign(file, top string, width int) (*verilog.SourceFile, string, map[s
 	if err != nil {
 		return nil, "", nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 	}
-	src, err := verilog.Parse(file, string(data))
+	src, err := verilog.ParseContext(ctx, file, string(data))
 	if err != nil {
 		return nil, "", nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 	}

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	testability -mut <instance.path> [-design file.v] [-top name]
-//	            [-timeout d]
+//	            [-timeout d] [-stats] [-trace out.json]
+//	            [-progress auto|on|off] [-cpuprofile f] [-memprofile f]
 //
 // Exit codes follow the suite-wide taxonomy: 0 success, 1 error,
 // 2 usage, 3 canceled/timed out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
 
@@ -29,6 +32,8 @@ func main() {
 	top := flag.String("top", "", "top module (default: first module, or 'arm')")
 	mut := flag.String("mut", "", "hierarchical instance path of the module under test (required)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none)")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
+	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
 	if *mut == "" {
@@ -36,24 +41,41 @@ func main() {
 	}
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
-
-	src, topName, err := loadDesign(*designFile, *top)
+	tel, finishTel, err := rf.Start("testability")
 	if err != nil {
 		cli.Fatal("testability", err)
 	}
+	ctx = telemetry.NewContext(ctx, tel)
+
+	src, topName, err := loadDesign(ctx, *designFile, *top)
+	if err != nil {
+		cli.Fatal("testability", err)
+	}
+	span := tel.StartSpan("analyze")
 	d, err := design.Analyze(src, topName)
+	span.End()
 	if err != nil {
 		cli.Fatal("testability", factorerr.Wrap(factorerr.StageAnalyze, factorerr.CodeAnalysis, err))
 	}
 	// Extraction supplies the empty-chain diagnostics.
 	ext := core.NewExtractor(d, core.ModeComposed)
+	span = tel.StartSpan("extract").WithArg("mut", *mut)
 	ex, err := ext.ExtractContext(ctx, *mut)
+	span.End()
 	if err != nil {
 		cli.Fatal("testability", err)
 	}
+	tel.AddCounter("extract.work_items", uint64(ex.WorkItems))
+	tel.AddCounter("extract.diags", uint64(len(ex.Diags)))
 	rep, err := core.AnalyzeTestability(d, *mut, ex.Diags)
 	if err != nil {
 		cli.Fatal("testability", err)
+	}
+	if err := finishTel(); err != nil {
+		cli.Warn("testability", err)
+	}
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, tel.Summary())
 	}
 	fmt.Print(rep.Summary())
 	if len(rep.Constraints) == 0 && len(rep.EmptyChains) == 0 {
@@ -61,9 +83,9 @@ func main() {
 	}
 }
 
-func loadDesign(file, top string) (*verilog.SourceFile, string, error) {
+func loadDesign(ctx context.Context, file, top string) (*verilog.SourceFile, string, error) {
 	if file == "" {
-		src, err := arm.Parse()
+		src, err := arm.ParseContext(ctx)
 		if err != nil {
 			return nil, "", factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 		}
@@ -76,7 +98,7 @@ func loadDesign(file, top string) (*verilog.SourceFile, string, error) {
 	if err != nil {
 		return nil, "", factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err)
 	}
-	src, err := verilog.Parse(file, string(data))
+	src, err := verilog.ParseContext(ctx, file, string(data))
 	if err != nil {
 		return nil, "", factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
 	}

@@ -1,6 +1,7 @@
 package arm
 
 import (
+	"context"
 	"fmt"
 
 	"factor/internal/netlist"
@@ -12,6 +13,12 @@ import (
 // Parse returns the parsed AST of the benchmark RTL.
 func Parse() (*verilog.SourceFile, error) {
 	return verilog.Parse("arm.v", Source())
+}
+
+// ParseContext is Parse under a context carrying an optional telemetry
+// handle (the parse stage records its span and token/module counters).
+func ParseContext(ctx context.Context) (*verilog.SourceFile, error) {
+	return verilog.ParseContext(ctx, "arm.v", Source())
 }
 
 // MinWidth is the smallest legal datapath width: instructions are 16

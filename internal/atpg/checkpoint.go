@@ -15,7 +15,11 @@ import (
 
 // CheckpointVersion is the journal format version. Decoding rejects
 // other versions rather than guessing at field semantics.
-const CheckpointVersion = 1
+//
+// Version history: 1 = initial format; 2 = added the "stats"
+// deterministic work counters (RunStats), restored on resume so
+// counter totals stay split-invariant.
+const CheckpointVersion = 2
 
 // Checkpoint is a resumable journal of an ATPG run, written during the
 // deterministic phase (see Options.Checkpoint). It captures everything
@@ -52,6 +56,11 @@ type Checkpoint struct {
 	AbortedNum     int `json:"aborted"`
 	NotAttempted   int `json:"not_attempted"`
 	QuarantinedNum int `json:"quarantined"`
+
+	// Stats journals the deterministic work counters at the merge
+	// position, so a resumed run's totals equal the uninterrupted
+	// run's.
+	Stats RunStats `json:"stats"`
 
 	Errors []CheckpointError `json:"errors,omitempty"`
 }

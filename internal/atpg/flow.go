@@ -12,6 +12,7 @@ import (
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/sim"
+	"factor/internal/telemetry"
 )
 
 // Options configures the ATPG flow.
@@ -161,6 +162,14 @@ type RunResult struct {
 
 	RandomTime time.Duration
 	DetTime    time.Duration
+
+	// Stats are the run's deterministic work counters (see RunStats):
+	// bit-identical for any worker count and across checkpoint/resume.
+	Stats RunStats
+
+	// journaledTests tracks how many of Tests have already been
+	// counted into Stats.JournaledTests by checkpoint flushes.
+	journaledTests uint64
 }
 
 // Coverage is the fault coverage percentage.
@@ -233,6 +242,8 @@ func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResu
 	res := fault.NewResult(faults)
 	out := &RunResult{Result: res, TotalFaults: len(faults)}
 	pool := fault.NewPool(e.nl, e.workers)
+	tel := telemetry.FromContext(ctx)
+	defer func() { out.publishTelemetry(tel) }()
 
 	deadline := time.Time{}
 	if e.opts.TimeBudget > 0 {
@@ -255,6 +266,8 @@ func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResu
 		out.AbortedNum = ck.AbortedNum
 		out.NotAttempted = ck.NotAttempted
 		out.QuarantinedNum = ck.QuarantinedNum
+		out.Stats = ck.Stats
+		out.journaledTests = uint64(len(ck.Tests))
 		for _, ce := range ck.Errors {
 			fe := factorerr.New(factorerr.StageATPG, factorerr.CodePanic, "%s", ce.Message)
 			fe.Fault = ce.Fault
@@ -266,7 +279,10 @@ func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResu
 		// run re-executes it identically on resume.
 		start := time.Now()
 		if !e.opts.DisableRandomPhase {
-			if err := e.randomPhase(ctx, out, deadline); err != nil {
+			sp := tel.StartSpan("atpg.random")
+			err := e.randomPhase(ctx, out, deadline)
+			sp.End()
+			if err != nil {
 				out.RandomTime = time.Since(start)
 				return out, err
 			}
@@ -278,7 +294,9 @@ func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResu
 	// Phase 2: deterministic PODEM with time-frame expansion and fault
 	// dropping.
 	start := time.Now()
+	sp := tel.StartSpan("atpg.deterministic")
 	err := e.deterministicPhase(ctx, out, pool, deadline, postRandom, startMerged)
+	sp.End()
 	out.DetTime = time.Since(start)
 	return out, err
 }
@@ -310,11 +328,13 @@ func (e *Engine) randomPhase(ctx context.Context, out *RunResult, deadline time.
 		rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamRandomSeq+int64(i)<<8)))
 		seqs[i] = e.randomSequence(rng)
 	}
-	first, errs := fault.FirstDetections(ctx, e.nl, res.Faults, seqs, e.workers, deadline)
+	first, simStats, errs := fault.FirstDetections(ctx, e.nl, res.Faults, seqs, e.workers, deadline)
 	out.Errors = append(out.Errors, errs...)
 	if err := ctx.Err(); err != nil {
 		return cancelErr(err)
 	}
+	out.Stats.RandomSequences += uint64(len(seqs))
+	out.Stats.Sim.Accumulate(simStats)
 
 	detBySeq := make([]int, len(seqs))
 	for fi, si := range first {
@@ -346,7 +366,8 @@ type specResult struct {
 	kind   int
 	status Status
 	seq    fault.Sequence
-	err    error // specPanic only: the structured quarantine error
+	stats  searchStats // search effort; counted only if the merger uses the result
+	err    error       // specPanic only: the structured quarantine error
 }
 
 // testFaultPanicHook, when non-nil, runs before every deterministic
@@ -371,8 +392,8 @@ func (e *Engine) safeTestFault(f fault.Fault, deadline time.Time) (r specResult)
 	if testFaultPanicHook != nil {
 		testFaultPanicHook(f)
 	}
-	seq, status := e.testFault(f, deadline)
-	return specResult{kind: specAttempted, status: status, seq: seq}
+	seq, status, stats := e.testFault(f, deadline)
+	return specResult{kind: specAttempted, status: status, seq: seq, stats: stats}
 }
 
 // deterministicPhase runs PODEM over the undetected faults with a
@@ -470,6 +491,7 @@ func (e *Engine) deterministicPhase(ctx context.Context, out *RunResult, pool *f
 		}()
 	}
 
+	tel := telemetry.FromContext(ctx)
 	merged := startMerged
 	var runErr error
 mergeLoop:
@@ -482,7 +504,14 @@ mergeLoop:
 				break mergeLoop
 			}
 			e.mergeOne(out, pool, work[lo+k], r, deadline, &mu)
+			// Drain per merge so every checkpoint flush journals the sim
+			// work of exactly the merges it covers (split-invariant).
+			out.Stats.Sim.Accumulate(pool.DrainStats())
 			merged++
+			if tel.ProgressEnabled() { // skip the O(faults) coverage scan when quiet
+				tel.Progressf("atpg: %d/%d deterministic faults merged, %d detected, coverage %.1f%%",
+					merged, len(pending), res.NumDetected(), res.Coverage())
+			}
 			if e.opts.Checkpoint != nil && (merged-startMerged)%e.opts.CheckpointEvery == 0 {
 				if err := e.flushCheckpoint(out, postRandom, merged); err != nil {
 					runErr = err
@@ -532,6 +561,12 @@ func (e *Engine) mergeOne(out *RunResult, pool *fault.Pool, fi int, r specResult
 			return
 		}
 	}
+	// Only searches the merger actually uses are counted: speculative
+	// effort on faults dropped above never lands in the deterministic
+	// plane, so the totals match a single-worker run.
+	out.Stats.Searches++
+	out.Stats.Decisions += r.stats.decisions
+	out.Stats.Backtracks += r.stats.backtracks
 	switch r.status {
 	case Detected:
 		rng := rand.New(rand.NewSource(mix64(e.opts.Seed, streamFill+int64(fi)<<8)))
@@ -580,6 +615,14 @@ func (e *Engine) flushCheckpoint(out *RunResult, postRandom []bool, merged int) 
 	if e.opts.Checkpoint == nil {
 		return nil
 	}
+	// Count the journal-record delta before snapshotting: the final
+	// JournaledTests value equals the exported test count for any flush
+	// cadence, which keeps the counter split-invariant even though the
+	// number of flushes is not.
+	if n := uint64(len(out.Tests)); n > out.journaledTests {
+		out.Stats.JournaledTests += n - out.journaledTests
+		out.journaledTests = n
+	}
 	ck := &Checkpoint{
 		Version:        CheckpointVersion,
 		Fingerprint:    e.fingerprint(out.Result.Faults),
@@ -593,6 +636,7 @@ func (e *Engine) flushCheckpoint(out *RunResult, postRandom []bool, merged int) 
 		AbortedNum:     out.AbortedNum,
 		NotAttempted:   out.NotAttempted,
 		QuarantinedNum: out.QuarantinedNum,
+		Stats:          out.Stats,
 	}
 	for _, err := range out.Errors {
 		ce := CheckpointError{Message: err.Error()}
@@ -612,20 +656,23 @@ func (e *Engine) flushCheckpoint(out *RunResult, postRandom []bool, merged int) 
 // untestable at the maximum frame budget, or aborted. The search is
 // fully deterministic: given the same (fault, options), it returns the
 // same sequence regardless of which goroutine runs it.
-func (e *Engine) testFault(f fault.Fault, deadline time.Time) (fault.Sequence, Status) {
+func (e *Engine) testFault(f fault.Fault, deadline time.Time) (fault.Sequence, Status, searchStats) {
+	var st searchStats
 	last := Untestable
 	for frames := 1; frames <= e.opts.MaxFrames; frames++ {
 		p := newPodem(e.nl, f, frames, e.opts.BacktrackLimit, deadline, e.st)
 		seq, status := p.run()
+		st.decisions += uint64(p.decisions)
+		st.backtracks += uint64(p.backtracks)
 		switch status {
 		case Detected:
-			return seq, Detected
+			return seq, Detected, st
 		case Aborted:
-			return nil, Aborted
+			return nil, Aborted, st
 		}
 		last = status
 	}
-	return nil, last
+	return nil, last, st
 }
 
 // randomSequence builds a fully specified random input sequence.

@@ -31,6 +31,15 @@ func runsEqual(t *testing.T, name string, a, b *RunResult) {
 	if a.Coverage() != b.Coverage() {
 		t.Errorf("%s: coverage diverges: %v vs %v", name, a.Coverage(), b.Coverage())
 	}
+	// The deterministic work counters must be split- and worker-
+	// invariant too. JournaledTests is masked out here: the compared
+	// legs legitimately differ in whether checkpointing was enabled at
+	// all (the conformance harness checks it with matched callbacks).
+	sa, sb := a.Stats, b.Stats
+	sa.JournaledTests, sb.JournaledTests = 0, 0
+	if sa != sb {
+		t.Errorf("%s: work counter stats diverge:\n a: %+v\n b: %+v", name, a.Stats, b.Stats)
+	}
 }
 
 // randomSeqCircuit mirrors the fault package's random circuit builder:

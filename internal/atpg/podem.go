@@ -70,6 +70,7 @@ type podem struct {
 	poSet    map[int]bool // shared read-only PO membership
 
 	backtracks int
+	decisions  int // PI assignments pushed on the decision stack
 	limit      int
 	deadline   time.Time
 }
@@ -583,6 +584,7 @@ func (p *podem) run() (fault.Sequence, Status) {
 		for _, obj := range p.objectives(fanouts, poSet) {
 			if pi, pv, ok := p.backtrace(obj.l, obj.val); ok {
 				stack = append(stack, decision{l: pi, val: pv})
+				p.decisions++
 				p.assigned[pi.t][pi.g] = pv
 				advanced = true
 				break

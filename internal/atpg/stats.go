@@ -1,0 +1,70 @@
+package atpg
+
+import (
+	"factor/internal/fault"
+	"factor/internal/telemetry"
+)
+
+// RunStats are the run's deterministic work counters: the telemetry
+// plane's view of how much search and simulation effort the flow
+// committed. Every field is accounted on the merger goroutine from
+// merge-ordered contributions — speculative searches the merger drops
+// are never counted — so totals are bit-identical for any worker count
+// and, because they are journaled in the checkpoint and restored on
+// resume, across any checkpoint/resume split. (Wall times live on
+// RunResult, not here: they are diagnostic, never deterministic.)
+type RunStats struct {
+	// RandomSequences is the number of random-phase sequences
+	// generated and simulated.
+	RandomSequences uint64 `json:"random_sequences"`
+	// Searches counts the deterministic PODEM searches whose outcome
+	// the merger used (dropped faults' speculative searches excluded).
+	Searches uint64 `json:"searches"`
+	// Decisions and Backtracks sum the PI assignments pushed and the
+	// backtracks taken across all counted searches, including every
+	// time-frame escalation of each search.
+	Decisions  uint64 `json:"decisions"`
+	Backtracks uint64 `json:"backtracks"`
+	// JournaledTests is the total number of tests written into
+	// checkpoint journal records; zero when checkpointing is off. The
+	// final value equals the exported test count regardless of flush
+	// cadence, so it is split-invariant even though the number of
+	// flushes is not.
+	JournaledTests uint64 `json:"journaled_tests"`
+	// Sim aggregates the event-driven fault-simulation engine's work
+	// across both phases (first-detection pass + merge replays).
+	Sim fault.SimStats `json:"sim"`
+}
+
+// searchStats is one search's contribution, carried from the worker to
+// the merger inside specResult.
+type searchStats struct {
+	decisions  uint64
+	backtracks uint64
+}
+
+// publishTelemetry folds the run's deterministic counters into the
+// telemetry handle (nil-safe). Counter values mirror RunStats plus the
+// classification totals; repeated runs against one handle accumulate.
+func (r *RunResult) publishTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	s := r.Stats
+	tel.AddCounter("atpg.random_sequences", s.RandomSequences)
+	tel.AddCounter("atpg.searches", s.Searches)
+	tel.AddCounter("atpg.decisions", s.Decisions)
+	tel.AddCounter("atpg.backtracks", s.Backtracks)
+	tel.AddCounter("atpg.journaled_tests", s.JournaledTests)
+	tel.AddCounter("atpg.detected_random", uint64(r.DetectedRandom))
+	tel.AddCounter("atpg.detected_deterministic", uint64(r.DetectedDet))
+	tel.AddCounter("atpg.untestable", uint64(r.UntestableNum))
+	tel.AddCounter("atpg.aborted", uint64(r.AbortedNum))
+	tel.AddCounter("atpg.quarantined", uint64(r.QuarantinedNum))
+	tel.AddCounter("atpg.tests", uint64(len(r.Tests)))
+	tel.AddCounter("faultsim.batches", s.Sim.Batches)
+	tel.AddCounter("faultsim.cycles", s.Sim.Cycles)
+	tel.AddCounter("faultsim.events", s.Sim.Events)
+	tel.AddCounter("faultsim.flop_heals", s.Sim.FlopHeals)
+	tel.AddCounter("faultsim.trace_cycles", s.Sim.TraceCycles)
+}

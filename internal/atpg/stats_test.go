@@ -1,0 +1,116 @@
+package atpg
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"factor/internal/fault"
+	"factor/internal/telemetry"
+)
+
+// TestJournaledTestsCadenceInvariant: the JournaledTests counter's
+// final value equals the exported test count for any checkpoint flush
+// cadence, and stays zero with checkpointing disabled.
+func TestJournaledTestsCadenceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	nl := randomSeqCircuit(rng, 6, 180)
+	faults := fault.Universe(nl)
+	base := Options{Seed: 3, MaxFrames: 4, BacktrackLimit: 64, RandomSequences: 8, Workers: 2}
+
+	plain := New(nl, base).Run(faults)
+	if plain.Stats.JournaledTests != 0 {
+		t.Fatalf("no checkpointing, but JournaledTests = %d", plain.Stats.JournaledTests)
+	}
+
+	for _, every := range []int{1, 2, 7, 1 << 20} {
+		opts := base
+		opts.CheckpointEvery = every
+		opts.Checkpoint = func(*Checkpoint) error { return nil }
+		got := New(nl, opts).Run(faults)
+		if got.Stats.JournaledTests != uint64(len(got.Tests)) {
+			t.Errorf("every=%d: JournaledTests = %d, want %d (len(Tests))",
+				every, got.Stats.JournaledTests, len(got.Tests))
+		}
+	}
+}
+
+// TestJournaledTestsResumeInvariant: a run split by cancellation and
+// resumed (with checkpointing enabled on both legs) journals the same
+// total as the uninterrupted checkpointed run.
+func TestJournaledTestsResumeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	nl := randomSeqCircuit(rng, 6, 180)
+	faults := fault.Universe(nl)
+	base := Options{Seed: 4, MaxFrames: 4, BacktrackLimit: 64, RandomSequences: 8, CheckpointEvery: 3}
+
+	ref := base
+	ref.Workers = 1
+	ref.Checkpoint = func(*Checkpoint) error { return nil }
+	want := New(nl, ref).Run(faults)
+	if want.Stats.JournaledTests != uint64(len(want.Tests)) {
+		t.Fatalf("reference JournaledTests = %d, want %d", want.Stats.JournaledTests, len(want.Tests))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var snap *Checkpoint
+	opts := base
+	opts.Workers = 4
+	opts.Checkpoint = func(ck *Checkpoint) error {
+		if snap == nil {
+			snap = ck
+			cancel()
+		}
+		return nil
+	}
+	if _, err := New(nl, opts).RunContext(ctx, faults); err == nil || snap == nil {
+		t.Skip("run outran cancellation; nothing to resume")
+	}
+	cancel()
+
+	ropts := base
+	ropts.Workers = 2
+	ropts.Resume = snap
+	ropts.Checkpoint = func(*Checkpoint) error { return nil }
+	resumed, err := New(nl, ropts).RunContext(context.Background(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats != want.Stats {
+		t.Fatalf("resumed stats diverge:\n got %+v\nwant %+v", resumed.Stats, want.Stats)
+	}
+}
+
+// TestRunPublishesTelemetry: RunContext folds the deterministic
+// counters into a context-attached telemetry handle.
+func TestRunPublishesTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	nl := randomSeqCircuit(rng, 5, 120)
+	faults := fault.Universe(nl)
+	eng := New(nl, Options{Seed: 2, MaxFrames: 3, BacktrackLimit: 64, RandomSequences: 6, Workers: 2})
+
+	tel := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), tel)
+	out, err := eng.RunContext(ctx, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := tel.Counters()
+	checks := map[string]uint64{
+		"atpg.searches":         out.Stats.Searches,
+		"atpg.decisions":        out.Stats.Decisions,
+		"atpg.backtracks":       out.Stats.Backtracks,
+		"atpg.random_sequences": out.Stats.RandomSequences,
+		"atpg.tests":            uint64(len(out.Tests)),
+		"faultsim.events":       out.Stats.Sim.Events,
+		"faultsim.batches":      out.Stats.Sim.Batches,
+	}
+	for name, want := range checks {
+		if counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, counters[name], want)
+		}
+	}
+	if out.Stats.Sim.Events == 0 || out.Stats.Searches == 0 {
+		t.Fatalf("stats not populated: %+v", out.Stats)
+	}
+}

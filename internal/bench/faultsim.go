@@ -34,6 +34,15 @@ type FaultSimRow struct {
 
 	PackedSpeedup float64 `json:"packed_speedup_vs_serial"`
 	EventSpeedup  float64 `json:"event_speedup_vs_packed"`
+
+	// Work counters from the engines' telemetry: gate evaluations per
+	// full run of the workload. The packed engine evaluates the whole
+	// netlist every cycle; the event engine only the active cones — the
+	// ratio is the structural work reduction behind EventSpeedup, and
+	// unlike the timing columns it is deterministic.
+	PackedEvals  uint64  `json:"packed_gate_evals"`
+	EventEvals   uint64  `json:"event_gate_evals"`
+	EventsPerSec float64 `json:"event_gate_evals_per_sec"`
 }
 
 // FaultSimModules are the seed designs the ablation runs on: two
@@ -112,6 +121,7 @@ func FaultSimAblation(width, reps int) ([]FaultSimRow, error) {
 
 		packedSec, packedDet := math.Inf(1), -1
 		eventSec, eventDet := math.Inf(1), -1
+		var packedEvals, eventEvals uint64
 		for r := 0; r < reps; r++ {
 			res := fault.NewResult(faults)
 			ps := fault.NewParallel(nl)
@@ -121,6 +131,11 @@ func FaultSimAblation(width, reps int) ([]FaultSimRow, error) {
 			}
 			if sec := time.Since(start).Seconds(); sec < packedSec {
 				packedSec = sec
+			}
+			if ev := ps.DrainStats().Events; packedEvals != 0 && ev != packedEvals {
+				return nil, fmt.Errorf("faultsim ablation: packed engine work counter nondeterministic on %s", module)
+			} else {
+				packedEvals = ev
 			}
 			if d := res.NumDetected(); packedDet >= 0 && d != packedDet {
 				return nil, fmt.Errorf("faultsim ablation: packed engine nondeterministic on %s", module)
@@ -136,6 +151,11 @@ func FaultSimAblation(width, reps int) ([]FaultSimRow, error) {
 			}
 			if sec := time.Since(start).Seconds(); sec < eventSec {
 				eventSec = sec
+			}
+			if ev := es.DrainStats().Events; eventEvals != 0 && ev != eventEvals {
+				return nil, fmt.Errorf("faultsim ablation: event engine work counter nondeterministic on %s", module)
+			} else {
+				eventEvals = ev
 			}
 			if d := res.NumDetected(); eventDet >= 0 && d != eventDet {
 				return nil, fmt.Errorf("faultsim ablation: event engine nondeterministic on %s", module)
@@ -181,6 +201,9 @@ func FaultSimAblation(width, reps int) ([]FaultSimRow, error) {
 			EventSec:      eventSec,
 			PackedSpeedup: serialSec / packedSec,
 			EventSpeedup:  packedSec / eventSec,
+			PackedEvals:   packedEvals,
+			EventEvals:    eventEvals,
+			EventsPerSec:  float64(eventEvals) / eventSec,
 		})
 	}
 	return rows, nil
@@ -195,16 +218,23 @@ func WriteFaultSimJSON(path string, rows []FaultSimRow) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatFaultSim renders the ablation rows as a table.
+// FormatFaultSim renders the ablation rows as a table. Work% is the
+// event engine's gate evaluations as a share of the packed engine's —
+// the deterministic work reduction from active-cone pruning.
 func FormatFaultSim(rows []FaultSimRow) string {
 	var sb strings.Builder
 	sb.WriteString("Fault-simulation engine ablation (single-core)\n")
-	fmt.Fprintf(&sb, "%-16s %7s %7s %9s %10s %10s %10s %9s %9s\n",
-		"Module", "Gates", "Faults", "Detected", "Serial", "Packed", "Event", "Pk/Ser", "Ev/Pk")
+	fmt.Fprintf(&sb, "%-16s %7s %7s %9s %10s %10s %10s %9s %9s %7s %10s\n",
+		"Module", "Gates", "Faults", "Detected", "Serial", "Packed", "Event", "Pk/Ser", "Ev/Pk", "Work%", "Ev-evals/s")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-16s %7d %7d %9d %9.3fs %9.3fs %9.3fs %8.1fx %8.1fx\n",
+		workPct := 0.0
+		if r.PackedEvals > 0 {
+			workPct = 100 * float64(r.EventEvals) / float64(r.PackedEvals)
+		}
+		fmt.Fprintf(&sb, "%-16s %7d %7d %9d %9.3fs %9.3fs %9.3fs %8.1fx %8.1fx %6.1f%% %9.2gM\n",
 			r.Module, r.Gates, r.Faults, r.Detected,
-			r.SerialSec, r.PackedSec, r.EventSec, r.PackedSpeedup, r.EventSpeedup)
+			r.SerialSec, r.PackedSec, r.EventSec, r.PackedSpeedup, r.EventSpeedup,
+			workPct, r.EventsPerSec/1e6)
 	}
 	return sb.String()
 }

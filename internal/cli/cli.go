@@ -1,7 +1,9 @@
 // Package cli holds the runtime plumbing shared by the factor command
-// suite (cmd/factor, cmd/atpg, cmd/testability): signal-aware contexts
-// with wall-clock budgets, the unified exit-code taxonomy, and the
-// machine-readable run report written by -report.
+// suite (cmd/factor, cmd/atpg, cmd/testability, cmd/conformance,
+// cmd/benchtables): signal-aware contexts with wall-clock budgets, the
+// unified exit-code taxonomy, the machine-readable run report written
+// by -report, and the shared observability flags (-trace, -progress,
+// -cpuprofile, -memprofile) that bracket a run with telemetry.
 //
 // Exit codes (see DESIGN.md §9):
 //
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,10 +29,15 @@ import (
 
 // SignalContext returns a context that is canceled on SIGINT or
 // SIGTERM and, when timeout > 0, after the wall-clock budget expires.
-// The caller must call stop to release the signal handler; after the
-// first signal cancels the context, a second signal falls back to the
-// default handler and kills the process (the standard double-Ctrl-C
-// escape hatch).
+//
+// The returned stop func is the single release point for every
+// resource the context holds: it unregisters the signal handler and
+// cancels the timeout timer, on both the signal path and the timeout
+// path (there is no separate cancel to leak). stop is idempotent and
+// safe for concurrent use; callers should defer it immediately. After
+// the first signal cancels the context, a second signal falls back to
+// the default handler and kills the process (the standard
+// double-Ctrl-C escape hatch).
 func SignalContext(timeout time.Duration) (ctx context.Context, stop context.CancelFunc) {
 	ctx = context.Background()
 	cancel := context.CancelFunc(func() {})
@@ -37,9 +45,12 @@ func SignalContext(timeout time.Duration) (ctx context.Context, stop context.Can
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	ctx, sstop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	var once sync.Once
 	return ctx, func() {
-		sstop()
-		cancel()
+		once.Do(func() {
+			sstop()
+			cancel()
+		})
 	}
 }
 

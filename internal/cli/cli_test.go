@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"factor/internal/factorerr"
+	"factor/internal/telemetry"
 )
 
 func TestNewReportStatus(t *testing.T) {
@@ -96,4 +97,152 @@ func TestSignalContextNoTimeout(t *testing.T) {
 	default:
 	}
 	stop()
+}
+
+// TestSignalContextStopReleases checks the composed stop func's
+// guarantee: on both the timeout path and the signal path a single
+// stop call (idempotent, here called twice) releases the timer and
+// the signal registration, leaving the context canceled.
+func TestSignalContextStopReleases(t *testing.T) {
+	// Timeout path: stop before the deadline fires must cancel the
+	// context (proving the WithTimeout cancel is part of stop, not
+	// leaked until the timer pops).
+	ctx, stop := SignalContext(time.Hour)
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not cancel the timeout context")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("ctx.Err() = %v, want canceled (not deadline)", ctx.Err())
+	}
+
+	// Signal path: after stop, the handler must be unregistered — a
+	// SIGTERM to our own process would otherwise cancel sctx; with the
+	// registration released Go's default action would kill the
+	// process, so instead verify release via signal.Ignored-free
+	// re-registration: a fresh SignalContext must start un-canceled.
+	sctx, sstop := SignalContext(0)
+	sstop()
+	sstop() // idempotent
+	select {
+	case <-sctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not cancel the signal context")
+	}
+	ctx2, stop2 := SignalContext(0)
+	defer stop2()
+	select {
+	case <-ctx2.Done():
+		t.Fatal("fresh SignalContext canceled: prior stop leaked state")
+	default:
+	}
+}
+
+func TestAttachTelemetry(t *testing.T) {
+	rep := NewReport("factor", nil)
+	rep.AttachTelemetry(nil)
+	if rep.Telemetry != nil {
+		t.Fatal("nil handle must leave telemetry section absent")
+	}
+	tel := telemetry.New()
+	rep.AttachTelemetry(tel)
+	if rep.Telemetry != nil {
+		t.Fatal("counter-less handle must leave telemetry section absent")
+	}
+	tel.AddCounter("parse.tokens", 42)
+	rep.AttachTelemetry(tel)
+	if rep.Telemetry == nil || rep.Telemetry.Counters["parse.tokens"] != 42 {
+		t.Fatalf("telemetry section = %+v", rep.Telemetry)
+	}
+}
+
+// TestReportTelemetryByteIdentical marshals two reports whose counters
+// were accumulated in different orders and demands byte equality —
+// the property the CI telemetry-smoke job checks end to end.
+func TestReportTelemetryByteIdentical(t *testing.T) {
+	mk := func(order []string) []byte {
+		tel := telemetry.New()
+		for _, name := range order {
+			tel.AddCounter(name, uint64(len(name)))
+		}
+		rep := NewReport("factor", nil)
+		rep.AttachTelemetry(tel)
+		path := filepath.Join(t.TempDir(), "r.json")
+		if err := rep.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := mk([]string{"atpg.backtracks", "parse.tokens", "sim.events"})
+	b := mk([]string{"sim.events", "atpg.backtracks", "parse.tokens"})
+	if string(a) != string(b) {
+		t.Fatalf("reports differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestRunFlagsProgressValidation(t *testing.T) {
+	rf := &RunFlags{Progress: "sometimes"}
+	if _, _, err := rf.Start("tool"); err == nil {
+		t.Fatal("invalid -progress value must be rejected")
+	}
+	rf = &RunFlags{Progress: "off"}
+	tel, finish, err := rf.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel == nil || tel.ProgressEnabled() {
+		t.Fatalf("progress off: handle=%v enabled=%v", tel, tel.ProgressEnabled())
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagsProfilesAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	rf := &RunFlags{
+		Progress:   "off",
+		Trace:      filepath.Join(dir, "trace.json"),
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	tel, finish, err := rf.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tel.TraceEnabled() {
+		t.Fatal("-trace must enable span buffering")
+	}
+	sp := tel.StartSpan("stage")
+	sp.End()
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{rf.Trace, rf.CPUProfile, rf.MemProfile} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if st.Size() == 0 && f != rf.CPUProfile {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	data, err := os.ReadFile(rf.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("trace missing traceEvents wrapper")
+	}
 }

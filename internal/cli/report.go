@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"factor/internal/factorerr"
+	"factor/internal/telemetry"
 )
 
 // Report is the machine-readable run summary written by -report. The
@@ -24,6 +25,27 @@ type Report struct {
 
 	// ATPG reports the test-generation outcome of an atpg run.
 	ATPG *ATPGReport `json:"atpg,omitempty"`
+
+	// Telemetry carries the run's deterministic work counters. Wall
+	// times are deliberately excluded so the section is byte-identical
+	// for any worker count and across a checkpoint/resume split
+	// (encoding/json marshals map keys sorted).
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+}
+
+// TelemetryReport is the report's deterministic-counter section.
+type TelemetryReport struct {
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// AttachTelemetry snapshots t's counters into the report; a nil or
+// counter-less handle leaves the section absent.
+func (r *Report) AttachTelemetry(t *telemetry.Telemetry) {
+	counters := t.Counters()
+	if len(counters) == 0 {
+		return
+	}
+	r.Telemetry = &TelemetryReport{Counters: counters}
 }
 
 // ReportError is one structured failure.

@@ -1,0 +1,129 @@
+package cli
+
+// Shared observability flags. Every command registers the same four
+// flags via RegisterRunFlags, then brackets its run between Start and
+// the returned finish func:
+//
+//	rf := cli.RegisterRunFlags()
+//	flag.Parse()
+//	tel, finish, err := rf.Start("factor")
+//	...
+//	ctx = telemetry.NewContext(ctx, tel)
+//	... run pipeline ...
+//	finish() // stop CPU profile, write heap profile and trace
+//
+// Start wires -cpuprofile/-memprofile to runtime/pprof, -trace to the
+// telemetry Chrome-trace buffer, and -progress to the stderr
+// heartbeat (auto: only when stderr is a terminal).
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"factor/internal/factorerr"
+	"factor/internal/telemetry"
+)
+
+// RunFlags carries the observability flag values shared by the command
+// suite.
+type RunFlags struct {
+	Trace      string
+	Progress   string
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterRunFlags registers -trace, -progress, -cpuprofile and
+// -memprofile on the default flag set. Call before flag.Parse.
+func RegisterRunFlags() *RunFlags {
+	rf := &RunFlags{}
+	flag.StringVar(&rf.Trace, "trace", "", "write a Chrome trace-event JSON `file` (load in Perfetto or chrome://tracing)")
+	flag.StringVar(&rf.Progress, "progress", "auto", "live progress heartbeat on stderr: auto (TTY only), on, off")
+	flag.StringVar(&rf.CPUProfile, "cpuprofile", "", "write a CPU profile to `file` bracketing the run")
+	flag.StringVar(&rf.MemProfile, "memprofile", "", "write a heap profile to `file` at the end of the run")
+	return rf
+}
+
+// Start validates the flags and opens the run's telemetry handle. It
+// starts the CPU profile immediately; the returned finish func stops
+// it and writes the heap profile and trace file. finish is safe to
+// call exactly once, normally right before writing reports/output, and
+// returns the first error it hit.
+func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, error) {
+	tel := telemetry.New()
+	tel.SetTool(tool)
+	if rf.Trace != "" {
+		tel.EnableTrace()
+	}
+	switch rf.Progress {
+	case "on":
+		tel.EnableProgress(os.Stderr, 0)
+	case "auto", "":
+		if telemetry.StderrIsTerminal() {
+			tel.EnableProgress(os.Stderr, 0)
+		}
+	case "off":
+	default:
+		return nil, nil, factorerr.New(factorerr.StageIO, factorerr.CodeUsage,
+			"-progress must be auto, on or off (got %q)", rf.Progress)
+	}
+
+	var cpuFile *os.File
+	if rf.CPUProfile != "" {
+		f, err := os.Create(rf.CPUProfile)
+		if err != nil {
+			return nil, nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+		}
+		cpuFile = f
+	}
+
+	finish := func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+			}
+		}
+		if rf.MemProfile != "" {
+			if err := writeHeapProfile(rf.MemProfile); err != nil && first == nil {
+				first = err
+			}
+		}
+		if rf.Trace != "" {
+			if err := tel.WriteTraceFile(rf.Trace); err != nil && first == nil {
+				first = factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+			}
+		}
+		return first
+	}
+	return tel, finish, nil
+}
+
+// writeHeapProfile snapshots the heap after a GC so the profile
+// reflects live objects, matching go test -memprofile behavior.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	if err := f.Close(); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return nil
+}
+
+// ProgressInterval re-exports the default heartbeat rate limit for
+// commands that print their own progress lines.
+const ProgressInterval = telemetry.DefaultProgressInterval

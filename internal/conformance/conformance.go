@@ -322,21 +322,27 @@ func CheckSource(text string, seed int64, opts Options) *Report {
 		}
 	}
 
-	// I4a: multi-worker run must be bit-identical to the baseline.
+	// I4a: multi-worker run must be bit-identical to the baseline —
+	// including the telemetry work counters (stats line in renderRun).
+	// The legs get a no-op checkpoint callback so checkpointing is
+	// enabled on all of them and JournaledTests is comparable.
 	baseRender := renderRun(tr.Netlist, base)
 	multiOpts := aopts
 	multiOpts.Workers = 3
+	multiOpts.Checkpoint = func(*atpg.Checkpoint) error { return nil }
 	multi := atpg.New(tr.Netlist, multiOpts).Run(faults)
 	if mr := renderRun(tr.Netlist, multi); mr != baseRender {
 		rep.violate(4, CodeWorkers, "workers=3 result differs from workers=1:\n%s", firstDiff(baseRender, mr))
 	}
 
 	// I4b: a run resumed from the captured checkpoint, with yet another
-	// worker count, must finish bit-identical too.
+	// worker count, must finish bit-identical too — again including the
+	// work counters, which the checkpoint journals and restores.
 	if snap != nil {
 		resOpts := aopts
 		resOpts.Workers = 2
 		resOpts.Resume = snap
+		resOpts.Checkpoint = func(*atpg.Checkpoint) error { return nil }
 		resumed, err := atpg.New(tr.Netlist, resOpts).RunContext(nil, faults)
 		if err != nil {
 			rep.violate(4, CodeResume, "resume failed: %v", err)
@@ -466,13 +472,18 @@ func cosimTransformed(full, tr *netlist.Netlist, cycles int, seed int64) string 
 }
 
 // renderRun canonicalizes an ATPG result for bit-identity comparison:
-// counts, the detected bitmap, and every exported test rendered over
-// the netlist's canonical PI order. Timing fields are excluded.
+// counts, the deterministic work counters, the detected bitmap, and
+// every exported test rendered over the netlist's canonical PI order.
+// Timing fields are excluded.
 func renderRun(nl *netlist.Netlist, rr *atpg.RunResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "faults=%d detected=%d random=%d det=%d untestable=%d aborted=%d notattempted=%d quarantined=%d tests=%d\n",
 		rr.TotalFaults, rr.Result.NumDetected(), rr.DetectedRandom, rr.DetectedDet,
 		rr.UntestableNum, rr.AbortedNum, rr.NotAttempted, rr.QuarantinedNum, len(rr.Tests))
+	s := rr.Stats
+	fmt.Fprintf(&b, "stats searches=%d decisions=%d backtracks=%d randomseqs=%d journaled=%d sim.batches=%d sim.cycles=%d sim.events=%d sim.heals=%d sim.tracecycles=%d\n",
+		s.Searches, s.Decisions, s.Backtracks, s.RandomSequences, s.JournaledTests,
+		s.Sim.Batches, s.Sim.Cycles, s.Sim.Events, s.Sim.FlopHeals, s.Sim.TraceCycles)
 	b.WriteString("detected=")
 	for _, det := range rr.Result.Detected {
 		if det {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"factor/internal/telemetry"
 )
 
 // extractionFingerprint reduces an Extraction to comparable facts.
@@ -161,6 +163,36 @@ func TestTransformAllMatchesSerial(t *testing.T) {
 		got := fp{tr.Netlist.NumGates(), tr.PIs, tr.POs, tr.WorkItems}
 		if got != want[i] {
 			t.Errorf("MUT %q: transform diverges: got %+v want %+v", muts[i], got, want[i])
+		}
+	}
+}
+
+// TestTransformAllTelemetryWorkerInvariance: the deterministic extract
+// and synth counters published during TransformAll are bit-identical
+// for any worker count, including the cache hit/miss split (misses are
+// the distinct-chain-step count, independent of which worker computes
+// a step first).
+func TestTransformAllTelemetryWorkerInvariance(t *testing.T) {
+	muts := []string{"u_mid.u_leaf", "u_mid", "u_mid.u_leaf", "u_mid"}
+	counters := func(workers int) map[string]uint64 {
+		tel := telemetry.New()
+		ctx := telemetry.NewContext(context.Background(), tel)
+		e := NewExtractor(analyzeSmall(t), ModeComposed)
+		if _, err := TransformAll(ctx, e, muts, nil, TransformOptions{EnablePIERs: true}, workers); err != nil {
+			t.Fatal(err)
+		}
+		return tel.Counters()
+	}
+	want := counters(1)
+	if want["extract.work_items"] == 0 || want["synth.gates_after"] == 0 {
+		t.Fatalf("counters not populated: %v", want)
+	}
+	if want["extract.cache_hits"]+want["extract.cache_misses"] == 0 {
+		t.Fatalf("cache counters not populated: %v", want)
+	}
+	for _, w := range []int{2, 8} {
+		if got := counters(w); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: counters diverge:\n got %v\nwant %v", w, got, want)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"factor/internal/factorerr"
 	"factor/internal/netlist"
 	"factor/internal/synth"
+	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
 
@@ -83,16 +84,22 @@ func Transform(e *Extractor, mutPath string, full *netlist.Netlist, opts Transfo
 // traversal polls it (see ExtractContext), and it is checked again
 // between the extract and synthesis steps.
 func TransformContext(ctx context.Context, e *Extractor, mutPath string, full *netlist.Netlist, opts TransformOptions) (*Transformed, error) {
+	tel := telemetry.FromContext(ctx)
+	span := tel.StartSpan("extract").WithTID(telemetry.WorkerIDFromContext(ctx)).WithArg("mut", mutPath)
 	start := time.Now()
 	ex, err := e.ExtractContext(ctx, mutPath)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	src, topName, err := ex.Emit(e.D)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	extractTime := time.Since(start)
+	tel.AddCounter("extract.work_items", uint64(ex.WorkItems))
+	tel.AddCounter("extract.diags", uint64(len(ex.Diags)))
 
 	if ctx != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -100,7 +107,7 @@ func TransformContext(ctx context.Context, e *Extractor, mutPath string, full *n
 		}
 	}
 	start = time.Now()
-	res, err := synth.Synthesize(src, topName, synth.Options{TopParams: opts.TopParams})
+	res, err := synth.SynthesizeContext(ctx, src, topName, synth.Options{TopParams: opts.TopParams})
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesizing transformed module for %s: %w", mutPath, err)
 	}
@@ -124,6 +131,7 @@ func TransformContext(ctx context.Context, e *Extractor, mutPath string, full *n
 		piers := IdentifyPIERs(t.Netlist, opts.PIERMaxDepth)
 		t.Netlist = PIERify(t.Netlist, piers)
 		t.PIERs = piers
+		tel.AddCounter("extract.piers", uint64(len(piers)))
 	}
 
 	prefix := mutPath + "."
@@ -186,12 +194,20 @@ func TransformAll(ctx context.Context, e *Extractor, mutPaths []string, full *ne
 	}
 	out := make([]*Transformed, len(mutPaths))
 	errs := make([]error, len(mutPaths))
-	var next int64
+	tel := telemetry.FromContext(ctx)
+	// Cache effectiveness is an extractor-lifetime quantity, published as
+	// the delta this batch contributed. Both components are deterministic
+	// for any worker count: misses equal the number of distinct chain
+	// steps (each inserted exactly once regardless of which worker gets
+	// there first) and hits equal total lookups minus that.
+	hits0, misses0 := e.CacheHits, e.CacheMisses
+	var next, done int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
+			wctx := telemetry.WithWorkerID(ctx, lane)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(mutPaths) {
@@ -201,12 +217,18 @@ func TransformAll(ctx context.Context, e *Extractor, mutPaths []string, full *ne
 					errs[i] = factorerr.FromContext(factorerr.StageSynth, cerr).WithMUT(mutPaths[i])
 					continue
 				}
-				t, err := safeTransform(ctx, e, mutPaths[i], full, opts)
+				t, err := safeTransform(wctx, e, mutPaths[i], full, opts)
 				out[i], errs[i] = t, wrapMUT(err, factorerr.StageSynth, mutPaths[i])
+				n := atomic.AddInt64(&done, 1)
+				if tel.ProgressEnabled() {
+					tel.Progressf("transform: %d/%d modules done (last: %s)", n, len(mutPaths), mutPaths[i])
+				}
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
+	tel.AddCounter("extract.cache_hits", uint64(e.CacheHits-hits0))
+	tel.AddCounter("extract.cache_misses", uint64(e.CacheMisses-misses0))
 	return out, collectMUT(factorerr.StageSynth, errs, len(mutPaths))
 }
 

@@ -171,6 +171,10 @@ type EventSim struct {
 	// calls.
 	tr           goodTrace
 	batchScratch []Fault
+
+	// stats counts committed work; drained via DrainStats. Plain
+	// fields: the sweep stays allocation- and atomic-free.
+	stats SimStats
 }
 
 // NewEvent builds an event-driven fault simulator for n.
@@ -385,6 +389,7 @@ func (e *EventSim) cycle(good []sim.Logic) uint64 {
 	}
 
 	var det uint64
+	var evals uint64
 	c := e.c
 	for l := 0; l < len(e.bucketLen); l++ {
 		base := c.LevelStart[l]
@@ -393,6 +398,7 @@ func (e *EventSim) cycle(good []sim.Logic) uint64 {
 		// segment is complete before it is scanned.
 		for i := int32(0); i < e.bucketLen[l]; i++ {
 			g := e.bucketBuf[base+i]
+			evals++
 			out := e.evalGate(g, good)
 			if out == splatTab[good[g]] {
 				continue // masked: the cone is pruned here
@@ -431,6 +437,7 @@ func (e *EventSim) cycle(good []sim.Logic) uint64 {
 			}
 		} else if e.flopDiverged[f] {
 			e.flopDiverged[f] = false
+			e.stats.FlopHeals++
 		}
 	}
 	e.flopCand = e.flopCand[:0]
@@ -443,6 +450,8 @@ func (e *EventSim) cycle(good []sim.Logic) uint64 {
 		}
 	}
 	e.divFlops = e.divFlops[:k]
+	e.stats.Events += evals
+	e.stats.Cycles++
 	return det
 }
 
@@ -461,6 +470,7 @@ func (e *EventSim) runLoaded(seq Sequence, tr *goodTrace) uint64 {
 // runBatch loads one batch and simulates seq against it.
 func (e *EventSim) runBatch(batch []Fault, seq Sequence, tr *goodTrace) uint64 {
 	e.load(batch)
+	e.stats.Batches++
 	return e.runLoaded(seq, tr)
 }
 
@@ -501,6 +511,7 @@ func (e *EventSim) RunSequence(res *Result, seq Sequence) int {
 		return 0
 	}
 	e.tr.compute(e.nl, e.c, seq)
+	e.stats.TraceCycles += uint64(len(seq))
 	tr := &e.tr
 	newly := 0
 	for start := 0; start < len(pending); start += 63 {

@@ -73,6 +73,10 @@ type Pool struct {
 	sims []*EventSim
 	tr   goodTrace // good-machine trace scratch, reused across calls
 
+	// stats holds pool-level work counters (shared good-trace cycles);
+	// per-worker engine counters stay on the sims until DrainStats.
+	stats SimStats
+
 	mu   sync.Mutex
 	errs []error
 }
@@ -91,6 +95,22 @@ func NewPool(nl *netlist.Netlist, workers int) *Pool {
 
 // Workers reports the pool size.
 func (p *Pool) Workers() int { return len(p.sims) }
+
+// DrainStats returns the work counters accumulated by the pool and its
+// simulators since the last drain, and resets them. Totals are
+// bit-identical for any pool size: every counted unit of work is a
+// deterministic function of the pending list and sequence, independent
+// of which worker performed it. Call between runs, from the same
+// goroutine that calls RunSequence (whose wg.Wait orders the workers'
+// counter writes before this read).
+func (p *Pool) DrainStats() SimStats {
+	s := p.stats
+	p.stats = SimStats{}
+	for _, es := range p.sims {
+		s.Accumulate(es.DrainStats())
+	}
+	return s
+}
 
 // DrainErrors returns the structured errors recorded by quarantined
 // batches since the last drain, in batch order, and clears them.
@@ -128,6 +148,7 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 		return 0
 	}
 	p.tr.compute(p.nl, p.sims[0].c, seq)
+	p.stats.TraceCycles += uint64(len(seq))
 
 	detected := make([]uint64, nbatches)
 	batchErrs := make([]error, nbatches)
@@ -209,14 +230,19 @@ func (p *Pool) RunSequence(res *Result, seq Sequence) int {
 // report -1 (no random detection — they remain eligible for the
 // deterministic phase) and a structured error is returned. Errors are
 // returned in batch order, so the aggregate is deterministic.
-func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, seqs []Sequence, workers int, deadline time.Time) ([]int, []error) {
+//
+// The returned SimStats aggregate the pass's committed work. On a run
+// that completes (no deadline/cancellation cut) they are bit-identical
+// for any worker count: batch contents and the set of traces computed
+// are functions of (faults, seqs) alone.
+func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, seqs []Sequence, workers int, deadline time.Time) ([]int, SimStats, []error) {
 	first := make([]int, len(faults))
 	for i := range first {
 		first[i] = -1
 	}
 	nbatches := (len(faults) + 62) / 63
 	if nbatches == 0 || len(seqs) == 0 {
-		return first, nil
+		return first, SimStats{}, nil
 	}
 	c := nl.Compile()
 	w := min(ResolveWorkers(workers), nbatches)
@@ -224,20 +250,26 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 
 	// Lazily shared good traces: one per sequence, computed by the
 	// first worker that needs it, never recomputed per batch.
+	var traceCycles atomic.Uint64
 	traces := make([]*goodTrace, len(seqs))
 	onces := make([]sync.Once, len(seqs))
 	getTrace := func(si int) *goodTrace {
-		onces[si].Do(func() { traces[si] = newGoodTrace(nl, c, seqs[si]) })
+		onces[si].Do(func() {
+			traces[si] = newGoodTrace(nl, c, seqs[si])
+			traceCycles.Add(uint64(len(seqs[si])))
+		})
 		return traces[si]
 	}
 
+	workerStats := make([]SimStats, w)
 	var next int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			es := NewEvent(nl)
+			defer func() { workerStats[wi] = es.DrainStats() }()
 			for {
 				b := int(atomic.AddInt64(&next, 1)) - 1
 				if b >= nbatches {
@@ -250,9 +282,15 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 				end := min(start+63, len(faults))
 				batchErrs[b] = safeFirstDetections(ctx, es, faults[start:end], seqs, getTrace, deadline, first[start:end])
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
+
+	var stats SimStats
+	for _, ws := range workerStats {
+		stats.Accumulate(ws)
+	}
+	stats.TraceCycles += traceCycles.Load()
 
 	var errs []error
 	for _, err := range batchErrs {
@@ -260,7 +298,7 @@ func FirstDetections(ctx context.Context, nl *netlist.Netlist, faults []Fault, s
 			errs = append(errs, err)
 		}
 	}
-	return first, errs
+	return first, stats, errs
 }
 
 // safeFirstDetections wraps one batch in the panic-isolation boundary:
@@ -288,6 +326,7 @@ func safeFirstDetections(ctx context.Context, es *EventSim, batch []Fault, seqs 
 // detected, the deadline passes, or the context is canceled.
 func (e *EventSim) firstDetections(ctx context.Context, batch []Fault, seqs []Sequence, getTrace func(int) *goodTrace, deadline time.Time, out []int) {
 	e.load(batch)
+	e.stats.Batches++
 	var remaining uint64
 	for i := range batch {
 		remaining |= 1 << uint(i+1)

@@ -101,7 +101,7 @@ func TestFirstDetectionsMatchesDroppedSim(t *testing.T) {
 			}
 		}
 
-		got, errs := FirstDetections(context.Background(), nl, faults, seqs, 8, time.Time{})
+		got, _, errs := FirstDetections(context.Background(), nl, faults, seqs, 8, time.Time{})
 		if len(errs) != 0 {
 			t.Fatalf("trial %d: unexpected quarantine errors: %v", trial, errs)
 		}
@@ -121,11 +121,18 @@ func TestFirstDetectionsWorkerInvariance(t *testing.T) {
 	for i := range seqs {
 		seqs[i] = randSeqFor(nl, rng, 4)
 	}
-	ref, _ := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	ref, refStats, _ := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
 	for _, w := range []int{2, 4, 8} {
-		if got, _ := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{}); !reflect.DeepEqual(got, ref) {
+		got, stats, _ := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{})
+		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("workers=%d diverges from workers=1", w)
 		}
+		if stats != refStats {
+			t.Fatalf("workers=%d: work counters %+v diverge from workers=1 %+v", w, stats, refStats)
+		}
+	}
+	if refStats.Events == 0 || refStats.Batches == 0 || refStats.TraceCycles == 0 {
+		t.Fatalf("work counters not populated: %+v", refStats)
 	}
 }
 

@@ -107,7 +107,7 @@ func TestFirstDetectionsQuarantinesPanic(t *testing.T) {
 	poison := faults[0].Gate
 	defer hookPanicOnGate(poison)()
 
-	ref, refErrs := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	ref, refStats, refErrs := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
 	if len(refErrs) == 0 {
 		t.Fatal("expected quarantine errors")
 	}
@@ -119,9 +119,12 @@ func TestFirstDetectionsQuarantinesPanic(t *testing.T) {
 		}
 	}
 	for _, w := range []int{2, 4, 8} {
-		got, errs := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{})
+		got, gotStats, errs := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{})
 		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("workers=%d: quarantined first-detections diverge from workers=1", w)
+		}
+		if gotStats != refStats {
+			t.Fatalf("workers=%d: stats %+v diverge from workers=1 %+v (quarantine must stay deterministic)", w, gotStats, refStats)
 		}
 		if len(errs) != len(refErrs) {
 			t.Fatalf("workers=%d: %d errors, want %d", w, len(errs), len(refErrs))

@@ -31,6 +31,20 @@ type ParallelSim struct {
 	stemOne  []uint64         // of those, lanes stuck at 1
 	pinInj   [][]pinInjection // per-gate input-pin injections
 	touched  []int32
+
+	// stats counts simulation work (plain fields, no atomics: a
+	// ParallelSim is single-goroutine). Events counts gate evaluations —
+	// the full netlist per eval, which is exactly what the event-driven
+	// engine's active-cone pruning avoids.
+	stats SimStats
+}
+
+// DrainStats returns the work counters accumulated since the last drain
+// and resets them.
+func (p *ParallelSim) DrainStats() SimStats {
+	s := p.stats
+	p.stats = SimStats{}
+	return s
 }
 
 type pinInjection struct {
@@ -122,6 +136,8 @@ func (p *ParallelSim) eval() {
 		}
 		p.vals[id] = out
 	}
+	p.stats.Events += uint64(len(c.Order))
+	p.stats.Cycles++
 }
 
 func (p *ParallelSim) applyVector(v Vector) {
@@ -176,6 +192,7 @@ func (p *ParallelSim) RunSequence(res *Result, seq Sequence) int {
 // dropping, the batch-parallel pool and cone-grouped batch assembly
 // all pure optimizations.
 func (p *ParallelSim) runBatch(batch []Fault, seq Sequence) uint64 {
+	p.stats.Batches++
 	p.load(batch)
 	p.resetAllX()
 	detectedLanes := uint64(0)

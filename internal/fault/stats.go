@@ -1,0 +1,44 @@
+package fault
+
+// SimStats are the deterministic work counters of the event-driven
+// engine. They count committed simulation work — batches assembled,
+// clock cycles swept, gate evaluations performed, diverged flops
+// healed, and good-trace cycles computed — all of which are functions
+// of (netlist, fault set, sequence set) only, so totals are
+// bit-identical for any worker count.
+//
+// The fields live as plain integers on each EventSim and are summed at
+// drain points; the hot sweep never touches an atomic or allocates.
+type SimStats struct {
+	// Batches is the number of ≤63-lane fault batches simulated.
+	Batches uint64 `json:"batches"`
+	// Cycles is the number of clock cycles swept across all batches.
+	Cycles uint64 `json:"cycles"`
+	// Events is the number of event-driven gate evaluations (worklist
+	// pops) across all sweeps.
+	Events uint64 `json:"events"`
+	// FlopHeals counts diverged flip-flops whose re-captured state
+	// matched the good machine again (the divergence was dropped).
+	FlopHeals uint64 `json:"flop_heals"`
+	// TraceCycles is the number of good-machine cycles simulated for
+	// shared fault-free traces.
+	TraceCycles uint64 `json:"trace_cycles"`
+}
+
+// Accumulate folds o into s.
+func (s *SimStats) Accumulate(o SimStats) {
+	s.Batches += o.Batches
+	s.Cycles += o.Cycles
+	s.Events += o.Events
+	s.FlopHeals += o.FlopHeals
+	s.TraceCycles += o.TraceCycles
+}
+
+// DrainStats returns the counters accumulated since the last drain and
+// resets them. Call only between runs (the engine is single-goroutine;
+// RunSequence/runBatch must not be in flight).
+func (e *EventSim) DrainStats() SimStats {
+	s := e.stats
+	e.stats = SimStats{}
+	return s
+}

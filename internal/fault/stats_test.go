@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPoolDrainStatsWorkerInvariance: the pool's work counters are
+// bit-identical for any worker count, and drain-resets to zero.
+func TestPoolDrainStatsWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	nl := randomCircuit(rng, 5, 150, true)
+	faults := Universe(nl)
+	seqs := make([]Sequence, 4)
+	for i := range seqs {
+		seqs[i] = randSeqFor(nl, rng, 5)
+	}
+
+	run := func(workers int) SimStats {
+		res := NewResult(faults)
+		p := NewPool(nl, workers)
+		for _, seq := range seqs {
+			p.RunSequence(res, seq)
+		}
+		return p.DrainStats()
+	}
+
+	ref := run(1)
+	if ref.Events == 0 || ref.Batches == 0 || ref.Cycles == 0 || ref.TraceCycles == 0 {
+		t.Fatalf("work counters not populated: %+v", ref)
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); got != ref {
+			t.Fatalf("workers=%d: stats %+v diverge from workers=1 %+v", w, got, ref)
+		}
+	}
+
+	// Drain must reset: an immediate second drain reads zero.
+	p := NewPool(nl, 2)
+	res := NewResult(faults)
+	p.RunSequence(res, seqs[0])
+	if s := p.DrainStats(); s == (SimStats{}) {
+		t.Fatal("first drain returned zero stats")
+	}
+	if s := p.DrainStats(); s != (SimStats{}) {
+		t.Fatalf("second drain returned non-zero stats: %+v", s)
+	}
+}
+
+// TestEventSimStatsMatchSerial: a single-sim run and the serial
+// EventSim.RunSequence count the same work for the same inputs.
+func TestEventSimStatsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nl := randomCircuit(rng, 4, 80, true)
+	faults := Universe(nl)
+	seq := randSeqFor(nl, rng, 6)
+
+	es := NewEvent(nl)
+	res := NewResult(faults)
+	es.RunSequence(res, seq)
+	serial := es.DrainStats()
+
+	p := NewPool(nl, 1)
+	res2 := NewResult(faults)
+	p.RunSequence(res2, seq)
+	pooled := p.DrainStats()
+
+	if serial != pooled {
+		t.Fatalf("serial stats %+v != pooled stats %+v", serial, pooled)
+	}
+}

@@ -22,11 +22,13 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"factor/internal/netlist"
+	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
 
@@ -67,7 +69,25 @@ type Result struct {
 // (invariant violations, combinational cycles discovered mid-pass)
 // are converted into returned errors here, so malformed RTL can never
 // crash the process.
-func Synthesize(src *verilog.SourceFile, top string, opts Options) (res *Result, err error) {
+func Synthesize(src *verilog.SourceFile, top string, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), src, top, opts)
+}
+
+// SynthesizeContext is Synthesize with a context carrying an optional
+// telemetry handle: the elaboration is bracketed by a "synth" span and
+// the gate counts before/after optimization and the warning count are
+// recorded as deterministic counters.
+func SynthesizeContext(ctx context.Context, src *verilog.SourceFile, top string, opts Options) (res *Result, err error) {
+	tel := telemetry.FromContext(ctx)
+	span := tel.StartSpan("synth").WithTID(telemetry.WorkerIDFromContext(ctx)).WithArg("top", top)
+	defer span.End()
+	defer func() {
+		if res != nil {
+			tel.AddCounter("synth.gates_before", uint64(res.GatesBeforeOpt))
+			tel.AddCounter("synth.gates_after", uint64(res.Netlist.NumGates()))
+			tel.AddCounter("synth.warnings", uint64(len(res.Warnings)))
+		}
+	}()
 	defer netlist.RecoverInvariant(&err)
 	mod := src.Module(top)
 	if mod == nil {

@@ -1,0 +1,77 @@
+package telemetry
+
+// Live progress heartbeat: rate-limited single-line messages on a
+// writer (normally stderr) so long ATPG runs report MUT/fault/coverage
+// progress and cancellation decisions are informed. The limiter is a
+// single atomic compare-and-swap on the last-emit timestamp, so losing
+// the race (or progress being disabled) costs one atomic load.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+type progress struct {
+	w        io.Writer
+	interval time.Duration
+	last     atomic.Int64 // unix nanos of the last emitted heartbeat
+	enabled  atomic.Bool
+}
+
+// DefaultProgressInterval is the heartbeat rate limit used by the CLIs.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// EnableProgress turns on the heartbeat, writing at most one line per
+// interval to w. An interval of 0 uses DefaultProgressInterval.
+func (t *Telemetry) EnableProgress(w io.Writer, interval time.Duration) {
+	if t == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	t.prog.w = w
+	t.prog.interval = interval
+	t.prog.enabled.Store(true)
+}
+
+// ProgressEnabled reports whether the heartbeat is on.
+func (t *Telemetry) ProgressEnabled() bool {
+	if t == nil {
+		return false
+	}
+	return t.prog.enabled.Load()
+}
+
+// Progressf emits a heartbeat line unless one was emitted within the
+// configured interval. Callers may invoke it per unit of work; almost
+// all calls return after a single atomic load. No-op on a nil handle
+// or when progress is disabled.
+func (t *Telemetry) Progressf(format string, args ...any) {
+	if t == nil || !t.prog.enabled.Load() {
+		return
+	}
+	now := t.clock().UnixNano()
+	last := t.prog.last.Load()
+	if now-last < int64(t.prog.interval) {
+		return
+	}
+	if !t.prog.last.CompareAndSwap(last, now) {
+		return // another goroutine just emitted
+	}
+	fmt.Fprintf(t.prog.w, format+"\n", args...)
+}
+
+// StderrIsTerminal reports whether stderr is attached to a character
+// device; the CLIs use it for -progress auto so redirected runs stay
+// quiet by default.
+func StderrIsTerminal() bool {
+	info, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,326 @@
+// Package telemetry is the pipeline's observability layer. It keeps two
+// strictly separated planes:
+//
+//   - Deterministic counters: monotonic work counters (tokens parsed,
+//     gates synthesized, PODEM backtracks, fault-sim events, ...) whose
+//     final values are bit-identical for any worker count and across a
+//     checkpoint/resume split. Producers must only count work that is
+//     part of the committed result (e.g. at ordered-merge time, never at
+//     speculative-search time); the counters themselves are plain
+//     atomics, so shard contributions may arrive in any order.
+//
+//   - Wall-clock spans: nested stage/MUT/worker timings aggregated into
+//     a per-stage summary and, when tracing is enabled, buffered as
+//     Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+//     Spans are diagnostic only and are never part of the deterministic
+//     contract.
+//
+// The nil *Telemetry is a valid, fully disabled handle: every method is
+// a nil-safe no-op and allocation-free, so instrumented hot loops cost
+// nothing when observability is off.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a single monotonic work counter. The zero value is ready
+// to use; a nil Counter ignores Add and reads as zero.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by n. Safe for concurrent use; no-op on a
+// nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count (zero for a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// spanStat aggregates completed spans that share a name.
+type spanStat struct {
+	count int
+	total time.Duration
+}
+
+// Telemetry is the per-run observability handle. Create one with New,
+// attach it to a context with NewContext, and recover it anywhere in
+// the pipeline with FromContext. A nil handle disables everything.
+type Telemetry struct {
+	start time.Time
+	clock func() time.Time // injectable for deterministic trace tests
+
+	tool string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	stats    map[string]*spanStat
+	events   []traceEvent
+	tracing  bool
+
+	prog progress
+}
+
+// New returns an enabled telemetry handle. Tracing and progress start
+// disabled; counters and span aggregation are always on for a non-nil
+// handle.
+func New() *Telemetry {
+	t := &Telemetry{
+		clock:    time.Now,
+		counters: make(map[string]*Counter),
+		stats:    make(map[string]*spanStat),
+	}
+	t.start = t.clock()
+	return t
+}
+
+// SetTool records the command name; it labels the trace process and the
+// summary header.
+func (t *Telemetry) SetTool(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tool = name
+	t.mu.Unlock()
+}
+
+// Counter returns the named counter, registering it on first use.
+// Returns nil (a valid no-op counter) on a nil handle. Counter names
+// are dotted stage-qualified identifiers, e.g. "atpg.backtracks".
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	c, ok := t.counters[name]
+	if !ok {
+		c = new(Counter)
+		t.counters[name] = c
+	}
+	t.mu.Unlock()
+	return c
+}
+
+// AddCounter is shorthand for Counter(name).Add(n).
+func (t *Telemetry) AddCounter(name string, n uint64) {
+	if t == nil {
+		return
+	}
+	t.Counter(name).Add(n)
+}
+
+// Counters returns a name-sorted snapshot of all registered counters.
+func (t *Telemetry) Counters() map[string]uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make(map[string]uint64, len(t.counters))
+	for name, c := range t.counters {
+		out[name] = c.Value()
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Span is an in-flight wall-clock interval. End completes it. A nil
+// Span (from a nil Telemetry) ignores all calls.
+type Span struct {
+	t     *Telemetry
+	name  string
+	tid   int64
+	args  []spanArg
+	begin time.Time
+}
+
+type spanArg struct{ k, v string }
+
+// StartSpan opens a named span at the current clock reading. Spans may
+// nest freely; nesting in the trace view is derived from containment of
+// [begin, end) intervals on the same tid.
+func (t *Telemetry) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, begin: t.clock()}
+}
+
+// WithTID places the span on a numbered trace thread lane (workers use
+// their worker index + 1; lane 0 is the coordinating goroutine).
+// Returns the span for chaining.
+func (s *Span) WithTID(tid int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tid = int64(tid)
+	return s
+}
+
+// WithArg attaches a key/value argument shown in the trace viewer's
+// detail pane. Returns the span for chaining.
+func (s *Span) WithArg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, spanArg{key, value})
+	return s
+}
+
+// End completes the span: its duration is folded into the per-stage
+// summary and, when tracing is enabled, a complete ("X") trace event is
+// buffered.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	end := t.clock()
+	dur := end.Sub(s.begin)
+	t.mu.Lock()
+	st, ok := t.stats[s.name]
+	if !ok {
+		st = new(spanStat)
+		t.stats[s.name] = st
+	}
+	st.count++
+	st.total += dur
+	if t.tracing {
+		t.events = append(t.events, traceEvent{
+			Name: s.name,
+			Ph:   "X",
+			TS:   s.begin.Sub(t.start).Microseconds(),
+			Dur:  dur.Microseconds(),
+			TID:  s.tid,
+			args: s.args,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Elapsed is the wall time since the handle was created.
+func (t *Telemetry) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock().Sub(t.start)
+}
+
+// Summary renders the per-stage wall-clock table and the deterministic
+// counter values as human-readable text (the -stats output). Rows are
+// name-sorted so the layout is stable.
+func (t *Telemetry) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	tool := t.tool
+	names := make([]string, 0, len(t.stats))
+	for name := range t.stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type row struct {
+		name  string
+		count int
+		total time.Duration
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		st := t.stats[name]
+		rows = append(rows, row{name, st.count, st.total})
+	}
+	cnames := make([]string, 0, len(t.counters))
+	for name := range t.counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	type crow struct {
+		name string
+		val  uint64
+	}
+	crows := make([]crow, 0, len(cnames))
+	for _, name := range cnames {
+		crows = append(crows, crow{name, t.counters[name].Value()})
+	}
+	t.mu.Unlock()
+
+	var b strings.Builder
+	if tool == "" {
+		tool = "run"
+	}
+	fmt.Fprintf(&b, "%s: wall %v\n", tool, t.Elapsed().Round(time.Millisecond))
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "  %-28s %8s %12s\n", "stage", "spans", "total")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-28s %8d %12v\n", r.name, r.count, r.total.Round(time.Microsecond))
+		}
+	}
+	if len(crows) > 0 {
+		b.WriteString("  counters:\n")
+		for _, r := range crows {
+			fmt.Fprintf(&b, "    %-30s %12d\n", r.name, r.val)
+		}
+	}
+	return b.String()
+}
+
+// contextKey is the private context key type for telemetry handles.
+type contextKey struct{}
+
+// NewContext returns a context carrying t. Attaching a nil handle is
+// allowed and equivalent to not attaching one.
+func NewContext(ctx context.Context, t *Telemetry) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, contextKey{}, t)
+}
+
+// FromContext returns the telemetry handle carried by ctx, or nil if
+// none is attached. The nil result is itself a valid disabled handle,
+// so callers never need to branch.
+func FromContext(ctx context.Context) *Telemetry {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(contextKey{}).(*Telemetry)
+	return t
+}
+
+// workerIDKey is the private context key for a worker pool lane number.
+type workerIDKey struct{}
+
+// WithWorkerID returns a context carrying a worker lane number. Spans
+// recorded under it (by instrumentation that calls WorkerIDFromContext)
+// land on that trace thread row, so concurrent per-item work renders as
+// parallel lanes in chrome://tracing instead of one stacked row.
+func WithWorkerID(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, workerIDKey{}, id)
+}
+
+// WorkerIDFromContext returns the worker lane carried by ctx, or 0 (the
+// main thread row) if none is attached.
+func WorkerIDFromContext(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(workerIDKey{}).(int)
+	return id
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterMergeDeterminism drives the same per-shard contributions
+// at the counters from many goroutines in scrambled orders and checks
+// the totals are bit-identical: atomic adds are commutative, so any
+// interleaving must produce the same final value. Run with -race.
+func TestCounterMergeDeterminism(t *testing.T) {
+	const shards = 16
+	const perShard = 1000
+	want := uint64(0)
+	for s := 0; s < shards; s++ {
+		for i := 0; i < perShard; i++ {
+			want += uint64(s*perShard + i)
+		}
+	}
+	for trial := 0; trial < 4; trial++ {
+		tel := New()
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				// Half the shards resolve the counter once, half per
+				// add, exercising lazy registration under contention.
+				if s%2 == 0 {
+					c := tel.Counter("work.items")
+					for i := 0; i < perShard; i++ {
+						c.Add(uint64(s*perShard + i))
+					}
+					return
+				}
+				for i := 0; i < perShard; i++ {
+					tel.AddCounter("work.items", uint64(s*perShard+i))
+				}
+			}(s)
+		}
+		wg.Wait()
+		got := tel.Counter("work.items").Value()
+		if got != want {
+			t.Fatalf("trial %d: counter = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestNilHandleZeroAlloc is the zero-cost-when-disabled guard: every
+// operation an instrumented hot loop can reach through a nil handle
+// must be allocation-free.
+func TestNilHandleZeroAlloc(t *testing.T) {
+	var tel *Telemetry
+	ctx := context.Background()
+	if got := testing.AllocsPerRun(100, func() {
+		h := FromContext(ctx)
+		h.AddCounter("x", 1)
+		h.Counter("x").Add(1)
+		sp := h.StartSpan("stage").WithTID(3).WithArg("k", "v")
+		sp.End()
+		h.Progressf("tick")
+		tel.AddCounter("y", 2)
+		_ = tel.Counters()
+		_ = tel.Summary()
+		_ = tel.Elapsed()
+	}); got != 0 {
+		t.Fatalf("nil-handle operations allocated %v times per run, want 0", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(empty) = %v, want nil", got)
+	}
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatalf("NewContext(ctx, nil) should return ctx unchanged")
+	}
+	tel := New()
+	ctx = NewContext(ctx, tel)
+	if got := FromContext(ctx); got != tel {
+		t.Fatalf("FromContext = %p, want %p", got, tel)
+	}
+}
+
+func TestSummaryLayout(t *testing.T) {
+	tel := newTestTelemetry(time.Millisecond)
+	tel.SetTool("factor")
+	sp := tel.StartSpan("parse")
+	sp.End()
+	sp = tel.StartSpan("synth")
+	sp.End()
+	tel.AddCounter("parse.tokens", 1234)
+	tel.AddCounter("atpg.backtracks", 7)
+	out := tel.Summary()
+	for _, want := range []string{"factor: wall", "parse", "synth", "counters:", "parse.tokens", "1234", "atpg.backtracks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Counters must render name-sorted for a stable layout.
+	if strings.Index(out, "atpg.backtracks") > strings.Index(out, "parse.tokens") {
+		t.Errorf("counters not name-sorted:\n%s", out)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	tel := New()
+	tel.AddCounter("a", 1)
+	tel.AddCounter("b", 2)
+	snap := tel.Counters()
+	if len(snap) != 2 || snap["a"] != 1 || snap["b"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	tel.AddCounter("a", 10)
+	if snap["a"] != 1 {
+		t.Fatalf("snapshot aliases live counter")
+	}
+}
+
+func TestProgressRateLimit(t *testing.T) {
+	var buf syncBuffer
+	tel := newTestTelemetry(time.Millisecond)
+	tel.EnableProgress(&buf, 10*time.Millisecond)
+	// Fake clock advances 1ms per reading: 30 calls span ~30ms, so at a
+	// 10ms interval only ~3 lines may appear.
+	for i := 0; i < 30; i++ {
+		tel.Progressf("tick %d", i)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines == 0 || lines > 4 {
+		t.Fatalf("rate limiter emitted %d lines, want 1..4:\n%s", lines, buf.String())
+	}
+}
+
+func TestProgressDisabledByDefault(t *testing.T) {
+	var buf syncBuffer
+	tel := New()
+	tel.Progressf("should not appear")
+	if tel.ProgressEnabled() {
+		t.Fatal("progress enabled before EnableProgress")
+	}
+	if buf.String() != "" {
+		t.Fatalf("output before enable: %q", buf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder for concurrent tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newTestTelemetry returns a handle on a deterministic fake clock that
+// advances step per reading, starting from a fixed epoch.
+func newTestTelemetry(step time.Duration) *Telemetry {
+	tel := New()
+	base := time.Unix(1000, 0)
+	n := 0
+	tel.clock = func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+	tel.start = base
+	return tel
+}

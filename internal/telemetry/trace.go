@@ -1,0 +1,164 @@
+package telemetry
+
+// Chrome trace-event export: completed spans become complete ("X")
+// events and deterministic counters become a trailing instant event,
+// wrapped in the {"traceEvents": [...]} object form that Perfetto and
+// chrome://tracing load directly. Timestamps are microseconds relative
+// to handle creation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one entry of the trace-event JSON array. Only the
+// fields the viewers need are emitted; args are marshaled from the
+// span's ordered key/value list.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int64  `json:"pid"`
+	TID  int64  `json:"tid"`
+	// Scope is set on instant events ("i"); "p" = process-scoped.
+	Scope string `json:"s,omitempty"`
+	args  []spanArg
+	// rawArgs overrides args for events with non-string values.
+	rawArgs map[string]uint64
+}
+
+// MarshalJSON flattens the span args into the "args" object expected by
+// the trace viewers, preserving numeric counter values.
+func (e traceEvent) MarshalJSON() ([]byte, error) {
+	type alias traceEvent // strip methods to avoid recursion
+	var buf []byte
+	base, err := json.Marshal(alias(e))
+	if err != nil {
+		return nil, err
+	}
+	if len(e.args) == 0 && len(e.rawArgs) == 0 {
+		return base, nil
+	}
+	var argsJSON []byte
+	if len(e.rawArgs) > 0 {
+		argsJSON, err = json.Marshal(e.rawArgs)
+	} else {
+		m := make(map[string]string, len(e.args))
+		for _, a := range e.args {
+			m[a.k] = a.v
+		}
+		argsJSON, err = json.Marshal(m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, base[:len(base)-1]...)
+	buf = append(buf, `,"args":`...)
+	buf = append(buf, argsJSON...)
+	buf = append(buf, '}')
+	return buf, nil
+}
+
+// EnableTrace turns on span buffering for later export via WriteTrace.
+// Call it before the first span of interest ends; spans completed
+// earlier contribute to the summary but not to the trace.
+func (t *Telemetry) EnableTrace() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tracing = true
+	t.mu.Unlock()
+}
+
+// TraceEnabled reports whether span buffering is on.
+func (t *Telemetry) TraceEnabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracing
+}
+
+// WriteTrace emits the buffered spans plus a final counters instant
+// event as Chrome trace-event JSON. Events are sorted by begin time
+// (ties broken longest-first so enclosing spans precede their children)
+// to keep chrome://tracing's nesting inference happy.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	tool := t.tool
+	counters := make(map[string]uint64, len(t.counters))
+	for name, c := range t.counters {
+		counters[name] = c.Value()
+	}
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Dur > events[j].Dur
+	})
+
+	all := make([]traceEvent, 0, len(events)+2)
+	if tool != "" {
+		// Process-name metadata event labels the single pid lane.
+		all = append(all, traceEvent{
+			Name: "process_name", Ph: "M",
+			args: []spanArg{{"name", tool}},
+		})
+	}
+	all = append(all, events...)
+	if len(counters) > 0 {
+		ts := t.Elapsed().Microseconds()
+		all = append(all, traceEvent{
+			Name: "counters", Ph: "i", TS: ts, Scope: "p",
+			rawArgs: counters,
+		})
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	enc, err := json.Marshal(all)
+	if err != nil {
+		return err
+	}
+	// json.Marshal of the slice includes the brackets; strip them so we
+	// can keep the wrapper object literal above.
+	if _, err := w.Write(enc[1 : len(enc)-1]); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteTraceFile writes the trace to path (0644), creating or
+// truncating it.
+func (t *Telemetry) WriteTraceFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create trace: %w", err)
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: close trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTrace replays a fixed nested span scenario on a fake clock:
+// a run span containing parse, then two worker-lane MUT spans whose
+// intervals nest atpg children, plus counters. Every clock reading
+// advances exactly 1ms, so the trace output is byte-deterministic.
+func buildTrace() *Telemetry {
+	tel := newTestTelemetry(time.Millisecond)
+	tel.SetTool("factor")
+	tel.EnableTrace()
+
+	run := tel.StartSpan("run") // t=1ms
+	parse := tel.StartSpan("parse").WithArg("file", "examples/arm2.v")
+	parse.End() // 2ms..3ms
+
+	mut0 := tel.StartSpan("transform").WithTID(1).WithArg("mut", "u_core.u_alu")
+	atpg0 := tel.StartSpan("atpg").WithTID(1)
+	atpg0.End() // 5ms..6ms
+	mut0.End()  // 4ms..7ms
+
+	mut1 := tel.StartSpan("transform").WithTID(2).WithArg("mut", "u_core.u_shift")
+	mut1.End() // 8ms..9ms
+
+	run.End() // 1ms..10ms
+
+	tel.AddCounter("parse.tokens", 4096)
+	tel.AddCounter("atpg.backtracks", 123)
+	return tel
+}
+
+// TestTraceGolden locks the Chrome trace output format: nesting order,
+// sorted event stream, metadata and counter events. Regenerate with
+// go test ./internal/telemetry -run TraceGolden -update.
+func TestTraceGolden(t *testing.T) {
+	tel := buildTrace()
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output differs from golden:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceParsesAndNests decodes the emitted JSON the way a viewer
+// would and checks the structural invariants: the wrapper object form,
+// begin-time-sorted events with parents before children, and children
+// contained in their parent's [ts, ts+dur) interval on the same tid.
+func TestTraceParsesAndNests(t *testing.T) {
+	tel := buildTrace()
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                     `json:"name"`
+			Ph   string                     `json:"ph"`
+			TS   int64                      `json:"ts"`
+			Dur  int64                      `json:"dur"`
+			TID  int64                      `json:"tid"`
+			Args map[string]json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	var lastTS int64 = -1
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+		if ev.Ph == "X" {
+			if ev.TS < lastTS {
+				t.Errorf("event %q at ts=%d out of order (prev %d)", ev.Name, ev.TS, lastTS)
+			}
+			lastTS = ev.TS
+		}
+	}
+	for _, name := range []string{"process_name", "run", "parse", "transform", "atpg", "counters"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing event %q:\n%s", name, buf.String())
+		}
+	}
+	// run must precede and contain parse; transform (tid 1) must
+	// contain atpg (tid 1).
+	run := doc.TraceEvents[byName["run"]]
+	parse := doc.TraceEvents[byName["parse"]]
+	atpg := doc.TraceEvents[byName["atpg"]]
+	if byName["run"] > byName["parse"] {
+		t.Errorf("run event must precede its child parse")
+	}
+	if parse.TS < run.TS || parse.TS+parse.Dur > run.TS+run.Dur {
+		t.Errorf("parse [%d,%d) not contained in run [%d,%d)",
+			parse.TS, parse.TS+parse.Dur, run.TS, run.TS+run.Dur)
+	}
+	// Two transform spans exist (one per worker lane); the one sharing
+	// atpg's tid must contain it.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "transform" || ev.TID != atpg.TID {
+			continue
+		}
+		found = true
+		if atpg.TS < ev.TS || atpg.TS+atpg.Dur > ev.TS+ev.Dur {
+			t.Errorf("atpg [%d,%d) not contained in transform [%d,%d)",
+				atpg.TS, atpg.TS+atpg.Dur, ev.TS, ev.TS+ev.Dur)
+		}
+	}
+	if !found {
+		t.Errorf("no transform span on atpg's tid %d", atpg.TID)
+	}
+	// Counter instant event carries the deterministic plane's values.
+	cnt := doc.TraceEvents[byName["counters"]]
+	if string(cnt.Args["parse.tokens"]) != "4096" {
+		t.Errorf("counters args = %v, want parse.tokens 4096", cnt.Args)
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	tel := buildTrace()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tel.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("trace file is not valid JSON: %s", data)
+	}
+}

@@ -1,8 +1,11 @@
 package verilog
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"factor/internal/telemetry"
 )
 
 // Parser parses Verilog source into an AST. It is a hand-written
@@ -23,10 +26,21 @@ func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
 
 // Parse parses a whole source file.
 func Parse(file, src string) (*SourceFile, error) {
+	return ParseContext(context.Background(), file, src)
+}
+
+// ParseContext is Parse with observability: when ctx carries a
+// telemetry handle it records a "parse" span for the file and the
+// deterministic parse.tokens / parse.modules counters.
+func ParseContext(ctx context.Context, file, src string) (*SourceFile, error) {
+	tel := telemetry.FromContext(ctx)
+	sp := tel.StartSpan("parse").WithArg("file", file)
+	defer sp.End()
 	toks, err := Tokenize(file, src)
 	if err != nil {
 		return nil, err
 	}
+	tel.AddCounter("parse.tokens", uint64(len(toks)))
 	p := &Parser{toks: toks, file: file}
 	sf := &SourceFile{}
 	for !p.atEOF() {
@@ -36,12 +50,19 @@ func Parse(file, src string) (*SourceFile, error) {
 		}
 		sf.Modules = append(sf.Modules, m)
 	}
+	tel.AddCounter("parse.modules", uint64(len(sf.Modules)))
 	return sf, nil
 }
 
 // ParseFiles parses several sources into a single SourceFile, checking
 // for duplicate module names.
 func ParseFiles(sources map[string]string) (*SourceFile, error) {
+	return ParseFilesContext(context.Background(), sources)
+}
+
+// ParseFilesContext is ParseFiles threading the context's telemetry
+// handle into every per-file parse.
+func ParseFilesContext(ctx context.Context, sources map[string]string) (*SourceFile, error) {
 	merged := &SourceFile{}
 	seen := map[string]string{}
 	// Deterministic order.
@@ -51,7 +72,7 @@ func ParseFiles(sources map[string]string) (*SourceFile, error) {
 	}
 	sortStrings(names)
 	for _, name := range names {
-		sf, err := Parse(name, sources[name])
+		sf, err := ParseContext(ctx, name, sources[name])
 		if err != nil {
 			return nil, err
 		}
