@@ -6,10 +6,10 @@
 // Usage:
 //
 //	atpg [-design file.v] [-top module] [-budget 10s] [-frames N]
-//	     [-scope prefix] [-j N] [-compact] [-dump file] [-v]
-//	     [-timeout d] [-checkpoint file] [-checkpoint-every N]
-//	     [-resume file] [-report file.json] [-stats]
-//	     [-trace out.json] [-progress auto|on|off]
+//	     [-guide default|scoap] [-scope prefix] [-j N] [-compact]
+//	     [-dump file] [-v] [-timeout d] [-checkpoint file]
+//	     [-checkpoint-every N] [-resume file] [-report file.json]
+//	     [-stats] [-trace out.json] [-progress auto|on|off]
 //	     [-cpuprofile f] [-memprofile f]
 //
 // Without -design the built-in ARM benchmark SoC is used (-top selects
@@ -56,6 +56,7 @@ func main() {
 	budget := flag.Duration("budget", 10*time.Second, "soft time budget (run completes, unreached faults -> not attempted)")
 	frames := flag.Int("frames", 0, "time-frame budget (0 = derive from sequential depth)")
 	backtracks := flag.Int("backtracks", 0, "PODEM backtrack limit (0 = default)")
+	guideFlag := flag.String("guide", "default", "PODEM backtrace cost model: default or scoap")
 	seed := flag.Int64("seed", 1, "random-phase seed")
 	scope := flag.String("scope", "", "restrict faults to this instance subtree")
 	verbose := flag.Bool("v", false, "list undetected faults")
@@ -70,6 +71,11 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
 	rf := cli.RegisterRunFlags()
 	flag.Parse()
+
+	guide, err := atpg.ParseGuide(*guideFlag)
+	if err != nil {
+		cli.Usagef("atpg", "%v", err)
+	}
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
@@ -117,6 +123,7 @@ func main() {
 		MaxFrames:      *frames,
 		BacktrackLimit: *backtracks,
 		Workers:        *workers,
+		Guide:          guide,
 	}
 	if *checkpoint != "" {
 		ckPath := *checkpoint

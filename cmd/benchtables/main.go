@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtables [-table N] [-width W] [-budget D] [-seed S] [-j N] [-faultsim PATH]
-//	            [-stats] [-trace out.json] [-progress auto|on|off]
+//	            [-scoap PATH] [-stats] [-trace out.json] [-progress auto|on|off]
 //	            [-cpuprofile f] [-memprofile f]
 //
 // -j sets the worker count for parallel constraint extraction and
@@ -17,6 +17,11 @@
 // -faultsim runs the single-core fault-simulation engine ablation
 // (serial vs packed full-evaluation vs event-driven) instead of the
 // tables and writes the rows as JSON to PATH (use - for stdout only).
+//
+// -scoap runs the guided-PODEM ablation (default vs SCOAP backtrace
+// costs, random phase disabled) instead of the tables and writes the
+// rows as JSON to PATH (use - for stdout only). The work counters in
+// the rows are deterministic: reruns reproduce them bit for bit.
 package main
 
 import (
@@ -37,6 +42,7 @@ func main() {
 	frames := flag.Int("frames", 8, "time-frame budget for sequential ATPG")
 	workers := flag.Int("j", 0, "worker goroutines for extraction and ATPG (0 = all CPU cores)")
 	faultsim := flag.String("faultsim", "", "run the fault-simulation engine ablation and write JSON to this path (- for stdout only)")
+	scoap := flag.String("scoap", "", "run the guided-PODEM (default vs SCOAP) ablation and write JSON to this path (- for stdout only)")
 	reps := flag.Int("reps", 3, "repetitions per engine for the -faultsim ablation (fastest pass wins)")
 	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
 	rf := cli.RegisterRunFlags()
@@ -72,6 +78,28 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("\nwrote %s\n", *faultsim)
+		}
+		finish()
+		return
+	}
+
+	if *scoap != "" {
+		sp := tel.StartSpan("scoap-ablation")
+		rows, err := bench.ScoapAblation(*width, *workers)
+		sp.End()
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			tel.AddCounter("scoap.default_backtracks."+r.Module, r.DefaultBacktracks)
+			tel.AddCounter("scoap.guided_backtracks."+r.Module, r.ScoapBacktracks)
+		}
+		fmt.Print(bench.FormatScoap(rows))
+		if *scoap != "-" {
+			if err := bench.WriteScoapJSON(*scoap, rows); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *scoap)
 		}
 		finish()
 		return

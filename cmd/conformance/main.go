@@ -3,9 +3,9 @@
 // expanded into a random Verilog design, pushed through the full
 // FACTOR pipeline (parse -> analyze -> synthesize -> extract/transform
 // -> ATPG -> dual-engine fault-sim replay), and checked against the
-// four conformance invariants (RTL/netlist co-simulation, extraction
+// five conformance invariants (RTL/netlist co-simulation, extraction
 // soundness, detection replay with engine agreement, worker-count and
-// checkpoint/resume determinism).
+// checkpoint/resume determinism, and SCOAP-guided search soundness).
 //
 // Usage:
 //

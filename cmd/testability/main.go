@@ -1,12 +1,20 @@
 // Command testability runs FACTOR's testability analysis for a module
 // under test: constrained (hard-coded) control inputs and empty
-// def-use / use-def chains with signal traces (paper §4.2).
+// def-use / use-def chains with signal traces (paper §4.2), plus —
+// with -scoap — gate-level SCOAP metrics (CC0/CC1/CO and sequential
+// SC0/SC1/SO) of the synthesized MUT, hardest-K net summaries and
+// reconvergent-fanout diagnostics.
 //
 // Usage:
 //
 //	testability -mut <instance.path> [-design file.v] [-top name]
+//	            [-scoap] [-json file] [-k N] [-width W]
 //	            [-timeout d] [-stats] [-trace out.json]
 //	            [-progress auto|on|off] [-cpuprofile f] [-memprofile f]
+//
+// -json writes a machine-readable report combining the def-use
+// analysis with the full per-net SCOAP table ("-" for stdout); -k
+// bounds the hardest-to-control/observe lists (default 10).
 //
 // Exit codes follow the suite-wide taxonomy: 0 success, 1 error,
 // 2 usage, 3 canceled/timed out.
@@ -14,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +32,9 @@ import (
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/synth"
 	"factor/internal/telemetry"
+	"factor/internal/testability"
 	"factor/internal/verilog"
 )
 
@@ -31,6 +42,10 @@ func main() {
 	designFile := flag.String("design", "", "Verilog design file (default: built-in ARM benchmark)")
 	top := flag.String("top", "", "top module (default: first module, or 'arm')")
 	mut := flag.String("mut", "", "hierarchical instance path of the module under test (required)")
+	scoapFlag := flag.Bool("scoap", false, "compute SCOAP testability metrics for the synthesized MUT")
+	jsonOut := flag.String("json", "", "write the combined report as JSON to this file ('-' for stdout; implies -scoap)")
+	topK := flag.Int("k", 10, "number of nets in the hardest-to-control/observe summaries")
+	width := flag.Int("width", 16, "datapath width parameter W for SCOAP synthesis (built-in design)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none)")
 	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
 	rf := cli.RegisterRunFlags()
@@ -71,16 +86,98 @@ func main() {
 	if err != nil {
 		cli.Fatal("testability", err)
 	}
+	var scoapRep *testability.Report
+	if *scoapFlag || *jsonOut != "" {
+		span = tel.StartSpan("scoap").WithArg("module", rep.MUTModule)
+		scoapRep, err = scoapReport(ctx, src, rep.MUTModule, *width, *topK, *jsonOut != "")
+		span.End()
+		if err != nil {
+			cli.Fatal("testability", err)
+		}
+		tel.AddCounter("scoap.forward_sweeps", uint64(scoapRep.ForwardSweeps))
+		tel.AddCounter("scoap.backward_sweeps", uint64(scoapRep.BackwardSweeps))
+		tel.AddCounter("scoap.gate_visits", scoapRep.GateVisits)
+	}
 	if err := finishTel(); err != nil {
 		cli.Warn("testability", err)
 	}
 	if *statsFlag {
 		fmt.Fprint(os.Stderr, tel.Summary())
 	}
-	fmt.Print(rep.Summary())
-	if len(rep.Constraints) == 0 && len(rep.EmptyChains) == 0 {
-		fmt.Println("  no testability bottlenecks found")
+	// With -json - the JSON document owns stdout; the human-readable
+	// report moves to stderr so the output stays machine-parseable.
+	out := os.Stdout
+	if *jsonOut == "-" {
+		out = os.Stderr
 	}
+	fmt.Fprint(out, rep.Summary())
+	if len(rep.Constraints) == 0 && len(rep.EmptyChains) == 0 {
+		fmt.Fprintln(out, "  no testability bottlenecks found")
+	}
+	if scoapRep != nil && *scoapFlag {
+		fmt.Fprint(out, scoapRep.Format())
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, rep, scoapRep); err != nil {
+			cli.Fatal("testability", factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err))
+		}
+	}
+}
+
+// scoapReport synthesizes the MUT module stand-alone and runs the
+// SCOAP engine over its compiled netlist. full additionally includes
+// the complete per-net table (for -json).
+func scoapReport(ctx context.Context, src *verilog.SourceFile, module string, width, k int, full bool) (*testability.Report, error) {
+	params := map[string]int64{}
+	if hasWidthParam(src, module) {
+		params["W"] = int64(width)
+	}
+	res, err := synth.SynthesizeContext(ctx, src, module, synth.Options{TopParams: params})
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodeAnalysis, err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "testability:", w)
+	}
+	c := res.Netlist.Compile()
+	m := testability.Compute(c)
+	stems := testability.ReconvergentStems(c)
+	return testability.BuildReport(res.Netlist, m, stems, k, full), nil
+}
+
+func hasWidthParam(src *verilog.SourceFile, module string) bool {
+	m := src.Module(module)
+	if m == nil {
+		return false
+	}
+	for _, pd := range m.Params() {
+		for _, n := range pd.Names {
+			if n == "W" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// combinedReport is the -json document: the def-use analysis next to
+// the SCOAP metrics.
+type combinedReport struct {
+	Testability *core.TestabilityReport `json:"testability"`
+	SCOAP       *testability.Report     `json:"scoap"`
+}
+
+func writeJSON(path string, rep *core.TestabilityReport, scoapRep *testability.Report) error {
+	doc, err := json.MarshalIndent(combinedReport{Testability: rep, SCOAP: scoapRep}, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(path, doc, 0o644)
 }
 
 func loadDesign(ctx context.Context, file, top string) (*verilog.SourceFile, string, error) {

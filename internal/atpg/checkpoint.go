@@ -169,6 +169,10 @@ func (e *Engine) fingerprint(faults []fault.Fault) string {
 	} else {
 		put(0)
 	}
+	// The guide changes which sequences deterministic search emits, so
+	// a journal is only replayable under the same guide. GuideDefault
+	// hashes as 0, keeping pre-guide fingerprints stable.
+	put(int64(o.Guide))
 
 	put(int64(len(faults)))
 	for _, f := range faults {

@@ -13,6 +13,7 @@ import (
 	"factor/internal/netlist"
 	"factor/internal/sim"
 	"factor/internal/telemetry"
+	"factor/internal/testability"
 )
 
 // Options configures the ATPG flow.
@@ -57,6 +58,12 @@ type Options struct {
 	// options — Workers and TimeBudget are free to differ — and the
 	// final result is bit-identical to the uninterrupted run's.
 	Resume *Checkpoint
+	// Guide selects the backtrace cost model (default: the engine's
+	// original ad-hoc costs; GuideSCOAP: internal/testability metrics).
+	// The guide shapes search order, not outcomes, but it is part of
+	// the checkpoint fingerprint because it changes which sequences
+	// are generated.
+	Guide Guide
 }
 
 func (o Options) withDefaults(nl *netlist.Netlist) Options {
@@ -111,28 +118,40 @@ type Engine struct {
 	opts    Options
 	workers int
 	st      *statics
+	// scoap holds the SCOAP metrics when Options.Guide == GuideSCOAP
+	// (nil otherwise); its sweep counters are published as scoap.*
+	// telemetry by RunContext.
+	scoap *testability.Metrics
 }
 
-// New builds an engine; static testability measures are computed once.
+// New builds an engine; static testability measures are computed once,
+// from the cost model Options.Guide selects.
 func New(nl *netlist.Netlist, opts Options) *Engine {
-	cc0, cc1 := controllability(nl)
 	poSet := make(map[int]bool, len(nl.POs))
 	for _, po := range nl.POs {
 		poSet[po] = true
 	}
-	return &Engine{
+	e := &Engine{
 		nl:      nl,
 		opts:    opts.withDefaults(nl),
 		workers: fault.ResolveWorkers(opts.Workers),
-		st: &statics{
-			order:   nl.TopoOrder(),
-			fanouts: nl.Fanouts(),
-			poSet:   poSet,
-			cc0:     cc0,
-			cc1:     cc1,
-			obs:     observationDistance(nl),
-		},
 	}
+	var cc0, cc1, obs []int
+	if e.opts.Guide == GuideSCOAP {
+		cc0, cc1, obs, e.scoap = scoapStatics(nl)
+	} else {
+		cc0, cc1 = controllability(nl)
+		obs = observationDistance(nl)
+	}
+	e.st = &statics{
+		order:   nl.TopoOrder(),
+		fanouts: nl.Fanouts(),
+		poSet:   poSet,
+		cc0:     cc0,
+		cc1:     cc1,
+		obs:     obs,
+	}
+	return e
 }
 
 // RunResult is the outcome of a full ATPG run.
@@ -244,6 +263,14 @@ func (e *Engine) RunContext(ctx context.Context, faults []fault.Fault) (*RunResu
 	pool := fault.NewPool(e.nl, e.workers)
 	tel := telemetry.FromContext(ctx)
 	defer func() { out.publishTelemetry(tel) }()
+	if e.scoap != nil {
+		// SCOAP sweep work is per-Engine, not per-run: counted once here
+		// so guided runs expose their static-analysis cost alongside the
+		// search counters.
+		tel.AddCounter("scoap.forward_sweeps", uint64(e.scoap.ForwardSweeps))
+		tel.AddCounter("scoap.backward_sweeps", uint64(e.scoap.BackwardSweeps))
+		tel.AddCounter("scoap.gate_visits", e.scoap.GateVisits)
+	}
 
 	deadline := time.Time{}
 	if e.opts.TimeBudget > 0 {

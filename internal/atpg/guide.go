@@ -1,0 +1,85 @@
+package atpg
+
+import (
+	"fmt"
+
+	"factor/internal/netlist"
+	"factor/internal/testability"
+)
+
+// Guide selects the static cost model PODEM's backtrace uses to choose
+// which X-valued input to justify first and which D-frontier gate to
+// drive toward an output. The guide changes only the order in which the
+// complete search explores assignments — never which faults are
+// testable — so for a sufficient backtrack limit every guide detects
+// the same fault set; a better guide just reaches the answer with fewer
+// decisions and backtracks.
+type Guide int
+
+const (
+	// GuideDefault keeps the engine's original ad-hoc costs: a
+	// SCOAP-like controllability fixpoint with a flat sequential
+	// penalty, and plain distance-to-PO observation costs.
+	GuideDefault Guide = iota
+	// GuideSCOAP replaces both planes with the internal/testability
+	// SCOAP metrics: controllability becomes CC weighted by the
+	// sequential plane (CC + seqWeight*SC, saturating), observation
+	// cost becomes CO + seqWeight*SO. Costs remain pure functions of
+	// the netlist, and ties still break by pin order / net ID, so
+	// guided runs stay bit-identical for any worker count and across
+	// checkpoint/resume.
+	GuideSCOAP
+)
+
+// seqWeight folds the sequential SCOAP plane into the combinational
+// one: each flop crossing costs as much as seqWeight logic levels,
+// making "one more clock cycle" decisively more expensive than any
+// plausible combinational detour (mirrors the default guide's flat
+// DFF penalty of 10).
+const seqWeight = 8
+
+func (g Guide) String() string {
+	switch g {
+	case GuideDefault:
+		return "default"
+	case GuideSCOAP:
+		return "scoap"
+	}
+	return fmt.Sprintf("Guide(%d)", int(g))
+}
+
+// ParseGuide converts a -guide flag value.
+func ParseGuide(s string) (Guide, error) {
+	switch s {
+	case "", "default":
+		return GuideDefault, nil
+	case "scoap":
+		return GuideSCOAP, nil
+	}
+	return GuideDefault, fmt.Errorf("atpg: unknown guide %q (want default or scoap)", s)
+}
+
+// scoapStatics builds the PODEM statics cost arrays from the SCOAP
+// metrics. testability.Inf and costInf are the same value, so
+// saturation carries over; the weighted sums saturate rather than
+// exceed costInf.
+func scoapStatics(nl *netlist.Netlist) (cc0, cc1, obs []int, m *testability.Metrics) {
+	m = testability.Compute(nl.Compile())
+	n := len(nl.Gates)
+	cc0 = make([]int, n)
+	cc1 = make([]int, n)
+	obs = make([]int, n)
+	weigh := func(c, s int32) int {
+		v := int(c) + seqWeight*int(s)
+		if v > costInf {
+			return costInf
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		cc0[i] = weigh(m.CC0[i], m.SC0[i])
+		cc1[i] = weigh(m.CC1[i], m.SC1[i])
+		obs[i] = weigh(m.CO[i], m.SO[i])
+	}
+	return cc0, cc1, obs, m
+}

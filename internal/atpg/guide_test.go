@@ -1,0 +1,202 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"factor/internal/fault"
+	"factor/internal/netlist"
+)
+
+func TestParseGuide(t *testing.T) {
+	for s, want := range map[string]Guide{"": GuideDefault, "default": GuideDefault, "scoap": GuideSCOAP} {
+		got, err := ParseGuide(s)
+		if err != nil || got != want {
+			t.Errorf("ParseGuide(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseGuide("bogus"); err == nil {
+		t.Error("ParseGuide(bogus) succeeded, want error")
+	}
+	if GuideDefault.String() != "default" || GuideSCOAP.String() != "scoap" {
+		t.Errorf("Guide.String() = %q/%q", GuideDefault, GuideSCOAP)
+	}
+}
+
+// guideCircuits are the shared corpus for the guided-search property
+// tests: the classic c17-ish combinational core, a flop chain, and two
+// random sequential circuits.
+func guideCircuits() []*netlist.Netlist {
+	rng := rand.New(rand.NewSource(7))
+	return []*netlist.Netlist{
+		buildC17ish(),
+		buildShiftChain(),
+		randomSeqCircuit(rng, 5, 120),
+		randomSeqCircuit(rng, 6, 180),
+	}
+}
+
+// buildLoadableCounter is a 3-bit binary counter with parallel load:
+// enough sequential structure (carry chain, mux loads, state feedback)
+// for guided search to matter, yet every fault's search completes well
+// under the test's backtrack limit.
+func buildLoadableCounter() *netlist.Netlist {
+	n := netlist.New("counter3")
+	load := n.AddInput("load")
+	en := n.AddInput("en")
+	d := []int{n.AddInput("d0"), n.AddInput("d1"), n.AddInput("d2")}
+	var flops [3]int
+	for i := range flops {
+		flops[i] = n.AddGate(netlist.DFF, d[i]) // placeholder D, rewired below
+	}
+	carry := en
+	for i := 0; i < 3; i++ {
+		tog := n.AddGate(netlist.Xor, flops[i], carry)
+		next := n.AddGate(netlist.Mux, load, tog, d[i])
+		n.SetFanin(flops[i], 0, next)
+		if i < 2 {
+			carry = n.AddGate(netlist.And, carry, flops[i])
+		}
+		n.AddOutput("q"+string(rune('0'+i)), flops[i])
+	}
+	return n
+}
+
+// TestGuidedDetectsSameFaultSet is the guided-ATPG soundness property:
+// the guide only reorders the complete search, so with a backtrack
+// limit high enough that nothing aborts, guided and unguided runs
+// classify every fault identically (the generated sequences may
+// differ). Random sequential circuits are excluded here — they carry
+// genuinely hard faults that abort under any practical limit, which
+// voids the premise; the conformance harness covers that corpus with
+// an abort-gated variant of the same check.
+func TestGuidedDetectsSameFaultSet(t *testing.T) {
+	for ci, nl := range []*netlist.Netlist{buildC17ish(), buildShiftChain(), buildLoadableCounter()} {
+		faults := fault.Universe(nl)
+		base := Options{Seed: 5, MaxFrames: 4, BacktrackLimit: 4096, RandomSequences: 8, Workers: 2}
+
+		def := New(nl, base).Run(faults)
+		guided := base
+		guided.Guide = GuideSCOAP
+		sc := New(nl, guided).Run(faults)
+
+		if def.AbortedNum != 0 || sc.AbortedNum != 0 {
+			t.Fatalf("circuit %d: aborts present (default %d, scoap %d): raise BacktrackLimit, the property needs complete searches",
+				ci, def.AbortedNum, sc.AbortedNum)
+		}
+		if !reflect.DeepEqual(def.Result.Detected, sc.Result.Detected) {
+			t.Errorf("circuit %d: guided and unguided detected sets differ", ci)
+		}
+		if def.UntestableNum != sc.UntestableNum {
+			t.Errorf("circuit %d: untestable counts differ: default %d, scoap %d",
+				ci, def.UntestableNum, sc.UntestableNum)
+		}
+	}
+}
+
+// TestMuxSelectFaultTerminates is the regression test for a PODEM
+// livelock: on a mux select-pin fault, backtrace could follow the
+// good-machine select to a primary input that was already assigned
+// (the X-ness living only in the faulty machine), and run() would
+// re-assign it forever without consuming backtrack budget. The search
+// must terminate without any deadline for every fault of the loadable
+// counter, under both guides.
+func TestMuxSelectFaultTerminates(t *testing.T) {
+	nl := buildLoadableCounter()
+	faults := fault.Universe(nl)
+	done := make(chan *RunResult, 2)
+	for _, gd := range []Guide{GuideDefault, GuideSCOAP} {
+		go func(gd Guide) {
+			o := Options{Seed: 5, MaxFrames: 4, BacktrackLimit: 4096, RandomSequences: 8, Workers: 2, Guide: gd}
+			done <- New(nl, o).Run(faults)
+		}(gd)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			if r.AbortedNum != 0 {
+				t.Errorf("run %d: %d aborts on the counter, want complete searches", i, r.AbortedNum)
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatal("ATPG run did not terminate: select-pin livelock is back")
+		}
+	}
+}
+
+// TestGuidedWorkerInvariance extends the engine's core determinism
+// contract to guided search: for any worker count the guided run is
+// bit-identical to the single-worker guided run.
+func TestGuidedWorkerInvariance(t *testing.T) {
+	for ci, nl := range guideCircuits() {
+		faults := fault.Universe(nl)
+		base := Options{Seed: 5, MaxFrames: 4, BacktrackLimit: 64, RandomSequences: 8, Guide: GuideSCOAP}
+
+		o1 := base
+		o1.Workers = 1
+		ref := New(nl, o1).Run(faults)
+		for _, w := range []int{2, 8} {
+			ow := base
+			ow.Workers = w
+			got := New(nl, ow).Run(faults)
+			runsEqual(t, "guided "+formatName(ci, w), ref, got)
+		}
+	}
+}
+
+// TestGuideFingerprint: the guide shapes which sequences are journaled,
+// so checkpoints taken under different guides must not cross-validate;
+// and GuideDefault must hash exactly like the pre-guide engine so old
+// journals stay resumable.
+func TestGuideFingerprint(t *testing.T) {
+	nl := buildC17ish()
+	faults := fault.Universe(nl)
+	base := Options{Seed: 5, MaxFrames: 2, BacktrackLimit: 64, RandomSequences: 4}
+	guided := base
+	guided.Guide = GuideSCOAP
+
+	fpDef := New(nl, base).fingerprint(faults)
+	fpSc := New(nl, guided).fingerprint(faults)
+	if fpDef == fpSc {
+		t.Error("default and scoap fingerprints collide; resume would replay under the wrong guide")
+	}
+	if again := New(nl, guided).fingerprint(faults); again != fpSc {
+		t.Errorf("guided fingerprint unstable: %s vs %s", fpSc, again)
+	}
+}
+
+// TestGuidedCheckpointResume: a guided run interrupted at a checkpoint
+// resumes (under a different worker count) to a result bit-identical to
+// the uninterrupted guided run.
+func TestGuidedCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nl := randomSeqCircuit(rng, 5, 120)
+	faults := fault.Universe(nl)
+	base := Options{Seed: 5, MaxFrames: 3, BacktrackLimit: 64, RandomSequences: 4, Guide: GuideSCOAP, Workers: 2}
+
+	ref := New(nl, base).Run(faults)
+
+	var snap *Checkpoint
+	capture := base
+	capture.CheckpointEvery = 8
+	capture.Checkpoint = func(ck *Checkpoint) error {
+		if snap == nil && ck.Merged >= 8 && ck.Merged < len(faults) {
+			snap = ck
+		}
+		return nil
+	}
+	New(nl, capture).Run(faults)
+	if snap == nil {
+		t.Fatal("no mid-run checkpoint captured")
+	}
+
+	resume := base
+	resume.Workers = 3
+	resume.Resume = snap
+	got, err := New(nl, resume).RunContext(nil, faults)
+	if err != nil {
+		t.Fatalf("guided resume failed: %v", err)
+	}
+	runsEqual(t, "guided resume", ref, got)
+}

@@ -9,6 +9,15 @@
 // sequence must justify state through the primary inputs — exactly the
 // discipline that makes deeply embedded modules expensive to test and
 // that FACTOR's transformed modules (with PIERs) relieve.
+//
+// The backtrace cost model is pluggable (Options.Guide): the default
+// is a fast distance-based estimate; GuideSCOAP substitutes the SCOAP
+// testability metrics from internal/testability, which account for
+// side-input sensitization. Either guide only re-ranks the complete
+// search — with no aborted searches the per-fault classification is
+// identical — and both preserve the engine's determinism contract
+// (bit-identical results for any worker count and across
+// checkpoint/resume; the guide is part of the checkpoint fingerprint).
 package atpg
 
 import (
@@ -412,6 +421,17 @@ func (p *podem) backtrace(obj line, val sim.Logic) (line, sim.Logic, bool) {
 		g := p.nl.Gates[cur.g]
 		switch g.Kind {
 		case netlist.Input:
+			// The descent keeps to X lines in the composite view, but a
+			// line can be X with its good value fully justified (the X
+			// living only in the faulty machine — e.g. behind the faulted
+			// select of a mux), so the walk can surface at an input that
+			// is already assigned. Re-assigning it would change nothing
+			// and the search would repeat this exact backtrace forever;
+			// fail instead so the caller tries the next objective or
+			// backtracks.
+			if p.assigned[cur.t][cur.g] != sim.LX {
+				return line{}, sim.LX, false
+			}
 			return cur, val, true
 		case netlist.Const0, netlist.Const1:
 			return line{}, sim.LX, false

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/atpg"
+	"factor/internal/fault"
+)
+
+// ScoapRow is one design of the guided-PODEM ablation: the same fault
+// universe pushed through the deterministic phase twice — once with the
+// default distance-based backtrace costs, once with the SCOAP metrics
+// from internal/testability — with the random phase disabled so every
+// fault exercises the search. Backtracks and decisions are the engine's
+// deterministic work counters (identical for any worker count); the
+// timing columns are diagnostic only.
+type ScoapRow struct {
+	Module string `json:"module"`
+	Gates  int    `json:"gates"`
+	Faults int    `json:"faults"`
+	Frames int    `json:"frames"`
+	Limit  int    `json:"backtrack_limit"`
+
+	DefaultDetected   int    `json:"default_detected"`
+	DefaultUntestable int    `json:"default_untestable"`
+	DefaultAborted    int    `json:"default_aborted"`
+	DefaultDecisions  uint64 `json:"default_decisions"`
+	DefaultBacktracks uint64 `json:"default_backtracks"`
+
+	ScoapDetected   int    `json:"scoap_detected"`
+	ScoapUntestable int    `json:"scoap_untestable"`
+	ScoapAborted    int    `json:"scoap_aborted"`
+	ScoapDecisions  uint64 `json:"scoap_decisions"`
+	ScoapBacktracks uint64 `json:"scoap_backtracks"`
+
+	// BacktrackDeltaPct is the backtrack reduction of the guided run
+	// relative to the default run (positive = fewer backtracks).
+	BacktrackDeltaPct float64 `json:"backtrack_delta_pct"`
+
+	DefaultSec float64 `json:"default_sec"`
+	ScoapSec   float64 `json:"scoap_sec"`
+}
+
+// ScoapModules are the stand-alone seed designs the ablation runs on.
+// regfile_struct is deliberately absent: its deterministic phase takes
+// minutes per run and the SCOAP guide is cost-neutral there, so it adds
+// wall-clock without adding signal. The whole ablation over this list
+// finishes in a few seconds, which keeps it runnable in CI.
+var ScoapModules = []string{"arm_alu", "exc", "forward"}
+
+// Fixed search budget for the ablation. Frames is kept small and the
+// backtrack limit high enough that the interesting design (forward)
+// completes every search under both guides — with zero aborts the
+// detected/untestable splits must agree and the backtrack column is a
+// pure measure of search-ordering quality.
+const (
+	scoapFrames = 4
+	scoapLimit  = 500
+)
+
+// ScoapAblation runs the default-vs-SCOAP guided PODEM comparison on
+// the seed designs. The work counters are deterministic, so unlike the
+// timing ablation there is no repetition/min-of-N machinery; reruns
+// reproduce the table bit for bit.
+func ScoapAblation(width, workers int) ([]ScoapRow, error) {
+	var rows []ScoapRow
+	for _, module := range ScoapModules {
+		res, err := arm.SynthesizeModule(module, width)
+		if err != nil {
+			return nil, err
+		}
+		nl := res.Netlist
+		faults := fault.Universe(nl)
+		base := atpg.Options{
+			Seed:               1,
+			MaxFrames:          scoapFrames,
+			BacktrackLimit:     scoapLimit,
+			DisableRandomPhase: true,
+			Workers:            workers,
+		}
+
+		start := time.Now()
+		def := atpg.New(nl, base).Run(faults)
+		defSec := time.Since(start).Seconds()
+
+		guided := base
+		guided.Guide = atpg.GuideSCOAP
+		start = time.Now()
+		sc := atpg.New(nl, guided).Run(faults)
+		scSec := time.Since(start).Seconds()
+
+		if len(def.Errors) > 0 || len(sc.Errors) > 0 {
+			return nil, fmt.Errorf("scoap ablation: worker errors on %s", module)
+		}
+
+		delta := 0.0
+		if def.Stats.Backtracks > 0 {
+			delta = 100 * (float64(def.Stats.Backtracks) - float64(sc.Stats.Backtracks)) / float64(def.Stats.Backtracks)
+		}
+		rows = append(rows, ScoapRow{
+			Module: module,
+			Gates:  nl.NumGates(),
+			Faults: len(faults),
+			Frames: scoapFrames,
+			Limit:  scoapLimit,
+
+			DefaultDetected:   def.Result.NumDetected(),
+			DefaultUntestable: def.UntestableNum,
+			DefaultAborted:    def.AbortedNum,
+			DefaultDecisions:  def.Stats.Decisions,
+			DefaultBacktracks: def.Stats.Backtracks,
+
+			ScoapDetected:   sc.Result.NumDetected(),
+			ScoapUntestable: sc.UntestableNum,
+			ScoapAborted:    sc.AbortedNum,
+			ScoapDecisions:  sc.Stats.Decisions,
+			ScoapBacktracks: sc.Stats.Backtracks,
+
+			BacktrackDeltaPct: delta,
+
+			DefaultSec: defSec,
+			ScoapSec:   scSec,
+		})
+	}
+	return rows, nil
+}
+
+// WriteScoapJSON writes the ablation rows as indented JSON to path.
+func WriteScoapJSON(path string, rows []ScoapRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatScoap renders the ablation rows as a table. BtΔ% is the
+// backtrack reduction of the guided run (positive = guided searches
+// backtrack less).
+func FormatScoap(rows []ScoapRow) string {
+	var sb strings.Builder
+	sb.WriteString("Guided-PODEM ablation (random phase disabled)\n")
+	fmt.Fprintf(&sb, "%-16s %7s %7s %10s %10s %7s %10s %10s %7s %7s\n",
+		"Module", "Gates", "Faults", "Def-det", "Def-bt", "Def-ab", "Scoap-det", "Scoap-bt", "Sc-ab", "BtΔ%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %7d %7d %10d %10d %7d %10d %10d %7d %+6.2f%%\n",
+			r.Module, r.Gates, r.Faults,
+			r.DefaultDetected, r.DefaultBacktracks, r.DefaultAborted,
+			r.ScoapDetected, r.ScoapBacktracks, r.ScoapAborted,
+			r.BacktrackDeltaPct)
+	}
+	return sb.String()
+}

@@ -15,6 +15,11 @@
 //	    and the two engines agree fault by fault.
 //	I4 (determinism):           ATPG results are bit-identical across
 //	    worker counts and across checkpoint/resume.
+//	I5 (guided soundness):      the SCOAP metrics over the compiled
+//	    netlist are deterministic, and — whenever neither run aborts
+//	    any search — SCOAP-guided ATPG classifies every fault exactly
+//	    like the default guide (the guide reorders the complete
+//	    search, it must not change its outcome).
 //
 // Invariant 0 is the pipeline front end itself: every generated design
 // must parse, analyze and synthesize. A failing seed is minimized by
@@ -26,6 +31,7 @@ import (
 	"hash/fnv"
 	"math/bits"
 	"math/rand"
+	"reflect"
 	"strings"
 
 	"factor/internal/atpg"
@@ -36,6 +42,7 @@ import (
 	"factor/internal/netlist"
 	"factor/internal/sim"
 	"factor/internal/synth"
+	"factor/internal/testability"
 	"factor/internal/verilog"
 )
 
@@ -94,6 +101,8 @@ const (
 	CodeEngines   = "engines"
 	CodeWorkers   = "workers"
 	CodeResume    = "resume"
+	CodeScoap     = "scoap"
+	CodeGuide     = "guide"
 )
 
 // Violation is one invariant failure.
@@ -348,6 +357,37 @@ func CheckSource(text string, seed int64, opts Options) *Report {
 			rep.violate(4, CodeResume, "resume failed: %v", err)
 		} else if rr := renderRun(tr.Netlist, resumed); rr != baseRender {
 			rep.violate(4, CodeResume, "resumed result differs from baseline:\n%s", firstDiff(baseRender, rr))
+		}
+	}
+
+	// I5a: SCOAP metrics over the compiled netlist are a pure function
+	// of the structure — two computations must agree exactly.
+	compiled := tr.Netlist.Compile()
+	m1 := testability.Compute(compiled)
+	m2 := testability.Compute(compiled)
+	if !reflect.DeepEqual(m1, m2) {
+		rep.violate(5, CodeScoap, "SCOAP metrics differ between two computations on the same netlist")
+	}
+
+	// I5b: the SCOAP guide only reorders PODEM's complete search, so
+	// when no search aborts under either guide the per-fault
+	// classification must be identical (the generated sequences may
+	// differ). Aborts void the premise — an incomplete search's outcome
+	// legitimately depends on visit order — so the check is gated.
+	guidedOpts := aopts
+	guidedOpts.Guide = atpg.GuideSCOAP
+	guided := atpg.New(tr.Netlist, guidedOpts).Run(faults)
+	if base.AbortedNum == 0 && guided.AbortedNum == 0 {
+		for i := range faults {
+			if base.Result.Detected[i] != guided.Result.Detected[i] {
+				rep.violate(5, CodeGuide, "fault %v: default detected=%v, scoap detected=%v with zero aborts",
+					faults[i], base.Result.Detected[i], guided.Result.Detected[i])
+				break
+			}
+		}
+		if base.UntestableNum != guided.UntestableNum {
+			rep.violate(5, CodeGuide, "untestable counts differ with zero aborts: default %d, scoap %d",
+				base.UntestableNum, guided.UntestableNum)
 		}
 	}
 	return rep

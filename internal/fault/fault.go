@@ -1,8 +1,10 @@
 // Package fault implements the single-stuck-at fault model over the
 // gate-level netlist IR: fault universe construction, structural
-// equivalence collapsing, and sequential fault simulation (both a
-// serial reference implementation and a 63-fault-per-pass parallel
-// machine built on the packed 3-valued simulator).
+// equivalence collapsing, and sequential fault simulation — a serial
+// reference implementation, a 63-fault-per-pass parallel machine
+// built on the packed 3-valued simulator, and an event-driven engine
+// on the compiled CSR netlist view that simulates the good machine
+// once and re-evaluates only the diverged cone of each fault batch.
 package fault
 
 import (

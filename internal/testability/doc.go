@@ -1,0 +1,31 @@
+// Package testability implements SCOAP testability analysis over the
+// gate-level netlist IR (Goldstein's Sandia Controllability /
+// Observability Analysis Program, adapted to the FACTOR cell library).
+//
+// For every net the package computes six metrics:
+//
+//   - CC0/CC1 — combinational 0/1-controllability: a lower bound on
+//     the number of line assignments needed to set the net to 0/1,
+//     growing by 1 per logic level.
+//   - CO — combinational observability: the assignments needed to
+//     sensitize a path from the net to a primary output.
+//   - SC0/SC1/SO — the sequential variants, which count only clock
+//     cycles (flop crossings): a net that is cheap combinationally but
+//     buried behind three flip-flops has SC ≈ 3.
+//
+// Compute evaluates all six planes with monotone fixed-point sweeps in
+// combinational level order over the netlist.Compiled CSR view — one
+// sweep settles purely combinational designs exactly, and sequential
+// feedback through DFFs iterates to convergence. ReconvergentStems
+// flags fanout stems whose branches meet again, the structural
+// situation where SCOAP's independence assumption is optimistic.
+// BuildReport shapes the results for cmd/testability's -scoap/-json
+// output.
+//
+// The ATPG engine consumes the same metrics as a backtrace cost
+// function: atpg.Options.Guide == atpg.GuideSCOAP replaces PODEM's
+// ad-hoc distance costs with CC/CO (+SC/SO-weighted), steering
+// justification toward cheaper inputs. All metrics are pure functions
+// of netlist structure, so guided search remains bit-identical across
+// worker counts and resume (see DESIGN.md §12).
+package testability

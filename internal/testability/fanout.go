@@ -1,0 +1,97 @@
+package testability
+
+import "factor/internal/netlist"
+
+// Stem describes one reconvergent fanout stem: a net with two or more
+// fanout branches whose combinational cones meet again downstream.
+// Reconvergence is the structural condition under which SCOAP's
+// independence assumption breaks (the same stem value feeds a gate
+// along two paths, so the per-pin justification costs are correlated)
+// and under which single-path sensitization in PODEM can require
+// multiple-path reasoning. The detector reports stems so consumers can
+// annotate suspicious metrics rather than silently trust them.
+type Stem struct {
+	// Stem is the gate ID of the fanout stem.
+	Stem int32 `json:"stem"`
+	// Branches is the stem's fanout degree (duplicate reader pins
+	// count separately, matching FanoutList).
+	Branches int `json:"branches"`
+	// MeetPoints counts the gates where a later-explored branch cone
+	// first touches an earlier branch's cone.
+	MeetPoints int `json:"meet_points"`
+	// First is the lowest gate ID among the meet points.
+	First int32 `json:"first"`
+}
+
+// ReconvergentStems finds every reconvergent fanout stem in the
+// combinational logic of a compiled netlist, using a stamp walk over
+// FanoutRefs: for each stem with fanout degree >= 2, each branch's
+// combinational fanout cone is traversed once (flop boundaries —
+// FanoutRef.Level < 0 — end the cone), gates are stamped with the
+// branch that first reached them, and a gate reached again from a
+// different branch is a meet point. A gate fed twice by the same stem
+// (e.g. both pins of an XOR) is reported as trivially reconvergent.
+//
+// Each stem's walk visits every cone edge at most once, so the total
+// cost is O(sum of stem cone sizes). The walk order is fixed (stems by
+// ascending ID, branches in FanoutList order, depth-first by pin
+// order), so the output is deterministic for a given netlist.
+func ReconvergentStems(c *netlist.Compiled) []Stem {
+	const (
+		unvisited = -1 // relative to the current stamp
+		counted   = -2 // meet point already recorded for this stem
+	)
+	epoch := make([]int32, c.NumGates)
+	branch := make([]int32, c.NumGates)
+	for i := range epoch {
+		epoch[i] = unvisited
+	}
+	var (
+		out   []Stem
+		stamp int32
+		stack []int32
+	)
+	for id := 0; id < c.NumGates; id++ {
+		deg := int(c.FanoutStart[id+1] - c.FanoutStart[id])
+		if deg < 2 {
+			continue
+		}
+		stamp++
+		meets, first := 0, int32(-1)
+		refs := c.FanoutRefs[c.FanoutStart[id]:c.FanoutStart[id+1]]
+		for b, ref := range refs {
+			if ref.Level < 0 {
+				continue // DFF reader: the cone ends at the flop boundary
+			}
+			stack = append(stack[:0], ref.ID)
+			for len(stack) > 0 {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if epoch[g] == stamp {
+					// Already in some branch's cone: a different branch
+					// means reconvergence; either way the cone beyond g
+					// has been expanded, so stop here.
+					if branch[g] != int32(b) && branch[g] != counted {
+						meets++
+						branch[g] = counted
+						if first < 0 || g < first {
+							first = g
+						}
+					}
+					continue
+				}
+				epoch[g] = stamp
+				branch[g] = int32(b)
+				for _, fo := range c.FanoutRefs[c.FanoutStart[g]:c.FanoutStart[g+1]] {
+					if fo.Level >= 0 {
+						stack = append(stack, fo.ID)
+					}
+				}
+			}
+		}
+		if meets > 0 {
+			out = append(out, Stem{Stem: int32(id), Branches: deg, MeetPoints: meets, First: first})
+		}
+	}
+	return out
+}

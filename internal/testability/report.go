@@ -1,0 +1,180 @@
+package testability
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factor/internal/netlist"
+)
+
+// Net is the full SCOAP row of one net (the net driven by gate ID).
+// Inf-valued metrics render as "inf" in the text report and as the
+// literal Inf constant in JSON.
+type Net struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind"`
+	CC0  int32  `json:"cc0"`
+	CC1  int32  `json:"cc1"`
+	CO   int32  `json:"co"`
+	SC0  int32  `json:"sc0"`
+	SC1  int32  `json:"sc1"`
+	SO   int32  `json:"so"`
+}
+
+// Report is the SCOAP summary of one netlist, shaped for both the
+// text rendering (Format) and `cmd/testability -json`.
+type Report struct {
+	Design string `json:"design"`
+	Gates  int    `json:"gates"`
+	Levels int    `json:"levels"`
+
+	ForwardSweeps  int    `json:"forward_sweeps"`
+	BackwardSweeps int    `json:"backward_sweeps"`
+	GateVisits     uint64 `json:"gate_visits"`
+
+	// HardestControl ranks the K nets with the highest max(CC0, CC1)
+	// (constants and primary inputs excluded — their difficulty is
+	// definitional, not structural). HardestObserve ranks by CO.
+	// Ties break by ascending net ID, so the lists are deterministic.
+	HardestControl []Net `json:"hardest_control"`
+	HardestObserve []Net `json:"hardest_observe"`
+
+	// Stems lists the reconvergent fanout stems (see ReconvergentStems).
+	Stems []Stem `json:"reconvergent_stems,omitempty"`
+
+	// Nets is the full per-net dump, present only when requested.
+	Nets []Net `json:"nets,omitempty"`
+}
+
+// netRow materializes the Net row for gate id, naming it when the
+// netlist labels it (ports, named signals).
+func netRow(nl *netlist.Netlist, m *Metrics, id int) Net {
+	return Net{
+		ID:   id,
+		Name: nl.Gates[id].Name,
+		Kind: netlist.GateKind(nl.Gates[id].Kind).String(),
+		CC0:  m.CC0[id], CC1: m.CC1[id], CO: m.CO[id],
+		SC0: m.SC0[id], SC1: m.SC1[id], SO: m.SO[id],
+	}
+}
+
+// BuildReport assembles the SCOAP report for a netlist: metrics must
+// come from Compute on nl.Compile(), stems from ReconvergentStems (nil
+// to omit). k bounds the hardest-K lists; full additionally includes
+// the complete per-net table.
+func BuildReport(nl *netlist.Netlist, m *Metrics, stems []Stem, k int, full bool) *Report {
+	n := len(nl.Gates)
+	r := &Report{
+		Design: nl.Name,
+		Gates:  nl.NumGates(),
+		Levels: nl.Compile().NumLevels,
+
+		ForwardSweeps:  m.ForwardSweeps,
+		BackwardSweeps: m.BackwardSweeps,
+		GateVisits:     m.GateVisits,
+		Stems:          stems,
+	}
+	ctrl := make([]int, 0, n)
+	obs := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		switch netlist.GateKind(nl.Gates[id].Kind) {
+		case netlist.Const0, netlist.Const1:
+			continue
+		case netlist.Input:
+			// Inputs are free to control but still rank for observation.
+			obs = append(obs, id)
+			continue
+		}
+		ctrl = append(ctrl, id)
+		obs = append(obs, id)
+	}
+	ctrlKey := func(id int) int32 {
+		if m.CC0[id] > m.CC1[id] {
+			return m.CC0[id]
+		}
+		return m.CC1[id]
+	}
+	sort.SliceStable(ctrl, func(i, j int) bool {
+		a, b := ctrl[i], ctrl[j]
+		ka, kb := ctrlKey(a), ctrlKey(b)
+		if ka != kb {
+			return ka > kb
+		}
+		return a < b
+	})
+	sort.SliceStable(obs, func(i, j int) bool {
+		a, b := obs[i], obs[j]
+		if m.CO[a] != m.CO[b] {
+			return m.CO[a] > m.CO[b]
+		}
+		return a < b
+	})
+	if k > len(ctrl) {
+		k = len(ctrl)
+	}
+	for _, id := range ctrl[:k] {
+		r.HardestControl = append(r.HardestControl, netRow(nl, m, id))
+	}
+	ko := k
+	if ko > len(obs) {
+		ko = len(obs)
+	}
+	for _, id := range obs[:ko] {
+		r.HardestObserve = append(r.HardestObserve, netRow(nl, m, id))
+	}
+	if full {
+		for id := 0; id < n; id++ {
+			r.Nets = append(r.Nets, netRow(nl, m, id))
+		}
+	}
+	return r
+}
+
+// fmtCost renders a metric, abbreviating the saturated value.
+func fmtCost(v int32) string {
+	if v >= Inf {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func writeRows(sb *strings.Builder, rows []Net) {
+	for _, n := range rows {
+		label := n.Kind
+		if n.Name != "" {
+			label = fmt.Sprintf("%s %q", n.Kind, n.Name)
+		}
+		fmt.Fprintf(sb, "    net %d (%s): cc0=%s cc1=%s co=%s sc0=%s sc1=%s so=%s\n",
+			n.ID, label,
+			fmtCost(n.CC0), fmtCost(n.CC1), fmtCost(n.CO),
+			fmtCost(n.SC0), fmtCost(n.SC1), fmtCost(n.SO))
+	}
+}
+
+// Format renders the report as the human-readable block printed by
+// `cmd/testability -scoap`.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SCOAP testability for %s: %d gates, %d levels (%d forward / %d backward sweeps, %d gate visits)\n",
+		r.Design, r.Gates, r.Levels, r.ForwardSweeps, r.BackwardSweeps, r.GateVisits)
+	if len(r.HardestControl) > 0 {
+		fmt.Fprintf(&sb, "  hardest to control (by max(cc0,cc1)):\n")
+		writeRows(&sb, r.HardestControl)
+	}
+	if len(r.HardestObserve) > 0 {
+		fmt.Fprintf(&sb, "  hardest to observe (by co):\n")
+		writeRows(&sb, r.HardestObserve)
+	}
+	if len(r.Stems) > 0 {
+		fmt.Fprintf(&sb, "  reconvergent fanout: %d stems\n", len(r.Stems))
+		for _, s := range r.Stems {
+			fmt.Fprintf(&sb, "    stem %d: %d branches, %d meet points (first at net %d)\n",
+				s.Stem, s.Branches, s.MeetPoints, s.First)
+		}
+	} else {
+		fmt.Fprintf(&sb, "  reconvergent fanout: none\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,282 @@
+package testability
+
+import "factor/internal/netlist"
+
+// Inf is the saturating "practically uncontrollable / unobservable"
+// cost. It deliberately equals the ATPG engine's internal cost
+// infinity, so SCOAP metrics can be handed to PODEM's backtrace
+// without rescaling. Saturating adds keep every sum strictly below
+// int32 overflow.
+const Inf int32 = 1 << 28
+
+// Metrics holds the SCOAP testability measures of one compiled
+// netlist, indexed by gate ID (every gate drives exactly one net, so
+// gate metrics and net metrics coincide):
+//
+//   - CC0/CC1: combinational 0/1-controllability — the number of
+//     line assignments needed to justify the value, +1 per gate level
+//     and per flop crossing (Inf when unjustifiable, e.g. CC1 of a
+//     constant 0).
+//   - CO: combinational observability — line assignments needed to
+//     propagate the net to a primary output.
+//   - SC0/SC1/SO: the sequential counterparts, counting only flop
+//     crossings (time frames), +0 through combinational gates.
+//
+// All six planes are computed by Compute in one pass structure:
+// value-monotone sweeps in combinational level order, iterated until
+// the flop-boundary feedback converges. The work counters
+// (ForwardSweeps, BackwardSweeps, GateVisits) are deterministic for a
+// given netlist and are published as scoap.* telemetry counters by the
+// consumers.
+type Metrics struct {
+	CC0, CC1 []int32
+	CO       []int32
+	SC0, SC1 []int32
+	SO       []int32
+
+	// ForwardSweeps and BackwardSweeps count the level-ordered
+	// fixed-point sweeps the controllability and observability planes
+	// needed to converge across flop boundaries (1 each for purely
+	// combinational designs).
+	ForwardSweeps  int
+	BackwardSweeps int
+	// GateVisits counts gate evaluations across all sweeps of both
+	// directions — the sweep-work counter.
+	GateVisits uint64
+}
+
+// sadd is a saturating add: any sum reaching Inf stays exactly Inf, so
+// chained adds cannot overflow and "unreachable" stays absorbing.
+func sadd(a, b int32) int32 {
+	s := a + b
+	if s >= Inf {
+		return Inf
+	}
+	return s
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// levelOrder returns the gate IDs sorted by (combinational level, gate
+// ID): a counting sort against the LevelStart partition. Within a
+// level the order is ascending by ID, which is what makes every sweep
+// — and therefore every metric and every tie-break derived from them —
+// deterministic.
+func levelOrder(c *netlist.Compiled) []int32 {
+	order := make([]int32, c.NumGates)
+	next := append([]int32(nil), c.LevelStart[:c.NumLevels]...)
+	for id := 0; id < c.NumGates; id++ {
+		l := c.Level[id]
+		order[next[l]] = int32(id)
+		next[l]++
+	}
+	return order
+}
+
+// Compute derives the SCOAP metrics for a compiled netlist.
+//
+// Controllability is a forward fixed-point: one sweep over the gates
+// in level order computes every combinational gate exactly once from
+// finalized fanins; DFF outputs (level 0) read their D fanin from the
+// previous sweep, so the sweep repeats until no flop output improves —
+// state feedback (counters, FSMs) relaxes to its fixed point because
+// costs start at Inf and only ever decrease. Observability mirrors the
+// scheme backwards: POs start at 0, each reverse-level sweep pushes
+// observation costs from readers into their fanin pins, and sweeps
+// repeat until the flop D-input edges converge.
+//
+// The result depends only on the netlist structure. Compute performs
+// no allocation besides the result and is safe for concurrent use on
+// the shared read-only Compiled view.
+func Compute(c *netlist.Compiled) *Metrics {
+	n := c.NumGates
+	m := &Metrics{
+		CC0: make([]int32, n), CC1: make([]int32, n),
+		SC0: make([]int32, n), SC1: make([]int32, n),
+		CO: make([]int32, n), SO: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i] = Inf, Inf
+		m.SC0[i], m.SC1[i] = Inf, Inf
+	}
+	order := levelOrder(c)
+
+	// Forward plane: controllability.
+	for {
+		m.ForwardSweeps++
+		changed := false
+		for _, id := range order {
+			m.GateVisits++
+			v0, v1, s0, s1 := m.controllability(c, id)
+			if v0 < m.CC0[id] {
+				m.CC0[id] = v0
+				changed = true
+			}
+			if v1 < m.CC1[id] {
+				m.CC1[id] = v1
+				changed = true
+			}
+			if s0 < m.SC0[id] {
+				m.SC0[id] = s0
+				changed = true
+			}
+			if s1 < m.SC1[id] {
+				m.SC1[id] = s1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Backward plane: observability. PO drivers are observed for free;
+	// every other net must propagate through some reader.
+	for i := 0; i < n; i++ {
+		if c.IsPO[i] {
+			m.CO[i], m.SO[i] = 0, 0
+		} else {
+			m.CO[i], m.SO[i] = Inf, Inf
+		}
+	}
+	for {
+		m.BackwardSweeps++
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			r := order[i]
+			m.GateVisits++
+			if m.observeThrough(c, r) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m
+}
+
+// controllability evaluates the SCOAP controllability of one gate from
+// its fanins' current values. Combinational formulas add one level of
+// depth (+1); sequential formulas count flop crossings only (+1 at the
+// DFF, +0 through combinational gates).
+func (m *Metrics) controllability(c *netlist.Compiled, id int32) (v0, v1, s0, s1 int32) {
+	fi := c.Fanins(int(id))
+	switch netlist.GateKind(c.Kind[id]) {
+	case netlist.Input:
+		return 1, 1, 0, 0
+	case netlist.Const0:
+		return 0, Inf, 0, Inf
+	case netlist.Const1:
+		return Inf, 0, Inf, 0
+	case netlist.Buf:
+		a := fi[0]
+		return sadd(m.CC0[a], 1), sadd(m.CC1[a], 1), m.SC0[a], m.SC1[a]
+	case netlist.Not:
+		a := fi[0]
+		return sadd(m.CC1[a], 1), sadd(m.CC0[a], 1), m.SC1[a], m.SC0[a]
+	case netlist.And, netlist.Nand:
+		a, b := fi[0], fi[1]
+		v1 = sadd(sadd(m.CC1[a], m.CC1[b]), 1)
+		v0 = sadd(min32(m.CC0[a], m.CC0[b]), 1)
+		s1 = sadd(m.SC1[a], m.SC1[b])
+		s0 = min32(m.SC0[a], m.SC0[b])
+		if netlist.GateKind(c.Kind[id]) == netlist.Nand {
+			v0, v1 = v1, v0
+			s0, s1 = s1, s0
+		}
+		return v0, v1, s0, s1
+	case netlist.Or, netlist.Nor:
+		a, b := fi[0], fi[1]
+		v0 = sadd(sadd(m.CC0[a], m.CC0[b]), 1)
+		v1 = sadd(min32(m.CC1[a], m.CC1[b]), 1)
+		s0 = sadd(m.SC0[a], m.SC0[b])
+		s1 = min32(m.SC1[a], m.SC1[b])
+		if netlist.GateKind(c.Kind[id]) == netlist.Nor {
+			v0, v1 = v1, v0
+			s0, s1 = s1, s0
+		}
+		return v0, v1, s0, s1
+	case netlist.Xor, netlist.Xnor:
+		a, b := fi[0], fi[1]
+		same := min32(sadd(m.CC0[a], m.CC0[b]), sadd(m.CC1[a], m.CC1[b]))
+		diff := min32(sadd(m.CC0[a], m.CC1[b]), sadd(m.CC1[a], m.CC0[b]))
+		sSame := min32(sadd(m.SC0[a], m.SC0[b]), sadd(m.SC1[a], m.SC1[b]))
+		sDiff := min32(sadd(m.SC0[a], m.SC1[b]), sadd(m.SC1[a], m.SC0[b]))
+		v0, v1 = sadd(same, 1), sadd(diff, 1)
+		s0, s1 = sSame, sDiff
+		if netlist.GateKind(c.Kind[id]) == netlist.Xnor {
+			v0, v1 = v1, v0
+			s0, s1 = s1, s0
+		}
+		return v0, v1, s0, s1
+	case netlist.Mux:
+		s, d0, d1 := fi[0], fi[1], fi[2]
+		v0 = sadd(min32(sadd(m.CC0[s], m.CC0[d0]), sadd(m.CC1[s], m.CC0[d1])), 1)
+		v1 = sadd(min32(sadd(m.CC0[s], m.CC1[d0]), sadd(m.CC1[s], m.CC1[d1])), 1)
+		s0 = min32(sadd(m.SC0[s], m.SC0[d0]), sadd(m.SC1[s], m.SC0[d1]))
+		s1 = min32(sadd(m.SC0[s], m.SC1[d0]), sadd(m.SC1[s], m.SC1[d1]))
+		return v0, v1, s0, s1
+	case netlist.DFF:
+		d := fi[0]
+		return sadd(m.CC0[d], 1), sadd(m.CC1[d], 1), sadd(m.SC0[d], 1), sadd(m.SC1[d], 1)
+	}
+	return Inf, Inf, Inf, Inf
+}
+
+// observeThrough propagates reader r's observability into each of its
+// fanin pins, min-assigning CO/SO of the driving nets. Returns whether
+// anything improved. The side-input costs are the controllability of
+// the non-controlling values needed to sensitize the pin (classic
+// SCOAP), which is exactly what distinguishes CO from a plain
+// distance-to-PO metric.
+func (m *Metrics) observeThrough(c *netlist.Compiled, r int32) bool {
+	fi := c.Fanins(int(r))
+	improve := func(g, co, so int32) bool {
+		ch := false
+		if co < m.CO[g] {
+			m.CO[g] = co
+			ch = true
+		}
+		if so < m.SO[g] {
+			m.SO[g] = so
+			ch = true
+		}
+		return ch
+	}
+	switch netlist.GateKind(c.Kind[r]) {
+	case netlist.Input, netlist.Const0, netlist.Const1:
+		return false
+	case netlist.Buf, netlist.Not:
+		return improve(fi[0], sadd(m.CO[r], 1), m.SO[r])
+	case netlist.DFF:
+		return improve(fi[0], sadd(m.CO[r], 1), sadd(m.SO[r], 1))
+	case netlist.And, netlist.Nand:
+		a, b := fi[0], fi[1]
+		ch := improve(a, sadd(sadd(m.CO[r], m.CC1[b]), 1), sadd(m.SO[r], m.SC1[b]))
+		return improve(b, sadd(sadd(m.CO[r], m.CC1[a]), 1), sadd(m.SO[r], m.SC1[a])) || ch
+	case netlist.Or, netlist.Nor:
+		a, b := fi[0], fi[1]
+		ch := improve(a, sadd(sadd(m.CO[r], m.CC0[b]), 1), sadd(m.SO[r], m.SC0[b]))
+		return improve(b, sadd(sadd(m.CO[r], m.CC0[a]), 1), sadd(m.SO[r], m.SC0[a])) || ch
+	case netlist.Xor, netlist.Xnor:
+		a, b := fi[0], fi[1]
+		ch := improve(a, sadd(sadd(m.CO[r], min32(m.CC0[b], m.CC1[b])), 1), sadd(m.SO[r], min32(m.SC0[b], m.SC1[b])))
+		return improve(b, sadd(sadd(m.CO[r], min32(m.CC0[a], m.CC1[a])), 1), sadd(m.SO[r], min32(m.SC0[a], m.SC1[a]))) || ch
+	case netlist.Mux:
+		s, d0, d1 := fi[0], fi[1], fi[2]
+		// Select: the data inputs must differ for the select to matter.
+		selCC := min32(sadd(m.CC0[d0], m.CC1[d1]), sadd(m.CC1[d0], m.CC0[d1]))
+		selSC := min32(sadd(m.SC0[d0], m.SC1[d1]), sadd(m.SC1[d0], m.SC0[d1]))
+		ch := improve(s, sadd(sadd(m.CO[r], selCC), 1), sadd(m.SO[r], selSC))
+		// Data pins: steer the select to the pin.
+		ch = improve(d0, sadd(sadd(m.CO[r], m.CC0[s]), 1), sadd(m.SO[r], m.SC0[s])) || ch
+		return improve(d1, sadd(sadd(m.CO[r], m.CC1[s]), 1), sadd(m.SO[r], m.SC1[s])) || ch
+	}
+	return false
+}

@@ -1,0 +1,324 @@
+package testability
+
+import (
+	"reflect"
+	"testing"
+
+	"factor/internal/netlist"
+)
+
+// TestScoapAndGate checks the canonical SCOAP values of a single AND
+// gate, hand-computed: CC1 = CC1(a)+CC1(b)+1 = 3, CC0 = min+1 = 2,
+// CO(a) = CO(y)+CC1(b)+1 = 2.
+func TestScoapAndGate(t *testing.T) {
+	nl := netlist.New("and2")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	y := nl.AddGate(netlist.And, a, b)
+	nl.AddOutput("y", y)
+
+	m := Compute(nl.Compile())
+	wantCC := map[string][3]int32{ // id -> {cc0, cc1}
+		"a": {1, 1}, "b": {1, 1}, "y": {2, 3},
+	}
+	for name, id := range map[string]int{"a": a, "b": b, "y": y} {
+		if m.CC0[id] != wantCC[name][0] || m.CC1[id] != wantCC[name][1] {
+			t.Errorf("%s: cc0/cc1 = %d/%d, want %d/%d", name, m.CC0[id], m.CC1[id], wantCC[name][0], wantCC[name][1])
+		}
+		if m.SC0[id] != 0 || m.SC1[id] != 0 {
+			t.Errorf("%s: sequential controllability %d/%d, want 0/0 (combinational design)", name, m.SC0[id], m.SC1[id])
+		}
+	}
+	if m.CO[y] != 0 || m.SO[y] != 0 {
+		t.Errorf("y: co/so = %d/%d, want 0/0 (primary output)", m.CO[y], m.SO[y])
+	}
+	if m.CO[a] != 2 || m.CO[b] != 2 {
+		t.Errorf("co(a)/co(b) = %d/%d, want 2/2", m.CO[a], m.CO[b])
+	}
+	if m.ForwardSweeps != 2 || m.BackwardSweeps != 2 {
+		t.Errorf("sweeps = %d/%d, want 2/2 (one effective + one settling)", m.ForwardSweeps, m.BackwardSweeps)
+	}
+}
+
+// TestScoapGateFormulas pins the per-kind formulas on one two-level
+// netlist: y = or(nand(a,b), xor(b,c)).
+func TestScoapGateFormulas(t *testing.T) {
+	nl := netlist.New("mixed")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	nd := nl.AddGate(netlist.Nand, a, b) // CC0 = 1+1+1 = 3, CC1 = min+1 = 2
+	x := nl.AddGate(netlist.Xor, b, c)   // CC0 = min(1+1,1+1)+1 = 3, CC1 = 3
+	y := nl.AddGate(netlist.Or, nd, x)   // CC0 = 3+3+1 = 7, CC1 = min(2,3)+1 = 3
+	nl.AddOutput("y", y)
+
+	m := Compute(nl.Compile())
+	checks := []struct {
+		name     string
+		id       int
+		cc0, cc1 int32
+	}{
+		{"nand", nd, 3, 2},
+		{"xor", x, 3, 3},
+		{"or", y, 7, 3},
+	}
+	for _, ck := range checks {
+		if m.CC0[ck.id] != ck.cc0 || m.CC1[ck.id] != ck.cc1 {
+			t.Errorf("%s: cc0/cc1 = %d/%d, want %d/%d", ck.name, m.CC0[ck.id], m.CC1[ck.id], ck.cc0, ck.cc1)
+		}
+	}
+	// Observability: CO(nand) = CO(y)+CC0(xor)+1 = 4;
+	// CO(xor) = CO(y)+CC0(nand)+1 = 4;
+	// CO(a) = CO(nand)+CC1(b)+1 = 6;
+	// CO(c) = CO(xor)+min(CC0(b),CC1(b))+1 = 6;
+	// CO(b) = min(through nand = 6, through xor = CO(xor)+min(cc(c))+1 = 6) = 6.
+	for name, want := range map[int]int32{nd: 4, x: 4, a: 6, b: 6, c: 6} {
+		if m.CO[name] != want {
+			t.Errorf("co(net %d) = %d, want %d", name, m.CO[name], want)
+		}
+	}
+}
+
+// TestScoapConstants checks that constants are free to control at their
+// value and saturated (Inf) at the other, and that saturation is
+// absorbing through downstream gates.
+func TestScoapConstants(t *testing.T) {
+	nl := netlist.New("consts")
+	c0 := nl.AddGate(netlist.Const0)
+	a := nl.AddInput("a")
+	y := nl.AddGate(netlist.And, c0, a) // stuck at 0: CC1 must saturate
+	nl.AddOutput("y", y)
+
+	m := Compute(nl.Compile())
+	if m.CC0[c0] != 0 || m.CC1[c0] != Inf {
+		t.Errorf("const0: cc0/cc1 = %d/%d, want 0/Inf", m.CC0[c0], m.CC1[c0])
+	}
+	if m.CC1[y] != Inf {
+		t.Errorf("and(const0, a): cc1 = %d, want Inf (unjustifiable)", m.CC1[y])
+	}
+	if m.CC0[y] != 1 {
+		t.Errorf("and(const0, a): cc0 = %d, want 1 (side pin already 0)", m.CC0[y])
+	}
+	// a is observable only through the blocked AND: CO(a) = CO(y)+CC1(c0)+1 = Inf.
+	if m.CO[a] != Inf {
+		t.Errorf("co(a) = %d, want Inf (path blocked by const0)", m.CO[a])
+	}
+}
+
+// TestScoapMux pins the three-pin mux formulas: controllability steers
+// the cheaper (select, data) pair and observability sensitizes each
+// data pin by steering the select.
+func TestScoapMux(t *testing.T) {
+	nl := netlist.New("mux")
+	s := nl.AddInput("s")
+	d0 := nl.AddInput("d0")
+	d1 := nl.AddInput("d1")
+	y := nl.AddGate(netlist.Mux, s, d0, d1)
+	nl.AddOutput("y", y)
+
+	m := Compute(nl.Compile())
+	// CC0(y) = min(CC0(s)+CC0(d0), CC1(s)+CC0(d1))+1 = min(2,2)+1 = 3.
+	if m.CC0[y] != 3 || m.CC1[y] != 3 {
+		t.Errorf("mux: cc0/cc1 = %d/%d, want 3/3", m.CC0[y], m.CC1[y])
+	}
+	// CO(d0) = CO(y)+CC0(s)+1 = 2; CO(d1) = CO(y)+CC1(s)+1 = 2;
+	// CO(s) = CO(y)+min(CC0(d0)+CC1(d1), CC1(d0)+CC0(d1))+1 = 3.
+	if m.CO[d0] != 2 || m.CO[d1] != 2 || m.CO[s] != 3 {
+		t.Errorf("mux co(d0,d1,s) = %d/%d/%d, want 2/2/3", m.CO[d0], m.CO[d1], m.CO[s])
+	}
+}
+
+// TestScoapSequential hand-computes a mux-hold register (q holds
+// unless sel loads d): sequential metrics count only the flop
+// crossing, and the flop feedback converges in a bounded number of
+// sweeps.
+func TestScoapSequential(t *testing.T) {
+	nl := netlist.New("hold")
+	sel := nl.AddInput("sel")
+	d := nl.AddInput("d")
+	f := nl.AddGate(netlist.DFF, d) // placeholder D, rewired below
+	mx := nl.AddGate(netlist.Mux, sel, f, d)
+	nl.SetFanin(f, 0, mx)
+	nl.AddOutput("q", f)
+
+	m := Compute(nl.Compile())
+	// Load path: CC0(mux) = CC1(sel)+CC0(d)+1 = 3 (the hold path via
+	// the uninitialized flop starts at Inf and never beats it).
+	if m.CC0[mx] != 3 || m.CC1[mx] != 3 {
+		t.Errorf("mux: cc0/cc1 = %d/%d, want 3/3", m.CC0[mx], m.CC1[mx])
+	}
+	if m.CC0[f] != 4 || m.CC1[f] != 4 {
+		t.Errorf("flop: cc0/cc1 = %d/%d, want 4/4", m.CC0[f], m.CC1[f])
+	}
+	// Sequential plane: one cycle to load the flop, zero extra depth
+	// for the combinational mux.
+	if m.SC0[mx] != 0 || m.SC1[mx] != 0 {
+		t.Errorf("mux: sc0/sc1 = %d/%d, want 0/0", m.SC0[mx], m.SC1[mx])
+	}
+	if m.SC0[f] != 1 || m.SC1[f] != 1 {
+		t.Errorf("flop: sc0/sc1 = %d/%d, want 1/1", m.SC0[f], m.SC1[f])
+	}
+	// Observability: q is a PO; d observes by loading (CO = CO(mux
+	// D-edge)+CC1(sel)+1 = 3, one cycle).
+	if m.CO[f] != 0 || m.SO[f] != 0 {
+		t.Errorf("flop: co/so = %d/%d, want 0/0", m.CO[f], m.SO[f])
+	}
+	if m.CO[mx] != 1 || m.SO[mx] != 1 {
+		t.Errorf("mux: co/so = %d/%d, want 1/1", m.CO[mx], m.SO[mx])
+	}
+	if m.CO[d] != 3 || m.SO[d] != 1 {
+		t.Errorf("d: co/so = %d/%d, want 3/1", m.CO[d], m.SO[d])
+	}
+	if m.CO[sel] != 7 || m.SO[sel] != 2 {
+		t.Errorf("sel: co/so = %d/%d, want 7/2", m.CO[sel], m.SO[sel])
+	}
+	if m.ForwardSweeps != 3 || m.BackwardSweeps != 3 {
+		t.Errorf("sweeps = %d/%d, want 3/3 (flop feedback takes one extra round)", m.ForwardSweeps, m.BackwardSweeps)
+	}
+}
+
+// TestScoapFreeRunningToggle: a toggle flop with no load path has no
+// justifiable state, and the fixed point must converge to Inf rather
+// than oscillate or grow without bound.
+func TestScoapFreeRunningToggle(t *testing.T) {
+	nl := netlist.New("toggle")
+	c0 := nl.AddGate(netlist.Const0)
+	f := nl.AddGate(netlist.DFF, c0) // placeholder, rewired to the inverter
+	inv := nl.AddGate(netlist.Not, f)
+	nl.SetFanin(f, 0, inv)
+	nl.AddOutput("q", f)
+
+	m := Compute(nl.Compile())
+	for _, id := range []int{f, inv} {
+		if m.CC0[id] != Inf || m.CC1[id] != Inf {
+			t.Errorf("net %d: cc0/cc1 = %d/%d, want Inf/Inf", id, m.CC0[id], m.CC1[id])
+		}
+	}
+	if m.ForwardSweeps > 4 {
+		t.Errorf("forward sweeps = %d, want bounded small count", m.ForwardSweeps)
+	}
+}
+
+// TestReconvergentStems: y = xor(a, not(a)) reconverges at the xor;
+// the stem is a with two branches meeting at one gate.
+func TestReconvergentStems(t *testing.T) {
+	nl := netlist.New("recon")
+	a := nl.AddInput("a")
+	inv := nl.AddGate(netlist.Not, a)
+	x := nl.AddGate(netlist.Xor, a, inv)
+	nl.AddOutput("y", x)
+
+	stems := ReconvergentStems(nl.Compile())
+	want := []Stem{{Stem: int32(a), Branches: 2, MeetPoints: 1, First: int32(x)}}
+	if !reflect.DeepEqual(stems, want) {
+		t.Errorf("stems = %+v, want %+v", stems, want)
+	}
+}
+
+// TestReconvergentStemsFanoutFree: a fanout-free chain has no stems,
+// and a stem whose branches stay disjoint does not reconverge.
+func TestReconvergentStemsFanoutFree(t *testing.T) {
+	nl := netlist.New("tree")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	n1 := nl.AddGate(netlist.Not, a)
+	n2 := nl.AddGate(netlist.Not, b)
+	nl.AddOutput("y1", n1)
+	nl.AddOutput("y2", n2)
+	if stems := ReconvergentStems(nl.Compile()); len(stems) != 0 {
+		t.Errorf("fanout-free: stems = %+v, want none", stems)
+	}
+
+	// A 2-branch stem with disjoint cones.
+	nl2 := netlist.New("disjoint")
+	s := nl2.AddInput("s")
+	u := nl2.AddGate(netlist.Not, s)
+	v := nl2.AddGate(netlist.Buf, s)
+	nl2.AddOutput("u", u)
+	nl2.AddOutput("v", v)
+	if stems := ReconvergentStems(nl2.Compile()); len(stems) != 0 {
+		t.Errorf("disjoint branches: stems = %+v, want none", stems)
+	}
+}
+
+// TestReconvergentStemsFlopBoundary: the cone walk must stop at DFFs —
+// branches that only meet beyond a flop are not combinationally
+// reconvergent.
+func TestReconvergentStemsFlopBoundary(t *testing.T) {
+	nl := netlist.New("seqrecon")
+	a := nl.AddInput("a")
+	inv := nl.AddGate(netlist.Not, a)
+	f := nl.AddGate(netlist.DFF, inv)
+	// a and the flopped not(a) meet at the and — but the stem walk for
+	// a must not cross the flop, so only the direct double-pin use of a
+	// via the flop branch is invisible.
+	y := nl.AddGate(netlist.And, a, f)
+	nl.AddOutput("y", y)
+
+	stems := ReconvergentStems(nl.Compile())
+	if len(stems) != 0 {
+		t.Errorf("stems = %+v, want none (meet is behind a flop)", stems)
+	}
+}
+
+// TestScoapDeterminism: two computations over the same compiled
+// netlist are deeply equal — the sweeps have no iteration-order or
+// allocation sensitivity.
+func TestScoapDeterminism(t *testing.T) {
+	nl := netlist.New("det")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	f := nl.AddGate(netlist.DFF, a)
+	m1 := nl.AddGate(netlist.Mux, a, b, f)
+	x := nl.AddGate(netlist.Xor, m1, c)
+	nl.SetFanin(f, 0, x)
+	nl.AddOutput("y", x)
+
+	cc := nl.Compile()
+	got1, got2 := Compute(cc), Compute(cc)
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatalf("repeated Compute differs:\n%+v\n%+v", got1, got2)
+	}
+	if !reflect.DeepEqual(ReconvergentStems(cc), ReconvergentStems(cc)) {
+		t.Fatalf("repeated ReconvergentStems differs")
+	}
+}
+
+// TestBuildReportRanking checks the hardest-K selection: deterministic
+// ordering, constants excluded, inputs excluded from the control list
+// but present in the observe list.
+func TestBuildReportRanking(t *testing.T) {
+	nl := netlist.New("rank")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	g1 := nl.AddGate(netlist.And, a, b)  // cc1 = 3
+	g2 := nl.AddGate(netlist.And, g1, a) // cc1 = 5: hardest
+	nl.AddOutput("y", g2)
+
+	m := Compute(nl.Compile())
+	r := BuildReport(nl, m, ReconvergentStems(nl.Compile()), 2, false)
+	if len(r.HardestControl) != 2 || r.HardestControl[0].ID != g2 || r.HardestControl[1].ID != g1 {
+		t.Errorf("hardest control = %+v, want [g2, g1]", r.HardestControl)
+	}
+	for _, n := range r.HardestControl {
+		if n.Kind == "input" || n.Kind == "const0" || n.Kind == "const1" {
+			t.Errorf("control ranking includes %s", n.Kind)
+		}
+	}
+	// CO(a) and CO(b) are both 4 (two equal-cost paths), so the
+	// deterministic tie-break ranks the lower ID first.
+	if len(r.HardestObserve) != 2 || r.HardestObserve[0].ID != a || r.HardestObserve[1].ID != b {
+		t.Fatalf("hardest observe = %+v, want [a, b] by ID tie-break", r.HardestObserve)
+	}
+	if r.Nets != nil {
+		t.Errorf("full dump requested off, got %d rows", len(r.Nets))
+	}
+	full := BuildReport(nl, m, nil, 1, true)
+	if len(full.Nets) != len(nl.Gates) {
+		t.Errorf("full dump has %d rows, want %d", len(full.Nets), len(nl.Gates))
+	}
+	if full.Format() == "" {
+		t.Error("Format returned empty string")
+	}
+}
