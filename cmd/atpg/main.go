@@ -42,6 +42,7 @@ import (
 	"factor/internal/atpg"
 	"factor/internal/cli"
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/synth"
@@ -83,15 +84,24 @@ func main() {
 	if err != nil {
 		cli.Fatal("atpg", err)
 	}
+	// An injected "cancel" action behaves like SIGINT: the run drains,
+	// flushes its checkpoint and exits partial.
+	failpoint.SetCanceler(stop)
 	ctx = telemetry.NewContext(ctx, tel)
 
 	// Load the journal before the (expensive) netlist build so a bad
-	// -resume path fails fast.
+	// -resume path fails fast. LoadLatest implements the recovery
+	// policy: a torn or corrupt head journal falls back one generation
+	// to the previous-good backup.
 	var resumeCk *atpg.Checkpoint
 	if *resume != "" {
-		ck, err := atpg.LoadCheckpoint(*resume)
+		ck, fellBack, err := atpg.LoadLatest(*resume)
 		if err != nil {
 			cli.Fatal("atpg", err)
+		}
+		if fellBack {
+			fmt.Fprintf(os.Stderr, "atpg: journal %s unreadable; recovered previous generation %d from %s%s\n",
+				*resume, ck.Generation, *resume, atpg.BackupSuffix)
 		}
 		resumeCk = ck
 	}
@@ -126,8 +136,7 @@ func main() {
 		Guide:          guide,
 	}
 	if *checkpoint != "" {
-		ckPath := *checkpoint
-		opts.Checkpoint = func(ck *atpg.Checkpoint) error { return ck.WriteFile(ckPath) }
+		opts.Checkpoint = atpg.NewJournal(*checkpoint).Flush
 		opts.CheckpointEvery = *ckEvery
 	}
 	opts.Resume = resumeCk
@@ -208,6 +217,7 @@ func main() {
 	if *report != "" {
 		rep := cli.NewReport("atpg", exitErr)
 		rep.AttachTelemetry(tel)
+		rep.AttachDegraded(res.QuarantinedNum, 0)
 		rep.ATPG = &cli.ATPGReport{
 			TotalFaults:    len(faults),
 			Detected:       res.Result.NumDetected(),

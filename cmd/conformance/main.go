@@ -41,6 +41,7 @@ import (
 	"factor/internal/cli"
 	"factor/internal/conformance"
 	"factor/internal/designgen"
+	"factor/internal/failpoint"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	if err != nil {
 		cli.Fatal("conformance", err)
 	}
+	failpoint.SetCanceler(stop)
 
 	opts := conformance.DefaultOptions()
 	reports := make([]*conformance.Report, *n)

@@ -37,6 +37,7 @@ import (
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
@@ -80,6 +81,7 @@ func main() {
 	if err != nil {
 		cli.Fatal("factor", err)
 	}
+	failpoint.SetCanceler(stop)
 	ctx = telemetry.NewContext(ctx, tel)
 
 	src, topName, params, err := loadDesign(ctx, *designFile, *top, *width)
@@ -168,6 +170,13 @@ func main() {
 	if *report != "" {
 		rep := cli.NewReport("factor", runErr)
 		rep.AttachTelemetry(tel)
+		degraded := 0
+		for _, tr := range trs {
+			if tr == nil {
+				degraded++
+			}
+		}
+		rep.AttachDegraded(0, degraded)
 		for i, tr := range trs {
 			mr := cli.MUTReport{Path: muts[i], OK: tr != nil}
 			if tr != nil {

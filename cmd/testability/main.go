@@ -32,6 +32,7 @@ import (
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/synth"
 	"factor/internal/telemetry"
 	"factor/internal/testability"
@@ -60,6 +61,7 @@ func main() {
 	if err != nil {
 		cli.Fatal("testability", err)
 	}
+	failpoint.SetCanceler(stop)
 	ctx = telemetry.NewContext(ctx, tel)
 
 	src, topName, err := loadDesign(ctx, *designFile, *top)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/fault"
 	"factor/internal/netlist"
 	"factor/internal/sim"
@@ -419,6 +420,17 @@ func (e *Engine) safeTestFault(f fault.Fault, deadline time.Time) (r specResult)
 	if testFaultPanicHook != nil {
 		testFaultPanicHook(f)
 	}
+	// Failpoint atpg.search: keyed by the fault's identity, not an
+	// occurrence counter, so which faults take an injected failure is
+	// invariant under worker count and speculative re-search. An
+	// injected error quarantines the fault exactly like a caught panic;
+	// a panic action exercises the recover above.
+	if err := failpoint.HitKey("atpg.search", f.Key()); err != nil {
+		return specResult{
+			kind: specPanic,
+			err:  factorerr.Wrap(factorerr.StageATPG, factorerr.CodePanic, err).WithFault(f.String()),
+		}
+	}
 	seq, status, stats := e.testFault(f, deadline)
 	return specResult{kind: specAttempted, status: status, seq: seq, stats: stats}
 }
@@ -528,6 +540,15 @@ mergeLoop:
 		for k, r := range results {
 			if r.kind == specCanceled {
 				runErr = cancelErr(ctx.Err())
+				break mergeLoop
+			}
+			// Failpoint atpg.merge: keyed by fault index, so an injected
+			// failure lands on the same merge position for any worker
+			// count. An error here aborts the run like a checkpoint
+			// flush failure — the final flush below still journals the
+			// merge position reached.
+			if err := failpoint.HitKey("atpg.merge", uint64(work[lo+k])); err != nil {
+				runErr = factorerr.Wrap(factorerr.StageATPG, factorerr.CodeInternal, err)
 				break mergeLoop
 			}
 			e.mergeOne(out, pool, work[lo+k], r, deadline, &mu)

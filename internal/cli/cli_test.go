@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/telemetry"
 )
 
@@ -244,5 +245,56 @@ func TestRunFlagsProfilesAndTrace(t *testing.T) {
 	}
 	if _, ok := doc["traceEvents"]; !ok {
 		t.Fatal("trace missing traceEvents wrapper")
+	}
+}
+
+// TestAttachDegraded: the quarantine section appears only when a run
+// actually degraded, and round-trips through JSON.
+func TestAttachDegraded(t *testing.T) {
+	rep := NewReport("atpg", nil)
+	rep.AttachDegraded(0, 0)
+	if rep.Degraded != nil {
+		t.Fatal("all-zero counts must leave the degraded section absent")
+	}
+	rep.AttachDegraded(3, 1)
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded == nil || got.Degraded.QuarantinedFaults != 3 || got.Degraded.DegradedMUTs != 1 {
+		t.Fatalf("degraded section: %+v", got.Degraded)
+	}
+}
+
+// TestRunFlagsFailpoints: -failpoints specs activate the registry at
+// Start; a bad spec is a usage error before any work runs.
+func TestRunFlagsFailpoints(t *testing.T) {
+	defer failpoint.Deactivate()
+	rf := &RunFlags{Progress: "off", Failpoints: "cli.report.write=error"}
+	_, finish, err := rf.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer finish()
+	if !failpoint.Enabled() {
+		t.Fatal("Start did not activate the failpoint registry")
+	}
+	rep := NewReport("test", nil)
+	if err := rep.Write(filepath.Join(t.TempDir(), "r.json")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("report write under cli.report.write=error returned %v, want injected error", err)
+	}
+	failpoint.Deactivate()
+
+	bad := &RunFlags{Progress: "off", Failpoints: "nosuchaction=frobnicate"}
+	if _, _, err := bad.Start("test"); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeUsage}) {
+		t.Fatalf("bad -failpoints spec returned %v, want usage error", err)
 	}
 }

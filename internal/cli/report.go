@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/telemetry"
 )
 
@@ -31,6 +32,35 @@ type Report struct {
 	// for any worker count and across a checkpoint/resume split
 	// (encoding/json marshals map keys sorted).
 	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+
+	// Degraded summarizes quarantine activity — how much of the run
+	// survived in degraded form rather than failing outright. Both
+	// counts are deterministic across worker counts (quarantine
+	// boundaries key off work-item identity, never scheduling).
+	Degraded *DegradedReport `json:"degraded,omitempty"`
+}
+
+// DegradedReport is the report's quarantine section.
+type DegradedReport struct {
+	// QuarantinedFaults counts faults classified neither detected nor
+	// untestable because their search or simulation batch was
+	// quarantined (panic or injected failure).
+	QuarantinedFaults int `json:"quarantined_faults"`
+	// DegradedMUTs counts MUTs that failed extraction/transform and
+	// were skipped while sibling MUTs continued.
+	DegradedMUTs int `json:"degraded_muts"`
+}
+
+// AttachDegraded records quarantine counts; all-zero counts leave the
+// section absent so healthy reports are unchanged.
+func (r *Report) AttachDegraded(quarantinedFaults, degradedMUTs int) {
+	if quarantinedFaults == 0 && degradedMUTs == 0 {
+		return
+	}
+	r.Degraded = &DegradedReport{
+		QuarantinedFaults: quarantinedFaults,
+		DegradedMUTs:      degradedMUTs,
+	}
 }
 
 // TelemetryReport is the report's deterministic-counter section.
@@ -120,6 +150,12 @@ func ReportErrors(err error) []ReportError {
 
 // Write marshals the report to path (pretty-printed, trailing newline).
 func (r *Report) Write(path string) error {
+	// Failpoint cli.report.write: the last write of a run — chaos runs
+	// verify a failure here surfaces as a distinct exit, not a
+	// silently missing report.
+	if err := failpoint.Hit("cli.report.write"); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)

@@ -18,11 +18,14 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/telemetry"
 )
 
@@ -33,16 +36,19 @@ type RunFlags struct {
 	Progress   string
 	CPUProfile string
 	MemProfile string
+	Failpoints string
 }
 
-// RegisterRunFlags registers -trace, -progress, -cpuprofile and
-// -memprofile on the default flag set. Call before flag.Parse.
+// RegisterRunFlags registers -trace, -progress, -cpuprofile,
+// -memprofile and -failpoints on the default flag set. Call before
+// flag.Parse.
 func RegisterRunFlags() *RunFlags {
 	rf := &RunFlags{}
 	flag.StringVar(&rf.Trace, "trace", "", "write a Chrome trace-event JSON `file` (load in Perfetto or chrome://tracing)")
 	flag.StringVar(&rf.Progress, "progress", "auto", "live progress heartbeat on stderr: auto (TTY only), on, off")
 	flag.StringVar(&rf.CPUProfile, "cpuprofile", "", "write a CPU profile to `file` bracketing the run")
 	flag.StringVar(&rf.MemProfile, "memprofile", "", "write a heap profile to `file` at the end of the run")
+	flag.StringVar(&rf.Failpoints, "failpoints", "", "inject deterministic faults at named `sites`: site=action[:prob[:seed]],... (actions: error, shortwrite, enospc, panic, delay, cancel, kill)")
 	return rf
 }
 
@@ -52,6 +58,14 @@ func RegisterRunFlags() *RunFlags {
 // call exactly once, normally right before writing reports/output, and
 // returns the first error it hit.
 func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, error) {
+	if rf.Failpoints != "" {
+		reg, err := failpoint.Parse(rf.Failpoints)
+		if err != nil {
+			return nil, nil, factorerr.New(factorerr.StageIO, factorerr.CodeUsage,
+				"-failpoints: %v", err)
+		}
+		failpoint.Activate(reg)
+	}
 	tel := telemetry.New()
 	tel.SetTool(tool)
 	if rf.Trace != "" {
@@ -99,6 +113,13 @@ func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, erro
 		if rf.Trace != "" {
 			if err := tel.WriteTraceFile(rf.Trace); err != nil && first == nil {
 				first = factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+			}
+		}
+		// Surface injection activity so a chaos run's log shows which
+		// sites actually fired (stderr only — never the report).
+		if s := failpoint.Active().Stats(); s != "" {
+			for _, line := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
+				fmt.Fprintf(os.Stderr, "failpoint %s\n", line)
 			}
 		}
 		return first

@@ -1,0 +1,394 @@
+package conformance
+
+// Invariant I6 (crash recovery): an atpg run that journals to a
+// checkpoint, is SIGKILLed at an arbitrary injected site, and is
+// resumed from whatever the filesystem holds — possibly a torn head
+// journal recovered from the previous-good backup — must finish
+// bit-identical to the uninterrupted run.
+//
+// The hammer needs a real process death (SIGKILL runs no deferred
+// cleanup, no atexit — exactly what checkpoint durability is for), so
+// the ATPG leg runs in a child process: the test binary re-execs
+// itself into CrashChild with the scenario passed through
+// FACTOR_CRASH_* environment variables, and a failpoint kill action
+// (internal/failpoint) murders the child at a seeded site. Each round
+// resumes from the journal the previous round left behind; a final
+// failpoint-free round guarantees completion; the child's rendered
+// result is compared byte-for-byte against an in-process baseline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"factor/internal/atpg"
+	"factor/internal/core"
+	"factor/internal/design"
+	"factor/internal/designgen"
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// CodeCrash classifies I6 violations.
+const CodeCrash = "crash"
+
+// KillSites are the failpoint sites the crash hammer murders children
+// at. atpg.checkpoint.rename is the torn window — the instant between
+// rotating the head to the backup and renaming the new frame into
+// place, where no head journal exists at all.
+var KillSites = []string{
+	"atpg.search",
+	"atpg.merge",
+	"atpg.checkpoint.sync",
+	"atpg.checkpoint.rename",
+}
+
+// maxKillRounds bounds the kill-and-resume loop; a failpoint-free
+// round after it guarantees the hammer terminates even when every kill
+// lands before the first flush.
+const maxKillRounds = 6
+
+// Environment variables carrying a crash scenario to the re-execed
+// child (see CrashChild).
+const (
+	EnvCrashChild      = "FACTOR_CRASH_CHILD"
+	EnvCrashSeed       = "FACTOR_CRASH_SEED"
+	EnvCrashCkpt       = "FACTOR_CRASH_CKPT"
+	EnvCrashOut        = "FACTOR_CRASH_OUT"
+	EnvCrashLog        = "FACTOR_CRASH_LOG"
+	EnvCrashWorkers    = "FACTOR_CRASH_WORKERS"
+	EnvCrashFailpoints = "FACTOR_CRASH_FAILPOINTS"
+)
+
+// CrashReport is the outcome of hammering one seed.
+type CrashReport struct {
+	Seed    int64
+	Rounds  int // child processes spawned
+	Crashes int // children that died before completing
+	// FellBack reports whether any child's resume served the
+	// previous-good backup instead of the head journal.
+	FellBack bool
+	// Vacuous is set when the seed's design has no MUT or no faults —
+	// there is nothing to journal, so the invariant holds trivially.
+	Vacuous bool
+
+	Violations []Violation
+}
+
+// OK reports whether I6 held.
+func (r *CrashReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *CrashReport) violate(code, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: 6,
+		Code:      code,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Line renders the report as one deterministic summary line.
+func (r *CrashReport) Line() string {
+	status := "ok"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d rounds=%d crashes=%d fellback=%v vacuous=%v status=%s",
+		r.Seed, r.Rounds, r.Crashes, r.FellBack, r.Vacuous, status)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, " [%s]", v)
+	}
+	return b.String()
+}
+
+// atpgLeg builds the ATPG leg of the conformance pipeline for a design
+// text: the same top selection, MUT choice, extraction mode and ATPG
+// options CheckSource derives from the seed, without the invariant
+// checks. A nil netlist (with nil error) means the leg is vacuous for
+// this seed — no instance to extract, or no faults to target.
+func atpgLeg(text string, seed int64, opts Options) (*netlist.Netlist, []fault.Fault, atpg.Options, error) {
+	opts = opts.withDefaults()
+	var none atpg.Options
+
+	src, err := verilog.Parse("conformance.v", text)
+	if err != nil {
+		return nil, nil, none, err
+	}
+	if len(src.Modules) == 0 {
+		return nil, nil, none, errors.New("no modules")
+	}
+	top := "top"
+	if src.Module(top) == nil {
+		top = src.Modules[len(src.Modules)-1].Name
+	}
+	d, err := design.Analyze(src, top)
+	if err != nil {
+		return nil, nil, none, err
+	}
+	optRes, err := synth.Synthesize(src, top, synth.Options{})
+	if err != nil {
+		return nil, nil, none, err
+	}
+
+	var paths []string
+	d.Root.Walk(func(n *design.InstanceNode) {
+		if n.Path != "" {
+			paths = append(paths, n.Path)
+		}
+	})
+	if len(paths) == 0 {
+		return nil, nil, none, nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(seed, 0x4d5554))) // "MUT"
+	mutPath := paths[rng.Intn(len(paths))]
+	mode := core.ModeFlat
+	if seed&1 == 1 {
+		mode = core.ModeComposed
+	}
+
+	tr, err := core.Transform(core.NewExtractor(d, mode), mutPath, optRes.Netlist, core.TransformOptions{})
+	if err != nil {
+		return nil, nil, none, err
+	}
+	faults := fault.UniverseRestrictedTo(tr.Netlist, tr.MUTFaultFilter())
+	if len(faults) == 0 {
+		faults = fault.Universe(tr.Netlist)
+	}
+	if len(faults) == 0 {
+		return nil, nil, none, nil
+	}
+
+	aopts := atpg.Options{
+		RandomSequences: opts.RandomSequences,
+		RandomSeqLen:    opts.RandomSeqLen,
+		BacktrackLimit:  opts.BacktrackLimit,
+		Seed:            mixSeed(seed, 0x41545047), // "ATPG"
+		CheckpointEvery: 2,
+	}
+	return tr.Netlist, faults, aopts, nil
+}
+
+// CrashChild is the body of the re-execed child: build the leg for
+// $FACTOR_CRASH_SEED, resume from the journal at $FACTOR_CRASH_CKPT if
+// one is loadable, activate $FACTOR_CRASH_FAILPOINTS, run to
+// completion (or injected death) and write the canonical render to
+// $FACTOR_CRASH_OUT. DefaultOptions only — the parent's CheckCrash
+// uses the same.
+func CrashChild() error {
+	seed, err := strconv.ParseInt(os.Getenv(EnvCrashSeed), 10, 64)
+	if err != nil {
+		return fmt.Errorf("%s: %v", EnvCrashSeed, err)
+	}
+	workers, err := strconv.Atoi(os.Getenv(EnvCrashWorkers))
+	if err != nil {
+		return fmt.Errorf("%s: %v", EnvCrashWorkers, err)
+	}
+	ckptPath := os.Getenv(EnvCrashCkpt)
+	outPath := os.Getenv(EnvCrashOut)
+	if ckptPath == "" || outPath == "" {
+		return fmt.Errorf("%s and %s are required", EnvCrashCkpt, EnvCrashOut)
+	}
+
+	opts := DefaultOptions()
+	nl, faults, aopts, err := atpgLeg(designgen.Generate(seed, opts.Gen).Text(), seed, opts)
+	if err != nil {
+		return err
+	}
+	if nl == nil {
+		return errors.New("vacuous leg in crash child; the parent should not have spawned one")
+	}
+	aopts.Workers = workers
+
+	// Resume from whatever the previous round's death left behind —
+	// LoadLatest is the recovery policy under test. A missing journal
+	// pair means no flush survived yet; start from scratch.
+	ck, fellBack, err := atpg.LoadLatest(ckptPath)
+	switch {
+	case err == nil:
+		aopts.Resume = ck
+	case errors.Is(err, os.ErrNotExist):
+	default:
+		return err
+	}
+	if fellBack {
+		if logPath := os.Getenv(EnvCrashLog); logPath != "" {
+			f, err := os.OpenFile(logPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "fellback")
+			f.Close()
+		}
+	}
+	aopts.Checkpoint = atpg.NewJournal(ckptPath).Flush
+
+	// Failpoints go live only now: the resume load itself must succeed
+	// on whatever torn state the last kill produced.
+	if spec := os.Getenv(EnvCrashFailpoints); spec != "" {
+		reg, err := failpoint.Parse(spec)
+		if err != nil {
+			return err
+		}
+		failpoint.Activate(reg)
+	}
+
+	rr, err := atpg.New(nl, aopts).RunContext(context.Background(), faults)
+	failpoint.Deactivate()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, []byte(renderRun(nl, rr)), 0o644)
+}
+
+// killSpec is the failpoint spec for one kill round. Search/merge
+// sites see one draw per fault, so a low probability spreads kills
+// across the run; checkpoint sites fire only once per flush and get a
+// higher one. The round number reseeds the draw so successive rounds
+// die at different places (a fixed seed would kill every resume at the
+// same instruction forever).
+func killSpec(site string, seed int64, round int) string {
+	prob := "0.08"
+	if strings.HasPrefix(site, "atpg.checkpoint.") {
+		prob = "0.5"
+	}
+	return fmt.Sprintf("%s=kill:%s:%d", site, prob, mixSeed(seed, int64(0x4b494c4c+round))) // "KILL"+round
+}
+
+// CheckCrash hammers one seed: an in-process baseline run, then
+// kill-and-resume child rounds via spawn (which must run CrashChild in
+// a fresh process with the given environment and return a non-nil
+// error if it did not exit cleanly), a failpoint-free final round if
+// needed, and a deliberate head-journal corruption leg. dir holds the
+// journal and render files. The kill site is pinned per seed so the
+// corpus covers all of KillSites deterministically.
+func CheckCrash(seed int64, dir string, spawn func(env map[string]string) error) *CrashReport {
+	rep := &CrashReport{Seed: seed}
+	opts := DefaultOptions()
+
+	nl, faults, aopts, err := atpgLeg(designgen.Generate(seed, opts.Gen).Text(), seed, opts)
+	if err != nil {
+		rep.violate(CodeCrash, "pipeline front failed: %v", err)
+		return rep
+	}
+	if nl == nil {
+		rep.Vacuous = true
+		return rep
+	}
+
+	// Baseline: uninterrupted single-worker run. Checkpointing is
+	// enabled (no-op sink) so the journaled-tests counter matches the
+	// children's journaled runs.
+	baseOpts := aopts
+	baseOpts.Workers = 1
+	baseOpts.Checkpoint = func(*atpg.Checkpoint) error { return nil }
+	base, err := atpg.New(nl, baseOpts).RunContext(context.Background(), faults)
+	if err != nil {
+		rep.violate(CodeCrash, "baseline run failed: %v", err)
+		return rep
+	}
+	baseRender := renderRun(nl, base)
+
+	ckptPath := filepath.Join(dir, "crash.ckpt")
+	outPath := filepath.Join(dir, "render.txt")
+	logPath := filepath.Join(dir, "child.log")
+	env := map[string]string{
+		EnvCrashChild:   "1",
+		EnvCrashSeed:    strconv.FormatInt(seed, 10),
+		EnvCrashCkpt:    ckptPath,
+		EnvCrashOut:     outPath,
+		EnvCrashLog:     logPath,
+		EnvCrashWorkers: "1",
+	}
+	site := KillSites[int(uint64(seed)%uint64(len(KillSites)))]
+
+	completed := false
+	for round := 1; round <= maxKillRounds && !completed; round++ {
+		env[EnvCrashFailpoints] = killSpec(site, seed, round)
+		env[EnvCrashWorkers] = strconv.Itoa(1 + round%3)
+		rep.Rounds++
+		if err := spawn(env); err != nil {
+			rep.Crashes++
+		} else {
+			completed = true
+		}
+	}
+	if !completed {
+		// Every kill round died (kills can land before the first
+		// flush). One clean round finishes from the best surviving
+		// journal state; an error here is a real recovery failure.
+		env[EnvCrashFailpoints] = ""
+		env[EnvCrashWorkers] = "2"
+		rep.Rounds++
+		if err := spawn(env); err != nil {
+			rep.violate(CodeCrash, "failpoint-free resume round failed at site %s: %v", site, err)
+			return rep
+		}
+	}
+
+	render, err := os.ReadFile(outPath)
+	if err != nil {
+		rep.violate(CodeCrash, "completed child wrote no render: %v", err)
+		return rep
+	}
+	if string(render) != baseRender {
+		rep.violate(CodeCrash, "crash-resumed result differs from uninterrupted run (site %s, %d crashes):\n%s",
+			site, rep.Crashes, firstDiff(baseRender, string(render)))
+	}
+	if log, err := os.ReadFile(logPath); err == nil && strings.Contains(string(log), "fellback") {
+		rep.FellBack = true
+	}
+
+	rep.corruptionLeg(nl, faults, aopts, ckptPath, baseRender)
+	return rep
+}
+
+// corruptionLeg truncates the head journal mid-frame and asserts the
+// recovery contract: the head classifies as checkpoint-corrupt,
+// LoadLatest serves the previous-good backup, and a run resumed from
+// it still finishes bit-identical.
+func (rep *CrashReport) corruptionLeg(nl *netlist.Netlist, faults []fault.Fault, aopts atpg.Options, ckptPath, baseRender string) {
+	data, err := os.ReadFile(ckptPath)
+	if err != nil || len(data) < 3 {
+		return // no surviving head journal to corrupt
+	}
+	if _, err := os.Stat(ckptPath + atpg.BackupSuffix); err != nil {
+		return // single flush: no previous generation to fall back to
+	}
+	if err := os.WriteFile(ckptPath, data[:len(data)*2/3], 0o644); err != nil {
+		rep.violate(CodeCrash, "corrupting head journal: %v", err)
+		return
+	}
+	if _, err := atpg.LoadCheckpoint(ckptPath); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeCheckpointCorrupt}) {
+		rep.violate(CodeCrash, "truncated head classified %v, want checkpoint-corrupt", err)
+	}
+	ck, fellBack, err := atpg.LoadLatest(ckptPath)
+	if err != nil {
+		rep.violate(CodeCrash, "corrupted-head recovery failed: %v", err)
+		return
+	}
+	if !fellBack {
+		rep.violate(CodeCrash, "corrupted head did not fall back to the backup journal")
+	}
+	ropts := aopts
+	ropts.Workers = 3
+	ropts.Resume = ck
+	ropts.Checkpoint = func(*atpg.Checkpoint) error { return nil }
+	rr, err := atpg.New(nl, ropts).RunContext(context.Background(), faults)
+	if err != nil {
+		rep.violate(CodeCrash, "resume from backup generation %d failed: %v", ck.Generation, err)
+		return
+	}
+	if got := renderRun(nl, rr); got != baseRender {
+		rep.violate(CodeCrash, "resume from backup generation %d differs from uninterrupted run:\n%s",
+			ck.Generation, firstDiff(baseRender, got))
+	}
+}

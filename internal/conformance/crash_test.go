@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestCrashChildExec is not a test: it is the body the crash hammer
+// re-execs the test binary into (-test.run=^TestCrashChildExec$ with
+// FACTOR_CRASH_CHILD=1). It runs one journaled ATPG leg and is
+// expected to be SIGKILLed by an injected failpoint most of the time.
+func TestCrashChildExec(t *testing.T) {
+	if os.Getenv(EnvCrashChild) != "1" {
+		t.Skip("crash-child body; spawned by TestCrashHammer")
+	}
+	if err := CrashChild(); err != nil {
+		t.Fatalf("crash child: %v", err)
+	}
+}
+
+// spawnSelf re-execs the running test binary into TestCrashChildExec
+// with the scenario environment. A SIGKILLed child and a child that
+// failed both return a non-nil error; CheckCrash distinguishes them by
+// when they happen (kill rounds expect deaths, the failpoint-free
+// round does not).
+func spawnSelf(t *testing.T) func(env map[string]string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(env map[string]string) error {
+		cmd := exec.Command(exe, "-test.run", "^TestCrashChildExec$", "-test.count=1")
+		cmd.Env = os.Environ()
+		for k, v := range env {
+			cmd.Env = append(cmd.Env, k+"="+v)
+		}
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return &childError{err: err, output: string(out)}
+		}
+		return nil
+	}
+}
+
+type childError struct {
+	err    error
+	output string
+}
+
+func (e *childError) Error() string {
+	return e.err.Error() + "\n" + e.output
+}
+
+// TestCrashHammer is invariant I6 over a pinned corpus: every seed's
+// journaled ATPG run is SIGKILLed at injected sites across several
+// kill-and-resume rounds, and the eventual result must be
+// bit-identical to the uninterrupted run — including after the
+// deliberate head-journal corruption leg inside CheckCrash. The seed
+// range covers every entry of KillSites (site = seed mod len).
+func TestCrashHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	spawn := spawnSelf(t)
+	crashes := 0
+	for seed := int64(0); seed < 8; seed++ {
+		rep := CheckCrash(seed, t.TempDir(), spawn)
+		if !rep.OK() {
+			t.Errorf("%s", rep.Line())
+		}
+		crashes += rep.Crashes
+	}
+	// The hammer is vacuous if no child ever actually died: the kill
+	// probabilities and round count are tuned so the corpus always
+	// produces real SIGKILL deaths.
+	if crashes == 0 {
+		t.Error("crash hammer produced zero crashes across the corpus; kill sites or probabilities are miswired")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"factor/internal/design"
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/verilog"
 )
 
@@ -334,6 +335,12 @@ func (e *Extractor) safeExtract(ctx context.Context, mutPath string) (ex *Extrac
 	}()
 	if extractPanicHook != nil {
 		extractPanicHook(mutPath)
+	}
+	// Failpoint core.extract.mut: keyed by the MUT path, so which MUTs
+	// degrade is invariant under worker count. An injected error
+	// quarantines the MUT exactly like a caught panic.
+	if ferr := failpoint.HitKey("core.extract.mut", failpoint.StringKey(mutPath)); ferr != nil {
+		return nil, factorerr.Wrap(factorerr.StageExtract, factorerr.CodePanic, ferr).WithMUT(mutPath)
 	}
 	return e.ExtractContext(ctx, mutPath)
 }

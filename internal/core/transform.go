@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/netlist"
 	"factor/internal/synth"
 	"factor/internal/telemetry"
@@ -166,6 +167,11 @@ func safeTransform(ctx context.Context, e *Extractor, mutPath string, full *netl
 	}()
 	if transformPanicHook != nil {
 		transformPanicHook(mutPath)
+	}
+	// Failpoint core.transform.mut: same keying discipline as
+	// core.extract.mut.
+	if ferr := failpoint.HitKey("core.transform.mut", failpoint.StringKey(mutPath)); ferr != nil {
+		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodePanic, ferr).WithMUT(mutPath)
 	}
 	return TransformContext(ctx, e, mutPath, full, opts)
 }

@@ -57,8 +57,23 @@ const (
 	// CodePartial aggregates a multi-MUT run where some MUTs succeeded
 	// and some failed (exit 3).
 	CodePartial
-	// CodeCheckpoint is a checkpoint/resume mismatch or I/O failure.
+	// CodeCheckpoint is a checkpoint I/O or journaling failure not
+	// classified by one of the specific codes below.
 	CodeCheckpoint
+	// CodeCheckpointCorrupt is a torn or corrupt checkpoint frame:
+	// truncated file, bad header, CRC mismatch, or undecodable
+	// payload. The journal is unusable — delete it (or fall back to
+	// the previous generation) and restart; the design is fine.
+	CodeCheckpointCorrupt
+	// CodeCheckpointVersion is a checkpoint written by a different
+	// journal format version. Re-run without -resume; the journal
+	// cannot be interpreted by this build.
+	CodeCheckpointVersion
+	// CodeCheckpointMismatch is a well-formed checkpoint that does not
+	// belong to this run: fingerprint (design/options/fault list) or
+	// bitmap-shape mismatch. The journal is for a different design —
+	// point -resume at the right file instead of deleting anything.
+	CodeCheckpointMismatch
 	// CodeInternal is a violated internal invariant.
 	CodeInternal
 	// CodeIO is a filesystem read/write failure.
@@ -66,17 +81,20 @@ const (
 )
 
 var codeNames = map[Code]string{
-	CodeUnknown:    "unknown",
-	CodeUsage:      "usage",
-	CodeInput:      "input",
-	CodeAnalysis:   "analysis",
-	CodePanic:      "panic",
-	CodeCanceled:   "canceled",
-	CodeTimeout:    "timeout",
-	CodePartial:    "partial",
-	CodeCheckpoint: "checkpoint",
-	CodeInternal:   "internal",
-	CodeIO:         "io",
+	CodeUnknown:            "unknown",
+	CodeUsage:              "usage",
+	CodeInput:              "input",
+	CodeAnalysis:           "analysis",
+	CodePanic:              "panic",
+	CodeCanceled:           "canceled",
+	CodeTimeout:            "timeout",
+	CodePartial:            "partial",
+	CodeCheckpoint:         "checkpoint",
+	CodeCheckpointCorrupt:  "checkpoint-corrupt",
+	CodeCheckpointVersion:  "checkpoint-version",
+	CodeCheckpointMismatch: "checkpoint-mismatch",
+	CodeInternal:           "internal",
+	CodeIO:                 "io",
 }
 
 func (c Code) String() string {
@@ -190,7 +208,11 @@ func (e *Error) Unwrap() error { return e.Err }
 
 // Is matches another *Error treating zero-valued fields of the target
 // as wildcards: errors.Is(err, &Error{Code: CodePanic}) asks "was there
-// a panic anywhere in the chain, whatever the stage or MUT".
+// a panic anywhere in the chain, whatever the stage or MUT". A target
+// code of CodeCheckpoint additionally matches the specific checkpoint
+// codes (corrupt/version/mismatch) — it names the failure family;
+// match a specific code to tell "delete and restart" from "wrong
+// design".
 func (e *Error) Is(target error) bool {
 	t, ok := target.(*Error)
 	if !ok {
@@ -199,7 +221,7 @@ func (e *Error) Is(target error) bool {
 	if t.Stage != "" && t.Stage != e.Stage {
 		return false
 	}
-	if t.Code != CodeUnknown && t.Code != e.Code {
+	if t.Code != CodeUnknown && t.Code != e.Code && !(t.Code == CodeCheckpoint && isCheckpointCode(e.Code)) {
 		return false
 	}
 	if t.MUT != "" && t.MUT != e.MUT {
@@ -209,6 +231,16 @@ func (e *Error) Is(target error) bool {
 		return false
 	}
 	return true
+}
+
+// isCheckpointCode reports whether c belongs to the checkpoint failure
+// family.
+func isCheckpointCode(c Code) bool {
+	switch c {
+	case CodeCheckpoint, CodeCheckpointCorrupt, CodeCheckpointVersion, CodeCheckpointMismatch:
+		return true
+	}
+	return false
 }
 
 // List aggregates several errors (per-MUT failures of a multi-MUT run,

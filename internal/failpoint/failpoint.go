@@ -1,0 +1,344 @@
+// Package failpoint is a seeded, deterministic fault-injection
+// registry for exercising the pipeline's recovery paths in tests and
+// CI instead of waiting for production crashes. Named sites threaded
+// through the hot paths of internal/atpg (checkpoint encode/write/
+// load, speculative merge), internal/fault (pool workers, event-engine
+// batches), internal/core (multi-MUT extraction) and internal/cli can
+// inject I/O errors (generic, short write, ENOSPC), worker panics,
+// delays, context cancellations and hard process kills, selected by
+// the shared -failpoints flag:
+//
+//	-failpoints site=action[:prob[:seed]][,site=action:prob:seed...]
+//
+// Determinism contract. Every configured site draws from its own
+// seeded splitmix64 stream, never from global randomness:
+//
+//   - Hit(site) draws on the site's occurrence counter: the K-th call
+//     at the site triggers iff draw(seed, K) < prob. The triggering
+//     occurrence set is a pure function of (seed, prob), so serial
+//     call paths (the ATPG merger, checkpoint writes) inject
+//     reproducibly run over run.
+//   - HitKey(site, key) draws on the caller-supplied key instead: the
+//     trigger decision is a pure function of (seed, key) alone, so
+//     parallel work items (PODEM searches keyed by fault, simulation
+//     batches keyed by their first fault) inject identically for any
+//     worker count and any scheduling.
+//
+// Zero-cost-when-disabled discipline, as internal/telemetry: with no
+// registry activated, Hit and HitKey are a single atomic load plus a
+// nil check — no allocation, no map lookup (AllocsPerRun-guarded).
+// The nil *Registry is a valid, fully disabled handle.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Action is an injected failure kind.
+type Action int
+
+// Injectable actions. Error-class actions return a structured injected
+// error from Hit/HitKey for the site to propagate; the others act
+// directly (panic, sleep, cancel the run's context, kill the process).
+const (
+	// ActError injects a generic I/O error.
+	ActError Action = iota
+	// ActShortWrite injects io.ErrShortWrite (a torn write).
+	ActShortWrite
+	// ActENOSPC injects syscall.ENOSPC (disk full).
+	ActENOSPC
+	// ActPanic panics with a recognizable value; the surrounding
+	// worker pool's isolation boundary must quarantine it.
+	ActPanic
+	// ActDelay sleeps for DelayDuration and reports no error,
+	// widening race windows around the site.
+	ActDelay
+	// ActCancel invokes the canceler registered with SetCanceler
+	// (the CLI wires the run context's stop func) and reports no
+	// error; cancellation then propagates through the normal context
+	// checks downstream of the site.
+	ActCancel
+	// ActKill raises SIGKILL on the current process: an unclean death
+	// with no deferred cleanup, as a crashed worker or OOM kill would
+	// produce. The crash-hammer harness uses it to exercise
+	// checkpoint recovery.
+	ActKill
+)
+
+var actionNames = map[string]Action{
+	"error":      ActError,
+	"shortwrite": ActShortWrite,
+	"enospc":     ActENOSPC,
+	"panic":      ActPanic,
+	"delay":      ActDelay,
+	"cancel":     ActCancel,
+	"kill":       ActKill,
+}
+
+func (a Action) String() string {
+	for name, act := range actionNames {
+		if act == a {
+			return name
+		}
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// DelayDuration is how long ActDelay sleeps per triggered hit.
+const DelayDuration = time.Millisecond
+
+// ErrInjected is the sentinel every injected error wraps:
+// errors.Is(err, failpoint.ErrInjected) identifies a failure as
+// injected (checkpoint retry treats these as transient, like real
+// EINTR-class errors).
+var ErrInjected = errors.New("injected fault")
+
+// Error is an injected failure returned by Hit/HitKey at a site
+// configured with an error-class action.
+type Error struct {
+	Site  string
+	Cause error // io.ErrShortWrite, syscall.ENOSPC, or nil (generic)
+}
+
+func (e *Error) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("failpoint %s: injected %v", e.Site, e.Cause)
+	}
+	return fmt.Sprintf("failpoint %s: injected error", e.Site)
+}
+
+// Is reports ErrInjected for any injected error, so callers can
+// classify without caring about the concrete cause.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Unwrap exposes the concrete cause (short write, ENOSPC).
+func (e *Error) Unwrap() error { return e.Cause }
+
+// site is one configured failpoint.
+type site struct {
+	name   string
+	action Action
+	// thresh is prob scaled to the uint64 draw space: a hit triggers
+	// iff its draw is below thresh (prob 1 => ^uint64(0), always).
+	thresh uint64
+	seed   int64
+
+	hits     atomic.Uint64 // occurrence counter (also the Hit draw key)
+	triggers atomic.Uint64
+}
+
+// Registry is a parsed -failpoints plan. The zero/nil registry is
+// fully disabled.
+type Registry struct {
+	sites map[string]*site
+}
+
+// active is the process-wide registry consulted by Hit/HitKey. A nil
+// pointer — the default — disables every site at the cost of one
+// atomic load.
+var active atomic.Pointer[Registry]
+
+// canceler is the run-cancellation hook ActCancel invokes (the CLI
+// registers its signal context's stop func).
+var canceler atomic.Pointer[func()]
+
+// Parse builds a registry from a -failpoints spec: comma-separated
+// site=action[:prob[:seed]] clauses. prob defaults to 1 (every hit
+// triggers) and must be in (0, 1]; seed defaults to 1. Duplicate sites
+// are rejected.
+func Parse(spec string) (*Registry, error) {
+	r := &Registry{sites: make(map[string]*site)}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("failpoint: clause %q is not site=action[:prob[:seed]]", clause)
+		}
+		if _, dup := r.sites[name]; dup {
+			return nil, fmt.Errorf("failpoint: site %q configured twice", name)
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("failpoint: clause %q has more than action:prob:seed", clause)
+		}
+		action, ok := actionNames[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("failpoint: unknown action %q in clause %q", parts[0], clause)
+		}
+		prob := 1.0
+		if len(parts) >= 2 {
+			p, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("failpoint: probability %q in clause %q must be in (0, 1]", parts[1], clause)
+			}
+			prob = p
+		}
+		seed := int64(1)
+		if len(parts) == 3 {
+			s, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("failpoint: seed %q in clause %q is not an integer", parts[2], clause)
+			}
+			seed = s
+		}
+		thresh := ^uint64(0)
+		if prob < 1 {
+			thresh = uint64(math.Round(prob * float64(1<<63) * 2))
+		}
+		r.sites[name] = &site{name: name, action: action, thresh: thresh, seed: seed}
+	}
+	if len(r.sites) == 0 {
+		return nil, fmt.Errorf("failpoint: empty spec")
+	}
+	return r, nil
+}
+
+// Activate installs r as the process-wide registry (nil deactivates).
+// Call once at startup, or around a test body paired with a deferred
+// Deactivate; the registry is not designed for mid-run swaps.
+func Activate(r *Registry) {
+	if r != nil && len(r.sites) == 0 {
+		r = nil
+	}
+	active.Store(r)
+}
+
+// Deactivate removes the active registry; Hit/HitKey return to the
+// disabled fast path.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a registry is active.
+func Enabled() bool { return active.Load() != nil }
+
+// SetCanceler registers the function ActCancel invokes (typically the
+// CLI run context's stop func). A nil fn clears it.
+func SetCanceler(fn func()) {
+	if fn == nil {
+		canceler.Store(nil)
+		return
+	}
+	canceler.Store(&fn)
+}
+
+// Hit checks the named site on its occurrence counter. With no active
+// registry, or the site unconfigured, it returns nil at effectively
+// zero cost. A triggered error-class action returns the injected
+// error; panic/delay/cancel/kill act directly (see Action).
+func Hit(name string) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	s := r.sites[name]
+	if s == nil {
+		return nil
+	}
+	return s.check(s.hits.Add(1))
+}
+
+// HitKey checks the named site with an explicit draw key. The trigger
+// decision is a pure function of (site seed, key), independent of call
+// order — use it from parallel work items with a scheduling-invariant
+// key (fault index, batch start, MUT path hash) so injection is
+// bit-identical for every worker count.
+func HitKey(name string, key uint64) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	s := r.sites[name]
+	if s == nil {
+		return nil
+	}
+	s.hits.Add(1)
+	return s.check(key)
+}
+
+// StringKey folds a string work-item identity (a MUT instance path, a
+// file name) into a HitKey draw key: FNV-1a, inlined so the disabled
+// path stays allocation-free.
+func StringKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// check draws for one occurrence and performs the action on trigger.
+func (s *site) check(key uint64) error {
+	if draw(s.seed, key) >= s.thresh {
+		return nil
+	}
+	s.triggers.Add(1)
+	switch s.action {
+	case ActError:
+		return &Error{Site: s.name}
+	case ActShortWrite:
+		return &Error{Site: s.name, Cause: io.ErrShortWrite}
+	case ActENOSPC:
+		return &Error{Site: s.name, Cause: syscall.ENOSPC}
+	case ActPanic:
+		panic(fmt.Sprintf("failpoint %s: injected panic", s.name))
+	case ActDelay:
+		time.Sleep(DelayDuration)
+		return nil
+	case ActCancel:
+		if fn := canceler.Load(); fn != nil {
+			(*fn)()
+		}
+		return nil
+	case ActKill:
+		kill()
+		return nil
+	}
+	return nil
+}
+
+// draw maps (seed, key) to a uniform uint64 with the splitmix64
+// finalizer — the same mixing discipline the ATPG engine uses for its
+// per-fault RNG streams.
+func draw(seed int64, key uint64) uint64 {
+	z := uint64(seed) + (key+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stats renders per-site hit/trigger counts, name-sorted ("" when
+// nothing was hit) — diagnostic only, printed to stderr by the CLIs.
+func (r *Registry) Stats() string {
+	if r == nil {
+		return ""
+	}
+	names := make([]string, 0, len(r.sites))
+	for name := range r.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		s := r.sites[name]
+		if hits := s.hits.Load(); hits > 0 {
+			fmt.Fprintf(&b, "%s: %d/%d hits triggered %s\n", name, s.triggers.Load(), hits, s.action)
+		}
+	}
+	return b.String()
+}
+
+// Active returns the installed registry (nil when disabled), so the
+// CLI can report its stats after a run.
+func Active() *Registry { return active.Load() }

@@ -1,0 +1,244 @@
+package failpoint
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestParseGrammar(t *testing.T) {
+	good := []string{
+		"a=error",
+		"a=panic:0.5",
+		"a=kill:0.25:42",
+		"a=error, b=delay:1:7 ,c=enospc",
+		"x.y.z=shortwrite:0.001:9",
+		"a=cancel",
+	}
+	for _, spec := range good {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q) = %v, want ok", spec, err)
+		}
+	}
+	bad := []string{
+		"",
+		"noequals",
+		"=error",
+		"a=frobnicate",
+		"a=error:2",
+		"a=error:0",
+		"a=error:-0.5",
+		"a=error:0.5:notanint",
+		"a=error:0.5:1:extra",
+		"a=error,a=panic", // duplicate site
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestHitDisabledIsNil(t *testing.T) {
+	Deactivate()
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	if err := HitKey("anything", 7); err != nil {
+		t.Fatalf("disabled HitKey returned %v", err)
+	}
+}
+
+// TestDisabledZeroAlloc is the zero-cost-when-disabled guard: with no
+// registry active, and with a registry active but the site
+// unconfigured, the hot-path check must not allocate.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Deactivate()
+	if allocs := testing.AllocsPerRun(100, func() {
+		Hit("atpg.merge")
+		HitKey("fault.pool.batch", 3)
+	}); allocs != 0 {
+		t.Fatalf("disabled Hit/HitKey allocate %.1f objects per run, want 0", allocs)
+	}
+
+	r, err := Parse("other.site=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+	if allocs := testing.AllocsPerRun(100, func() {
+		Hit("atpg.merge")
+		HitKey("fault.pool.batch", 3)
+	}); allocs != 0 {
+		t.Fatalf("unconfigured-site Hit/HitKey allocate %.1f objects per run, want 0", allocs)
+	}
+	// A configured site that does not trigger on this draw is also
+	// allocation-free (the draw itself is pure arithmetic).
+	low, err := Parse("quiet=error:0.000001:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(low)
+	if allocs := testing.AllocsPerRun(100, func() {
+		HitKey("quiet", 12345)
+	}); allocs != 0 {
+		t.Fatalf("non-triggering HitKey allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestErrorActions(t *testing.T) {
+	r, err := Parse("g=error,s=shortwrite,n=enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+
+	gerr := Hit("g")
+	if gerr == nil || !errors.Is(gerr, ErrInjected) {
+		t.Fatalf("generic error = %v, want ErrInjected", gerr)
+	}
+	if serr := Hit("s"); !errors.Is(serr, io.ErrShortWrite) || !errors.Is(serr, ErrInjected) {
+		t.Fatalf("shortwrite error = %v, want io.ErrShortWrite + ErrInjected", serr)
+	}
+	if nerr := Hit("n"); !errors.Is(nerr, syscall.ENOSPC) || !errors.Is(nerr, ErrInjected) {
+		t.Fatalf("enospc error = %v, want syscall.ENOSPC + ErrInjected", nerr)
+	}
+	if !strings.Contains(gerr.Error(), "failpoint g") {
+		t.Fatalf("injected error %q does not name its site", gerr)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	r, err := Parse("boom=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("panic action did not panic")
+		}
+		if s, ok := rec.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v does not name the site", rec)
+		}
+	}()
+	Hit("boom")
+}
+
+func TestCancelAction(t *testing.T) {
+	r, err := Parse("c=cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+	called := 0
+	SetCanceler(func() { called++ })
+	defer SetCanceler(nil)
+	if err := Hit("c"); err != nil {
+		t.Fatalf("cancel action returned %v, want nil", err)
+	}
+	if called != 1 {
+		t.Fatalf("canceler called %d times, want 1", called)
+	}
+}
+
+// TestHitKeyDeterministic: the keyed trigger decision is a pure
+// function of (seed, key) — same registry config, any call order, same
+// outcome per key — which is what makes parallel injection
+// worker-count-invariant.
+func TestHitKeyDeterministic(t *testing.T) {
+	decide := func(order []uint64) map[uint64]bool {
+		r, err := Parse("k=error:0.5:99")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Activate(r)
+		defer Deactivate()
+		out := make(map[uint64]bool)
+		for _, key := range order {
+			out[key] = HitKey("k", key) != nil
+		}
+		return out
+	}
+	fwd := decide([]uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	rev := decide([]uint64{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	trig := 0
+	for k, v := range fwd {
+		if rev[k] != v {
+			t.Fatalf("key %d decision differs with call order: %v vs %v", k, v, rev[k])
+		}
+		if v {
+			trig++
+		}
+	}
+	if trig == 0 || trig == len(fwd) {
+		t.Fatalf("prob 0.5 over 10 keys triggered %d times; draw looks degenerate", trig)
+	}
+}
+
+// TestHitOccurrenceDeterministic: counter-based draws replay the same
+// triggering occurrence set run over run.
+func TestHitOccurrenceDeterministic(t *testing.T) {
+	run := func() []bool {
+		r, err := Parse("o=error:0.3:7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Activate(r)
+		defer Deactivate()
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, Hit("o") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("occurrence %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	r, err := Parse("p=error:0.25:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+	trig := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if HitKey("p", uint64(i)) != nil {
+			trig++
+		}
+	}
+	frac := float64(trig) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("prob 0.25 triggered %.3f of draws", frac)
+	}
+}
+
+func TestStats(t *testing.T) {
+	r, err := Parse("a=error:0.5:3,b=delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(r)
+	defer Deactivate()
+	for i := 0; i < 10; i++ {
+		HitKey("a", uint64(i))
+	}
+	s := Active().Stats()
+	if !strings.Contains(s, "a: ") || strings.Contains(s, "b: ") {
+		t.Fatalf("stats %q should report hit site a only", s)
+	}
+}

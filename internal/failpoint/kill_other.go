@@ -1,0 +1,11 @@
+//go:build !unix
+
+package failpoint
+
+import "os"
+
+// kill approximates an unclean death on platforms without SIGKILL
+// semantics: exit code 137 (128+9) without running deferred cleanup.
+func kill() {
+	os.Exit(137)
+}

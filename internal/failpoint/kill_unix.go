@@ -1,0 +1,16 @@
+//go:build unix
+
+package failpoint
+
+import "syscall"
+
+// kill raises SIGKILL on the current process: no signal handler, no
+// deferred cleanup, no atexit — the same unclean death an OOM kill or
+// a crashed host delivers. Checkpoint recovery must cope with a
+// process dying at exactly this instruction.
+func kill() {
+	syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not deliverable to a stopped self synchronously in
+	// every environment; never fall through to normal control flow.
+	select {}
+}

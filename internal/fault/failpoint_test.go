@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+)
+
+// TestPoolInjectedPanicDeterministic drives the pool's quarantine
+// boundary through the failpoint registry instead of the test hook: a
+// probabilistic panic action keyed by batch identity must quarantine
+// the same batches — same detections, same error count — for every
+// worker count.
+func TestPoolInjectedPanicDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nl := randomCircuit(rng, 5, 200, true)
+	faults := Universe(nl)
+	if len(faults) <= 63*2 {
+		t.Skip("need several batches")
+	}
+	seq := randSeqFor(nl, rng, 6)
+
+	reg, err := failpoint.Parse("fault.pool.batch=panic:0.5:11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Activate(reg)
+	defer failpoint.Deactivate()
+
+	var ref *Result
+	var refErrs int
+	for _, workers := range []int{1, 2, 4, 8} {
+		res := NewResult(faults)
+		pool := NewPool(nl, workers)
+		pool.RunSequence(res, seq)
+		errs := pool.DrainErrors()
+		for _, err := range errs {
+			if !errors.Is(err, &factorerr.Error{Stage: factorerr.StageFaultSim, Code: factorerr.CodePanic}) {
+				t.Fatalf("workers=%d: error %v is not a structured faultsim panic", workers, err)
+			}
+		}
+		if ref == nil {
+			ref, refErrs = res, len(errs)
+			if refErrs == 0 {
+				t.Fatal("probability 0.5 quarantined no batch; seed is degenerate")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res.Detected, ref.Detected) {
+			t.Fatalf("workers=%d: detections diverge from workers=1 under injected panics", workers)
+		}
+		if len(errs) != refErrs {
+			t.Fatalf("workers=%d: %d quarantine errors, want %d", workers, len(errs), refErrs)
+		}
+	}
+}
+
+// TestPoolInjectedErrorMatchesPanic: the error action takes the same
+// quarantine path as a panic — batch dropped, structured error, no
+// partial detections — so chaos runs can use the cheaper action.
+func TestPoolInjectedErrorMatchesPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	nl := randomCircuit(rng, 5, 160, true)
+	faults := Universe(nl)
+	if len(faults) <= 63 {
+		t.Skip("need a multi-batch fault list")
+	}
+	seq := randSeqFor(nl, rng, 6)
+
+	run := func(action string) (*Result, int) {
+		reg, err := failpoint.Parse("fault.pool.batch=" + action + ":0.5:11")
+		if err != nil {
+			t.Fatal(err)
+		}
+		failpoint.Activate(reg)
+		defer failpoint.Deactivate()
+		res := NewResult(faults)
+		pool := NewPool(nl, 3)
+		pool.RunSequence(res, seq)
+		return res, len(pool.DrainErrors())
+	}
+	pres, perrs := run("panic")
+	eres, eerrs := run("error")
+	if !reflect.DeepEqual(pres.Detected, eres.Detected) {
+		t.Fatal("panic and error actions quarantine different detections for the same draw")
+	}
+	if perrs != eerrs || perrs == 0 {
+		t.Fatalf("panic action produced %d errors, error action %d; want equal and nonzero", perrs, eerrs)
+	}
+}
+
+// TestFirstDetectionsInjectedPanicDeterministic: same contract for the
+// first-detection pass, including the work-counter stats.
+func TestFirstDetectionsInjectedPanicDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	nl := randomCircuit(rng, 5, 200, true)
+	faults := Universe(nl)
+	if len(faults) <= 63*2 {
+		t.Skip("need several batches")
+	}
+	seqs := make([]Sequence, 5)
+	for i := range seqs {
+		seqs[i] = randSeqFor(nl, rng, 4)
+	}
+
+	reg, err := failpoint.Parse("fault.firstdet.batch=panic:0.5:13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Activate(reg)
+	defer failpoint.Deactivate()
+
+	ref, refStats, refErrs := FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	if len(refErrs) == 0 {
+		t.Fatal("probability 0.5 quarantined no batch; seed is degenerate")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, gotStats, errs := FirstDetections(context.Background(), nl, faults, seqs, w, time.Time{})
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: first-detections diverge from workers=1 under injected panics", w)
+		}
+		if gotStats != refStats {
+			t.Fatalf("workers=%d: stats diverge from workers=1: %+v vs %+v", w, gotStats, refStats)
+		}
+		if len(errs) != len(refErrs) {
+			t.Fatalf("workers=%d: %d errors, want %d", w, len(errs), len(refErrs))
+		}
+	}
+}

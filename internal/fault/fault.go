@@ -39,6 +39,19 @@ func (f Fault) String() string {
 	return fmt.Sprintf("g%d.in%d/sa%d", f.Gate, f.Pin, v)
 }
 
+// Key packs the fault's identity into a uint64 suitable as a
+// deterministic draw key (failpoint injection, per-fault RNG streams):
+// a pure function of the fault, independent of list position or
+// scheduling. Pin is biased by 1 so the stem sentinel (-1) stays
+// non-negative.
+func (f Fault) Key() uint64 {
+	v := uint64(0)
+	if f.SAOne {
+		v = 1
+	}
+	return uint64(f.Gate)<<21 | uint64(f.Pin+1)<<1 | v
+}
+
 // Universe builds the collapsed single-stuck-at fault list for a
 // netlist:
 //

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"factor/internal/factorerr"
+	"factor/internal/failpoint"
 	"factor/internal/netlist"
 )
 
@@ -134,7 +135,23 @@ func safeRunBatch(es *EventSim, batch []Fault, seq Sequence, tr *goodTrace) (lan
 	if batchPanicHook != nil {
 		batchPanicHook(batch)
 	}
+	// Failpoint fault.pool.batch: keyed by the batch's lead fault —
+	// batch composition is deterministic (coneOrder over the pending
+	// list), so which batches fail is invariant under worker count. An
+	// injected error quarantines the batch exactly like a caught panic.
+	if ferr := failpoint.HitKey("fault.pool.batch", batchKey(batch)); ferr != nil {
+		return 0, quarantineError(ferr, batch)
+	}
 	return es.runBatch(batch, seq, tr), nil
+}
+
+// batchKey is the deterministic failpoint draw key for a simulation
+// batch: the lead fault's identity.
+func batchKey(batch []Fault) uint64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	return batch[0].Key()
 }
 
 // RunSequence simulates seq against the pending faults of res across
@@ -315,6 +332,14 @@ func safeFirstDetections(ctx context.Context, es *EventSim, batch []Fault, seqs 
 	}()
 	if batchPanicHook != nil {
 		batchPanicHook(batch)
+	}
+	// Failpoint fault.firstdet.batch: same keying discipline as
+	// fault.pool.batch — quarantine is a pure function of the batch.
+	if ferr := failpoint.HitKey("fault.firstdet.batch", batchKey(batch)); ferr != nil {
+		for i := range out {
+			out[i] = -1
+		}
+		return quarantineError(ferr, batch)
 	}
 	es.firstDetections(ctx, batch, seqs, getTrace, deadline, out)
 	return nil
