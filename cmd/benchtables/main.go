@@ -22,6 +22,12 @@
 // costs, random phase disabled) instead of the tables and writes the
 // rows as JSON to PATH (use - for stdout only). The work counters in
 // the rows are deterministic: reruns reproduce them bit for bit.
+//
+// -shard runs the multi-process sharded fault-simulation scaling
+// ablation (shard counts 1/2/4 over the same seed-design corpus,
+// re-exec'd through this binary) and writes the rows as JSON to PATH
+// (use - for stdout only). Detected counts and first-detection digests
+// are asserted identical across shard counts.
 package main
 
 import (
@@ -32,9 +38,13 @@ import (
 
 	"factor/internal/bench"
 	"factor/internal/cli"
+	"factor/internal/shard"
 )
 
 func main() {
+	// A -shard ablation re-execs this binary as shard children; the env
+	// marker routes those straight into the child body (never returns).
+	shard.ChildMain()
 	table := flag.Int("table", 0, "table to regenerate (1-6, 0 = all)")
 	width := flag.Int("width", 16, "datapath width of the benchmark SoC")
 	budget := flag.Duration("budget", 10*time.Second, "ATPG time budget per module")
@@ -43,6 +53,7 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for extraction and ATPG (0 = all CPU cores)")
 	faultsim := flag.String("faultsim", "", "run the fault-simulation engine ablation and write JSON to this path (- for stdout only)")
 	scoap := flag.String("scoap", "", "run the guided-PODEM (default vs SCOAP) ablation and write JSON to this path (- for stdout only)")
+	shardFlag := flag.String("shard", "", "run the sharded fault-simulation scaling ablation and write JSON to this path (- for stdout only)")
 	reps := flag.Int("reps", 3, "repetitions per engine for the -faultsim ablation (fastest pass wins)")
 	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
 	rf := cli.RegisterRunFlags()
@@ -78,6 +89,31 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("\nwrote %s\n", *faultsim)
+		}
+		finish()
+		return
+	}
+
+	if *shardFlag != "" {
+		spawn, err := shard.SelfExecSpawner()
+		if err != nil {
+			fatal(err)
+		}
+		sp := tel.StartSpan("shard-ablation")
+		rows, err := bench.ShardAblation(*width, *reps, nil, nil, spawn)
+		sp.End()
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			tel.AddCounter(fmt.Sprintf("shard.sim_events.%d", r.Shards), r.SimEvents)
+		}
+		fmt.Print(bench.FormatShard(rows))
+		if *shardFlag != "-" {
+			if err := bench.WriteShardJSON(*shardFlag, rows); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *shardFlag)
 		}
 		finish()
 		return

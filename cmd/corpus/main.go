@@ -1,0 +1,367 @@
+// Command corpus batches fault simulation over many generated designs,
+// sharded across worker processes: each design is synthesized once,
+// snapshotted (netlist.Snapshot) into a read-only compiled-netlist
+// file, partitioned into batch-aligned fault ranges, and simulated by
+// re-exec'd shard children whose results merge deterministically — the
+// per-design rows, the -report JSON (minus its self-describing .shard
+// topology section) and the exit code are byte-identical for any
+// -shards × -j × -maxprocs combination, and across -checkpoint/-resume
+// splits.
+//
+// Usage:
+//
+//	corpus [-n N] [-seed S] [-shards K] [-j W] [-seqs Q] [-cycles C]
+//	       [-maxprocs P] [-report file] [-checkpoint file] [-resume]
+//	       [-timeout d] [-stats] [-failpoints spec] [-trace out.json]
+//	       [-progress auto|on|off] [-cpuprofile f] [-memprofile f]
+//
+// Scheduling is fair across designs: the (design, shard) task list is
+// interleaved round-robin so early designs do not monopolize the
+// process budget, and output is assembled in design order regardless of
+// completion order. A shard process that dies degrades its fault range
+// (reported undetected, counted quarantined, exit 3) instead of
+// failing the corpus; -failpoints specs propagate into shard children
+// via the environment, so chaos testing covers the whole process tree.
+//
+// Exit codes follow the suite-wide taxonomy: 0 success, 1 error,
+// 2 usage, 3 partial (degraded shards, quarantined batches, timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"factor/internal/cli"
+	"factor/internal/designgen"
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/shard"
+	"factor/internal/synth"
+	"factor/internal/telemetry"
+	"factor/internal/verilog"
+)
+
+func main() {
+	// Shard-child hook: when spawned as a worker this never returns.
+	shard.ChildMain()
+
+	n := flag.Int("n", 4, "number of generated designs in the corpus")
+	seed := flag.Int64("seed", 1, "base seed; design i uses seed+i")
+	shards := flag.Int("shards", 1, "shard processes per design")
+	workers := flag.Int("j", 1, "simulation workers inside each shard")
+	seqs := flag.Int("seqs", 16, "random sequences per design")
+	cycles := flag.Int("cycles", 8, "cycles per sequence")
+	maxprocs := flag.Int("maxprocs", 0, "concurrently running shard processes across the corpus (0 = shards)")
+	reportPath := flag.String("report", "", "write the machine-readable run report as JSON to this file")
+	ckptPath := flag.String("checkpoint", "", "journal completed designs to this file")
+	resume := flag.Bool("resume", false, "serve designs already in the -checkpoint journal instead of re-simulating")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr")
+	rf := cli.RegisterRunFlags()
+	flag.Parse()
+
+	// A stray positional argument usually means a boolean flag (e.g.
+	// -resume) was given a value; Go's flag parser would silently drop
+	// every flag after it.
+	if flag.NArg() > 0 {
+		cli.Usagef("corpus", "unexpected argument %q", flag.Arg(0))
+	}
+	if *n < 1 {
+		cli.Usagef("corpus", "-n must be >= 1")
+	}
+	if *shards < 1 {
+		cli.Usagef("corpus", "-shards must be >= 1")
+	}
+	if *resume && *ckptPath == "" {
+		cli.Usagef("corpus", "-resume requires -checkpoint")
+	}
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+	tel, finishTel, err := rf.Start("corpus")
+	if err != nil {
+		cli.Fatal("corpus", err)
+	}
+	failpoint.SetCanceler(stop)
+	ctx = telemetry.NewContext(ctx, tel)
+
+	runErr := run(ctx, tel, rf, config{
+		N: *n, Seed: *seed, Shards: *shards, Workers: *workers,
+		Seqs: *seqs, Cycles: *cycles, Procs: *maxprocs,
+		Report: *reportPath, Checkpoint: *ckptPath, Resume: *resume,
+	})
+	if err := finishTel(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, tel.Summary())
+	}
+	if runErr != nil {
+		if factorerr.ExitCode(runErr) == factorerr.ExitPartial {
+			cli.Warn("corpus", runErr)
+			os.Exit(factorerr.ExitPartial)
+		}
+		cli.Fatal("corpus", runErr)
+	}
+}
+
+type config struct {
+	N          int
+	Seed       int64
+	Shards     int
+	Workers    int
+	Seqs       int
+	Cycles     int
+	Procs      int
+	Report     string
+	Checkpoint string
+	Resume     bool
+}
+
+// designState is one corpus entry mid-flight.
+type designState struct {
+	index   int
+	seed    int64
+	module  string
+	nl      *netlist.Netlist
+	faults  int
+	specs   []shard.Spec
+	slots   []shard.ShardOutcome
+	outcome shard.Outcome
+	ranges  [][2]int
+	died    []int
+	journal bool // already served from the resume journal
+	errs    []error
+}
+
+func run(ctx context.Context, tel *telemetry.Telemetry, rf *cli.RunFlags, cfg config) error {
+	fp := shard.Fingerprint{Seed: cfg.Seed, Seqs: cfg.Seqs, Cycles: cfg.Cycles}
+	var journaled map[int]shard.Outcome
+	if cfg.Resume {
+		var err error
+		journaled, err = shard.LoadOutcomes(cfg.Checkpoint, fp)
+		if errors.Is(err, os.ErrNotExist) {
+			journaled = nil // nothing flushed yet; fresh start
+		} else if err != nil {
+			return err
+		}
+	}
+	if cfg.Checkpoint != "" && journaled == nil {
+		if err := shard.CreateJournal(cfg.Checkpoint, fp); err != nil {
+			return err
+		}
+	}
+
+	workDir, err := os.MkdirTemp("", "factor-corpus-*")
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	defer os.RemoveAll(workDir)
+
+	spawn, err := shard.SelfExecSpawner()
+	if err != nil {
+		return err
+	}
+	env := cli.ChildEnv(rf, nil)
+
+	// Phase 1: synthesize and snapshot every design (cheap relative to
+	// simulation; done serially for deterministic telemetry).
+	span := tel.StartSpan("corpus.synthesize")
+	designs := make([]*designState, cfg.N)
+	for i := range designs {
+		d, err := buildDesign(i, cfg, workDir)
+		if err != nil {
+			span.End()
+			return err
+		}
+		designs[i] = d
+		if o, ok := journaled[i]; ok && o.Seed == d.seed && o.Faults == d.faults {
+			d.journal = true
+			d.outcome = o
+		}
+	}
+	span.End()
+
+	// Phase 2: fair round-robin schedule over every (design, shard)
+	// task — shard s of every design before shard s+1 of any — bounded
+	// by the process budget. Results land in per-design slots; order of
+	// completion is irrelevant to the merge.
+	type task struct {
+		d, s int
+	}
+	var tasks []task
+	for s := 0; s < cfg.Shards; s++ {
+		for d, ds := range designs {
+			if ds.journal || ds.faults == 0 || s >= len(ds.specs) {
+				continue
+			}
+			if sp := ds.specs[s]; sp.FaultLo < sp.FaultHi {
+				tasks = append(tasks, task{d, s})
+			}
+		}
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = cfg.Shards
+	}
+	span = tel.StartSpan("corpus.simulate")
+	sem := make(chan struct{}, procs)
+	done := make(chan struct{})
+	for _, tk := range tasks {
+		go func(tk task) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- struct{}{} }()
+			ds := designs[tk.d]
+			res, err := spawn(ctx, ds.specs[tk.s], env)
+			ds.slots[tk.s] = shard.ShardOutcome{Res: res, Err: err}
+		}(tk)
+	}
+	for range tasks {
+		<-done
+	}
+	span.End()
+	if ctx.Err() != nil {
+		return factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeCanceled, ctx.Err())
+	}
+
+	// Phase 3: merge, journal and render in design order.
+	var all []error
+	var corpusRows []cli.CorpusDesign
+	topo := &cli.ShardReport{Shards: cfg.Shards, WorkersPerShard: cfg.Workers, Procs: cfg.Procs}
+	var work shard.WorkCounters
+	quarantined := 0
+	degraded := 0
+	for _, ds := range designs {
+		if !ds.journal && ds.faults > 0 {
+			rr := shard.Merge(ds.module, ds.faults, ds.slots)
+			ds.outcome = shard.Outcome{
+				Design: ds.index, Seed: ds.seed, Module: ds.module,
+				Gates: ds.nl.NumGates(), Faults: ds.faults,
+				Detected: rr.Detected(), Digest: shard.DigestFirst(rr.First),
+				Work: rr.Work, Quarantined: rr.Quarantined, DiedShards: len(rr.Died),
+			}
+			ds.died = rr.Died
+			ds.errs = rr.Errors
+			fmt.Fprintf(os.Stderr, "corpus: design %d trace_cycles=%d ranges=%s\n",
+				ds.index, rr.TraceCycles, shard.FormatRanges(rr.Ranges))
+		} else if !ds.journal {
+			ds.outcome = shard.Outcome{Design: ds.index, Seed: ds.seed, Module: ds.module,
+				Gates: ds.nl.NumGates(), Vacuous: true, Digest: shard.DigestFirst(nil)}
+		}
+		if cfg.Checkpoint != "" && !ds.journal {
+			if err := shard.AppendOutcome(cfg.Checkpoint, ds.outcome); err != nil {
+				return err
+			}
+		}
+
+		o := ds.outcome
+		coverage := 0.0
+		if o.Faults > 0 {
+			coverage = 100 * float64(o.Detected) / float64(o.Faults)
+		}
+		fmt.Printf("design=%d seed=%d module=%s gates=%d faults=%d detected=%d coverage=%.2f digest=%s quarantined=%d degraded=%v\n",
+			o.Design, o.Seed, o.Module, o.Gates, o.Faults, o.Detected, coverage, o.Digest, o.Quarantined, o.DiedShards > 0)
+
+		corpusRows = append(corpusRows, cli.CorpusDesign{
+			Design: o.Design, Seed: o.Seed, Module: o.Module, Gates: o.Gates,
+			Faults: o.Faults, Detected: o.Detected, Coverage: coverage,
+			FirstDigest: o.Digest, Quarantined: o.Quarantined,
+			Degraded: o.DiedShards > 0, Vacuous: o.Vacuous,
+		})
+		topo.Designs = append(topo.Designs, cli.ShardDesignTopology{
+			Module: o.Module, FaultRanges: ds.ranges, DiedShards: ds.died,
+		})
+		work.Add(o.Work)
+		quarantined += o.Quarantined
+		if o.DiedShards > 0 {
+			degraded++
+		}
+		all = append(all, ds.errs...)
+	}
+
+	// Aggregate counters: cross-process totals folded into this
+	// process's telemetry so the report's counter section carries the
+	// merged, topology-invariant values.
+	tel.AddCounter("corpus.designs", uint64(len(designs)))
+	tel.AddCounter("faultsim.batches", work.Batches)
+	tel.AddCounter("faultsim.cycles", work.Cycles)
+	tel.AddCounter("faultsim.events", work.Events)
+	tel.AddCounter("faultsim.flop_heals", work.FlopHeals)
+
+	var runErr error
+	if err := factorerr.Collect(all); err != nil {
+		runErr = err
+	}
+	finalReport := cli.NewReport("corpus", runErr)
+	finalReport.Corpus = corpusRows
+	finalReport.Shard = topo
+	finalReport.AttachTelemetry(tel)
+	finalReport.AttachDegraded(quarantined, degraded)
+	if cfg.Report != "" {
+		if err := finalReport.Write(cfg.Report); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+// buildDesign generates, synthesizes and snapshots corpus design i.
+func buildDesign(i int, cfg config, workDir string) (*designState, error) {
+	dseed := cfg.Seed + int64(i)
+	text := designgen.Generate(dseed, designgen.DefaultConfig()).Text()
+	src, err := verilog.Parse(fmt.Sprintf("corpus-%d.v", i), text)
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
+	}
+	top := "top"
+	if src.Module(top) == nil && len(src.Modules) > 0 {
+		top = src.Modules[len(src.Modules)-1].Name
+	}
+	res, err := synth.Synthesize(src, top, synth.Options{})
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodeAnalysis, err)
+	}
+	nl := res.Netlist
+	faults := fault.Universe(nl)
+
+	ds := &designState{
+		index:  i,
+		seed:   dseed,
+		module: fmt.Sprintf("%s@%d", top, dseed),
+		nl:     nl,
+		faults: len(faults),
+	}
+	ds.ranges = shard.Partition(ds.faults, cfg.Shards)
+	if ds.faults == 0 {
+		return ds, nil
+	}
+	snap := filepath.Join(workDir, fmt.Sprintf("design_%d.snap", i))
+	if err := nl.WriteSnapshotFile(snap); err != nil {
+		return nil, err
+	}
+	opts := shard.Options{
+		Shards: cfg.Shards, Workers: cfg.Workers,
+		Seqs: cfg.Seqs, Cycles: cfg.Cycles,
+		Seed:      stimulusSeed(dseed),
+		Module:    ds.module,
+		Snapshot:  snap,
+		ChaosSalt: uint64(dseed),
+	}
+	ds.specs = opts.Specs(ds.faults)
+	ds.slots = make([]shard.ShardOutcome, len(ds.specs))
+	return ds, nil
+}
+
+// stimulusSeed derives the sequence-generator seed from the design
+// seed (splitmix64 step) so stimulus and structure vary independently.
+func stimulusSeed(dseed int64) uint64 {
+	z := uint64(dseed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

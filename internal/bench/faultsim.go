@@ -11,7 +11,6 @@ import (
 	"factor/internal/arm"
 	"factor/internal/fault"
 	"factor/internal/netlist"
-	"factor/internal/sim"
 	"factor/internal/synth"
 )
 
@@ -87,20 +86,7 @@ func FaultSimWorkload(module string, width, maxFaults, nSeqs, cycles int) (*netl
 		}
 		faults = sampled
 	}
-	seqs := make([]fault.Sequence, nSeqs)
-	rng := uint64(0x9E3779B97F4A7C15)
-	for s := range seqs {
-		seq := make(fault.Sequence, cycles)
-		for t := range seq {
-			vec := fault.Vector{}
-			for _, name := range nl.PINames {
-				rng = rng*6364136223846793005 + 1442695040888963407
-				vec[name] = sim.Logic((rng >> 33) & 1)
-			}
-			seq[t] = vec
-		}
-		seqs[s] = seq
-	}
+	seqs := fault.RandomSequences(nl, 0x9E3779B97F4A7C15, nSeqs, cycles)
 	return nl, faults, seqs, nil
 }
 

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"factor/internal/shard"
+)
+
+// ShardRow is one shard count of the multi-process scaling ablation:
+// the whole seed-design corpus fault-simulated end to end (full
+// collapsed universe, first detections) split across that many re-exec'd
+// shard processes. Detected counts and first-detection digests are
+// asserted identical across shard counts — the scaling table doubles as
+// a byte-identity differential check.
+type ShardRow struct {
+	Shards  int `json:"shards"`
+	Designs int `json:"designs"`
+	Faults  int `json:"faults"`
+
+	Detected int     `json:"detected"`
+	Coverage float64 `json:"fault_coverage"`
+
+	Sec           float64 `json:"sec"`
+	DesignsPerSec float64 `json:"designs_per_sec"`
+
+	// SimEvents is the shard-invariant gate-evaluation count summed over
+	// the corpus — identical for every shard count by construction.
+	SimEvents       uint64  `json:"sim_events"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec"`
+}
+
+// ShardCounts is the default shard sweep of ShardAblation.
+var ShardCounts = []int{1, 2, 4}
+
+// shardDesign is one prepared corpus entry: the snapshot on disk plus
+// the workload parameters every shard count replays identically.
+type shardDesign struct {
+	module   string
+	snapshot string
+	faults   int
+}
+
+// ShardAblation measures multi-process scaling of sharded first-
+// detection fault simulation over the seed-design corpus. Each design
+// is snapshotted once; every shard count then replays the identical
+// workload through spawn (which must land in shard.ChildMain — e.g.
+// shard.SelfExecSpawner from a binary that calls ChildMain first).
+// Workers per shard is pinned to 1 so the shard count is the only
+// parallelism dimension. reps > 1 keeps the fastest pass per shard
+// count; detections and digests are asserted identical across every
+// rep and shard count. nil modules / shardCounts select the defaults.
+func ShardAblation(width, reps int, modules []string, shardCounts []int, spawn shard.Spawner) ([]ShardRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if modules == nil {
+		modules = FaultSimModules
+	}
+	if shardCounts == nil {
+		shardCounts = ShardCounts
+	}
+	const nSeqs, cycles = 16, 8
+	const seed = 0x9E3779B97F4A7C15
+
+	dir, err := os.MkdirTemp("", "factor-shard-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var designs []shardDesign
+	for i, module := range modules {
+		nl, faults, _, err := FaultSimWorkload(module, width, 0, nSeqs, cycles)
+		if err != nil {
+			return nil, err
+		}
+		snap := fmt.Sprintf("%s/design%d.snap", dir, i)
+		if err := nl.WriteSnapshotFile(snap); err != nil {
+			return nil, err
+		}
+		designs = append(designs, shardDesign{module: module, snapshot: snap, faults: len(faults)})
+	}
+
+	var rows []ShardRow
+	var refDetected int
+	var refDigests []string
+	var refEvents uint64
+	for _, shards := range shardCounts {
+		best := math.Inf(1)
+		var detected int
+		var events uint64
+		var digests []string
+		for r := 0; r < reps; r++ {
+			detected, events = 0, 0
+			digests = digests[:0]
+			start := time.Now()
+			for _, d := range designs {
+				res := shard.Run(context.Background(), shard.Options{
+					Shards:   shards,
+					Workers:  1,
+					Seqs:     nSeqs,
+					Cycles:   cycles,
+					Seed:     seed,
+					Module:   d.module,
+					Snapshot: d.snapshot,
+				}, d.faults, spawn)
+				if len(res.Died) != 0 || len(res.Errors) != 0 {
+					return nil, fmt.Errorf("shard ablation: %s at shards=%d degraded: %v", d.module, shards, res.Errors)
+				}
+				detected += res.Detected()
+				events += res.Work.Events
+				digests = append(digests, shard.DigestFirst(res.First))
+			}
+			if sec := time.Since(start).Seconds(); sec < best {
+				best = sec
+			}
+		}
+		if refDigests == nil {
+			refDetected, refDigests, refEvents = detected, digests, events
+		} else {
+			if detected != refDetected || events != refEvents {
+				return nil, fmt.Errorf("shard ablation: shards=%d disagrees with shards=%d: detected %d vs %d, events %d vs %d",
+					shards, shardCounts[0], detected, refDetected, events, refEvents)
+			}
+			for i := range digests {
+				if digests[i] != refDigests[i] {
+					return nil, fmt.Errorf("shard ablation: %s first-detection digest differs at shards=%d: %s vs %s",
+						designs[i].module, shards, digests[i], refDigests[i])
+				}
+			}
+		}
+
+		total := 0
+		for _, d := range designs {
+			total += d.faults
+		}
+		rows = append(rows, ShardRow{
+			Shards:          shards,
+			Designs:         len(designs),
+			Faults:          total,
+			Detected:        detected,
+			Coverage:        float64(detected) / float64(total),
+			Sec:             best,
+			DesignsPerSec:   float64(len(designs)) / best,
+			SimEvents:       events,
+			SimEventsPerSec: float64(events) / best,
+		})
+	}
+	return rows, nil
+}
+
+// WriteShardJSON writes the scaling rows as indented JSON to path.
+func WriteShardJSON(path string, rows []ShardRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatShard renders the scaling rows as a table.
+func FormatShard(rows []ShardRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sharded fault-simulation scaling (workers/shard=1, %d designs)\n", rows[0].Designs)
+	fmt.Fprintf(&sb, "%7s %7s %9s %9s %10s %12s %14s\n",
+		"Shards", "Faults", "Detected", "Cov", "Wall", "Designs/s", "SimEvents/s")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%7d %7d %9d %8.1f%% %9.3fs %12.2f %13.2fM\n",
+			r.Shards, r.Faults, r.Detected, 100*r.Coverage, r.Sec, r.DesignsPerSec, r.SimEventsPerSec/1e6)
+	}
+	return sb.String()
+}

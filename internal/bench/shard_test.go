@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"factor/internal/shard"
+)
+
+// TestShardChildExecBench is not a test: it is the body the shard
+// ablation's spawner re-execs the test binary into. shard.ChildMain
+// only engages when FACTOR_SHARD_SPEC is set, and never returns when
+// it does.
+func TestShardChildExecBench(t *testing.T) {
+	shard.ChildMain()
+	t.Skip("shard-child body; spawned by TestShardAblation")
+}
+
+// TestShardAblation runs the scaling ablation on the smallest corpus
+// design at shard counts 1 and 2. ShardAblation itself asserts the
+// cross-shard-count differential (detections, work counters, digests);
+// the test checks the rows are well-formed.
+func TestShardAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := shard.ExecSpawner(exe, "-test.run", "^TestShardChildExecBench$", "-test.count=1")
+	rows, err := ShardAblation(8, 1, []string{"arm_alu"}, []int{1, 2}, spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Designs != 1 || r.Faults == 0 || r.Detected == 0 || r.SimEvents == 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		if r.Sec <= 0 || r.SimEventsPerSec <= 0 {
+			t.Errorf("non-positive rates: %+v", r)
+		}
+	}
+	if rows[0].Detected != rows[1].Detected || rows[0].SimEvents != rows[1].SimEvents {
+		t.Errorf("shard counts disagree: %+v vs %+v", rows[0], rows[1])
+	}
+	if got := FormatShard(rows); len(got) == 0 {
+		t.Error("FormatShard returned empty table")
+	}
+}

@@ -1,11 +1,13 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -296,5 +298,87 @@ func TestRunFlagsFailpoints(t *testing.T) {
 	bad := &RunFlags{Progress: "off", Failpoints: "nosuchaction=frobnicate"}
 	if _, _, err := bad.Start("test"); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeUsage}) {
 		t.Fatalf("bad -failpoints spec returned %v, want usage error", err)
+	}
+}
+
+func TestCanonicalJSONStripsShardTopology(t *testing.T) {
+	mk := func(shards int) *Report {
+		r := NewReport("corpus", nil)
+		r.Corpus = []CorpusDesign{{Design: 0, Module: "top", Faults: 10, Detected: 7, FirstDigest: "abc"}}
+		r.Shard = &ShardReport{
+			Shards:          shards,
+			WorkersPerShard: 2,
+			Designs:         []ShardDesignTopology{{Module: "top", FaultRanges: Partition10(shards)}},
+		}
+		return r
+	}
+	a, err := mk(1).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk(4).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("canonical reports differ across shard counts:\n%s\nvs\n%s", a, b)
+	}
+	// The original report still carries the topology.
+	if mk(4).Shard == nil {
+		t.Fatal("CanonicalJSON mutated the receiver")
+	}
+	full, err := json.Marshal(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(full, []byte(`"shard"`)) {
+		t.Fatal("full report lost the shard section")
+	}
+}
+
+// Partition10 fakes a partition of 10 faults without importing the
+// shard package (cli must stay import-light; shard depends on cli).
+func Partition10(shards int) [][2]int {
+	out := make([][2]int, shards)
+	for i := range out {
+		out[i] = [2]int{0, 10}
+	}
+	return out
+}
+
+func TestChildEnvPropagation(t *testing.T) {
+	rf := &RunFlags{Failpoints: "io.write=error:0.5:7"}
+	env := ChildEnv(rf, map[string]string{"EXTRA_VAR": "x"})
+	want := map[string]string{
+		EnvFailpoints: "io.write=error:0.5:7",
+		EnvProgress:   "off",
+		"EXTRA_VAR":   "x",
+	}
+	got := map[string]string{}
+	for _, kv := range env {
+		k, v, _ := strings.Cut(kv, "=")
+		got[k] = v
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %q, want %q", k, got[k], v)
+		}
+	}
+
+	// Child side: activation from the environment.
+	t.Setenv(EnvFailpoints, "cli.report.write=error:1:1")
+	present, err := ActivateEnvFailpoints()
+	if !present || err != nil {
+		t.Fatalf("ActivateEnvFailpoints: present=%v err=%v", present, err)
+	}
+	defer failpoint.Deactivate()
+	r := NewReport("t", nil)
+	if err := r.Write(filepath.Join(t.TempDir(), "r.json")); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeIO}) {
+		t.Fatalf("env-activated failpoint did not fire: %v", err)
+	}
+
+	t.Setenv(EnvFailpoints, "not a spec ===")
+	if _, err := ActivateEnvFailpoints(); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeUsage}) {
+		t.Fatalf("malformed env spec: %v", err)
 	}
 }

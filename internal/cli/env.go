@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"os"
+
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+)
+
+// Environment variables carrying run settings into re-exec'd
+// subprocesses. Any orchestrator that spawns worker processes (the
+// shard orchestrator, the conformance crash hammer) builds the child
+// environment with ChildEnv so chaos injection and telemetry behavior
+// follow the run into every process it forks; the child side activates
+// them with ActivateEnvFailpoints.
+const (
+	// EnvFailpoints is a failpoint spec (site=action[:prob[:seed]],...)
+	// the child must activate before doing real work.
+	EnvFailpoints = "FACTOR_FAILPOINTS"
+	// EnvProgress overrides the child's -progress behavior. Subprocesses
+	// default to "off": their stderr is usually a pipe multiplexed into
+	// the parent's, where interleaved heartbeats are noise.
+	EnvProgress = "FACTOR_PROGRESS"
+)
+
+// ChildEnv returns a copy of the current environment extended with the
+// run settings of rf that subprocesses must inherit — the failpoint
+// spec and the progress policy — plus any extra variables. A nil rf
+// propagates no failpoints. Later entries win in os/exec, so extra and
+// the rf-derived entries override inherited values of the same names.
+func ChildEnv(rf *RunFlags, extra map[string]string) []string {
+	env := os.Environ()
+	if rf != nil && rf.Failpoints != "" {
+		env = append(env, EnvFailpoints+"="+rf.Failpoints)
+	}
+	env = append(env, EnvProgress+"=off")
+	for k, v := range extra {
+		env = append(env, k+"="+v)
+	}
+	return env
+}
+
+// ActivateEnvFailpoints parses and activates the failpoint spec from
+// $FACTOR_FAILPOINTS, reporting whether one was present. Child
+// processes call it at the point injection should go live — after any
+// recovery/resume loading that must succeed untouched (see the crash
+// hammer) — rather than at process start.
+func ActivateEnvFailpoints() (bool, error) {
+	spec := os.Getenv(EnvFailpoints)
+	if spec == "" {
+		return false, nil
+	}
+	reg, err := failpoint.Parse(spec)
+	if err != nil {
+		return true, factorerr.New(factorerr.StageIO, factorerr.CodeUsage,
+			"%s: %v", EnvFailpoints, err)
+	}
+	failpoint.Activate(reg)
+	return true, nil
+}

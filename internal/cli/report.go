@@ -38,6 +38,67 @@ type Report struct {
 	// counts are deterministic across worker counts (quarantine
 	// boundaries key off work-item identity, never scheduling).
 	Degraded *DegradedReport `json:"degraded,omitempty"`
+
+	// Corpus reports per-design outcomes of a corpus run. Every field
+	// is topology-invariant: the same values for any shards × workers
+	// combination and across checkpoint/resume.
+	Corpus []CorpusDesign `json:"corpus,omitempty"`
+
+	// Shard describes the process topology of a sharded run — the one
+	// section that legitimately differs across shard counts. Comparing
+	// reports across topologies means comparing CanonicalJSON (or
+	// jq 'del(.shard)').
+	Shard *ShardReport `json:"shard,omitempty"`
+}
+
+// ShardReport is the report's shard-topology section: self-describing
+// (which process simulated which fault range), deliberately segregated
+// from the result payload so the rest of the report stays
+// byte-comparable across topologies.
+type ShardReport struct {
+	Shards          int                   `json:"shards"`
+	WorkersPerShard int                   `json:"workers_per_shard"`
+	Procs           int                   `json:"procs,omitempty"`
+	Designs         []ShardDesignTopology `json:"designs,omitempty"`
+}
+
+// ShardDesignTopology is one design's fault-range partition.
+type ShardDesignTopology struct {
+	Module string `json:"module"`
+	// FaultRanges holds one half-open [lo,hi) pair per shard.
+	FaultRanges [][2]int `json:"fault_ranges"`
+	// DiedShards lists shard indices that degraded (empty on health).
+	DiedShards []int `json:"died_shards,omitempty"`
+}
+
+// CorpusDesign is one design's outcome in a corpus run.
+type CorpusDesign struct {
+	Design   int     `json:"design"`
+	Seed     int64   `json:"seed"`
+	Module   string  `json:"module"`
+	Gates    int     `json:"gates"`
+	Faults   int     `json:"faults"`
+	Detected int     `json:"detected"`
+	Coverage float64 `json:"fault_coverage"`
+	// FirstDigest fingerprints the full per-fault first-detection
+	// vector; equal digests mean byte-equal per-fault results.
+	FirstDigest string `json:"first_digest"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	Vacuous     bool   `json:"vacuous,omitempty"`
+}
+
+// CanonicalJSON marshals the report with the topology-descriptive
+// Shard section stripped: the byte string that must be identical for
+// any shards × workers combination of the same run.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	c := *r
+	c.Shard = nil
+	data, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return append(data, '\n'), nil
 }
 
 // DegradedReport is the report's quarantine section.

@@ -71,7 +71,13 @@ func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, erro
 	if rf.Trace != "" {
 		tel.EnableTrace()
 	}
-	switch rf.Progress {
+	progress := rf.Progress
+	if env := os.Getenv(EnvProgress); env != "" && (progress == "" || progress == "auto") {
+		// A parent orchestrator's policy wins over the "auto" default,
+		// but never over an explicit flag on this process.
+		progress = env
+	}
+	switch progress {
 	case "on":
 		tel.EnableProgress(os.Stderr, 0)
 	case "auto", "":
@@ -81,7 +87,7 @@ func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, erro
 	case "off":
 	default:
 		return nil, nil, factorerr.New(factorerr.StageIO, factorerr.CodeUsage,
-			"-progress must be auto, on or off (got %q)", rf.Progress)
+			"-progress must be auto, on or off (got %q)", progress)
 	}
 
 	var cpuFile *os.File

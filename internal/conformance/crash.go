@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"factor/internal/atpg"
+	"factor/internal/cli"
 	"factor/internal/core"
 	"factor/internal/design"
 	"factor/internal/designgen"
@@ -58,15 +59,16 @@ var KillSites = []string{
 const maxKillRounds = 6
 
 // Environment variables carrying a crash scenario to the re-execed
-// child (see CrashChild).
+// child (see CrashChild). The failpoint spec itself rides in the shared
+// cli.EnvFailpoints variable so crash children use the same propagation
+// path as every other re-exec'd subprocess.
 const (
-	EnvCrashChild      = "FACTOR_CRASH_CHILD"
-	EnvCrashSeed       = "FACTOR_CRASH_SEED"
-	EnvCrashCkpt       = "FACTOR_CRASH_CKPT"
-	EnvCrashOut        = "FACTOR_CRASH_OUT"
-	EnvCrashLog        = "FACTOR_CRASH_LOG"
-	EnvCrashWorkers    = "FACTOR_CRASH_WORKERS"
-	EnvCrashFailpoints = "FACTOR_CRASH_FAILPOINTS"
+	EnvCrashChild   = "FACTOR_CRASH_CHILD"
+	EnvCrashSeed    = "FACTOR_CRASH_SEED"
+	EnvCrashCkpt    = "FACTOR_CRASH_CKPT"
+	EnvCrashOut     = "FACTOR_CRASH_OUT"
+	EnvCrashLog     = "FACTOR_CRASH_LOG"
+	EnvCrashWorkers = "FACTOR_CRASH_WORKERS"
 )
 
 // CrashReport is the outcome of hammering one seed.
@@ -233,12 +235,8 @@ func CrashChild() error {
 
 	// Failpoints go live only now: the resume load itself must succeed
 	// on whatever torn state the last kill produced.
-	if spec := os.Getenv(EnvCrashFailpoints); spec != "" {
-		reg, err := failpoint.Parse(spec)
-		if err != nil {
-			return err
-		}
-		failpoint.Activate(reg)
+	if _, err := cli.ActivateEnvFailpoints(); err != nil {
+		return err
 	}
 
 	rr, err := atpg.New(nl, aopts).RunContext(context.Background(), faults)
@@ -312,7 +310,7 @@ func CheckCrash(seed int64, dir string, spawn func(env map[string]string) error)
 
 	completed := false
 	for round := 1; round <= maxKillRounds && !completed; round++ {
-		env[EnvCrashFailpoints] = killSpec(site, seed, round)
+		env[cli.EnvFailpoints] = killSpec(site, seed, round)
 		env[EnvCrashWorkers] = strconv.Itoa(1 + round%3)
 		rep.Rounds++
 		if err := spawn(env); err != nil {
@@ -325,7 +323,7 @@ func CheckCrash(seed int64, dir string, spawn func(env map[string]string) error)
 		// Every kill round died (kills can land before the first
 		// flush). One clean round finishes from the best surviving
 		// journal state; an error here is a real recovery failure.
-		env[EnvCrashFailpoints] = ""
+		env[cli.EnvFailpoints] = ""
 		env[EnvCrashWorkers] = "2"
 		rep.Rounds++
 		if err := spawn(env); err != nil {

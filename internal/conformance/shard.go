@@ -1,0 +1,161 @@
+package conformance
+
+// Invariant I7 (shard identity): first-detection fault simulation
+// sharded across re-exec'd worker processes over a compiled-netlist
+// snapshot must be byte-identical to the single-process in-process run
+// — the full per-fault first-detection vector and the shard-invariant
+// work counters — for every shards × workers combination, because
+// shard ranges are aligned to the engine's 63-fault batch boundaries
+// and first detection is intrinsic to (fault, sequence list).
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"factor/internal/designgen"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/shard"
+	"factor/internal/synth"
+	"factor/internal/verilog"
+)
+
+// CodeShard classifies I7 violations.
+const CodeShard = "shard"
+
+// ShardTopologies is the shards × workers matrix I7 sweeps.
+var ShardTopologies = []struct{ Shards, Workers int }{
+	{1, 1}, {2, 1}, {2, 2}, {3, 2},
+}
+
+// ShardReport is the outcome of checking one seed.
+type ShardReport struct {
+	Seed   int64
+	Faults int
+	// Vacuous is set when the seed's design has no faults.
+	Vacuous    bool
+	Violations []Violation
+}
+
+// OK reports whether I7 held.
+func (r *ShardReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *ShardReport) violate(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: 7,
+		Code:      CodeShard,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Line renders the report as one deterministic summary line.
+func (r *ShardReport) Line() string {
+	status := "ok"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d faults=%d vacuous=%v status=%s", r.Seed, r.Faults, r.Vacuous, status)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, " [%s]", v)
+	}
+	return b.String()
+}
+
+// shardLeg builds the fault-simulation leg for a seed: the generated
+// design synthesized whole (no MUT extraction — sharding operates on
+// the full universe) plus its stimulus.
+func shardLeg(seed int64, opts Options) (*netlist.Netlist, []fault.Fault, []fault.Sequence, uint64, error) {
+	opts = opts.withDefaults()
+	text := designgen.Generate(seed, opts.Gen).Text()
+	src, err := verilog.Parse("conformance.v", text)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	top := "top"
+	if src.Module(top) == nil && len(src.Modules) > 0 {
+		top = src.Modules[len(src.Modules)-1].Name
+	}
+	res, err := synth.Synthesize(src, top, synth.Options{})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	nl := res.Netlist
+	faults := fault.Universe(nl)
+	stimSeed := uint64(mixSeed(seed, 0x53484152)) // "SHAR"
+	seqs := fault.RandomSequences(nl, stimSeed, opts.RandomSequences, opts.RandomSeqLen)
+	return nl, faults, seqs, stimSeed, nil
+}
+
+// renderShardRun is the canonical byte-comparable rendering of a
+// first-detection pass: every fault's first detecting sequence and the
+// invariant work counters. TraceCycles is deliberately absent — it is
+// the one counter that scales with the shard count.
+func renderShardRun(faults []fault.Fault, first []int, work shard.WorkCounters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults=%d digest=%s\n", len(faults), shard.DigestFirst(first))
+	fmt.Fprintf(&b, "work batches=%d cycles=%d events=%d flop_heals=%d\n",
+		work.Batches, work.Cycles, work.Events, work.FlopHeals)
+	for i, f := range faults {
+		fmt.Fprintf(&b, "%s first=%d\n", f, first[i])
+	}
+	return b.String()
+}
+
+// CheckShard verifies I7 for one seed: an in-process single-worker
+// baseline, then a sharded run per topology in ShardTopologies, each
+// spawned through spawn (which must run shard.ChildMain in a fresh
+// process), byte-compared against the baseline. dir holds the snapshot
+// file.
+func CheckShard(seed int64, dir string, spawn shard.Spawner) *ShardReport {
+	rep := &ShardReport{Seed: seed}
+	opts := DefaultOptions()
+
+	nl, faults, seqs, stimSeed, err := shardLeg(seed, opts)
+	if err != nil {
+		rep.violate("pipeline front failed: %v", err)
+		return rep
+	}
+	rep.Faults = len(faults)
+	if len(faults) == 0 {
+		rep.Vacuous = true
+		return rep
+	}
+
+	baseFirst, baseStats, errs := fault.FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	if len(errs) != 0 {
+		rep.violate("baseline run errored: %v", errs)
+		return rep
+	}
+	baseline := renderShardRun(faults, baseFirst, shard.Invariant(baseStats))
+
+	snap := dir + "/shard.snap"
+	if err := nl.WriteSnapshotFile(snap); err != nil {
+		rep.violate("snapshot write failed: %v", err)
+		return rep
+	}
+
+	for _, topo := range ShardTopologies {
+		res := shard.Run(context.Background(), shard.Options{
+			Shards:   topo.Shards,
+			Workers:  topo.Workers,
+			Seqs:     opts.withDefaults().RandomSequences,
+			Cycles:   opts.withDefaults().RandomSeqLen,
+			Seed:     stimSeed,
+			Module:   fmt.Sprintf("conformance@%d", seed),
+			Snapshot: snap,
+		}, len(faults), spawn)
+		if len(res.Died) != 0 {
+			rep.violate("shards=%d workers=%d: %d shard(s) died: %v",
+				topo.Shards, topo.Workers, len(res.Died), res.Errors)
+			continue
+		}
+		if got := renderShardRun(faults, res.First, res.Work); got != baseline {
+			rep.violate("shards=%d workers=%d: sharded run differs from single-process run:\n%s",
+				topo.Shards, topo.Workers, firstDiff(baseline, got))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,45 @@
+package conformance
+
+import (
+	"os"
+	"testing"
+
+	"factor/internal/shard"
+)
+
+// TestShardChildExecI7 is not a test: it is the body CheckShard's
+// spawner re-execs the test binary into. shard.ChildMain only engages
+// when FACTOR_SHARD_SPEC is set, and never returns when it does.
+func TestShardChildExecI7(t *testing.T) {
+	shard.ChildMain()
+	t.Skip("shard-child body; spawned by TestShardIdentity")
+}
+
+// TestShardIdentity is invariant I7 over a pinned corpus: for each
+// seed, the sharded multi-process run must render byte-identically to
+// the in-process single-worker baseline for every topology in
+// ShardTopologies. At least one seed must be non-vacuous so the sweep
+// actually exercises the merge.
+func TestShardIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := shard.ExecSpawner(exe, "-test.run", "^TestShardChildExecI7$", "-test.count=1")
+	nonVacuous := 0
+	for seed := int64(0); seed < 4; seed++ {
+		rep := CheckShard(seed, t.TempDir(), spawn)
+		if !rep.OK() {
+			t.Errorf("%s", rep.Line())
+		}
+		if !rep.Vacuous {
+			nonVacuous++
+		}
+	}
+	if nonVacuous == 0 {
+		t.Error("every corpus seed was vacuous; the sweep never exercised sharding")
+	}
+}

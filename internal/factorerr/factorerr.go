@@ -78,6 +78,19 @@ const (
 	CodeInternal
 	// CodeIO is a filesystem read/write failure.
 	CodeIO
+	// CodeSnapshotCorrupt is a truncated or bit-flipped compiled-netlist
+	// snapshot: short frame, bad magic, CRC mismatch, or a payload whose
+	// arrays fail shape validation. The snapshot is unusable — rebuild it
+	// from the design; the design itself is fine.
+	CodeSnapshotCorrupt
+	// CodeSnapshotVersion is a compiled-netlist snapshot written by a
+	// different codec version; re-encode with this build.
+	CodeSnapshotVersion
+	// CodeShardDied is a shard worker process that terminated without
+	// streaming back a result (killed, crashed, or produced garbage); the
+	// parent degraded its fault range to all-undetected and continued.
+	// Classified as a partial failure in the exit taxonomy.
+	CodeShardDied
 )
 
 var codeNames = map[Code]string{
@@ -95,6 +108,9 @@ var codeNames = map[Code]string{
 	CodeCheckpointMismatch: "checkpoint-mismatch",
 	CodeInternal:           "internal",
 	CodeIO:                 "io",
+	CodeSnapshotCorrupt:    "snapshot-corrupt",
+	CodeSnapshotVersion:    "snapshot-version",
+	CodeShardDied:          "shard-died",
 }
 
 func (c Code) String() string {
@@ -346,7 +362,7 @@ func ExitCode(err error) int {
 		return ExitUsage
 	}
 	if errors.Is(err, &Error{Code: CodePartial}) || errors.Is(err, &Error{Code: CodeCanceled}) ||
-		errors.Is(err, &Error{Code: CodeTimeout}) {
+		errors.Is(err, &Error{Code: CodeTimeout}) || errors.Is(err, &Error{Code: CodeShardDied}) {
 		return ExitPartial
 	}
 	return ExitError

@@ -1,0 +1,569 @@
+package netlist
+
+// Compiled-netlist snapshots: a versioned, CRC-framed binary encoding
+// of the Compiled CSR view plus the interface names a simulator needs
+// (PI/PO names, in order). The codec exists so a fleet of shard worker
+// processes can share one immutable compiled design with zero per-shard
+// build cost: the parent compiles once and writes the snapshot, every
+// worker loads it and gets a Netlist whose Compile() returns the
+// decoded view directly — no parsing, no synthesis, no topological
+// sort, no level computation.
+//
+// Wire format (version 1), all integers little-endian:
+//
+//	[0:4]   magic "FCSN"
+//	[4:8]   version  uint32
+//	[8:16]  payload length uint64
+//	[16:20] CRC32 (IEEE) of payload uint32
+//	[20:24] reserved (zero)
+//	[24:]   payload
+//
+// The payload is a count header (numGates, numLevels, lenFaninList,
+// lenFanoutList, numPIs, numPOs, numDFFs, nameLen as uint64) followed
+// by the flat arrays of the Compiled view — Kind, FaninStart/FaninList,
+// FanoutStart/FanoutList, FanoutRefs, Order, Pos, Level, LevelStart,
+// PIs, POs, DFFs — each padded to 4-byte alignment, then a name blob
+// (uint32-length-prefixed strings: netlist name, PI names, PO names).
+//
+// On little-endian hosts the decoder does not copy the arrays: each
+// int32 section is aliased directly onto the snapshot buffer
+// (unsafe.Slice), so loading a design is O(validation) and the mapped
+// bytes can be shared read-only between processes. Big-endian hosts
+// (and unaligned buffers) fall back to a portable copying decode. In
+// both cases the decoded view — like every Compiled — must be treated
+// as immutable, and the caller must not mutate the snapshot buffer
+// while the view is live.
+//
+// Decoding rejects damage with distinct factorerr codes: a truncated
+// or bit-flipped frame (bad magic, short buffer, CRC mismatch, shape
+// validation failure) is CodeSnapshotCorrupt; a well-formed frame from
+// a different codec version is CodeSnapshotVersion.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"unsafe"
+
+	"factor/internal/factorerr"
+)
+
+// SnapshotVersion is the current snapshot codec version.
+const SnapshotVersion = 1
+
+const (
+	snapMagic      = "FCSN"
+	snapHeaderSize = 24
+	snapCountWords = 8
+)
+
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func snapCorrupt(format string, args ...interface{}) error {
+	return factorerr.New(factorerr.StageIO, factorerr.CodeSnapshotCorrupt, "snapshot: "+format, args...)
+}
+
+// Snapshot encodes the netlist's compiled view and interface names as
+// a self-contained binary frame. The encoding is a pure function of
+// the compiled view and the PI/PO/name slices, so two structurally
+// identical netlists produce byte-identical snapshots. Diagnostic
+// per-gate names and scopes are not captured: a snapshot carries the
+// simulation view, not the full IR.
+func (n *Netlist) Snapshot() []byte {
+	c := n.Compile()
+	ng := c.NumGates
+
+	nameLen := 4 + len(n.Name)
+	for _, s := range n.PINames {
+		nameLen += 4 + len(s)
+	}
+	for _, s := range n.PONames {
+		nameLen += 4 + len(s)
+	}
+
+	payload := 8 * snapCountWords
+	payload += pad4(ng)              // Kind
+	payload += 4 * (ng + 1)          // FaninStart
+	payload += 4 * len(c.FaninList)  // FaninList
+	payload += 4 * (ng + 1)          // FanoutStart
+	payload += 4 * len(c.FanoutList) // FanoutList
+	payload += 8 * len(c.FanoutRefs) // FanoutRefs
+	payload += 4 * ng * 3            // Order, Pos, Level
+	payload += 4 * (c.NumLevels + 1) // LevelStart
+	payload += 4 * (len(c.PIs) + len(c.POs) + len(c.DFFs))
+	payload += nameLen
+
+	buf := make([]byte, snapHeaderSize+payload)
+	copy(buf, snapMagic)
+	binary.LittleEndian.PutUint32(buf[4:], SnapshotVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(payload))
+
+	p := buf[snapHeaderSize:]
+	off := 0
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(p[off:], v)
+		off += 8
+	}
+	putU64(uint64(ng))
+	putU64(uint64(c.NumLevels))
+	putU64(uint64(len(c.FaninList)))
+	putU64(uint64(len(c.FanoutList)))
+	putU64(uint64(len(c.PIs)))
+	putU64(uint64(len(c.POs)))
+	putU64(uint64(len(c.DFFs)))
+	putU64(uint64(nameLen))
+
+	copy(p[off:], c.Kind)
+	off += pad4(ng)
+	putI32 := func(xs []int32) {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint32(p[off:], uint32(x))
+			off += 4
+		}
+	}
+	putI32(c.FaninStart)
+	putI32(c.FaninList)
+	putI32(c.FanoutStart)
+	putI32(c.FanoutList)
+	for _, fr := range c.FanoutRefs {
+		binary.LittleEndian.PutUint32(p[off:], uint32(fr.ID))
+		binary.LittleEndian.PutUint32(p[off+4:], uint32(fr.Level))
+		off += 8
+	}
+	putI32(c.Order)
+	putI32(c.Pos)
+	putI32(c.Level)
+	putI32(c.LevelStart)
+	putI32(c.PIs)
+	putI32(c.POs)
+	putI32(c.DFFs)
+	putStr := func(s string) {
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(s)))
+		off += 4
+		copy(p[off:], s)
+		off += len(s)
+	}
+	putStr(n.Name)
+	for _, s := range n.PINames {
+		putStr(s)
+	}
+	for _, s := range n.PONames {
+		putStr(s)
+	}
+	if off != payload {
+		invariantf("netlist: snapshot encoder wrote %d of %d payload bytes", off, payload)
+	}
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// WriteSnapshotFile writes the netlist's snapshot to path.
+func (n *Netlist) WriteSnapshotFile(path string) error {
+	if err := os.WriteFile(path, n.Snapshot(), 0o644); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads a snapshot file written by WriteSnapshotFile.
+func ReadSnapshotFile(path string) (*Netlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return LoadSnapshot(data)
+}
+
+// LoadSnapshot decodes a snapshot frame into a ready-to-simulate
+// Netlist: gate kinds and fanins are reconstructed from the CSR
+// arrays, PI/PO/DFF lists and names are restored, and the decoded
+// Compiled view (plus the topological order) is pre-seeded into the
+// netlist's caches — a subsequent Compile() returns the decoded view
+// without building anything. The frame is CRC-checked and the arrays
+// are shape-validated before anything aliases them, so a truncated or
+// bit-flipped snapshot fails with a structured error instead of
+// corrupting a simulation.
+//
+// data is retained: on little-endian hosts the compiled arrays alias
+// it. Treat the buffer as immutable for the lifetime of the netlist.
+func LoadSnapshot(data []byte) (*Netlist, error) {
+	if len(data) < snapHeaderSize {
+		return nil, snapCorrupt("frame too short: %d bytes", len(data))
+	}
+	if string(data[:4]) != snapMagic {
+		return nil, snapCorrupt("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != SnapshotVersion {
+		return nil, factorerr.New(factorerr.StageIO, factorerr.CodeSnapshotVersion,
+			"snapshot: version %d, this build reads version %d", v, SnapshotVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-snapHeaderSize) {
+		return nil, snapCorrupt("payload length %d does not match frame (%d bytes after header)",
+			plen, len(data)-snapHeaderSize)
+	}
+	if r := binary.LittleEndian.Uint32(data[20:]); r != 0 {
+		return nil, snapCorrupt("reserved header field is %#x, want 0", r)
+	}
+	p := data[snapHeaderSize:]
+	if got := crc32.ChecksumIEEE(p); got != binary.LittleEndian.Uint32(data[16:]) {
+		return nil, snapCorrupt("CRC mismatch")
+	}
+
+	d := &snapDecoder{p: p}
+	ng := d.count()
+	numLevels := d.count()
+	nFanin := d.count()
+	nFanout := d.count()
+	nPIs := d.count()
+	nPOs := d.count()
+	nDFFs := d.count()
+	nameLen := d.count()
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	c := &Compiled{NumGates: ng, NumLevels: numLevels}
+	c.Kind = d.bytes(ng)
+	d.align4()
+	c.FaninStart = d.int32s(ng + 1)
+	c.FaninList = d.int32s(nFanin)
+	c.FanoutStart = d.int32s(ng + 1)
+	c.FanoutList = d.int32s(nFanout)
+	c.FanoutRefs = d.fanoutRefs(nFanout)
+	c.Order = d.int32s(ng)
+	c.Pos = d.int32s(ng)
+	c.Level = d.int32s(ng)
+	c.LevelStart = d.int32s(numLevels + 1)
+	c.PIs = d.int32s(nPIs)
+	c.POs = d.int32s(nPOs)
+	c.DFFs = d.int32s(nDFFs)
+
+	nameStart := d.off
+	name := d.str()
+	piNames := make([]string, 0, nPIs)
+	for i := 0; i < nPIs; i++ {
+		piNames = append(piNames, d.str())
+	}
+	poNames := make([]string, 0, nPOs)
+	for i := 0; i < nPOs; i++ {
+		poNames = append(poNames, d.str())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off-nameStart != nameLen || d.off != len(p) {
+		return nil, snapCorrupt("trailing bytes: consumed %d of %d payload bytes", d.off, len(p))
+	}
+
+	if err := validateCompiled(c); err != nil {
+		return nil, err
+	}
+	c.IsPO = make([]bool, ng)
+	for _, po := range c.POs {
+		c.IsPO[po] = true
+	}
+
+	// Reconstruct the Netlist view over the validated arrays. This is
+	// plain struct assembly — no topological sort, no level or fanout
+	// computation — and the derived-view caches are seeded with the
+	// decoded artifacts, so nothing is ever recompiled.
+	n := &Netlist{Name: name, PINames: piNames, PONames: poNames}
+	n.Gates = make([]*Gate, ng)
+	faninInts := make([]int, nFanin)
+	for i, f := range c.FaninList {
+		faninInts[i] = int(f)
+	}
+	for id := 0; id < ng; id++ {
+		n.Gates[id] = &Gate{
+			ID:    id,
+			Kind:  GateKind(c.Kind[id]),
+			Fanin: faninInts[c.FaninStart[id]:c.FaninStart[id+1]:c.FaninStart[id+1]],
+		}
+	}
+	n.PIs = toInt(c.PIs)
+	n.POs = toInt(c.POs)
+	n.DFFs = toInt(c.DFFs)
+	for i, pi := range n.PIs {
+		n.Gates[pi].Name = piNames[i]
+	}
+	n.topoCache = toInt(c.Order)
+	n.compiledCache = c
+	return n, nil
+}
+
+// snapDecoder walks the payload, aliasing sections zero-copy where the
+// host byte order and buffer alignment allow and copying otherwise.
+type snapDecoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = snapCorrupt(format, args...)
+	}
+}
+
+// count reads one uint64 count and bounds it to a sane int.
+func (d *snapDecoder) count() int {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.p) {
+		d.fail("truncated count header")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	if v > uint64(len(d.p)) {
+		d.fail("count %d exceeds payload size %d", v, len(d.p))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *snapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.p) {
+		d.fail("truncated section at offset %d (need %d bytes, have %d)", d.off, n, len(d.p)-d.off)
+		return nil
+	}
+	s := d.p[d.off : d.off+n : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *snapDecoder) bytes(n int) []byte { return d.take(n) }
+
+func (d *snapDecoder) align4() {
+	d.take(pad4(d.off) - d.off)
+}
+
+func (d *snapDecoder) int32s(n int) []int32 {
+	raw := d.take(4 * n)
+	if raw == nil || n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+func (d *snapDecoder) fanoutRefs(n int) []FanoutRef {
+	raw := d.take(8 * n)
+	if raw == nil || n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0 {
+		return unsafe.Slice((*FanoutRef)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]FanoutRef, n)
+	for i := range out {
+		out[i].ID = int32(binary.LittleEndian.Uint32(raw[8*i:]))
+		out[i].Level = int32(binary.LittleEndian.Uint32(raw[8*i+4:]))
+	}
+	return out
+}
+
+func (d *snapDecoder) str() string {
+	if d.err != nil {
+		return ""
+	}
+	if d.off+4 > len(d.p) {
+		d.fail("truncated string length at offset %d", d.off)
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(d.p[d.off:]))
+	d.off += 4
+	raw := d.take(n)
+	return string(raw)
+}
+
+// validateCompiled shape-checks a decoded view so that every index a
+// simulator will chase is in range and the precomputed order/levels are
+// internally consistent. A snapshot that passes cannot make the sweep
+// engines read out of bounds or loop: the checks imply the order is a
+// permutation that is topological over combinational edges and that the
+// level partition matches it.
+func validateCompiled(c *Compiled) error {
+	ng := c.NumGates
+	if ng == 0 {
+		if c.NumLevels != 0 || len(c.FaninList) != 0 || len(c.FanoutList) != 0 {
+			return snapCorrupt("empty netlist with non-empty arrays")
+		}
+	} else if c.NumLevels < 1 || c.NumLevels > ng {
+		return snapCorrupt("NumLevels %d out of range for %d gates", c.NumLevels, ng)
+	}
+
+	checkCSR := func(what string, start []int32, listLen int) error {
+		if start[0] != 0 || int(start[ng]) != listLen {
+			return snapCorrupt("%s CSR does not span its list (start %d, end %d, len %d)",
+				what, start[0], start[ng], listLen)
+		}
+		for i := 0; i < ng; i++ {
+			if start[i] > start[i+1] {
+				return snapCorrupt("%s CSR decreases at gate %d", what, i)
+			}
+		}
+		return nil
+	}
+	if err := checkCSR("fanin", c.FaninStart, len(c.FaninList)); err != nil {
+		return err
+	}
+	if err := checkCSR("fanout", c.FanoutStart, len(c.FanoutList)); err != nil {
+		return err
+	}
+	for i, f := range c.FaninList {
+		if f < 0 || int(f) >= ng {
+			return snapCorrupt("fanin %d at index %d out of range", f, i)
+		}
+	}
+	for i, f := range c.FanoutList {
+		if f < 0 || int(f) >= ng {
+			return snapCorrupt("fanout %d at index %d out of range", f, i)
+		}
+	}
+
+	for id := 0; id < ng; id++ {
+		kind := GateKind(c.Kind[id])
+		if kind < Const0 || kind > DFF {
+			return snapCorrupt("gate %d has unknown kind %d", id, c.Kind[id])
+		}
+		if arity := kind.Arity(); int(c.FaninStart[id+1]-c.FaninStart[id]) != arity {
+			return snapCorrupt("gate %d (%s) has %d fanins, want %d",
+				id, kind, c.FaninStart[id+1]-c.FaninStart[id], arity)
+		}
+	}
+
+	// Order must be a permutation with Pos as its inverse, and
+	// topological over combinational edges: every combinational gate
+	// appears after all of its fanins.
+	if len(c.Order) != ng || len(c.Pos) != ng || len(c.Level) != ng {
+		return snapCorrupt("order/pos/level length mismatch")
+	}
+	for i, id := range c.Order {
+		if id < 0 || int(id) >= ng || c.Pos[id] != int32(i) {
+			return snapCorrupt("order is not a permutation at position %d", i)
+		}
+	}
+	for id := 0; id < ng; id++ {
+		kind := GateKind(c.Kind[id])
+		if !kind.Combinational() {
+			if c.Level[id] != 0 {
+				return snapCorrupt("non-combinational gate %d has level %d", id, c.Level[id])
+			}
+			continue
+		}
+		max := int32(-1)
+		for _, f := range c.Fanins(id) {
+			if c.Pos[f] >= c.Pos[id] {
+				return snapCorrupt("order is not topological: gate %d before its fanin %d", id, f)
+			}
+			if c.Level[f] > max {
+				max = c.Level[f]
+			}
+		}
+		if c.Level[id] != max+1 {
+			return snapCorrupt("gate %d level %d inconsistent with fanins (want %d)", id, c.Level[id], max+1)
+		}
+		if int(c.Level[id]) >= c.NumLevels {
+			return snapCorrupt("gate %d level %d exceeds NumLevels %d", id, c.Level[id], c.NumLevels)
+		}
+	}
+
+	// LevelStart must be the CSR partition of the Level histogram.
+	if len(c.LevelStart) != c.NumLevels+1 {
+		return snapCorrupt("LevelStart has %d entries, want %d", len(c.LevelStart), c.NumLevels+1)
+	}
+	if ng > 0 {
+		counts := make([]int32, c.NumLevels+1)
+		for _, l := range c.Level {
+			counts[l+1]++
+		}
+		for l := 0; l < c.NumLevels; l++ {
+			counts[l+1] += counts[l]
+		}
+		for l := 0; l <= c.NumLevels; l++ {
+			if c.LevelStart[l] != counts[l] {
+				return snapCorrupt("LevelStart[%d] = %d, want %d", l, c.LevelStart[l], counts[l])
+			}
+		}
+	}
+
+	// FanoutRefs must mirror FanoutList with the reader's level (or -1
+	// for DFF readers).
+	if len(c.FanoutRefs) != len(c.FanoutList) {
+		return snapCorrupt("FanoutRefs length %d does not match FanoutList %d", len(c.FanoutRefs), len(c.FanoutList))
+	}
+	for i, fo := range c.FanoutList {
+		want := c.Level[fo]
+		if GateKind(c.Kind[fo]) == DFF {
+			want = -1
+		}
+		if c.FanoutRefs[i].ID != fo || c.FanoutRefs[i].Level != want {
+			return snapCorrupt("FanoutRefs[%d] = {%d,%d}, want {%d,%d}",
+				i, c.FanoutRefs[i].ID, c.FanoutRefs[i].Level, fo, want)
+		}
+	}
+
+	// Interface lists: PIs are exactly the Input gates in ascending
+	// order, DFFs exactly the DFF gates; POs may name any gate.
+	if err := checkKindList("PI", c.PIs, c.Kind, uint8(Input), ng); err != nil {
+		return err
+	}
+	if err := checkKindList("DFF", c.DFFs, c.Kind, uint8(DFF), ng); err != nil {
+		return err
+	}
+	for _, po := range c.POs {
+		if po < 0 || int(po) >= ng {
+			return snapCorrupt("PO %d out of range", po)
+		}
+	}
+	return nil
+}
+
+func checkKindList(what string, list []int32, kinds []uint8, kind uint8, ng int) error {
+	total := 0
+	for _, k := range kinds {
+		if k == kind {
+			total++
+		}
+	}
+	if len(list) != total {
+		return snapCorrupt("%d %s entries for %d gates of that kind", len(list), what, total)
+	}
+	prev := int32(-1)
+	for _, id := range list {
+		if id <= prev || int(id) >= ng {
+			return snapCorrupt("%s list not ascending in range at %d", what, id)
+		}
+		if kinds[id] != kind {
+			return snapCorrupt("%s list entry %d has wrong kind", what, id)
+		}
+		prev = id
+	}
+	return nil
+}
+
+func toInt(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// pad4 rounds n up to the next multiple of 4.
+func pad4(n int) int { return (n + 3) &^ 3 }

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"factor/internal/cli"
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+)
+
+// ChildMain is the shard-child entry hook: when $FACTOR_SHARD_SPEC is
+// set, the process is a shard worker — run the spec, stream the result
+// frame to stdout, and exit without returning. Call it first thing in
+// main of every binary used as a shard host (and from a dedicated test
+// body in test binaries). When the marker is absent it returns
+// immediately and the process proceeds as the tool it is.
+func ChildMain() {
+	specJSON := os.Getenv(EnvSpec)
+	if specJSON == "" {
+		return
+	}
+	var spec Spec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: %s: %v\n", EnvSpec, err)
+		os.Exit(factorerr.ExitError)
+	}
+	res, err := RunSpec(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard child %d/%d: %s\n", spec.Index, spec.Shards, factorerr.FormatChain(err))
+		os.Exit(factorerr.ExitCode(err))
+	}
+	frame, err := json.Marshal(res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard child %d/%d: encoding result: %v\n", spec.Index, spec.Shards, err)
+		os.Exit(factorerr.ExitError)
+	}
+	fmt.Fprintf(os.Stdout, "%s%s\n", resultMarker, frame)
+	os.Exit(factorerr.ExitOK)
+}
+
+// RunSpec executes one shard's work in-process: map the snapshot,
+// re-derive the fault universe, regenerate the stimulus, and run
+// first-detection simulation over the spec's range. Exported for the
+// orchestrator tests; production children reach it through ChildMain.
+func RunSpec(ctx context.Context, spec Spec) (*Result, error) {
+	// Chaos goes live before any real work so injected failures cover
+	// snapshot loading too; the kill site itself draws on the pure
+	// per-shard key, so which shards die is topology-reproducible.
+	if _, err := cli.ActivateEnvFailpoints(); err != nil {
+		return nil, err
+	}
+	if err := failpoint.HitKey("shard.child", spec.ChaosKey); err != nil {
+		return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeShardDied, err)
+	}
+
+	nl, err := netlist.ReadSnapshotFile(spec.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	faults := fault.Universe(nl)
+	if len(faults) != spec.FaultTotal {
+		return nil, factorerr.New(factorerr.StageFaultSim, factorerr.CodeInternal,
+			"snapshot %s yields %d faults, parent planned %d — stale snapshot?",
+			spec.Snapshot, len(faults), spec.FaultTotal)
+	}
+	if spec.FaultLo < 0 || spec.FaultHi < spec.FaultLo || spec.FaultHi > len(faults) ||
+		spec.FaultLo%BatchSize != 0 {
+		return nil, factorerr.New(factorerr.StageFaultSim, factorerr.CodeInternal,
+			"bad shard range [%d,%d) over %d faults", spec.FaultLo, spec.FaultHi, len(faults))
+	}
+	seqs := fault.RandomSequences(nl, spec.Seed, spec.Seqs, spec.Cycles)
+
+	first, stats, errs := fault.FirstDetections(ctx, nl, faults[spec.FaultLo:spec.FaultHi], seqs, spec.Workers, time.Time{})
+	if ctx.Err() != nil {
+		return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeCanceled, ctx.Err())
+	}
+	res := &Result{Index: spec.Index, First: first, Stats: stats}
+	for _, e := range errs {
+		res.Errors = append(res.Errors, e.Error())
+	}
+	res.Quarantined = quarantinedCount(len(first), len(errs))
+	return res, nil
+}
+
+// quarantinedCount estimates quarantined faults from batch errors: each
+// quarantined batch is a full BatchSize slice except possibly the last
+// of the range. The exact per-batch membership is not streamed (the
+// first vector already encodes it: a quarantined batch reports -1 for
+// every lane), so this count is an upper bound used for degradation
+// accounting, deterministic for a deterministic error set.
+func quarantinedCount(rangeLen, batchErrs int) int {
+	if batchErrs == 0 {
+		return 0
+	}
+	n := batchErrs * BatchSize
+	if n > rangeLen {
+		n = rangeLen
+	}
+	return n
+}

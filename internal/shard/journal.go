@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"strings"
+
+	"factor/internal/factorerr"
+	"factor/internal/failpoint"
+)
+
+// Outcome is the per-design record a corpus run journals and reports.
+// Every field is topology-invariant on a healthy run: detected counts
+// and the first-detection digest are intrinsic to (design, stimulus),
+// and Work excludes the per-shard trace recomputation — so a run
+// resumed from this journal under a different shards × workers
+// topology still renders byte-identical output.
+type Outcome struct {
+	Design   int    `json:"design"`
+	Seed     int64  `json:"seed"`
+	Module   string `json:"module"`
+	Gates    int    `json:"gates"`
+	Faults   int    `json:"faults"`
+	Detected int    `json:"detected"`
+	// Digest fingerprints the full per-fault first-detection vector
+	// (FNV-1a 64); byte-equal digests mean byte-equal results without
+	// journaling megabytes of indices.
+	Digest string       `json:"first_digest"`
+	Work   WorkCounters `json:"work"`
+	// Quarantined and DiedShards record degradation; both zero on a
+	// healthy run.
+	Quarantined int `json:"quarantined,omitempty"`
+	DiedShards  int `json:"died_shards,omitempty"`
+	// Vacuous marks a design with an empty fault universe.
+	Vacuous bool `json:"vacuous,omitempty"`
+}
+
+// DigestFirst fingerprints a first-detection vector.
+func DigestFirst(first []int) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range first {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(v) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint identifies the corpus a journal belongs to. The design
+// count and topology are deliberately excluded: results are intrinsic
+// per design, so a journal written at -n 2 -shards 1 resumes a -n 4
+// -shards 4 run of the same corpus seed exactly.
+type Fingerprint struct {
+	Seed   int64
+	Seqs   int
+	Cycles int
+}
+
+func (fp Fingerprint) header() string {
+	return fmt.Sprintf("factor-corpus-journal v1 seed=%d seqs=%d cycles=%d", fp.Seed, fp.Seqs, fp.Cycles)
+}
+
+// journalCorrupt classifies unusable journal state under the existing
+// checkpoint taxonomy.
+func journalCorrupt(format string, args ...interface{}) error {
+	return factorerr.New(factorerr.StageFaultSim, factorerr.CodeCheckpointCorrupt,
+		"corpus journal: "+format, args...)
+}
+
+// CreateJournal starts an empty journal at path (truncating any
+// previous one) with the fingerprint header.
+func CreateJournal(path string, fp Fingerprint) error {
+	if err := failpoint.Hit("corpus.journal.create"); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return os.WriteFile(path, []byte(fp.header()+"\n"), 0o644)
+}
+
+// AppendOutcome durably appends one completed design to the journal:
+// a CRC-framed single JSON line, fsynced before return so a later
+// SIGKILL cannot tear it.
+func AppendOutcome(path string, o Outcome) error {
+	if err := failpoint.Hit("corpus.journal.append"); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	data, err := json.Marshal(o)
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "%08x %s\n", crc32.ChecksumIEEE(data), data); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	if err := f.Sync(); err != nil {
+		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return f.Close()
+}
+
+// LoadOutcomes reads a journal back as a design-index → outcome map.
+// The fingerprint must match the header exactly. A torn tail — a
+// truncated or CRC-failing final region, the residue of a crash mid-
+// append — is dropped deterministically: reading stops at the first bad
+// line and everything before it is served. A missing file returns
+// os.ErrNotExist unwrapped so callers can distinguish "no journal yet".
+func LoadOutcomes(path string, fp Fingerprint) (map[int]Outcome, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, journalCorrupt("%s: empty file", path)
+	}
+	if got, want := sc.Text(), fp.header(); got != want {
+		return nil, journalCorrupt("%s: header %q does not match this corpus (%q)", path, got, want)
+	}
+	out := map[int]Outcome{}
+	for sc.Scan() {
+		line := sc.Text()
+		crcHex, body, ok := strings.Cut(line, " ")
+		if !ok || len(crcHex) != 8 {
+			break // torn tail
+		}
+		var crc uint32
+		if _, err := fmt.Sscanf(crcHex, "%08x", &crc); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE([]byte(body)) != crc {
+			break
+		}
+		var o Outcome
+		if err := json.Unmarshal([]byte(body), &o); err != nil {
+			break
+		}
+		out[o.Design] = o
+	}
+	if err := sc.Err(); err != nil {
+		return nil, journalCorrupt("%s: %v", path, err)
+	}
+	return out, nil
+}

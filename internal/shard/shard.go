@@ -1,0 +1,400 @@
+// Package shard implements multi-process sharded fault simulation: a
+// parent orchestrator partitions a design's collapsed fault universe
+// into batch-aligned contiguous ranges, re-execs one worker process per
+// range over a shared read-only compiled-netlist snapshot (see
+// netlist.Snapshot), streams each shard's first-detection vector and
+// work counters back over its stdout pipe, and merges them
+// deterministically.
+//
+// Determinism contract: a fault's first-detecting sequence index is an
+// intrinsic property of (fault, sequence list) — independent of
+// batching, worker count and process boundaries (see
+// fault.FirstDetections). Shard ranges are aligned to the engine's
+// 63-fault batch size, so every batch a shard simulates is exactly a
+// batch the single-process run simulates, and the per-batch work
+// counters (batches, cycles, events, flop heals) sum to bit-identical
+// totals for ANY shards × workers combination. The one engine counter
+// that is not shard-invariant is the good-trace cycle count — each
+// shard computes its own shared traces — so merged results expose it
+// separately from the invariant WorkCounters and reports exclude it.
+//
+// Failure policy: a shard process that dies (injected kill, crash,
+// decode failure) degrades rather than failing the design — its fault
+// range reports no random detections and the death is recorded as a
+// structured error and in the merged Died list. Degradation is
+// deterministic when the cause is (failpoints are keyed by pure
+// per-shard draw keys, never by scheduling).
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"factor/internal/factorerr"
+	"factor/internal/fault"
+)
+
+// BatchSize is the fault-simulation engine's lane-batch size. Shard
+// ranges are aligned to it so per-shard work counters merge
+// bit-identically (see the package comment).
+const BatchSize = 63
+
+// EnvSpec carries the JSON-encoded Spec to a shard child process; its
+// presence is what marks a process as a shard child (see ChildMain).
+const EnvSpec = "FACTOR_SHARD_SPEC"
+
+// resultMarker frames the child's result line on stdout, so the parent
+// can pick it out of whatever else the child runtime prints (a re-exec'd
+// test binary, for instance, appends its own harness output).
+const resultMarker = "FACTOR-SHARD-RESULT1 "
+
+// Spec describes one shard's slice of work. It is deliberately
+// self-contained and tiny: the child re-derives the fault universe from
+// the snapshot and regenerates the stimulus from the seed, so nothing
+// bulky crosses the process boundary.
+type Spec struct {
+	// Snapshot is the path of the compiled-netlist snapshot file every
+	// shard of the design maps read-only.
+	Snapshot string `json:"snapshot"`
+	// Module names the design (diagnostics only).
+	Module string `json:"module"`
+	// Index/Shards locate this shard in the topology (diagnostics and
+	// chaos keying; the work is fully described by FaultLo/FaultHi).
+	Index  int `json:"index"`
+	Shards int `json:"shards"`
+	// FaultLo/FaultHi bound this shard's half-open range into the
+	// collapsed fault universe of the snapshot netlist. FaultLo is a
+	// multiple of BatchSize.
+	FaultLo int `json:"fault_lo"`
+	FaultHi int `json:"fault_hi"`
+	// FaultTotal is the parent's universe size; the child cross-checks
+	// it so a stale snapshot cannot silently misalign ranges.
+	FaultTotal int `json:"fault_total"`
+	// Seqs random sequences of Cycles vectors are regenerated from Seed
+	// (fault.RandomSequences) — identical in every shard.
+	Seqs   int    `json:"seqs"`
+	Cycles int    `json:"cycles"`
+	Seed   uint64 `json:"seed"`
+	// Workers is the in-process pool size for fault.FirstDetections.
+	Workers int `json:"workers"`
+	// ChaosKey seeds the shard.child failpoint draw: a pure function of
+	// (design, shard index) chosen by the parent, so which shards die
+	// under a kill spec is invariant under scheduling.
+	ChaosKey uint64 `json:"chaos_key"`
+}
+
+// Result is what one shard streams back: the first-detection index for
+// every fault in [FaultLo, FaultHi) and the engine's work counters for
+// exactly that slice of batches.
+type Result struct {
+	Index int `json:"index"`
+	// First[i] is the first detecting sequence for fault FaultLo+i, -1
+	// if none.
+	First []int          `json:"first"`
+	Stats fault.SimStats `json:"stats"`
+	// Quarantined counts faults in quarantined batches (panic or
+	// injected batch failure inside the shard).
+	Quarantined int `json:"quarantined"`
+	// Errors are the shard's structured batch errors, in batch order.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// WorkCounters are the shard-invariant engine counters: identical
+// totals for any shards × workers topology. TraceCycles is deliberately
+// absent — each shard computes its own good traces, so that counter
+// scales with the shard count and lives outside the canonical merge.
+type WorkCounters struct {
+	Batches   uint64 `json:"batches"`
+	Cycles    uint64 `json:"cycles"`
+	Events    uint64 `json:"events"`
+	FlopHeals uint64 `json:"flop_heals"`
+}
+
+// Add folds o into w.
+func (w *WorkCounters) Add(o WorkCounters) {
+	w.Batches += o.Batches
+	w.Cycles += o.Cycles
+	w.Events += o.Events
+	w.FlopHeals += o.FlopHeals
+}
+
+// Invariant projects the shard-invariant counters out of engine stats.
+func Invariant(s fault.SimStats) WorkCounters {
+	return WorkCounters{Batches: s.Batches, Cycles: s.Cycles, Events: s.Events, FlopHeals: s.FlopHeals}
+}
+
+// Partition splits n faults into at most shards contiguous half-open
+// ranges, each starting on a BatchSize boundary, batches spread as
+// evenly as possible. Every fault is covered exactly once; trailing
+// ranges are empty when there are fewer batches than shards. The split
+// is a pure function of (n, shards).
+func Partition(n, shards int) [][2]int {
+	if shards < 1 {
+		shards = 1
+	}
+	nbatches := (n + BatchSize - 1) / BatchSize
+	out := make([][2]int, shards)
+	for i := 0; i < shards; i++ {
+		lo := min(i*nbatches/shards*BatchSize, n)
+		hi := min((i+1)*nbatches/shards*BatchSize, n)
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// Spawner runs one shard child to completion and returns its decoded
+// Result. env is the complete child environment except EnvSpec, which
+// the spawner adds. A non-nil error means the shard died (killed,
+// crashed, or returned garbage) and the caller must degrade its range.
+type Spawner func(ctx context.Context, spec Spec, env []string) (*Result, error)
+
+// ExecSpawner returns a Spawner that re-execs argv with the spec in the
+// environment. The child must call ChildMain first thing in main (or,
+// for a test binary, route into a test that calls it). Child stderr
+// passes through to the parent's; stdout is the result pipe.
+func ExecSpawner(argv0 string, args ...string) Spawner {
+	return func(ctx context.Context, spec Spec, env []string) (*Result, error) {
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeIO, err)
+		}
+		base := env
+		if base == nil {
+			base = os.Environ()
+		}
+		cmd := exec.CommandContext(ctx, argv0, args...)
+		cmd.Env = append(append([]string{}, base...), EnvSpec+"="+string(specJSON))
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeIO, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeIO, err)
+		}
+
+		var res *Result
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, resultMarker) {
+				continue
+			}
+			r := &Result{}
+			if err := json.Unmarshal([]byte(line[len(resultMarker):]), r); err != nil {
+				res = nil
+				break
+			}
+			res = r
+		}
+		waitErr := cmd.Wait()
+		if waitErr != nil {
+			return nil, factorerr.New(factorerr.StageFaultSim, factorerr.CodeShardDied,
+				"shard %d/%d of %s died: %v", spec.Index, spec.Shards, spec.Module, waitErr)
+		}
+		if res == nil {
+			return nil, factorerr.New(factorerr.StageFaultSim, factorerr.CodeShardDied,
+				"shard %d/%d of %s exited without a result frame", spec.Index, spec.Shards, spec.Module)
+		}
+		return res, nil
+	}
+}
+
+// SelfExecSpawner re-execs the current binary with no arguments —
+// the production spawner for commands whose main starts with
+// ChildMain.
+func SelfExecSpawner() (Spawner, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeIO, err)
+	}
+	return ExecSpawner(exe), nil
+}
+
+// Options configure a sharded run of one design.
+type Options struct {
+	Shards   int    // number of shard processes (>=1)
+	Workers  int    // in-process pool size per shard
+	Seqs     int    // random sequences per design
+	Cycles   int    // cycles per sequence
+	Seed     uint64 // stimulus seed
+	Module   string // design name for diagnostics
+	Snapshot string // compiled-netlist snapshot path
+	// ChaosSalt seeds per-shard failpoint draw keys; derive it from the
+	// design identity so shard deaths are scheduling-invariant.
+	ChaosSalt uint64
+	// Procs bounds concurrently running shard processes (0: all at
+	// once).
+	Procs int
+	// Env is the child environment (cli.ChildEnv output); nil inherits
+	// the parent's as-is.
+	Env []string
+}
+
+// RunResult is the deterministic merge of all shards of one design.
+type RunResult struct {
+	// First is the per-fault first-detection vector over the whole
+	// universe, identical to a single-process fault.FirstDetections run.
+	First []int
+	// Work are the shard-invariant engine counters summed over shards.
+	Work WorkCounters
+	// TraceCycles is the total good-trace work including per-shard
+	// recomputation — diagnostic only, NOT topology-invariant.
+	TraceCycles uint64
+	// Ranges is the partition, one [lo,hi) per shard.
+	Ranges [][2]int
+	// Died lists shards that terminated without a result; their ranges
+	// degraded to all-undetected.
+	Died []int
+	// Quarantined counts faults whose batch was quarantined inside a
+	// surviving shard or belonged to a dead shard.
+	Quarantined int
+	// Errors are the structured degradations, shards in index order.
+	Errors []error
+}
+
+// Detected counts faults with a first detection.
+func (r *RunResult) Detected() int {
+	n := 0
+	for _, f := range r.First {
+		if f >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Specs returns the per-shard work descriptions for one design: one
+// Spec per Partition range, in shard-index order. Empty ranges get a
+// Spec with FaultLo == FaultHi; callers skip spawning those.
+func (o Options) Specs(nFaults int) []Spec {
+	ranges := Partition(nFaults, o.Shards)
+	specs := make([]Spec, len(ranges))
+	for i, r := range ranges {
+		specs[i] = o.spec(i, len(ranges), r[0], r[1], nFaults)
+	}
+	return specs
+}
+
+// ShardOutcome pairs one shard's decoded result with its spawn error —
+// the unit a scheduler collects before Merge.
+type ShardOutcome struct {
+	Res *Result
+	Err error
+}
+
+// Merge folds per-shard outcomes into the design result, in shard-index
+// order regardless of the order the shards completed in: the output is
+// a pure function of the slots. A slot with a non-nil error (or a
+// malformed result) degrades its range to all-undetected. slots[i]
+// corresponds to Partition(nFaults, len(slots))[i]; empty ranges may
+// hold a zero ShardOutcome.
+func Merge(module string, nFaults int, slots []ShardOutcome) *RunResult {
+	ranges := Partition(nFaults, len(slots))
+	out := &RunResult{First: make([]int, nFaults), Ranges: ranges}
+	for i := range out.First {
+		out.First[i] = -1
+	}
+	for i, s := range slots {
+		lo, hi := ranges[i][0], ranges[i][1]
+		switch {
+		case lo == hi:
+		case s.Err != nil:
+			out.Died = append(out.Died, i)
+			out.Quarantined += hi - lo
+			out.Errors = append(out.Errors, s.Err)
+		case s.Res == nil || len(s.Res.First) != hi-lo:
+			got := -1
+			if s.Res != nil {
+				got = len(s.Res.First)
+			}
+			out.Died = append(out.Died, i)
+			out.Quarantined += hi - lo
+			out.Errors = append(out.Errors, factorerr.New(factorerr.StageFaultSim, factorerr.CodeShardDied,
+				"shard %d of %s returned %d detections for a %d-fault range", i, module, got, hi-lo))
+		default:
+			copy(out.First[lo:hi], s.Res.First)
+			out.Work.Add(Invariant(s.Res.Stats))
+			out.TraceCycles += s.Res.Stats.TraceCycles
+			out.Quarantined += s.Res.Quarantined
+			for _, msg := range s.Res.Errors {
+				out.Errors = append(out.Errors, factorerr.New(factorerr.StageFaultSim, factorerr.CodePartial,
+					"shard %d of %s: %s", i, module, msg))
+			}
+		}
+	}
+	return out
+}
+
+// Run executes one design's fault simulation across opts.Shards child
+// processes and merges the results. nFaults is the size of the design's
+// collapsed fault universe (the child re-derives and cross-checks it).
+// The merge is performed in shard-index order regardless of completion
+// order, so the output is deterministic for any Procs setting.
+func Run(ctx context.Context, opts Options, nFaults int, spawn Spawner) *RunResult {
+	specs := opts.Specs(nFaults)
+	slots := make([]ShardOutcome, len(specs))
+	procs := opts.Procs
+	if procs <= 0 || procs > len(specs) {
+		procs = len(specs)
+	}
+	sem := make(chan struct{}, procs)
+	done := make(chan int)
+	for i, spec := range specs {
+		go func(i int, spec Spec) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			if spec.FaultLo == spec.FaultHi {
+				return
+			}
+			res, err := spawn(ctx, spec, opts.Env)
+			slots[i] = ShardOutcome{Res: res, Err: err}
+		}(i, spec)
+	}
+	for range specs {
+		<-done
+	}
+	return Merge(opts.Module, nFaults, slots)
+}
+
+func (o Options) spec(index, shards, lo, hi, total int) Spec {
+	return Spec{
+		Snapshot:   o.Snapshot,
+		Module:     o.Module,
+		Index:      index,
+		Shards:     shards,
+		FaultLo:    lo,
+		FaultHi:    hi,
+		FaultTotal: total,
+		Seqs:       o.Seqs,
+		Cycles:     o.Cycles,
+		Seed:       o.Seed,
+		Workers:    o.Workers,
+		ChaosKey:   chaosKey(o.ChaosSalt, index),
+	}
+}
+
+// chaosKey derives the per-shard failpoint draw key: splitmix64 over
+// (salt, shard index) — pure, scheduling-independent.
+func chaosKey(salt uint64, index int) uint64 {
+	z := salt + 0x9E3779B97F4A7C15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// String renders a partition compactly for diagnostics:
+// "[0,630) [630,1197)".
+func FormatRanges(ranges [][2]int) string {
+	parts := make([]string, len(ranges))
+	for i, r := range ranges {
+		parts[i] = fmt.Sprintf("[%d,%d)", r[0], r[1])
+	}
+	return strings.Join(parts, " ")
+}

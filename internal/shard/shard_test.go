@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"testing"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/cli"
+	"factor/internal/factorerr"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+)
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {0, 4}, {1, 1}, {62, 3}, {63, 1}, {63, 2}, {126, 2}, {126, 4},
+		{1000, 1}, {1000, 2}, {1000, 3}, {1000, 7}, {1000, 40},
+	} {
+		ranges := Partition(tc.n, tc.shards)
+		if len(ranges) != max(tc.shards, 1) {
+			t.Fatalf("Partition(%d,%d): %d ranges", tc.n, tc.shards, len(ranges))
+		}
+		next := 0
+		for i, r := range ranges {
+			if r[0] != next || r[1] < r[0] {
+				t.Fatalf("Partition(%d,%d): range %d is %v, want start %d", tc.n, tc.shards, i, r, next)
+			}
+			if r[0]%BatchSize != 0 {
+				t.Fatalf("Partition(%d,%d): range %d start %d not batch-aligned", tc.n, tc.shards, i, r[0])
+			}
+			next = r[1]
+		}
+		if next != tc.n {
+			t.Fatalf("Partition(%d,%d): covers %d of %d faults", tc.n, tc.shards, next, tc.n)
+		}
+		if !reflect.DeepEqual(ranges, Partition(tc.n, tc.shards)) {
+			t.Fatalf("Partition(%d,%d) is not deterministic", tc.n, tc.shards)
+		}
+	}
+}
+
+// shardWorkload synthesizes a real module, snapshots it, and returns
+// the netlist, its collapsed universe and the snapshot path.
+func shardWorkload(t *testing.T) (*netlist.Netlist, []fault.Fault, string) {
+	t.Helper()
+	res, err := arm.SynthesizeModule("arm_alu", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.Netlist
+	faults := fault.Universe(nl)
+	if len(faults) < 3*BatchSize {
+		t.Fatalf("workload too small for sharding tests: %d faults", len(faults))
+	}
+	snap := filepath.Join(t.TempDir(), "alu.snap")
+	if err := nl.WriteSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	return nl, faults, snap
+}
+
+const testSeed = 0xC0FFEE
+
+// TestShardChildExec is not a test: it is the body the orchestrator
+// tests re-exec the test binary into. ChildMain exits the process when
+// the spec marker is present and falls through to a skip otherwise.
+func TestShardChildExec(t *testing.T) {
+	ChildMain()
+	t.Skip("shard-child body; spawned by orchestrator tests")
+}
+
+func testSpawner(t *testing.T) Spawner {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExecSpawner(exe, "-test.run", "^TestShardChildExec$", "-test.count=1")
+}
+
+// TestRunSpecMatchesDirect pins the child computation itself: running
+// the full range in-process over the snapshot must reproduce a direct
+// FirstDetections run over the original netlist, including the
+// invariant work counters.
+func TestRunSpecMatchesDirect(t *testing.T) {
+	nl, faults, snap := shardWorkload(t)
+	seqs := fault.RandomSequences(nl, testSeed, 8, 6)
+	wantFirst, wantStats, errs := fault.FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	if len(errs) != 0 {
+		t.Fatalf("direct run errored: %v", errs)
+	}
+
+	res, err := RunSpec(context.Background(), Spec{
+		Snapshot: snap, Module: "arm_alu", Shards: 1,
+		FaultLo: 0, FaultHi: len(faults), FaultTotal: len(faults),
+		Seqs: 8, Cycles: 6, Seed: testSeed, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(res.First, wantFirst) {
+		t.Fatal("RunSpec first-detection vector differs from direct run")
+	}
+	if Invariant(res.Stats) != Invariant(wantStats) {
+		t.Fatalf("work counters differ: %+v vs %+v", Invariant(res.Stats), Invariant(wantStats))
+	}
+}
+
+// TestRunSpecRejectsStaleSnapshot: a fault-count mismatch must be a
+// structured internal error, not silent range misalignment.
+func TestRunSpecRejectsStaleSnapshot(t *testing.T) {
+	_, faults, snap := shardWorkload(t)
+	_, err := RunSpec(context.Background(), Spec{
+		Snapshot: snap, FaultLo: 0, FaultHi: 1, FaultTotal: len(faults) + 5,
+		Seqs: 1, Cycles: 1, Seed: 1, Workers: 1,
+	})
+	if !errors.Is(err, &factorerr.Error{Code: factorerr.CodeInternal}) {
+		t.Fatalf("got %v, want internal error", err)
+	}
+}
+
+// TestShardedRunByteIdentity is the heart of the tentpole: every
+// shards × workers × procs combination must merge to exactly the
+// single-process result — same first-detection vector, same invariant
+// work counters.
+func TestShardedRunByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	nl, faults, snap := shardWorkload(t)
+	seqs := fault.RandomSequences(nl, testSeed, 8, 6)
+	wantFirst, wantStats, _ := fault.FirstDetections(context.Background(), nl, faults, seqs, 1, time.Time{})
+	spawn := testSpawner(t)
+
+	for _, shards := range []int{1, 2, 3} {
+		for _, workers := range []int{1, 2} {
+			for _, procs := range []int{0, 1} {
+				res := Run(context.Background(), Options{
+					Shards: shards, Workers: workers, Procs: procs,
+					Seqs: 8, Cycles: 6, Seed: testSeed,
+					Module: "arm_alu", Snapshot: snap,
+				}, len(faults), spawn)
+				if len(res.Died) != 0 || len(res.Errors) != 0 {
+					t.Fatalf("shards=%d workers=%d procs=%d: unexpected degradation: died=%v errs=%v",
+						shards, workers, procs, res.Died, res.Errors)
+				}
+				if !slices.Equal(res.First, wantFirst) {
+					t.Errorf("shards=%d workers=%d procs=%d: first-detection vector differs from single-process run",
+						shards, workers, procs)
+				}
+				if res.Work != Invariant(wantStats) {
+					t.Errorf("shards=%d workers=%d procs=%d: work counters %+v, want %+v",
+						shards, workers, procs, res.Work, Invariant(wantStats))
+				}
+			}
+		}
+	}
+}
+
+// TestShardKillDegradesDeterministically: under an injected shard.child
+// kill, the same shards die on every repetition (the draw is keyed by
+// the pure per-shard chaos key) and their ranges degrade to
+// all-undetected while surviving shards return intact results.
+func TestShardKillDegradesDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	_, faults, snap := shardWorkload(t)
+	spawn := testSpawner(t)
+	env := append(os.Environ(), cli.EnvFailpoints+"=shard.child=kill:0.5:77")
+
+	run := func() *RunResult {
+		return Run(context.Background(), Options{
+			Shards: 3, Workers: 1, Seqs: 4, Cycles: 4, Seed: testSeed,
+			Module: "arm_alu", Snapshot: snap, ChaosSalt: 42, Env: env,
+		}, len(faults), spawn)
+	}
+	a, b := run(), run()
+	if !slices.Equal(a.Died, b.Died) {
+		t.Fatalf("shard deaths not deterministic: %v vs %v", a.Died, b.Died)
+	}
+	if len(a.Died) == 0 || len(a.Died) == 3 {
+		t.Fatalf("kill probability 0.5 over 3 shards killed %d — draw key wiring suspect", len(a.Died))
+	}
+	if !slices.Equal(a.First, b.First) {
+		t.Fatal("degraded first-detection vectors differ between identical runs")
+	}
+	for _, di := range a.Died {
+		lo, hi := a.Ranges[di][0], a.Ranges[di][1]
+		for i := lo; i < hi; i++ {
+			if a.First[i] != -1 {
+				t.Fatalf("dead shard %d fault %d reports detection %d, want -1", di, i, a.First[i])
+			}
+		}
+	}
+	if a.Quarantined == 0 || !errors.Is(errors.Join(a.Errors...), &factorerr.Error{Code: factorerr.CodeShardDied}) {
+		t.Fatalf("degradation not surfaced: quarantined=%d errs=%v", a.Quarantined, a.Errors)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.journal")
+	fp := Fingerprint{Seed: 7, Seqs: 8, Cycles: 6}
+	if err := CreateJournal(path, fp); err != nil {
+		t.Fatal(err)
+	}
+	want := []Outcome{
+		{Design: 0, Seed: 7, Module: "top", Gates: 10, Faults: 20, Detected: 15,
+			Digest: "00000000deadbeef", Work: WorkCounters{Batches: 1, Cycles: 48, Events: 999}},
+		{Design: 2, Seed: 9, Module: "top", Faults: 0, Vacuous: true},
+	}
+	for _, o := range want {
+		if err := AppendOutcome(path, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadOutcomes(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[2] != want[1] {
+		t.Fatalf("journal round-trip mismatch: %+v", got)
+	}
+
+	// Fingerprint mismatch is checkpoint-corrupt.
+	if _, err := LoadOutcomes(path, Fingerprint{Seed: 8, Seqs: 8, Cycles: 6}); !errors.Is(err, &factorerr.Error{Code: factorerr.CodeCheckpointCorrupt}) {
+		t.Fatalf("fingerprint mismatch: got %v", err)
+	}
+	// Missing file surfaces os.ErrNotExist for "fresh start" detection.
+	if _, err := LoadOutcomes(path+".missing", fp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing journal: got %v", err)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn last line; the
+// loader must serve every frame before it and drop the tail.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.journal")
+	fp := Fingerprint{Seed: 1, Seqs: 2, Cycles: 3}
+	if err := CreateJournal(path, fp); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendOutcome(path, Outcome{Design: 0, Detected: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendOutcome(path, Outcome{Design: 1, Detected: 4}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cutting only the trailing newline leaves a complete CRC-valid
+	// frame, which the loader rightly serves.
+	if got, err := LoadOutcomes(tornCopy(t, data, 1), fp); err != nil || len(got) != 2 {
+		t.Fatalf("newline-only cut: got %v, %v", got, err)
+	}
+	// Tear progressively deeper into the final frame (its line spans
+	// (lastLineStart, len(data)): CRC-byte loss, half a frame, all but
+	// its first byte.
+	lastLine := len(data) - 1 - lastIndexByte(data[:len(data)-1], '\n')
+	for _, cut := range []int{2, lastLine / 2, lastLine - 1} {
+		got, err := LoadOutcomes(tornCopy(t, data, cut), fp)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if _, ok := got[1]; ok {
+			t.Fatalf("cut %d: torn final frame served", cut)
+		}
+		if got[0].Detected != 3 {
+			t.Fatalf("cut %d: intact first frame lost (%+v)", cut, got)
+		}
+	}
+}
+
+func lastIndexByte(data []byte, b byte) int {
+	for i := len(data) - 1; i >= 0; i-- {
+		if data[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func tornCopy(t *testing.T, data []byte, cut int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDigestFirstDistinguishes(t *testing.T) {
+	a := DigestFirst([]int{-1, 0, 5})
+	if a != DigestFirst([]int{-1, 0, 5}) {
+		t.Fatal("digest not deterministic")
+	}
+	if a == DigestFirst([]int{-1, 0, 6}) || a == DigestFirst([]int{-1, 0}) {
+		t.Fatal("digest collides on trivial variations")
+	}
+}
