@@ -59,6 +59,7 @@ func main() {
 	cycles := flag.Int("cycles", 8, "cycles per sequence")
 	maxprocs := flag.Int("maxprocs", 0, "concurrently running shard processes across the corpus (0 = shards)")
 	reportPath := flag.String("report", "", "write the machine-readable run report as JSON to this file")
+	emitDir := flag.String("emit", "", "also write each generated design's Verilog to this directory (design_<i>.v)")
 	ckptPath := flag.String("checkpoint", "", "journal completed designs to this file")
 	resume := flag.Bool("resume", false, "serve designs already in the -checkpoint journal instead of re-simulating")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
@@ -94,6 +95,7 @@ func main() {
 		N: *n, Seed: *seed, Shards: *shards, Workers: *workers,
 		Seqs: *seqs, Cycles: *cycles, Procs: *maxprocs,
 		Report: *reportPath, Checkpoint: *ckptPath, Resume: *resume,
+		Emit: *emitDir,
 	})
 	if err := finishTel(); err != nil && runErr == nil {
 		runErr = err
@@ -121,6 +123,7 @@ type config struct {
 	Report     string
 	Checkpoint string
 	Resume     bool
+	Emit       string
 }
 
 // designState is one corpus entry mid-flight.
@@ -314,6 +317,17 @@ func run(ctx context.Context, tel *telemetry.Telemetry, rf *cli.RunFlags, cfg co
 func buildDesign(i int, cfg config, workDir string) (*designState, error) {
 	dseed := cfg.Seed + int64(i)
 	text := designgen.Generate(dseed, designgen.DefaultConfig()).Text()
+	if cfg.Emit != "" {
+		// The emitted file is the exact text the corpus simulates, so
+		// it can be resubmitted to factord or factor -atpg verbatim.
+		if err := os.MkdirAll(cfg.Emit, 0o755); err != nil {
+			return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+		}
+		path := filepath.Join(cfg.Emit, fmt.Sprintf("design_%d.v", i))
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+		}
+	}
 	src, err := verilog.Parse(fmt.Sprintf("corpus-%d.v", i), text)
 	if err != nil {
 		return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)

@@ -21,6 +21,14 @@
 // healthy MUTs are written normally, the failure is reported on stderr
 // (and in the -report JSON), and the process exits 3. Exit codes:
 // 0 success, 1 error (nothing produced), 2 usage, 3 partial.
+//
+// With -atpg the command runs the full pipeline instead — extract (if
+// -mut is given) → synth → ATPG → first-detection replay — through the
+// same internal/service.RunPipeline the factord job server uses, so
+// the -report bytes are byte-identical to the report the server
+// stores for an equivalent job submission (conformance invariant I8).
+// In -atpg mode -mut is optional (empty targets the whole top) and the
+// ATPG knobs -seed/-seqs/-seqlen/-frames/-backtracks/-guide apply.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"factor/internal/design"
 	"factor/internal/factorerr"
 	"factor/internal/failpoint"
+	"factor/internal/service"
 	"factor/internal/telemetry"
 	"factor/internal/verilog"
 )
@@ -55,9 +64,25 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for multi-MUT extraction (0 = all CPU cores)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for extraction + synthesis (0 = none)")
 	report := flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+	atpgMode := flag.Bool("atpg", false, "run the full pipeline (extract, synth, ATPG, fault-sim replay) via the service code path")
+	seed := flag.Int64("seed", 1, "ATPG random-phase seed (-atpg mode)")
+	seqs := flag.Int("seqs", 0, "random sequences (-atpg mode, 0 = default)")
+	seqLen := flag.Int("seqlen", 0, "cycles per random sequence (-atpg mode, 0 = derive)")
+	frames := flag.Int("frames", 0, "time-frame budget (-atpg mode, 0 = derive)")
+	backtracks := flag.Int("backtracks", 0, "PODEM backtrack limit (-atpg mode, 0 = default)")
+	guide := flag.String("guide", "default", "PODEM backtrace cost model (-atpg mode): default or scoap")
 	rf := cli.RegisterRunFlags()
 	flag.Parse()
 
+	if *atpgMode {
+		runATPGPipeline(atpgArgs{
+			designFile: *designFile, top: *top, width: *width, mut: *mut,
+			mode: *mode, seed: *seed, seqs: *seqs, seqLen: *seqLen,
+			frames: *frames, backtracks: *backtracks, guide: *guide,
+			workers: *workers, timeout: *timeout, report: *report, rf: rf,
+		})
+		return
+	}
 	if *mut == "" {
 		cli.Usagef("factor", "-mut is required (e.g. -mut u_core.u_alu)")
 	}
@@ -195,6 +220,74 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "factor: %s\n", factorerr.FormatChain(runErr))
 		os.Exit(factorerr.ExitCode(runErr))
+	}
+}
+
+// atpgArgs carries the -atpg mode flag values.
+type atpgArgs struct {
+	designFile, top, mut, mode, guide string
+	width                             int
+	seed                              int64
+	seqs, seqLen, frames, backtracks  int
+	workers                           int
+	timeout                           time.Duration
+	report                            string
+	rf                                *cli.RunFlags
+}
+
+// runATPGPipeline is the -atpg mode body: the same
+// service.RunPipeline the factord job server runs, so the -report
+// bytes are byte-identical to the server's stored report for an
+// equivalent submission.
+func runATPGPipeline(a atpgArgs) {
+	ctx, stop := cli.SignalContext(a.timeout)
+	defer stop()
+	tel, finishTel, err := a.rf.Start("factor")
+	if err != nil {
+		cli.Fatal("factor", err)
+	}
+	failpoint.SetCanceler(stop)
+
+	spec := service.JobSpec{
+		Top:             a.top,
+		Width:           a.width,
+		MUT:             a.mut,
+		Mode:            a.mode,
+		Seed:            a.seed,
+		RandomSequences: a.seqs,
+		RandomSeqLen:    a.seqLen,
+		BacktrackLimit:  a.backtracks,
+		MaxFrames:       a.frames,
+		Guide:           a.guide,
+		Workers:         a.workers,
+	}
+	if a.designFile != "" {
+		data, err := os.ReadFile(a.designFile)
+		if err != nil {
+			cli.Fatal("factor", factorerr.Wrap(factorerr.StageIO, factorerr.CodeInput, err))
+		}
+		spec.Design = string(data)
+	}
+
+	rep, _, runErr := service.RunPipeline(ctx, spec, service.RunConfig{Tel: tel})
+	if err := finishTel(); err != nil {
+		cli.Warn("factor", err)
+	}
+	if runErr != nil {
+		cli.Fatal("factor", runErr)
+	}
+
+	fmt.Fprintf(os.Stderr, "factor: %d faults, %.2f%% coverage, %.2f%% efficiency, %d tests (replay detected %d)\n",
+		rep.ATPG.TotalFaults, rep.ATPG.Coverage, rep.ATPG.Efficiency, rep.ATPG.Tests, rep.FaultSim.Detected)
+	if a.report != "" {
+		if err := rep.Write(a.report); err != nil {
+			cli.Fatal("factor", err)
+		}
+	} else if _, err := rep.WriteTo(os.Stdout); err != nil {
+		cli.Fatal("factor", err)
+	}
+	if rep.ExitCode != 0 {
+		os.Exit(rep.ExitCode)
 	}
 }
 

@@ -1,0 +1,112 @@
+// Command factord is the FACTOR job server: a long-running HTTP/JSON
+// API that accepts Verilog design uploads and runs the full
+// extract→synth→ATPG→fault-sim pipeline as queued jobs.
+//
+// Usage:
+//
+//	factord [-addr :8080] [-data dir] [-queue N] [-runners N]
+//	        [-budget d] [-checkpoint-every N] [-drain d]
+//	        [-sse-progress] [-trace out.json] [-progress auto|on|off]
+//	        [-failpoints spec] [-cpuprofile f] [-memprofile f]
+//
+// API (see DESIGN.md §15 and the README "Serving" section):
+//
+//	POST   /api/v1/jobs                 submit a job (JSON JobRequest)
+//	GET    /api/v1/jobs                 list jobs
+//	GET    /api/v1/jobs/{id}            job status
+//	DELETE /api/v1/jobs/{id}            cancel a job
+//	GET    /api/v1/jobs/{id}/report     the canonical report bytes
+//	GET    /api/v1/jobs/{id}/events     SSE progress stream
+//	GET    /api/v1/designs/{hash}/report  content-addressed result fetch
+//	GET    /api/v1/healthz, /api/v1/stats
+//
+// Results are persisted in a content-addressed store under -data and
+// keyed by the structural design hash: resubmitting the same
+// design/options is a cache hit served without re-running the
+// pipeline, and the report bytes are byte-identical to what
+// `factor -atpg ... -report` writes for the same spec. In-flight jobs
+// journal ATPG checkpoints; on restart the server re-enqueues and
+// resumes them, finishing bit-identical to an uninterrupted run.
+//
+// On SIGINT/SIGTERM the server stops accepting, drains the queue for
+// -drain, then interrupts what is left (resumable on next start).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"factor/internal/cli"
+	"factor/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "factord-data", "data directory (content-addressed store + job ledger)")
+	queueCap := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+	runners := flag.Int("runners", 2, "concurrent job runners")
+	budget := flag.Duration("budget", 0, "soft per-job time budget (0 = none; budget-cut runs lose byte identity)")
+	ckEvery := flag.Int("checkpoint-every", 64, "ATPG journal flush cadence (merged deterministic-phase faults)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	sseProgress := flag.Bool("sse-progress", true, "stream progress events and heartbeats over SSE")
+	rf := cli.RegisterRunFlags()
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("factord", "unexpected argument %q", flag.Arg(0))
+	}
+
+	tel, finishTel, err := rf.Start("factord")
+	if err != nil {
+		cli.Fatal("factord", err)
+	}
+
+	srv, err := service.New(service.Config{
+		DataDir:         *dataDir,
+		QueueCap:        *queueCap,
+		Runners:         *runners,
+		JobBudget:       *budget,
+		CheckpointEvery: *ckEvery,
+		Progress:        *sseProgress,
+		Tel:             tel,
+	})
+	if err != nil {
+		cli.Fatal("factord", err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "factord: serving on %s (data %s, %d runners, queue %d)\n",
+			*addr, *dataDir, *runners, *queueCap)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := cli.SignalContextFrom(context.Background(), 0)
+	defer stop()
+	select {
+	case err := <-errCh:
+		srv.Close()
+		cli.Fatal("factord", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "factord: shutting down (drain %v)\n", *drain)
+	err = cli.RunShutdown(*drain,
+		srv.Shutdown,     // stop intake, drain the queue, interrupt leftovers
+		httpSrv.Shutdown, // then close the listener and idle connections
+	)
+	if ferr := finishTel(); ferr != nil {
+		cli.Warn("factord", ferr)
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Warn("factord", err)
+	}
+	fmt.Fprintln(os.Stderr, "factord: bye")
+}

@@ -19,39 +19,16 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"os/signal"
-	"sync"
-	"syscall"
 	"time"
 
 	"factor/internal/factorerr"
 )
 
-// SignalContext returns a context that is canceled on SIGINT or
-// SIGTERM and, when timeout > 0, after the wall-clock budget expires.
-//
-// The returned stop func is the single release point for every
-// resource the context holds: it unregisters the signal handler and
-// cancels the timeout timer, on both the signal path and the timeout
-// path (there is no separate cancel to leak). stop is idempotent and
-// safe for concurrent use; callers should defer it immediately. After
-// the first signal cancels the context, a second signal falls back to
-// the default handler and kills the process (the standard
-// double-Ctrl-C escape hatch).
+// SignalContext is SignalContextFrom rooted at context.Background() —
+// the one-shot CLI entry point (see shutdown.go for the server-side
+// graceful-shutdown helpers built on the same wiring).
 func SignalContext(timeout time.Duration) (ctx context.Context, stop context.CancelFunc) {
-	ctx = context.Background()
-	cancel := context.CancelFunc(func() {})
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-	}
-	ctx, sstop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	var once sync.Once
-	return ctx, func() {
-		once.Do(func() {
-			sstop()
-			cancel()
-		})
-	}
+	return SignalContextFrom(context.Background(), timeout)
 }
 
 // Fatal prints the structured error chain to stderr and exits with the

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 
 	"factor/internal/factorerr"
@@ -26,6 +27,12 @@ type Report struct {
 
 	// ATPG reports the test-generation outcome of an atpg run.
 	ATPG *ATPGReport `json:"atpg,omitempty"`
+
+	// FaultSim reports the first-detection replay of the generated
+	// test suite (the full-pipeline runs of `factor -atpg` and the job
+	// server). Every field is deterministic: bit-identical for any
+	// worker count and across checkpoint/resume.
+	FaultSim *FaultSimReport `json:"fault_sim,omitempty"`
 
 	// Telemetry carries the run's deterministic work counters. Wall
 	// times are deliberately excluded so the section is byte-identical
@@ -175,6 +182,21 @@ type ATPGReport struct {
 	Resumed        bool    `json:"resumed"`
 }
 
+// FaultSimReport is the first-detection replay section of a
+// full-pipeline run: the generated suite simulated once more as a
+// fault grader would, summarized by the per-fault first-detection
+// digest and the engine's invariant work counters.
+type FaultSimReport struct {
+	Sequences int `json:"sequences"`
+	Detected  int `json:"detected"`
+	// FirstDigest fingerprints the full per-fault first-detection
+	// vector; equal digests mean byte-equal per-fault results.
+	FirstDigest string `json:"first_digest"`
+	Batches     uint64 `json:"batches"`
+	Cycles      uint64 `json:"cycles"`
+	Events      uint64 `json:"events"`
+}
+
 // NewReport seeds a report for a finished run: the exit code and status
 // come from err via the unified taxonomy, the error list from its
 // flattened leaves.
@@ -209,6 +231,32 @@ func ReportErrors(err error) []ReportError {
 	return out
 }
 
+// Render marshals the report to its canonical byte string
+// (pretty-printed, trailing newline) — the exact bytes Write puts in a
+// file and the job server serves over HTTP, so `cmp` between the two
+// is meaningful.
+func (r *Report) Render() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteTo renders the report into w; the in-memory path service
+// handlers and tests use instead of a file.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	data, err := r.Render()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	if err != nil {
+		err = factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+	}
+	return int64(n), err
+}
+
 // Write marshals the report to path (pretty-printed, trailing newline).
 func (r *Report) Write(path string) error {
 	// Failpoint cli.report.write: the last write of a run — chaos runs
@@ -217,11 +265,10 @@ func (r *Report) Write(path string) error {
 	if err := failpoint.Hit("cli.report.write"); err != nil {
 		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
 	}
-	data, err := json.MarshalIndent(r, "", "  ")
+	data, err := r.Render()
 	if err != nil {
-		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
+		return err
 	}
-	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return factorerr.Wrap(factorerr.StageIO, factorerr.CodeIO, err)
 	}

@@ -1,0 +1,110 @@
+package cli
+
+// Satellite regression: the three report emission paths — Write to a
+// file, WriteTo an io.Writer, Render in memory — must produce the same
+// byte string. The service's `cmp` between an HTTP-served report and
+// the CLI's -report file is only sound if this holds.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"factor/internal/factorerr"
+	"factor/internal/telemetry"
+)
+
+// fullReport builds a report exercising every section.
+func fullReport() *Report {
+	partial := factorerr.New(factorerr.StageATPG, factorerr.CodePartial, "2 faults quarantined")
+	r := NewReport("factor", partial)
+	r.MUTs = []MUTReport{
+		{Path: "u_core.u_alu", OK: true, Gates: 120, PIs: 33, POs: 17, PIERs: 3},
+		{Path: "u_core.u_mul", OK: false},
+	}
+	r.ATPG = &ATPGReport{
+		TotalFaults: 240, Detected: 200, DetectedRandom: 150, DetectedDet: 50,
+		Untestable: 30, Aborted: 8, Quarantined: 2, Tests: 41,
+		Coverage: 83.33, Efficiency: 95.83,
+	}
+	r.FaultSim = &FaultSimReport{
+		Sequences: 41, Detected: 200, FirstDigest: "sha256:abcd", Batches: 4, Cycles: 512, Events: 9001,
+	}
+	r.Shard = &ShardReport{Shards: 2, WorkersPerShard: 3}
+	r.AttachDegraded(2, 1)
+	tel := telemetry.New()
+	tel.AddCounter("atpg.backtracks", 17)
+	tel.AddCounter("faultsim.events", 9001)
+	r.AttachTelemetry(tel)
+	return r
+}
+
+func TestReportWritePathsByteIdentical(t *testing.T) {
+	r := fullReport()
+
+	rendered, err := r.Render()
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if len(rendered) == 0 || rendered[len(rendered)-1] != '\n' {
+		t.Fatal("rendered report does not end in a newline")
+	}
+
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), rendered) {
+		t.Fatal("WriteTo bytes differ from Render")
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, rendered) {
+		t.Fatal("file bytes differ from the in-memory render")
+	}
+
+	// Render is stable under repetition (no map-order or pointer
+	// nondeterminism leaks into the bytes).
+	again, err := fullReport().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, rendered) {
+		t.Fatal("two renders of equal reports differ")
+	}
+}
+
+func TestReportCanonicalJSONStripsShard(t *testing.T) {
+	r := fullReport()
+	canon, err := r.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(canon, []byte(`"shard"`)) {
+		t.Fatal("CanonicalJSON kept the shard section")
+	}
+	if r.Shard == nil {
+		t.Fatal("CanonicalJSON mutated the receiver")
+	}
+	// A topology change must not affect the canonical bytes.
+	r.Shard = &ShardReport{Shards: 9, WorkersPerShard: 1}
+	again, err := r.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, canon) {
+		t.Fatal("canonical bytes changed with shard topology")
+	}
+}

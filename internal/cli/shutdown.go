@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"factor/internal/factorerr"
+)
+
+// SignalContextFrom derives a context from parent that is canceled on
+// SIGINT or SIGTERM and, when timeout > 0, after the wall-clock budget
+// expires.
+//
+// The returned stop func is the single release point for every
+// resource the context holds: it unregisters the signal handler and
+// cancels the timeout timer, on both the signal path and the timeout
+// path (there is no separate cancel to leak). stop is idempotent and
+// safe for concurrent use; callers should defer it immediately. After
+// the first signal cancels the context, a second signal falls back to
+// the default handler and kills the process (the standard
+// double-Ctrl-C escape hatch).
+func SignalContextFrom(parent context.Context, timeout time.Duration) (ctx context.Context, stop context.CancelFunc) {
+	ctx = parent
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, sstop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() {
+			sstop()
+			cancel()
+		})
+	}
+}
+
+// ShutdownOnSignal is the graceful-shutdown helper for long-running
+// servers: it blocks until ctx is canceled (the first SIGINT/SIGTERM
+// when ctx came from SignalContextFrom), then runs each step under a
+// fresh deadline context — drain the listener, drain the job queue —
+// and collects their errors. A step that outlives the deadline
+// receives the expired context and is expected to force-stop.
+//
+// The deadline context is deliberately NOT derived from ctx: ctx is
+// already canceled by the time the steps run, and the whole point of
+// draining is to keep working briefly after the stop signal.
+func ShutdownOnSignal(ctx context.Context, deadline time.Duration, steps ...func(context.Context) error) error {
+	<-ctx.Done()
+	return RunShutdown(deadline, steps...)
+}
+
+// RunShutdown runs the shutdown steps immediately (the body of
+// ShutdownOnSignal, reusable when the trigger is not a signal).
+func RunShutdown(deadline time.Duration, steps ...func(context.Context) error) error {
+	dctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, deadline)
+		defer cancel()
+	}
+	var errs []error
+	for _, step := range steps {
+		if err := step(dctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return factorerr.Collect(errs)
+}

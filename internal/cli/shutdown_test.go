@@ -1,0 +1,121 @@
+package cli
+
+// Satellite coverage for the graceful-shutdown helpers extracted from
+// SignalContext: no goroutine leaks under repeated start/stop, and
+// RunShutdown's step sequencing and error collection.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineCount samples the goroutine count after giving exiting
+// goroutines a moment to unwind.
+func goroutineCount() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// TestSignalContextNoLeak: repeatedly creating and stopping signal
+// contexts must not accrete goroutines (signal.NotifyContext spawns a
+// watcher per call; stop must reap it).
+func TestSignalContextNoLeak(t *testing.T) {
+	before := goroutineCount()
+	for i := 0; i < 100; i++ {
+		ctx, stop := SignalContextFrom(context.Background(), time.Hour)
+		if ctx.Err() != nil {
+			t.Fatalf("iteration %d: fresh context already canceled: %v", i, ctx.Err())
+		}
+		stop()
+		stop() // idempotent
+		if ctx.Err() == nil {
+			t.Fatalf("iteration %d: context not canceled by stop", i)
+		}
+	}
+	// The watchers exit asynchronously after stop; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := goroutineCount(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 100 start/stop cycles",
+				before, goroutineCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSignalContextInheritsParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := SignalContextFrom(parent, 0)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}
+
+func TestRunShutdownSequencesSteps(t *testing.T) {
+	var order []string
+	err := RunShutdown(time.Second,
+		func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				t.Fatal("step context pre-canceled")
+			}
+			order = append(order, "drain")
+			return nil
+		},
+		func(ctx context.Context) error {
+			order = append(order, "close")
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatalf("RunShutdown: %v", err)
+	}
+	if len(order) != 2 || order[0] != "drain" || order[1] != "close" {
+		t.Fatalf("step order = %v", order)
+	}
+}
+
+// TestRunShutdownCollectsErrors: a failing step does not stop later
+// steps, and every error is reported.
+func TestRunShutdownCollectsErrors(t *testing.T) {
+	e1, e2 := errors.New("listener"), errors.New("queue")
+	ran := 0
+	err := RunShutdown(time.Second,
+		func(context.Context) error { ran++; return e1 },
+		func(context.Context) error { ran++; return nil },
+		func(context.Context) error { ran++; return e2 },
+	)
+	if ran != 3 {
+		t.Fatalf("ran %d steps, want 3", ran)
+	}
+	if err == nil || !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("collected error %v does not wrap both step errors", err)
+	}
+}
+
+// TestRunShutdownDeadline: steps see the shared deadline context and a
+// slow step is handed an expired one.
+func TestRunShutdownDeadline(t *testing.T) {
+	err := RunShutdown(20*time.Millisecond,
+		func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return errors.New("deadline never reached the step")
+			}
+		},
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunShutdown = %v, want deadline exceeded", err)
+	}
+}

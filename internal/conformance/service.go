@@ -1,0 +1,330 @@
+package conformance
+
+// Invariant I8 (service identity): a report served by the factord HTTP
+// API must be byte-identical to the report the CLI pipeline renders for
+// the same job spec — for every worker count, after a resubmission
+// served from the content-addressed store without re-running the
+// pipeline, and across a mid-job interrupt + restart that resumes from
+// the checkpoint journal. The service is a transport around the
+// pipeline, never a second implementation of it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"factor/internal/designgen"
+	"factor/internal/failpoint"
+	"factor/internal/service"
+	"factor/internal/telemetry"
+)
+
+// CodeService classifies I8 violations.
+const CodeService = "service"
+
+// ServiceWorkerCounts is the per-job worker sweep I8 runs.
+var ServiceWorkerCounts = []int{1, 3}
+
+// ServiceReport is the outcome of checking one seed.
+type ServiceReport struct {
+	Seed   int64
+	Faults int
+	// Vacuous is set when the seed's design has no faults.
+	Vacuous bool
+	// CacheHit records that the resubmission leg was served from the
+	// store without a pipeline run.
+	CacheHit bool
+	// Resumed records that the restart leg re-enqueued the interrupted
+	// job on second boot.
+	Resumed    bool
+	Violations []Violation
+}
+
+// OK reports whether I8 held.
+func (r *ServiceReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *ServiceReport) violate(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: 8,
+		Code:      CodeService,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Line renders the report as one deterministic summary line.
+func (r *ServiceReport) Line() string {
+	status := "ok"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d faults=%d vacuous=%v cache_hit=%v resumed=%v status=%s",
+		r.Seed, r.Faults, r.Vacuous, r.CacheHit, r.Resumed, status)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, " [%s]", v)
+	}
+	return b.String()
+}
+
+// serviceSpec is the I8 job spec for a seed: the generated design run
+// whole-top with the conformance stimulus budget.
+func serviceSpec(seed int64, opts Options) service.JobSpec {
+	opts = opts.withDefaults()
+	return service.JobSpec{
+		Design:          designgen.Generate(seed, opts.Gen).Text(),
+		Seed:            mixSeed(seed, 0x53525643), // "SRVC"
+		RandomSequences: opts.RandomSequences,
+		RandomSeqLen:    opts.RandomSeqLen,
+		BacktrackLimit:  opts.BacktrackLimit,
+		MaxFrames:       4,
+	}
+}
+
+// serviceClient wraps one httptest server for the polling legs.
+type serviceClient struct {
+	base string
+}
+
+func (c serviceClient) submit(spec service.JobSpec) (id, state string, cached bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", "", false, err
+	}
+	resp, err := http.Post(c.base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return "", "", false, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", "", false, fmt.Errorf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return "", "", false, err
+	}
+	return st.ID, st.State, st.Cached, nil
+}
+
+func (c serviceClient) waitTerminal(id string, timeout time.Duration) (state, errMsg string, err error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(c.base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return "", "", err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if derr != nil {
+			return "", "", derr
+		}
+		switch st.State {
+		case "done", "failed", "canceled", "interrupted":
+			return st.State, st.Error, nil
+		}
+		if time.Now().After(deadline) {
+			return st.State, st.Error, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c serviceClient) report(id string) ([]byte, error) {
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/report")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("report: %d %s", resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// runServiceJob boots a server over dataDir, submits spec, waits for a
+// terminal state, and returns (server, client, job id, terminal state).
+func runServiceJob(dataDir string, cfg service.Config, spec service.JobSpec, timeout time.Duration) (srv *service.Server, ts *httptest.Server, id, state string, err error) {
+	cfg.DataDir = dataDir
+	srv, err = service.New(cfg)
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	srv.Start()
+	ts = httptest.NewServer(srv.Handler())
+	c := serviceClient{base: ts.URL}
+	id, _, _, err = c.submit(spec)
+	if err == nil {
+		state, _, err = c.waitTerminal(id, timeout)
+	}
+	return srv, ts, id, state, err
+}
+
+// CheckService verifies I8 for one seed. dir holds the per-leg server
+// data directories.
+func CheckService(seed int64, dir string) *ServiceReport {
+	rep := &ServiceReport{Seed: seed}
+	spec := serviceSpec(seed, DefaultOptions())
+	const legTimeout = 2 * time.Minute
+
+	// Baseline: the CLI code path, rendered to canonical bytes.
+	built, err := service.Build(context.Background(), spec)
+	if err != nil {
+		rep.violate("pipeline front failed: %v", err)
+		return rep
+	}
+	rep.Faults = len(built.Faults)
+	if rep.Faults == 0 {
+		rep.Vacuous = true
+		return rep
+	}
+	pipeRep, _, err := service.RunPipeline(context.Background(), spec, service.RunConfig{Tel: telemetry.New()})
+	if err != nil {
+		rep.violate("baseline pipeline failed: %v", err)
+		return rep
+	}
+	baseline, err := pipeRep.Render()
+	if err != nil {
+		rep.violate("baseline render failed: %v", err)
+		return rep
+	}
+
+	// Leg 1: one fresh server per worker count; served bytes must equal
+	// the baseline for each.
+	for _, workers := range ServiceWorkerCounts {
+		wspec := spec
+		wspec.Workers = workers
+		srv, ts, id, state, err := runServiceJob(
+			filepath.Join(dir, fmt.Sprintf("w%d", workers)),
+			service.Config{Runners: 1}, wspec, legTimeout)
+		if err != nil {
+			rep.violate("workers=%d: %v", workers, err)
+			if srv != nil {
+				ts.Close()
+				srv.Close()
+			}
+			continue
+		}
+		if state != "done" {
+			rep.violate("workers=%d: job ended %s", workers, state)
+		} else if got, err := (serviceClient{base: ts.URL}).report(id); err != nil {
+			rep.violate("workers=%d: %v", workers, err)
+		} else if string(got) != string(baseline) {
+			rep.violate("workers=%d: HTTP report differs from CLI report:\n%s",
+				workers, firstDiff(string(baseline), string(got)))
+		}
+
+		// Leg 2 (on the workers=1 server): resubmission must be a cache
+		// hit — no second pipeline run — and serve the same bytes.
+		if workers == ServiceWorkerCounts[0] && state == "done" {
+			c := serviceClient{base: ts.URL}
+			runsBefore := srv.Telemetry().Counters()["service.pipeline_runs"]
+			id2, st2, cached, err := c.submit(spec)
+			if err != nil {
+				rep.violate("resubmit: %v", err)
+			} else {
+				rep.CacheHit = cached && st2 == "done"
+				if !rep.CacheHit {
+					rep.violate("resubmit not served from cache: state=%s cached=%v", st2, cached)
+				}
+				after := srv.Telemetry().Counters()
+				if after["service.pipeline_runs"] != runsBefore {
+					rep.violate("resubmit re-ran the pipeline (%d -> %d runs)",
+						runsBefore, after["service.pipeline_runs"])
+				}
+				if after["service.cache_hits"] == 0 {
+					rep.violate("resubmit did not count a cache hit")
+				}
+				if got, err := c.report(id2); err != nil {
+					rep.violate("cached report: %v", err)
+				} else if string(got) != string(baseline) {
+					rep.violate("cached report differs from CLI report")
+				}
+			}
+		}
+		ts.Close()
+		srv.Close()
+	}
+
+	// Leg 3: interrupt mid-job at the checkpoint-sync failpoint, boot a
+	// fresh server over the same data dir, and require the resumed run
+	// to serve the baseline bytes.
+	restartDir := filepath.Join(dir, "restart")
+	reg, err := failpoint.Parse("atpg.checkpoint.sync=cancel")
+	if err != nil {
+		rep.violate("failpoint parse: %v", err)
+		return rep
+	}
+	srv1, err := service.New(service.Config{DataDir: restartDir, Runners: 1, CheckpointEvery: 1})
+	if err != nil {
+		rep.violate("restart leg boot: %v", err)
+		return rep
+	}
+	failpoint.SetCanceler(srv1.Interrupt)
+	failpoint.Activate(reg)
+	srv1.Start()
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := serviceClient{base: ts1.URL}
+	id, _, _, err := c1.submit(spec)
+	var state1 string
+	if err == nil {
+		state1, _, err = c1.waitTerminal(id, legTimeout)
+	}
+	failpoint.Deactivate()
+	ts1.Close()
+	srv1.Close()
+	if err != nil {
+		rep.violate("restart leg first boot: %v", err)
+		return rep
+	}
+	if state1 != "interrupted" {
+		rep.violate("restart leg: first boot ended %s, want interrupted", state1)
+		return rep
+	}
+
+	srv2, err := service.New(service.Config{DataDir: restartDir, Runners: 1, CheckpointEvery: 1})
+	if err != nil {
+		rep.violate("restart leg reboot: %v", err)
+		return rep
+	}
+	srv2.Start()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer srv2.Close()
+	defer ts2.Close()
+	rep.Resumed = srv2.Telemetry().Counters()["service.jobs_resumed"] == 1
+	if !rep.Resumed {
+		rep.violate("restart leg: rebooted server did not re-enqueue the interrupted job")
+		return rep
+	}
+	c2 := serviceClient{base: ts2.URL}
+	state2, errMsg, err := c2.waitTerminal(id, legTimeout)
+	if err != nil {
+		rep.violate("restart leg resume: %v", err)
+		return rep
+	}
+	if state2 != "done" {
+		rep.violate("restart leg: resumed job ended %s (%s)", state2, errMsg)
+		return rep
+	}
+	if got, err := c2.report(id); err != nil {
+		rep.violate("restart leg report: %v", err)
+	} else if string(got) != string(baseline) {
+		rep.violate("restart leg: resumed report differs from CLI report:\n%s",
+			firstDiff(string(baseline), string(got)))
+	}
+	return rep
+}

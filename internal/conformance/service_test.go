@@ -1,0 +1,40 @@
+package conformance
+
+// I8 pinned-seed sweep. Each seed spins five in-process servers (two
+// worker counts, a cache-hit leg, and the two boots of the restart
+// leg), so the list stays short; the service package's own tests cover
+// the transport details.
+
+import (
+	"fmt"
+	"testing"
+)
+
+var serviceSeeds = []int64{1, 3, 7}
+
+func TestServiceInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full service conformance sweep")
+	}
+	for _, seed := range serviceSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep := CheckService(seed, t.TempDir())
+			t.Logf("I8 %s", rep.Line())
+			if !rep.OK() {
+				for _, v := range rep.Violations {
+					t.Errorf("%s", v)
+				}
+			}
+			if rep.Vacuous {
+				return
+			}
+			if !rep.CacheHit {
+				t.Error("resubmission was not a cache hit")
+			}
+			if !rep.Resumed {
+				t.Error("restart leg did not resume")
+			}
+		})
+	}
+}

@@ -1,0 +1,300 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"time"
+
+	"factor/internal/factorerr"
+)
+
+// JobRequest is the POST /api/v1/jobs body: a JobSpec plus transport
+// options that never affect results.
+type JobRequest struct {
+	JobSpec
+	// Tenant buckets the job for fair scheduling (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// CancelOnDisconnect cancels the job when its last SSE watcher
+	// disconnects.
+	CancelOnDisconnect bool `json:"cancel_on_disconnect,omitempty"`
+}
+
+// JobStatus is the JSON view of a job returned by submit/status/list.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+	Hash   string `json:"hash"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// ReportURL is where the result bytes live once State is "done".
+	ReportURL string `json:"report_url,omitempty"`
+}
+
+func (s *Server) status(j *Job) JobStatus {
+	state, errMsg := j.State()
+	st := JobStatus{
+		ID:     j.ID,
+		Tenant: j.Tenant,
+		State:  string(state),
+		Hash:   j.Hash,
+		Cached: j.Cached,
+		Error:  errMsg,
+	}
+	if state == JobDone {
+		st.ReportURL = "/api/v1/jobs/" + j.ID + "/report"
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.MarshalIndent(v, "", "  ")
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/designs/{hash}/report", s.handleDesignReport)
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux = mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job request: "+err.Error())
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	j, err := s.submit(tenant, req.JobSpec, req.CancelOnDisconnect)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrQueueClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			// Build/validation failure: the design is unusable.
+			writeError(w, http.StatusUnprocessableEntity, factorerr.FormatChain(err))
+		}
+		return
+	}
+	code := http.StatusAccepted
+	if j.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.status(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.status(j))
+	}
+	// Stable order for consumers: by ID (= submission order).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if !j.RequestCancel() {
+		writeJSON(w, http.StatusConflict, s.status(j))
+		return
+	}
+	// A queued job has no running context to interrupt; finalize it
+	// here (the queue skips terminal jobs on Pop).
+	if state, _ := j.State(); state == JobQueued {
+		s.transition(j, JobCanceled, "canceled")
+		s.tel.AddCounter("service.jobs_canceled", 1)
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if state, _ := j.State(); state != JobDone {
+		writeError(w, http.StatusConflict, "job is "+string(state)+", no report yet")
+		return
+	}
+	s.serveReport(w, j.Hash)
+}
+
+func (s *Server) handleDesignReport(w http.ResponseWriter, r *http.Request) {
+	s.serveReport(w, r.PathValue("hash"))
+}
+
+// serveReport writes the stored report bytes verbatim — the byte
+// string `cmp` compares against the CLI's -report file.
+func (s *Server) serveReport(w http.ResponseWriter, hash string) {
+	data, err := s.store.Report(hash)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusNotFound, "no stored result for "+hash)
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue_len": s.q.Len(),
+		"counters":  s.tel.Counters(),
+	})
+}
+
+// handleEvents is the SSE stream: an initial state event, then live
+// state/progress/checkpoint events, heartbeat comments while progress
+// streaming is enabled, and a final done event. The stream ends on
+// job completion, client disconnect, or server shutdown.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, unsub := j.hub.subscribe()
+	s.tel.AddCounter("service.sse_streams", 1)
+	defer func() {
+		left := unsub()
+		s.tel.AddCounter("service.sse_events_dropped", j.hub.Dropped())
+		// Client-disconnect cancellation: last watcher gone, job still
+		// alive, the submitter asked for it.
+		if j.CancelOnDisconnect && left == 0 && !j.Terminal() && r.Context().Err() != nil {
+			if j.RequestCancel() {
+				if state, _ := j.State(); state == JobQueued {
+					s.transition(j, JobCanceled, "canceled: client disconnected")
+					s.tel.AddCounter("service.jobs_canceled", 1)
+				}
+			}
+		}
+	}()
+
+	writeEvent := func(ev Event) bool {
+		if _, err := ev.WriteTo(w); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	// Initial snapshot so a late subscriber still learns the state.
+	if !writeEvent(Event{Event: "state", Data: stateData(j)}) {
+		return
+	}
+	if j.Terminal() {
+		writeEvent(Event{Event: "done", Data: stateData(j)})
+		return
+	}
+
+	var heartbeat <-chan time.Time
+	if s.cfg.Progress {
+		t := time.NewTicker(s.cfg.Heartbeat)
+		defer t.Stop()
+		heartbeat = t.C
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stopCh:
+			return
+		case <-heartbeat:
+			if _, err := w.Write([]byte(heartbeatComment)); err != nil {
+				return
+			}
+			flusher.Flush()
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+			if ev.Event == "done" {
+				return
+			}
+		case <-j.done:
+			// Drain whatever was published before the terminal event,
+			// then close with the final state.
+			for {
+				select {
+				case ev := <-ch:
+					if !writeEvent(ev) {
+						return
+					}
+					if ev.Event == "done" {
+						return
+					}
+				default:
+					writeEvent(Event{Event: "done", Data: stateData(j)})
+					return
+				}
+			}
+		}
+	}
+}

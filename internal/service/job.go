@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// JobState is the lifecycle of a job. queued → running → one of
+// done/failed/canceled; "interrupted" is the restart-survivable state
+// a server shutdown leaves behind (re-enqueued as queued on boot).
+type JobState string
+
+const (
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed"
+	JobCanceled    JobState = "canceled"
+	JobInterrupted JobState = "interrupted"
+)
+
+// terminal reports whether a state is final for this process
+// lifetime. Interrupted is terminal in-memory (the job will be
+// re-enqueued by the NEXT boot's rescan, not this one's runners).
+func (s JobState) terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCanceled, JobInterrupted:
+		return true
+	}
+	return false
+}
+
+// resumable reports whether a persisted state should be re-enqueued
+// by the restart rescan.
+func (s JobState) resumable() bool {
+	return s == JobQueued || s == JobRunning || s == JobInterrupted
+}
+
+// Job is one submitted pipeline run.
+type Job struct {
+	ID     string
+	Seq    int
+	Tenant string
+	// Hash is the content address of the job's result (see Hash).
+	Hash string
+	Spec JobSpec
+	// CancelOnDisconnect maps "last SSE watcher went away" to job
+	// cancellation — the serving analogue of Ctrl-C.
+	CancelOnDisconnect bool
+	// Cached marks a submission served from the store without running.
+	Cached bool
+
+	hub  *hub
+	done chan struct{}
+
+	// persistMu serializes ledger writes for this job (a cancel racing
+	// the runner may both win non-terminal transitions).
+	persistMu sync.Mutex
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	cancel   context.CancelFunc
+	canceled bool // an API/disconnect cancel was requested
+}
+
+func newJob(id string, seq int, tenant, hash string, spec JobSpec, cancelOnDisconnect bool) *Job {
+	return &Job{
+		ID:                 id,
+		Seq:                seq,
+		Tenant:             tenant,
+		Hash:               hash,
+		Spec:               spec,
+		CancelOnDisconnect: cancelOnDisconnect,
+		hub:                newHub(),
+		done:               make(chan struct{}),
+		state:              JobQueued,
+	}
+}
+
+// State returns the current lifecycle state and error message.
+func (j *Job) State() (JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool {
+	s, _ := j.State()
+	return s.terminal()
+}
+
+// setState transitions the job, closing done on the first terminal
+// transition. Returns false if the job was already terminal (e.g. a
+// cancel raced completion).
+func (j *Job) setState(s JobState, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = s
+	j.errMsg = errMsg
+	if s.terminal() {
+		close(j.done)
+	}
+	return true
+}
+
+// bindCancel installs the running job's context cancel; if a cancel
+// request already arrived while queued, it fires immediately.
+func (j *Job) bindCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	fire := j.canceled
+	j.cancel = cancel
+	j.mu.Unlock()
+	if fire {
+		cancel()
+	}
+}
+
+// RequestCancel marks the job canceled-by-client and interrupts it if
+// running. Returns false when the job is already terminal.
+func (j *Job) RequestCancel() bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// cancelRequested reports whether a client cancel was asked for (used
+// by the runner to distinguish client cancels from server shutdown).
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// record snapshots the job as its persisted ledger form.
+func (j *Job) record() *JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobRecord{
+		ID:                 j.ID,
+		Seq:                j.Seq,
+		Tenant:             j.Tenant,
+		Hash:               j.Hash,
+		Spec:               j.Spec,
+		CancelOnDisconnect: j.CancelOnDisconnect,
+		State:              string(j.state),
+		Cached:             j.Cached,
+		Error:              j.errMsg,
+	}
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"factor/internal/arm"
+	"factor/internal/atpg"
+	"factor/internal/cli"
+	"factor/internal/core"
+	"factor/internal/design"
+	"factor/internal/factorerr"
+	"factor/internal/fault"
+	"factor/internal/netlist"
+	"factor/internal/shard"
+	"factor/internal/synth"
+	"factor/internal/telemetry"
+	"factor/internal/verilog"
+)
+
+// Built is the front half of a job: the netlist ATPG will target, its
+// fault universe, and the extraction outcome for the report.
+type Built struct {
+	Netlist *netlist.Netlist
+	Faults  []fault.Fault
+	// MUTs carries the per-MUT report rows when the spec asked for
+	// extraction (at most one row — the service runs one MUT per job).
+	MUTs []cli.MUTReport
+}
+
+// Snapshot is the compiled-netlist snapshot used as the content
+// address of the job (see Hash).
+func (b *Built) Snapshot() []byte { return b.Netlist.Snapshot() }
+
+// Build runs the pipeline front for a spec: parse → (analyze →
+// transform when a MUT is named) → synthesize. It is cheap relative to
+// ATPG, so the server runs it twice per job — once at admission to
+// compute the content address, once in the runner under the job's own
+// telemetry handle so the job report carries the same counters a CLI
+// run would.
+func Build(ctx context.Context, spec JobSpec) (*Built, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	var src *verilog.SourceFile
+	var err error
+	params := map[string]int64{}
+	top := spec.Top
+	if spec.Design == "" {
+		src, err = arm.ParseContext(ctx)
+		if err != nil {
+			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
+		}
+		if top == "" {
+			top = arm.Top
+		}
+	} else {
+		src, err = verilog.ParseContext(ctx, "design.v", spec.Design)
+		if err != nil {
+			return nil, factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
+		}
+		if len(src.Modules) == 0 {
+			return nil, factorerr.New(factorerr.StageParse, factorerr.CodeInput, "design has no modules")
+		}
+		if top == "" {
+			top = "top"
+			if src.Module(top) == nil {
+				top = src.Modules[0].Name
+			}
+		}
+	}
+	if hasWidthParam(src, top) {
+		params["W"] = int64(spec.Width)
+	}
+
+	if spec.MUT != "" {
+		d, err := design.Analyze(src, top)
+		if err != nil {
+			return nil, factorerr.Wrap(factorerr.StageAnalyze, factorerr.CodeAnalysis, err)
+		}
+		tr, err := core.TransformContext(ctx, core.NewExtractor(d, spec.mode()), spec.MUT, nil, core.TransformOptions{
+			TopParams: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		faults := fault.UniverseRestrictedTo(tr.Netlist, tr.MUTFaultFilter())
+		if len(faults) == 0 {
+			faults = fault.Universe(tr.Netlist)
+		}
+		return &Built{
+			Netlist: tr.Netlist,
+			Faults:  faults,
+			MUTs: []cli.MUTReport{{
+				Path:  spec.MUT,
+				OK:    true,
+				Gates: tr.MUTGates + tr.EnvGates,
+				PIs:   tr.PIs,
+				POs:   tr.POs,
+				PIERs: len(tr.PIERs),
+			}},
+		}, nil
+	}
+
+	res, err := synth.SynthesizeContext(ctx, src, top, synth.Options{TopParams: params})
+	if err != nil {
+		return nil, factorerr.Wrap(factorerr.StageSynth, factorerr.CodeAnalysis, err)
+	}
+	return &Built{Netlist: res.Netlist, Faults: fault.Universe(res.Netlist)}, nil
+}
+
+// RunConfig is the transport-side configuration of a pipeline run —
+// everything that must NOT change report bytes: the telemetry handle
+// the report snapshots, the checkpoint sink and cadence, a journal to
+// resume from, and the soft wall-clock budget.
+type RunConfig struct {
+	// Tel receives the run's deterministic counters and is snapshotted
+	// into the report. Nil runs without a telemetry section.
+	Tel *telemetry.Telemetry
+	// Checkpoint receives the ATPG journal. Nil substitutes a no-op
+	// sink — checkpoint accounting stays ON either way, so journaled
+	// and journal-less runs render identical reports.
+	Checkpoint func(*atpg.Checkpoint) error
+	// CheckpointEvery is the flush cadence (0 = the atpg default).
+	// The cadence never changes report bytes.
+	CheckpointEvery int
+	// Resume continues an interrupted run from its journal.
+	Resume *atpg.Checkpoint
+	// Budget is the soft per-job time budget (0 = none). Under budget
+	// pressure which faults get attempted is timing-dependent — byte
+	// identity across worker counts only holds for completed runs.
+	Budget time.Duration
+}
+
+// RunPipeline runs one job end to end and assembles the canonical
+// report: Build, checkpointed ATPG, then a first-detection replay of
+// the generated tests. It is the single code path behind both
+// `factor -atpg` and the job server, which is what makes the HTTP
+// report byte-identical to the CLI report (invariant I8).
+//
+// A non-nil error means the run was interrupted (context cancellation
+// or a checkpoint-sink failure) and no report exists; quarantined
+// faults degrade the report to status "partial" instead of erroring.
+func RunPipeline(ctx context.Context, spec JobSpec, rc RunConfig) (*cli.Report, *Built, error) {
+	spec = spec.withDefaults()
+	ctx = telemetry.NewContext(ctx, rc.Tel)
+
+	b, err := Build(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	guide, err := atpg.ParseGuide(spec.Guide)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := rc.Checkpoint
+	if sink == nil {
+		sink = func(*atpg.Checkpoint) error { return nil }
+	}
+	aopts := atpg.Options{
+		RandomSequences: spec.RandomSequences,
+		RandomSeqLen:    spec.RandomSeqLen,
+		BacktrackLimit:  spec.BacktrackLimit,
+		MaxFrames:       spec.MaxFrames,
+		Seed:            spec.Seed,
+		Guide:           guide,
+		Workers:         spec.Workers,
+		TimeBudget:      rc.Budget,
+		Checkpoint:      sink,
+		CheckpointEvery: rc.CheckpointEvery,
+		Resume:          rc.Resume,
+	}
+
+	res, runErr := atpg.New(b.Netlist, aopts).RunContext(ctx, b.Faults)
+	if runErr != nil {
+		return nil, b, runErr
+	}
+
+	// Replay leg: first-detection fault simulation of the generated
+	// suite — the coverage cross-check the FACTOR flow hands to the
+	// fault grader. Stats are bit-identical for any worker count on a
+	// completed run, so they are safe report material.
+	first, simStats, simErrs := fault.FirstDetections(ctx, b.Netlist, b.Faults, res.Tests, spec.Workers, time.Time{})
+	if ctx.Err() != nil {
+		return nil, b, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeCanceled, ctx.Err())
+	}
+	detected := 0
+	for _, f := range first {
+		if f >= 0 {
+			detected++
+		}
+	}
+	if tel := rc.Tel; tel != nil {
+		tel.AddCounter("replay.batches", simStats.Batches)
+		tel.AddCounter("replay.cycles", simStats.Cycles)
+		tel.AddCounter("replay.events", simStats.Events)
+		tel.AddCounter("replay.flop_heals", simStats.FlopHeals)
+		tel.AddCounter("replay.trace_cycles", simStats.TraceCycles)
+	}
+
+	// Exit shaping matches cmd/atpg's completed-run path: quarantined
+	// searches or replay batches degrade the run to partial.
+	var exitErr error
+	quarantined := append(append([]error{}, res.Errors...), simErrs...)
+	if len(quarantined) > 0 {
+		pe := factorerr.New(factorerr.StageATPG, factorerr.CodePartial,
+			"%d fault(s) quarantined after worker panics", res.QuarantinedNum)
+		pe.Err = factorerr.Collect(quarantined)
+		exitErr = pe
+	}
+
+	rep := cli.NewReport("factor", exitErr)
+	rep.MUTs = b.MUTs
+	rep.ATPG = &cli.ATPGReport{
+		TotalFaults:    len(b.Faults),
+		Detected:       res.Result.NumDetected(),
+		DetectedRandom: res.DetectedRandom,
+		DetectedDet:    res.DetectedDet,
+		Untestable:     res.UntestableNum,
+		Aborted:        res.AbortedNum,
+		NotAttempted:   res.NotAttempted,
+		Quarantined:    res.QuarantinedNum,
+		Tests:          len(res.Tests),
+		Coverage:       res.Coverage(),
+		Efficiency:     res.Efficiency(),
+		// Interrupted/Resumed are pinned false: a resumed run's final
+		// report is bit-identical to the uninterrupted run's, and the
+		// report must not betray which path produced it.
+	}
+	rep.FaultSim = &cli.FaultSimReport{
+		Sequences:   len(res.Tests),
+		Detected:    detected,
+		FirstDigest: shard.DigestFirst(first),
+		Batches:     simStats.Batches,
+		Cycles:      simStats.Cycles,
+		Events:      simStats.Events,
+	}
+	rep.AttachDegraded(res.QuarantinedNum, 0)
+	rep.AttachTelemetry(rc.Tel)
+	return rep, b, nil
+}
+
+func hasWidthParam(src *verilog.SourceFile, top string) bool {
+	m := src.Module(top)
+	if m == nil {
+		return false
+	}
+	for _, pd := range m.Params() {
+		for _, n := range pd.Names {
+			if n == "W" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"factor/internal/telemetry"
+)
+
+// TestPipelineDeterministic: the canonical report bytes are a pure
+// function of the spec — identical across repeated runs and across
+// worker counts (the property that makes content-addressed caching
+// and CLI/HTTP byte comparison sound).
+func TestPipelineDeterministic(t *testing.T) {
+	seed := pickFaultySeed(t)
+	spec := testSpec(seed)
+
+	base := renderPipeline(t, spec)
+	if got := renderPipeline(t, spec); !bytes.Equal(got, base) {
+		t.Fatal("two identical runs rendered different reports")
+	}
+	for _, workers := range []int{2, 3} {
+		w := spec
+		w.Workers = workers
+		if got := renderPipeline(t, w); !bytes.Equal(got, base) {
+			t.Fatalf("workers=%d rendered a different report", workers)
+		}
+	}
+}
+
+// TestPipelineCheckpointCadenceInvariant: flush cadence and journal
+// presence change durability, never report bytes.
+func TestPipelineCadenceInvariant(t *testing.T) {
+	spec := testSpec(pickFaultySeed(t))
+	base := renderPipeline(t, spec)
+
+	rep, _, err := RunPipeline(context.Background(), spec, RunConfig{
+		Tel:             telemetry.New(),
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunPipeline(every=1): %v", err)
+	}
+	got, err := rep.Render()
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("checkpoint cadence changed report bytes")
+	}
+}
+
+// TestPipelineMUTExtraction: a spec naming a MUT runs extraction
+// first and reports the MUT row.
+func TestPipelineMUTExtraction(t *testing.T) {
+	spec := JobSpec{
+		MUT:             "u_core.u_alu",
+		RandomSequences: 2,
+		RandomSeqLen:    4,
+		BacktrackLimit:  8,
+		MaxFrames:       2,
+	}
+	rep, b, err := RunPipeline(context.Background(), spec, RunConfig{Tel: telemetry.New()})
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	if len(rep.MUTs) != 1 || rep.MUTs[0].Path != "u_core.u_alu" || !rep.MUTs[0].OK {
+		t.Fatalf("MUT section = %+v", rep.MUTs)
+	}
+	if len(b.Faults) == 0 || rep.ATPG == nil || rep.ATPG.TotalFaults != len(b.Faults) {
+		t.Fatalf("fault accounting: built %d, report %+v", len(b.Faults), rep.ATPG)
+	}
+	if rep.FaultSim == nil || rep.FaultSim.Sequences != rep.ATPG.Tests {
+		t.Fatalf("fault_sim section = %+v, want %d sequences", rep.FaultSim, rep.ATPG.Tests)
+	}
+}
+
+// TestPipelineCancellation: a canceled context interrupts the run with
+// an error and no report.
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, _, err := RunPipeline(ctx, testSpec(1), RunConfig{})
+	if err == nil {
+		t.Fatalf("canceled run returned report %v", rep)
+	}
+}
+
+// TestBuildRejectsGarbage: admission-time build surfaces parse errors.
+func TestBuildRejectsGarbage(t *testing.T) {
+	if _, err := Build(context.Background(), JobSpec{Design: "modool oops("}); err == nil {
+		t.Fatal("garbage design built successfully")
+	}
+	if _, err := Build(context.Background(), JobSpec{MUT: "no.such.instance"}); err == nil {
+		t.Fatal("unknown MUT built successfully")
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sync"
+
+	"factor/internal/factorerr"
+)
+
+// ErrQueueFull is returned by Push when the bounded queue is at
+// capacity; the HTTP layer maps it to 429.
+var ErrQueueFull = factorerr.New(factorerr.StageIO, factorerr.CodeInput, "job queue full")
+
+// ErrQueueClosed is returned by Push after Close; mapped to 503.
+var ErrQueueClosed = factorerr.New(factorerr.StageIO, factorerr.CodeCanceled, "job queue closed")
+
+// queue is the bounded, tenant-fair job queue: one FIFO per tenant and
+// a round-robin ring across tenants with pending work, so a tenant
+// bulk-submitting a corpus cannot starve an interactive tenant — the
+// next job always comes from the least recently served tenant.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	size   int
+	closed bool
+
+	fifos map[string][]*Job
+	// ring is the round-robin order of tenants that have pending work;
+	// next indexes the tenant to serve next.
+	ring []string
+	next int
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity, fifos: map[string][]*Job{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues j under its tenant. ErrQueueFull when at capacity,
+// ErrQueueClosed after Close.
+func (q *queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	if _, ok := q.fifos[j.Tenant]; !ok {
+		q.ring = append(q.ring, j.Tenant)
+	}
+	q.fifos[j.Tenant] = append(q.fifos[j.Tenant], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available and returns it, serving tenants
+// round-robin. ok is false once the queue is closed and drained. Jobs
+// that went terminal while queued (canceled via the API) are skipped.
+func (q *queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for q.size == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.size == 0 {
+			return nil, false
+		}
+		j := q.popLocked()
+		if j.Terminal() {
+			continue
+		}
+		return j, true
+	}
+}
+
+func (q *queue) popLocked() *Job {
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	fifo := q.fifos[tenant]
+	j := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.fifos, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// next now indexes the following tenant; no advance needed.
+	} else {
+		q.fifos[tenant] = fifo[1:]
+		q.next++
+	}
+	q.size--
+	return j
+}
+
+// Close stops intake and wakes all poppers; Pop drains what remains.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len is the number of queued jobs (including not-yet-skipped
+// canceled ones).
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qjob(id, tenant string) *Job {
+	return newJob(id, 0, tenant, "h", JobSpec{}, false)
+}
+
+// TestQueueFairRoundRobin: a bulk tenant cannot starve others — pops
+// interleave tenants round-robin regardless of push order.
+func TestQueueFairRoundRobin(t *testing.T) {
+	q := newQueue(16)
+	// Tenant a floods first; b and c each submit one job afterwards.
+	for _, id := range []string{"a1", "a2", "a3", "a4"} {
+		if err := q.Push(qjob(id, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Push(qjob("b1", "b"))
+	q.Push(qjob("c1", "c"))
+
+	var got []string
+	for i := 0; i < 6; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, j.ID)
+	}
+	want := []string{"a1", "b1", "c1", "a2", "a3", "a4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	q := newQueue(2)
+	q.Push(qjob("1", "t"))
+	q.Push(qjob("2", "t"))
+	if err := q.Push(qjob("3", "t")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity push: %v, want ErrQueueFull", err)
+	}
+	q.Pop()
+	if err := q.Push(qjob("3", "t")); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(4)
+	q.Push(qjob("1", "t"))
+	q.Close()
+	if err := q.Push(qjob("2", "t")); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: %v, want ErrQueueClosed", err)
+	}
+	if j, ok := q.Pop(); !ok || j.ID != "1" {
+		t.Fatalf("Pop after close = %v,%v; want queued job", j, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned ok on a closed empty queue")
+	}
+}
+
+// TestQueuePopBlocksUntilPush: a blocked Pop wakes on Push.
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue(4)
+	got := make(chan string, 1)
+	go func() {
+		j, ok := q.Pop()
+		if ok {
+			got <- j.ID
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(qjob("late", "t"))
+	select {
+	case id := <-got:
+		if id != "late" {
+			t.Fatalf("popped %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Push")
+	}
+}
+
+// TestQueueSkipsTerminalJobs: a job canceled while queued is never
+// handed to a runner.
+func TestQueueSkipsTerminalJobs(t *testing.T) {
+	q := newQueue(4)
+	dead := qjob("dead", "t")
+	q.Push(dead)
+	q.Push(qjob("live", "t"))
+	dead.setState(JobCanceled, "canceled")
+	if j, ok := q.Pop(); !ok || j.ID != "live" {
+		t.Fatalf("Pop = %v; want the live job", j)
+	}
+}

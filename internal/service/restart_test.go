@@ -1,0 +1,150 @@
+package service
+
+// Tentpole durability coverage: interrupt a server mid-job at the
+// existing atpg checkpoint failpoint sites, boot a fresh Server over
+// the same data dir, and require the resumed job's report to be
+// byte-identical to an uninterrupted CLI-path run. The in-process
+// stand-in for kill -9 is failpoint ActCancel wired to
+// Server.Interrupt; the CI smoke job runs the real-kill leg.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"factor/internal/failpoint"
+)
+
+// interruptAt arms a cancel failpoint at site, wired to srv.Interrupt.
+func interruptAt(t *testing.T, srv *Server, site string) {
+	t.Helper()
+	reg, err := failpoint.Parse(site + "=cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.SetCanceler(srv.Interrupt)
+	failpoint.Activate(reg)
+	t.Cleanup(failpoint.Deactivate)
+}
+
+func TestRestartResumeByteIdentity(t *testing.T) {
+	for _, site := range []string{"atpg.checkpoint.sync", "atpg.checkpoint.rename"} {
+		t.Run(site, func(t *testing.T) {
+			spec := testSpec(pickFaultySeed(t))
+			want := renderPipeline(t, spec)
+			dataDir := t.TempDir()
+
+			// First boot: the first checkpoint flush trips the site and
+			// interrupts the whole server mid-job.
+			srv1, ts1 := newTestServer(t, Config{
+				DataDir:         dataDir,
+				Runners:         1,
+				CheckpointEvery: 1,
+			})
+			interruptAt(t, srv1, site)
+			st, code := postJob(t, ts1, JobRequest{JobSpec: spec})
+			if code != http.StatusAccepted {
+				t.Fatalf("submit = %d", code)
+			}
+			interrupted := waitTerminal(t, ts1, st.ID, 30*time.Second)
+			if JobState(interrupted.State) != JobInterrupted {
+				t.Fatalf("first-boot state = %s (%s), want interrupted",
+					interrupted.State, interrupted.Error)
+			}
+			failpoint.Deactivate()
+			srv1.Close()
+			ts1.Close()
+
+			// Second boot over the same data dir: the ledger replays,
+			// the job re-enqueues, and the run resumes from whatever the
+			// journal captured before the interrupt.
+			srv2, ts2 := newTestServer(t, Config{
+				DataDir:         dataDir,
+				Runners:         1,
+				CheckpointEvery: 1,
+			})
+			if got := srv2.Telemetry().Counters()["service.jobs_resumed"]; got != 1 {
+				t.Fatalf("jobs_resumed = %d, want 1", got)
+			}
+			final := waitTerminal(t, ts2, st.ID, 60*time.Second)
+			if JobState(final.State) != JobDone {
+				t.Fatalf("resumed job state = %s (%s)", final.State, final.Error)
+			}
+			if got := getReport(t, ts2, st.ID); !bytes.Equal(got, want) {
+				t.Fatalf("resumed report differs from the uninterrupted baseline")
+			}
+		})
+	}
+}
+
+// TestRestartWithoutJournal: an interrupt that lands before any flush
+// leaves no journal; the rebooted server restarts the job from scratch
+// and still reproduces the baseline bytes.
+func TestRestartWithoutJournal(t *testing.T) {
+	spec := testSpec(pickFaultySeed(t))
+	want := renderPipeline(t, spec)
+	dataDir := t.TempDir()
+
+	srv1, ts1 := newTestServer(t, Config{
+		DataDir: dataDir,
+		Runners: 1,
+		// Cadence far beyond the fault count: no flush ever happens.
+		CheckpointEvery: 1 << 30,
+	})
+	// atpg.search trips on the first deterministic-phase fault, before
+	// any checkpoint exists.
+	interruptAt(t, srv1, "atpg.search")
+	st, code := postJob(t, ts1, JobRequest{JobSpec: spec})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	interrupted := waitTerminal(t, ts1, st.ID, 30*time.Second)
+	if JobState(interrupted.State) != JobInterrupted {
+		t.Fatalf("first-boot state = %s (%s)", interrupted.State, interrupted.Error)
+	}
+	failpoint.Deactivate()
+	srv1.Close()
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, Config{DataDir: dataDir, Runners: 1})
+	final := waitTerminal(t, ts2, st.ID, 60*time.Second)
+	if JobState(final.State) != JobDone {
+		t.Fatalf("restarted job state = %s (%s)", final.State, final.Error)
+	}
+	if got := getReport(t, ts2, st.ID); !bytes.Equal(got, want) {
+		t.Fatal("fresh-restart report differs from the baseline")
+	}
+	_ = srv2
+}
+
+// TestRestartPreservesHistory: terminal jobs reload as queryable
+// history and their reports stay served from the CAS.
+func TestRestartPreservesHistory(t *testing.T) {
+	spec := testSpec(pickFaultySeed(t))
+	dataDir := t.TempDir()
+
+	srv1, ts1 := newTestServer(t, Config{DataDir: dataDir, Runners: 1})
+	st, _ := postJob(t, ts1, JobRequest{JobSpec: spec})
+	waitTerminal(t, ts1, st.ID, 30*time.Second)
+	want := getReport(t, ts1, st.ID)
+	srv1.Close()
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, Config{DataDir: dataDir, Runners: 1})
+	if got := srv2.Telemetry().Counters()["service.jobs_resumed"]; got != 0 {
+		t.Fatalf("terminal job was re-enqueued (jobs_resumed = %d)", got)
+	}
+	reloaded := getStatus(t, ts2, st.ID)
+	if JobState(reloaded.State) != JobDone {
+		t.Fatalf("reloaded state = %s", reloaded.State)
+	}
+	if got := getReport(t, ts2, st.ID); !bytes.Equal(got, want) {
+		t.Fatal("reloaded report differs")
+	}
+	// And a resubmission on the rebooted server is a cache hit.
+	re, code := postJob(t, ts2, JobRequest{JobSpec: spec})
+	if code != http.StatusOK || !re.Cached {
+		t.Fatalf("post-restart resubmit = %d %+v, want cached", code, re)
+	}
+}

@@ -1,0 +1,223 @@
+package service
+
+// Handler table tests over httptest: status codes, error shapes, the
+// cache-hit fast path, cancellation, and admission control.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"factor/internal/failpoint"
+)
+
+// TestHandlerTable drives each endpoint's error paths against one
+// runnerless server (jobs stay queued, so states are predictable).
+func TestHandlerTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1, QueueCap: 2})
+	design := testDesign(1)
+
+	queued, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: design}})
+	if code != http.StatusAccepted || queued.State != string(JobQueued) {
+		t.Fatalf("seed submit = %d %+v", code, queued)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		code   int
+		substr string
+	}{
+		{"healthz", "GET", "/api/v1/healthz", "", http.StatusOK, `"ok"`},
+		{"stats", "GET", "/api/v1/stats", "", http.StatusOK, `"queue_len"`},
+		{"list", "GET", "/api/v1/jobs", "", http.StatusOK, queued.ID},
+		{"status", "GET", "/api/v1/jobs/" + queued.ID, "", http.StatusOK, `"queued"`},
+		{"bad json", "POST", "/api/v1/jobs", `{"design": 12`, http.StatusBadRequest, "decoding job request"},
+		{"garbage design", "POST", "/api/v1/jobs", `{"design": "modool oops("}`, http.StatusUnprocessableEntity, "error"},
+		{"bad mode", "POST", "/api/v1/jobs", `{"mode": "vertical"}`, http.StatusUnprocessableEntity, "mode"},
+		{"unknown job status", "GET", "/api/v1/jobs/j999999", "", http.StatusNotFound, "unknown job"},
+		{"unknown job report", "GET", "/api/v1/jobs/j999999/report", "", http.StatusNotFound, "unknown job"},
+		{"unknown job events", "GET", "/api/v1/jobs/j999999/events", "", http.StatusNotFound, "unknown job"},
+		{"unknown job cancel", "DELETE", "/api/v1/jobs/j999999", "", http.StatusNotFound, "unknown job"},
+		{"report before done", "GET", "/api/v1/jobs/" + queued.ID + "/report", "", http.StatusConflict, "no report yet"},
+		{"unknown design report", "GET", "/api/v1/designs/deadbeef/report", "", http.StatusNotFound, "no stored result"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("%s %s = %d %s, want %d", tc.method, tc.path, resp.StatusCode, data, tc.code)
+			}
+			if !strings.Contains(string(data), tc.substr) {
+				t.Fatalf("%s %s body %q missing %q", tc.method, tc.path, data, tc.substr)
+			}
+		})
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Runners: -1, QueueCap: 1})
+	if _, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}}); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	if _, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(2)}}); code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", code)
+	}
+	if srv.Telemetry().Counters()["service.queue_rejects"] != 1 {
+		t.Fatalf("queue_rejects = %v", srv.Telemetry().Counters())
+	}
+	// The rejected job must not linger in the listing.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("job list after reject = %+v", list.Jobs)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}})
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	if got := getStatus(t, ts, st.ID); JobState(got.State) != JobCanceled {
+		t.Fatalf("state after cancel = %s", got.State)
+	}
+	// Second cancel conflicts: the job is already terminal.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel = %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	// Delay every deterministic-phase search step so the tiny test
+	// design stays mid-run long enough for the cancel to land.
+	reg, err := failpoint.Parse("atpg.search=delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Activate(reg)
+	defer failpoint.Deactivate()
+
+	_, ts := newTestServer(t, Config{Runners: 1})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: testSpec(pickFaultySeed(t))})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur := getStatus(t, ts, st.ID)
+		if JobState(cur.State) == JobRunning {
+			break
+		}
+		if JobState(cur.State) != JobQueued || time.Now().After(deadline) {
+			t.Fatalf("job reached %s before the cancel could land", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := waitTerminal(t, ts, st.ID, 30*time.Second)
+	// The run may complete before the context cancel is observed; both
+	// canceled and done are legal, anything else is not.
+	if s := JobState(final.State); s != JobCanceled && s != JobDone {
+		t.Fatalf("state after mid-run cancel = %s", final.State)
+	}
+}
+
+// TestCacheHitServesStoredReport: resubmitting the same spec is served
+// from the content-addressed store without re-running the pipeline, and
+// the stored bytes equal a direct CLI-path render.
+func TestCacheHitServesStoredReport(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Runners: 1})
+	spec := testSpec(pickFaultySeed(t))
+
+	first, code := postJob(t, ts, JobRequest{JobSpec: spec})
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	waitTerminal(t, ts, first.ID, 30*time.Second)
+	runs := srv.Telemetry().Counters()["service.pipeline_runs"]
+
+	second, code := postJob(t, ts, JobRequest{JobSpec: spec})
+	if code != http.StatusOK || !second.Cached || second.State != string(JobDone) {
+		t.Fatalf("resubmit = %d %+v, want cached done", code, second)
+	}
+	// Different worker count, same content address: still a hit.
+	reparallel := spec
+	reparallel.Workers = 7
+	third, code := postJob(t, ts, JobRequest{JobSpec: reparallel})
+	if code != http.StatusOK || !third.Cached {
+		t.Fatalf("worker-count resubmit = %d %+v, want cached", code, third)
+	}
+
+	c := srv.Telemetry().Counters()
+	if c["service.cache_hits"] != 2 || c["service.pipeline_runs"] != runs {
+		t.Fatalf("cache counters after resubmits: %v", c)
+	}
+
+	want := renderPipeline(t, spec)
+	for _, id := range []string{first.ID, second.ID, third.ID} {
+		if got := getReport(t, ts, id); !bytes.Equal(got, want) {
+			t.Fatalf("job %s report differs from the CLI-path render", id)
+		}
+	}
+	// The design-addressed endpoint serves the same bytes.
+	resp, err := http.Get(ts.URL + "/api/v1/designs/" + first.Hash + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(data, want) {
+		t.Fatalf("design report endpoint = %d, bytes equal = %v", resp.StatusCode, bytes.Equal(data, want))
+	}
+}
+
+// TestSubmitAfterShutdown: a draining server refuses new work.
+func TestSubmitAfterShutdown(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Runners: 1})
+	srv.beginStop()
+	if _, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", code)
+	}
+}

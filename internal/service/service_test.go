@@ -1,0 +1,199 @@
+package service
+
+// Shared fixtures for the service tests: small generated designs and
+// fast ATPG options so the full pipeline stays sub-second per run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"factor/internal/designgen"
+	"factor/internal/telemetry"
+)
+
+// testDesign is a seeded hierarchical designgen design; the same
+// generator conformance and corpus use.
+func testDesign(seed int64) string {
+	return designgen.Generate(seed, designgen.DefaultConfig()).Text()
+}
+
+// testSpec is a fast full-pipeline spec over testDesign(seed).
+func testSpec(seed int64) JobSpec {
+	return JobSpec{
+		Design:          testDesign(seed),
+		Seed:            seed*7 + 1,
+		RandomSequences: 4,
+		RandomSeqLen:    6,
+		BacktrackLimit:  32,
+		MaxFrames:       4,
+	}
+}
+
+// renderPipeline runs RunPipeline directly (the CLI code path) and
+// returns the canonical report bytes.
+func renderPipeline(t *testing.T, spec JobSpec) []byte {
+	t.Helper()
+	rep, _, err := RunPipeline(context.Background(), spec, RunConfig{Tel: telemetry.New()})
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	data, err := rep.Render()
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return data
+}
+
+// newTestServer builds, starts, and tears down a server over a fresh
+// temp data dir (unless cfg.DataDir is set).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding submit response %q: %v", data, err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, ts, id)
+		switch JobState(st.State) {
+		case JobDone, JobFailed, JobCanceled, JobInterrupted:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getReport(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatalf("GET report: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report: %d %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// pickFaultySeed returns a generator seed whose design has faults, so
+// tests exercise a real ATPG run rather than the vacuous path.
+func pickFaultySeed(t *testing.T) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 16; seed++ {
+		b, err := Build(context.Background(), testSpec(seed))
+		if err != nil {
+			continue
+		}
+		if len(b.Faults) > 0 {
+			return seed
+		}
+	}
+	t.Fatal("no designgen seed in 1..16 produced a faulty design")
+	return 0
+}
+
+// drainSSE reads the event stream until the body closes or limit
+// elapses, returning the raw frames.
+func drainSSE(t *testing.T, ctx context.Context, url string, limit time.Duration) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(ctx, limit)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("building SSE request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	data, _ := io.ReadAll(resp.Body) // read error = deadline/disconnect, fine
+	return string(data)
+}
+
+// sseEvents parses a raw SSE stream into "event\ndata" frames,
+// ignoring comment lines.
+func sseEvents(raw string) []string {
+	var out []string
+	for _, frame := range strings.Split(raw, "\n\n") {
+		var event, data []string
+		for _, line := range strings.Split(frame, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = append(event, strings.TrimPrefix(line, "event: "))
+			case strings.HasPrefix(line, "data: "):
+				data = append(data, strings.TrimPrefix(line, "data: "))
+			}
+		}
+		if len(event) > 0 || len(data) > 0 {
+			out = append(out, fmt.Sprintf("%s|%s", strings.Join(event, ","), strings.Join(data, "\n")))
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package service turns the one-shot FACTOR CLIs into a long-running
+// job server: an HTTP/JSON API that accepts Verilog design uploads,
+// runs extract→synth→ATPG→fault-sim jobs through a bounded,
+// tenant-fair job queue, streams progress over SSE, and persists
+// results in a content-addressed store keyed by the structural design
+// hash so repeat submissions are cache hits.
+//
+// The serving layer is a thin shell around the same deterministic
+// pipeline the CLIs run: RunPipeline is shared verbatim by
+// `factor -atpg` and by the job runner, so a report fetched over HTTP
+// is byte-identical to the CLI's -report output for the same spec
+// (conformance invariant I8 asserts exactly this).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+
+	"factor/internal/atpg"
+	"factor/internal/core"
+	"factor/internal/factorerr"
+)
+
+// JobSpec is one test-generation job: a design plus the
+// result-shaping ATPG options. The zero value of every field selects
+// the same default the CLIs use, so a minimal submission is just a
+// design (or nothing at all for the built-in ARM benchmark).
+type JobSpec struct {
+	// Design is the Verilog source text. Empty selects the built-in
+	// ARM benchmark SoC.
+	Design string `json:"design,omitempty"`
+	// Top names the module to elaborate. Empty prefers a module named
+	// "top", then the first module of the file (arm for the builtin).
+	Top string `json:"top,omitempty"`
+	// Width is the datapath width parameter W of the built-in design
+	// (default 16); ignored when the top has no W parameter.
+	Width int `json:"width,omitempty"`
+
+	// MUT, when set, runs FACTOR extraction first: the hierarchical
+	// instance path whose transformed module (MUT + virtual
+	// environment) is the ATPG target. Empty targets the whole top.
+	MUT string `json:"mut,omitempty"`
+	// Mode is the extraction mode, "flat" or "composed" (default).
+	Mode string `json:"mode,omitempty"`
+
+	Seed            int64  `json:"seed,omitempty"`
+	RandomSequences int    `json:"random_sequences,omitempty"`
+	RandomSeqLen    int    `json:"random_seq_len,omitempty"`
+	BacktrackLimit  int    `json:"backtrack_limit,omitempty"`
+	MaxFrames       int    `json:"max_frames,omitempty"`
+	Guide           string `json:"guide,omitempty"` // "default" | "scoap"
+
+	// Workers is the per-job worker count (0 = all CPU cores). It is
+	// deliberately excluded from the design hash: results are
+	// bit-identical for every worker count, so a resubmission with a
+	// different -j is still a cache hit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// withDefaults normalizes the enumerated fields the way the CLIs do.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Mode == "" {
+		s.Mode = "composed"
+	}
+	if s.Guide == "" {
+		s.Guide = atpg.GuideDefault.String()
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Width <= 0 {
+		s.Width = 16
+	}
+	return s
+}
+
+// Validate rejects specs whose enumerated fields name unknown values;
+// everything else is defaulted, not rejected.
+func (s JobSpec) Validate() error {
+	s = s.withDefaults()
+	if s.Mode != "flat" && s.Mode != "composed" {
+		return factorerr.New(factorerr.StageParse, factorerr.CodeInput, "unknown extraction mode %q", s.Mode)
+	}
+	if _, err := atpg.ParseGuide(s.Guide); err != nil {
+		return factorerr.Wrap(factorerr.StageParse, factorerr.CodeInput, err)
+	}
+	return nil
+}
+
+func (s JobSpec) mode() core.Mode {
+	if s.Mode == "flat" {
+		return core.ModeFlat
+	}
+	return core.ModeComposed
+}
+
+// hashView is the canonical result-shaping view of a spec: exactly the
+// options that change report bytes. Workers is absent (results are
+// worker-count invariant) and so is everything the netlist snapshot
+// already captures (design text, top, width, MUT, mode — two designs
+// that synthesize to the same transformed netlist share cache
+// entries by construction).
+type hashView struct {
+	Seed            int64  `json:"seed"`
+	RandomSequences int    `json:"random_sequences"`
+	RandomSeqLen    int    `json:"random_seq_len"`
+	BacktrackLimit  int    `json:"backtrack_limit"`
+	MaxFrames       int    `json:"max_frames"`
+	Guide           string `json:"guide"`
+}
+
+// specHashPrefix versions the key derivation; bump it whenever the
+// hashed view or the snapshot codec changes meaning.
+const specHashPrefix = "factor/job/v1\n"
+
+// Hash is the content address of a job's result: a hex SHA-256 over
+// the compiled-netlist snapshot (a pure function of the structure ATPG
+// sees) and the canonical result-shaping options. Equal hashes mean
+// byte-identical reports.
+func Hash(snapshot []byte, spec JobSpec) string {
+	spec = spec.withDefaults()
+	h := sha256.New()
+	io.WriteString(h, specHashPrefix)
+	h.Write(snapshot)
+	io.WriteString(h, "\n")
+	view, _ := json.Marshal(hashView{
+		Seed:            spec.Seed,
+		RandomSequences: spec.RandomSequences,
+		RandomSeqLen:    spec.RandomSeqLen,
+		BacktrackLimit:  spec.BacktrackLimit,
+		MaxFrames:       spec.MaxFrames,
+		Guide:           spec.Guide,
+	})
+	h.Write(view)
+	return hex.EncodeToString(h.Sum(nil))
+}

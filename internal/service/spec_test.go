@@ -1,0 +1,67 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"zero value", JobSpec{}, true},
+		{"explicit defaults", JobSpec{Mode: "composed", Guide: "default"}, true},
+		{"flat scoap", JobSpec{Mode: "flat", Guide: "scoap"}, true},
+		{"bad mode", JobSpec{Mode: "vertical"}, false},
+		{"bad guide", JobSpec{Guide: "vibes"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestHashExcludesWorkers(t *testing.T) {
+	snap := []byte("fake snapshot bytes")
+	spec := JobSpec{Seed: 7, RandomSequences: 4}
+	h1 := Hash(snap, spec)
+	spec.Workers = 8
+	if h2 := Hash(snap, spec); h2 != h1 {
+		t.Fatalf("hash changed with worker count: %s vs %s", h1, h2)
+	}
+}
+
+func TestHashNormalizesDefaults(t *testing.T) {
+	snap := []byte("fake snapshot bytes")
+	// A zero spec and a spec spelling out the defaults must collide:
+	// cache hits should not depend on how the client spelled the
+	// defaults.
+	h1 := Hash(snap, JobSpec{})
+	h2 := Hash(snap, JobSpec{Seed: 1, Mode: "composed", Guide: "default", Width: 16})
+	if h1 != h2 {
+		t.Fatalf("defaulted and spelled-out specs hash differently: %s vs %s", h1, h2)
+	}
+}
+
+func TestHashSeparatesOptions(t *testing.T) {
+	snap := []byte("fake snapshot bytes")
+	base := Hash(snap, JobSpec{})
+	if h := Hash(snap, JobSpec{Seed: 2}); h == base {
+		t.Fatal("seed change did not change the hash")
+	}
+	if h := Hash(snap, JobSpec{BacktrackLimit: 7}); h == base {
+		t.Fatal("backtrack-limit change did not change the hash")
+	}
+	if h := Hash([]byte("other snapshot"), JobSpec{}); h == base {
+		t.Fatal("snapshot change did not change the hash")
+	}
+	if !strings.EqualFold(base, strings.ToLower(base)) || len(base) != 64 {
+		t.Fatalf("hash is not lowercase hex sha256: %q", base)
+	}
+}

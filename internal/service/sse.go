@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Event is one server-sent event. WriteTo emits the wire framing:
+//
+//	id: <id>
+//	event: <event>
+//	data: <line>          (one data: field per newline in Data)
+//	<blank line>
+//
+// An Event with only Data is a bare message event; a zero ID is
+// omitted (heartbeat comments are written directly, not as Events).
+type Event struct {
+	ID    int
+	Event string
+	Data  string
+}
+
+// WriteTo frames e onto w per the SSE wire format. Multi-line data
+// becomes one data: field per line, which the browser EventSource API
+// rejoins with newlines.
+func (e Event) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if e.ID != 0 {
+		fmt.Fprintf(&b, "id: %d\n", e.ID)
+	}
+	if e.Event != "" {
+		fmt.Fprintf(&b, "event: %s\n", e.Event)
+	}
+	for _, line := range strings.Split(strings.TrimRight(e.Data, "\n"), "\n") {
+		fmt.Fprintf(&b, "data: %s\n", line)
+	}
+	b.WriteString("\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// heartbeatComment is the keep-alive frame: an SSE comment line, which
+// consumers ignore but which defeats idle-connection timeouts. Emitted
+// only when progress streaming is enabled (the cadence gate).
+const heartbeatComment = ": heartbeat\n\n"
+
+// hub fans job lifecycle events out to SSE subscribers. Publishing
+// never blocks the job runner: slow subscribers drop events (each
+// event also carries a monotonically increasing ID, so a consumer can
+// detect the gap), and the terminal state is always re-delivered from
+// the job record rather than the stream.
+type hub struct {
+	mu       sync.Mutex
+	nextID   int
+	subs     map[chan Event]struct{}
+	watchers int
+	dropped  uint64
+}
+
+func newHub() *hub {
+	return &hub{subs: map[chan Event]struct{}{}}
+}
+
+// publish fans an event out to all subscribers, assigning its ID.
+func (h *hub) publish(event, data string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	ev := Event{ID: h.nextID, Event: event, Data: data}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// subscribe registers a new consumer; the returned cancel must be
+// called exactly once. The remaining watcher count after cancel is
+// reported through the callback so the server can map "last client
+// disconnected" to job cancellation.
+func (h *hub) subscribe() (ch chan Event, cancel func() (watchersLeft int)) {
+	ch = make(chan Event, 64)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.watchers++
+	h.mu.Unlock()
+	var once sync.Once
+	return ch, func() int {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		once.Do(func() {
+			delete(h.subs, ch)
+			h.watchers--
+		})
+		return h.watchers
+	}
+}
+
+// Dropped is the number of events discarded on slow subscribers.
+func (h *hub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// lineWriter adapts the hub to telemetry.EnableProgress: the
+// rate-limited heartbeat lines the ATPG engine emits become "progress"
+// SSE events. Progressf writes whole lines, so splitting on newlines
+// is frame-accurate.
+type lineWriter struct {
+	h *hub
+}
+
+func (lw lineWriter) Write(p []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		if line != "" {
+			lw.h.publish("progress", line)
+		}
+	}
+	return len(p), nil
+}

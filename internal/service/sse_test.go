@@ -1,0 +1,224 @@
+package service
+
+// Satellite coverage for the SSE layer: wire framing, the hub's
+// non-blocking fan-out, the telemetry line-to-event adapter, heartbeat
+// gating by the progress flag, and clean stream termination on client
+// disconnect (including cancel_on_disconnect job cancellation).
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventWriteTo(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{
+			"full frame",
+			Event{ID: 3, Event: "state", Data: "running"},
+			"id: 3\nevent: state\ndata: running\n\n",
+		},
+		{
+			"zero id omitted",
+			Event{Event: "done", Data: "ok"},
+			"event: done\ndata: ok\n\n",
+		},
+		{
+			"bare message",
+			Event{Data: "hello"},
+			"data: hello\n\n",
+		},
+		{
+			"multi-line data",
+			Event{ID: 1, Event: "progress", Data: "line one\nline two"},
+			"id: 1\nevent: progress\ndata: line one\ndata: line two\n\n",
+		},
+		{
+			"trailing newline trimmed",
+			Event{Event: "progress", Data: "tick\n"},
+			"event: progress\ndata: tick\n\n",
+		},
+		{
+			"empty data still framed",
+			Event{Event: "ping"},
+			"event: ping\ndata: \n\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			n, err := tc.ev.WriteTo(&b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.String() != tc.want {
+				t.Fatalf("framed %q, want %q", b.String(), tc.want)
+			}
+			if n != int64(len(tc.want)) {
+				t.Fatalf("reported %d bytes, wrote %d", n, len(tc.want))
+			}
+		})
+	}
+}
+
+func TestHubFanoutAndDrop(t *testing.T) {
+	h := newHub()
+	ch1, cancel1 := h.subscribe()
+	ch2, cancel2 := h.subscribe()
+
+	h.publish("state", "running")
+	for i, ch := range []chan Event{ch1, ch2} {
+		ev := <-ch
+		if ev.ID != 1 || ev.Event != "state" || ev.Data != "running" {
+			t.Fatalf("subscriber %d got %+v", i, ev)
+		}
+	}
+
+	// A slow subscriber's buffer overflows: events drop, IDs gap.
+	for i := 0; i < 70; i++ {
+		h.publish("progress", "tick")
+	}
+	if h.Dropped() == 0 {
+		t.Fatal("no drops recorded after overflowing a 64-slot buffer")
+	}
+	if left := cancel1(); left != 1 {
+		t.Fatalf("watchers left after first cancel = %d, want 1", left)
+	}
+	if left := cancel2(); left != 0 {
+		t.Fatalf("watchers left after last cancel = %d, want 0", left)
+	}
+	// cancel is idempotent and publish-after-cancel must not block.
+	cancel2()
+	h.publish("state", "done")
+}
+
+func TestLineWriterSplitsProgressLines(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.subscribe()
+	defer cancel()
+
+	lw := lineWriter{h: h}
+	// telemetry.Progressf writes whole lines; a burst may carry several.
+	if _, err := lw.Write([]byte("atpg: 10/100 faults\natpg: 20/100 faults\n")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"atpg: 10/100 faults", "atpg: 20/100 faults"}
+	for _, w := range want {
+		ev := <-ch
+		if ev.Event != "progress" || ev.Data != w {
+			t.Fatalf("got %+v, want progress %q", ev, w)
+		}
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+// TestSSEStreamLifecycle: a live job's stream carries the initial
+// state, progress lines, and a final done event, then terminates.
+func TestSSEStreamLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Runners:       1,
+		Progress:      true,
+		ProgressEvery: time.Millisecond,
+		Heartbeat:     time.Hour, // not under test here
+	})
+	st, code := postJob(t, ts, JobRequest{JobSpec: testSpec(pickFaultySeed(t))})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	raw := drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 30*time.Second)
+	events := sseEvents(raw)
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !strings.HasPrefix(events[0], "|") && !strings.HasPrefix(events[0], "state|") {
+		t.Fatalf("first frame %q is not the state snapshot", events[0])
+	}
+	last := events[len(events)-1]
+	if !strings.HasPrefix(last, "done|") || !strings.Contains(last, "done") {
+		t.Fatalf("stream did not end with a done event: %q", last)
+	}
+}
+
+// TestSSETerminalJobShortCircuits: subscribing to a finished job gets
+// state + done immediately with no hanging stream.
+func TestSSETerminalJobShortCircuits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: testSpec(pickFaultySeed(t))})
+	waitTerminal(t, ts, st.ID, 30*time.Second)
+
+	start := time.Now()
+	raw := drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("terminal-job stream took %v to close", elapsed)
+	}
+	events := sseEvents(raw)
+	if len(events) != 2 || !strings.HasPrefix(events[0], "state|") || !strings.HasPrefix(events[1], "done|") {
+		t.Fatalf("terminal stream = %v, want [state, done]", events)
+	}
+}
+
+// TestSSEHeartbeatGating: heartbeat comments appear only when progress
+// streaming is enabled.
+func TestSSEHeartbeatGating(t *testing.T) {
+	design := testDesign(1)
+	run := func(progress bool) string {
+		cfg := Config{
+			Runners:   -1, // never dequeue: the job stays queued, stream stays open
+			Progress:  progress,
+			Heartbeat: 20 * time.Millisecond,
+		}
+		_, ts := newTestServer(t, cfg)
+		st, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: design}})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit = %d", code)
+		}
+		// The client deadline ends the stream; the job never runs.
+		return drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 150*time.Millisecond)
+	}
+
+	if raw := run(true); !strings.Contains(raw, ": heartbeat\n\n") {
+		t.Fatalf("progress-enabled stream carried no heartbeat:\n%q", raw)
+	}
+	if raw := run(false); strings.Contains(raw, ": heartbeat") {
+		t.Fatalf("progress-disabled stream carried a heartbeat:\n%q", raw)
+	}
+}
+
+// TestSSECancelOnDisconnect: when the submitter opted in, the last
+// watcher disconnecting cancels a still-queued job.
+func TestSSECancelOnDisconnect(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1})
+	st, _ := postJob(t, ts, JobRequest{
+		JobSpec:            JobSpec{Design: testDesign(1)},
+		CancelOnDisconnect: true,
+	})
+	// Connect, then disconnect via the context deadline.
+	drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 100*time.Millisecond)
+
+	final := waitTerminal(t, ts, st.ID, 5*time.Second)
+	if JobState(final.State) != JobCanceled {
+		t.Fatalf("job state after disconnect = %s, want canceled", final.State)
+	}
+}
+
+// TestSSEDisconnectWithoutOptIn: without cancel_on_disconnect the job
+// survives its watchers.
+func TestSSEDisconnectWithoutOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}})
+	drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 100*time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	if got := getStatus(t, ts, st.ID); JobState(got.State) != JobQueued {
+		t.Fatalf("job state after disconnect = %s, want still queued", got.State)
+	}
+}
