@@ -95,7 +95,7 @@ func main() {
 		N: *n, Seed: *seed, Shards: *shards, Workers: *workers,
 		Seqs: *seqs, Cycles: *cycles, Procs: *maxprocs,
 		Report: *reportPath, Checkpoint: *ckptPath, Resume: *resume,
-		Emit: *emitDir,
+		Emit: *emitDir, Trace: rf.Trace != "",
 	})
 	if err := finishTel(); err != nil && runErr == nil {
 		runErr = err
@@ -124,6 +124,9 @@ type config struct {
 	Checkpoint string
 	Resume     bool
 	Emit       string
+	// Trace asks shard children to ship their span buffers back so the
+	// parent can assemble one corpus-wide Chrome trace (-trace).
+	Trace bool
 }
 
 // designState is one corpus entry mid-flight.
@@ -135,6 +138,10 @@ type designState struct {
 	faults  int
 	specs   []shard.Spec
 	slots   []shard.ShardOutcome
+	// offsets[s] is the parent-clock microsecond at which shard s was
+	// spawned — the rebase applied to that child's spans when merging
+	// them into the parent trace.
+	offsets []int64
 	outcome shard.Outcome
 	ranges  [][2]int
 	died    []int
@@ -143,6 +150,9 @@ type designState struct {
 }
 
 func run(ctx context.Context, tel *telemetry.Telemetry, rf *cli.RunFlags, cfg config) error {
+	logger := rf.Logger()
+	logger.Info("corpus run", "designs", cfg.N, "shards", cfg.Shards,
+		"workers", cfg.Workers, "seqs", cfg.Seqs, "cycles", cfg.Cycles)
 	fp := shard.Fingerprint{Seed: cfg.Seed, Seqs: cfg.Seqs, Cycles: cfg.Cycles}
 	var journaled map[int]shard.Outcome
 	if cfg.Resume {
@@ -220,6 +230,7 @@ func run(ctx context.Context, tel *telemetry.Telemetry, rf *cli.RunFlags, cfg co
 			sem <- struct{}{}
 			defer func() { <-sem; done <- struct{}{} }()
 			ds := designs[tk.d]
+			ds.offsets[tk.s] = tel.Elapsed().Microseconds()
 			res, err := spawn(ctx, ds.specs[tk.s], env)
 			ds.slots[tk.s] = shard.ShardOutcome{Res: res, Err: err}
 		}(tk)
@@ -250,6 +261,21 @@ func run(ctx context.Context, tel *telemetry.Telemetry, rf *cli.RunFlags, cfg co
 			}
 			ds.died = rr.Died
 			ds.errs = rr.Errors
+			// Cross-process trace assembly: each shard child becomes its
+			// own Perfetto process lane. pid 0 is this orchestrator; shard
+			// s of design d gets pid 1 + d*Shards + s — unique across the
+			// corpus and stable across runs.
+			for s, spans := range rr.Spans {
+				if len(spans) == 0 {
+					continue
+				}
+				pid := int64(1 + ds.index*cfg.Shards + s)
+				tel.MergeProcess(pid, fmt.Sprintf("shard %d %s", s, ds.module), ds.offsets[s], spans)
+			}
+			logger.Info("design merged",
+				"design", ds.index, "module", ds.module,
+				"faults", ds.faults, "detected", rr.Detected(),
+				"quarantined", rr.Quarantined, "died_shards", len(rr.Died))
 			fmt.Fprintf(os.Stderr, "corpus: design %d trace_cycles=%d ranges=%s\n",
 				ds.index, rr.TraceCycles, shard.FormatRanges(rr.Ranges))
 		} else if !ds.journal {
@@ -365,9 +391,11 @@ func buildDesign(i int, cfg config, workDir string) (*designState, error) {
 		Module:    ds.module,
 		Snapshot:  snap,
 		ChaosSalt: uint64(dseed),
+		Trace:     cfg.Trace,
 	}
 	ds.specs = opts.Specs(ds.faults)
 	ds.slots = make([]shard.ShardOutcome, len(ds.specs))
+	ds.offsets = make([]int64, len(ds.specs))
 	return ds, nil
 }
 

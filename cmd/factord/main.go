@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	factord [-addr :8080] [-data dir] [-queue N] [-runners N]
-//	        [-budget d] [-checkpoint-every N] [-drain d]
-//	        [-sse-progress] [-trace out.json] [-progress auto|on|off]
+//	factord [-addr :8080] [-admin addr] [-data dir] [-queue N]
+//	        [-runners N] [-budget d] [-checkpoint-every N] [-drain d]
+//	        [-sse-progress] [-job-traces] [-stats] [-log json|text|off]
+//	        [-trace out.json] [-progress auto|on|off]
 //	        [-failpoints spec] [-cpuprofile f] [-memprofile f]
 //
 // API (see DESIGN.md §15 and the README "Serving" section):
@@ -16,9 +17,18 @@
 //	GET    /api/v1/jobs/{id}            job status
 //	DELETE /api/v1/jobs/{id}            cancel a job
 //	GET    /api/v1/jobs/{id}/report     the canonical report bytes
+//	GET    /api/v1/jobs/{id}/trace      per-job Chrome-trace JSON
 //	GET    /api/v1/jobs/{id}/events     SSE progress stream
 //	GET    /api/v1/designs/{hash}/report  content-addressed result fetch
 //	GET    /api/v1/healthz, /api/v1/stats
+//	GET    /metrics                     Prometheus text exposition
+//
+// Observability (DESIGN.md §16): /metrics serves the operational
+// metrics plane (queue depth and wait, job transitions, CAS hit/miss,
+// per-stage latency, HTTP timings); -admin opens a second, private
+// listener with net/http/pprof and expvar under /debug/; -log emits
+// structured request/job logs on stderr. None of these planes change
+// report bytes.
 //
 // Results are persisted in a content-addressed store under -data and
 // keyed by the structural design hash: resubmitting the same
@@ -35,18 +45,22 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"factor/internal/cli"
 	"factor/internal/service"
+	"factor/internal/telemetry/metrics"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	adminAddr := flag.String("admin", "", "optional private admin listen address serving /debug/pprof/ and /debug/vars (off when empty)")
 	dataDir := flag.String("data", "factord-data", "data directory (content-addressed store + job ledger)")
 	queueCap := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 	runners := flag.Int("runners", 2, "concurrent job runners")
@@ -54,6 +68,8 @@ func main() {
 	ckEvery := flag.Int("checkpoint-every", 64, "ATPG journal flush cadence (merged deterministic-phase faults)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	sseProgress := flag.Bool("sse-progress", true, "stream progress events and heartbeats over SSE")
+	jobTraces := flag.Bool("job-traces", true, "capture a per-job Chrome trace served at /api/v1/jobs/{id}/trace")
+	statsFlag := flag.Bool("stats", false, "print the telemetry summary (spans + counters) to stderr on shutdown")
 	rf := cli.RegisterRunFlags()
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -62,6 +78,14 @@ func main() {
 
 	tel, finishTel, err := rf.Start("factord")
 	if err != nil {
+		cli.Fatal("factord", err)
+	}
+	// die finalizes observability before exiting: without it an early
+	// fatal would drop the CPU profile and trace buffers on the floor.
+	die := func(err error) {
+		if ferr := finishTel(); ferr != nil {
+			cli.Warn("factord", ferr)
+		}
 		cli.Fatal("factord", err)
 	}
 
@@ -73,9 +97,12 @@ func main() {
 		CheckpointEvery: *ckEvery,
 		Progress:        *sseProgress,
 		Tel:             tel,
+		Metrics:         metrics.NewRegistry(),
+		TraceJobs:       *jobTraces,
+		Logger:          rf.Logger(),
 	})
 	if err != nil {
-		cli.Fatal("factord", err)
+		die(err)
 	}
 	srv.Start()
 
@@ -87,26 +114,60 @@ func main() {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
+	// The admin plane is a separate listener so pprof and expvar are
+	// never exposed on the public API address.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "factord: admin plane on %s (/debug/pprof/, /debug/vars)\n", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
+	}
+
 	ctx, stop := cli.SignalContextFrom(context.Background(), 0)
 	defer stop()
 	select {
 	case err := <-errCh:
 		srv.Close()
-		cli.Fatal("factord", err)
+		die(err)
 	case <-ctx.Done():
 	}
 	stop()
 
 	fmt.Fprintf(os.Stderr, "factord: shutting down (drain %v)\n", *drain)
-	err = cli.RunShutdown(*drain,
+	shutdowns := []func(context.Context) error{
 		srv.Shutdown,     // stop intake, drain the queue, interrupt leftovers
 		httpSrv.Shutdown, // then close the listener and idle connections
-	)
+	}
+	if adminSrv != nil {
+		shutdowns = append(shutdowns, adminSrv.Shutdown)
+	}
+	err = cli.RunShutdown(*drain, shutdowns...)
 	if ferr := finishTel(); ferr != nil {
 		cli.Warn("factord", ferr)
+	}
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, tel.Summary())
 	}
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cli.Warn("factord", err)
 	}
 	fmt.Fprintln(os.Stderr, "factord: bye")
+}
+
+// adminMux assembles the private debug mux: the standard pprof
+// handlers plus expvar, mirroring what net/http/pprof and expvar
+// register on http.DefaultServeMux (which factord never serves).
+func adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -1,8 +1,8 @@
 package cli
 
-// Shared observability flags. Every command registers the same four
-// flags via RegisterRunFlags, then brackets its run between Start and
-// the returned finish func:
+// Shared observability flags. Every command registers the same flag
+// surface via RegisterRunFlags, then brackets its run between Start
+// and the returned finish func:
 //
 //	rf := cli.RegisterRunFlags()
 //	flag.Parse()
@@ -19,6 +19,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -37,11 +38,18 @@ type RunFlags struct {
 	CPUProfile string
 	MemProfile string
 	Failpoints string
+	// LogFormat is the -log value: "json", "text" or "off". Structured
+	// logs go to stderr and are strictly operational — nothing logged
+	// ever reaches a report, so report bytes are identical with logging
+	// on or off.
+	LogFormat string
+
+	logger *slog.Logger // resolved by Start; nil until then
 }
 
 // RegisterRunFlags registers -trace, -progress, -cpuprofile,
-// -memprofile and -failpoints on the default flag set. Call before
-// flag.Parse.
+// -memprofile, -failpoints and -log on the default flag set. Call
+// before flag.Parse.
 func RegisterRunFlags() *RunFlags {
 	rf := &RunFlags{}
 	flag.StringVar(&rf.Trace, "trace", "", "write a Chrome trace-event JSON `file` (load in Perfetto or chrome://tracing)")
@@ -49,7 +57,36 @@ func RegisterRunFlags() *RunFlags {
 	flag.StringVar(&rf.CPUProfile, "cpuprofile", "", "write a CPU profile to `file` bracketing the run")
 	flag.StringVar(&rf.MemProfile, "memprofile", "", "write a heap profile to `file` at the end of the run")
 	flag.StringVar(&rf.Failpoints, "failpoints", "", "inject deterministic faults at named `sites`: site=action[:prob[:seed]],... (actions: error, shortwrite, enospc, panic, delay, cancel, kill)")
+	flag.StringVar(&rf.LogFormat, "log", "off", "structured request/job logs on stderr via log/slog: json, text, off")
 	return rf
+}
+
+// Logger is the run's structured logger, resolved from -log by Start.
+// It is never nil: before Start, or with -log off, it discards. The
+// logger is an operational surface only — handlers must never derive
+// report material from it.
+func (rf *RunFlags) Logger() *slog.Logger {
+	if rf == nil || rf.logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return rf.logger
+}
+
+// newLogger maps a -log value to a slog handler on stderr.
+func newLogger(format, tool string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "off", "":
+		h = slog.DiscardHandler
+	default:
+		return nil, factorerr.New(factorerr.StageIO, factorerr.CodeUsage,
+			"-log must be json, text or off (got %q)", format)
+	}
+	return slog.New(h).With("tool", tool), nil
 }
 
 // Start validates the flags and opens the run's telemetry handle. It
@@ -66,6 +103,11 @@ func (rf *RunFlags) Start(tool string) (*telemetry.Telemetry, func() error, erro
 		}
 		failpoint.Activate(reg)
 	}
+	logger, err := newLogger(rf.LogFormat, tool)
+	if err != nil {
+		return nil, nil, err
+	}
+	rf.logger = logger
 	tel := telemetry.New()
 	tel.SetTool(tool)
 	if rf.Trace != "" {

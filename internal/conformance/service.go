@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 	"factor/internal/failpoint"
 	"factor/internal/service"
 	"factor/internal/telemetry"
+	"factor/internal/telemetry/metrics"
 )
 
 // CodeService classifies I8 violations.
@@ -208,9 +210,19 @@ func CheckService(seed int64, dir string) *ServiceReport {
 	for _, workers := range ServiceWorkerCounts {
 		wspec := spec
 		wspec.Workers = workers
+		cfg := service.Config{Runners: 1}
+		if workers == ServiceWorkerCounts[0] {
+			// The full observability plane rides on one leg: metrics,
+			// per-job traces and structured logs enabled must leave the
+			// served report bytes untouched — that IS invariant I8 for
+			// the operational plane.
+			cfg.Metrics = metrics.NewRegistry()
+			cfg.TraceJobs = true
+			cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+		}
 		srv, ts, id, state, err := runServiceJob(
 			filepath.Join(dir, fmt.Sprintf("w%d", workers)),
-			service.Config{Runners: 1}, wspec, legTimeout)
+			cfg, wspec, legTimeout)
 		if err != nil {
 			rep.violate("workers=%d: %v", workers, err)
 			if srv != nil {

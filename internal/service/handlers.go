@@ -61,17 +61,47 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) buildMux() {
+	// Every route goes through wrap: the first argument is the stable
+	// route label on the HTTP metrics and request logs.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /api/v1/designs/{hash}/report", s.handleDesignReport)
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("POST /api/v1/jobs", s.wrap("submit", s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs", s.wrap("list", s.handleList))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.wrap("status", s.handleStatus))
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.wrap("cancel", s.handleCancel))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.wrap("report", s.handleReport))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.wrap("trace", s.handleTrace))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.wrap("events", s.handleEvents))
+	mux.HandleFunc("GET /api/v1/designs/{hash}/report", s.wrap("design_report", s.handleDesignReport))
+	mux.HandleFunc("GET /api/v1/healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /api/v1/stats", s.wrap("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
+}
+
+// handleTrace serves a completed job's assembled Chrome-trace JSON
+// (see DESIGN.md §16). 409 while the job is still running, 404 when
+// no trace was captured (tracing disabled, cache hit, failed job).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if state, _ := j.State(); !state.terminal() {
+		writeError(w, http.StatusConflict, "job is "+string(state)+", no trace yet")
+		return
+	}
+	data, err := s.store.Trace(j.ID)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusNotFound, "no trace captured for "+j.ID)
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -194,10 +224,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleStats serves the server-plane snapshot. The JSON schema is a
+// compatibility surface (documented in DESIGN.md §16 and README):
+// exactly three top-level fields — "queue_len" (number), "counters"
+// (object of server-plane telemetry counters), "jobs" (object of
+// state → count) — asserted stable by TestStatsSchemaStability, since
+// CI smoke jobs grep it blind.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	byState := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		state, _ := j.State()
+		byState[string(state)]++
+	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queue_len": s.q.Len(),
 		"counters":  s.tel.Counters(),
+		"jobs":      byState,
 	})
 }
 
@@ -223,7 +267,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch, unsub := j.hub.subscribe()
 	s.tel.AddCounter("service.sse_streams", 1)
+	s.met.sseSubs.Inc()
 	defer func() {
+		s.met.sseSubs.Dec()
 		left := unsub()
 		s.tel.AddCounter("service.sse_events_dropped", j.hub.Dropped())
 		// Client-disconnect cancellation: last watcher gone, job still

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // JobState is the lifecycle of a job. queued → running → one of
@@ -52,6 +53,11 @@ type Job struct {
 
 	hub  *hub
 	done chan struct{}
+
+	// enqueuedAt stamps the Push into the queue, for the queue-wait
+	// histogram. Written before Push, read after Pop; the queue mutex
+	// orders the accesses.
+	enqueuedAt time.Time
 
 	// persistMu serializes ledger writes for this job (a cancel racing
 	// the runner may both win non-terminal transitions).

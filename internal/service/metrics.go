@@ -1,0 +1,139 @@
+package service
+
+// Operational metrics + HTTP instrumentation for the job server (the
+// third observability plane — see DESIGN.md §16). Everything here is
+// scrape-time state: queue depths, wait/latency distributions, cache
+// hit rates, SSE fan-out. None of it feeds the report path, and all
+// instruments are nil-safe no-ops when Config.Metrics is nil, so the
+// deterministic plane cannot fork and the disabled server pays only
+// dead branches.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"factor/internal/telemetry"
+	"factor/internal/telemetry/metrics"
+)
+
+// serverMetrics is the job server's instrument set. The zero value
+// (from a nil registry) is fully disabled.
+type serverMetrics struct {
+	queueDepth  *metrics.GaugeVec     // tenant
+	queueWait   *metrics.HistogramVec // tenant
+	transitions *metrics.CounterVec   // state
+	casHits     metrics.Counter
+	casMisses   metrics.Counter
+	sseSubs     metrics.Gauge
+	stageSecs   *metrics.HistogramVec // stage (span name)
+	jobSecs     *metrics.HistogramVec // outcome
+	httpSecs    *metrics.HistogramVec // route, method, code
+	httpReqB    *metrics.CounterVec   // route
+	httpRespB   *metrics.CounterVec   // route
+}
+
+func newServerMetrics(r *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		queueDepth: r.GaugeVec("factord_queue_depth",
+			"jobs currently queued, by tenant", "tenant"),
+		queueWait: r.HistogramVec("factord_queue_wait_seconds",
+			"time jobs spent queued before a runner picked them up", nil, "tenant"),
+		transitions: r.CounterVec("factord_job_transitions_total",
+			"job state transitions, by entered state", "state"),
+		casHits: r.Counter("factord_cas_hits_total",
+			"submissions served from the content-addressed store without running"),
+		casMisses: r.Counter("factord_cas_misses_total",
+			"submissions that had to run the pipeline"),
+		sseSubs: r.Gauge("factord_sse_subscribers",
+			"currently connected SSE event streams"),
+		stageSecs: r.HistogramVec("factord_stage_seconds",
+			"per-job wall time by pipeline stage (from the span plane)", nil, "stage"),
+		jobSecs: r.HistogramVec("factord_job_seconds",
+			"end-to-end job runner wall time, by outcome", nil, "outcome"),
+		httpSecs: r.HistogramVec("factord_http_request_seconds",
+			"HTTP request duration", nil, "route", "method", "code"),
+		httpReqB: r.CounterVec("factord_http_request_bytes_total",
+			"HTTP request body bytes, by route", "route"),
+		httpRespB: r.CounterVec("factord_http_response_bytes_total",
+			"HTTP response body bytes, by route", "route"),
+	}
+}
+
+// observeStages folds a finished job's span aggregates into the stage
+// latency histograms — one observation per stage per job.
+func (m *serverMetrics) observeStages(t *telemetry.Telemetry) {
+	if m.stageSecs == nil {
+		return
+	}
+	for name, st := range t.SpanStats() {
+		m.stageSecs.With(name).Observe(st.Total.Seconds())
+	}
+}
+
+// statusWriter captures the response status and body size for the
+// instrumentation wrapper. Flush passes through so SSE streaming keeps
+// working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap instruments one route: request duration/size by (route, method,
+// status) plus a structured request log line. The route label is the
+// handler's registration name, never the raw URL, so label cardinality
+// stays bounded.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.code == 0 {
+			// Handler never wrote: net/http sends 200 on return.
+			sw.code = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.met.httpSecs.With(route, r.Method, strconv.Itoa(sw.code)).Observe(dur.Seconds())
+		if r.ContentLength > 0 {
+			s.met.httpReqB.With(route).Add(float64(r.ContentLength))
+		}
+		s.met.httpRespB.With(route).Add(float64(sw.bytes))
+		s.log.Info("http request",
+			"route", route,
+			"method", r.Method,
+			"status", sw.code,
+			"duration_ms", dur.Milliseconds(),
+			"bytes", sw.bytes,
+		)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition. With metrics
+// disabled the body is legally empty.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WriteText(w)
+}

@@ -1,0 +1,283 @@
+package service
+
+// Coverage for the operational metrics plane: the /metrics exposition
+// and its instruments, the /stats schema contract, the per-job trace
+// endpoint, and the SSE subscriber gauge's teardown (goroutine-leak
+// guard for a client that disconnects mid-heartbeat).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"factor/internal/telemetry/metrics"
+)
+
+// scrape fetches the Prometheus exposition.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMetricsEndpoint runs one job to completion and then a cache-hit
+// resubmission, asserting the scrape reflects both plus the bridged
+// deterministic counters.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1, Metrics: metrics.NewRegistry()})
+	spec := testSpec(pickFaultySeed(t))
+
+	st, code := postJob(t, ts, JobRequest{JobSpec: spec})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitTerminal(t, ts, st.ID, 30*time.Second)
+	if st2, code := postJob(t, ts, JobRequest{JobSpec: spec}); code != http.StatusOK || !st2.Cached {
+		t.Fatalf("resubmit = %d cached=%v", code, st2.Cached)
+	}
+
+	body := scrape(t, ts)
+	for _, want := range []string{
+		"# TYPE factord_job_transitions_total counter",
+		`factord_job_transitions_total{state="running"} 1`,
+		// 2: the pipeline run plus the cache-hit job, which goes
+		// straight to done without ever running.
+		`factord_job_transitions_total{state="done"} 2`,
+		"factord_cas_misses_total 1",
+		"factord_cas_hits_total 1",
+		`factord_queue_wait_seconds_count{tenant="default"} 1`,
+		`factord_job_seconds_count{outcome="done"} 1`,
+		// Stage latency from the span plane: the pipeline spans land as
+		// one observation each.
+		`stage="pipeline.build"`,
+		`stage="pipeline.replay"`,
+		// HTTP middleware: the submit route saw both submissions.
+		`route="submit"`,
+		// The one-way bridge snapshots server-plane deterministic
+		// counters as labeled gauges at scrape time.
+		`factord_counter{counter="service.pipeline_runs"} 1`,
+		`factord_counter{counter="service.cache_hits"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", body)
+	}
+}
+
+// TestMetricsDisabledServesEmpty: a nil registry serves an empty (but
+// valid) exposition and the instrumented paths still work.
+func TestMetricsDisabledServesEmpty(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1})
+	if body := scrape(t, ts); body != "" {
+		t.Fatalf("disabled scrape = %q, want empty", body)
+	}
+	if _, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}}); code != http.StatusAccepted {
+		t.Fatalf("submit with metrics disabled = %d", code)
+	}
+}
+
+// TestStatsSchemaStability pins the /stats JSON contract: exactly the
+// documented top-level fields, with their documented shapes. CI smoke
+// jobs jq-grep this endpoint blind; adding a field requires updating
+// the docs, removing or renaming one breaks consumers.
+func TestStatsSchemaStability(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1})
+	if _, code := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}}); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"counters", "jobs", "queue_len"}
+	if len(got) != len(want) {
+		t.Fatalf("stats has %d top-level fields %v, want exactly %v", len(got), keys(got), want)
+	}
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("stats missing field %q (have %v)", k, keys(got))
+		}
+	}
+	var queueLen int
+	if err := json.Unmarshal(got["queue_len"], &queueLen); err != nil || queueLen != 1 {
+		t.Fatalf("queue_len = %s (%v), want 1", got["queue_len"], err)
+	}
+	var jobs map[string]int
+	if err := json.Unmarshal(got["jobs"], &jobs); err != nil || jobs["queued"] != 1 {
+		t.Fatalf("jobs = %s (%v), want {queued: 1}", got["jobs"], err)
+	}
+	var counters map[string]uint64
+	if err := json.Unmarshal(got["counters"], &counters); err != nil {
+		t.Fatalf("counters = %s (%v)", got["counters"], err)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestJobTraceEndpoint: with TraceJobs on, a completed job serves a
+// valid Chrome-trace JSON containing the pipeline stage spans; the
+// error paths return the documented statuses.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1, TraceJobs: true})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: testSpec(pickFaultySeed(t))})
+	if final := waitTerminal(t, ts, st.ID, 30*time.Second); JobState(final.State) != JobDone {
+		t.Fatalf("job ended %s", final.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET trace = %d %s", resp.StatusCode, data)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("trace is not valid Chrome-trace JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"pipeline.build", "pipeline.replay"} {
+		if !seen[want] {
+			t.Errorf("trace has no %q span (events: %v)", want, seen)
+		}
+	}
+
+	if resp, _ := http.Get(ts.URL + "/api/v1/jobs/j999999/trace"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-job trace = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobTraceQueuedConflicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: -1, TraceJobs: true})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}})
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("queued-job trace = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestJobTraceDisabledIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1}) // TraceJobs off
+	st, _ := postJob(t, ts, JobRequest{JobSpec: testSpec(pickFaultySeed(t))})
+	waitTerminal(t, ts, st.ID, 30*time.Second)
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(data), "no trace captured") {
+		t.Fatalf("trace with TraceJobs off = %d %s, want 404", resp.StatusCode, data)
+	}
+}
+
+// TestSSEDisconnectTeardownNoLeak is the goroutine-leak guard for the
+// subscriber gauge: a client that vanishes mid-heartbeat must unwind
+// its handler goroutine and return the gauge to zero.
+func TestSSEDisconnectTeardownNoLeak(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Runners:   -1, // job stays queued; only heartbeats flow
+		Progress:  true,
+		Heartbeat: 10 * time.Millisecond,
+		Metrics:   reg,
+	})
+	st, _ := postJob(t, ts, JobRequest{JobSpec: JobSpec{Design: testDesign(1)}})
+
+	runtime.Gosched()
+	before := runtime.NumGoroutine()
+
+	// Hold several streams open long enough to ride a few heartbeats,
+	// then cut every client mid-stream via its context deadline.
+	const streams = 4
+	done := make(chan struct{}, streams)
+	for i := 0; i < streams; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			raw := drainSSE(t, context.Background(), ts.URL+"/api/v1/jobs/"+st.ID+"/events", 120*time.Millisecond)
+			if !strings.Contains(raw, ": heartbeat") {
+				t.Error("stream saw no heartbeat before disconnect")
+			}
+		}()
+	}
+
+	// While connected, the gauge counts the subscribers.
+	waitFor(t, 2*time.Second, func() bool {
+		return strings.Contains(scrape(t, ts), "factord_sse_subscribers 4")
+	}, "gauge never reached 4 subscribers")
+
+	for i := 0; i < streams; i++ {
+		<-done
+	}
+
+	// Teardown: gauge back to zero, handler goroutines unwound.
+	waitFor(t, 5*time.Second, func() bool {
+		return strings.Contains(scrape(t, ts), "factord_sse_subscribers 0")
+	}, "gauge never returned to 0 after disconnects")
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.Gosched()
+		return runtime.NumGoroutine() <= before+1
+	}, "handler goroutines leaked after client disconnects")
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, limit time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s (goroutines now %d)", msg, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -147,7 +147,12 @@ func RunPipeline(ctx context.Context, spec JobSpec, rc RunConfig) (*cli.Report, 
 	spec = spec.withDefaults()
 	ctx = telemetry.NewContext(ctx, rc.Tel)
 
+	// Stage spans bracket the two legs the engines do not already
+	// cover; they are wall-clock diagnostics (trace + stage-latency
+	// histograms), never report material.
+	bsp := rc.Tel.StartSpan("pipeline.build")
 	b, err := Build(ctx, spec)
+	bsp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,7 +188,9 @@ func RunPipeline(ctx context.Context, spec JobSpec, rc RunConfig) (*cli.Report, 
 	// suite — the coverage cross-check the FACTOR flow hands to the
 	// fault grader. Stats are bit-identical for any worker count on a
 	// completed run, so they are safe report material.
+	rsp := rc.Tel.StartSpan("pipeline.replay")
 	first, simStats, simErrs := fault.FirstDetections(ctx, b.Netlist, b.Faults, res.Tests, spec.Workers, time.Time{})
+	rsp.End()
 	if ctx.Err() != nil {
 		return nil, b, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeCanceled, ctx.Err())
 	}

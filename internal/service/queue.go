@@ -112,3 +112,11 @@ func (q *queue) Len() int {
 	defer q.mu.Unlock()
 	return q.size
 }
+
+// TenantLen is the number of jobs queued for one tenant — the
+// per-tenant queue-depth gauge reads it after every push and pop.
+func (q *queue) TenantLen(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.fifos[tenant])
+}

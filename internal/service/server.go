@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -13,6 +15,7 @@ import (
 
 	"factor/internal/atpg"
 	"factor/internal/telemetry"
+	"factor/internal/telemetry/metrics"
 )
 
 // Config shapes a Server.
@@ -45,6 +48,18 @@ type Config struct {
 	// to a fresh per-job handle instead, so job reports carry exactly
 	// the counters a CLI run would.
 	Tel *telemetry.Telemetry
+	// Metrics is the operational metrics registry behind GET /metrics.
+	// Nil disables the plane: every instrument degrades to a nil-safe
+	// no-op and the exposition is empty. Enabling it never changes
+	// report bytes (invariant I8 covers this).
+	Metrics *metrics.Registry
+	// TraceJobs buffers each job's wall-clock spans and publishes the
+	// assembled Chrome trace at GET /api/v1/jobs/{id}/trace once the
+	// job completes. Diagnostic plane only; never report material.
+	TraceJobs bool
+	// Logger receives structured request/job logs (slog). Nil
+	// discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.Tel == nil {
 		c.Tel = telemetry.New()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -79,6 +97,8 @@ type Server struct {
 	store *Store
 	q     *queue
 	tel   *telemetry.Telemetry
+	met   *serverMetrics
+	log   *slog.Logger
 	mux   *http.ServeMux
 
 	baseCtx   context.Context
@@ -110,11 +130,17 @@ func New(cfg Config) (*Server, error) {
 		store:     store,
 		q:         newQueue(cfg.QueueCap),
 		tel:       cfg.Tel,
+		met:       newServerMetrics(cfg.Metrics),
+		log:       cfg.Logger,
 		baseCtx:   ctx,
 		interrupt: cancel,
 		stopCh:    make(chan struct{}),
 		jobs:      map[string]*Job{},
 	}
+	// The deterministic server-plane counters show up in the scrape
+	// read-only; the flow is one-way, so reports cannot fork.
+	metrics.Bridge(cfg.Metrics, "factord_counter",
+		"server-plane deterministic telemetry counters", cfg.Tel)
 	s.accepting.Store(true)
 	if err := s.rescan(); err != nil {
 		cancel()
@@ -143,6 +169,7 @@ func (s *Server) rescan() error {
 			// runner resumes from the journal.
 			s.tel.AddCounter("service.jobs_resumed", 1)
 			s.jobs[j.ID] = j
+			j.enqueuedAt = time.Now()
 			if err := s.q.Push(j); err != nil {
 				// Over-capacity ledger (cap shrank across restart):
 				// leave the job visible but unqueued; a resubmission
@@ -168,6 +195,10 @@ func (s *Server) Start() {
 				j, ok := s.q.Pop()
 				if !ok {
 					return
+				}
+				s.met.queueDepth.With(j.Tenant).Set(float64(s.q.TenantLen(j.Tenant)))
+				if !j.enqueuedAt.IsZero() {
+					s.met.queueWait.With(j.Tenant).Observe(time.Since(j.enqueuedAt).Seconds())
 				}
 				if s.baseCtx.Err() != nil {
 					// Hard stop: leave the job resumable for the next
@@ -264,6 +295,7 @@ func (s *Server) transition(j *Job, state JobState, errMsg string) {
 	if !j.setState(state, errMsg) {
 		return
 	}
+	s.met.transitions.With(string(state)).Inc()
 	s.persist(j)
 	event := "state"
 	if state.terminal() {
@@ -274,6 +306,7 @@ func (s *Server) transition(j *Job, state JobState, errMsg string) {
 
 // runJob executes one job end to end.
 func (s *Server) runJob(j *Job) {
+	start := time.Now()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	j.bindCancel(cancel)
@@ -283,14 +316,28 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	s.transition(j, JobRunning, "")
+	s.log.Info("job started", "job", j.ID, "tenant", j.Tenant, "hash", j.Hash)
 
 	// Per-job telemetry: a fresh handle so the report carries exactly
-	// the pipeline counters a CLI run of the same spec would.
+	// the pipeline counters a CLI run of the same spec would. Spans
+	// buffered here become the job's /trace artifact; they live on the
+	// wall-clock plane and never touch the report.
 	jtel := telemetry.New()
 	jtel.SetTool("factor")
+	if s.cfg.TraceJobs {
+		jtel.EnableTrace()
+	}
 	if s.cfg.Progress {
 		jtel.EnableProgress(lineWriter{j.hub}, s.cfg.ProgressEvery)
 	}
+	defer func() {
+		state, _ := j.State()
+		s.met.observeStages(jtel)
+		s.met.jobSecs.With(string(state)).Observe(time.Since(start).Seconds())
+		s.log.Info("job finished",
+			"job", j.ID, "tenant", j.Tenant, "outcome", string(state),
+			"duration_ms", time.Since(start).Milliseconds(), "cached", false)
+	}()
 
 	ckptPath := s.store.CheckpointPath(j.ID)
 	journal := atpg.NewJournal(ckptPath)
@@ -334,6 +381,16 @@ func (s *Server) runJob(j *Job) {
 			s.transition(j, JobFailed, "publishing result: "+err.Error())
 			s.tel.AddCounter("service.jobs_failed", 1)
 			return
+		}
+		if s.cfg.TraceJobs {
+			// Best effort: the trace is a diagnostic artifact, so a
+			// publish failure degrades to "no trace", never the job.
+			var buf bytes.Buffer
+			if err := jtel.WriteTrace(&buf); err == nil {
+				if err := s.store.PutTrace(j.ID, buf.Bytes()); err != nil {
+					s.log.Warn("publishing job trace", "job", j.ID, "error", err.Error())
+				}
+			}
 		}
 		s.store.RemoveCheckpoint(j.ID)
 		s.transition(j, JobDone, "")
@@ -380,17 +437,24 @@ func (s *Server) submit(tenant string, spec JobSpec, cancelOnDisconnect bool) (*
 		// Content-addressed cache hit: done without running.
 		j.Cached = true
 		s.tel.AddCounter("service.cache_hits", 1)
+		s.met.casHits.Inc()
 		s.transition(j, JobDone, "")
+		s.log.Info("job served from cache", "job", j.ID, "tenant", tenant,
+			"hash", hash, "cached", true)
 		return j, nil
 	}
 	s.tel.AddCounter("service.cache_misses", 1)
+	s.met.casMisses.Inc()
+	j.enqueuedAt = time.Now()
 	if err := s.q.Push(j); err != nil {
 		s.tel.AddCounter("service.queue_rejects", 1)
+		s.log.Warn("job rejected", "tenant", tenant, "error", err.Error())
 		s.mu.Lock()
 		delete(s.jobs, j.ID)
 		s.mu.Unlock()
 		return nil, err
 	}
+	s.met.queueDepth.With(tenant).Set(float64(s.q.TenantLen(tenant)))
 	s.persist(j)
 	return j, nil
 }

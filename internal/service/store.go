@@ -161,6 +161,24 @@ func (s *Store) LoadJobs() ([]*JobRecord, error) {
 	return recs, nil
 }
 
+// TracePath is where a job's Chrome-trace artifact lives.
+func (s *Store) TracePath(id string) string {
+	return filepath.Join(s.jobsRoot(), id+".trace.json")
+}
+
+// PutTrace publishes a completed job's Chrome-trace JSON (atomic
+// replace). The trace is diagnostic: it is keyed by job, not content
+// address, because wall-clock spans legitimately differ between runs
+// of the same design.
+func (s *Store) PutTrace(id string, data []byte) error {
+	return writeFileAtomic(s.TracePath(id), data)
+}
+
+// Trace returns a job's stored trace bytes, or os.ErrNotExist.
+func (s *Store) Trace(id string) ([]byte, error) {
+	return os.ReadFile(s.TracePath(id))
+}
+
 // RemoveCheckpoint discards a finished job's journal (best effort).
 func (s *Store) RemoveCheckpoint(id string) {
 	os.Remove(s.CheckpointPath(id))

@@ -12,6 +12,7 @@ import (
 	"factor/internal/failpoint"
 	"factor/internal/fault"
 	"factor/internal/netlist"
+	"factor/internal/telemetry"
 )
 
 // ChildMain is the shard-child entry hook: when $FACTOR_SHARD_SPEC is
@@ -59,7 +60,17 @@ func RunSpec(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeShardDied, err)
 	}
 
+	// Span buffering is per-spec opt-in; a nil handle makes every span
+	// call a no-op, so the untraced path stays untouched.
+	var tel *telemetry.Telemetry
+	if spec.Trace {
+		tel = telemetry.New()
+		tel.EnableTrace()
+	}
+
+	sp := tel.StartSpan("shard.snapshot").WithArg("path", spec.Snapshot)
 	nl, err := netlist.ReadSnapshotFile(spec.Snapshot)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -74,13 +85,17 @@ func RunSpec(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, factorerr.New(factorerr.StageFaultSim, factorerr.CodeInternal,
 			"bad shard range [%d,%d) over %d faults", spec.FaultLo, spec.FaultHi, len(faults))
 	}
+	sp = tel.StartSpan("shard.stimulus")
 	seqs := fault.RandomSequences(nl, spec.Seed, spec.Seqs, spec.Cycles)
+	sp.End()
 
+	sp = tel.StartSpan("shard.sim").WithArg("range", fmt.Sprintf("[%d,%d)", spec.FaultLo, spec.FaultHi))
 	first, stats, errs := fault.FirstDetections(ctx, nl, faults[spec.FaultLo:spec.FaultHi], seqs, spec.Workers, time.Time{})
+	sp.End()
 	if ctx.Err() != nil {
 		return nil, factorerr.Wrap(factorerr.StageFaultSim, factorerr.CodeCanceled, ctx.Err())
 	}
-	res := &Result{Index: spec.Index, First: first, Stats: stats}
+	res := &Result{Index: spec.Index, First: first, Stats: stats, Spans: tel.ExportSpans()}
 	for _, e := range errs {
 		res.Errors = append(res.Errors, e.Error())
 	}

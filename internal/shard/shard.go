@@ -37,6 +37,7 @@ import (
 
 	"factor/internal/factorerr"
 	"factor/internal/fault"
+	"factor/internal/telemetry"
 )
 
 // BatchSize is the fault-simulation engine's lane-batch size. Shard
@@ -86,6 +87,10 @@ type Spec struct {
 	// (design, shard index) chosen by the parent, so which shards die
 	// under a kill spec is invariant under scheduling.
 	ChaosKey uint64 `json:"chaos_key"`
+	// Trace asks the child to buffer wall-clock spans and ship them back
+	// in the result frame (Result.Spans) for cross-process trace
+	// assembly. Diagnostic only: it never changes First or Stats.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Result is what one shard streams back: the first-detection index for
@@ -102,6 +107,11 @@ type Result struct {
 	Quarantined int `json:"quarantined"`
 	// Errors are the shard's structured batch errors, in batch order.
 	Errors []string `json:"errors,omitempty"`
+	// Spans are the child's wall-clock spans in its own clock domain,
+	// present only when the spec asked for tracing. The section is
+	// version-tolerant by construction: older parents ignore the unknown
+	// JSON field, older children simply never emit it.
+	Spans []telemetry.SpanRecord `json:"spans,omitempty"`
 }
 
 // WorkCounters are the shard-invariant engine counters: identical
@@ -235,6 +245,9 @@ type Options struct {
 	// Env is the child environment (cli.ChildEnv output); nil inherits
 	// the parent's as-is.
 	Env []string
+	// Trace asks every shard child to ship its span buffer back for
+	// cross-process trace assembly (see RunResult.Spans).
+	Trace bool
 }
 
 // RunResult is the deterministic merge of all shards of one design.
@@ -257,6 +270,11 @@ type RunResult struct {
 	Quarantined int
 	// Errors are the structured degradations, shards in index order.
 	Errors []error
+	// Spans holds each surviving shard's span buffer (nil for dead or
+	// empty shards), indexed like Ranges. Timestamps are in each child's
+	// own clock domain; the orchestrator re-bases them when merging into
+	// one trace (telemetry.MergeProcess).
+	Spans [][]telemetry.SpanRecord
 }
 
 // Detected counts faults with a first detection.
@@ -297,7 +315,11 @@ type ShardOutcome struct {
 // hold a zero ShardOutcome.
 func Merge(module string, nFaults int, slots []ShardOutcome) *RunResult {
 	ranges := Partition(nFaults, len(slots))
-	out := &RunResult{First: make([]int, nFaults), Ranges: ranges}
+	out := &RunResult{
+		First:  make([]int, nFaults),
+		Ranges: ranges,
+		Spans:  make([][]telemetry.SpanRecord, len(slots)),
+	}
 	for i := range out.First {
 		out.First[i] = -1
 	}
@@ -320,6 +342,7 @@ func Merge(module string, nFaults int, slots []ShardOutcome) *RunResult {
 				"shard %d of %s returned %d detections for a %d-fault range", i, module, got, hi-lo))
 		default:
 			copy(out.First[lo:hi], s.Res.First)
+			out.Spans[i] = s.Res.Spans
 			out.Work.Add(Invariant(s.Res.Stats))
 			out.TraceCycles += s.Res.Stats.TraceCycles
 			out.Quarantined += s.Res.Quarantined
@@ -377,6 +400,7 @@ func (o Options) spec(index, shards, lo, hi, total int) Spec {
 		Seed:       o.Seed,
 		Workers:    o.Workers,
 		ChaosKey:   chaosKey(o.ChaosSalt, index),
+		Trace:      o.Trace,
 	}
 }
 

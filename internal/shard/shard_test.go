@@ -306,3 +306,48 @@ func TestDigestFirstDistinguishes(t *testing.T) {
 		t.Fatal("digest collides on trivial variations")
 	}
 }
+
+// TestTraceSpansCrossProcess: with Options.Trace set, every surviving
+// shard ships its span buffer back through the result frame — across a
+// real process boundary — and tracing never perturbs the merged
+// detections or work counters.
+func TestTraceSpansCrossProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs child processes; skipped in -short")
+	}
+	_, faults, snap := shardWorkload(t)
+	spawn := testSpawner(t)
+	base := Options{
+		Shards: 2, Workers: 1,
+		Seqs: 4, Cycles: 4, Seed: testSeed,
+		Module: "arm_alu", Snapshot: snap,
+	}
+
+	plain := Run(context.Background(), base, len(faults), spawn)
+	traced := base
+	traced.Trace = true
+	res := Run(context.Background(), traced, len(faults), spawn)
+
+	if !slices.Equal(res.First, plain.First) || res.Work != plain.Work {
+		t.Fatal("tracing changed the merged result")
+	}
+	for i, spans := range plain.Spans {
+		if len(spans) != 0 {
+			t.Fatalf("untraced shard %d returned %d spans", i, len(spans))
+		}
+	}
+	for i, spans := range res.Spans {
+		names := map[string]bool{}
+		for _, sp := range spans {
+			names[sp.Name] = true
+			if sp.Dur < 0 {
+				t.Fatalf("shard %d span %q has negative duration", i, sp.Name)
+			}
+		}
+		for _, want := range []string{"shard.snapshot", "shard.stimulus", "shard.sim"} {
+			if !names[want] {
+				t.Fatalf("shard %d spans missing %q (got %v)", i, want, names)
+			}
+		}
+	}
+}

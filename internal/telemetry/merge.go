@@ -1,0 +1,98 @@
+package telemetry
+
+// Cross-process trace assembly. A child process (a shard worker, a
+// re-exec'd job) exports its completed spans as portable SpanRecords;
+// the orchestrator imports each child's buffer under a distinct
+// Perfetto pid and an optional timeline offset, so a sharded run loads
+// as ONE trace with one process lane per shard instead of N unrelated
+// files. The parent keeps pid 0; children get the pids the caller
+// assigns (the shard orchestrator uses 1 + shard ordinal — see
+// DESIGN.md §16 for the scheme).
+
+import "sort"
+
+// SpanRecord is one completed span in portable form: microsecond
+// timestamps relative to the owning process's telemetry start. It is
+// the JSON payload shard children embed in their result frames.
+type SpanRecord struct {
+	Name string            `json:"name"`
+	TS   int64             `json:"ts"`            // µs since process telemetry start
+	Dur  int64             `json:"dur"`           // µs
+	TID  int64             `json:"tid,omitempty"` // worker lane
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ExportSpans snapshots the buffered trace spans as portable records,
+// in buffer order. Only complete ("X") span events are exported —
+// metadata and counter events are reconstructed by the importer's
+// WriteTrace. Returns nil when tracing is off or the handle is nil.
+func (t *Telemetry) ExportSpans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.tracing || len(t.events) == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, 0, len(t.events))
+	for _, e := range t.events {
+		if e.Ph != "X" {
+			continue
+		}
+		rec := SpanRecord{Name: e.Name, TS: e.TS, Dur: e.Dur, TID: e.TID}
+		if len(e.args) > 0 {
+			rec.Args = make(map[string]string, len(e.args))
+			for _, a := range e.args {
+				rec.Args[a.k] = a.v
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// MergeProcess imports a child process's exported spans under pid,
+// labeling its process lane with label and shifting every timestamp by
+// offsetUS onto this handle's timeline (pass the parent-side span
+// begin of the child's lifetime to line the lanes up; 0 keeps the
+// child's own zero). Imported spans join the trace buffer only — they
+// never touch the span summary or the counter plane. No-op on a nil
+// handle or when tracing is disabled.
+func (t *Telemetry) MergeProcess(pid int64, label string, offsetUS int64, spans []SpanRecord) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.tracing {
+		return
+	}
+	if t.procs == nil {
+		t.procs = map[int64]string{}
+	}
+	if label != "" {
+		t.procs[pid] = label
+	}
+	for _, rec := range spans {
+		ev := traceEvent{
+			Name: rec.Name,
+			Ph:   "X",
+			TS:   rec.TS + offsetUS,
+			Dur:  rec.Dur,
+			PID:  pid,
+			TID:  rec.TID,
+		}
+		if len(rec.Args) > 0 {
+			keys := make([]string, 0, len(rec.Args))
+			for k := range rec.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				ev.args = append(ev.args, spanArg{k, rec.Args[k]})
+			}
+		}
+		t.events = append(t.events, ev)
+	}
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock function stepping stepUS microseconds per
+// reading, starting at a fixed epoch.
+func fakeClock(stepUS int64) func() time.Time {
+	base := time.Unix(1000, 0)
+	n := int64(0)
+	return func() time.Time {
+		t := base.Add(time.Duration(n*stepUS) * time.Microsecond)
+		n++
+		return t
+	}
+}
+
+func tracedHandle(stepUS int64) *Telemetry {
+	tel := New()
+	tel.clock = fakeClock(stepUS)
+	tel.start = tel.clock()
+	tel.EnableTrace()
+	return tel
+}
+
+func TestExportSpansRoundTrip(t *testing.T) {
+	child := tracedHandle(100)
+	sp := child.StartSpan("faultsim.range").WithTID(2).WithArg("shard", "1")
+	sp.End()
+
+	recs := child.ExportSpans()
+	if len(recs) != 1 {
+		t.Fatalf("exported %d spans, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "faultsim.range" || r.TID != 2 || r.Args["shard"] != "1" {
+		t.Errorf("bad record: %+v", r)
+	}
+	if r.TS != 100 || r.Dur != 100 {
+		t.Errorf("fake-clock timing: ts=%d dur=%d, want 100/100", r.TS, r.Dur)
+	}
+
+	// The records survive a JSON hop (the shard result frame).
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SpanRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Name != r.Name || back[0].TS != r.TS || back[0].Dur != r.Dur ||
+		back[0].TID != r.TID || back[0].Args["shard"] != "1" {
+		t.Errorf("round trip lost data: %+v", back[0])
+	}
+}
+
+func TestExportSpansDisabledOrNil(t *testing.T) {
+	var nilTel *Telemetry
+	if nilTel.ExportSpans() != nil {
+		t.Error("nil handle exported spans")
+	}
+	tel := New() // tracing off
+	tel.StartSpan("x").End()
+	if tel.ExportSpans() != nil {
+		t.Error("untraced handle exported spans")
+	}
+}
+
+func TestMergeProcessAssemblesOneTrace(t *testing.T) {
+	parent := tracedHandle(50)
+	parent.SetTool("corpus")
+	parent.StartSpan("corpus.simulate").End()
+
+	child := tracedHandle(100)
+	child.StartSpan("faultsim.range").WithArg("range", "[0,63)").End()
+
+	parent.MergeProcess(1, "shard 0 top@1", 500, child.ExportSpans())
+	parent.MergeProcess(2, "shard 1 top@1", 500, nil) // no spans: no lane
+
+	var b strings.Builder
+	if err := parent.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int64             `json:"pid"`
+			TS   int64             `json:"ts"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+
+	var parentLane, childLane, childMeta bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Name == "process_name" && ev.PID == 1:
+			childMeta = ev.Args["name"] == "shard 0 top@1"
+		case ev.Name == "corpus.simulate" && ev.PID == 0:
+			parentLane = true
+		case ev.Name == "faultsim.range" && ev.PID == 1:
+			childLane = true
+			// offset 500 rebases the child's ts=100 onto the parent
+			// timeline.
+			if ev.TS != 600 {
+				t.Errorf("rebased ts = %d, want 600", ev.TS)
+			}
+		}
+	}
+	if !parentLane || !childLane || !childMeta {
+		t.Errorf("merged trace incomplete (parent=%v child=%v meta=%v):\n%s",
+			parentLane, childLane, childMeta, b.String())
+	}
+}
+
+func TestMergeProcessIgnoredWhenTracingOff(t *testing.T) {
+	parent := New() // tracing off
+	parent.MergeProcess(1, "shard", 0, []SpanRecord{{Name: "x"}})
+	var b strings.Builder
+	if err := parent.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"x"`) {
+		t.Errorf("untraced parent buffered imported spans:\n%s", b.String())
+	}
+	var nilTel *Telemetry
+	nilTel.MergeProcess(1, "shard", 0, []SpanRecord{{Name: "x"}})
+}
+
+func TestSpanStats(t *testing.T) {
+	tel := tracedHandle(1000)
+	tel.StartSpan("atpg.random").End()
+	tel.StartSpan("atpg.random").End()
+	st := tel.SpanStats()
+	if st["atpg.random"].Count != 2 {
+		t.Errorf("count = %d, want 2", st["atpg.random"].Count)
+	}
+	if st["atpg.random"].Total != 2*time.Millisecond {
+		t.Errorf("total = %v, want 2ms", st["atpg.random"].Total)
+	}
+	var nilTel *Telemetry
+	if nilTel.SpanStats() != nil {
+		t.Error("nil handle returned span stats")
+	}
+}

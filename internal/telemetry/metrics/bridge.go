@@ -1,0 +1,30 @@
+package metrics
+
+// Bridge from the deterministic counter plane (package telemetry) to
+// the operational metrics plane: at gather time the bridge snapshots
+// every telemetry.Counter into one labeled gauge family, so a scrape
+// sees the live work counters without the deterministic plane ever
+// knowing metrics exist — report bytes cannot fork, because the flow
+// of information is strictly one-way and read-only.
+
+import "factor/internal/telemetry"
+
+// Bridge mirrors t's deterministic counters into r as
+//
+//	<name>{counter="<dotted counter name>"} <value>
+//
+// refreshed on every gather. The family is a gauge, not a counter:
+// exposition-wise the values are monotone, but a server swaps per-job
+// telemetry handles, so a scrape may legally observe a smaller value
+// after a handle reset. Nil r or t is a no-op.
+func Bridge(r *Registry, name, help string, t *telemetry.Telemetry) {
+	if r == nil || t == nil {
+		return
+	}
+	vec := r.GaugeVec(name, help, "counter")
+	r.OnGather(func() {
+		for cname, v := range t.Counters() {
+			vec.With(cname).Set(float64(v))
+		}
+	})
+}

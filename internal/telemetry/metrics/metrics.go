@@ -1,0 +1,481 @@
+// Package metrics is the third observability plane: an operational
+// metrics registry with Prometheus text exposition (format 0.0.4),
+// hand-rolled on the stdlib so the serving stack can be scraped
+// without any dependency.
+//
+// It is strictly separated from the two existing planes (see package
+// telemetry): deterministic work counters stay bit-identical report
+// material and wall-clock spans stay trace material, while these
+// metrics are scrape-time operational state — queue depths, cache hit
+// rates, latency histograms — that may legally differ run to run. The
+// Bridge (bridge.go) projects the deterministic counter plane into the
+// exposition read-only, so nothing here ever forks report bytes.
+//
+// The nil *Registry is a valid disabled registry: every constructor
+// returns a nil instrument and every instrument method is a nil-safe,
+// allocation-free no-op, so instrumented hot paths cost nothing when
+// metrics are off (guarded by testing.AllocsPerRun). Instruments are
+// cheap atomics; callers on hot paths should hold on to the child
+// returned by With rather than re-resolving labels per event.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. A nil Registry disables everything.
+type Registry struct {
+	mu     sync.Mutex
+	fams   map[string]*family
+	gather []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label schema and a child
+// time series per label-value tuple.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+	bounds []float64 // histogram upper bounds (nil otherwise)
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// child is one time series: a scalar (counter/gauge) or a
+// fixed-bucket histogram. Scalars live in float64 bits so Add can CAS
+// without locks; histogram bucket counts are plain integer atomics.
+type child struct {
+	labels string // pre-rendered {k="v",...} or ""
+
+	bits atomic.Uint64 // scalar value, math.Float64bits
+
+	bounds  []float64       // histogram upper bounds (shared with family)
+	counts  []atomic.Uint64 // per-bucket (≤ bound) increments, +Inf last
+	sumBits atomic.Uint64
+}
+
+// nameOK enforces the Prometheus metric/label name charset.
+func nameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register finds or creates a family, panicking on a schema conflict —
+// metric registration happens at wiring time, so a conflict is a
+// programming error, not an operational condition.
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	if r == nil {
+		return nil
+	}
+	if !nameOK(name) {
+		panic("metrics: bad metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !nameOK(l) || strings.HasPrefix(l, "__") {
+			panic("metrics: bad label name " + strconv.Quote(l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic("metrics: conflicting re-registration of " + name)
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic("metrics: conflicting label schema for " + name)
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		bounds: bounds, children: map[string]*child{}}
+	r.fams[name] = f
+	return f
+}
+
+// OnGather registers a callback the exposition runs immediately before
+// rendering — the hook gauges and bridges use to snapshot live state
+// at scrape time. No-op on a nil registry.
+func (r *Registry) OnGather(f func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gather = append(r.gather, f)
+	r.mu.Unlock()
+}
+
+// child resolves the time series for one label-value tuple, creating
+// it on first use. The single-value key avoids any allocation on the
+// repeat-lookup path; multi-label keys join with 0xFF (illegal in
+// UTF-8 label text after escaping, so the key is unambiguous).
+func (f *family) child(values []string) *child {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label value(s), got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	var key string
+	switch len(values) {
+	case 0:
+	case 1:
+		key = values[0]
+	default:
+		key = strings.Join(values, "\xff")
+	}
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = &child{labels: renderLabels(f.labels, values)}
+	if f.bounds != nil {
+		c.bounds = f.bounds
+		c.counts = make([]atomic.Uint64, len(f.bounds)+1)
+	}
+	f.children[key] = c
+	return c
+}
+
+// renderLabels pre-formats the {k="v",...} selector once per child.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// addFloat folds v into a float64-bits cell with a CAS loop.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing scalar. Nil is a no-op.
+type Counter struct{ c *child }
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add increments by v (v < 0 is ignored — counters are monotone).
+func (c Counter) Add(v float64) {
+	if c.c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.c.bits, v)
+}
+
+// Gauge is a scalar that can go up and down. Nil is a no-op.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g Gauge) Set(v float64) {
+	if g.c == nil {
+		return
+	}
+	g.c.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by v (negative to decrement).
+func (g Gauge) Add(v float64) {
+	if g.c == nil {
+		return
+	}
+	addFloat(&g.c.bits, v)
+}
+
+// Inc adds 1.
+func (g Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g Gauge) Dec() { g.Add(-1) }
+
+// Histogram is a fixed-bucket distribution. Nil is a no-op.
+type Histogram struct{ c *child }
+
+// Observe records v: the first bucket whose upper bound is ≥ v is
+// incremented (buckets store per-bucket increments; exposition
+// renders the cumulative form), plus the +Inf count and the sum.
+func (h Histogram) Observe(v float64) {
+	c := h.c
+	if c == nil {
+		return
+	}
+	i := len(c.counts) - 1 // +Inf
+	bounds := c.bounds
+	for k, b := range bounds {
+		if v <= b {
+			i = k
+			break
+		}
+	}
+	c.counts[i].Add(1)
+	addFloat(&c.sumBits, v)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With resolves the child counter for the label values.
+func (v *CounterVec) With(values ...string) Counter {
+	if v == nil {
+		return Counter{}
+	}
+	return Counter{v.f.child(values)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With resolves the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) Gauge {
+	if v == nil {
+		return Gauge{}
+	}
+	return Gauge{v.f.child(values)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With resolves the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) Histogram {
+	if v == nil {
+		return Histogram{}
+	}
+	return Histogram{v.f.child(values)}
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r.register(name, help, "counter", nil, nil).child(nil)}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r.register(name, help, "gauge", nil, nil).child(nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil)}
+}
+
+// DefBuckets is the default latency bucket ladder (seconds), tuned for
+// HTTP handlers and pipeline stages that range µs → minutes.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram registers an unlabeled fixed-bucket histogram. Bounds must
+// be strictly increasing; nil selects DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	return r.HistogramVec(name, help, bounds).With()
+}
+
+// HistogramVec registers a labeled fixed-bucket histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds for " + name + " not strictly increasing")
+		}
+	}
+	f := r.register(name, help, "histogram", labels, bounds)
+	return &HistogramVec{f}
+}
+
+// formatValue renders a sample value: integral floats print without a
+// fraction so counters read naturally.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the full exposition in Prometheus text format
+// 0.0.4: families sorted by name, children sorted by label tuple,
+// histogram buckets cumulative with a trailing +Inf, _sum and _count.
+// Gather hooks run first so snapshot gauges are fresh.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.gather...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	kids := make([]*child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		kids = append(kids, f.children[k])
+	}
+	f.mu.RUnlock()
+	if len(kids) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, c := range kids {
+		if f.typ != "histogram" {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, c.labels,
+				formatValue(math.Float64frombits(c.bits.Load())))
+			continue
+		}
+		cum := uint64(0)
+		for i, bound := range f.bounds {
+			cum += c.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				withLE(c.labels, formatValue(bound)), cum)
+		}
+		cum += c.counts[len(f.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLE(c.labels, "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, c.labels,
+			formatValue(math.Float64frombits(c.sumBits.Load())))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, c.labels, cum)
+	}
+}
+
+// withLE splices the le label into a pre-rendered selector.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

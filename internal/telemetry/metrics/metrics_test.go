@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"factor/internal/telemetry"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs ever submitted").Add(3)
+	g := r.Gauge("queue_depth", "queued jobs")
+	g.Set(7)
+	g.Dec()
+	v := r.CounterVec("hits_total", "hits by kind", "kind")
+	v.With("cas").Add(2)
+	v.With("miss").Inc()
+
+	got := expose(t, r)
+	want := `# HELP hits_total hits by kind
+# TYPE hits_total counter
+hits_total{kind="cas"} 2
+hits_total{kind="miss"} 1
+# HELP jobs_total jobs ever submitted
+# TYPE jobs_total counter
+jobs_total 3
+# HELP queue_depth queued jobs
+# TYPE queue_depth gauge
+queue_depth 6
+`
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	got := expose(t, r)
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="10"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 56.05
+lat_seconds_count 5
+`
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramVecLELabelSplice(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("req_seconds", "", []float64{1}, "route", "code")
+	v.With("/jobs", "200").Observe(0.5)
+	got := expose(t, r)
+	if !strings.Contains(got, `req_seconds_bucket{route="/jobs",code="200",le="1"} 1`) {
+		t.Errorf("le splice wrong:\n%s", got)
+	}
+	if !strings.Contains(got, `req_seconds_count{route="/jobs",code="200"} 1`) {
+		t.Errorf("count selector wrong:\n%s", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("errs_total", "", "msg").With("a\"b\\c\nd").Inc()
+	got := expose(t, r)
+	if !strings.Contains(got, `errs_total{msg="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", got)
+	}
+}
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", nil).Observe(1)
+	r.CounterVec("d", "", "x").With("y").Add(2)
+	r.GaugeVec("e", "", "x").With("y").Dec()
+	r.HistogramVec("f", "", nil, "x").With("y").Observe(3)
+	r.OnGather(func() { t.Fatal("gather hook ran on nil registry") })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+}
+
+func TestDisabledAndHotPathsAreAllocFree(t *testing.T) {
+	var off *Registry
+	offV := off.CounterVec("x_total", "", "k")
+	offH := off.HistogramVec("y_seconds", "", nil, "k")
+	if n := testing.AllocsPerRun(100, func() {
+		off.Counter("x", "").Inc()
+		offV.With("v").Add(1)
+		offH.With("v").Observe(0.1)
+	}); n != 0 {
+		t.Errorf("disabled plane allocates %v/op", n)
+	}
+
+	on := NewRegistry()
+	c := on.CounterVec("hits_total", "", "kind").With("cas")
+	g := on.Gauge("depth", "")
+	h := on.Histogram("lat_seconds", "", nil)
+	hv := on.HistogramVec("stage_seconds", "", nil, "stage")
+	hv.With("atpg") // pre-create: hot paths hold children or re-resolve one label
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.01)
+		hv.With("atpg").Observe(0.5)
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates %v/op", n)
+	}
+}
+
+func TestConcurrentInstrumentation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("v_seconds", "", []float64{0.5})
+	vec := r.CounterVec("by_total", "", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.75)
+				vec.With([]string{"a", "b"}[w%2]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := expose(t, r)
+	for _, want := range []string{
+		"n_total 8000\n",
+		`v_seconds_count 8000`,
+		`v_seconds_bucket{le="0.5"} 4000`,
+		`by_total{k="a"} 4000`,
+		`by_total{k="b"} 4000`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := formatValue(0.25); got != "0.25" {
+		t.Errorf("formatValue(0.25) = %q", got)
+	}
+	if got := formatValue(1e15); got == "1000000000000000" {
+		t.Errorf("huge integral float should use float form, got %q", got)
+	}
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatValue(+Inf) = %q", got)
+	}
+}
+
+func TestRegistrationConflictsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "")
+	for name, f := range map[string]func(){
+		"type":   func() { r.Gauge("a_total", "") },
+		"labels": func() { r.CounterVec("a_total", "", "k") },
+		"name":   func() { r.Counter("0bad", "") },
+		"label":  func() { r.CounterVec("b_total", "", "bad-label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s conflict did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdempotentReRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(1)
+	r.Counter("a_total", "").Add(2)
+	if got := expose(t, r); !strings.Contains(got, "a_total 3\n") {
+		t.Errorf("re-registration did not share the child:\n%s", got)
+	}
+}
+
+func TestBridgeSnapshotsDeterministicCounters(t *testing.T) {
+	tel := telemetry.New()
+	tel.AddCounter("atpg.backtracks", 42)
+	r := NewRegistry()
+	Bridge(r, "factor_pipeline_counter", "deterministic work counters", tel)
+
+	got := expose(t, r)
+	if !strings.Contains(got, `factor_pipeline_counter{counter="atpg.backtracks"} 42`) {
+		t.Errorf("bridge missing counter:\n%s", got)
+	}
+	// Refreshes on every gather, never caches stale values.
+	tel.AddCounter("atpg.backtracks", 1)
+	if got := expose(t, r); !strings.Contains(got, `{counter="atpg.backtracks"} 43`) {
+		t.Errorf("bridge did not refresh:\n%s", got)
+	}
+	// Nil handles are inert.
+	Bridge(nil, "x", "", tel)
+	Bridge(r, "y", "", nil)
+}

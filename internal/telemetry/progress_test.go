@@ -1,0 +1,108 @@
+package telemetry
+
+// Concurrency contract of the Progressf CAS rate limiter: under N
+// goroutines hammering the heartbeat with a frozen fake clock, at most
+// one line is emitted per interval window, and every emitted line is a
+// single whole line — no interleaved partial writes.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingWriter captures each Write call as one unit, so a torn or
+// interleaved line would show up as a record that is not exactly one
+// "\n"-terminated line.
+type recordingWriter struct {
+	mu     sync.Mutex
+	writes []string
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes = append(w.writes, string(p))
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func TestProgressfRateLimitUnderConcurrency(t *testing.T) {
+	const (
+		interval   = 100 * time.Millisecond
+		goroutines = 16
+		callsPer   = 200
+		windows    = 5
+	)
+	// A settable clock: every goroutine reads the same frozen instant,
+	// so within one window exactly one CAS can win.
+	var nowNanos atomic.Int64
+	base := time.Unix(2000, 0)
+	nowNanos.Store(base.UnixNano())
+
+	tel := New()
+	tel.clock = func() time.Time { return time.Unix(0, nowNanos.Load()) }
+	w := &recordingWriter{}
+	tel.EnableProgress(w, interval)
+
+	hammer := func(window int) {
+		var wg sync.WaitGroup
+		var barrier sync.WaitGroup
+		barrier.Add(1)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				barrier.Wait()
+				for i := 0; i < callsPer; i++ {
+					tel.Progressf("window=%d worker=%d call=%d", window, g, i)
+				}
+			}(g)
+		}
+		barrier.Done()
+		wg.Wait()
+	}
+
+	for win := 0; win < windows; win++ {
+		// Advance exactly one interval: the next window admits exactly
+		// one more emit.
+		nowNanos.Store(base.Add(time.Duration(win) * interval).UnixNano())
+		hammer(win)
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// last-emit starts at the epoch, so window 0 emits immediately and
+	// each subsequent window (exactly one interval later) admits
+	// exactly one more winner.
+	if len(w.writes) != windows {
+		t.Fatalf("emitted %d lines over %d windows, want exactly %d:\n%s",
+			len(w.writes), windows, windows, strings.Join(w.writes, ""))
+	}
+	seen := map[string]bool{}
+	for _, rec := range w.writes {
+		if !strings.HasSuffix(rec, "\n") || strings.Count(rec, "\n") != 1 {
+			t.Errorf("interleaved or partial heartbeat write: %q", rec)
+		}
+		if !strings.HasPrefix(rec, "window=") {
+			t.Errorf("malformed heartbeat line: %q", rec)
+		}
+		win, _, _ := strings.Cut(strings.TrimPrefix(rec, "window="), " ")
+		if seen[win] {
+			t.Errorf("window %s emitted more than once:\n%s", win, strings.Join(w.writes, ""))
+		}
+		seen[win] = true
+	}
+}
+
+func TestProgressfDisabledCostsOneAtomicLoad(t *testing.T) {
+	tel := New() // progress never enabled
+	if n := testing.AllocsPerRun(100, func() {
+		tel.Progressf("ignored %d", 1)
+	}); n != 0 {
+		t.Errorf("disabled Progressf allocates %v/op", n)
+	}
+	var nilTel *Telemetry
+	nilTel.Progressf("ignored")
+}

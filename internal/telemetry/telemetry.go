@@ -73,6 +73,9 @@ type Telemetry struct {
 	stats    map[string]*spanStat
 	events   []traceEvent
 	tracing  bool
+	// procs labels imported child-process trace lanes (pid → name);
+	// pid 0 is this process, labeled by tool. See merge.go.
+	procs map[int64]string
 
 	prog progress
 }
@@ -212,6 +215,28 @@ func (s *Span) End() {
 		})
 	}
 	t.mu.Unlock()
+}
+
+// SpanStat is one row of the aggregated span summary.
+type SpanStat struct {
+	Count int
+	Total time.Duration
+}
+
+// SpanStats snapshots the per-name span aggregates — the operational
+// metrics plane folds these into latency histograms after a run. Nil
+// handles return nil.
+func (t *Telemetry) SpanStats() map[string]SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]SpanStat, len(t.stats))
+	for name, st := range t.stats {
+		out[name] = SpanStat{Count: st.count, Total: st.total}
+	}
+	return out
 }
 
 // Elapsed is the wall time since the handle was created.

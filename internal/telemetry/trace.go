@@ -97,11 +97,19 @@ func (t *Telemetry) WriteTrace(w io.Writer) error {
 	events := make([]traceEvent, len(t.events))
 	copy(events, t.events)
 	tool := t.tool
+	procs := make([]traceEvent, 0, len(t.procs))
+	for pid, name := range t.procs {
+		procs = append(procs, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			args: []spanArg{{"name", name}},
+		})
+	}
 	counters := make(map[string]uint64, len(t.counters))
 	for name, c := range t.counters {
 		counters[name] = c.Value()
 	}
 	t.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID < procs[j].PID })
 
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].TS != events[j].TS {
@@ -110,14 +118,16 @@ func (t *Telemetry) WriteTrace(w io.Writer) error {
 		return events[i].Dur > events[j].Dur
 	})
 
-	all := make([]traceEvent, 0, len(events)+2)
+	all := make([]traceEvent, 0, len(events)+len(procs)+2)
 	if tool != "" {
-		// Process-name metadata event labels the single pid lane.
+		// Process-name metadata event labels this process's pid 0 lane;
+		// merged child processes follow with their own pids.
 		all = append(all, traceEvent{
 			Name: "process_name", Ph: "M",
 			args: []spanArg{{"name", tool}},
 		})
 	}
+	all = append(all, procs...)
 	all = append(all, events...)
 	if len(counters) > 0 {
 		ts := t.Elapsed().Microseconds()

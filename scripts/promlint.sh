@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# promlint.sh — line-format lint for Prometheus text exposition 0.0.4.
+#
+# Usage: promlint.sh <exposition-file>
+#
+# Validates the subset of the format the factord /metrics endpoint
+# emits, without needing promtool:
+#   - every line is a comment (# HELP / # TYPE), blank, or a sample
+#   - sample lines are  name{labels} value  or  name value
+#   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+#   - every sample's family has a preceding # TYPE line
+#   - TYPE is one of counter/gauge/histogram
+#   - histogram families expose _bucket/_sum/_count samples and an
+#     le="+Inf" bucket per child
+# Exits non-zero with a message on the first violation.
+set -euo pipefail
+
+file="${1:?usage: promlint.sh <exposition-file>}"
+
+awk '
+function fail(msg) { printf "promlint: line %d: %s: %s\n", NR, msg, $0; bad = 1; exit 1 }
+# family(): strip histogram suffixes to the declared family name.
+function family(name) {
+    sub(/_bucket$/, "", name) || sub(/_sum$/, "", name) || sub(/_count$/, "", name)
+    return name
+}
+/^$/ { next }
+/^# HELP / { next }
+/^# TYPE / {
+    if (NF != 4) fail("malformed TYPE line")
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram") fail("unknown type \"" $4 "\"")
+    type[$3] = $4
+    next
+}
+/^#/ { fail("comment is neither HELP nor TYPE") }
+{
+    # Sample: name or name{labels}, one space, value.
+    if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]/)) fail("not a valid sample line")
+    name = $0
+    sub(/[{ ].*/, "", name)
+    fam = name
+    if (!(fam in type)) fam = family(name)
+    if (!(fam in type)) fail("sample has no preceding # TYPE for its family")
+    if (type[fam] == "histogram") {
+        if (name == fam "_bucket") {
+            if ($0 !~ /le="/) fail("histogram bucket without an le label")
+            if ($0 ~ /le="\+Inf"/) inf[fam]++
+            bucket[fam]++
+        } else if (name == fam "_sum") { sum[fam]++ }
+        else if (name == fam "_count") { cnt[fam]++ }
+        else fail("histogram sample is not _bucket/_sum/_count")
+    }
+    samples++
+    next
+}
+END {
+    if (bad) exit 1
+    for (f in type) {
+        if (type[f] != "histogram") continue
+        if (!bucket[f] && !sum[f] && !cnt[f]) continue  # declared but never observed: legal
+        if (!inf[f]) { printf "promlint: histogram %s has no +Inf bucket\n", f; exit 1 }
+        if (!sum[f] || !cnt[f]) { printf "promlint: histogram %s missing _sum or _count\n", f; exit 1 }
+    }
+    printf "promlint: ok (%d samples, %d families)\n", samples, length(type)
+}
+' "$file"
